@@ -1,0 +1,79 @@
+// Ablation: the two guard-semantics decisions documented in DESIGN.md 5.
+//
+// (1) Eq. (2) literal patch guard ("patching requires the interface's bus to
+//     be exploitable") vs the corrected unconditional patching. On pure-CAN
+//     topologies the literal guard is provably vacuous: an exploited
+//     interface makes its own ECU, and hence its own bus, exploitable
+//     (Eqs. 3-4), so the guard always holds while there is something to
+//     patch. On FlexRay the guard bites — the bus additionally needs the
+//     guardian (Eq. 5) — and exposure rises.
+//
+// (2) Bus-guardian foothold: exploit the guardian unconditionally at its
+//     CVSS rate (default, Table-2 style) vs only once an ECU on its bus is
+//     compromised (strict AV:L reading).
+#include <cstdio>
+#include <iostream>
+
+#include "automotive/analyzer.hpp"
+#include "automotive/casestudy.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace autosec;
+using namespace autosec::automotive;
+namespace cs = casestudy;
+
+namespace {
+
+double run(int arch, SecurityCategory category, bool literal_guard, bool foothold) {
+  AnalysisOptions options;
+  options.nmax = 2;
+  options.literal_patch_guard = literal_guard;
+  options.guardian_requires_foothold = foothold;
+  return analyze_message(cs::architecture(arch, Protection::kUnencrypted), cs::kMessage,
+                         category, options)
+      .exploitable_fraction;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Ablation 1: Eq. (2) literal patch guard vs corrected semantics ==\n\n";
+  util::TextTable guard_table({"Architecture", "Category", "corrected", "literal Eq.(2)",
+                               "ratio"});
+  for (int arch = 1; arch <= 3; ++arch) {
+    for (const SecurityCategory category :
+         {SecurityCategory::kConfidentiality, SecurityCategory::kAvailability}) {
+      const double corrected = run(arch, category, false, false);
+      const double literal = run(arch, category, true, false);
+      guard_table.add_row({"Architecture " + std::to_string(arch),
+                           std::string(category_name(category)),
+                           util::format_percent(corrected),
+                           util::format_percent(literal),
+                           util::format_sig(literal / corrected, 4)});
+    }
+  }
+  std::cout << guard_table << "\n";
+  std::cout << "Architectures 1-2 (CAN only): identical — the literal guard is vacuous\n"
+               "on CAN (see DESIGN.md 5.2). Architecture 3 (FlexRay): the literal guard\n"
+               "blocks patching while the guardian is secure, so exposure rises.\n\n";
+
+  std::cout << "== Ablation 2: bus-guardian exploit precondition (Architecture 3) ==\n\n";
+  util::TextTable bg_table({"Category", "unconditional (default)", "requires foothold",
+                            "ratio"});
+  for (const SecurityCategory category :
+       {SecurityCategory::kConfidentiality, SecurityCategory::kIntegrity,
+        SecurityCategory::kAvailability}) {
+    const double unconditional = run(3, category, false, false);
+    const double foothold = run(3, category, false, true);
+    bg_table.add_row({std::string(category_name(category)),
+                      util::format_percent(unconditional),
+                      util::format_percent(foothold),
+                      util::format_sig(foothold / unconditional, 4)});
+  }
+  std::cout << bg_table << "\n";
+  std::cout << "The unconditional variant reproduces the paper's Fig. 5 magnitudes for\n"
+               "Architecture 3 far better; the foothold variant compounds two rare\n"
+               "events and drives exposure an order of magnitude lower.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Regenerates Figure 6: sensitivity of message-m exploitability in
+// Architecture 1 to the telematics ECU's rates, swept from once per decade
+// (0.1/year) to once per hour (8760/year).
+//   (a) patching rate phi_3G varied, eta_3G(uplink) fixed at 1.9;
+//   (b) exploitation rate eta_3G(uplink) varied, phi_3G fixed at 52.
+// Also derives the paper's two engineering conclusions: the patch rate
+// needed to stay under 0.5% exploitability (paper: phi ~ 6, every 2 months)
+// and the maximum tolerable exploitation rate at weekly patching (paper:
+// eta ~ 12, once a month).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "automotive/analyzer.hpp"
+#include "automotive/casestudy.hpp"
+#include "automotive/transform.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace autosec;
+using namespace autosec::automotive;
+namespace cs = casestudy;
+
+namespace {
+
+std::vector<double> log_sweep(double low, double high, int points) {
+  std::vector<double> out;
+  for (int i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / (points - 1);
+    out.push_back(low * std::pow(high / low, t));
+  }
+  return out;
+}
+
+double exploitability_with(const std::string& constant, double value) {
+  AnalysisOptions options;
+  options.nmax = 2;
+  options.constant_overrides = {{constant, symbolic::Value::of(value)}};
+  const Architecture arch = cs::architecture(1, Protection::kUnencrypted);
+  return analyze_message(arch, cs::kMessage, SecurityCategory::kConfidentiality,
+                         options)
+      .exploitable_fraction;
+}
+
+/// First swept value whose exploitability is below `threshold` (for the
+/// phi sweep) — linear scan over the already-computed series.
+double crossing(const std::vector<double>& xs, const std::vector<double>& ys,
+                double threshold, bool below) {
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (below ? ys[i] <= threshold : ys[i] >= threshold) return xs[i];
+  }
+  return std::nan("");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Figure 6: parameter exploration, Architecture 1, message m ==\n";
+  std::cout << "(confidentiality, unencrypted, nmax = 2; exploitability as fraction\n"
+               " of one year; rates in 1/year)\n\n";
+
+  const std::vector<double> rates = log_sweep(0.1, 8760.0, 21);
+
+  std::cout << "--- (a) varying 3G patching rate (eta_3G fixed at 1.9) ---\n";
+  const std::string phi_constant = ecu_phi_constant(cs::kTelematics);
+  util::TextTable table_a({"phi_3G (1/year)", "m exploitability"});
+  std::vector<double> ys_a;
+  for (const double phi : rates) {
+    const double y = exploitability_with(phi_constant, phi);
+    ys_a.push_back(y);
+    table_a.add_row({util::format_sig(phi, 4), util::format_percent(y)});
+  }
+  std::cout << table_a << "\n";
+
+  std::cout << "--- (b) varying 3G uplink exploitation rate (phi_3G fixed at 52) ---\n";
+  const std::string eta_constant = interface_eta_constant(cs::kTelematics, cs::kUplink);
+  util::TextTable table_b({"eta_3G (1/year)", "m exploitability"});
+  std::vector<double> ys_b;
+  for (const double eta : rates) {
+    const double y = exploitability_with(eta_constant, eta);
+    ys_b.push_back(y);
+    table_b.add_row({util::format_sig(eta, 4), util::format_percent(y)});
+  }
+  std::cout << table_b << "\n";
+
+  // The paper states a "threshold of 0.5% exploitability" and reads phi ~ 6
+  // and eta ~ 12 off Fig. 6 — numbers only consistent with its own Fig. 5
+  // (12.2% at phi = 52) if the threshold is the *fraction* 0.5 (50%) on the
+  // figure's log axis. Both readings are reported; EXPERIMENTS.md discusses.
+  for (const double threshold : {0.5, 0.005}) {
+    const double phi_needed = crossing(rates, ys_a, threshold, /*below=*/true);
+    const double eta_max = crossing(rates, ys_b, threshold, /*below=*/false);
+    std::printf("Threshold %.1f%% exploitable time:\n", threshold * 100.0);
+    std::printf("  patch rate needed:          phi_3G >= %.3g /year\n", phi_needed);
+    std::printf("  max tolerable exploit rate: eta_3G <= %.3g /year\n", eta_max);
+  }
+  std::cout << "(paper, at its printed \"0.5%\" threshold: phi ~ 6/year — every two\n"
+               " months — and eta <= 12/year; see the 50% row for the consistent\n"
+               " reading on our model.)\n";
+  std::cout << "\nBoth curves exhibit the paper's exponential saturation: large effect at\n"
+               "the low end of the rate spectrum, little gain beyond it.\n";
+  return 0;
+}

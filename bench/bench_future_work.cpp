@@ -1,0 +1,119 @@
+// The paper's Section-5 future-work experiments, implemented:
+//  (a) Ethernet backbones ("more complex systems, e.g., comprising
+//      Ethernet"): the Architecture-1 topology with its telematics backbone
+//      realized as CAN vs FlexRay vs switched Ethernet.
+//  (b) Combined security + reliability analysis: availability of message m
+//      when the endpoints can also fail randomly, decomposed into attack-
+//      and failure-driven unavailability.
+#include <cstdio>
+#include <iostream>
+
+#include "automotive/analyzer.hpp"
+#include "automotive/casestudy.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace autosec;
+using namespace autosec::automotive;
+namespace cs = casestudy;
+
+namespace {
+
+/// Architecture-1 topology with a configurable backbone: NET + backbone
+/// {3G, GW, PA} + CAN2 {GW, PS}; m: PA -> PS over {backbone, CAN2}.
+Architecture with_backbone(BusKind kind) {
+  Architecture arch;
+  arch.name = std::string(bus_kind_name(kind)) + " backbone";
+  arch.buses.push_back({"NET", BusKind::kInternet, std::nullopt, std::nullopt});
+  Bus backbone;
+  backbone.name = "BB";
+  backbone.kind = kind;
+  if (kind == BusKind::kFlexRay) backbone.guardian = GuardianSpec{0.2, 4.0};
+  if (kind == BusKind::kEthernet) backbone.eth_switch = SwitchSpec{1.2, 12.0};
+  arch.buses.push_back(backbone);
+  arch.buses.push_back({"CAN2", BusKind::kCan, std::nullopt, std::nullopt});
+
+  const cs::Rates rates;
+  Ecu telematics{"3G", rates.phi_3g, assess::Asil::kA,
+                 {{"NET", rates.eta_3g_net, std::nullopt},
+                  {"BB", rates.eta_3g_bus, std::nullopt}},
+                 std::nullopt};
+  Ecu gateway{"GW", rates.phi_gw, assess::Asil::kD,
+              {{"BB", rates.eta_gw, std::nullopt}, {"CAN2", rates.eta_gw, std::nullopt}},
+              std::nullopt};
+  Ecu park_assist{"PA", rates.phi_pa, assess::Asil::kC,
+                  {{"BB", rates.eta_pa, std::nullopt}}, std::nullopt};
+  Ecu power_steering{"PS", rates.phi_ps, assess::Asil::kD,
+                     {{"CAN2", rates.eta_ps, std::nullopt}}, std::nullopt};
+  arch.ecus = {telematics, gateway, park_assist, power_steering};
+
+  Message m;
+  m.name = "m";
+  m.sender = "PA";
+  m.receivers = {"PS"};
+  m.buses = {"BB", "CAN2"};
+  arch.messages.push_back(m);
+  arch.validate();
+  return arch;
+}
+
+}  // namespace
+
+int main() {
+  AnalysisOptions options;
+  options.nmax = 2;
+
+  std::cout << "== Future work (a): backbone technology comparison ==\n"
+               "(Architecture-1 topology; message m in all three categories)\n\n";
+  util::TextTable backbone_table(
+      {"Backbone", "confidentiality", "integrity", "availability",
+       "mean time to breach (avail.)"});
+  for (const BusKind kind : {BusKind::kCan, BusKind::kFlexRay, BusKind::kEthernet}) {
+    const Architecture arch = with_backbone(kind);
+    std::vector<std::string> row{std::string(bus_kind_name(kind))};
+    double mttb = 0.0;
+    for (const SecurityCategory category :
+         {SecurityCategory::kConfidentiality, SecurityCategory::kIntegrity,
+          SecurityCategory::kAvailability}) {
+      const AnalysisResult result = analyze_message(arch, "m", category, options);
+      row.push_back(util::format_percent(result.exploitable_fraction));
+      if (category == SecurityCategory::kAvailability) mttb = result.mean_time_to_breach;
+    }
+    row.push_back(util::format_sig(mttb, 3) + " years");
+    backbone_table.add_row(row);
+  }
+  std::cout << backbone_table << "\n";
+  std::cout << "FlexRay (guardian) and switched Ethernet both cut exposure by an order\n"
+               "of magnitude versus shared CAN; Ethernet's switch is a single point\n"
+               "whose hardening (eta_sw_bb / phi_sw_bb sweeps) directly controls it.\n\n";
+
+  std::cout << "== Future work (b): combined security + reliability ==\n"
+               "(CAN backbone; PA/PS with failure specs; availability of m)\n\n";
+  util::TextTable reliability_table({"PA/PS failure rate (1/year)", "total unavail.",
+                                     "attack-driven", "failure-driven"});
+  for (const double failure_rate : {0.0, 0.1, 0.5, 2.0}) {
+    Architecture arch = with_backbone(BusKind::kCan);
+    if (failure_rate > 0.0) {
+      for (auto* name : {"PA", "PS"}) {
+        for (Ecu& ecu : arch.ecus) {
+          if (ecu.name == name) ecu.failure = FailureSpec{failure_rate, 52.0};
+        }
+      }
+    }
+    const SecurityAnalysis analysis(arch, "m", SecurityCategory::kAvailability,
+                                    options);
+    const double total = analysis.check("R{\"exposure\"}=? [ C<=1 ]");
+    const double attack = analysis.check("R{\"exposure_attack\"}=? [ C<=1 ]");
+    const double failure = analysis.check("R{\"exposure_failure\"}=? [ C<=1 ]");
+    reliability_table.add_row({util::format_sig(failure_rate, 3),
+                               util::format_percent(total),
+                               util::format_percent(attack),
+                               util::format_percent(failure)});
+  }
+  std::cout << reliability_table << "\n";
+  std::cout << "At workshop-grade repair cadence (weekly), random failures overtake\n"
+               "attacks as the dominant unavailability source once endpoints fail\n"
+               "more than ~1-2 times per year — the combined analysis ranks both\n"
+               "risk classes on one scale, as the paper's future work envisioned.\n";
+  return 0;
+}

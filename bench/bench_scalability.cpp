@@ -1,0 +1,84 @@
+// Regenerates the paper's Section 4 scalability observations: state-space
+// size and runtime as functions of nmax and architecture complexity. The
+// paper reports 4x10^5 - 1.2x10^6 states and 15min-1.5h per property with
+// PRISM; our explicit-state engine handles the same case-study models with
+// far smaller state spaces (no instantaneously-merged submodule states), so
+// an extended synthetic architecture scales the model into the paper's
+// state-count regime to demonstrate the states-vs-runtime correlation.
+#include <cstdio>
+#include <iostream>
+
+#include "automotive/analyzer.hpp"
+#include "util/stopwatch.hpp"
+#include "automotive/casestudy.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace autosec;
+using namespace autosec::automotive;
+namespace cs = casestudy;
+
+namespace {
+
+/// Case-study Architecture 1 extended with `extra_ecus` additional body ECUs
+/// on CAN2 — the "more complex functions involve more devices" axis of
+/// Section 4.3.
+Architecture extended_architecture(int extra_ecus) {
+  Architecture arch = cs::architecture(1, Protection::kAes128);
+  arch.name = "Architecture 1 + " + std::to_string(extra_ecus) + " ECUs";
+  for (int i = 0; i < extra_ecus; ++i) {
+    Ecu body;
+    body.name = "BODY" + std::to_string(i);
+    body.phi = 12.0;
+    body.asil = assess::Asil::kC;
+    Interface iface;
+    iface.bus = cs::kCan2;
+    iface.eta = 1.2;
+    body.interfaces.push_back(iface);
+    arch.ecus.push_back(body);
+  }
+  return arch;
+}
+
+void run(const Architecture& arch, int nmax, util::TextTable& table) {
+  AnalysisOptions options;
+  options.nmax = nmax;
+  const SecurityAnalysis analysis(arch, cs::kMessage,
+                                  SecurityCategory::kConfidentiality, options);
+  util::Stopwatch watch;
+  const double fraction = analysis.check("R{\"exposure\"}=? [ C<=1 ]");
+  const double check_seconds = watch.elapsed_seconds();
+  table.add_row({arch.name, std::to_string(nmax),
+                 std::to_string(analysis.space().state_count()),
+                 std::to_string(analysis.space().transition_count()),
+                 util::format_sig(analysis.build_seconds(), 3),
+                 util::format_sig(check_seconds, 3), util::format_percent(fraction)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Scalability (Section 4 / 4.3): states vs runtime ==\n\n";
+  util::TextTable table({"Model", "nmax", "States", "Transitions", "Build (s)",
+                         "Check (s)", "m conf. exploitability"});
+
+  // nmax axis on the three case-study architectures.
+  for (int which = 1; which <= 3; ++which) {
+    for (int nmax = 1; nmax <= 3; ++nmax) {
+      Architecture arch = cs::architecture(which, Protection::kAes128);
+      run(arch, nmax, table);
+    }
+  }
+
+  // Architecture-size axis into the paper's state-count regime:
+  // (nmax+1)^(interfaces) x 2 states = 13k / 118k / 1.06M for +2 / +4 / +6.
+  for (int extra : {2, 4, 6}) {
+    run(extended_architecture(extra), 2, table);
+  }
+
+  std::cout << table << "\n";
+  std::cout << "As in the paper, runtime correlates with the number of states; the\n"
+               "paper's 4x10^5-1.2x10^6 figures include PRISM's unmerged instantaneous\n"
+               "submodule states, which our direct product model avoids (DESIGN.md 5.5).\n";
+  return 0;
+}

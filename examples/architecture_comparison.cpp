@@ -1,0 +1,68 @@
+// Architecture comparison — the paper's core use case (Section 4.1): given
+// three candidate E/E architectures for the park-assist function, which one
+// should a decision maker pick, and does message protection change the
+// answer? Reproduces the Fig. 5 analysis with commentary, and goes beyond it
+// with per-component breach probabilities that show *why* each architecture
+// scores the way it does.
+#include <iostream>
+
+#include "autosec.hpp"
+
+using namespace autosec;
+using namespace autosec::automotive;
+namespace cs = casestudy;
+
+int main() {
+  AnalysisOptions options;
+  options.nmax = 2;
+
+  std::cout << "Which architecture keeps the park-assist message stream m safest?\n\n";
+
+  util::TextTable grid({"Category", "Protection", "Arch 1 (CAN)",
+                        "Arch 2 (CAN, dedicated)", "Arch 3 (FlexRay)"});
+  for (const SecurityCategory category :
+       {SecurityCategory::kConfidentiality, SecurityCategory::kIntegrity,
+        SecurityCategory::kAvailability}) {
+    for (const Protection protection :
+         {Protection::kUnencrypted, Protection::kCmac128, Protection::kAes128}) {
+      std::vector<std::string> row{std::string(category_name(category)),
+                                   std::string(protection_name(protection))};
+      for (int which = 1; which <= 3; ++which) {
+        const AnalysisResult result = analyze_message(
+            cs::architecture(which, protection), cs::kMessage, category, options);
+        row.push_back(util::format_percent(result.exploitable_fraction));
+      }
+      grid.add_row(row);
+    }
+  }
+  std::cout << grid << "\n";
+
+  std::cout << "Why: per-ECU probability of being exploited at least once in year 1\n"
+               "(Architecture 1, unencrypted):\n\n";
+  const SecurityAnalysis analysis(cs::architecture(1, Protection::kUnencrypted),
+                                  cs::kMessage, SecurityCategory::kConfidentiality,
+                                  options);
+  util::TextTable why({"Component", "P[exploited within 1 year]"});
+  for (const char* ecu : {"3g", "gw", "pa", "ps"}) {
+    const std::string property =
+        "P=? [ F<=1 \"ecu_" + std::string(ecu) + "_exploited\" ]";
+    why.add_row({ecu, util::format_sig(analysis.check(property), 3)});
+  }
+  why.add_row({"bus CAN1", util::format_sig(
+                               analysis.check("P=? [ F<=1 \"bus_can1_exploitable\" ]"), 3)});
+  why.add_row({"bus CAN2", util::format_sig(
+                               analysis.check("P=? [ F<=1 \"bus_can2_exploitable\" ]"), 3)});
+  std::cout << why << "\n";
+
+  std::cout
+      << "Reading the numbers the way Section 4.1 does:\n"
+         "  * The telematics unit falls quickly (internet-facing), exposing CAN1;\n"
+         "    in Architecture 1 message m shares that bus, so m is exposed too.\n"
+         "  * Architecture 2 moves m off the telematics bus, but the PA/GW patch\n"
+         "    rates (ASIL C/D) still leak exposure onto CAN2 - no dramatic win.\n"
+         "  * Architecture 3's time-triggered FlexRay requires the bus guardian\n"
+         "    to fall as well; exposure drops by an order of magnitude.\n"
+         "  * CMAC only protects integrity; AES also protects confidentiality;\n"
+         "    availability only improves with the bus redesign.\n";
+  return 0;
+}

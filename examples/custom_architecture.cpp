@@ -1,0 +1,121 @@
+// Building and analyzing a custom architecture from scratch — the workflow a
+// downstream user follows for their own vehicle platform. Models a richer
+// E/E architecture than the paper's case study (telematics + OBD dongle as
+// entry points, a FlexRay drivetrain domain, a CAN body domain behind a
+// gateway) and answers design questions the paper's framework is built for:
+// which functions are exposed, where patching effort pays off, and what an
+// aftermarket OBD dongle does to the attack surface.
+#include <cstdio>
+#include <iostream>
+
+#include "autosec.hpp"
+
+using namespace autosec;
+using namespace autosec::automotive;
+using assess::Asil;
+using assess::parse_cvss_vector;
+
+namespace {
+
+Interface iface(const std::string& bus, const char* cvss) {
+  const auto vector = parse_cvss_vector(cvss);
+  return {bus, vector.exploitability_rate(), vector};
+}
+
+Architecture build_platform(bool with_obd_dongle) {
+  Architecture arch;
+  arch.name = with_obd_dongle ? "platform + OBD dongle" : "platform";
+
+  arch.buses.push_back({"NET", BusKind::kInternet, std::nullopt, std::nullopt});
+  arch.buses.push_back({"FR_DRIVE", BusKind::kFlexRay, GuardianSpec{0.2, 4.0}, std::nullopt});
+  arch.buses.push_back({"CAN_BODY", BusKind::kCan, std::nullopt, std::nullopt});
+  if (with_obd_dongle) {
+    // The dongle bridges its own radio (internet-reachable) onto the body CAN.
+    arch.buses.push_back({"OBD_RADIO", BusKind::kInternet, std::nullopt, std::nullopt});
+  }
+
+  Ecu tcu{"TCU", assess::patch_rate(Asil::kA), Asil::kA,
+          {iface("NET", "AV:N/AC:H/Au:M"), iface("CAN_BODY", "AV:A/AC:L/Au:S")},
+          std::nullopt};
+  Ecu gateway{"GW", assess::patch_rate(Asil::kD), Asil::kD,
+              {iface("CAN_BODY", "AV:A/AC:H/Au:S"), iface("FR_DRIVE", "AV:A/AC:H/Au:S")},
+              std::nullopt};
+  Ecu engine{"ENGINE", assess::patch_rate(Asil::kD), Asil::kD,
+             {iface("FR_DRIVE", "AV:A/AC:H/Au:S")}, std::nullopt};
+  Ecu brakes{"BRAKES", assess::patch_rate(Asil::kD), Asil::kD,
+             {iface("FR_DRIVE", "AV:A/AC:H/Au:S")}, std::nullopt};
+  Ecu climate{"CLIMATE", assess::patch_rate(Asil::kQm), Asil::kQm,
+              {iface("CAN_BODY", "AV:A/AC:M/Au:N")}, std::nullopt};
+  arch.ecus = {tcu, gateway, engine, brakes, climate};
+  if (with_obd_dongle) {
+    arch.ecus.push_back({"DONGLE", 1.0, std::nullopt,  // rarely updated aftermarket
+                         {iface("OBD_RADIO", "AV:N/AC:L/Au:N"),
+                          iface("CAN_BODY", "AV:A/AC:L/Au:N")},
+                         std::nullopt});
+  }
+
+  Message torque;
+  torque.name = "torque_req";
+  torque.sender = "GW";
+  torque.receivers = {"ENGINE"};
+  torque.buses = {"FR_DRIVE"};
+  torque.protection = Protection::kCmac128;
+  arch.messages.push_back(torque);
+
+  Message climate_set;
+  climate_set.name = "climate_set";
+  climate_set.sender = "TCU";
+  climate_set.receivers = {"CLIMATE"};
+  climate_set.buses = {"CAN_BODY"};
+  climate_set.protection = Protection::kUnencrypted;
+  arch.messages.push_back(climate_set);
+
+  arch.validate();
+  return arch;
+}
+
+void report(const Architecture& arch) {
+  AnalysisOptions options;
+  options.nmax = 1;  // 10+ interfaces: keep the product space comfortable
+
+  std::cout << "=== " << arch.name << " ===\n";
+  util::TextTable table({"Message", "Category", "exploitable (year 1)",
+                         "breach probability"});
+  for (const Message& message : arch.messages) {
+    for (const SecurityCategory category :
+         {SecurityCategory::kIntegrity, SecurityCategory::kAvailability}) {
+      const AnalysisResult result =
+          analyze_message(arch, message.name, category, options);
+      table.add_row({message.name, std::string(category_name(category)),
+                     util::format_percent(result.exploitable_fraction),
+                     util::format_sig(result.breach_probability, 3)});
+    }
+  }
+  std::cout << table << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const Architecture base = build_platform(false);
+  const Architecture dongled = build_platform(true);
+
+  report(base);
+  report(dongled);
+
+  // Quantify the dongle's damage on the safety-critical stream.
+  AnalysisOptions options;
+  options.nmax = 1;
+  const double before = analyze_message(base, "torque_req",
+                                        SecurityCategory::kIntegrity, options)
+                            .exploitable_fraction;
+  const double after = analyze_message(dongled, "torque_req",
+                                       SecurityCategory::kIntegrity, options)
+                           .exploitable_fraction;
+  std::printf(
+      "An always-online OBD dongle multiplies torque_req integrity exposure by "
+      "%.1fx\n(%.4f%% -> %.4f%%), despite the FlexRay drivetrain: it hands the "
+      "attacker a\nsecond, poorly patched foothold on the body CAN.\n",
+      after / before, before * 100.0, after * 100.0);
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "assess/asil.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace autosec::assess {
+
+double patch_rate(Asil level) {
+  switch (level) {
+    case Asil::kQm: return 52.0;
+    case Asil::kA: return 52.0;
+    case Asil::kB: return 26.0;
+    case Asil::kC: return 12.0;
+    case Asil::kD: return 4.0;
+  }
+  throw std::invalid_argument("corrupt Asil");
+}
+
+std::string_view asil_name(Asil level) {
+  switch (level) {
+    case Asil::kQm: return "QM";
+    case Asil::kA: return "A";
+    case Asil::kB: return "B";
+    case Asil::kC: return "C";
+    case Asil::kD: return "D";
+  }
+  return "?";
+}
+
+Asil parse_asil(std::string_view text) {
+  const std::string lowered = util::to_lower(util::trim(text));
+  if (lowered == "qm") return Asil::kQm;
+  if (lowered == "a") return Asil::kA;
+  if (lowered == "b") return Asil::kB;
+  if (lowered == "c") return Asil::kC;
+  if (lowered == "d") return Asil::kD;
+  throw std::invalid_argument("unknown ASIL level: " + std::string(text));
+}
+
+}  // namespace autosec::assess

@@ -1,0 +1,31 @@
+// ASIL-based patching rates (paper Section 3.2 / Table 2).
+//
+// The paper assigns patch rates by the safety level of the function being
+// patched: safety-critical software needs extensive re-testing, so it can be
+// patched less often. Rates are per year.
+//
+// Values used by the paper's case study (Table 2):
+//   ASIL A -> 52 (weekly, e.g. telematics unit)
+//   ASIL C -> 12 (monthly, e.g. park assist)
+//   ASIL D -> 4  (quarterly, e.g. gateway, power steering, bus guardian)
+// The paper never uses QM or ASIL B; we extend monotonically (QM = 52 like
+// the lowest safety level used, B = 26 — the geometric midpoint of its
+// neighbours rounded to a fortnightly cadence) and document the extension.
+#pragma once
+
+#include <string_view>
+
+namespace autosec::assess {
+
+enum class Asil { kQm, kA, kB, kC, kD };
+
+/// Patching rate (patches per year) for the given ASIL.
+double patch_rate(Asil level);
+
+/// "QM", "A", ... "D".
+std::string_view asil_name(Asil level);
+
+/// Parse "QM"/"A"/"B"/"C"/"D" (case-insensitive). Throws std::invalid_argument.
+Asil parse_asil(std::string_view text);
+
+}  // namespace autosec::assess

@@ -1,0 +1,133 @@
+#include "assess/cvss.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace autosec::assess {
+
+double weight(AccessVector av) {
+  switch (av) {
+    case AccessVector::kLocal: return 0.395;
+    case AccessVector::kAdjacentNetwork: return 0.646;
+    case AccessVector::kNetwork: return 1.0;
+  }
+  throw std::invalid_argument("corrupt AccessVector");
+}
+
+double weight(AccessComplexity ac) {
+  switch (ac) {
+    case AccessComplexity::kHigh: return 0.35;
+    case AccessComplexity::kMedium: return 0.61;
+    case AccessComplexity::kLow: return 0.71;
+  }
+  throw std::invalid_argument("corrupt AccessComplexity");
+}
+
+double weight(Authentication au) {
+  switch (au) {
+    case Authentication::kMultiple: return 0.45;
+    case Authentication::kSingle: return 0.56;
+    case Authentication::kNone: return 0.704;
+  }
+  throw std::invalid_argument("corrupt Authentication");
+}
+
+std::string_view code(AccessVector av) {
+  switch (av) {
+    case AccessVector::kLocal: return "L";
+    case AccessVector::kAdjacentNetwork: return "A";
+    case AccessVector::kNetwork: return "N";
+  }
+  return "?";
+}
+
+std::string_view code(AccessComplexity ac) {
+  switch (ac) {
+    case AccessComplexity::kHigh: return "H";
+    case AccessComplexity::kMedium: return "M";
+    case AccessComplexity::kLow: return "L";
+  }
+  return "?";
+}
+
+std::string_view code(Authentication au) {
+  switch (au) {
+    case Authentication::kMultiple: return "M";
+    case Authentication::kSingle: return "S";
+    case Authentication::kNone: return "N";
+  }
+  return "?";
+}
+
+double CvssVector::exploitability_score() const {
+  return 20.0 * weight(access_vector) * weight(access_complexity) *
+         weight(authentication);
+}
+
+double CvssVector::exploitability_rate() const {
+  return std::max(exploitability_score() - 1.3, 0.0);
+}
+
+std::string CvssVector::to_string() const {
+  return "AV:" + std::string(code(access_vector)) + "/AC:" +
+         std::string(code(access_complexity)) + "/Au:" +
+         std::string(code(authentication));
+}
+
+CvssVector parse_cvss_vector(std::string_view text) {
+  CvssVector out;
+  bool have_av = false;
+  bool have_ac = false;
+  bool have_au = false;
+
+  for (const std::string& raw : util::split(text, '/')) {
+    const std::string_view component = util::trim(raw);
+    if (component.empty()) continue;
+    const size_t colon = component.find(':');
+    if (colon == std::string_view::npos) {
+      throw std::invalid_argument("CVSS component without ':': " + std::string(component));
+    }
+    const std::string_view key = component.substr(0, colon);
+    const std::string_view value = component.substr(colon + 1);
+    if (value.size() != 1) {
+      throw std::invalid_argument("CVSS component value must be one letter: " +
+                                  std::string(component));
+    }
+    const char v = value[0];
+    if (key == "AV") {
+      if (v == 'L') out.access_vector = AccessVector::kLocal;
+      else if (v == 'A') out.access_vector = AccessVector::kAdjacentNetwork;
+      else if (v == 'N') out.access_vector = AccessVector::kNetwork;
+      else throw std::invalid_argument("bad AV value: " + std::string(component));
+      have_av = true;
+    } else if (key == "AC") {
+      if (v == 'H') out.access_complexity = AccessComplexity::kHigh;
+      else if (v == 'M') out.access_complexity = AccessComplexity::kMedium;
+      else if (v == 'L') out.access_complexity = AccessComplexity::kLow;
+      else throw std::invalid_argument("bad AC value: " + std::string(component));
+      have_ac = true;
+    } else if (key == "Au") {
+      if (v == 'M') out.authentication = Authentication::kMultiple;
+      else if (v == 'S') out.authentication = Authentication::kSingle;
+      else if (v == 'N') out.authentication = Authentication::kNone;
+      else throw std::invalid_argument("bad Au value: " + std::string(component));
+      have_au = true;
+    } else if (key == "C" || key == "I" || key == "A" || key == "E" || key == "RL" ||
+               key == "RC") {
+      // Impact / temporal components of a full CVSS v2 vector: ignored, the
+      // exploitation subscore does not use them.
+    } else {
+      throw std::invalid_argument("unknown CVSS component: " + std::string(component));
+    }
+  }
+
+  if (!have_av || !have_ac || !have_au) {
+    throw std::invalid_argument("CVSS vector must contain AV, AC and Au: " +
+                                std::string(text));
+  }
+  return out;
+}
+
+}  // namespace autosec::assess

@@ -1,0 +1,58 @@
+// CVSS v2 exploitability subscore, adjusted for the automotive domain exactly
+// as the paper's Table 1 prescribes, and the derived exploitability rate of
+// Section 3.2:
+//
+//   σ = 20 · AV · AC · Au          (Eq. 11)
+//   η = σ − 1.3   [exploits / year] (Eq. 12)
+//
+// Reference values reproduced from Table 1:
+//   Access Vector:      L(ocal) 0.395 | A(djacent network) 0.646 | N(etwork) 1.0
+//   Access Complexity:  H(igh)  0.35  | M(edium) 0.61  | L(ow) 0.71
+//   Authentication:     M(ultiple) 0.45 | S(ingle) 0.56 | N(one) 0.704
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace autosec::assess {
+
+enum class AccessVector { kLocal, kAdjacentNetwork, kNetwork };
+enum class AccessComplexity { kHigh, kMedium, kLow };
+enum class Authentication { kMultiple, kSingle, kNone };
+
+/// Numeric CVSS v2 weights (Table 1).
+double weight(AccessVector av);
+double weight(AccessComplexity ac);
+double weight(Authentication au);
+
+/// Table 1 letter codes ("L"/"A"/"N", "H"/"M"/"L", "M"/"S"/"N").
+std::string_view code(AccessVector av);
+std::string_view code(AccessComplexity ac);
+std::string_view code(Authentication au);
+
+struct CvssVector {
+  AccessVector access_vector = AccessVector::kLocal;
+  AccessComplexity access_complexity = AccessComplexity::kHigh;
+  Authentication authentication = Authentication::kMultiple;
+
+  /// Exploitability subscore σ = 20·AV·AC·Au (Eq. 11).
+  double exploitability_score() const;
+
+  /// Exploitability rate η = max(σ − 1.3, 0), per year (Eq. 12). The paper
+  /// does not state a floor; the clamp only matters for vectors weaker than
+  /// any it uses (σ < 1.3) where a negative rate would be meaningless.
+  double exploitability_rate() const;
+
+  /// Canonical string form "AV:A/AC:H/Au:S".
+  std::string to_string() const;
+
+  friend bool operator==(const CvssVector&, const CvssVector&) = default;
+};
+
+/// Parse a CVSS v2 vector string. Requires the AV/AC/Au components (any
+/// order); additional base-vector components (C:/I:/A:) are accepted and
+/// ignored, so full CVSS v2 base vectors from NVD can be pasted directly.
+/// Throws std::invalid_argument on malformed input.
+CvssVector parse_cvss_vector(std::string_view text);
+
+}  // namespace autosec::assess

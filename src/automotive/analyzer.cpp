@@ -1,0 +1,87 @@
+#include "automotive/analyzer.hpp"
+
+#include "symbolic/explorer.hpp"
+#include "util/stopwatch.hpp"
+
+namespace autosec::automotive {
+
+namespace {
+
+symbolic::Model build_model(const Architecture& architecture, const std::string& message,
+                            SecurityCategory category, const AnalysisOptions& options) {
+  TransformOptions transform_options;
+  transform_options.message = message;
+  transform_options.category = category;
+  transform_options.nmax = options.nmax;
+  transform_options.literal_patch_guard = options.literal_patch_guard;
+  transform_options.guardian_requires_foothold = options.guardian_requires_foothold;
+  transform_options.include_reliability = options.include_reliability;
+  return transform(architecture, transform_options);
+}
+
+}  // namespace
+
+SecurityAnalysis::SecurityAnalysis(const Architecture& architecture,
+                                   const std::string& message, SecurityCategory category,
+                                   const AnalysisOptions& options)
+    : options_(options),
+      architecture_name_(architecture.name),
+      message_(message),
+      category_(category),
+      model_([&] {
+        return build_model(architecture, message, category, options);
+      }()),
+      space_([&] {
+        util::Stopwatch watch;
+        symbolic::StateSpace explored =
+            symbolic::explore(symbolic::compile(model_, options.constant_overrides));
+        build_seconds_ = watch.elapsed_seconds();
+        return explored;
+      }()),
+      checker_(space_, options.checker) {}
+
+AnalysisResult SecurityAnalysis::result() const {
+  AnalysisResult out;
+  out.architecture = architecture_name_;
+  out.message = message_;
+  out.category = category_;
+  out.state_count = space_.state_count();
+  out.transition_count = space_.transition_count();
+  out.build_seconds = build_seconds_;
+
+  const double horizon = options_.horizon_years;
+  util::Stopwatch watch;
+  const std::string h = std::to_string(horizon);
+  out.exploitable_fraction =
+      checker_.check("R{\"exposure\"}=? [ C<=" + h + " ]") / horizon;
+  out.breach_probability = checker_.check("P=? [ F<=" + h + " \"violated\" ]");
+  out.steady_state_fraction = checker_.check("S=? [ \"violated\" ]");
+  out.mean_time_to_breach = checker_.check("R{\"time\"}=? [ F \"violated\" ]");
+  out.check_seconds = watch.elapsed_seconds();
+  return out;
+}
+
+double SecurityAnalysis::check(const std::string& property) const {
+  return checker_.check(property);
+}
+
+AnalysisResult analyze_message(const Architecture& architecture,
+                               const std::string& message, SecurityCategory category,
+                               const AnalysisOptions& options) {
+  const SecurityAnalysis analysis(architecture, message, category, options);
+  return analysis.result();
+}
+
+std::vector<AnalysisResult> analyze_architecture(
+    const Architecture& architecture, const AnalysisOptions& options,
+    const std::vector<SecurityCategory>& categories) {
+  std::vector<AnalysisResult> results;
+  for (const Message& message : architecture.messages) {
+    for (const SecurityCategory category : categories) {
+      results.push_back(analyze_message(architecture, message.name, category, options));
+    }
+  }
+  return results;
+}
+
+}  // namespace autosec::automotive

@@ -1,0 +1,327 @@
+#include "automotive/archfile.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace autosec::automotive {
+
+namespace {
+
+[[noreturn]] void fail(size_t line, const std::string& message) {
+  throw ArchFileError("line " + std::to_string(line) + ": " + message);
+}
+
+/// Whitespace-separated fields of one line, comments stripped.
+std::vector<std::string> fields_of(std::string_view line) {
+  const size_t comment = line.find('#');
+  if (comment != std::string_view::npos) line = line.substr(0, comment);
+  std::vector<std::string> fields;
+  std::istringstream stream{std::string(line)};
+  std::string field;
+  while (stream >> field) fields.push_back(field);
+  return fields;
+}
+
+/// Splits "key=value"; returns false when '=' is absent.
+bool split_option(const std::string& field, std::string& key, std::string& value) {
+  const size_t eq = field.find('=');
+  if (eq == std::string::npos) return false;
+  key = field.substr(0, eq);
+  value = field.substr(eq + 1);
+  return true;
+}
+
+double parse_rate(const std::string& text, size_t line, const std::string& what) {
+  try {
+    size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) fail(line, "malformed " + what + ": '" + text + "'");
+    if (value < 0.0) fail(line, what + " must be non-negative");
+    return value;
+  } catch (const std::invalid_argument&) {
+    fail(line, "malformed " + what + ": '" + text + "'");
+  } catch (const std::out_of_range&) {
+    fail(line, what + " out of range: '" + text + "'");
+  }
+}
+
+Protection parse_protection(const std::string& text, size_t line) {
+  const std::string lowered = util::to_lower(text);
+  if (lowered == "unencrypted" || lowered == "none") return Protection::kUnencrypted;
+  if (lowered == "cmac128" || lowered == "cmac") return Protection::kCmac128;
+  if (lowered == "aes128" || lowered == "aes") return Protection::kAes128;
+  fail(line, "unknown protection '" + text + "' (unencrypted|CMAC128|AES128)");
+}
+
+BusKind parse_bus_kind(const std::string& text, size_t line) {
+  const std::string lowered = util::to_lower(text);
+  if (lowered == "can") return BusKind::kCan;
+  if (lowered == "flexray") return BusKind::kFlexRay;
+  if (lowered == "internet") return BusKind::kInternet;
+  if (lowered == "ethernet") return BusKind::kEthernet;
+  fail(line, "unknown bus kind '" + text + "' (can|flexray|internet|ethernet)");
+}
+
+/// eta=/phi= option pairs after `guardian` / `switch` markers.
+template <typename Spec>
+Spec parse_gatekeeper(const std::vector<std::string>& fields, size_t start, size_t line,
+                      const char* what) {
+  Spec spec;
+  bool have_eta = false;
+  bool have_phi = false;
+  for (size_t i = start; i < fields.size(); ++i) {
+    std::string key, value;
+    if (!split_option(fields[i], key, value)) {
+      fail(line, std::string(what) + ": expected key=value, got '" + fields[i] + "'");
+    }
+    if (key == "eta") {
+      spec.eta = parse_rate(value, line, "eta");
+      have_eta = true;
+    } else if (key == "phi") {
+      spec.phi = parse_rate(value, line, "phi");
+      have_phi = true;
+    } else {
+      fail(line, std::string(what) + ": unknown option '" + key + "'");
+    }
+  }
+  if (!have_eta || !have_phi) {
+    fail(line, std::string(what) + " needs both eta= and phi=");
+  }
+  return spec;
+}
+
+}  // namespace
+
+Architecture parse_architecture(std::string_view text) {
+  Architecture arch;
+  Ecu* current_ecu = nullptr;
+
+  std::istringstream stream{std::string(text)};
+  std::string raw_line;
+  size_t line_number = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_number;
+    const std::vector<std::string> fields = fields_of(raw_line);
+    if (fields.empty()) continue;
+    const std::string& keyword = fields[0];
+
+    if (keyword == "architecture") {
+      // Name: everything between the first pair of quotes, or the next field.
+      const size_t open = raw_line.find('"');
+      if (open != std::string::npos) {
+        const size_t close = raw_line.find('"', open + 1);
+        if (close == std::string::npos) fail(line_number, "unterminated name");
+        arch.name = raw_line.substr(open + 1, close - open - 1);
+      } else if (fields.size() >= 2) {
+        arch.name = fields[1];
+      } else {
+        fail(line_number, "architecture needs a name");
+      }
+      continue;
+    }
+
+    if (keyword == "bus") {
+      if (fields.size() < 3) fail(line_number, "bus needs: bus <name> <kind>");
+      Bus bus;
+      bus.name = fields[1];
+      bus.kind = parse_bus_kind(fields[2], line_number);
+      if (fields.size() > 3) {
+        if (fields[3] == "guardian") {
+          if (bus.kind != BusKind::kFlexRay) {
+            fail(line_number, "guardian only applies to flexray buses");
+          }
+          bus.guardian =
+              parse_gatekeeper<GuardianSpec>(fields, 4, line_number, "guardian");
+        } else if (fields[3] == "switch") {
+          if (bus.kind != BusKind::kEthernet) {
+            fail(line_number, "switch only applies to ethernet buses");
+          }
+          bus.eth_switch =
+              parse_gatekeeper<SwitchSpec>(fields, 4, line_number, "switch");
+        } else {
+          fail(line_number, "unexpected token '" + fields[3] + "' after bus kind");
+        }
+      } else {
+        // Defaults for gatekeepers when none are given explicitly.
+        if (bus.kind == BusKind::kFlexRay) bus.guardian = GuardianSpec{};
+        if (bus.kind == BusKind::kEthernet) bus.eth_switch = SwitchSpec{};
+      }
+      arch.buses.push_back(std::move(bus));
+      current_ecu = nullptr;
+      continue;
+    }
+
+    if (keyword == "ecu") {
+      if (fields.size() < 2) fail(line_number, "ecu needs a name");
+      Ecu ecu;
+      ecu.name = fields[1];
+      bool have_phi = false;
+      for (size_t i = 2; i < fields.size(); ++i) {
+        std::string key, value;
+        if (!split_option(fields[i], key, value)) {
+          fail(line_number, "ecu: expected key=value, got '" + fields[i] + "'");
+        }
+        if (key == "phi") {
+          ecu.phi = parse_rate(value, line_number, "phi");
+          have_phi = true;
+        } else if (key == "asil") {
+          try {
+            ecu.asil = assess::parse_asil(value);
+          } catch (const std::invalid_argument& e) {
+            fail(line_number, e.what());
+          }
+          if (!have_phi) ecu.phi = assess::patch_rate(*ecu.asil);
+        } else if (key == "failure") {
+          const auto parts = util::split(value, '/');
+          if (parts.size() != 2) {
+            fail(line_number, "failure needs <rate>/<repair-rate>");
+          }
+          ecu.failure = FailureSpec{parse_rate(parts[0], line_number, "failure rate"),
+                                    parse_rate(parts[1], line_number, "repair rate")};
+        } else {
+          fail(line_number, "ecu: unknown option '" + key + "'");
+        }
+      }
+      if (!have_phi && !ecu.asil.has_value()) {
+        fail(line_number, "ecu '" + ecu.name + "' needs phi= or asil=");
+      }
+      arch.ecus.push_back(std::move(ecu));
+      current_ecu = &arch.ecus.back();
+      continue;
+    }
+
+    if (keyword == "iface") {
+      if (current_ecu == nullptr) fail(line_number, "iface outside of an ecu");
+      if (fields.size() < 2) fail(line_number, "iface needs a bus name");
+      Interface iface;
+      iface.bus = fields[1];
+      bool have_eta = false;
+      for (size_t i = 2; i < fields.size(); ++i) {
+        std::string key, value;
+        if (!split_option(fields[i], key, value)) {
+          fail(line_number, "iface: expected key=value, got '" + fields[i] + "'");
+        }
+        if (key == "eta") {
+          iface.eta = parse_rate(value, line_number, "eta");
+          have_eta = true;
+        } else if (key == "cvss") {
+          try {
+            iface.cvss = assess::parse_cvss_vector(value);
+          } catch (const std::invalid_argument& e) {
+            fail(line_number, e.what());
+          }
+          if (!have_eta) iface.eta = iface.cvss->exploitability_rate();
+        } else {
+          fail(line_number, "iface: unknown option '" + key + "'");
+        }
+      }
+      if (!have_eta && !iface.cvss.has_value()) {
+        fail(line_number, "iface needs eta= or cvss=");
+      }
+      current_ecu->interfaces.push_back(std::move(iface));
+      continue;
+    }
+
+    if (keyword == "message") {
+      if (fields.size() < 2) fail(line_number, "message needs a name");
+      Message message;
+      message.name = fields[1];
+      for (size_t i = 2; i < fields.size(); ++i) {
+        std::string key, value;
+        if (!split_option(fields[i], key, value)) {
+          fail(line_number, "message: expected key=value, got '" + fields[i] + "'");
+        }
+        if (key == "from") {
+          message.sender = value;
+        } else if (key == "to") {
+          message.receivers = util::split(value, ',');
+        } else if (key == "via") {
+          message.buses = util::split(value, ',');
+        } else if (key == "protection") {
+          message.protection = parse_protection(value, line_number);
+        } else if (key == "patch") {
+          message.patch_rate = parse_rate(value, line_number, "patch rate");
+        } else {
+          fail(line_number, "message: unknown option '" + key + "'");
+        }
+      }
+      if (message.sender.empty()) fail(line_number, "message needs from=");
+      arch.messages.push_back(std::move(message));
+      current_ecu = nullptr;
+      continue;
+    }
+
+    fail(line_number, "unknown keyword '" + keyword + "'");
+  }
+
+  arch.validate();
+  return arch;
+}
+
+std::string write_architecture(const Architecture& architecture) {
+  std::ostringstream os;
+  os << "architecture \"" << architecture.name << "\"\n\n";
+  for (const Bus& bus : architecture.buses) {
+    os << "bus " << bus.name << " "
+       << util::to_lower(std::string(bus_kind_name(bus.kind)));
+    if (bus.guardian.has_value()) {
+      os << " guardian eta=" << util::format_sig(bus.guardian->eta, 12)
+         << " phi=" << util::format_sig(bus.guardian->phi, 12);
+    }
+    if (bus.eth_switch.has_value()) {
+      os << " switch eta=" << util::format_sig(bus.eth_switch->eta, 12)
+         << " phi=" << util::format_sig(bus.eth_switch->phi, 12);
+    }
+    os << "\n";
+  }
+  os << "\n";
+  for (const Ecu& ecu : architecture.ecus) {
+    os << "ecu " << ecu.name << " phi=" << util::format_sig(ecu.phi, 12);
+    if (ecu.asil.has_value()) os << " asil=" << assess::asil_name(*ecu.asil);
+    if (ecu.failure.has_value()) {
+      os << " failure=" << util::format_sig(ecu.failure->failure_rate, 12) << "/"
+         << util::format_sig(ecu.failure->repair_rate, 12);
+    }
+    os << "\n";
+    for (const Interface& iface : ecu.interfaces) {
+      os << "  iface " << iface.bus << " eta=" << util::format_sig(iface.eta, 12);
+      if (iface.cvss.has_value()) os << " cvss=" << iface.cvss->to_string();
+      os << "\n";
+    }
+  }
+  os << "\n";
+  for (const Message& message : architecture.messages) {
+    os << "message " << message.name << " from=" << message.sender
+       << " to=" << util::join(message.receivers, ",")
+       << " via=" << util::join(message.buses, ",")
+       << " protection=" << protection_name(message.protection);
+    if (message.patch_rate != 0.0) {
+      os << " patch=" << util::format_sig(message.patch_rate, 12);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Architecture load_architecture_file(const std::string& path) {
+  std::ifstream input(path);
+  if (!input) throw ArchFileError("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << input.rdbuf();
+  try {
+    return parse_architecture(buffer.str());
+  } catch (const ArchFileError& e) {
+    throw ArchFileError(path + ": " + e.what());
+  }
+}
+
+void save_architecture_file(const Architecture& architecture, const std::string& path) {
+  std::ofstream output(path);
+  if (!output) throw ArchFileError("cannot write '" + path + "'");
+  output << write_architecture(architecture);
+}
+
+}  // namespace autosec::automotive

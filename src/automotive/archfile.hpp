@@ -1,0 +1,59 @@
+// Plain-text architecture description files (.arch) — the interchange format
+// the CLI consumes, so architectures can be authored without writing C++.
+//
+// Line-oriented, '#' comments, key=value options:
+//
+//   architecture "Park assist platform"
+//
+//   bus NET internet
+//   bus CAN1 can
+//   bus FR flexray guardian eta=0.2 phi=4
+//   bus ETH ethernet switch eta=1.2 phi=12
+//
+//   ecu 3G asil=A
+//     iface NET cvss=AV:N/AC:H/Au:M
+//     iface CAN1 cvss=AV:A/AC:L/Au:S
+//   ecu PA asil=C failure=0.5/52        # failure=<rate>/<repair-rate>
+//     iface CAN1 eta=1.2
+//   ecu PS phi=4
+//     iface CAN1 eta=1.2
+//
+//   message m from=PA to=PS via=CAN1 protection=AES128
+//
+// ECU patch rates come from `phi=` or from `asil=` (Table-2 mapping);
+// interface exploit rates from `eta=` or from `cvss=` (Eqs. 11-12). When both
+// are given the explicit number wins and the vector/level is kept as
+// provenance. Message `to=` and `via=` take comma-separated lists;
+// `protection=` is unencrypted | CMAC128 | AES128 (default unencrypted);
+// `patch=` overrides the message patch rate (default 0, per Table 2).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "automotive/architecture.hpp"
+
+namespace autosec::automotive {
+
+class ArchFileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse an architecture description. The result is validate()d before being
+/// returned. Throws ArchFileError (with a line number) on syntax problems and
+/// ArchitectureError on semantic ones.
+Architecture parse_architecture(std::string_view text);
+
+/// Serialize an architecture to the .arch format;
+/// parse_architecture(write_architecture(a)) reproduces `a`.
+std::string write_architecture(const Architecture& architecture);
+
+/// Read/parse a file from disk. Throws ArchFileError when unreadable.
+Architecture load_architecture_file(const std::string& path);
+
+/// Write a file to disk. Throws ArchFileError when unwritable.
+void save_architecture_file(const Architecture& architecture, const std::string& path);
+
+}  // namespace autosec::automotive

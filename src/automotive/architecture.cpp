@@ -1,0 +1,174 @@
+#include "automotive/architecture.hpp"
+
+#include <set>
+#include <unordered_set>
+
+namespace autosec::automotive {
+
+std::string_view bus_kind_name(BusKind kind) {
+  switch (kind) {
+    case BusKind::kCan: return "CAN";
+    case BusKind::kFlexRay: return "FlexRay";
+    case BusKind::kInternet: return "Internet";
+    case BusKind::kEthernet: return "Ethernet";
+  }
+  return "?";
+}
+
+std::string_view protection_name(Protection protection) {
+  switch (protection) {
+    case Protection::kUnencrypted: return "unencrypted";
+    case Protection::kCmac128: return "CMAC128";
+    case Protection::kAes128: return "AES128";
+  }
+  return "?";
+}
+
+std::string_view category_name(SecurityCategory category) {
+  switch (category) {
+    case SecurityCategory::kConfidentiality: return "confidentiality";
+    case SecurityCategory::kIntegrity: return "integrity";
+    case SecurityCategory::kAvailability: return "availability";
+  }
+  return "?";
+}
+
+ProtectionRates default_protection_rates(Protection protection) {
+  // Table 2 message rows: the CMAC/AES exploit rate 1.2 is the CVSS rate of
+  // vector AV:A/AC:H/Au:S (an attacker adjacent on the bus, hardened
+  // mechanism, single authentication step).
+  switch (protection) {
+    case Protection::kUnencrypted:
+      return {.integrity_eta = std::nullopt, .confidentiality_eta = std::nullopt};
+    case Protection::kCmac128:
+      return {.integrity_eta = 1.2, .confidentiality_eta = std::nullopt};
+    case Protection::kAes128:
+      return {.integrity_eta = 1.2, .confidentiality_eta = 1.2};
+  }
+  throw ArchitectureError("corrupt Protection");
+}
+
+const Interface* Ecu::find_interface(const std::string& bus) const {
+  for (const Interface& iface : interfaces) {
+    if (iface.bus == bus) return &iface;
+  }
+  return nullptr;
+}
+
+const Bus* Architecture::find_bus(const std::string& bus_name) const {
+  for (const Bus& bus : buses) {
+    if (bus.name == bus_name) return &bus;
+  }
+  return nullptr;
+}
+
+const Ecu* Architecture::find_ecu(const std::string& ecu_name) const {
+  for (const Ecu& ecu : ecus) {
+    if (ecu.name == ecu_name) return &ecu;
+  }
+  return nullptr;
+}
+
+const Message* Architecture::find_message(const std::string& message_name) const {
+  for (const Message& message : messages) {
+    if (message.name == message_name) return &message;
+  }
+  return nullptr;
+}
+
+std::vector<const Ecu*> Architecture::ecus_on_bus(const std::string& bus_name) const {
+  std::vector<const Ecu*> out;
+  for (const Ecu& ecu : ecus) {
+    if (ecu.find_interface(bus_name) != nullptr) out.push_back(&ecu);
+  }
+  return out;
+}
+
+void Architecture::validate() const {
+  auto require = [](bool condition, const std::string& message) {
+    if (!condition) throw ArchitectureError(message);
+  };
+
+  std::unordered_set<std::string> bus_names;
+  for (const Bus& bus : buses) {
+    require(!bus.name.empty(), "bus with empty name");
+    require(bus_names.insert(bus.name).second, "duplicate bus '" + bus.name + "'");
+    if (bus.kind == BusKind::kFlexRay) {
+      require(bus.guardian.has_value(),
+              "FlexRay bus '" + bus.name + "' needs a guardian spec");
+      require(bus.guardian->eta >= 0.0 && bus.guardian->phi >= 0.0,
+              "bus '" + bus.name + "': negative guardian rate");
+    } else {
+      require(!bus.guardian.has_value(),
+              "bus '" + bus.name + "' is not FlexRay but has a guardian");
+    }
+    if (bus.kind == BusKind::kEthernet) {
+      require(bus.eth_switch.has_value(),
+              "Ethernet bus '" + bus.name + "' needs a switch spec");
+      require(bus.eth_switch->eta >= 0.0 && bus.eth_switch->phi >= 0.0,
+              "bus '" + bus.name + "': negative switch rate");
+    } else {
+      require(!bus.eth_switch.has_value(),
+              "bus '" + bus.name + "' is not Ethernet but has a switch");
+    }
+  }
+
+  std::unordered_set<std::string> ecu_names;
+  for (const Ecu& ecu : ecus) {
+    require(!ecu.name.empty(), "ECU with empty name");
+    require(ecu_names.insert(ecu.name).second, "duplicate ECU '" + ecu.name + "'");
+    require(ecu.name.find(':') == std::string::npos &&
+                bus_names.find(ecu.name) == bus_names.end(),
+            "ECU '" + ecu.name + "' clashes with a bus name");
+    require(!ecu.interfaces.empty(), "ECU '" + ecu.name + "' has no interfaces");
+    require(ecu.phi >= 0.0, "ECU '" + ecu.name + "': negative patch rate");
+    if (ecu.failure.has_value()) {
+      require(ecu.failure->failure_rate >= 0.0 && ecu.failure->repair_rate >= 0.0,
+              "ECU '" + ecu.name + "': negative failure/repair rate");
+    }
+    std::set<std::string> seen_buses;
+    for (const Interface& iface : ecu.interfaces) {
+      require(find_bus(iface.bus) != nullptr,
+              "ECU '" + ecu.name + "' has an interface on unknown bus '" + iface.bus + "'");
+      require(seen_buses.insert(iface.bus).second,
+              "ECU '" + ecu.name + "' has two interfaces on bus '" + iface.bus + "'");
+      require(iface.eta >= 0.0, "ECU '" + ecu.name + "': negative interface rate");
+    }
+  }
+
+  std::unordered_set<std::string> message_names;
+  for (const Message& message : messages) {
+    require(!message.name.empty(), "message with empty name");
+    require(message_names.insert(message.name).second,
+            "duplicate message '" + message.name + "'");
+    const Ecu* sender = find_ecu(message.sender);
+    require(sender != nullptr,
+            "message '" + message.name + "': unknown sender '" + message.sender + "'");
+    require(!message.buses.empty(), "message '" + message.name + "' has no bus path");
+    for (const std::string& bus : message.buses) {
+      require(find_bus(bus) != nullptr,
+              "message '" + message.name + "': unknown bus '" + bus + "'");
+    }
+    require(sender->find_interface(message.buses.front()) != nullptr,
+            "message '" + message.name + "': sender '" + message.sender +
+                "' has no interface on first bus '" + message.buses.front() + "'");
+    require(!message.receivers.empty(), "message '" + message.name + "' has no receivers");
+    for (const std::string& receiver_name : message.receivers) {
+      const Ecu* receiver = find_ecu(receiver_name);
+      require(receiver != nullptr, "message '" + message.name + "': unknown receiver '" +
+                                       receiver_name + "'");
+      require(receiver->find_interface(message.buses.back()) != nullptr,
+              "message '" + message.name + "': receiver '" + receiver_name +
+                  "' has no interface on last bus '" + message.buses.back() + "'");
+    }
+    require(message.patch_rate >= 0.0,
+            "message '" + message.name + "': negative patch rate");
+    const ProtectionRates rates = message.rates();
+    require(!rates.integrity_eta.has_value() || *rates.integrity_eta >= 0.0,
+            "message '" + message.name + "': negative integrity eta");
+    require(!rates.confidentiality_eta.has_value() || *rates.confidentiality_eta >= 0.0,
+            "message '" + message.name + "': negative confidentiality eta");
+  }
+}
+
+}  // namespace autosec::automotive

@@ -1,0 +1,150 @@
+// System-level description of an automotive E/E architecture, following the
+// paper's terminology (Section 3.1): ECUs e = {I_e, B_e} with one interface
+// per attached bus, buses b = {E_b}, and message streams m = {s_m, R_m, B_m}.
+//
+// Each interface carries its exploit-discovery rate η (from a CVSS
+// assessment); each ECU carries its patch rate ϕ (from its ASIL level).
+// Messages carry a protection mode that fixes the η of their integrity /
+// confidentiality protection per the paper's Table 2.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "assess/asil.hpp"
+#include "assess/cvss.hpp"
+
+namespace autosec::automotive {
+
+class ArchitectureError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class BusKind {
+  kCan,       ///< shared bus; exploitable iff any attached ECU is (Eq. 4)
+  kFlexRay,   ///< time-triggered; additionally needs the bus guardian (Eq. 5)
+  kInternet,  ///< externally reachable (3G uplink); always exploitable (Eq. 6)
+  kEthernet,  ///< switched network (the paper's Section-5 future work): the
+              ///< segment is only exploitable while the switch is compromised
+};
+
+std::string_view bus_kind_name(BusKind kind);
+
+/// FlexRay bus-guardian security parameters (an interface-like submodule).
+struct GuardianSpec {
+  double eta = 0.2;  ///< Table 2: AV:L/AC:H/Au:S
+  double phi = 4.0;  ///< Table 2: ASIL D
+};
+
+/// Ethernet switch security parameters. On a switched segment, sniffing or
+/// injecting into flows one is not an endpoint of requires control of the
+/// switch; the switch itself can only be attacked from a compromised node on
+/// the segment (its exploit transition is foothold-guarded).
+struct SwitchSpec {
+  double eta = 1.2;   ///< default: hardened managed switch (AV:A/AC:H/Au:S)
+  double phi = 12.0;  ///< default: ASIL C cadence
+};
+
+/// Random-hardware/software failure behaviour of an ECU, for the combined
+/// security + reliability analysis (the paper's Section-5 future work).
+/// Rates are per year; a failed ECU stops producing/consuming its messages
+/// (availability impact) until repaired.
+struct FailureSpec {
+  double failure_rate = 0.1;  ///< ~1 failure per decade
+  double repair_rate = 52.0;  ///< ~1 week in the workshop
+};
+
+struct Bus {
+  std::string name;
+  BusKind kind = BusKind::kCan;
+  /// Present iff kind == kFlexRay.
+  std::optional<GuardianSpec> guardian;
+  /// Present iff kind == kEthernet.
+  std::optional<SwitchSpec> eth_switch;
+};
+
+/// One network interface of an ECU, attaching it to a bus.
+struct Interface {
+  std::string bus;   ///< name of the attached bus
+  double eta = 0.0;  ///< exploit discovery rate per year (CVSS-derived)
+  /// Optional provenance: the CVSS vector the rate was derived from.
+  std::optional<assess::CvssVector> cvss;
+};
+
+struct Ecu {
+  std::string name;
+  double phi = 0.0;  ///< patch rate per year (ASIL-derived)
+  /// Optional provenance: the ASIL level the rate was derived from.
+  std::optional<assess::Asil> asil;
+  std::vector<Interface> interfaces;
+  /// Random-failure behaviour for the combined security + reliability
+  /// analysis; unset means the ECU never fails.
+  std::optional<FailureSpec> failure;
+
+  const Interface* find_interface(const std::string& bus) const;
+};
+
+enum class Protection { kUnencrypted, kCmac128, kAes128 };
+std::string_view protection_name(Protection protection);
+
+enum class SecurityCategory { kConfidentiality, kIntegrity, kAvailability };
+std::string_view category_name(SecurityCategory category);
+
+/// η of the protection mechanism per category (Table 2, message rows).
+/// nullopt encodes the paper's "∞ (instant)": the protection offers nothing
+/// for that category and is bypassed without any exploit-discovery delay.
+struct ProtectionRates {
+  std::optional<double> integrity_eta;
+  std::optional<double> confidentiality_eta;
+};
+
+/// Table 2 defaults: unencrypted (∞,∞); CMAC-128 (1.2,∞); AES-128 (1.2,1.2).
+ProtectionRates default_protection_rates(Protection protection);
+
+struct Message {
+  std::string name;
+  std::string sender;                  ///< s_m
+  std::vector<std::string> receivers;  ///< R_m
+  std::vector<std::string> buses;      ///< B_m: transmission path
+  Protection protection = Protection::kUnencrypted;
+  /// Override for the protection η values; unset means Table 2 defaults.
+  std::optional<ProtectionRates> rates_override;
+  /// ϕ of the message protection. Table 2 lists no patch rate for messages
+  /// ("-"), so the default is 0: a broken cipher/key set stays broken.
+  double patch_rate = 0.0;
+
+  ProtectionRates rates() const {
+    return rates_override.value_or(default_protection_rates(protection));
+  }
+};
+
+struct Architecture {
+  std::string name;
+  std::vector<Bus> buses;
+  std::vector<Ecu> ecus;
+  std::vector<Message> messages;
+
+  const Bus* find_bus(const std::string& bus_name) const;
+  const Ecu* find_ecu(const std::string& ecu_name) const;
+  const Message* find_message(const std::string& message_name) const;
+
+  /// ECUs attached to the given bus (E_b), in declaration order.
+  std::vector<const Ecu*> ecus_on_bus(const std::string& bus_name) const;
+
+  /// Structural validation; throws ArchitectureError with a description of
+  /// the first problem found:
+  ///  * duplicate bus/ECU/message names, empty names;
+  ///  * interfaces referencing unknown buses, ECUs with no interfaces;
+  ///  * several interfaces of one ECU on the same bus;
+  ///  * FlexRay buses without guardian spec / guardians on non-FlexRay buses;
+  ///  * messages whose sender/receivers/buses are unknown, whose sender
+  ///    lacks an interface on the first bus, whose receivers lack one on the
+  ///    last bus, or with empty bus paths;
+  ///  * negative rates anywhere.
+  void validate() const;
+};
+
+}  // namespace autosec::automotive

@@ -1,0 +1,162 @@
+#include "automotive/casestudy.hpp"
+
+#include <stdexcept>
+
+#include "symbolic/builder.hpp"
+
+namespace autosec::automotive::casestudy {
+
+const std::vector<Table2Row>& table2() {
+  // η < 0 encodes the paper's "∞ (instant)".
+  static const std::vector<Table2Row> rows = {
+      {"Park Assistant (PA)", "CAN1/CAN2/FR", "AV:A/AC:H/Au:S", 1.2, "C", 12.0},
+      {"Power Steering (PS)", "CAN2", "AV:A/AC:H/Au:S", 1.2, "D", 4.0},
+      {"Gateway (GW)", "CAN1/CAN2/FR", "AV:A/AC:H/Au:S", 1.2, "D", 4.0},
+      {"Telematics (3G)", "CAN1/FR", "AV:A/AC:L/Au:S", 3.8, "A", 52.0},
+      {"Telematics (3G)", "3G", "AV:N/AC:H/Au:M", 1.9, "A", 52.0},
+      {"FlexRay Bus Guardian (BG)", "local", "AV:L/AC:H/Au:S", 0.2, "D", 4.0},
+      {"Message (m) integrity", "unencrypted", "", -1.0, "", 0.0},
+      {"Message (m) integrity", "CMAC128", "AV:A/AC:H/Au:S", 1.2, "", 0.0},
+      {"Message (m) integrity", "AES128", "AV:A/AC:H/Au:S", 1.2, "", 0.0},
+      {"Message (m) confidentiality", "unencrypted", "", -1.0, "", 0.0},
+      {"Message (m) confidentiality", "CMAC128", "", -1.0, "", 0.0},
+      {"Message (m) confidentiality", "AES128", "AV:A/AC:H/Au:S", 1.2, "", 0.0},
+  };
+  return rows;
+}
+
+namespace {
+
+using assess::Asil;
+using assess::parse_cvss_vector;
+
+Interface make_interface(const std::string& bus, double eta, const char* cvss) {
+  Interface iface;
+  iface.bus = bus;
+  iface.eta = eta;
+  iface.cvss = parse_cvss_vector(cvss);
+  return iface;
+}
+
+}  // namespace
+
+Architecture architecture(int which, Protection protection, const Rates& rates) {
+  if (which < 1 || which > 3) {
+    throw std::invalid_argument("casestudy::architecture: which must be 1..3");
+  }
+
+  Architecture arch;
+  arch.name = "Architecture " + std::to_string(which);
+
+  // The backbone bus the telematics unit sits on: CAN1 for architectures 1-2,
+  // FlexRay for architecture 3.
+  const bool flexray = (which == 3);
+  const std::string backbone = flexray ? kFlexRay : kCan1;
+
+  Bus uplink;
+  uplink.name = kUplink;
+  uplink.kind = BusKind::kInternet;
+  arch.buses.push_back(uplink);
+
+  Bus backbone_bus;
+  backbone_bus.name = backbone;
+  backbone_bus.kind = flexray ? BusKind::kFlexRay : BusKind::kCan;
+  if (flexray) backbone_bus.guardian = GuardianSpec{rates.eta_bg, rates.phi_bg};
+  arch.buses.push_back(backbone_bus);
+
+  Bus can2;
+  can2.name = kCan2;
+  can2.kind = BusKind::kCan;
+  arch.buses.push_back(can2);
+
+  Ecu telematics;
+  telematics.name = kTelematics;
+  telematics.phi = rates.phi_3g;
+  telematics.asil = Asil::kA;
+  telematics.interfaces.push_back(
+      make_interface(kUplink, rates.eta_3g_net, "AV:N/AC:H/Au:M"));
+  telematics.interfaces.push_back(
+      make_interface(backbone, rates.eta_3g_bus, "AV:A/AC:L/Au:S"));
+  arch.ecus.push_back(telematics);
+
+  Ecu gateway;
+  gateway.name = kGateway;
+  gateway.phi = rates.phi_gw;
+  gateway.asil = Asil::kD;
+  gateway.interfaces.push_back(make_interface(backbone, rates.eta_gw, "AV:A/AC:H/Au:S"));
+  gateway.interfaces.push_back(make_interface(kCan2, rates.eta_gw, "AV:A/AC:H/Au:S"));
+  arch.ecus.push_back(gateway);
+
+  Ecu park_assist;
+  park_assist.name = kParkAssist;
+  park_assist.phi = rates.phi_pa;
+  park_assist.asil = Asil::kC;
+  park_assist.interfaces.push_back(
+      make_interface(backbone, rates.eta_pa, "AV:A/AC:H/Au:S"));
+  if (which == 2) {
+    // Architecture 2: a dedicated second connection for m on CAN2.
+    park_assist.interfaces.push_back(
+        make_interface(kCan2, rates.eta_pa, "AV:A/AC:H/Au:S"));
+  }
+  arch.ecus.push_back(park_assist);
+
+  Ecu power_steering;
+  power_steering.name = kPowerSteering;
+  power_steering.phi = rates.phi_ps;
+  power_steering.asil = Asil::kD;
+  power_steering.interfaces.push_back(
+      make_interface(kCan2, rates.eta_ps, "AV:A/AC:H/Au:S"));
+  arch.ecus.push_back(power_steering);
+
+  Message m;
+  m.name = kMessage;
+  m.sender = kParkAssist;
+  m.receivers = {kPowerSteering};
+  m.protection = protection;
+  if (which == 2) {
+    m.buses = {kCan2};
+  } else {
+    m.buses = {backbone, kCan2};
+  }
+  arch.messages.push_back(m);
+
+  arch.validate();
+  return arch;
+}
+
+symbolic::Model figure3_example(double eta3g, double etamc, double phi3g,
+                                double phimc) {
+  using symbolic::Expr;
+  symbolic::ModelBuilder builder;
+  builder.constant_double("eta3g", eta3g);
+  builder.constant_double("etamc", etamc);
+  builder.constant_double("phi3g", phi3g);
+  builder.constant_double("phimc", phimc);
+
+  auto& module = builder.module("example");
+  module.variable("a", 0, 1, 0);  // telematics exploited (CAN1 follows it)
+  module.variable("c", 0, 1, 0);  // message confidentiality broken
+  const Expr a = Expr::ident("a");
+  const Expr c = Expr::ident("c");
+
+  // s0 -> s1: an exploit for the telematics unit is discovered.
+  module.command(a == Expr::literal(0), Expr::ident("eta3g"), {{"a", Expr::literal(1)}});
+  // Patching the telematics unit denies all access; the simplified example
+  // folds (0,*,1) into s0, so the message state resets too.
+  module.command(a == Expr::literal(1), Expr::ident("phi3g"),
+                 {{"a", Expr::literal(0)}, {"c", Expr::literal(0)}});
+  // s1 -> s2: the message protection falls while the bus is exploitable.
+  module.command((a == Expr::literal(1)) && (c == Expr::literal(0)),
+                 Expr::ident("etamc"), {{"c", Expr::literal(1)}});
+  // s2 -> s1: the message protection is patched.
+  module.command(c == Expr::literal(1), Expr::ident("phimc"), {{"c", Expr::literal(0)}});
+
+  builder.label("s0", (a == Expr::literal(0)) && (c == Expr::literal(0)));
+  builder.label("s1", (a == Expr::literal(1)) && (c == Expr::literal(0)));
+  builder.label("s2", (a == Expr::literal(1)) && (c == Expr::literal(1)));
+  builder.state_reward("in_s2", (a == Expr::literal(1)) && (c == Expr::literal(1)),
+                       Expr::literal(1.0));
+  return builder.build();
+}
+
+}  // namespace autosec::automotive::casestudy

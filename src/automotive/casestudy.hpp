@@ -1,0 +1,76 @@
+// The paper's case study (Section 4): the three architectures of Fig. 4 with
+// the component assessment of Table 2, plus the minimal worked example of
+// Fig. 3 / Eqs. 13-15.
+//
+// Topologies (derived from Figs. 1 & 4 and the interface column of Table 2):
+//   Architecture 1: CAN1 = {3G, GW, PA}, CAN2 = {GW, PS};
+//                   m: PA -> PS over {CAN1, CAN2} (via the gateway).
+//   Architecture 2: CAN1 = {3G, GW, PA}, CAN2 = {GW, PS, PA};
+//                   m: PA -> PS over {CAN2} only (dedicated connection, but
+//                   the PA is now exposed on two buses).
+//   Architecture 3: FR = {3G, GW, PA} with bus guardian, CAN2 = {GW, PS};
+//                   m: PA -> PS over {FR, CAN2}.
+// Every architecture additionally has the telematics uplink NET (internet
+// bus, always exploitable) attached to the 3G ECU.
+#pragma once
+
+#include "automotive/architecture.hpp"
+#include "symbolic/model.hpp"
+
+namespace autosec::automotive::casestudy {
+
+/// Table 2 assessment of one case-study module, as printed in the paper.
+struct Table2Row {
+  const char* module;
+  const char* interface;
+  const char* cvss_vector;  ///< empty for message rows with η = ∞
+  double eta;               ///< the paper's (rounded) printed value
+  const char* asil;         ///< empty where the paper prints "-"
+  double phi;               ///< 0 where the paper prints "-"
+};
+
+/// The paper's Table 2, row for row (messages: η per integrity /
+/// confidentiality variant; ∞ encoded as eta < 0).
+const std::vector<Table2Row>& table2();
+
+/// Exploitation / patching rates used by the case study (Table 2 values).
+struct Rates {
+  // ECU interface exploit-discovery rates (per year).
+  double eta_pa = 1.2;       ///< park assist, CAN/FR iface  (AV:A/AC:H/Au:S)
+  double eta_ps = 1.2;       ///< power steering, CAN2       (AV:A/AC:H/Au:S)
+  double eta_gw = 1.2;       ///< gateway, CAN/FR ifaces     (AV:A/AC:H/Au:S)
+  double eta_3g_bus = 3.8;   ///< telematics, CAN/FR iface   (AV:A/AC:L/Au:S)
+  double eta_3g_net = 1.9;   ///< telematics, 3G uplink      (AV:N/AC:H/Au:M)
+  double eta_bg = 0.2;       ///< FlexRay bus guardian       (AV:L/AC:H/Au:S)
+  // ECU patch rates (per year, from ASIL).
+  double phi_pa = 12.0;  ///< ASIL C
+  double phi_ps = 4.0;   ///< ASIL D
+  double phi_gw = 4.0;   ///< ASIL D
+  double phi_3g = 52.0;  ///< ASIL A
+  double phi_bg = 4.0;   ///< ASIL D
+};
+
+/// Build architecture 1, 2 or 3 (Fig. 4) with the message stream m protected
+/// by `protection`. `which` must be 1..3.
+Architecture architecture(int which, Protection protection, const Rates& rates = {});
+
+/// Canonical component names used in the case study.
+inline constexpr const char* kParkAssist = "PA";
+inline constexpr const char* kPowerSteering = "PS";
+inline constexpr const char* kGateway = "GW";
+inline constexpr const char* kTelematics = "3G";
+inline constexpr const char* kMessage = "m";
+inline constexpr const char* kCan1 = "CAN1";
+inline constexpr const char* kCan2 = "CAN2";
+inline constexpr const char* kFlexRay = "FR";
+inline constexpr const char* kUplink = "NET";
+
+/// The simplified 3-state worked example of Fig. 3 / Eqs. 13-15 as a
+/// symbolic CTMC: states s0=(0,0,0), s1=(1,1,0), s2=(1,1,1) over variables
+/// (s3g, smc), with exploitation rates eta3g/etamc and patch rates
+/// phi3g/phimc (all exposed as constants for overrides). Labels: "s0", "s1",
+/// "s2"; rewards "in_s2" (1 while in s2).
+symbolic::Model figure3_example(double eta3g = 2.0, double etamc = 2.0,
+                                double phi3g = 52.0, double phimc = 52.0);
+
+}  // namespace autosec::automotive::casestudy

@@ -1,0 +1,376 @@
+#include "automotive/transform.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "symbolic/builder.hpp"
+
+namespace autosec::automotive {
+
+using symbolic::Expr;
+
+std::string sanitize_identifier(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      out += '_';
+    }
+  }
+  // Callers always attach a prefix ("x_", "eta_", "ecu_", ...), so a leading
+  // digit is fine; only a fully empty result needs a placeholder.
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string interface_variable_name(const std::string& ecu, const std::string& bus) {
+  return "x_" + sanitize_identifier(ecu) + "_" + sanitize_identifier(bus);
+}
+
+std::string guardian_variable_name(const std::string& bus) {
+  return "x_bg_" + sanitize_identifier(bus);
+}
+
+std::string message_variable_name(const std::string& message) {
+  return "x_msg_" + sanitize_identifier(message);
+}
+
+std::string interface_eta_constant(const std::string& ecu, const std::string& bus) {
+  return "eta_" + sanitize_identifier(ecu) + "_" + sanitize_identifier(bus);
+}
+
+std::string ecu_phi_constant(const std::string& ecu) {
+  return "phi_" + sanitize_identifier(ecu);
+}
+
+std::string guardian_eta_constant(const std::string& bus) {
+  return "eta_bg_" + sanitize_identifier(bus);
+}
+
+std::string guardian_phi_constant(const std::string& bus) {
+  return "phi_bg_" + sanitize_identifier(bus);
+}
+
+std::string switch_variable_name(const std::string& bus) {
+  return "x_sw_" + sanitize_identifier(bus);
+}
+
+std::string switch_eta_constant(const std::string& bus) {
+  return "eta_sw_" + sanitize_identifier(bus);
+}
+
+std::string switch_phi_constant(const std::string& bus) {
+  return "phi_sw_" + sanitize_identifier(bus);
+}
+
+std::string failure_variable_name(const std::string& ecu) {
+  return "f_" + sanitize_identifier(ecu);
+}
+
+std::string failure_rate_constant(const std::string& ecu) {
+  return "fail_" + sanitize_identifier(ecu);
+}
+
+std::string repair_rate_constant(const std::string& ecu) {
+  return "repair_" + sanitize_identifier(ecu);
+}
+
+std::string ecu_formula_name(const std::string& ecu) {
+  return "ecu_" + sanitize_identifier(ecu);
+}
+
+std::string bus_formula_name(const std::string& bus) {
+  return "bus_" + sanitize_identifier(bus);
+}
+
+namespace {
+
+/// Ensures sanitization did not collide two distinct architecture names.
+class NameChecker {
+ public:
+  void claim(const std::string& generated, const std::string& source) {
+    const auto [it, inserted] = claimed_.try_emplace(generated, source);
+    if (!inserted && it->second != source) {
+      throw ArchitectureError("generated name collision: '" + it->second + "' and '" +
+                              source + "' both map to '" + generated + "'");
+    }
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> claimed_;
+};
+
+}  // namespace
+
+symbolic::Model transform(const Architecture& architecture,
+                          const TransformOptions& options) {
+  architecture.validate();
+  if (options.nmax < 1) throw ArchitectureError("transform: nmax must be >= 1");
+  const Message* message = architecture.find_message(options.message);
+  if (message == nullptr) {
+    throw ArchitectureError("transform: unknown message '" + options.message + "'");
+  }
+
+  NameChecker names;
+  symbolic::ModelBuilder builder;
+  builder.constant_int("nmax", options.nmax);
+  const Expr nmax = Expr::ident("nmax");
+
+  // --- constants for every interface / ECU / guardian rate.
+  for (const Ecu& ecu : architecture.ecus) {
+    names.claim(ecu_phi_constant(ecu.name), "ecu " + ecu.name);
+    builder.constant_double(ecu_phi_constant(ecu.name), ecu.phi);
+    for (const Interface& iface : ecu.interfaces) {
+      names.claim(interface_eta_constant(ecu.name, iface.bus),
+                  "interface " + ecu.name + "/" + iface.bus);
+      builder.constant_double(interface_eta_constant(ecu.name, iface.bus), iface.eta);
+    }
+  }
+  for (const Bus& bus : architecture.buses) {
+    if (bus.kind == BusKind::kFlexRay) {
+      names.claim(guardian_eta_constant(bus.name), "guardian " + bus.name);
+      builder.constant_double(guardian_eta_constant(bus.name), bus.guardian->eta);
+      builder.constant_double(guardian_phi_constant(bus.name), bus.guardian->phi);
+    } else if (bus.kind == BusKind::kEthernet) {
+      names.claim(switch_eta_constant(bus.name), "switch " + bus.name);
+      builder.constant_double(switch_eta_constant(bus.name), bus.eth_switch->eta);
+      builder.constant_double(switch_phi_constant(bus.name), bus.eth_switch->phi);
+    }
+  }
+
+  // --- ε(e) formulas (Eq. 3). Declared before bus formulas that use them.
+  for (const Ecu& ecu : architecture.ecus) {
+    std::vector<Expr> terms;
+    for (const Interface& iface : ecu.interfaces) {
+      terms.push_back(Expr::ident(interface_variable_name(ecu.name, iface.bus)) >
+                      Expr::literal(0));
+    }
+    names.claim(ecu_formula_name(ecu.name), "ecu " + ecu.name);
+    builder.formula(ecu_formula_name(ecu.name), symbolic::any_of(terms));
+  }
+
+  // --- ε(b) formulas (Eqs. 4-6).
+  for (const Bus& bus : architecture.buses) {
+    names.claim(bus_formula_name(bus.name), "bus " + bus.name);
+    if (bus.kind == BusKind::kInternet) {
+      builder.formula(bus_formula_name(bus.name), Expr::literal(true));
+      continue;
+    }
+    if (bus.kind == BusKind::kEthernet) {
+      // Switched segment: only a compromised switch exposes traffic between
+      // other nodes (flow endpoints are covered separately by Eq. 8).
+      builder.formula(bus_formula_name(bus.name),
+                      Expr::ident(switch_variable_name(bus.name)) > Expr::literal(0));
+      continue;
+    }
+    std::vector<Expr> ecu_terms;
+    for (const Ecu* ecu : architecture.ecus_on_bus(bus.name)) {
+      ecu_terms.push_back(Expr::ident(ecu_formula_name(ecu->name)));
+    }
+    Expr exploitable = symbolic::any_of(ecu_terms);
+    if (bus.kind == BusKind::kFlexRay) {
+      exploitable = std::move(exploitable) &&
+                    (Expr::ident(guardian_variable_name(bus.name)) > Expr::literal(0));
+    }
+    builder.formula(bus_formula_name(bus.name), std::move(exploitable));
+  }
+
+  // --- interface modules (Eqs. 1-2): one module per interface, holding the
+  // exploit-count variable and its discovery/patch commands.
+  for (const Ecu& ecu : architecture.ecus) {
+    for (const Interface& iface : ecu.interfaces) {
+      const std::string var = interface_variable_name(ecu.name, iface.bus);
+      names.claim(var, "interface " + ecu.name + "/" + iface.bus);
+      auto& module = builder.module("iface_" + sanitize_identifier(ecu.name) + "_" +
+                                    sanitize_identifier(iface.bus));
+      module.variable(var, Expr::literal(0), nmax, Expr::literal(0));
+      const Expr x = Expr::ident(var);
+      const Expr bus_up = Expr::ident(bus_formula_name(iface.bus));
+
+      // Eq. (1): discovery while the attached bus is exploitable.
+      module.command((x < nmax) && bus_up,
+                     Expr::ident(interface_eta_constant(ecu.name, iface.bus)),
+                     {{var, x + Expr::literal(1)}});
+      // Eq. (2): patching (unconditional unless the literal-guard ablation).
+      Expr patch_guard = x > Expr::literal(0);
+      if (options.literal_patch_guard) patch_guard = std::move(patch_guard) && bus_up;
+      module.command(std::move(patch_guard), Expr::ident(ecu_phi_constant(ecu.name)),
+                     {{var, x - Expr::literal(1)}});
+    }
+  }
+
+  // --- FlexRay bus guardians: interface-like modules (Eq. 5's ε(i_bg)).
+  for (const Bus& bus : architecture.buses) {
+    if (bus.kind != BusKind::kFlexRay) continue;
+    const std::string var = guardian_variable_name(bus.name);
+    names.claim(var, "guardian " + bus.name);
+    auto& module = builder.module("guardian_" + sanitize_identifier(bus.name));
+    module.variable(var, Expr::literal(0), nmax, Expr::literal(0));
+    const Expr x = Expr::ident(var);
+
+    Expr foothold = Expr::literal(true);
+    if (options.guardian_requires_foothold) {
+      std::vector<Expr> ecu_terms;
+      for (const Ecu* ecu : architecture.ecus_on_bus(bus.name)) {
+        ecu_terms.push_back(Expr::ident(ecu_formula_name(ecu->name)));
+      }
+      foothold = symbolic::any_of(ecu_terms);
+    }
+    module.command((x < nmax) && std::move(foothold),
+                   Expr::ident(guardian_eta_constant(bus.name)),
+                   {{var, x + Expr::literal(1)}});
+    module.command(x > Expr::literal(0), Expr::ident(guardian_phi_constant(bus.name)),
+                   {{var, x - Expr::literal(1)}});
+  }
+
+  // --- Ethernet switches: like guardians, but the segment formula is the
+  // switch state itself and the exploit is always foothold-guarded (the
+  // switch can only be attacked from a node on its segment).
+  for (const Bus& bus : architecture.buses) {
+    if (bus.kind != BusKind::kEthernet) continue;
+    const std::string var = switch_variable_name(bus.name);
+    names.claim(var, "switch " + bus.name);
+    auto& module = builder.module("switch_" + sanitize_identifier(bus.name));
+    module.variable(var, Expr::literal(0), nmax, Expr::literal(0));
+    const Expr x = Expr::ident(var);
+    std::vector<Expr> ecu_terms;
+    for (const Ecu* ecu : architecture.ecus_on_bus(bus.name)) {
+      ecu_terms.push_back(Expr::ident(ecu_formula_name(ecu->name)));
+    }
+    module.command((x < nmax) && symbolic::any_of(ecu_terms),
+                   Expr::ident(switch_eta_constant(bus.name)),
+                   {{var, x + Expr::literal(1)}});
+    module.command(x > Expr::literal(0), Expr::ident(switch_phi_constant(bus.name)),
+                   {{var, x - Expr::literal(1)}});
+  }
+
+  // --- the analyzed message (Eqs. 7-10).
+  std::vector<Expr> path_terms;
+  for (const std::string& bus : message->buses) {
+    path_terms.push_back(Expr::ident(bus_formula_name(bus)));
+  }
+  const Expr any_path_bus = symbolic::any_of(path_terms);
+
+  std::vector<Expr> endpoint_terms;
+  endpoint_terms.push_back(Expr::ident(ecu_formula_name(message->sender)));
+  for (const std::string& receiver : message->receivers) {
+    endpoint_terms.push_back(Expr::ident(ecu_formula_name(receiver)));
+  }
+  const Expr endpoints = symbolic::any_of(endpoint_terms);
+
+  Expr attack_violated;
+  bool message_has_variable = false;
+  if (options.category == SecurityCategory::kAvailability) {
+    // Eq. (7): availability depends on the transmission buses only.
+    attack_violated = any_path_bus;
+  } else {
+    const ProtectionRates rates = message->rates();
+    const std::optional<double> eta =
+        options.category == SecurityCategory::kConfidentiality
+            ? rates.confidentiality_eta
+            : rates.integrity_eta;
+    if (!eta.has_value()) {
+      // "∞ (instant)": the protection is void for this category; any
+      // exploitable path bus exposes the message immediately.
+      attack_violated = endpoints || any_path_bus;
+    } else {
+      builder.constant_double(kMessageEtaConstant, *eta);
+      builder.constant_double(kMessagePhiConstant, message->patch_rate);
+      const std::string var = message_variable_name(message->name);
+      names.claim(var, "message " + message->name);
+      auto& module = builder.module("msg_" + sanitize_identifier(message->name));
+      module.variable(var, 0, 1, 0);
+      const Expr x = Expr::ident(var);
+      // Eq. (9): the protection is broken while some path bus is exploitable.
+      module.command((x == Expr::literal(0)) && any_path_bus,
+                     Expr::ident(kMessageEtaConstant), {{var, Expr::literal(1)}});
+      // Eq. (10): patching the protection (rate 0 by default — disabled).
+      Expr patch_guard = x == Expr::literal(1);
+      if (options.literal_patch_guard) patch_guard = std::move(patch_guard) && any_path_bus;
+      module.command(std::move(patch_guard), Expr::ident(kMessagePhiConstant),
+                     {{var, Expr::literal(0)}});
+      // Eq. (8) ∨ broken protection.
+      attack_violated = endpoints || (x == Expr::literal(1));
+      message_has_variable = true;
+    }
+  }
+
+  // --- reliability (Section 5 future work): random failures of the message
+  // endpoints make it unavailable until repaired. Only generated when it can
+  // matter — availability analyses of ECUs with failure specs.
+  Expr failure_violated = Expr::literal(false);
+  if (options.category == SecurityCategory::kAvailability &&
+      options.include_reliability) {
+    std::vector<std::string> endpoints_list{message->sender};
+    for (const std::string& receiver : message->receivers) {
+      if (std::find(endpoints_list.begin(), endpoints_list.end(), receiver) ==
+          endpoints_list.end()) {
+        endpoints_list.push_back(receiver);
+      }
+    }
+    std::vector<Expr> failed_terms;
+    for (const std::string& ecu_name : endpoints_list) {
+      const Ecu* ecu = architecture.find_ecu(ecu_name);
+      if (!ecu->failure.has_value()) continue;
+      const std::string var = failure_variable_name(ecu->name);
+      names.claim(var, "failure " + ecu->name);
+      builder.constant_double(failure_rate_constant(ecu->name),
+                              ecu->failure->failure_rate);
+      builder.constant_double(repair_rate_constant(ecu->name),
+                              ecu->failure->repair_rate);
+      auto& module = builder.module("fail_" + sanitize_identifier(ecu->name));
+      module.variable(var, 0, 1, 0);
+      const Expr f = Expr::ident(var);
+      module.command(f == Expr::literal(0), Expr::ident(failure_rate_constant(ecu->name)),
+                     {{var, Expr::literal(1)}});
+      module.command(f == Expr::literal(1), Expr::ident(repair_rate_constant(ecu->name)),
+                     {{var, Expr::literal(0)}});
+      builder.label("ecu_" + sanitize_identifier(ecu->name) + "_failed",
+                    f == Expr::literal(1));
+      failed_terms.push_back(f == Expr::literal(1));
+    }
+    failure_violated = symbolic::any_of(failed_terms);
+  }
+
+  const Expr violated = attack_violated || failure_violated;
+  builder.label(kViolatedLabel, violated);
+  builder.label(kViolatedAttackLabel, attack_violated);
+  builder.label(kViolatedFailureLabel, failure_violated);
+  for (const Ecu& ecu : architecture.ecus) {
+    builder.label("ecu_" + sanitize_identifier(ecu.name) + "_exploited",
+                  Expr::ident(ecu_formula_name(ecu.name)));
+  }
+  for (const Bus& bus : architecture.buses) {
+    builder.label("bus_" + sanitize_identifier(bus.name) + "_exploitable",
+                  Expr::ident(bus_formula_name(bus.name)));
+    if (bus.kind == BusKind::kFlexRay) {
+      builder.label("guardian_" + sanitize_identifier(bus.name) + "_exploited",
+                    Expr::ident(guardian_variable_name(bus.name)) > Expr::literal(0));
+    }
+    if (bus.kind == BusKind::kEthernet) {
+      builder.label("switch_" + sanitize_identifier(bus.name) + "_exploited",
+                    Expr::ident(switch_variable_name(bus.name)) > Expr::literal(0));
+    }
+  }
+  // Label for the analyzed message's protection state (false when the
+  // category has no protection variable).
+  builder.label("protection_broken",
+                message_has_variable
+                    ? (Expr::ident(message_variable_name(message->name)) ==
+                       Expr::literal(1))
+                    : Expr::literal(false));
+  builder.state_reward(kExposureReward, violated, Expr::literal(1.0));
+  builder.state_reward(kExposureAttackReward, attack_violated, Expr::literal(1.0));
+  builder.state_reward(kExposureFailureReward, failure_violated, Expr::literal(1.0));
+  // Elapsed-time reward: R{"time"}=?[F "violated"] is the mean time to the
+  // first breach.
+  builder.state_reward(kTimeReward, Expr::literal(true), Expr::literal(1.0));
+
+  return builder.build();
+}
+
+}  // namespace autosec::automotive

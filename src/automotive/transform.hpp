@@ -1,0 +1,104 @@
+// Transformation of an automotive architecture into a symbolic CTMC model,
+// implementing the paper's Section 3.1 rules:
+//
+//   Eq. (1)  interface exploit:  x_i < nmax ∧ ε(bus(i))  --η_i-->  x_i+1
+//   Eq. (2)  interface patch:    x_i > 0                 --ϕ_e-->  x_i−1
+//            (the paper's literal guard ε(bus(i)) on patching is available
+//             behind TransformOptions::literal_patch_guard for the ablation
+//             bench; see DESIGN.md §5.2)
+//   Eq. (3)  ε(e)    = ⋁_{i∈I_e} x_i > 0                  (formula ecu_<e>)
+//   Eq. (4)  ε(b_c)  = ⋁_{e∈E_b} ε(e)                     (formula bus_<b>)
+//   Eq. (5)  ε(b_f)  = (⋁_{e∈E_b} ε(e)) ∧ x_bg > 0
+//   Eq. (6)  ε(b_3G) = true
+//   Eq. (7)  availability violation = ⋁_{b∈B_m} ε(b)      (label "violated")
+//   Eq. (8)  endpoint compromise    = ⋁_{e∈{s_m}∪R_m} ε(e)
+//   Eq. (9)  protection break:  x_m = 0 ∧ ⋁_{b∈B_m} ε(b) --η_m--> x_m = 1
+//   Eq. (10) protection patch:  x_m = 1                  --ϕ_m--> x_m = 0
+//
+// All rates are emitted as named `const double` declarations so parameter
+// sweeps (the paper's Fig. 6) re-compile the same model with overridden
+// constants, exactly like PRISM's -const switch.
+#pragma once
+
+#include <string>
+
+#include "automotive/architecture.hpp"
+#include "symbolic/model.hpp"
+
+namespace autosec::automotive {
+
+struct TransformOptions {
+  /// The message stream to analyze (must exist in the architecture).
+  std::string message;
+  SecurityCategory category = SecurityCategory::kConfidentiality;
+  /// Maximum number of parallel exploits tracked per module (the paper's
+  /// nmax; its experiments use 2).
+  int nmax = 1;
+  /// Ablation: apply the paper's literal Eq. (2) guard (patching an interface
+  /// requires its bus to still be exploitable) instead of the corrected
+  /// unconditional patching. Applies to interface and message patching; the
+  /// FlexRay guardian always patches unconditionally (a literal guard there
+  /// would deadlock its own bus formula).
+  bool literal_patch_guard = false;
+  /// Include random ECU failures (Ecu::failure) in the availability analysis:
+  /// a failed sender/receiver makes the message unavailable until repaired.
+  /// Failure modules are only generated for the analyzed message's endpoints
+  /// and only for the availability category (they cannot affect
+  /// confidentiality/integrity). This is the paper's Section-5 "combination
+  /// of security and reliability analysis" future work.
+  bool include_reliability = true;
+  /// When true, the bus guardian's exploit transition requires a foothold —
+  /// some ECU on its bus already exploited (a stricter reading of its AV:L
+  /// "local" access vector). Default false: the guardian is an independently
+  /// assessed module exploited at its CVSS rate, like the paper's Table 2
+  /// treats it; the foothold variant is kept as an ablation (and reproduces
+  /// far lower Architecture-3 exposures than the paper's Fig. 5).
+  bool guardian_requires_foothold = false;
+};
+
+/// Names of generated symbols, for constant overrides and custom properties.
+/// All architecture names are sanitized to lower-case [a-z0-9_].
+std::string sanitize_identifier(const std::string& name);
+std::string interface_variable_name(const std::string& ecu, const std::string& bus);
+std::string guardian_variable_name(const std::string& bus);
+std::string message_variable_name(const std::string& message);
+std::string interface_eta_constant(const std::string& ecu, const std::string& bus);
+std::string ecu_phi_constant(const std::string& ecu);
+std::string guardian_eta_constant(const std::string& bus);
+std::string guardian_phi_constant(const std::string& bus);
+std::string switch_variable_name(const std::string& bus);
+std::string switch_eta_constant(const std::string& bus);
+std::string switch_phi_constant(const std::string& bus);
+std::string failure_variable_name(const std::string& ecu);
+std::string failure_rate_constant(const std::string& ecu);
+std::string repair_rate_constant(const std::string& ecu);
+std::string ecu_formula_name(const std::string& ecu);
+std::string bus_formula_name(const std::string& bus);
+
+/// Name of the generated violation label and exposure reward structure.
+/// "violated" is the union of the attack and failure terms; the *_attack and
+/// *_failure variants decompose it (failure terms are only non-trivial for
+/// availability analyses of architectures with Ecu::failure specs).
+inline constexpr const char* kViolatedLabel = "violated";
+inline constexpr const char* kViolatedAttackLabel = "violated_attack";
+inline constexpr const char* kViolatedFailureLabel = "violated_failure";
+inline constexpr const char* kExposureReward = "exposure";
+inline constexpr const char* kExposureAttackReward = "exposure_attack";
+inline constexpr const char* kExposureFailureReward = "exposure_failure";
+/// Constant-1 reward ("elapsed time"): R{"time"}=?[F "violated"] gives the
+/// mean time to first breach.
+inline constexpr const char* kTimeReward = "time";
+/// Constants controlling the message protection (when its η is finite).
+inline constexpr const char* kMessageEtaConstant = "eta_msg";
+inline constexpr const char* kMessagePhiConstant = "phi_msg";
+
+/// Build the symbolic CTMC for one (message, category) analysis. The
+/// architecture is validated first. Labels emitted:
+///   "violated"                   the category's violation states
+///   "ecu_<name>_exploited"       ε(e) per ECU
+///   "bus_<name>_exploitable"     ε(b) per bus
+/// Reward structures: "exposure" (rate 1 while violated).
+symbolic::Model transform(const Architecture& architecture,
+                          const TransformOptions& options);
+
+}  // namespace autosec::automotive

@@ -1,0 +1,543 @@
+#include "cli/cli.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "assess/asil.hpp"
+#include "assess/cvss.hpp"
+#include "automotive/analyzer.hpp"
+#include "automotive/archfile.hpp"
+#include "automotive/diagnostics.hpp"
+#include "automotive/transform.hpp"
+#include "csl/property_parser.hpp"
+#include "ctmc/simulation.hpp"
+#include "symbolic/dot.hpp"
+#include "symbolic/writer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace autosec::cli {
+
+namespace {
+
+using automotive::Architecture;
+using automotive::SecurityCategory;
+
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Flag/value cursor over the argument list.
+class Args {
+ public:
+  explicit Args(std::vector<std::string> args) : args_(std::move(args)) {}
+
+  bool empty() const { return position_ >= args_.size(); }
+  std::string next(const std::string& what) {
+    if (empty()) throw UsageError("missing " + what);
+    return args_[position_++];
+  }
+  std::optional<std::string> try_next() {
+    if (empty()) return std::nullopt;
+    return args_[position_++];
+  }
+
+ private:
+  std::vector<std::string> args_;
+  size_t position_ = 0;
+};
+
+double parse_double(const std::string& text, const std::string& what) {
+  try {
+    size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) throw UsageError("malformed " + what + ": " + text);
+    return value;
+  } catch (const std::logic_error&) {
+    throw UsageError("malformed " + what + ": " + text);
+  }
+}
+
+int parse_int(const std::string& text, const std::string& what) {
+  try {
+    size_t consumed = 0;
+    const int value = std::stoi(text, &consumed);
+    if (consumed != text.size()) throw UsageError("malformed " + what + ": " + text);
+    return value;
+  } catch (const std::logic_error&) {
+    throw UsageError("malformed " + what + ": " + text);
+  }
+}
+
+std::vector<SecurityCategory> parse_categories(const std::string& text) {
+  const std::string lowered = util::to_lower(text);
+  if (lowered == "all") {
+    return {SecurityCategory::kConfidentiality, SecurityCategory::kIntegrity,
+            SecurityCategory::kAvailability};
+  }
+  if (util::starts_with(lowered, "conf")) return {SecurityCategory::kConfidentiality};
+  if (util::starts_with(lowered, "int")) return {SecurityCategory::kIntegrity};
+  if (util::starts_with(lowered, "avail")) return {SecurityCategory::kAvailability};
+  throw UsageError("unknown category '" + text +
+                   "' (confidentiality|integrity|availability|all)");
+}
+
+/// Shared options of the model-building commands.
+struct ModelOptions {
+  std::string file;
+  std::string message;  // empty = all messages (where allowed)
+  std::vector<SecurityCategory> categories = {SecurityCategory::kConfidentiality,
+                                              SecurityCategory::kIntegrity,
+                                              SecurityCategory::kAvailability};
+  automotive::AnalysisOptions analysis;
+  std::string property;
+  std::string props_file;  ///< file with one property per line, '#' comments
+  std::string output;
+  // sweep
+  std::string constant;
+  double from = 0.0;
+  double to = 0.0;
+  int points = 15;
+  bool logarithmic = true;
+  // simulate
+  size_t samples = 10000;
+  uint64_t seed = 1;
+  // output format
+  bool csv = false;
+};
+
+ModelOptions parse_model_options(Args& args) {
+  ModelOptions options;
+  options.file = args.next("architecture file");
+  while (auto flag = args.try_next()) {
+    if (*flag == "--message") {
+      options.message = args.next("--message value");
+    } else if (*flag == "--category") {
+      options.categories = parse_categories(args.next("--category value"));
+    } else if (*flag == "--nmax") {
+      options.analysis.nmax = parse_int(args.next("--nmax value"), "--nmax");
+      if (options.analysis.nmax < 1) throw UsageError("--nmax must be >= 1");
+    } else if (*flag == "--horizon") {
+      options.analysis.horizon_years =
+          parse_double(args.next("--horizon value"), "--horizon");
+      if (!(options.analysis.horizon_years > 0.0)) {
+        throw UsageError("--horizon must be > 0");
+      }
+    } else if (*flag == "--set") {
+      const std::string assignment = args.next("--set value");
+      const size_t eq = assignment.find('=');
+      if (eq == std::string::npos) throw UsageError("--set needs NAME=VALUE");
+      options.analysis.constant_overrides.emplace_back(
+          assignment.substr(0, eq),
+          symbolic::Value::of(parse_double(assignment.substr(eq + 1), "--set value")));
+    } else if (*flag == "--literal-patch-guard") {
+      options.analysis.literal_patch_guard = true;
+    } else if (*flag == "--no-reliability") {
+      options.analysis.include_reliability = false;
+    } else if (*flag == "--property") {
+      options.property = args.next("--property value");
+    } else if (*flag == "--props") {
+      options.props_file = args.next("--props value");
+    } else if (*flag == "-o" || *flag == "--output") {
+      options.output = args.next("output path");
+    } else if (*flag == "--constant") {
+      options.constant = args.next("--constant value");
+    } else if (*flag == "--from") {
+      options.from = parse_double(args.next("--from value"), "--from");
+    } else if (*flag == "--to") {
+      options.to = parse_double(args.next("--to value"), "--to");
+    } else if (*flag == "--points") {
+      options.points = parse_int(args.next("--points value"), "--points");
+      if (options.points < 2) throw UsageError("--points must be >= 2");
+    } else if (*flag == "--linear") {
+      options.logarithmic = false;
+    } else if (*flag == "--samples") {
+      options.samples = static_cast<size_t>(
+          parse_int(args.next("--samples value"), "--samples"));
+    } else if (*flag == "--seed") {
+      options.seed =
+          static_cast<uint64_t>(parse_int(args.next("--seed value"), "--seed"));
+    } else if (*flag == "--csv") {
+      options.csv = true;
+    } else {
+      throw UsageError("unknown option '" + *flag + "'");
+    }
+  }
+  return options;
+}
+
+std::vector<std::string> selected_messages(const Architecture& arch,
+                                           const ModelOptions& options) {
+  if (!options.message.empty()) {
+    if (arch.find_message(options.message) == nullptr) {
+      throw UsageError("no message '" + options.message + "' in " + options.file);
+    }
+    return {options.message};
+  }
+  std::vector<std::string> names;
+  for (const auto& message : arch.messages) names.push_back(message.name);
+  return names;
+}
+
+int command_analyze(Args& args, std::ostream& out) {
+  const ModelOptions options = parse_model_options(args);
+  const Architecture arch = automotive::load_architecture_file(options.file);
+
+  util::TextTable table({"Message", "Category", "exploitable time", "breach prob.",
+                         "long-run share", "mean time to breach", "states"});
+  for (const std::string& message : selected_messages(arch, options)) {
+    for (const SecurityCategory category : options.categories) {
+      const automotive::AnalysisResult result =
+          automotive::analyze_message(arch, message, category, options.analysis);
+      table.add_row({message, std::string(category_name(category)),
+                     util::format_percent(result.exploitable_fraction),
+                     util::format_sig(result.breach_probability, 3),
+                     util::format_percent(result.steady_state_fraction),
+                     std::isfinite(result.mean_time_to_breach)
+                         ? util::format_sig(result.mean_time_to_breach, 3) + " y"
+                         : "inf",
+                     std::to_string(result.state_count)});
+    }
+  }
+  if (options.csv) {
+    out << table.to_csv();
+  } else {
+    out << "architecture: " << arch.name << "  (horizon "
+        << util::format_sig(options.analysis.horizon_years, 4) << " years, nmax "
+        << options.analysis.nmax << ")\n\n"
+        << table;
+  }
+  return 0;
+}
+
+int command_check(Args& args, std::ostream& out) {
+  const ModelOptions options = parse_model_options(args);
+  if (options.property.empty() && options.props_file.empty()) {
+    throw UsageError("check needs --property or --props");
+  }
+  if (options.message.empty()) throw UsageError("check needs --message");
+  const Architecture arch = automotive::load_architecture_file(options.file);
+
+  const automotive::SecurityAnalysis analysis(arch, options.message,
+                                              options.categories.front(),
+                                              options.analysis);
+
+  // Single property: terse output, exit code reflects bounded verdicts.
+  if (!options.property.empty()) {
+    const csl::Property property = csl::parse_property(options.property);
+    if (property.is_query()) {
+      out << util::format_sig(analysis.checker().check(property), 10) << "\n";
+      return 0;
+    }
+    const bool satisfied = analysis.checker().satisfies(property);
+    out << (satisfied ? "true" : "false") << "\n";
+    return satisfied ? 0 : 2;
+  }
+
+  // Property file: one property per line, '#' comments; tabulated results,
+  // exit 2 if any bounded property is violated.
+  std::ifstream props(options.props_file);
+  if (!props) throw UsageError("cannot open '" + options.props_file + "'");
+  util::TextTable table({"property", "result"});
+  bool any_violated = false;
+  std::string line;
+  while (std::getline(props, line)) {
+    const std::string head = line.substr(0, line.find('#'));
+    const std::string_view text = util::trim(head);
+    if (text.empty()) continue;
+    const csl::Property property = csl::parse_property(text);
+    std::string result;
+    if (property.is_query()) {
+      result = util::format_sig(analysis.checker().check(property), 8);
+    } else {
+      const bool satisfied = analysis.checker().satisfies(property);
+      any_violated = any_violated || !satisfied;
+      result = satisfied ? "true" : "FALSE";
+    }
+    table.add_row({std::string(text), result});
+  }
+  out << (options.csv ? table.to_csv() : table.to_string());
+  return any_violated ? 2 : 0;
+}
+
+int command_simulate(Args& args, std::ostream& out) {
+  const ModelOptions options = parse_model_options(args);
+  if (options.message.empty()) throw UsageError("simulate needs --message");
+  const Architecture arch = automotive::load_architecture_file(options.file);
+
+  const automotive::SecurityAnalysis analysis(arch, options.message,
+                                              options.categories.front(),
+                                              options.analysis);
+  const ctmc::Ctmc chain = analysis.space().to_ctmc();
+  const std::vector<bool> violated =
+      analysis.space().label_mask(automotive::kViolatedLabel);
+  ctmc::SimulationOptions simulation;
+  simulation.samples = options.samples;
+  simulation.seed = options.seed;
+  const ctmc::SimulationEstimate estimate = ctmc::estimate_time_fraction(
+      chain, static_cast<uint32_t>(analysis.space().initial_state()), violated,
+      options.analysis.horizon_years, simulation);
+  const double numeric =
+      analysis.checker().check("R{\"exposure\"}=? [ C<=" +
+                               std::to_string(options.analysis.horizon_years) + " ]") /
+      options.analysis.horizon_years;
+
+  out << "statistical: " << util::format_percent(estimate.mean) << " +/- "
+      << util::format_percent(estimate.half_width) << " (95% CI, "
+      << estimate.samples << " samples)\n";
+  out << "numerical:   " << util::format_percent(numeric) << "\n";
+  return 0;
+}
+
+int command_export_prism(Args& args, std::ostream& out) {
+  const ModelOptions options = parse_model_options(args);
+  if (options.message.empty()) throw UsageError("export-prism needs --message");
+  const Architecture arch = automotive::load_architecture_file(options.file);
+
+  automotive::TransformOptions transform_options;
+  transform_options.message = options.message;
+  transform_options.category = options.categories.front();
+  transform_options.nmax = options.analysis.nmax;
+  transform_options.literal_patch_guard = options.analysis.literal_patch_guard;
+  transform_options.include_reliability = options.analysis.include_reliability;
+  const std::string text =
+      symbolic::write_model(automotive::transform(arch, transform_options));
+
+  if (options.output.empty()) {
+    out << text;
+  } else {
+    std::ofstream file(options.output);
+    if (!file) throw UsageError("cannot write '" + options.output + "'");
+    file << text;
+    out << "wrote " << options.output << " (" << text.size() << " bytes)\n";
+  }
+  return 0;
+}
+
+int command_sweep(Args& args, std::ostream& out) {
+  const ModelOptions options = parse_model_options(args);
+  if (options.message.empty()) throw UsageError("sweep needs --message");
+  if (options.constant.empty()) throw UsageError("sweep needs --constant");
+  if (!(options.from > 0.0) && options.logarithmic) {
+    throw UsageError("logarithmic sweep needs --from > 0 (or use --linear)");
+  }
+  if (options.to <= options.from) throw UsageError("sweep needs --to > --from");
+  const Architecture arch = automotive::load_architecture_file(options.file);
+
+  util::TextTable table({options.constant, "exploitable time"});
+  for (int i = 0; i < options.points; ++i) {
+    const double t = static_cast<double>(i) / (options.points - 1);
+    const double value =
+        options.logarithmic
+            ? options.from * std::pow(options.to / options.from, t)
+            : options.from + (options.to - options.from) * t;
+    automotive::AnalysisOptions analysis = options.analysis;
+    analysis.constant_overrides.emplace_back(options.constant,
+                                             symbolic::Value::of(value));
+    const automotive::AnalysisResult result = automotive::analyze_message(
+        arch, options.message, options.categories.front(), analysis);
+    table.add_row({util::format_sig(value, 5),
+                   util::format_percent(result.exploitable_fraction)});
+  }
+  out << (options.csv ? table.to_csv() : table.to_string());
+  return 0;
+}
+
+int command_diagnose(Args& args, std::ostream& out) {
+  const ModelOptions options = parse_model_options(args);
+  if (options.message.empty()) throw UsageError("diagnose needs --message");
+  const Architecture arch = automotive::load_architecture_file(options.file);
+  const SecurityCategory category = options.categories.front();
+
+  out << "== criticality: exposure elasticity per rate constant ==\n";
+  out << "(positive: raising the rate raises exposure; negative: lowers it)\n\n";
+  automotive::CriticalityOptions criticality_options;
+  criticality_options.analysis = options.analysis;
+  const auto criticalities =
+      automotive::criticality_analysis(arch, options.message, category,
+                                       criticality_options);
+  util::TextTable criticality_table({"constant", "value", "elasticity"});
+  for (const automotive::Criticality& c : criticalities) {
+    criticality_table.add_row({c.constant, util::format_sig(c.base_value, 4),
+                               util::format_sig(c.elasticity, 3)});
+  }
+  out << (options.csv ? criticality_table.to_csv() : criticality_table.to_string());
+
+  out << "\n== first-breach attribution ==\n";
+  out << "(which components are exploited when the first violation occurs)\n\n";
+  const auto attribution = automotive::first_breach_attribution(
+      arch, options.message, category, options.analysis);
+  util::TextTable attribution_table({"component", "P[first breach involves it]",
+                                     "share"});
+  for (const automotive::BreachAttribution& a : attribution.attributions) {
+    attribution_table.add_row(
+        {a.component, util::format_sig(a.probability, 3),
+         util::format_percent(a.probability /
+                              std::max(attribution.total_breach_probability, 1e-300))});
+  }
+  out << (options.csv ? attribution_table.to_csv() : attribution_table.to_string());
+  out << "\ntotal breach probability within "
+      << util::format_sig(options.analysis.horizon_years, 4)
+      << " year(s): " << util::format_sig(attribution.total_breach_probability, 3)
+      << "\n";
+
+  out << "\n== breach-time quantiles ==\n";
+  const automotive::SecurityAnalysis analysis(arch, options.message, category,
+                                              options.analysis);
+  util::TextTable quantile_table({"quantile", "breached by (years)"});
+  for (const double q : {0.05, 0.25, 0.5, 0.95}) {
+    const double t = automotive::breach_time_quantile(analysis, q);
+    quantile_table.add_row({util::format_percent(q, 2),
+                            std::isfinite(t) ? util::format_sig(t, 3) : ">100"});
+  }
+  out << (options.csv ? quantile_table.to_csv() : quantile_table.to_string());
+  return 0;
+}
+
+int command_export_dot(Args& args, std::ostream& out) {
+  const ModelOptions options = parse_model_options(args);
+  if (options.message.empty()) throw UsageError("export-dot needs --message");
+  const Architecture arch = automotive::load_architecture_file(options.file);
+
+  const automotive::SecurityAnalysis analysis(arch, options.message,
+                                              options.categories.front(),
+                                              options.analysis);
+  symbolic::DotOptions dot;
+  dot.highlight_label = automotive::kViolatedLabel;
+  const std::string text = symbolic::write_dot(analysis.space(), dot);
+  if (options.output.empty()) {
+    out << text;
+  } else {
+    std::ofstream file(options.output);
+    if (!file) throw UsageError("cannot write '" + options.output + "'");
+    file << text;
+    out << "wrote " << options.output << " (" << text.size() << " bytes)\n";
+  }
+  return 0;
+}
+
+int command_compare(Args& args, std::ostream& out) {
+  // compare <file1> <file2> [...] [shared options]; files first.
+  std::vector<std::string> files;
+  std::vector<std::string> rest;
+  bool in_flags = false;
+  while (auto token = args.try_next()) {
+    if (util::starts_with(*token, "--")) in_flags = true;
+    if (in_flags) {
+      rest.push_back(*token);
+    } else {
+      files.push_back(*token);
+    }
+  }
+  if (files.size() < 2) throw UsageError("compare needs at least two .arch files");
+  // The first "file" doubles as the positional argument parse_model_options
+  // expects; re-run option parsing on a synthetic argument list.
+  rest.insert(rest.begin(), files[0]);
+  Args option_args(rest);
+  const ModelOptions options = parse_model_options(option_args);
+
+  std::vector<Architecture> architectures;
+  for (const std::string& file : files) {
+    architectures.push_back(automotive::load_architecture_file(file));
+  }
+  const std::string message =
+      options.message.empty() ? architectures.front().messages.at(0).name
+                              : options.message;
+
+  std::vector<std::string> header{"Category"};
+  for (const Architecture& arch : architectures) header.push_back(arch.name);
+  util::TextTable table(header);
+  for (const SecurityCategory category : options.categories) {
+    std::vector<std::string> row{std::string(category_name(category))};
+    for (const Architecture& arch : architectures) {
+      if (arch.find_message(message) == nullptr) {
+        throw UsageError("architecture '" + arch.name + "' has no message '" +
+                         message + "'");
+      }
+      const automotive::AnalysisResult result =
+          automotive::analyze_message(arch, message, category, options.analysis);
+      row.push_back(util::format_percent(result.exploitable_fraction));
+    }
+    table.add_row(row);
+  }
+  out << "message " << message << ", exploitable share of "
+      << util::format_sig(options.analysis.horizon_years, 4) << " year(s):\n\n";
+  out << (options.csv ? table.to_csv() : table.to_string());
+  return 0;
+}
+
+int command_assess(Args& args, std::ostream& out) {
+  const std::string kind = args.next("assessment kind (cvss|asil)");
+  if (kind == "cvss") {
+    const std::string vector_text = args.next("CVSS vector");
+    const assess::CvssVector vector = assess::parse_cvss_vector(vector_text);
+    out << "vector: " << vector.to_string() << "\n";
+    out << "exploitability score sigma = "
+        << util::format_sig(vector.exploitability_score(), 6) << "\n";
+    out << "exploitability rate eta    = "
+        << util::format_sig(vector.exploitability_rate(), 6) << " / year\n";
+    return 0;
+  }
+  if (kind == "asil") {
+    const assess::Asil level = assess::parse_asil(args.next("ASIL level"));
+    out << "ASIL " << assess::asil_name(level)
+        << ": patch rate phi = " << util::format_sig(assess::patch_rate(level), 6)
+        << " / year\n";
+    return 0;
+  }
+  throw UsageError("assess needs 'cvss' or 'asil'");
+}
+
+void print_help(std::ostream& out) {
+  out << "autosec - security analysis of automotive architectures (DAC'15)\n"
+         "\n"
+         "usage: autosec <command> [options]\n"
+         "\n"
+         "commands:\n"
+         "  analyze <file.arch> [--message M] [--category C|all] [--nmax N]\n"
+         "          [--horizon YEARS] [--set CONST=VALUE] [--no-reliability]\n"
+         "  check <file.arch> --message M (--property \"P=? [...]\" | --props FILE)\n"
+         "  simulate <file.arch> --message M [--samples N] [--seed S]\n"
+         "  export-prism <file.arch> --message M [--category C] [-o FILE]\n"
+         "  export-dot <file.arch> --message M [--category C] [-o FILE]\n"
+         "  compare <a.arch> <b.arch> [...] [--message M] [--category C|all]\n"
+         "  diagnose <file.arch> --message M [--category C]   (criticality +\n"
+         "           first-breach attribution)\n"
+         "  sweep <file.arch> --message M --constant NAME --from A --to B\n"
+         "        [--points N] [--linear] [--csv]\n"
+         "  assess cvss <AV:x/AC:y/Au:z>   |   assess asil <QM|A|B|C|D>\n"
+         "  help\n";
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  Args cursor(args);
+  try {
+    const auto command = cursor.try_next();
+    if (!command || *command == "help" || *command == "--help") {
+      print_help(out);
+      return command ? 0 : 1;
+    }
+    if (*command == "analyze") return command_analyze(cursor, out);
+    if (*command == "check") return command_check(cursor, out);
+    if (*command == "simulate") return command_simulate(cursor, out);
+    if (*command == "export-prism") return command_export_prism(cursor, out);
+    if (*command == "export-dot") return command_export_dot(cursor, out);
+    if (*command == "diagnose") return command_diagnose(cursor, out);
+    if (*command == "compare") return command_compare(cursor, out);
+    if (*command == "sweep") return command_sweep(cursor, out);
+    if (*command == "assess") return command_assess(cursor, out);
+    throw UsageError("unknown command '" + *command + "'; see 'autosec help'");
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace autosec::cli

@@ -1,0 +1,43 @@
+// Command-line front end. The dispatch lives in the library (streams are
+// injected) so the test suite can drive every command; tools/autosec_cli.cpp
+// is a thin main() around run_cli().
+//
+// Commands:
+//   analyze <file.arch> [--message M] [--category conf|integrity|avail|all]
+//           [--nmax N] [--horizon YEARS] [--set CONST=VALUE]...
+//       Exposure / breach / steady-state table; defaults to every message
+//       and every category.
+//   check <file.arch> --message M [--category C] [--nmax N] [--set ...]
+//         --property "P=? [ F<=1 \"violated\" ]"
+//       Evaluate one CSL property against the generated model. Bounded
+//       properties print true/false (exit code 0/2).
+//   simulate <file.arch> --message M [--category C] [--samples N] [--seed S]
+//            [--nmax N] [--horizon YEARS]
+//       Statistical estimate of the exposure fraction with a 95% CI, next to
+//       the numerical value.
+//   export-prism <file.arch> --message M [--category C] [--nmax N] [-o FILE]
+//       Emit the generated CTMC as PRISM source (stdout without -o).
+//   sweep <file.arch> --message M [--category C] --constant NAME
+//         --from A --to B [--points N] [--linear] [--nmax N]
+//       Exposure as a function of one rate constant (Fig. 6 style;
+//       logarithmic spacing unless --linear).
+//   assess cvss <vector> | assess asil <level>
+//       Print the exploitability score/rate of a CVSS vector (Eqs. 11-12) or
+//       the patch rate of an ASIL level.
+//   help
+//
+// Exit codes: 0 success (bounded property satisfied), 1 usage/input error,
+// 2 bounded property violated.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace autosec::cli {
+
+/// Run one command. `args` excludes the program name.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace autosec::cli

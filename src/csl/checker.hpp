@@ -1,0 +1,69 @@
+// Binds CSL properties to the CTMC engine: the "probabilistic model checker"
+// box of the paper's Fig. 2. Construct a Checker over an explored state
+// space, then evaluate properties given as objects or text.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "csl/property.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/steady_state.hpp"
+#include "ctmc/transient.hpp"
+#include "symbolic/explorer.hpp"
+
+namespace autosec::csl {
+
+struct CheckerOptions {
+  ctmc::TransientOptions transient;
+  ctmc::SteadyStateOptions steady_state;
+};
+
+class Checker {
+ public:
+  /// `space` is borrowed and must outlive the checker.
+  explicit Checker(const symbolic::StateSpace& space, CheckerOptions options = {});
+
+  /// Evaluate a quantitative property from the model's initial state.
+  /// Returns +infinity for reachability rewards whose target is reached with
+  /// probability < 1.
+  double check(const Property& property) const;
+
+  /// Parse-and-check convenience.
+  double check(std::string_view property_text) const;
+
+  /// Evaluate a *bounded* property (P<=0.01 [...], R{"r"}>2 [...]): computes
+  /// the quantitative value and compares it against the bound. Throws
+  /// PropertyError for =? queries.
+  bool satisfies(const Property& property) const;
+  bool satisfies(std::string_view property_text) const;
+
+  /// States satisfying a state formula (labels resolved, then variables).
+  std::vector<bool> satisfying(const symbolic::Expr& formula) const;
+
+  /// Resolve a property's time bound against the model constants. Throws
+  /// PropertyError when absent or non-numeric.
+  double time_bound_value(const Property& property) const;
+
+  const symbolic::StateSpace& space() const { return *space_; }
+  const ctmc::Ctmc& chain() const { return chain_; }
+
+ private:
+  symbolic::Expr resolve_formula(const symbolic::Expr& formula) const;
+
+  double check_until(const Property& property) const;
+  double check_globally(const Property& property) const;
+  double check_steady_prob(const Property& property) const;
+  double check_reward(const Property& property) const;
+
+  /// Unbounded reachability probability per state (least fixpoint on the
+  /// embedded DTMC).
+  std::vector<double> reachability_probabilities(const std::vector<bool>& target) const;
+
+  const symbolic::StateSpace* space_;
+  CheckerOptions options_;
+  ctmc::Ctmc chain_;
+  std::vector<double> initial_;
+};
+
+}  // namespace autosec::csl

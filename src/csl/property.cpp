@@ -1,0 +1,7 @@
+#include "csl/property.hpp"
+
+// Property is a plain aggregate; all behavior lives in the parser and the
+// checker. This translation unit exists to anchor the vtable-free type's
+// header in the build.
+
+namespace autosec::csl {}  // namespace autosec::csl

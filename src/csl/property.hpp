@@ -1,0 +1,79 @@
+// CSL-style properties over CTMC models, following PRISM's property syntax
+// (the paper's Section 3.3 defines its analysis goals in this form, e.g. the
+// cumulated time a message is exposed within one year, Eq. 16).
+//
+// Supported query forms (all quantitative, "=?"):
+//   P=? [ F phi ]             unbounded reachability
+//   P=? [ F<=t phi ]          time-bounded reachability
+//   P=? [ F[t1,t2] phi ]      interval-bounded reachability
+//   P=? [ G phi ] / [ G<=t phi ] / [ G[t1,t2] phi ]   via duality with F
+//   P=? [ phi U<=t psi ]      time-bounded until (also unbounded / interval U)
+//   S=? [ phi ]               steady-state probability
+//   R{"r"}=? [ C<=t ]         expected cumulative reward
+//   R{"r"}=? [ I=t ]          expected instantaneous reward at time t
+//   R{"r"}=? [ S ]            long-run average reward
+//   R{"r"}=? [ F phi ]        expected reward accumulated until reaching phi
+//
+// State formulas are expressions over model variables, constants and
+// formulas; quoted atoms ("name") reference model labels.
+#pragma once
+
+#include <string>
+
+#include "symbolic/expr.hpp"
+
+namespace autosec::csl {
+
+/// Comparison against a bound, for boolean queries like P<=0.01 [...].
+enum class BoundKind { kQuery, kLt, kLe, kGt, kGe };
+
+enum class PropertyKind {
+  kProbUntil,            ///< P=? [ left U right ], time bound optional
+  kProbGlobally,         ///< P=? [ G right ], time bound optional
+  kSteadyStateProb,      ///< S=? [ right ]
+  kCumulativeReward,     ///< R=? [ C<=t ]
+  kInstantaneousReward,  ///< R=? [ I=t ]
+  kSteadyStateReward,    ///< R=? [ S ]
+  kReachabilityReward,   ///< R=? [ F right ]
+};
+
+struct Property {
+  PropertyKind kind = PropertyKind::kProbUntil;
+
+  /// Reward structure name for R-properties ("" = default structure).
+  std::string reward_name;
+
+  /// Left operand of U; for F the parser fills `true`.
+  symbolic::Expr left;
+  /// Target / state formula.
+  symbolic::Expr right;
+
+  /// Time bound; invalid Expr means unbounded. Evaluated against model
+  /// constants, so `P=? [ F<=HORIZON ok ]` works with `const double HORIZON`.
+  symbolic::Expr time_bound;
+  /// Lower time bound for interval forms `F[t1,t2]` / `U[t1,t2]` /
+  /// `G[t1,t2]`; invalid means 0 (the plain `<=t` form).
+  symbolic::Expr time_lower_bound;
+
+  bool has_time_bound() const { return time_bound.is_valid(); }
+  bool has_time_lower_bound() const { return time_lower_bound.is_valid(); }
+
+  /// P=? vs P<=bound style. kQuery asks for the quantitative value; the
+  /// others compare it against `bound` (e.g. "P<=0.001 [ F<=1 "violated" ]" —
+  /// is the architecture's breach probability within budget?).
+  BoundKind bound = BoundKind::kQuery;
+  /// Bound value; resolved against model constants like time bounds.
+  symbolic::Expr bound_value;
+
+  bool is_query() const { return bound == BoundKind::kQuery; }
+
+  /// Original source text when parsed (diagnostics); may be empty.
+  std::string source;
+};
+
+class PropertyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace autosec::csl

@@ -1,0 +1,166 @@
+#include "csl/property_parser.hpp"
+
+#include "symbolic/lexer.hpp"
+#include "symbolic/parser.hpp"
+
+namespace autosec::csl {
+
+using symbolic::Expr;
+using symbolic::TokenStream;
+
+namespace {
+
+struct TimeBound {
+  Expr upper;  ///< invalid = unbounded
+  Expr lower;  ///< invalid = 0
+};
+
+/// Optional bound after a temporal operator: `<=t`, `<t`, or `[t1,t2]`;
+/// both Exprs invalid when absent.
+TimeBound parse_time_bound(TokenStream& s) {
+  TimeBound bound;
+  if (s.accept_symbol("<=") || s.accept_symbol("<")) {
+    bound.upper = symbolic::parse_expression(s);
+    return bound;
+  }
+  if (s.accept_symbol("[")) {
+    bound.lower = symbolic::parse_expression(s);
+    s.expect_symbol(",");
+    bound.upper = symbolic::parse_expression(s);
+    s.expect_symbol("]");
+    return bound;
+  }
+  return bound;
+}
+
+Property parse_probability_body(TokenStream& s) {
+  Property p;
+  if (s.accept_identifier("F")) {
+    p.kind = PropertyKind::kProbUntil;
+    p.left = Expr::literal(true);
+    const TimeBound bound = parse_time_bound(s);
+    p.time_bound = bound.upper;
+    p.time_lower_bound = bound.lower;
+    p.right = symbolic::parse_expression(s);
+    return p;
+  }
+  if (s.accept_identifier("G")) {
+    p.kind = PropertyKind::kProbGlobally;
+    const TimeBound bound = parse_time_bound(s);
+    p.time_bound = bound.upper;
+    p.time_lower_bound = bound.lower;
+    p.right = symbolic::parse_expression(s);
+    return p;
+  }
+  p.kind = PropertyKind::kProbUntil;
+  p.left = symbolic::parse_expression(s);
+  s.expect_identifier("U");
+  const TimeBound bound = parse_time_bound(s);
+  p.time_bound = bound.upper;
+  p.time_lower_bound = bound.lower;
+  p.right = symbolic::parse_expression(s);
+  return p;
+}
+
+Property parse_reward_body(TokenStream& s) {
+  Property p;
+  if (s.accept_identifier("C")) {
+    p.kind = PropertyKind::kCumulativeReward;
+    const TimeBound bound = parse_time_bound(s);
+    if (bound.lower.is_valid()) s.fail("C takes a plain bound (C<=t), not an interval");
+    p.time_bound = bound.upper;
+    if (!p.has_time_bound()) s.fail("C requires a time bound (C<=t)");
+    return p;
+  }
+  if (s.accept_identifier("I")) {
+    p.kind = PropertyKind::kInstantaneousReward;
+    s.expect_symbol("=");
+    p.time_bound = symbolic::parse_expression(s);
+    return p;
+  }
+  if (s.accept_identifier("S")) {
+    p.kind = PropertyKind::kSteadyStateReward;
+    return p;
+  }
+  if (s.accept_identifier("F")) {
+    p.kind = PropertyKind::kReachabilityReward;
+    p.right = symbolic::parse_expression(s);
+    return p;
+  }
+  s.fail("expected C<=t, I=t, S or F inside R[...]");
+}
+
+struct BoundSpec {
+  BoundKind kind = BoundKind::kQuery;
+  Expr value;
+};
+
+/// `=?` (query) or a comparison bound: `<= 0.01`, `> 0.99`, ...
+BoundSpec parse_bound(TokenStream& s) {
+  if (s.accept_symbol("=")) {
+    s.expect_symbol("?");
+    return {};
+  }
+  if (s.accept_symbol("<=")) return {BoundKind::kLe, symbolic::parse_expression(s)};
+  if (s.accept_symbol("<")) return {BoundKind::kLt, symbolic::parse_expression(s)};
+  if (s.accept_symbol(">=")) return {BoundKind::kGe, symbolic::parse_expression(s)};
+  if (s.accept_symbol(">")) return {BoundKind::kGt, symbolic::parse_expression(s)};
+  s.fail("expected '=?' or a bound (<=, <, >=, >)");
+}
+
+}  // namespace
+
+Property parse_property(std::string_view source) {
+  TokenStream s = [&] {
+    try {
+      return TokenStream(symbolic::tokenize(source));
+    } catch (const symbolic::LexError& e) {
+      throw PropertyError(e.what());
+    }
+  }();
+
+  try {
+    Property p;
+    if (s.accept_identifier("P")) {
+      const BoundSpec bound = parse_bound(s);
+      s.expect_symbol("[");
+      p = parse_probability_body(s);
+      s.expect_symbol("]");
+      p.bound = bound.kind;
+      p.bound_value = bound.value;
+    } else if (s.accept_identifier("S")) {
+      const BoundSpec bound = parse_bound(s);
+      s.expect_symbol("[");
+      p.kind = PropertyKind::kSteadyStateProb;
+      p.right = symbolic::parse_expression(s);
+      s.expect_symbol("]");
+      p.bound = bound.kind;
+      p.bound_value = bound.value;
+    } else if (s.accept_identifier("R")) {
+      std::string reward_name;
+      if (s.accept_symbol("{")) {
+        if (s.peek().kind != symbolic::TokenKind::kString) {
+          s.fail("expected a quoted reward-structure name in R{...}");
+        }
+        reward_name = s.next().text;
+        s.expect_symbol("}");
+      }
+      const BoundSpec bound = parse_bound(s);
+      s.expect_symbol("[");
+      p = parse_reward_body(s);
+      p.reward_name = std::move(reward_name);
+      s.expect_symbol("]");
+      p.bound = bound.kind;
+      p.bound_value = bound.value;
+    } else {
+      s.fail("property must start with P, S or R");
+    }
+    if (!s.at_end()) s.fail("trailing input after property");
+    p.source = std::string(source);
+    return p;
+  } catch (const symbolic::ParseError& e) {
+    throw PropertyError(e.what());
+  }
+}
+
+}  // namespace autosec::csl

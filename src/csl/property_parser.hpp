@@ -1,0 +1,17 @@
+// Text parser for the CSL property syntax listed in property.hpp.
+#pragma once
+
+#include <string_view>
+
+#include "csl/property.hpp"
+
+namespace autosec::csl {
+
+/// Parse a single property, e.g.
+///   P=? [ F<=1.0 "violated" ]
+///   R{"exposure"}=? [ C<=1 ]
+///   S=? [ x>0 & y=0 ]
+/// Throws PropertyError on malformed input.
+Property parse_property(std::string_view source);
+
+}  // namespace autosec::csl

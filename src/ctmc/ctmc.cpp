@@ -1,0 +1,100 @@
+#include "ctmc/ctmc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autosec::ctmc {
+
+Ctmc::Ctmc(linalg::CsrMatrix rates) : rates_(std::move(rates)) {
+  if (rates_.rows() != rates_.cols()) {
+    throw std::invalid_argument("Ctmc: rate matrix must be square");
+  }
+  const size_t n = rates_.rows();
+  exit_rates_.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto cols = rates_.row_columns(i);
+    const auto vals = rates_.row_values(i);
+    double exit = 0.0;
+    for (size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == i) {
+        throw std::invalid_argument("Ctmc: self-loop rate in rate matrix");
+      }
+      if (vals[k] < 0.0) {
+        throw std::invalid_argument("Ctmc: negative transition rate");
+      }
+      exit += vals[k];
+    }
+    exit_rates_[i] = exit;
+    max_exit_rate_ = std::max(max_exit_rate_, exit);
+  }
+}
+
+linalg::CsrMatrix Ctmc::generator() const {
+  const size_t n = state_count();
+  linalg::CsrBuilder builder(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto cols = rates_.row_columns(i);
+    const auto vals = rates_.row_values(i);
+    for (size_t k = 0; k < cols.size(); ++k) builder.add(i, cols[k], vals[k]);
+    if (exit_rates_[i] > 0.0) builder.add(i, i, -exit_rates_[i]);
+  }
+  return std::move(builder).build();
+}
+
+linalg::CsrMatrix Ctmc::uniformized(double q) const {
+  if (q < max_exit_rate_) {
+    throw std::invalid_argument("uniformized: q must be >= max exit rate");
+  }
+  if (!(q > 0.0)) {
+    throw std::invalid_argument("uniformized: q must be positive");
+  }
+  const size_t n = state_count();
+  linalg::CsrBuilder builder(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto cols = rates_.row_columns(i);
+    const auto vals = rates_.row_values(i);
+    for (size_t k = 0; k < cols.size(); ++k) builder.add(i, cols[k], vals[k] / q);
+    const double self = 1.0 - exit_rates_[i] / q;
+    if (self > 0.0) builder.add(i, i, self);
+  }
+  return std::move(builder).build();
+}
+
+double Ctmc::default_uniformization_rate() const {
+  constexpr double kFloor = 1e-9;  // degenerate all-absorbing chain
+  return std::max(max_exit_rate_ * 1.02, kFloor);
+}
+
+linalg::CsrMatrix Ctmc::embedded_dtmc() const {
+  const size_t n = state_count();
+  linalg::CsrBuilder builder(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    if (exit_rates_[i] <= 0.0) {
+      builder.add(i, i, 1.0);
+      continue;
+    }
+    const auto cols = rates_.row_columns(i);
+    const auto vals = rates_.row_values(i);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      builder.add(i, cols[k], vals[k] / exit_rates_[i]);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Ctmc Ctmc::with_absorbing(const std::vector<bool>& absorbing) const {
+  const size_t n = state_count();
+  if (absorbing.size() != n) {
+    throw std::invalid_argument("with_absorbing: mask size mismatch");
+  }
+  linalg::CsrBuilder builder(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    if (absorbing[i]) continue;
+    const auto cols = rates_.row_columns(i);
+    const auto vals = rates_.row_values(i);
+    for (size_t k = 0; k < cols.size(); ++k) builder.add(i, cols[k], vals[k]);
+  }
+  return Ctmc(std::move(builder).build());
+}
+
+}  // namespace autosec::ctmc

@@ -1,0 +1,60 @@
+// Continuous-Time Markov Chain representation.
+//
+// A CTMC is stored as its off-diagonal transition-rate matrix R (R_ij = rate
+// of jumping from state i to state j, i != j). The generator is
+// Q = R − diag(E) with exit rates E_i = Σ_j R_ij. All analyses (transient,
+// steady-state, rewards) work on this explicit-state representation; the
+// symbolic layer produces it via state-space exploration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace autosec::ctmc {
+
+class Ctmc {
+ public:
+  /// Empty chain (0 states); useful as a placeholder in result aggregates.
+  Ctmc() = default;
+
+  /// `rates` must be square with zero diagonal (self-loops are meaningless in
+  /// a CTMC and are rejected) and non-negative entries.
+  explicit Ctmc(linalg::CsrMatrix rates);
+
+  size_t state_count() const { return rates_.rows(); }
+  const linalg::CsrMatrix& rates() const { return rates_; }
+
+  double exit_rate(size_t state) const { return exit_rates_[state]; }
+  const std::vector<double>& exit_rates() const { return exit_rates_; }
+  double max_exit_rate() const { return max_exit_rate_; }
+
+  /// Full generator Q = R − diag(E) (diagonal entries included).
+  linalg::CsrMatrix generator() const;
+
+  /// Uniformized DTMC P = I + Q/q. Requires q >= max exit rate; states whose
+  /// exit rate is below q receive the compensating self-loop, so absorbing
+  /// states get a self-loop of probability 1.
+  linalg::CsrMatrix uniformized(double q) const;
+
+  /// Uniformization rate used by default: 1.02 * max exit rate (strictly above
+  /// every exit rate so the uniformized chain is aperiodic), with a positive
+  /// floor for the degenerate all-absorbing chain.
+  double default_uniformization_rate() const;
+
+  /// Embedded jump chain: P_ij = R_ij / E_i; absorbing states (E_i = 0) become
+  /// self-loops with probability 1.
+  linalg::CsrMatrix embedded_dtmc() const;
+
+  /// Copy of this chain with the given states made absorbing (all outgoing
+  /// transitions removed). Used for time-bounded reachability.
+  Ctmc with_absorbing(const std::vector<bool>& absorbing) const;
+
+ private:
+  linalg::CsrMatrix rates_;
+  std::vector<double> exit_rates_;
+  double max_exit_rate_ = 0.0;
+};
+
+}  // namespace autosec::ctmc

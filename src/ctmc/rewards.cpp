@@ -1,0 +1,83 @@
+#include "ctmc/rewards.hpp"
+
+#include <stdexcept>
+
+#include "ctmc/poisson.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace autosec::ctmc {
+
+double expected_cumulative_reward(const Ctmc& chain, const std::vector<double>& initial,
+                                  const std::vector<double>& state_rewards, double t,
+                                  const TransientOptions& options) {
+  const size_t n = chain.state_count();
+  if (initial.size() != n || state_rewards.size() != n) {
+    throw std::invalid_argument("cumulative_reward: size mismatch");
+  }
+  if (t < 0.0) throw std::invalid_argument("cumulative_reward: negative time");
+  if (t == 0.0) return 0.0;
+  if (chain.max_exit_rate() == 0.0) {
+    // No movement: the chain sits in the initial distribution for all of [0,t].
+    return t * linalg::dot(initial, state_rewards);
+  }
+
+  const double q = options.uniformization_rate > 0.0
+                       ? options.uniformization_rate
+                       : chain.default_uniformization_rate();
+  const linalg::CsrMatrix P = chain.uniformized(q);
+  const PoissonWeights weights = poisson_weights(q * t, options.epsilon);
+
+  // E = (1/q) Σ_{k=0..R} (1 − CDF(k)) (π₀ Pᵏ)·r.  Since the normalized
+  // weights sum to 1 over [L,R], the factor (1 − CDF(k)) is 1 for k < L and 0
+  // for k ≥ R; running the cumulative sum incrementally avoids the quadratic
+  // cdf() scan.
+  std::vector<double> current = initial;
+  std::vector<double> next(n, 0.0);
+  double cdf = 0.0;
+  double acc = 0.0;
+  for (size_t k = 0; k <= weights.right; ++k) {
+    cdf += weights.weight(k);
+    const double factor = 1.0 - cdf;
+    if (factor > 0.0) acc += factor * linalg::dot(current, state_rewards);
+    if (k < weights.right) {
+      P.left_multiply(current, next);
+      current.swap(next);
+    }
+  }
+  return acc / q;
+}
+
+double expected_instantaneous_reward(const Ctmc& chain,
+                                     const std::vector<double>& initial,
+                                     const std::vector<double>& state_rewards, double t,
+                                     const TransientOptions& options) {
+  if (state_rewards.size() != chain.state_count()) {
+    throw std::invalid_argument("instantaneous_reward: size mismatch");
+  }
+  const std::vector<double> dist = transient_distribution(chain, initial, t, options);
+  return linalg::dot(dist, state_rewards);
+}
+
+double steady_state_reward(const Ctmc& chain, const std::vector<double>& initial,
+                           const std::vector<double>& state_rewards,
+                           const SteadyStateOptions& options) {
+  if (state_rewards.size() != chain.state_count()) {
+    throw std::invalid_argument("steady_state_reward: size mismatch");
+  }
+  const SteadyStateResult result = steady_state(chain, initial, options);
+  return linalg::dot(result.distribution, state_rewards);
+}
+
+double expected_time_fraction(const Ctmc& chain, const std::vector<double>& initial,
+                              const std::vector<bool>& mask, double t,
+                              const TransientOptions& options) {
+  if (mask.size() != chain.state_count()) {
+    throw std::invalid_argument("expected_time_fraction: mask size mismatch");
+  }
+  if (!(t > 0.0)) throw std::invalid_argument("expected_time_fraction: t must be > 0");
+  std::vector<double> rewards(mask.size(), 0.0);
+  for (size_t i = 0; i < mask.size(); ++i) rewards[i] = mask[i] ? 1.0 : 0.0;
+  return expected_cumulative_reward(chain, initial, rewards, t, options) / t;
+}
+
+}  // namespace autosec::ctmc

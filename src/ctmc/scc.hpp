@@ -1,0 +1,33 @@
+// Strongly connected components of the CTMC transition graph (Tarjan's
+// algorithm, iterative so deep chains do not overflow the stack) and
+// identification of bottom SCCs (BSCCs) — the recurrent classes a CTMC's
+// long-run behavior is confined to.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace autosec::ctmc {
+
+struct SccDecomposition {
+  /// Component id per state; ids are in reverse topological order of the
+  /// condensation (an edge between components goes from the higher id to the
+  /// lower id — Tarjan numbering).
+  std::vector<uint32_t> component_of;
+  size_t component_count = 0;
+  /// True for components with no edge leaving them (bottom SCCs).
+  std::vector<bool> is_bottom;
+  /// States of each component.
+  std::vector<std::vector<uint32_t>> members;
+
+  /// Indices of the bottom components.
+  std::vector<uint32_t> bottom_components() const;
+};
+
+/// Decompose the directed graph given by the nonzero pattern of `adjacency`
+/// (must be square). Zero-weight entries are ignored.
+SccDecomposition strongly_connected_components(const linalg::CsrMatrix& adjacency);
+
+}  // namespace autosec::ctmc

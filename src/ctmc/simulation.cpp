@@ -1,0 +1,163 @@
+#include "ctmc/simulation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autosec::ctmc {
+
+namespace {
+
+/// splitmix64: small, fast, high-quality 64-bit generator; chosen over
+/// std::mt19937_64 to keep per-jump cost minimal and seeding trivial.
+uint64_t next_u64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform in (0, 1]: never returns 0 so log() below stays finite.
+double next_unit(uint64_t& state) {
+  return (static_cast<double>(next_u64(state) >> 11) + 1.0) * 0x1.0p-53;
+}
+
+double exponential(uint64_t& state, double rate) {
+  return -std::log(next_unit(state)) / rate;
+}
+
+struct Accumulator {
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  size_t count = 0;
+
+  void add(double value) {
+    sum += value;
+    sum_squares += value * value;
+    ++count;
+  }
+
+  SimulationEstimate estimate() const {
+    SimulationEstimate out;
+    out.samples = count;
+    if (count == 0) return out;
+    out.mean = sum / static_cast<double>(count);
+    if (count > 1) {
+      const double variance =
+          (sum_squares - sum * out.mean) / static_cast<double>(count - 1);
+      out.half_width = 1.96 * std::sqrt(std::max(variance, 0.0) /
+                                        static_cast<double>(count));
+    }
+    return out;
+  }
+};
+
+void check_inputs(const Ctmc& chain, uint32_t initial_state, double horizon,
+                  size_t mask_size) {
+  if (initial_state >= chain.state_count()) {
+    throw std::invalid_argument("simulate: initial state out of range");
+  }
+  if (!(horizon > 0.0)) throw std::invalid_argument("simulate: horizon must be > 0");
+  if (mask_size != chain.state_count()) {
+    throw std::invalid_argument("simulate: mask/reward size mismatch");
+  }
+}
+
+}  // namespace
+
+Trajectory simulate_trajectory(const Ctmc& chain, uint32_t initial_state,
+                               double horizon, uint64_t& rng_state) {
+  if (initial_state >= chain.state_count()) {
+    throw std::invalid_argument("simulate_trajectory: initial state out of range");
+  }
+  Trajectory trajectory;
+  uint32_t current = initial_state;
+  double now = 0.0;
+  trajectory.states.push_back(current);
+  trajectory.entry_times.push_back(0.0);
+
+  while (now < horizon) {
+    const double exit = chain.exit_rate(current);
+    if (exit <= 0.0) break;  // absorbing: dwell covers the rest of the horizon
+    now += exponential(rng_state, exit);
+    if (now >= horizon) break;
+    // Choose the jump target proportionally to the outgoing rates.
+    double pick = next_unit(rng_state) * exit;
+    const auto cols = chain.rates().row_columns(current);
+    const auto vals = chain.rates().row_values(current);
+    uint32_t target = cols.empty() ? current : cols.back();
+    for (size_t k = 0; k < cols.size(); ++k) {
+      pick -= vals[k];
+      if (pick <= 0.0) {
+        target = cols[k];
+        break;
+      }
+    }
+    current = target;
+    trajectory.states.push_back(current);
+    trajectory.entry_times.push_back(now);
+  }
+  return trajectory;
+}
+
+SimulationEstimate estimate_time_fraction(const Ctmc& chain, uint32_t initial_state,
+                                          const std::vector<bool>& mask, double horizon,
+                                          const SimulationOptions& options) {
+  check_inputs(chain, initial_state, horizon, mask.size());
+  uint64_t rng = options.seed;
+  Accumulator accumulator;
+  for (size_t i = 0; i < options.samples; ++i) {
+    const Trajectory t = simulate_trajectory(chain, initial_state, horizon, rng);
+    double in_mask = 0.0;
+    for (size_t k = 0; k < t.states.size(); ++k) {
+      if (!mask[t.states[k]]) continue;
+      const double leave =
+          k + 1 < t.states.size() ? t.entry_times[k + 1] : horizon;
+      in_mask += leave - t.entry_times[k];
+    }
+    accumulator.add(in_mask / horizon);
+  }
+  return accumulator.estimate();
+}
+
+SimulationEstimate estimate_reachability(const Ctmc& chain, uint32_t initial_state,
+                                         const std::vector<bool>& target, double horizon,
+                                         const SimulationOptions& options) {
+  check_inputs(chain, initial_state, horizon, target.size());
+  uint64_t rng = options.seed;
+  Accumulator accumulator;
+  for (size_t i = 0; i < options.samples; ++i) {
+    const Trajectory t = simulate_trajectory(chain, initial_state, horizon, rng);
+    bool hit = false;
+    for (uint32_t s : t.states) {
+      if (target[s]) {
+        hit = true;
+        break;
+      }
+    }
+    accumulator.add(hit ? 1.0 : 0.0);
+  }
+  return accumulator.estimate();
+}
+
+SimulationEstimate estimate_cumulative_reward(const Ctmc& chain, uint32_t initial_state,
+                                              const std::vector<double>& rewards,
+                                              double horizon,
+                                              const SimulationOptions& options) {
+  check_inputs(chain, initial_state, horizon, rewards.size());
+  uint64_t rng = options.seed;
+  Accumulator accumulator;
+  for (size_t i = 0; i < options.samples; ++i) {
+    const Trajectory t = simulate_trajectory(chain, initial_state, horizon, rng);
+    double total = 0.0;
+    for (size_t k = 0; k < t.states.size(); ++k) {
+      const double leave =
+          k + 1 < t.states.size() ? t.entry_times[k + 1] : horizon;
+      total += rewards[t.states[k]] * (leave - t.entry_times[k]);
+    }
+    accumulator.add(total);
+  }
+  return accumulator.estimate();
+}
+
+}  // namespace autosec::ctmc

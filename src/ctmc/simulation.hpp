@@ -1,0 +1,64 @@
+// Statistical model checking by discrete-event (Gillespie) simulation of the
+// CTMC. Complements the numerical engine the same way PRISM's simulator
+// complements its symbolic engines: an independent implementation path whose
+// estimates cross-validate the uniformization/steady-state code, and a
+// fallback for models too large for explicit-state numerics.
+//
+// Estimates come with 95% confidence half-widths (normal approximation);
+// every run is reproducible through the caller-supplied seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+
+namespace autosec::ctmc {
+
+struct SimulationOptions {
+  uint64_t seed = 1;
+  size_t samples = 10000;
+};
+
+struct SimulationEstimate {
+  double mean = 0.0;
+  /// Half-width of the 95% confidence interval (1.96 * stderr).
+  double half_width = 0.0;
+  size_t samples = 0;
+
+  double lower() const { return mean - half_width; }
+  double upper() const { return mean + half_width; }
+};
+
+/// One simulated trajectory: visited states and the time entering each.
+/// entry_times[0] == 0; the trajectory ends when `horizon` is exceeded or an
+/// absorbing state is entered (its dwell then extends to the horizon).
+struct Trajectory {
+  std::vector<uint32_t> states;
+  std::vector<double> entry_times;
+};
+
+/// Simulate a single trajectory from `initial_state` up to `horizon`.
+/// `rng_state` is advanced; pass the same value to reproduce a trajectory.
+Trajectory simulate_trajectory(const Ctmc& chain, uint32_t initial_state,
+                               double horizon, uint64_t& rng_state);
+
+/// Estimate the expected fraction of [0, horizon] spent in `mask` states —
+/// the statistical counterpart of expected_time_fraction().
+SimulationEstimate estimate_time_fraction(const Ctmc& chain, uint32_t initial_state,
+                                          const std::vector<bool>& mask, double horizon,
+                                          const SimulationOptions& options = {});
+
+/// Estimate P[reach a `target` state within `horizon`] — the statistical
+/// counterpart of bounded_reachability() with an unrestricted left operand.
+SimulationEstimate estimate_reachability(const Ctmc& chain, uint32_t initial_state,
+                                         const std::vector<bool>& target, double horizon,
+                                         const SimulationOptions& options = {});
+
+/// Estimate the expected accumulated state reward over [0, horizon].
+SimulationEstimate estimate_cumulative_reward(const Ctmc& chain, uint32_t initial_state,
+                                              const std::vector<double>& rewards,
+                                              double horizon,
+                                              const SimulationOptions& options = {});
+
+}  // namespace autosec::ctmc

@@ -1,0 +1,198 @@
+#include "ctmc/steady_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ctmc/scc.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace autosec::ctmc {
+
+namespace {
+
+/// Stationary distribution within one BSCC, returned over the BSCC's local
+/// state indices. The BSCC has no outgoing edges, so restricting the rate
+/// matrix to its members yields a conservative generator.
+std::vector<double> bscc_stationary(const Ctmc& chain,
+                                    const std::vector<uint32_t>& members,
+                                    const linalg::IterativeOptions& solver) {
+  const size_t m = members.size();
+  if (m == 1) return {1.0};
+
+  std::vector<uint32_t> local_of(chain.state_count(), UINT32_MAX);
+  for (uint32_t i = 0; i < m; ++i) local_of[members[i]] = i;
+
+  // Build the transposed restricted generator directly: row i of Qt collects
+  // incoming rates Q_ji plus the diagonal -E_j.
+  linalg::CsrBuilder builder(m, m);
+  for (uint32_t local = 0; local < m; ++local) {
+    const uint32_t global = members[local];
+    const auto cols = chain.rates().row_columns(global);
+    const auto vals = chain.rates().row_values(global);
+    double exit = 0.0;
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const uint32_t target_local = local_of[cols[k]];
+      if (target_local == UINT32_MAX) {
+        throw std::logic_error("bscc_stationary: edge leaves the BSCC");
+      }
+      builder.add(target_local, local, vals[k]);
+      exit += vals[k];
+    }
+    builder.add(local, local, -exit);
+  }
+  auto result = linalg::stationary_from_transposed(std::move(builder).build(),
+                                                   solver);
+  if (!result.converged) {
+    throw std::runtime_error("bscc_stationary: solver did not converge");
+  }
+  return std::move(result.x);
+}
+
+}  // namespace
+
+SteadyStateResult steady_state(const Ctmc& chain, const std::vector<double>& initial,
+                               const SteadyStateOptions& options) {
+  const size_t n = chain.state_count();
+  if (initial.size() != n) {
+    throw std::invalid_argument("steady_state: initial distribution size mismatch");
+  }
+
+  const SccDecomposition sccs = strongly_connected_components(chain.rates());
+  const std::vector<uint32_t> bottoms = sccs.bottom_components();
+
+  SteadyStateResult result;
+  result.bscc_count = bottoms.size();
+  result.distribution.assign(n, 0.0);
+
+  // Map component id -> index into `bottoms` (or UINT32_MAX for transient).
+  std::vector<uint32_t> bottom_index(sccs.component_count, UINT32_MAX);
+  for (uint32_t b = 0; b < bottoms.size(); ++b) bottom_index[bottoms[b]] = b;
+
+  // Qualitative pre-pass: which BSCCs are reachable from each component?
+  // Tarjan ids are in reverse topological order (edges go from higher id to
+  // lower id), so a single sweep in increasing id order propagates the
+  // reach-sets. Components that can reach exactly one BSCC are absorbed into
+  // it with probability 1 — no numerics needed. This matters beyond speed:
+  // nearly-absorbing transient layers (e.g. an unpatchable broken-protection
+  // flag whose only escape rate is tiny) make the fixpoint iteration
+  // arbitrarily slow, while the graph argument settles them exactly.
+  std::vector<std::vector<uint32_t>> reachable_bsccs(sccs.component_count);
+  for (uint32_t c = 0; c < sccs.component_count; ++c) {
+    if (bottom_index[c] != UINT32_MAX) {
+      reachable_bsccs[c] = {bottom_index[c]};
+      continue;
+    }
+    std::vector<uint32_t> merged;
+    for (uint32_t s : sccs.members[c]) {
+      const auto cols = chain.rates().row_columns(s);
+      const auto vals = chain.rates().row_values(s);
+      for (size_t k = 0; k < cols.size(); ++k) {
+        if (vals[k] == 0.0) continue;
+        const uint32_t target_component = sccs.component_of[cols[k]];
+        if (target_component == c) continue;
+        // target_component < c in Tarjan numbering: already computed.
+        for (uint32_t b : reachable_bsccs[target_component]) merged.push_back(b);
+      }
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    reachable_bsccs[c] = std::move(merged);
+  }
+
+  // Absorption probability per state into each BSCC. States inside a BSCC
+  // and states that can reach only one BSCC are settled by the pre-pass; only
+  // genuinely branching transient states enter the linear system
+  // x = A·x + r on the embedded DTMC (A = branching-transient block, r = the
+  // one-step probability of entering the BSCC or a state already determined
+  // to be absorbed into it).
+  std::vector<uint32_t> transient_states;  // branching transient states only
+  std::vector<uint32_t> transient_local(n, UINT32_MAX);
+  // determined_bscc[s] = the unique BSCC state s is absorbed into, or
+  // UINT32_MAX when branching.
+  std::vector<uint32_t> determined_bscc(n, UINT32_MAX);
+  for (uint32_t s = 0; s < n; ++s) {
+    const uint32_t component = sccs.component_of[s];
+    if (bottom_index[component] != UINT32_MAX) {
+      determined_bscc[s] = bottom_index[component];
+    } else if (reachable_bsccs[component].size() == 1) {
+      determined_bscc[s] = reachable_bsccs[component][0];
+    } else {
+      transient_local[s] = static_cast<uint32_t>(transient_states.size());
+      transient_states.push_back(s);
+    }
+  }
+
+  const linalg::CsrMatrix embedded = chain.embedded_dtmc();
+  std::vector<std::vector<double>> absorb(bottoms.size());
+
+  // Transient-to-transient block (shared across BSCC targets).
+  linalg::CsrBuilder block_builder(transient_states.size(), transient_states.size());
+  for (uint32_t local = 0; local < transient_states.size(); ++local) {
+    const uint32_t global = transient_states[local];
+    const auto cols = embedded.row_columns(global);
+    const auto vals = embedded.row_values(global);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const uint32_t tl = transient_local[cols[k]];
+      if (tl != UINT32_MAX) block_builder.add(local, tl, vals[k]);
+    }
+  }
+  const linalg::CsrMatrix transient_block = std::move(block_builder).build();
+
+  for (uint32_t b = 0; b < bottoms.size(); ++b) {
+    absorb[b].assign(n, 0.0);
+    for (uint32_t s = 0; s < n; ++s) {
+      if (determined_bscc[s] == b) absorb[b][s] = 1.0;
+    }
+    if (transient_states.empty()) continue;
+
+    std::vector<double> one_step(transient_states.size(), 0.0);
+    for (uint32_t local = 0; local < transient_states.size(); ++local) {
+      const uint32_t global = transient_states[local];
+      const auto cols = embedded.row_columns(global);
+      const auto vals = embedded.row_values(global);
+      for (size_t k = 0; k < cols.size(); ++k) {
+        if (determined_bscc[cols[k]] == b) one_step[local] += vals[k];
+      }
+    }
+    auto solved = linalg::solve_fixpoint(transient_block, one_step, options.solver);
+    if (!solved.converged) {
+      throw std::runtime_error("steady_state: absorption solver did not converge");
+    }
+    for (uint32_t local = 0; local < transient_states.size(); ++local) {
+      absorb[b][transient_states[local]] = solved.x[local];
+    }
+  }
+
+  result.bscc_probability.assign(bottoms.size(), 0.0);
+  for (uint32_t b = 0; b < bottoms.size(); ++b) {
+    result.bscc_probability[b] = linalg::dot(initial, absorb[b]);
+    result.bscc_states.push_back(sccs.members[bottoms[b]]);
+  }
+
+  for (uint32_t b = 0; b < bottoms.size(); ++b) {
+    const double weight = result.bscc_probability[b];
+    if (weight <= 0.0) continue;
+    const std::vector<double> local_pi =
+        bscc_stationary(chain, sccs.members[bottoms[b]], options.solver);
+    const auto& members = sccs.members[bottoms[b]];
+    for (size_t i = 0; i < members.size(); ++i) {
+      result.distribution[members[i]] += weight * local_pi[i];
+    }
+  }
+  return result;
+}
+
+std::vector<double> stationary_distribution(const Ctmc& chain,
+                                            const SteadyStateOptions& options) {
+  const SccDecomposition sccs = strongly_connected_components(chain.rates());
+  if (sccs.component_count != 1) {
+    throw std::invalid_argument(
+        "stationary_distribution: chain is reducible; use steady_state()");
+  }
+  std::vector<uint32_t> all(chain.state_count());
+  for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+  return bscc_stationary(chain, all, options.solver);
+}
+
+}  // namespace autosec::ctmc

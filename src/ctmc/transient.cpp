@@ -1,0 +1,91 @@
+#include "ctmc/transient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ctmc/poisson.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace autosec::ctmc {
+
+namespace {
+
+void check_distribution(const Ctmc& chain, const std::vector<double>& initial) {
+  if (initial.size() != chain.state_count()) {
+    throw std::invalid_argument("transient: initial distribution size mismatch");
+  }
+  double total = 0.0;
+  for (double p : initial) {
+    if (p < 0.0) throw std::invalid_argument("transient: negative probability");
+    total += p;
+  }
+  // Subdistributions (sum < 1) are allowed: multi-phase CSL algorithms
+  // (interval-bounded until) restrict distributions between phases.
+  if (total > 1.0 + 1e-9) {
+    throw std::invalid_argument("transient: initial distribution sums above 1");
+  }
+}
+
+}  // namespace
+
+std::vector<double> transient_distribution(const Ctmc& chain,
+                                           const std::vector<double>& initial,
+                                           double t, const TransientOptions& options) {
+  check_distribution(chain, initial);
+  if (t < 0.0) throw std::invalid_argument("transient: negative time");
+  if (t == 0.0 || chain.max_exit_rate() == 0.0) return initial;
+
+  const double q = options.uniformization_rate > 0.0
+                       ? options.uniformization_rate
+                       : chain.default_uniformization_rate();
+  const linalg::CsrMatrix P = chain.uniformized(q);
+  const PoissonWeights weights = poisson_weights(q * t, options.epsilon);
+
+  const size_t n = chain.state_count();
+  std::vector<double> current = initial;
+  std::vector<double> next(n, 0.0);
+  std::vector<double> result(n, 0.0);
+
+  for (size_t k = 0; k <= weights.right; ++k) {
+    if (k >= weights.left) {
+      linalg::axpy(weights.weight(k), current, result);
+    }
+    if (k < weights.right) {
+      P.left_multiply(current, next);
+      current.swap(next);
+    }
+  }
+  return result;
+}
+
+double transient_probability(const Ctmc& chain, const std::vector<double>& initial,
+                             const std::vector<bool>& target, double t,
+                             const TransientOptions& options) {
+  if (target.size() != chain.state_count()) {
+    throw std::invalid_argument("transient_probability: target mask size mismatch");
+  }
+  const std::vector<double> dist = transient_distribution(chain, initial, t, options);
+  double acc = 0.0;
+  for (size_t i = 0; i < dist.size(); ++i) {
+    if (target[i]) acc += dist[i];
+  }
+  return acc;
+}
+
+double bounded_reachability(const Ctmc& chain, const std::vector<double>& initial,
+                            const std::vector<bool>& allowed,
+                            const std::vector<bool>& target, double t,
+                            const TransientOptions& options) {
+  const size_t n = chain.state_count();
+  if (allowed.size() != n || target.size() != n) {
+    throw std::invalid_argument("bounded_reachability: mask size mismatch");
+  }
+  // Both target states (success: once reached, the path formula holds) and
+  // forbidden states (failure: the until is violated) become absorbing.
+  std::vector<bool> absorbing(n, false);
+  for (size_t i = 0; i < n; ++i) absorbing[i] = target[i] || !allowed[i];
+  const Ctmc modified = chain.with_absorbing(absorbing);
+  return transient_probability(modified, initial, target, t, options);
+}
+
+}  // namespace autosec::ctmc

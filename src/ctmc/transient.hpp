@@ -1,0 +1,38 @@
+// Transient analysis of CTMCs via uniformization:
+//   π(t) = Σ_k Pois(qt, k) · π(0) Pᵏ   with P = I + Q/q.
+#pragma once
+
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+
+namespace autosec::ctmc {
+
+struct TransientOptions {
+  double epsilon = 1e-12;  ///< truncation error bound for the Poisson weights
+  /// Uniformization rate override; <= 0 means the chain's default rate.
+  double uniformization_rate = 0.0;
+};
+
+/// Distribution over states at time t, starting from `initial` (a probability
+/// distribution over states). t must be >= 0; t == 0 returns `initial`.
+std::vector<double> transient_distribution(const Ctmc& chain,
+                                           const std::vector<double>& initial,
+                                           double t,
+                                           const TransientOptions& options = {});
+
+/// Probability of being in a `target` state at time exactly t.
+double transient_probability(const Ctmc& chain, const std::vector<double>& initial,
+                             const std::vector<bool>& target, double t,
+                             const TransientOptions& options = {});
+
+/// Time-bounded reachability Pr[ reach `target` within t, staying in `allowed`
+/// until then ] — the CSL measure of Φ U^{<=t} Ψ with Φ = allowed, Ψ = target.
+/// Implemented by making target states absorbing-success and states outside
+/// `allowed` ∪ `target` absorbing-failure, then running transient analysis.
+double bounded_reachability(const Ctmc& chain, const std::vector<double>& initial,
+                            const std::vector<bool>& allowed,
+                            const std::vector<bool>& target, double t,
+                            const TransientOptions& options = {});
+
+}  // namespace autosec::ctmc

@@ -1,0 +1,87 @@
+// Compressed-sparse-row matrix used to store CTMC generator and
+// uniformized-probability matrices. Explicit-state probabilistic model
+// checking is dominated by repeated vector-matrix products x' = x * M, so the
+// layout and kernels are optimized for left multiplication.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace autosec::linalg {
+
+/// One (column, value) entry of a CSR row.
+struct Entry {
+  uint32_t column = 0;
+  double value = 0.0;
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+/// Immutable CSR matrix. Construct via CsrBuilder or from triplets.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from per-row entry lists. `columns` entries must be < column_count.
+  CsrMatrix(size_t row_count, size_t column_count,
+            std::vector<uint32_t> row_offsets, std::vector<uint32_t> columns,
+            std::vector<double> values);
+
+  size_t rows() const { return row_count_; }
+  size_t cols() const { return column_count_; }
+  size_t nonzeros() const { return columns_.size(); }
+
+  /// Entries of row `r` as a span (columns ascending if built via CsrBuilder).
+  std::span<const uint32_t> row_columns(size_t r) const;
+  std::span<const double> row_values(size_t r) const;
+
+  /// Value at (r, c); zero when no entry exists. Linear scan of the row.
+  double at(size_t r, size_t c) const;
+
+  /// y = x * M (left multiplication, row vector x of length rows()).
+  void left_multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = M * x (right multiplication, column vector x of length cols()).
+  void right_multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Sum of entries of row r.
+  double row_sum(size_t r) const;
+
+  /// Transposed copy (used by Gauss-Seidel solving x M = b by rows of M^T).
+  CsrMatrix transposed() const;
+
+  /// Human-readable dump for tests/debugging (dense, row per line).
+  std::string to_dense_string(int precision = 6) const;
+
+ private:
+  size_t row_count_ = 0;
+  size_t column_count_ = 0;
+  std::vector<uint32_t> row_offsets_;  // size rows()+1
+  std::vector<uint32_t> columns_;
+  std::vector<double> values_;
+};
+
+/// Incremental builder: add entries row by row (rows in ascending order);
+/// entries within a row may arrive unordered and duplicates are summed.
+class CsrBuilder {
+ public:
+  CsrBuilder(size_t row_count, size_t column_count);
+
+  /// Add `value` at (row, column). Rows may be touched in any order.
+  void add(size_t row, size_t column, double value);
+
+  /// Finalize into a CsrMatrix with sorted, deduplicated rows.
+  CsrMatrix build() &&;
+
+  size_t rows() const { return row_count_; }
+  size_t cols() const { return column_count_; }
+
+ private:
+  size_t row_count_;
+  size_t column_count_;
+  std::vector<std::vector<Entry>> row_entries_;
+};
+
+}  // namespace autosec::linalg

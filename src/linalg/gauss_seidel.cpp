@@ -1,0 +1,102 @@
+#include "linalg/gauss_seidel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace autosec::linalg {
+
+IterativeResult solve_fixpoint(const CsrMatrix& A, const std::vector<double>& b,
+                               const IterativeOptions& options) {
+  const size_t n = A.rows();
+  if (A.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve_fixpoint: dimension mismatch");
+  }
+  IterativeResult result;
+  result.x.assign(n, 0.0);
+  std::vector<double>& x = result.x;
+
+  for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const auto cols = A.row_columns(i);
+      const auto vals = A.row_values(i);
+      double acc = b[i];
+      double diagonal = 0.0;
+      for (size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] == i) {
+          diagonal = vals[k];
+        } else {
+          acc += vals[k] * x[cols[k]];
+        }
+      }
+      if (diagonal >= 1.0) {
+        throw std::runtime_error("solve_fixpoint: diagonal >= 1, not contracting");
+      }
+      const double updated = acc / (1.0 - diagonal);
+      delta = std::max(delta, std::abs(updated - x[i]));
+      x[i] = updated;
+    }
+    result.iterations = iter;
+    result.final_delta = delta;
+    if (delta <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+IterativeResult stationary_from_transposed(const CsrMatrix& Qt,
+                                           const IterativeOptions& options) {
+  const size_t n = Qt.rows();
+  if (Qt.cols() != n) throw std::invalid_argument("stationary: matrix must be square");
+  if (n == 0) throw std::invalid_argument("stationary: empty matrix");
+
+  IterativeResult result;
+  if (n == 1) {
+    result.x = {1.0};
+    result.converged = true;
+    return result;
+  }
+
+  // Exit rate of each state: -Q_ii, read from the transposed diagonal.
+  std::vector<double> exit_rate(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double qii = Qt.at(i, i);
+    if (qii >= 0.0) {
+      throw std::runtime_error(
+          "stationary: state without outgoing rate in a multi-state BSCC");
+    }
+    exit_rate[i] = -qii;
+  }
+
+  result.x.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double>& pi = result.x;
+
+  for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const auto cols = Qt.row_columns(i);
+      const auto vals = Qt.row_values(i);
+      double inflow = 0.0;
+      for (size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] != i) inflow += vals[k] * pi[cols[k]];
+      }
+      const double updated = inflow / exit_rate[i];
+      delta = std::max(delta, std::abs(updated - pi[i]));
+      pi[i] = updated;
+    }
+    normalize_l1(pi);
+    result.iterations = iter;
+    result.final_delta = delta;
+    if (delta <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace autosec::linalg

@@ -1,0 +1,46 @@
+// Gauss-Seidel style iterative solvers for the two linear-system shapes that
+// appear in CTMC analysis:
+//
+//  * fixpoint systems  x = A·x + b  (absorption probabilities / expected
+//    reachability rewards on the embedded DTMC, where A is the substochastic
+//    transient-to-transient block), and
+//  * stationary distributions  π·Q = 0, Σπ = 1  over an irreducible generator
+//    (solved through the transposed generator so each update only needs the
+//    incoming transitions of one state).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace autosec::linalg {
+
+struct IterativeOptions {
+  double tolerance = 1e-12;   ///< max-norm change between sweeps
+  size_t max_iterations = 100000;
+};
+
+struct IterativeResult {
+  std::vector<double> x;
+  size_t iterations = 0;
+  double final_delta = 0.0;
+  bool converged = false;
+};
+
+/// Solve x = A·x + b by Gauss-Seidel sweeps (in-place updates). Requires the
+/// iteration to be contracting, which holds when A is the transient block of a
+/// substochastic matrix. A diagonal entry A_ii < 1 is handled implicitly
+/// (x_i = (Σ_{j≠i} A_ij x_j + b_i) / (1 − A_ii)).
+IterativeResult solve_fixpoint(const CsrMatrix& A, const std::vector<double>& b,
+                               const IterativeOptions& options = {});
+
+/// Stationary distribution of an irreducible CTMC generator Q, given the
+/// *transposed* generator Qt (row i of Qt holds the rates Q_ji into state i).
+/// Solves π_i = Σ_{j≠i} π_j·Q_ji / (−Q_ii) with per-sweep L1 normalization.
+/// States with Q_ii == 0 (isolated absorbing single-state BSCC) are handled by
+/// returning the point distribution when the matrix is 1x1.
+IterativeResult stationary_from_transposed(const CsrMatrix& Qt,
+                                           const IterativeOptions& options = {});
+
+}  // namespace autosec::linalg

@@ -1,0 +1,34 @@
+#include "linalg/power_iteration.hpp"
+
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace autosec::linalg {
+
+IterativeResult stationary_power_iteration(const CsrMatrix& P,
+                                           const IterativeOptions& options) {
+  const size_t n = P.rows();
+  if (P.cols() != n) throw std::invalid_argument("power iteration: square matrix required");
+  if (n == 0) throw std::invalid_argument("power iteration: empty matrix");
+
+  IterativeResult result;
+  result.x.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+
+  for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    P.left_multiply(result.x, next);
+    normalize_l1(next);
+    const double delta = max_abs_diff(result.x, next);
+    result.x.swap(next);
+    result.iterations = iter;
+    result.final_delta = delta;
+    if (delta <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace autosec::linalg

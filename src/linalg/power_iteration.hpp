@@ -1,0 +1,21 @@
+// Power iteration on a stochastic matrix. Used as an independent cross-check
+// of the Gauss-Seidel stationary solver: the stationary distribution of a CTMC
+// equals that of its uniformized DTMC P = I + Q/q.
+#pragma once
+
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+#include "linalg/gauss_seidel.hpp"
+
+namespace autosec::linalg {
+
+/// Iterate π ← π·P (left multiplication) from the uniform distribution until
+/// the max-norm change drops below the tolerance. P must be row-stochastic and
+/// correspond to an aperiodic, irreducible chain for convergence; the strictly
+/// positive self-loop produced by uniformization with q > max exit rate
+/// guarantees aperiodicity.
+IterativeResult stationary_power_iteration(const CsrMatrix& P,
+                                           const IterativeOptions& options = {});
+
+}  // namespace autosec::linalg

@@ -1,0 +1,56 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autosec::linalg {
+
+double sum(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("dot: size mismatch");
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double max_abs_diff(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("max_abs_diff: size mismatch");
+  double best = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) best = std::max(best, std::abs(x[i] - y[i]));
+  return best;
+}
+
+double max_abs(std::span<const double> x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::abs(v));
+  return best;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+void normalize_l1(std::span<double> x) {
+  const double total = sum(x);
+  if (!(total > 0.0)) throw std::runtime_error("normalize_l1: non-positive sum");
+  scale(x, 1.0 / total);
+}
+
+std::vector<double> unit_vector(size_t n, size_t i) {
+  if (i >= n) throw std::out_of_range("unit_vector: index out of range");
+  std::vector<double> v(n, 0.0);
+  v[i] = 1.0;
+  return v;
+}
+
+}  // namespace autosec::linalg

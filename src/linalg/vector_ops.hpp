@@ -1,0 +1,34 @@
+// Dense-vector kernels shared by the iterative solvers and the transient
+// analysis loops.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace autosec::linalg {
+
+/// Sum of all entries.
+double sum(std::span<const double> x);
+
+/// Dot product; sizes must match.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// max_i |x_i - y_i|; sizes must match.
+double max_abs_diff(std::span<const double> x, std::span<const double> y);
+
+/// max_i |x_i|.
+double max_abs(std::span<const double> x);
+
+/// y += alpha * x, in place.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Scale x by alpha in place.
+void scale(std::span<double> x, double alpha);
+
+/// Normalize x to sum 1 in place; throws if the sum is not positive.
+void normalize_l1(std::span<double> x);
+
+/// Returns an n-vector that is all zero except position i which is 1.
+std::vector<double> unit_vector(size_t n, size_t i);
+
+}  // namespace autosec::linalg

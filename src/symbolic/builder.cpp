@@ -1,0 +1,94 @@
+#include "symbolic/builder.hpp"
+
+namespace autosec::symbolic {
+
+ModuleBuilder& ModuleBuilder::variable(const std::string& name, int32_t low,
+                                       int32_t high, int32_t init) {
+  return variable(name, Expr::literal(static_cast<int64_t>(low)),
+                  Expr::literal(static_cast<int64_t>(high)),
+                  Expr::literal(static_cast<int64_t>(init)));
+}
+
+ModuleBuilder& ModuleBuilder::variable(const std::string& name, Expr low, Expr high,
+                                       Expr init) {
+  module_.variables.push_back({name, std::move(low), std::move(high), std::move(init)});
+  return *this;
+}
+
+ModuleBuilder& ModuleBuilder::command(Expr guard, Expr rate,
+                                      std::vector<Assignment> assignments) {
+  return command("", std::move(guard), std::move(rate), std::move(assignments));
+}
+
+ModuleBuilder& ModuleBuilder::command(const std::string& action, Expr guard, Expr rate,
+                                      std::vector<Assignment> assignments) {
+  module_.commands.push_back(
+      {action, std::move(guard), std::move(rate), std::move(assignments)});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::constant_bool(const std::string& name, bool value) {
+  model_.constants.push_back({name, ConstantDecl::Type::kBool, Expr::literal(value)});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::constant_int(const std::string& name, int64_t value) {
+  model_.constants.push_back({name, ConstantDecl::Type::kInt, Expr::literal(value)});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::constant_double(const std::string& name, double value) {
+  model_.constants.push_back({name, ConstantDecl::Type::kDouble, Expr::literal(value)});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::constant_undefined(const std::string& name,
+                                               ConstantDecl::Type type) {
+  model_.constants.push_back({name, type, std::nullopt});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::constant_expr(const std::string& name,
+                                          ConstantDecl::Type type, Expr value) {
+  model_.constants.push_back({name, type, std::move(value)});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::formula(const std::string& name, Expr body) {
+  model_.formulas.push_back({name, std::move(body)});
+  return *this;
+}
+
+ModuleBuilder& ModelBuilder::module(const std::string& name) {
+  for (ModuleBuilder& existing : module_builders_) {
+    if (existing.module().name == name) return existing;
+  }
+  module_builders_.emplace_back(name);
+  return module_builders_.back();
+}
+
+ModelBuilder& ModelBuilder::label(const std::string& name, Expr condition) {
+  model_.labels.push_back({name, std::move(condition)});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::rewards(const std::string& name,
+                                    std::vector<RewardItem> items) {
+  model_.rewards.push_back({name, std::move(items)});
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::state_reward(const std::string& reward_name, Expr guard,
+                                         Expr value) {
+  return rewards(reward_name, {{std::move(guard), std::move(value)}});
+}
+
+Model ModelBuilder::build() {
+  for (ModuleBuilder& builder : module_builders_) {
+    model_.modules.push_back(std::move(builder).take());
+  }
+  module_builders_.clear();
+  return std::move(model_);
+}
+
+}  // namespace autosec::symbolic

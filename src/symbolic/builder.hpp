@@ -1,0 +1,77 @@
+// Fluent programmatic construction of symbolic models. This is the interface
+// the automotive transformation uses; the text parser produces the same Model
+// structure from PRISM-language source.
+//
+//   ModelBuilder b;
+//   b.constant_double("eta", 1.9);
+//   auto& m = b.module("iface_3g");
+//   m.variable("x", 0, 2, 0);
+//   m.command((Expr::ident("x") < 2), Expr::ident("eta"),
+//             {{"x", Expr::ident("x") + Expr::literal(1)}});
+//   b.label("exploited", Expr::ident("x") > 0);
+//   Model model = b.build();
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "symbolic/model.hpp"
+
+namespace autosec::symbolic {
+
+class ModuleBuilder {
+ public:
+  explicit ModuleBuilder(std::string name) { module_.name = std::move(name); }
+
+  /// Bounded int variable with literal bounds.
+  ModuleBuilder& variable(const std::string& name, int32_t low, int32_t high,
+                          int32_t init);
+  /// Bounded int variable with expression bounds (e.g. constants).
+  ModuleBuilder& variable(const std::string& name, Expr low, Expr high, Expr init);
+
+  /// Unlabeled command `guard -> rate : assignments`.
+  ModuleBuilder& command(Expr guard, Expr rate, std::vector<Assignment> assignments);
+  /// Labeled command `[action] guard -> rate : assignments`.
+  ModuleBuilder& command(const std::string& action, Expr guard, Expr rate,
+                         std::vector<Assignment> assignments);
+
+  const Module& module() const { return module_; }
+  Module take() && { return std::move(module_); }
+
+ private:
+  Module module_;
+};
+
+class ModelBuilder {
+ public:
+  ModelBuilder& constant_bool(const std::string& name, bool value);
+  ModelBuilder& constant_int(const std::string& name, int64_t value);
+  ModelBuilder& constant_double(const std::string& name, double value);
+  /// Declared but undefined constant; a value must be supplied to compile().
+  ModelBuilder& constant_undefined(const std::string& name, ConstantDecl::Type type);
+  /// Constant defined by an expression over earlier constants.
+  ModelBuilder& constant_expr(const std::string& name, ConstantDecl::Type type,
+                              Expr value);
+
+  ModelBuilder& formula(const std::string& name, Expr body);
+
+  /// Creates (or retrieves) a module builder; modules keep insertion order.
+  ModuleBuilder& module(const std::string& name);
+
+  ModelBuilder& label(const std::string& name, Expr condition);
+
+  ModelBuilder& rewards(const std::string& name, std::vector<RewardItem> items);
+  /// Single-item convenience: reward `value` in states satisfying `guard`.
+  ModelBuilder& state_reward(const std::string& reward_name, Expr guard, Expr value);
+
+  /// Assemble the Model (module builders are drained).
+  Model build();
+
+ private:
+  Model model_;
+  // deque: module() hands out references that must survive later insertions.
+  std::deque<ModuleBuilder> module_builders_;
+};
+
+}  // namespace autosec::symbolic

@@ -1,0 +1,44 @@
+#include "symbolic/dot.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace autosec::symbolic {
+
+std::string write_dot(const StateSpace& space, const DotOptions& options) {
+  if (space.state_count() > options.max_states) {
+    throw ModelError("write_dot: state space too large (" +
+                     std::to_string(space.state_count()) + " > " +
+                     std::to_string(options.max_states) + ")");
+  }
+  std::vector<bool> highlighted(space.state_count(), false);
+  if (!options.highlight_label.empty()) {
+    highlighted = space.label_mask(options.highlight_label);
+  }
+
+  std::ostringstream os;
+  os << "digraph ctmc {\n";
+  os << "  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n";
+  for (size_t s = 0; s < space.state_count(); ++s) {
+    os << "  s" << s << " [label=\""
+       << (options.show_valuations ? space.state_to_string(s)
+                                   : "s" + std::to_string(s))
+       << "\"";
+    if (s == space.initial_state()) os << ", penwidth=2";
+    if (highlighted[s]) os << ", style=filled, fillcolor=\"#f4cccc\", peripheries=2";
+    os << "];\n";
+  }
+  for (size_t s = 0; s < space.state_count(); ++s) {
+    const auto cols = space.rates().row_columns(s);
+    const auto vals = space.rates().row_values(s);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      os << "  s" << s << " -> s" << cols[k] << " [label=\""
+         << util::format_sig(vals[k], 4) << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace autosec::symbolic

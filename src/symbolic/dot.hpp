@@ -1,0 +1,27 @@
+// Graphviz (DOT) export of explored state spaces — visual inspection of the
+// small Markov models the paper draws (its Fig. 3 is exactly such a graph).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "symbolic/explorer.hpp"
+
+namespace autosec::symbolic {
+
+struct DotOptions {
+  /// Highlight states satisfying this label (doubled ellipse + fill); empty
+  /// disables highlighting.
+  std::string highlight_label;
+  /// Abort with ModelError above this many states (DOT output beyond a few
+  /// hundred states is unreadable and enormous).
+  size_t max_states = 2000;
+  /// Print variable valuations inside the nodes (otherwise state indices).
+  bool show_valuations = true;
+};
+
+/// Render the state graph: one node per state (initial state bold), one edge
+/// per transition labeled with its rate.
+std::string write_dot(const StateSpace& space, const DotOptions& options = {});
+
+}  // namespace autosec::symbolic

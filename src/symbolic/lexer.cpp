@@ -1,0 +1,153 @@
+#include "symbolic/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace autosec::symbolic {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[noreturn]] void fail(size_t line, size_t column, const std::string& message) {
+  throw LexError("lex error at " + std::to_string(line) + ":" + std::to_string(column) +
+                 ": " + message);
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t line = 1;
+  size_t column = 1;
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](size_t offset = 0) -> char {
+    return i + offset < source.size() ? source[i + offset] : '\0';
+  };
+
+  while (i < source.size()) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < source.size() && peek() != '\n') advance(1);
+      continue;
+    }
+
+    Token token;
+    token.line = line;
+    token.column = column;
+
+    if (is_ident_start(c)) {
+      size_t start = i;
+      while (i < source.size() && is_ident_char(peek())) advance(1);
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::string(source.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      bool is_double = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance(1);
+      // Careful with "..": `0..2` is int, dotdot, int — not a float.
+      if (peek() == '.' && peek(1) != '.') {
+        is_double = true;
+        advance(1);
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance(1);
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        is_double = true;
+        advance(1);
+        if (peek() == '+' || peek() == '-') advance(1);
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+          fail(line, column, "malformed exponent");
+        }
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance(1);
+      }
+      const std::string_view text = source.substr(start, i - start);
+      token.text = std::string(text);
+      if (is_double) {
+        token.kind = TokenKind::kDouble;
+        token.double_value = std::stod(token.text);
+      } else {
+        token.kind = TokenKind::kInt;
+        auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                         token.int_value);
+        if (ec != std::errc()) fail(token.line, token.column, "malformed integer");
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '"') {
+      advance(1);
+      size_t start = i;
+      while (i < source.size() && peek() != '"' && peek() != '\n') advance(1);
+      if (peek() != '"') fail(token.line, token.column, "unterminated string");
+      token.kind = TokenKind::kString;
+      token.text = std::string(source.substr(start, i - start));
+      advance(1);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Symbols, longest first.
+    static constexpr std::string_view kMultiSymbols[] = {"<=>", "->", "..", "<=",
+                                                         ">=", "!=", "=>"};
+    bool matched = false;
+    for (std::string_view symbol : kMultiSymbols) {
+      if (source.substr(i, symbol.size()) == symbol) {
+        token.kind = TokenKind::kSymbol;
+        token.text = std::string(symbol);
+        advance(symbol.size());
+        tokens.push_back(std::move(token));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    static constexpr std::string_view kSingleSymbols = "[]();:=<>+-*/&|!?,{}'";
+    if (kSingleSymbols.find(c) != std::string_view::npos) {
+      token.kind = TokenKind::kSymbol;
+      token.text = std::string(1, c);
+      advance(1);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    fail(line, column, std::string("unexpected character '") + c + "'");
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEndOfInput;
+  eof.line = line;
+  eof.column = column;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace autosec::symbolic

@@ -1,0 +1,49 @@
+// Tokenizer for the PRISM-language subset (models) and the CSL property
+// syntax. Shared by symbolic/parser and csl/property_parser.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autosec::symbolic {
+
+enum class TokenKind {
+  kIdentifier,  ///< names and keywords (keyword detection is the parser's job)
+  kInt,
+  kDouble,
+  kString,    ///< "quoted"
+  kSymbol,    ///< one of the operator/punctuation lexemes
+  kEndOfInput,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfInput;
+  std::string text;     ///< lexeme (without quotes for kString)
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t line = 0;      ///< 1-based
+  size_t column = 0;    ///< 1-based
+
+  bool is_symbol(std::string_view symbol) const {
+    return kind == TokenKind::kSymbol && text == symbol;
+  }
+  bool is_identifier(std::string_view name) const {
+    return kind == TokenKind::kIdentifier && text == name;
+  }
+};
+
+class LexError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Tokenize the whole input; the result ends with a kEndOfInput token.
+/// Comments (`// ...` to end of line) and whitespace are skipped.
+/// Multi-character symbols recognized: -> .. <= >= != => <=> ' and the
+/// single-character ones: []();:=<>+-*/&|!?,{}
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace autosec::symbolic

@@ -1,0 +1,161 @@
+// Symbolic model: a CTMC described by modules of guarded commands over
+// bounded integer variables — the PRISM-language subset the automotive
+// transformation targets.
+//
+// A Model is a declaration-level object (names, unresolved expressions); it
+// is turned into a CompiledModel (indices, resolved expressions, constants
+// folded) by compile(), optionally overriding `const` declarations the way
+// PRISM's -const command-line switch does. The explorer then enumerates the
+// reachable state space of a CompiledModel.
+//
+// Supported subset (documented deviations from full PRISM):
+//  * model type: ctmc only;
+//  * variables: bounded int (bool is sugar for [0..1] in the parser);
+//  * commands: unsynchronized only — an action label may appear in commands
+//    of at most one module (compose-by-synchronization is not implemented);
+//  * rewards: state rewards only (no transition rewards);
+//  * no `init...endinit` blocks (per-variable init values only).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "symbolic/expr.hpp"
+
+namespace autosec::symbolic {
+
+class ModelError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// `const <type> name [= expr];` — expr may be omitted (an "undefined
+/// constant") and supplied at compile time.
+struct ConstantDecl {
+  enum class Type { kBool, kInt, kDouble };
+  std::string name;
+  Type type = Type::kDouble;
+  std::optional<Expr> value;
+};
+
+/// `formula name = expr;`
+struct FormulaDecl {
+  std::string name;
+  Expr body;
+};
+
+/// Bounded integer state variable `name : [low..high] init init_value;`.
+/// Bounds may be expressions over constants.
+struct VariableDecl {
+  std::string name;
+  Expr low;
+  Expr high;
+  Expr init;
+};
+
+/// One assignment `(name' = expr)` of a command update.
+struct Assignment {
+  std::string variable;
+  Expr value;
+};
+
+/// `[action] guard -> rate : (x'=..) & (y'=..);`
+/// A command with several rate-update alternatives
+/// `guard -> r1:u1 + r2:u2;` is represented as separate Command objects by
+/// the parser (legal for CTMCs, where rates of alternatives are independent).
+struct Command {
+  std::string action;  ///< empty for unlabeled commands
+  Expr guard;
+  Expr rate;
+  std::vector<Assignment> assignments;
+};
+
+struct Module {
+  std::string name;
+  std::vector<VariableDecl> variables;
+  std::vector<Command> commands;
+};
+
+/// `label "name" = expr;`
+struct LabelDecl {
+  std::string name;
+  Expr condition;
+};
+
+/// One `guard : value;` item of a `rewards "name" ... endrewards` block.
+struct RewardItem {
+  Expr guard;
+  Expr value;
+};
+
+struct RewardStructDecl {
+  std::string name;  ///< may be empty (the default reward structure)
+  std::vector<RewardItem> items;
+};
+
+struct Model {
+  std::vector<ConstantDecl> constants;
+  std::vector<FormulaDecl> formulas;
+  std::vector<Module> modules;
+  std::vector<LabelDecl> labels;
+  std::vector<RewardStructDecl> rewards;
+
+  const Module* find_module(const std::string& name) const;
+  const LabelDecl* find_label(const std::string& name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Compiled form
+
+struct CompiledVariable {
+  std::string name;
+  int32_t low = 0;
+  int32_t high = 0;
+  int32_t init = 0;
+};
+
+struct CompiledCommand {
+  Expr guard;  ///< resolved
+  Expr rate;   ///< resolved
+  /// (variable index, resolved value expression) pairs; at most one per
+  /// variable, validated at compile time.
+  std::vector<std::pair<uint32_t, Expr>> assignments;
+  std::string action;
+  std::string module;
+};
+
+struct CompiledLabel {
+  std::string name;
+  Expr condition;  ///< resolved
+};
+
+struct CompiledRewardStruct {
+  std::string name;
+  std::vector<RewardItem> items;  ///< resolved guards/values
+};
+
+struct CompiledModel {
+  std::vector<CompiledVariable> variables;
+  std::vector<CompiledCommand> commands;
+  std::vector<CompiledLabel> labels;
+  std::vector<CompiledRewardStruct> rewards;
+  /// Constants after overrides/folding, for diagnostics and the writer.
+  std::vector<std::pair<std::string, Value>> constant_values;
+
+  std::vector<int32_t> initial_state() const;
+  const CompiledLabel* find_label(const std::string& name) const;
+  const CompiledRewardStruct* find_rewards(const std::string& name) const;
+};
+
+/// Resolve and validate a model. `constant_overrides` supplies or replaces
+/// `const` values (required for constants declared without a value). Throws
+/// ModelError on: duplicate names, unknown identifiers, unbounded/invalid
+/// variable ranges, synchronized actions across modules, or assignments to
+/// variables of other modules.
+CompiledModel compile(const Model& model,
+                      const std::vector<std::pair<std::string, Value>>&
+                          constant_overrides = {});
+
+}  // namespace autosec::symbolic

@@ -1,0 +1,436 @@
+#include "symbolic/parser.hpp"
+
+namespace autosec::symbolic {
+
+TokenStream::TokenStream(std::vector<Token> tokens) : tokens_(std::move(tokens)) {
+  if (tokens_.empty() || tokens_.back().kind != TokenKind::kEndOfInput) {
+    throw ParseError("token stream must end with end-of-input");
+  }
+}
+
+const Token& TokenStream::peek(size_t offset) const {
+  const size_t index = std::min(position_ + offset, tokens_.size() - 1);
+  return tokens_[index];
+}
+
+Token TokenStream::next() {
+  const Token& token = peek();
+  if (token.kind != TokenKind::kEndOfInput) ++position_;
+  return token;
+}
+
+bool TokenStream::accept_symbol(std::string_view symbol) {
+  if (peek().is_symbol(symbol)) {
+    next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenStream::accept_identifier(std::string_view name) {
+  if (peek().is_identifier(name)) {
+    next();
+    return true;
+  }
+  return false;
+}
+
+void TokenStream::expect_symbol(std::string_view symbol) {
+  if (!accept_symbol(symbol)) {
+    fail("expected '" + std::string(symbol) + "'");
+  }
+}
+
+void TokenStream::expect_identifier(std::string_view name) {
+  if (!accept_identifier(name)) {
+    fail("expected '" + std::string(name) + "'");
+  }
+}
+
+std::string TokenStream::expect_name() {
+  if (peek().kind != TokenKind::kIdentifier) fail("expected an identifier");
+  return next().text;
+}
+
+std::string TokenStream::expect_string() {
+  if (peek().kind != TokenKind::kString) fail("expected a quoted string");
+  return next().text;
+}
+
+void TokenStream::fail(const std::string& message) const {
+  const Token& token = peek();
+  const std::string got = token.kind == TokenKind::kEndOfInput
+                              ? std::string("end of input")
+                              : "'" + token.text + "'";
+  throw ParseError("parse error at " + std::to_string(token.line) + ":" +
+                   std::to_string(token.column) + ": " + message + ", got " + got);
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+namespace {
+
+Expr parse_ite(TokenStream& s);
+
+Expr parse_primary(TokenStream& s) {
+  const Token& token = s.peek();
+  switch (token.kind) {
+    case TokenKind::kInt: {
+      const int64_t value = token.int_value;
+      s.next();
+      return Expr::literal(value);
+    }
+    case TokenKind::kDouble: {
+      const double value = token.double_value;
+      s.next();
+      return Expr::literal(value);
+    }
+    case TokenKind::kIdentifier: {
+      if (s.accept_identifier("true")) return Expr::literal(true);
+      if (s.accept_identifier("false")) return Expr::literal(false);
+
+      static constexpr std::pair<std::string_view, CallOp> kFunctions[] = {
+          {"min", CallOp::kMin},     {"max", CallOp::kMax},  {"floor", CallOp::kFloor},
+          {"ceil", CallOp::kCeil},   {"pow", CallOp::kPow},  {"mod", CallOp::kMod},
+          {"log", CallOp::kLog},
+      };
+      for (const auto& [name, op] : kFunctions) {
+        if (token.text == name && s.peek(1).is_symbol("(")) {
+          s.next();  // function name
+          s.next();  // '('
+          std::vector<Expr> args;
+          args.push_back(parse_ite(s));
+          while (s.accept_symbol(",")) args.push_back(parse_ite(s));
+          s.expect_symbol(")");
+          try {
+            return Expr::call(op, std::move(args));
+          } catch (const EvalError& e) {
+            s.fail(e.what());
+          }
+        }
+      }
+      return Expr::ident(s.next().text);
+    }
+    case TokenKind::kString: {
+      // Quoted label atom (used in CSL properties: P=? [ F<=1 "violated" ]).
+      // Encoded as an identifier with a "label:" prefix, which cannot clash
+      // with variable names (':' is not an identifier character); the checker
+      // substitutes the label's condition before resolution.
+      const std::string name = "label:" + token.text;
+      s.next();
+      return Expr::ident(name);
+    }
+    case TokenKind::kSymbol:
+      if (s.accept_symbol("(")) {
+        Expr inner = parse_ite(s);
+        s.expect_symbol(")");
+        return inner;
+      }
+      break;
+    default:
+      break;
+  }
+  s.fail("expected an expression");
+}
+
+Expr parse_unary_minus(TokenStream& s) {
+  if (s.accept_symbol("-")) return -parse_unary_minus(s);
+  return parse_primary(s);
+}
+
+Expr parse_multiplicative(TokenStream& s) {
+  Expr lhs = parse_unary_minus(s);
+  while (true) {
+    if (s.accept_symbol("*")) {
+      lhs = std::move(lhs) * parse_unary_minus(s);
+    } else if (s.accept_symbol("/")) {
+      lhs = std::move(lhs) / parse_unary_minus(s);
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Expr parse_additive(TokenStream& s) {
+  Expr lhs = parse_multiplicative(s);
+  while (true) {
+    if (s.accept_symbol("+")) {
+      lhs = std::move(lhs) + parse_multiplicative(s);
+    } else if (s.accept_symbol("-")) {
+      lhs = std::move(lhs) - parse_multiplicative(s);
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Expr parse_relational(TokenStream& s) {
+  Expr lhs = parse_additive(s);
+  // PRISM writes equality as '='; accept chains left-associatively.
+  while (true) {
+    if (s.accept_symbol("=")) {
+      lhs = std::move(lhs) == parse_additive(s);
+    } else if (s.accept_symbol("!=")) {
+      lhs = std::move(lhs) != parse_additive(s);
+    } else if (s.accept_symbol("<=")) {
+      lhs = std::move(lhs) <= parse_additive(s);
+    } else if (s.accept_symbol(">=")) {
+      lhs = std::move(lhs) >= parse_additive(s);
+    } else if (s.accept_symbol("<")) {
+      lhs = std::move(lhs) < parse_additive(s);
+    } else if (s.accept_symbol(">")) {
+      lhs = std::move(lhs) > parse_additive(s);
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Expr parse_not(TokenStream& s) {
+  if (s.accept_symbol("!")) return !parse_not(s);
+  return parse_relational(s);
+}
+
+Expr parse_and(TokenStream& s) {
+  Expr lhs = parse_not(s);
+  while (s.accept_symbol("&")) lhs = std::move(lhs) && parse_not(s);
+  return lhs;
+}
+
+Expr parse_or(TokenStream& s) {
+  Expr lhs = parse_and(s);
+  while (s.accept_symbol("|")) lhs = std::move(lhs) || parse_and(s);
+  return lhs;
+}
+
+Expr parse_implies(TokenStream& s) {
+  Expr lhs = parse_or(s);
+  if (s.accept_symbol("=>")) {
+    // Right-associative.
+    return Expr::binary(BinaryOp::kImplies, std::move(lhs), parse_implies(s));
+  }
+  return lhs;
+}
+
+Expr parse_iff(TokenStream& s) {
+  Expr lhs = parse_implies(s);
+  while (s.accept_symbol("<=>")) {
+    lhs = Expr::binary(BinaryOp::kIff, std::move(lhs), parse_implies(s));
+  }
+  return lhs;
+}
+
+Expr parse_ite(TokenStream& s) {
+  Expr condition = parse_iff(s);
+  if (s.accept_symbol("?")) {
+    Expr then_value = parse_ite(s);
+    s.expect_symbol(":");
+    Expr else_value = parse_ite(s);
+    return Expr::ite(std::move(condition), std::move(then_value), std::move(else_value));
+  }
+  return condition;
+}
+
+}  // namespace
+
+Expr parse_expression(TokenStream& stream) { return parse_ite(stream); }
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+namespace {
+
+ConstantDecl parse_constant(TokenStream& s) {
+  ConstantDecl decl;
+  decl.type = ConstantDecl::Type::kInt;  // PRISM default
+  if (s.accept_identifier("int")) {
+    decl.type = ConstantDecl::Type::kInt;
+  } else if (s.accept_identifier("double")) {
+    decl.type = ConstantDecl::Type::kDouble;
+  } else if (s.accept_identifier("bool")) {
+    decl.type = ConstantDecl::Type::kBool;
+  }
+  decl.name = s.expect_name();
+  if (s.accept_symbol("=")) decl.value = parse_expression(s);
+  s.expect_symbol(";");
+  return decl;
+}
+
+FormulaDecl parse_formula(TokenStream& s) {
+  FormulaDecl decl;
+  decl.name = s.expect_name();
+  s.expect_symbol("=");
+  decl.body = parse_expression(s);
+  s.expect_symbol(";");
+  return decl;
+}
+
+VariableDecl parse_variable(TokenStream& s, std::string name) {
+  VariableDecl decl;
+  decl.name = std::move(name);
+  if (s.accept_identifier("bool")) {
+    // Boolean variables are integer-valued 0/1 in this implementation;
+    // expressions must compare explicitly (x = 1).
+    decl.low = Expr::literal(0);
+    decl.high = Expr::literal(1);
+    decl.init = Expr::literal(0);
+    if (s.accept_identifier("init")) {
+      if (s.accept_identifier("true")) {
+        decl.init = Expr::literal(1);
+      } else if (s.accept_identifier("false")) {
+        decl.init = Expr::literal(0);
+      } else {
+        decl.init = parse_expression(s);
+      }
+    }
+    s.expect_symbol(";");
+    return decl;
+  }
+  s.expect_symbol("[");
+  decl.low = parse_expression(s);
+  s.expect_symbol("..");
+  decl.high = parse_expression(s);
+  s.expect_symbol("]");
+  if (s.accept_identifier("init")) {
+    decl.init = parse_expression(s);
+  } else {
+    decl.init = decl.low;  // PRISM default: lower bound
+  }
+  s.expect_symbol(";");
+  return decl;
+}
+
+/// Parse the update list of one command alternative into assignments.
+std::vector<Assignment> parse_updates(TokenStream& s) {
+  std::vector<Assignment> assignments;
+  if (s.accept_identifier("true")) return assignments;  // no-op update
+  while (true) {
+    s.expect_symbol("(");
+    Assignment a;
+    a.variable = s.expect_name();
+    s.expect_symbol("'");
+    s.expect_symbol("=");
+    a.value = parse_expression(s);
+    s.expect_symbol(")");
+    assignments.push_back(std::move(a));
+    if (!s.accept_symbol("&")) break;
+  }
+  return assignments;
+}
+
+/// True when the cursor sits at the start of an update list rather than a
+/// rate expression: `true` or `(NAME'`.
+bool at_update_list(TokenStream& s) {
+  if (s.peek().is_identifier("true")) {
+    // `true` could also begin a rate expression like `true ? 1 : 2` —
+    // only treat it as an update when followed by ';', '&' or '+'.
+    const Token& after = s.peek(1);
+    return after.is_symbol(";") || after.is_symbol("&") || after.is_symbol("+");
+  }
+  return s.peek().is_symbol("(") && s.peek(1).kind == TokenKind::kIdentifier &&
+         s.peek(2).is_symbol("'");
+}
+
+/// Parse one command into possibly several Command entries (one per
+/// `rate:update` alternative — independent racing transitions in a CTMC).
+void parse_command(TokenStream& s, Module& module) {
+  std::string action;
+  if (!s.accept_symbol("]")) {
+    action = s.expect_name();
+    s.expect_symbol("]");
+  }
+  Expr guard = parse_expression(s);
+  s.expect_symbol("->");
+  while (true) {
+    Command command;
+    command.action = action;
+    command.guard = guard;
+    if (at_update_list(s)) {
+      command.rate = Expr::literal(1.0);
+      command.assignments = parse_updates(s);
+    } else {
+      command.rate = parse_expression(s);
+      s.expect_symbol(":");
+      command.assignments = parse_updates(s);
+    }
+    module.commands.push_back(std::move(command));
+    if (!s.accept_symbol("+")) break;
+  }
+  s.expect_symbol(";");
+}
+
+Module parse_module(TokenStream& s) {
+  Module module;
+  module.name = s.expect_name();
+  while (!s.accept_identifier("endmodule")) {
+    if (s.accept_symbol("[")) {
+      parse_command(s, module);
+    } else {
+      std::string name = s.expect_name();
+      s.expect_symbol(":");
+      module.variables.push_back(parse_variable(s, std::move(name)));
+    }
+  }
+  return module;
+}
+
+LabelDecl parse_label(TokenStream& s) {
+  LabelDecl decl;
+  decl.name = s.expect_string();
+  s.expect_symbol("=");
+  decl.condition = parse_expression(s);
+  s.expect_symbol(";");
+  return decl;
+}
+
+RewardStructDecl parse_rewards(TokenStream& s) {
+  RewardStructDecl decl;
+  if (s.peek().kind == TokenKind::kString) decl.name = s.expect_string();
+  while (!s.accept_identifier("endrewards")) {
+    if (s.peek().is_symbol("[")) {
+      s.fail("transition rewards are not supported (state rewards only)");
+    }
+    RewardItem item;
+    item.guard = parse_expression(s);
+    s.expect_symbol(":");
+    item.value = parse_expression(s);
+    s.expect_symbol(";");
+    decl.items.push_back(std::move(item));
+  }
+  return decl;
+}
+
+}  // namespace
+
+Model parse_model(std::string_view source) {
+  TokenStream s(tokenize(source));
+  Model model;
+
+  if (!s.accept_identifier("ctmc")) {
+    if (s.peek().is_identifier("dtmc") || s.peek().is_identifier("mdp") ||
+        s.peek().is_identifier("pta")) {
+      s.fail("only ctmc models are supported");
+    }
+    s.fail("model must start with 'ctmc'");
+  }
+
+  while (!s.at_end()) {
+    if (s.accept_identifier("const")) {
+      model.constants.push_back(parse_constant(s));
+    } else if (s.accept_identifier("formula")) {
+      model.formulas.push_back(parse_formula(s));
+    } else if (s.accept_identifier("module")) {
+      model.modules.push_back(parse_module(s));
+    } else if (s.accept_identifier("label")) {
+      model.labels.push_back(parse_label(s));
+    } else if (s.accept_identifier("rewards")) {
+      model.rewards.push_back(parse_rewards(s));
+    } else {
+      s.fail("expected a declaration (const/formula/module/label/rewards)");
+    }
+  }
+  return model;
+}
+
+}  // namespace autosec::symbolic

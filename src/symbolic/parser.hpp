@@ -1,0 +1,69 @@
+// Recursive-descent parser for the PRISM-language CTMC subset described in
+// model.hpp, plus the shared expression grammar (also used by the CSL
+// property parser).
+//
+// Grammar sketch:
+//   model      := 'ctmc' declaration*
+//   declaration:= const | formula | module | label | rewards
+//   const      := 'const' ('int'|'double'|'bool')? NAME ('=' expr)? ';'
+//   formula    := 'formula' NAME '=' expr ';'
+//   module     := 'module' NAME (variable | command)* 'endmodule'
+//   variable   := NAME ':' '[' expr '..' expr ']' ('init' expr)? ';'
+//              |  NAME ':' 'bool' ('init' expr)? ';'     // sugar for [0..1]
+//   command    := '[' NAME? ']' expr '->' alternative ('+' alternative)* ';'
+//   alternative:= (expr ':')? updates        // omitted rate means 1
+//   updates    := 'true' | '(' NAME '\'' '=' expr ')' ('&' '(' ... ')')*
+//   label      := 'label' STRING '=' expr ';'
+//   rewards    := 'rewards' STRING? (expr ':' expr ';')* 'endrewards'
+//
+// Expression precedence, loosest to tightest:
+//   ?:  <=>  =>  |  &  !  (= != < <= > >=)  (+ -)  (* /)  unary-  primary
+#pragma once
+
+#include <string_view>
+
+#include "symbolic/lexer.hpp"
+#include "symbolic/model.hpp"
+
+namespace autosec::symbolic {
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Cursor over a token vector with expectation helpers.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens);
+
+  const Token& peek(size_t offset = 0) const;
+  Token next();
+  bool at_end() const { return peek().kind == TokenKind::kEndOfInput; }
+
+  /// Consume the token if it is the given symbol/identifier; report whether
+  /// it was consumed.
+  bool accept_symbol(std::string_view symbol);
+  bool accept_identifier(std::string_view name);
+
+  void expect_symbol(std::string_view symbol);
+  void expect_identifier(std::string_view name);
+  /// Consume and return any identifier.
+  std::string expect_name();
+  /// Consume and return a string token's contents.
+  std::string expect_string();
+
+  [[noreturn]] void fail(const std::string& message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t position_ = 0;
+};
+
+/// Parse one expression starting at the stream cursor.
+Expr parse_expression(TokenStream& stream);
+
+/// Parse a full model from PRISM-subset source text.
+Model parse_model(std::string_view source);
+
+}  // namespace autosec::symbolic

@@ -1,0 +1,77 @@
+#include "symbolic/writer.hpp"
+
+#include <sstream>
+
+namespace autosec::symbolic {
+
+namespace {
+
+const char* constant_type_name(ConstantDecl::Type type) {
+  switch (type) {
+    case ConstantDecl::Type::kBool: return "bool";
+    case ConstantDecl::Type::kInt: return "int";
+    case ConstantDecl::Type::kDouble: return "double";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string write_model(const Model& model) {
+  std::ostringstream os;
+  os << "ctmc\n\n";
+
+  for (const ConstantDecl& c : model.constants) {
+    os << "const " << constant_type_name(c.type) << " " << c.name;
+    if (c.value.has_value()) os << " = " << c.value->simplified().to_string();
+    os << ";\n";
+  }
+  if (!model.constants.empty()) os << "\n";
+
+  for (const FormulaDecl& f : model.formulas) {
+    os << "formula " << f.name << " = " << f.body.simplified().to_string() << ";\n";
+  }
+  if (!model.formulas.empty()) os << "\n";
+
+  for (const Module& m : model.modules) {
+    os << "module " << m.name << "\n";
+    for (const VariableDecl& v : m.variables) {
+      os << "  " << v.name << " : [" << v.low.to_string() << ".." << v.high.to_string()
+         << "] init " << v.init.to_string() << ";\n";
+    }
+    for (const Command& c : m.commands) {
+      os << "  [" << c.action << "] " << c.guard.simplified().to_string() << " -> "
+         << c.rate.simplified().to_string() << " : ";
+      if (c.assignments.empty()) {
+        os << "true";
+      } else {
+        for (size_t i = 0; i < c.assignments.size(); ++i) {
+          if (i > 0) os << " & ";
+          os << "(" << c.assignments[i].variable << "'="
+             << c.assignments[i].value.simplified().to_string() << ")";
+        }
+      }
+      os << ";\n";
+    }
+    os << "endmodule\n\n";
+  }
+
+  for (const LabelDecl& l : model.labels) {
+    os << "label \"" << l.name << "\" = " << l.condition.simplified().to_string() << ";\n";
+  }
+  if (!model.labels.empty()) os << "\n";
+
+  for (const RewardStructDecl& r : model.rewards) {
+    os << "rewards";
+    if (!r.name.empty()) os << " \"" << r.name << "\"";
+    os << "\n";
+    for (const RewardItem& item : r.items) {
+      os << "  " << item.guard.simplified().to_string() << " : " << item.value.simplified().to_string() << ";\n";
+    }
+    os << "endrewards\n\n";
+  }
+
+  return os.str();
+}
+
+}  // namespace autosec::symbolic

@@ -1,0 +1,17 @@
+// Serializes a Model back to PRISM-language text. Together with the parser
+// this gives interchange with the paper's original toolchain: models our
+// automotive transformation generates can be dumped and run through PRISM
+// unchanged, and PRISM-subset files can be loaded into this engine.
+#pragma once
+
+#include <string>
+
+#include "symbolic/model.hpp"
+
+namespace autosec::symbolic {
+
+/// Render the model as PRISM source. Expressions print fully parenthesized;
+/// parse_model(write_model(m)) yields a semantically identical model.
+std::string write_model(const Model& model);
+
+}  // namespace autosec::symbolic

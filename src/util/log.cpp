@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace autosec::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{[] {
+  if (const char* env = std::getenv("AUTOSEC_LOG")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::kWarn;
+}()};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+
+void emit(LogLevel level, std::string_view component, std::string_view message) {
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace detail
+
+}  // namespace autosec::util

@@ -1,0 +1,63 @@
+// Minimal leveled logging for the autosec library.
+//
+// The library is used both interactively (examples, benches) and inside unit
+// tests; logging therefore goes to stderr, is off by default above `warn`, and
+// is controlled at runtime via set_level() or the AUTOSEC_LOG environment
+// variable (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace autosec::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold. Messages below this level are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse a level name ("debug", "warn", ...). Unknown names map to kWarn.
+LogLevel parse_log_level(std::string_view name);
+
+namespace detail {
+void emit(LogLevel level, std::string_view component, std::string_view message);
+}
+
+/// Stream-style log statement collector:
+///   AUTOSEC_LOG_INFO("ctmc") << "explored " << n << " states";
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= log_level()) detail::emit(level_, component_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace autosec::util
+
+#define AUTOSEC_LOG_TRACE(component) \
+  ::autosec::util::LogLine(::autosec::util::LogLevel::kTrace, component)
+#define AUTOSEC_LOG_DEBUG(component) \
+  ::autosec::util::LogLine(::autosec::util::LogLevel::kDebug, component)
+#define AUTOSEC_LOG_INFO(component) \
+  ::autosec::util::LogLine(::autosec::util::LogLevel::kInfo, component)
+#define AUTOSEC_LOG_WARN(component) \
+  ::autosec::util::LogLine(::autosec::util::LogLevel::kWarn, component)
+#define AUTOSEC_LOG_ERROR(component) \
+  ::autosec::util::LogLine(::autosec::util::LogLevel::kError, component)

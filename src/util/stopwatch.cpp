@@ -1,0 +1,13 @@
+#include "util/stopwatch.hpp"
+
+namespace autosec::util {
+
+void Stopwatch::reset() { start_ = Clock::now(); }
+
+double Stopwatch::elapsed_seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+double Stopwatch::elapsed_ms() const { return elapsed_seconds() * 1000.0; }
+
+}  // namespace autosec::util

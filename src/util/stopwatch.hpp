@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used by the benches to report build/check runtimes
+// (the paper's Section 4 correlates runtime with state count).
+#pragma once
+
+#include <chrono>
+
+namespace autosec::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart timing from now.
+  void reset();
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const;
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double elapsed_ms() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace autosec::util

@@ -1,0 +1,34 @@
+// Plain-text table printer used by the figure/table benches and examples to
+// print the paper's tables in an aligned, diff-friendly form, plus a tiny CSV
+// writer for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace autosec::util {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TextTable {
+ public:
+  /// `headers` defines the column count; rows must match it.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  size_t row_count() const { return rows_.size(); }
+
+  /// Render with a header rule, two spaces between columns.
+  std::string to_string() const;
+
+  /// Render as CSV (no quoting of separators; callers use plain cells).
+  std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace autosec::util

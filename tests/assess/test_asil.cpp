@@ -1,0 +1,49 @@
+#include "assess/asil.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autosec::assess {
+namespace {
+
+TEST(Asil, PaperTable2Rates) {
+  // Table 2: ASIL A -> 52 (telematics), C -> 12 (park assist),
+  // D -> 4 (gateway, power steering, bus guardian).
+  EXPECT_DOUBLE_EQ(patch_rate(Asil::kA), 52.0);
+  EXPECT_DOUBLE_EQ(patch_rate(Asil::kC), 12.0);
+  EXPECT_DOUBLE_EQ(patch_rate(Asil::kD), 4.0);
+}
+
+TEST(Asil, ExtensionLevelsDocumented) {
+  // QM and B are not used by the paper; our extension keeps monotonicity.
+  EXPECT_DOUBLE_EQ(patch_rate(Asil::kQm), 52.0);
+  EXPECT_DOUBLE_EQ(patch_rate(Asil::kB), 26.0);
+}
+
+TEST(Asil, RatesMonotoneDecreasingWithSafetyLevel) {
+  EXPECT_GE(patch_rate(Asil::kQm), patch_rate(Asil::kA));
+  EXPECT_GT(patch_rate(Asil::kA), patch_rate(Asil::kB));
+  EXPECT_GT(patch_rate(Asil::kB), patch_rate(Asil::kC));
+  EXPECT_GT(patch_rate(Asil::kC), patch_rate(Asil::kD));
+}
+
+TEST(Asil, Names) {
+  EXPECT_EQ(asil_name(Asil::kQm), "QM");
+  EXPECT_EQ(asil_name(Asil::kA), "A");
+  EXPECT_EQ(asil_name(Asil::kD), "D");
+}
+
+TEST(Asil, ParseAcceptsCaseInsensitiveAndTrimmed) {
+  EXPECT_EQ(parse_asil("A"), Asil::kA);
+  EXPECT_EQ(parse_asil("a"), Asil::kA);
+  EXPECT_EQ(parse_asil(" qm "), Asil::kQm);
+  EXPECT_EQ(parse_asil("D"), Asil::kD);
+}
+
+TEST(Asil, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_asil("E"), std::invalid_argument);
+  EXPECT_THROW(parse_asil(""), std::invalid_argument);
+  EXPECT_THROW(parse_asil("ASIL-A"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autosec::assess

@@ -1,0 +1,206 @@
+#include "automotive/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "automotive/casestudy.hpp"
+
+namespace autosec::automotive {
+namespace {
+
+AnalysisOptions fast_options() {
+  AnalysisOptions options;
+  options.nmax = 1;  // keep unit tests quick; the benches use the paper's 2
+  return options;
+}
+
+TEST(Analyzer, ResultBundleIsPopulated) {
+  const Architecture arch = casestudy::architecture(1, Protection::kUnencrypted);
+  const AnalysisResult result = analyze_message(
+      arch, casestudy::kMessage, SecurityCategory::kConfidentiality, fast_options());
+  EXPECT_EQ(result.architecture, "Architecture 1");
+  EXPECT_EQ(result.message, casestudy::kMessage);
+  EXPECT_GT(result.state_count, 1u);
+  EXPECT_GT(result.transition_count, 0u);
+  EXPECT_GT(result.exploitable_fraction, 0.0);
+  EXPECT_LT(result.exploitable_fraction, 1.0);
+  EXPECT_GT(result.breach_probability, result.exploitable_fraction);
+  EXPECT_LE(result.breach_probability, 1.0);
+  EXPECT_GT(result.steady_state_fraction, 0.0);
+}
+
+TEST(Analyzer, CheckArbitraryPropertyOnSession) {
+  const Architecture arch = casestudy::architecture(1, Protection::kUnencrypted);
+  const SecurityAnalysis analysis(arch, casestudy::kMessage,
+                                  SecurityCategory::kConfidentiality, fast_options());
+  const double p_3g = analysis.check("P=? [ F<=1 \"ecu_3g_exploited\" ]");
+  const double p_pa = analysis.check("P=? [ F<=1 \"ecu_pa_exploited\" ]");
+  EXPECT_GT(p_3g, 0.5);  // internet-facing, eta 1.9 within a year
+  EXPECT_GT(p_3g, p_pa); // the entry point falls before devices behind it
+}
+
+TEST(Analyzer, Figure5ShapeConfidentiality) {
+  // AES strictly improves confidentiality; CMAC does not (equals unencrypted).
+  const double unencrypted =
+      analyze_message(casestudy::architecture(1, Protection::kUnencrypted),
+                      casestudy::kMessage, SecurityCategory::kConfidentiality,
+                      fast_options()).exploitable_fraction;
+  const double cmac =
+      analyze_message(casestudy::architecture(1, Protection::kCmac128),
+                      casestudy::kMessage, SecurityCategory::kConfidentiality,
+                      fast_options()).exploitable_fraction;
+  const double aes =
+      analyze_message(casestudy::architecture(1, Protection::kAes128),
+                      casestudy::kMessage, SecurityCategory::kConfidentiality,
+                      fast_options()).exploitable_fraction;
+  EXPECT_NEAR(cmac, unencrypted, 1e-12);
+  EXPECT_LT(aes, unencrypted);
+  EXPECT_GT(aes, 0.0);
+}
+
+TEST(Analyzer, Figure5ShapeIntegrity) {
+  // CMAC and AES both provide integrity (same eta): equal, below unencrypted.
+  const double unencrypted =
+      analyze_message(casestudy::architecture(1, Protection::kUnencrypted),
+                      casestudy::kMessage, SecurityCategory::kIntegrity,
+                      fast_options()).exploitable_fraction;
+  const double cmac =
+      analyze_message(casestudy::architecture(1, Protection::kCmac128),
+                      casestudy::kMessage, SecurityCategory::kIntegrity,
+                      fast_options()).exploitable_fraction;
+  const double aes =
+      analyze_message(casestudy::architecture(1, Protection::kAes128),
+                      casestudy::kMessage, SecurityCategory::kIntegrity,
+                      fast_options()).exploitable_fraction;
+  EXPECT_LT(cmac, unencrypted);
+  EXPECT_NEAR(cmac, aes, 1e-12);
+}
+
+TEST(Analyzer, Figure5ShapeAvailabilityIgnoresProtection) {
+  const double unencrypted =
+      analyze_message(casestudy::architecture(1, Protection::kUnencrypted),
+                      casestudy::kMessage, SecurityCategory::kAvailability,
+                      fast_options()).exploitable_fraction;
+  const double aes =
+      analyze_message(casestudy::architecture(1, Protection::kAes128),
+                      casestudy::kMessage, SecurityCategory::kAvailability,
+                      fast_options()).exploitable_fraction;
+  EXPECT_NEAR(unencrypted, aes, 1e-12);
+}
+
+TEST(Analyzer, Figure5ShapeFlexRayArchitectureIsFarMoreSecure) {
+  for (const SecurityCategory category :
+       {SecurityCategory::kConfidentiality, SecurityCategory::kIntegrity,
+        SecurityCategory::kAvailability}) {
+    const double arch1 =
+        analyze_message(casestudy::architecture(1, Protection::kUnencrypted),
+                        casestudy::kMessage, category, fast_options())
+            .exploitable_fraction;
+    const double arch3 =
+        analyze_message(casestudy::architecture(3, Protection::kUnencrypted),
+                        casestudy::kMessage, category, fast_options())
+            .exploitable_fraction;
+    EXPECT_LT(arch3, arch1 / 3.0) << category_name(category);
+    EXPECT_GT(arch3, 0.0);
+  }
+}
+
+TEST(Analyzer, ConstantOverridesDriveParameterExploration) {
+  // Fig. 6(a) mechanism: raising the 3G patch rate lowers exposure.
+  const Architecture arch = casestudy::architecture(1, Protection::kUnencrypted);
+  AnalysisOptions slow_patch = fast_options();
+  slow_patch.constant_overrides = {
+      {ecu_phi_constant(casestudy::kTelematics), symbolic::Value::of(0.5)}};
+  AnalysisOptions fast_patch = fast_options();
+  fast_patch.constant_overrides = {
+      {ecu_phi_constant(casestudy::kTelematics), symbolic::Value::of(500.0)}};
+  const double exposed_slow =
+      analyze_message(arch, casestudy::kMessage, SecurityCategory::kConfidentiality,
+                      slow_patch).exploitable_fraction;
+  const double exposed_fast =
+      analyze_message(arch, casestudy::kMessage, SecurityCategory::kConfidentiality,
+                      fast_patch).exploitable_fraction;
+  EXPECT_GT(exposed_slow, exposed_fast * 2.0);
+}
+
+TEST(Analyzer, NmaxTwoRefinesButKeepsOrdering) {
+  AnalysisOptions paper = fast_options();
+  paper.nmax = 2;
+  const double arch1 =
+      analyze_message(casestudy::architecture(1, Protection::kUnencrypted),
+                      casestudy::kMessage, SecurityCategory::kAvailability, paper)
+          .exploitable_fraction;
+  const double arch3 =
+      analyze_message(casestudy::architecture(3, Protection::kUnencrypted),
+                      casestudy::kMessage, SecurityCategory::kAvailability, paper)
+          .exploitable_fraction;
+  EXPECT_LT(arch3, arch1);
+}
+
+TEST(Analyzer, MeanTimeToBreachIsConsistent) {
+  const Architecture arch = casestudy::architecture(1, Protection::kUnencrypted);
+  const AnalysisResult result = analyze_message(
+      arch, casestudy::kMessage, SecurityCategory::kConfidentiality, fast_options());
+  ASSERT_TRUE(std::isfinite(result.mean_time_to_breach));
+  EXPECT_GT(result.mean_time_to_breach, 0.0);
+  // Sanity: with a breach probability of p in year one, the mean time to
+  // breach cannot exceed the mean of a geometric year count by much; for
+  // Architecture 1 (p ~ 0.85) it lands well under 2 years.
+  EXPECT_LT(result.mean_time_to_breach, 2.0);
+}
+
+TEST(Analyzer, MeanTimeToBreachOrdersArchitectures) {
+  const double t1 = analyze_message(casestudy::architecture(1, Protection::kUnencrypted),
+                                    casestudy::kMessage,
+                                    SecurityCategory::kConfidentiality, fast_options())
+                        .mean_time_to_breach;
+  const double t3 = analyze_message(casestudy::architecture(3, Protection::kUnencrypted),
+                                    casestudy::kMessage,
+                                    SecurityCategory::kConfidentiality, fast_options())
+                        .mean_time_to_breach;
+  EXPECT_GT(t3, 5.0 * t1);  // FlexRay delays the first breach dramatically
+}
+
+TEST(Analyzer, AnalyzeArchitectureCoversAllMessagesAndCategories) {
+  Architecture arch = casestudy::architecture(1, Protection::kUnencrypted);
+  Message second = arch.messages[0];
+  second.name = "m2";
+  second.protection = Protection::kAes128;
+  arch.messages.push_back(second);
+
+  const auto results = analyze_architecture(arch, fast_options());
+  ASSERT_EQ(results.size(), 6u);  // 2 messages x 3 categories
+  EXPECT_EQ(results[0].message, "m");
+  EXPECT_EQ(results[3].message, "m2");
+  EXPECT_EQ(results[0].category, SecurityCategory::kConfidentiality);
+  EXPECT_EQ(results[2].category, SecurityCategory::kAvailability);
+  // AES m2 is more confidential than unencrypted m.
+  EXPECT_LT(results[3].exploitable_fraction, results[0].exploitable_fraction);
+}
+
+TEST(Analyzer, AnalyzeArchitectureWithCategorySubset) {
+  const Architecture arch = casestudy::architecture(1, Protection::kUnencrypted);
+  const auto results = analyze_architecture(arch, fast_options(),
+                                            {SecurityCategory::kAvailability});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].category, SecurityCategory::kAvailability);
+}
+
+TEST(Analyzer, HorizonScalesBreachProbability) {
+  const Architecture arch = casestudy::architecture(1, Protection::kUnencrypted);
+  AnalysisOptions short_horizon = fast_options();
+  short_horizon.horizon_years = 0.1;
+  AnalysisOptions long_horizon = fast_options();
+  long_horizon.horizon_years = 2.0;
+  const double p_short =
+      analyze_message(arch, casestudy::kMessage, SecurityCategory::kConfidentiality,
+                      short_horizon).breach_probability;
+  const double p_long =
+      analyze_message(arch, casestudy::kMessage, SecurityCategory::kConfidentiality,
+                      long_horizon).breach_probability;
+  EXPECT_LT(p_short, p_long);
+}
+
+}  // namespace
+}  // namespace autosec::automotive

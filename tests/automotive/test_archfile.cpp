@@ -1,0 +1,201 @@
+#include "automotive/archfile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "automotive/casestudy.hpp"
+
+namespace autosec::automotive {
+namespace {
+
+constexpr const char* kSample = R"(# quickstart platform
+architecture "sample"
+
+bus NET internet
+bus CAN can
+bus FR flexray guardian eta=0.2 phi=4
+bus ETH ethernet switch eta=1.2 phi=12
+
+ecu TCU asil=A failure=0.5/52
+  iface NET cvss=AV:N/AC:H/Au:M
+  iface CAN eta=3.8
+ecu BRAKE phi=4 asil=D
+  iface CAN cvss=AV:A/AC:H/Au:S
+  iface FR eta=1.2
+  iface ETH eta=1.2
+
+message cmd from=TCU to=BRAKE via=CAN protection=AES128 patch=2
+)";
+
+TEST(ArchFile, ParsesFullSyntax) {
+  const Architecture arch = parse_architecture(kSample);
+  EXPECT_EQ(arch.name, "sample");
+  ASSERT_EQ(arch.buses.size(), 4u);
+  EXPECT_EQ(arch.buses[0].kind, BusKind::kInternet);
+  EXPECT_EQ(arch.buses[2].kind, BusKind::kFlexRay);
+  ASSERT_TRUE(arch.buses[2].guardian.has_value());
+  EXPECT_DOUBLE_EQ(arch.buses[2].guardian->eta, 0.2);
+  ASSERT_TRUE(arch.buses[3].eth_switch.has_value());
+  EXPECT_DOUBLE_EQ(arch.buses[3].eth_switch->phi, 12.0);
+
+  ASSERT_EQ(arch.ecus.size(), 2u);
+  const Ecu& tcu = arch.ecus[0];
+  EXPECT_DOUBLE_EQ(tcu.phi, 52.0);  // from asil=A
+  ASSERT_TRUE(tcu.asil.has_value());
+  ASSERT_TRUE(tcu.failure.has_value());
+  EXPECT_DOUBLE_EQ(tcu.failure->failure_rate, 0.5);
+  EXPECT_DOUBLE_EQ(tcu.failure->repair_rate, 52.0);
+  ASSERT_EQ(tcu.interfaces.size(), 2u);
+  // cvss= derives eta (1.85 for AV:N/AC:H/Au:M).
+  EXPECT_NEAR(tcu.interfaces[0].eta, 1.85, 1e-12);
+  ASSERT_TRUE(tcu.interfaces[0].cvss.has_value());
+  EXPECT_DOUBLE_EQ(tcu.interfaces[1].eta, 3.8);
+
+  ASSERT_EQ(arch.messages.size(), 1u);
+  const Message& cmd = arch.messages[0];
+  EXPECT_EQ(cmd.sender, "TCU");
+  EXPECT_EQ(cmd.receivers, std::vector<std::string>{"BRAKE"});
+  EXPECT_EQ(cmd.protection, Protection::kAes128);
+  EXPECT_DOUBLE_EQ(cmd.patch_rate, 2.0);
+}
+
+TEST(ArchFile, ExplicitPhiOverridesAsil) {
+  const Architecture arch = parse_architecture(R"(
+architecture "x"
+bus NET internet
+ecu A phi=7 asil=A
+  iface NET eta=1
+ecu B asil=A
+  iface NET eta=1
+message m from=A to=B via=NET
+)");
+  EXPECT_DOUBLE_EQ(arch.ecus[0].phi, 7.0);
+  EXPECT_DOUBLE_EQ(arch.ecus[1].phi, 52.0);
+}
+
+TEST(ArchFile, RoundTripPreservesEverything) {
+  const Architecture original = parse_architecture(kSample);
+  const Architecture reparsed = parse_architecture(write_architecture(original));
+  EXPECT_EQ(reparsed.name, original.name);
+  ASSERT_EQ(reparsed.buses.size(), original.buses.size());
+  ASSERT_EQ(reparsed.ecus.size(), original.ecus.size());
+  for (size_t e = 0; e < original.ecus.size(); ++e) {
+    EXPECT_EQ(reparsed.ecus[e].name, original.ecus[e].name);
+    EXPECT_DOUBLE_EQ(reparsed.ecus[e].phi, original.ecus[e].phi);
+    ASSERT_EQ(reparsed.ecus[e].interfaces.size(), original.ecus[e].interfaces.size());
+    for (size_t i = 0; i < original.ecus[e].interfaces.size(); ++i) {
+      EXPECT_DOUBLE_EQ(reparsed.ecus[e].interfaces[i].eta,
+                       original.ecus[e].interfaces[i].eta);
+    }
+  }
+  ASSERT_EQ(reparsed.messages.size(), original.messages.size());
+  EXPECT_EQ(reparsed.messages[0].protection, original.messages[0].protection);
+  EXPECT_DOUBLE_EQ(reparsed.messages[0].patch_rate, original.messages[0].patch_rate);
+}
+
+TEST(ArchFile, CaseStudyRoundTrip) {
+  for (int which = 1; which <= 3; ++which) {
+    const Architecture original =
+        casestudy::architecture(which, Protection::kCmac128);
+    const Architecture reparsed = parse_architecture(write_architecture(original));
+    EXPECT_EQ(reparsed.name, original.name);
+    EXPECT_EQ(reparsed.ecus.size(), original.ecus.size());
+    EXPECT_EQ(reparsed.messages[0].buses, original.messages[0].buses);
+    EXPECT_EQ(reparsed.messages[0].protection, original.messages[0].protection);
+  }
+}
+
+TEST(ArchFile, GatekeeperDefaultsWhenOmitted) {
+  const Architecture arch = parse_architecture(R"(
+architecture "defaults"
+bus NET internet
+bus FR flexray
+bus ETH ethernet
+ecu A phi=52
+  iface NET eta=1.9
+  iface FR eta=1.2
+  iface ETH eta=1.2
+ecu B phi=4
+  iface FR eta=1.2
+message m from=A to=B via=FR
+)");
+  ASSERT_TRUE(arch.find_bus("FR")->guardian.has_value());
+  EXPECT_DOUBLE_EQ(arch.find_bus("FR")->guardian->eta, GuardianSpec{}.eta);
+  ASSERT_TRUE(arch.find_bus("ETH")->eth_switch.has_value());
+}
+
+TEST(ArchFile, ErrorsCarryLineNumbers) {
+  try {
+    parse_architecture("architecture \"x\"\nbus B nonsense\n");
+    FAIL() << "expected ArchFileError";
+  } catch (const ArchFileError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ArchFile, SyntaxErrorsRejected) {
+  EXPECT_THROW(parse_architecture("bogus keyword\n"), ArchFileError);
+  EXPECT_THROW(parse_architecture("bus onlyname\n"), ArchFileError);
+  EXPECT_THROW(parse_architecture("architecture \"unterminated\nbus B can\n"),
+               ArchFileError);
+  EXPECT_THROW(parse_architecture("architecture \"x\"\necu A phi=1\n"),
+               ArchitectureError);  // ecu without interfaces fails validation
+  EXPECT_THROW(parse_architecture("architecture \"x\"\niface CAN eta=1\n"),
+               ArchFileError);  // iface outside ecu
+  EXPECT_THROW(parse_architecture(R"(
+architecture "x"
+bus CAN can
+ecu A
+  iface CAN eta=1
+)"),
+               ArchFileError);  // ecu without phi/asil
+  EXPECT_THROW(parse_architecture(R"(
+architecture "x"
+bus CAN can
+ecu A phi=1
+  iface CAN
+)"),
+               ArchFileError);  // iface without eta/cvss
+  EXPECT_THROW(parse_architecture(R"(
+architecture "x"
+bus CAN can
+ecu A phi=-1
+  iface CAN eta=1
+)"),
+               ArchFileError);  // negative rate
+}
+
+TEST(ArchFile, GuardianOnWrongBusKindRejected) {
+  EXPECT_THROW(parse_architecture("architecture \"x\"\nbus B can guardian eta=1 phi=1\n"),
+               ArchFileError);
+  EXPECT_THROW(parse_architecture("architecture \"x\"\nbus B can switch eta=1 phi=1\n"),
+               ArchFileError);
+}
+
+TEST(ArchFile, SemanticValidationStillApplies) {
+  // Message referencing an unknown receiver passes the syntax but fails
+  // Architecture::validate().
+  EXPECT_THROW(parse_architecture(R"(
+architecture "x"
+bus CAN can
+ecu A phi=1
+  iface CAN eta=1
+message m from=A to=GHOST via=CAN
+)"),
+               ArchitectureError);
+}
+
+TEST(ArchFile, LoadFileErrors) {
+  EXPECT_THROW(load_architecture_file("/nonexistent/path.arch"), ArchFileError);
+}
+
+TEST(ArchFile, SaveAndLoadFile) {
+  const Architecture original = casestudy::architecture(2, Protection::kAes128);
+  const std::string path = ::testing::TempDir() + "/roundtrip.arch";
+  save_architecture_file(original, path);
+  const Architecture loaded = load_architecture_file(path);
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.ecus.size(), original.ecus.size());
+}
+
+}  // namespace
+}  // namespace autosec::automotive

@@ -1,0 +1,167 @@
+#include "automotive/architecture.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autosec::automotive {
+namespace {
+
+Architecture minimal_valid() {
+  Architecture arch;
+  arch.name = "minimal";
+  arch.buses.push_back({"NET", BusKind::kInternet, std::nullopt, std::nullopt});
+  arch.buses.push_back({"CAN", BusKind::kCan, std::nullopt, std::nullopt});
+  Ecu a{"A", 12.0, assess::Asil::kC,
+        {{"NET", 1.9, std::nullopt}, {"CAN", 3.8, std::nullopt}}, std::nullopt};
+  Ecu b{"B", 4.0, assess::Asil::kD, {{"CAN", 1.2, std::nullopt}}, std::nullopt};
+  arch.ecus = {a, b};
+  Message m;
+  m.name = "m";
+  m.sender = "A";
+  m.receivers = {"B"};
+  m.buses = {"CAN"};
+  arch.messages = {m};
+  return arch;
+}
+
+TEST(Architecture, ValidArchitecturePasses) {
+  EXPECT_NO_THROW(minimal_valid().validate());
+}
+
+TEST(Architecture, Lookups) {
+  const Architecture arch = minimal_valid();
+  EXPECT_NE(arch.find_bus("CAN"), nullptr);
+  EXPECT_EQ(arch.find_bus("LIN"), nullptr);
+  EXPECT_NE(arch.find_ecu("A"), nullptr);
+  EXPECT_EQ(arch.find_ecu("Z"), nullptr);
+  EXPECT_NE(arch.find_message("m"), nullptr);
+  EXPECT_EQ(arch.find_message("x"), nullptr);
+  ASSERT_NE(arch.find_ecu("A")->find_interface("CAN"), nullptr);
+  EXPECT_EQ(arch.find_ecu("B")->find_interface("NET"), nullptr);
+}
+
+TEST(Architecture, EcusOnBus) {
+  const Architecture arch = minimal_valid();
+  const auto on_can = arch.ecus_on_bus("CAN");
+  ASSERT_EQ(on_can.size(), 2u);
+  EXPECT_EQ(on_can[0]->name, "A");
+  EXPECT_EQ(on_can[1]->name, "B");
+  EXPECT_EQ(arch.ecus_on_bus("NET").size(), 1u);
+}
+
+TEST(Architecture, DuplicateBusRejected) {
+  Architecture arch = minimal_valid();
+  arch.buses.push_back({"CAN", BusKind::kCan, std::nullopt, std::nullopt});
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+}
+
+TEST(Architecture, DuplicateEcuRejected) {
+  Architecture arch = minimal_valid();
+  arch.ecus.push_back(arch.ecus[0]);
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+}
+
+TEST(Architecture, FlexRayNeedsGuardian) {
+  Architecture arch = minimal_valid();
+  arch.buses[1].kind = BusKind::kFlexRay;  // no guardian set
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+  arch.buses[1].guardian = GuardianSpec{};
+  EXPECT_NO_THROW(arch.validate());
+}
+
+TEST(Architecture, GuardianOnCanRejected) {
+  Architecture arch = minimal_valid();
+  arch.buses[1].guardian = GuardianSpec{};
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+}
+
+TEST(Architecture, InterfaceOnUnknownBusRejected) {
+  Architecture arch = minimal_valid();
+  arch.ecus[0].interfaces.push_back({"GHOST", 1.0, std::nullopt});
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+}
+
+TEST(Architecture, DuplicateInterfaceOnSameBusRejected) {
+  Architecture arch = minimal_valid();
+  arch.ecus[1].interfaces.push_back({"CAN", 1.0, std::nullopt});
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+}
+
+TEST(Architecture, EcuWithoutInterfacesRejected) {
+  Architecture arch = minimal_valid();
+  arch.ecus.push_back({"C", 1.0, std::nullopt, {}, std::nullopt});
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+}
+
+TEST(Architecture, NegativeRatesRejected) {
+  Architecture arch = minimal_valid();
+  arch.ecus[0].phi = -1.0;
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+  arch.ecus[0].phi = 1.0;
+  arch.ecus[0].interfaces[0].eta = -0.1;
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+}
+
+TEST(Architecture, MessageSenderMustExistAndBeAttached) {
+  Architecture arch = minimal_valid();
+  arch.messages[0].sender = "GHOST";
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+  arch.messages[0].sender = "B";  // B has no NET interface
+  arch.messages[0].buses = {"NET"};
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+}
+
+TEST(Architecture, MessageReceiversChecked) {
+  Architecture arch = minimal_valid();
+  arch.messages[0].receivers = {};
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+  arch.messages[0].receivers = {"GHOST"};
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+}
+
+TEST(Architecture, MessageBusPathChecked) {
+  Architecture arch = minimal_valid();
+  arch.messages[0].buses = {};
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+  arch.messages[0].buses = {"GHOST"};
+  EXPECT_THROW(arch.validate(), ArchitectureError);
+}
+
+TEST(ProtectionRates, Table2MessageRows) {
+  const ProtectionRates none = default_protection_rates(Protection::kUnencrypted);
+  EXPECT_FALSE(none.integrity_eta.has_value());
+  EXPECT_FALSE(none.confidentiality_eta.has_value());
+
+  const ProtectionRates cmac = default_protection_rates(Protection::kCmac128);
+  ASSERT_TRUE(cmac.integrity_eta.has_value());
+  EXPECT_DOUBLE_EQ(*cmac.integrity_eta, 1.2);
+  EXPECT_FALSE(cmac.confidentiality_eta.has_value());
+
+  const ProtectionRates aes = default_protection_rates(Protection::kAes128);
+  ASSERT_TRUE(aes.integrity_eta.has_value());
+  ASSERT_TRUE(aes.confidentiality_eta.has_value());
+  EXPECT_DOUBLE_EQ(*aes.integrity_eta, 1.2);
+  EXPECT_DOUBLE_EQ(*aes.confidentiality_eta, 1.2);
+}
+
+TEST(ProtectionRates, OverrideWinsOverDefaults) {
+  Message m;
+  m.protection = Protection::kUnencrypted;
+  m.rates_override = ProtectionRates{.integrity_eta = 9.0, .confidentiality_eta = 0.5};
+  EXPECT_DOUBLE_EQ(*m.rates().integrity_eta, 9.0);
+  EXPECT_DOUBLE_EQ(*m.rates().confidentiality_eta, 0.5);
+}
+
+TEST(Names, EnumPrinters) {
+  EXPECT_EQ(bus_kind_name(BusKind::kCan), "CAN");
+  EXPECT_EQ(bus_kind_name(BusKind::kFlexRay), "FlexRay");
+  EXPECT_EQ(bus_kind_name(BusKind::kInternet), "Internet");
+  EXPECT_EQ(protection_name(Protection::kUnencrypted), "unencrypted");
+  EXPECT_EQ(protection_name(Protection::kCmac128), "CMAC128");
+  EXPECT_EQ(protection_name(Protection::kAes128), "AES128");
+  EXPECT_EQ(category_name(SecurityCategory::kConfidentiality), "confidentiality");
+  EXPECT_EQ(category_name(SecurityCategory::kIntegrity), "integrity");
+  EXPECT_EQ(category_name(SecurityCategory::kAvailability), "availability");
+}
+
+}  // namespace
+}  // namespace autosec::automotive

@@ -1,0 +1,219 @@
+#include "automotive/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "automotive/casestudy.hpp"
+
+namespace autosec::automotive {
+namespace {
+
+namespace cs = casestudy;
+
+CriticalityOptions fast_criticality() {
+  CriticalityOptions options;
+  options.analysis.nmax = 1;
+  return options;
+}
+
+TEST(Criticality, CoversEveryRateConstant) {
+  const auto result =
+      criticality_analysis(cs::architecture(1, Protection::kUnencrypted), cs::kMessage,
+                           SecurityCategory::kConfidentiality, fast_criticality());
+  // Arch 1: 6 interface etas + 4 ECU phis = 10 rate constants.
+  EXPECT_EQ(result.size(), 10u);
+  // Sorted by |elasticity| descending.
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_GE(std::abs(result[i - 1].elasticity), std::abs(result[i].elasticity));
+  }
+}
+
+TEST(Criticality, SignsMatchRateSemantics) {
+  const auto result =
+      criticality_analysis(cs::architecture(1, Protection::kUnencrypted), cs::kMessage,
+                           SecurityCategory::kConfidentiality, fast_criticality());
+  for (const Criticality& c : result) {
+    if (c.constant.rfind("phi_", 0) == 0) {
+      EXPECT_LE(c.elasticity, 1e-9) << c.constant;  // patching reduces exposure
+    }
+    if (c.constant.rfind("eta_", 0) == 0) {
+      EXPECT_GE(c.elasticity, -1e-9) << c.constant;  // exploits increase it
+    }
+  }
+}
+
+TEST(Criticality, EntryPointDominates) {
+  // The 3G uplink eta and the 3G patch rate must be among the most critical
+  // constants in Architecture 1 — the paper's Fig. 6 picked them for a
+  // reason.
+  const auto result =
+      criticality_analysis(cs::architecture(1, Protection::kUnencrypted), cs::kMessage,
+                           SecurityCategory::kConfidentiality, fast_criticality());
+  ASSERT_GE(result.size(), 3u);
+  const std::vector<std::string> top = {result[0].constant, result[1].constant,
+                                        result[2].constant};
+  const bool has_3g = std::find(top.begin(), top.end(), "eta_3g_net") != top.end() ||
+                      std::find(top.begin(), top.end(), "phi_3g") != top.end();
+  EXPECT_TRUE(has_3g) << "top-3: " << top[0] << ", " << top[1] << ", " << top[2];
+}
+
+TEST(Criticality, BaseValuesMatchTable2) {
+  const auto result =
+      criticality_analysis(cs::architecture(1, Protection::kUnencrypted), cs::kMessage,
+                           SecurityCategory::kConfidentiality, fast_criticality());
+  for (const Criticality& c : result) {
+    if (c.constant == "phi_3g") {
+      EXPECT_DOUBLE_EQ(c.base_value, 52.0);
+    }
+    if (c.constant == "eta_3g_net") {
+      EXPECT_DOUBLE_EQ(c.base_value, 1.9);
+    }
+    if (c.constant == "phi_pa") {
+      EXPECT_DOUBLE_EQ(c.base_value, 12.0);
+    }
+  }
+}
+
+TEST(Criticality, AesModelIncludesMessageEta) {
+  const auto result =
+      criticality_analysis(cs::architecture(1, Protection::kAes128), cs::kMessage,
+                           SecurityCategory::kConfidentiality, fast_criticality());
+  const bool has_msg =
+      std::any_of(result.begin(), result.end(),
+                  [](const Criticality& c) { return c.constant == "eta_msg"; });
+  EXPECT_TRUE(has_msg);
+  // phi_msg is 0 (Table 2 "-"): must be skipped, not perturbed.
+  const bool has_phi_msg =
+      std::any_of(result.begin(), result.end(),
+                  [](const Criticality& c) { return c.constant == "phi_msg"; });
+  EXPECT_FALSE(has_phi_msg);
+}
+
+TEST(BreachAttribution, TotalMatchesBreachProbability) {
+  AnalysisOptions options;
+  options.nmax = 1;
+  const Architecture arch = cs::architecture(1, Protection::kUnencrypted);
+  const auto attribution = first_breach_attribution(
+      arch, cs::kMessage, SecurityCategory::kConfidentiality, options);
+  const AnalysisResult result = analyze_message(
+      arch, cs::kMessage, SecurityCategory::kConfidentiality, options);
+  EXPECT_NEAR(attribution.total_breach_probability, result.breach_probability, 1e-9);
+}
+
+TEST(BreachAttribution, TelematicsIsTheDoorInArchitecture1) {
+  AnalysisOptions options;
+  options.nmax = 1;
+  const auto attribution = first_breach_attribution(
+      cs::architecture(1, Protection::kUnencrypted), cs::kMessage,
+      SecurityCategory::kConfidentiality, options);
+  ASSERT_FALSE(attribution.attributions.empty());
+  EXPECT_EQ(attribution.attributions[0].component, cs::kTelematics);
+  // Nearly every first breach involves the compromised telematics unit.
+  EXPECT_GT(attribution.attributions[0].probability,
+            0.9 * attribution.total_breach_probability);
+}
+
+TEST(BreachAttribution, SharesAreProbabilities) {
+  AnalysisOptions options;
+  options.nmax = 1;
+  const auto attribution = first_breach_attribution(
+      cs::architecture(2, Protection::kAes128), cs::kMessage,
+      SecurityCategory::kIntegrity, options);
+  for (const BreachAttribution& a : attribution.attributions) {
+    EXPECT_GT(a.probability, 0.0);
+    EXPECT_LE(a.probability, attribution.total_breach_probability + 1e-12);
+  }
+}
+
+TEST(BreachAttribution, GuardianShowsUpInArchitecture3) {
+  AnalysisOptions options;
+  options.nmax = 1;
+  const auto attribution = first_breach_attribution(
+      cs::architecture(3, Protection::kUnencrypted), cs::kMessage,
+      SecurityCategory::kAvailability, options);
+  const bool has_guardian = std::any_of(
+      attribution.attributions.begin(), attribution.attributions.end(),
+      [](const BreachAttribution& a) { return a.component == "guardian FR"; });
+  EXPECT_TRUE(has_guardian);
+}
+
+TEST(BreachAttribution, ProtectionAttributedWhenBroken) {
+  // Force an extreme message eta so the protection is essentially always the
+  // first thing to fall once the bus is exploitable.
+  Architecture arch = cs::architecture(1, Protection::kAes128);
+  arch.messages[0].rates_override =
+      ProtectionRates{.integrity_eta = 1.2, .confidentiality_eta = 10000.0};
+  AnalysisOptions options;
+  options.nmax = 1;
+  const auto attribution = first_breach_attribution(
+      arch, cs::kMessage, SecurityCategory::kConfidentiality, options);
+  const bool has_protection = std::any_of(
+      attribution.attributions.begin(), attribution.attributions.end(),
+      [](const BreachAttribution& a) { return a.component == "protection"; });
+  EXPECT_TRUE(has_protection);
+}
+
+TEST(BreachQuantile, MatchesBoundedReachabilityInversion) {
+  AnalysisOptions options;
+  options.nmax = 1;
+  const SecurityAnalysis analysis(cs::architecture(1, Protection::kUnencrypted),
+                                  cs::kMessage, SecurityCategory::kConfidentiality,
+                                  options);
+  const double median = breach_time_quantile(analysis, 0.5);
+  ASSERT_TRUE(std::isfinite(median));
+  // Invert: the breach probability at the median must be ~0.5.
+  const double p = analysis.check(
+      "P=? [ F<=" + std::to_string(median) + " \"violated\" ]");
+  EXPECT_NEAR(p, 0.5, 1e-3);
+}
+
+TEST(BreachQuantile, MonotoneInQuantile) {
+  AnalysisOptions options;
+  options.nmax = 1;
+  const SecurityAnalysis analysis(cs::architecture(1, Protection::kUnencrypted),
+                                  cs::kMessage, SecurityCategory::kConfidentiality,
+                                  options);
+  const double q25 = breach_time_quantile(analysis, 0.25);
+  const double q50 = breach_time_quantile(analysis, 0.5);
+  const double q95 = breach_time_quantile(analysis, 0.95);
+  EXPECT_LT(q25, q50);
+  EXPECT_LT(q50, q95);
+}
+
+TEST(BreachQuantile, ArchitectureOrdering) {
+  AnalysisOptions options;
+  options.nmax = 1;
+  const SecurityAnalysis arch1(cs::architecture(1, Protection::kUnencrypted),
+                               cs::kMessage, SecurityCategory::kConfidentiality,
+                               options);
+  const SecurityAnalysis arch3(cs::architecture(3, Protection::kUnencrypted),
+                               cs::kMessage, SecurityCategory::kConfidentiality,
+                               options);
+  EXPECT_GT(breach_time_quantile(arch3, 0.5), 3.0 * breach_time_quantile(arch1, 0.5));
+}
+
+TEST(BreachQuantile, InfiniteWhenUnreachableWithinMax) {
+  AnalysisOptions options;
+  options.nmax = 1;
+  const SecurityAnalysis analysis(cs::architecture(3, Protection::kUnencrypted),
+                                  cs::kMessage, SecurityCategory::kConfidentiality,
+                                  options);
+  // Tiny max horizon: even arch 3's first breach usually takes years.
+  EXPECT_TRUE(std::isinf(breach_time_quantile(analysis, 0.99, /*max_years=*/0.001)));
+}
+
+TEST(BreachQuantile, InvalidArgumentsRejected) {
+  AnalysisOptions options;
+  options.nmax = 1;
+  const SecurityAnalysis analysis(cs::architecture(1, Protection::kUnencrypted),
+                                  cs::kMessage, SecurityCategory::kConfidentiality,
+                                  options);
+  EXPECT_THROW(breach_time_quantile(analysis, 0.0), std::invalid_argument);
+  EXPECT_THROW(breach_time_quantile(analysis, 1.0), std::invalid_argument);
+  EXPECT_THROW(breach_time_quantile(analysis, 0.5, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autosec::automotive

@@ -1,0 +1,288 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "automotive/archfile.hpp"
+#include "automotive/casestudy.hpp"
+
+namespace autosec::cli {
+namespace {
+
+/// Writes the case-study Architecture 1 to a temp .arch file once.
+class CliFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    path_ = new std::string(::testing::TempDir() + "/cli_arch1.arch");
+    automotive::save_architecture_file(
+        automotive::casestudy::architecture(1, automotive::Protection::kUnencrypted),
+        *path_);
+  }
+  static void TearDownTestSuite() {
+    delete path_;
+    path_ = nullptr;
+  }
+
+  static std::string* path_;
+
+  struct Result {
+    int exit_code;
+    std::string out;
+    std::string err;
+  };
+
+  static Result run(std::vector<std::string> args) {
+    std::ostringstream out, err;
+    const int code = run_cli(args, out, err);
+    return {code, out.str(), err.str()};
+  }
+};
+
+std::string* CliFixture::path_ = nullptr;
+
+TEST_F(CliFixture, HelpPrintsUsage) {
+  const Result result = run({"help"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("usage: autosec"), std::string::npos);
+}
+
+TEST_F(CliFixture, NoArgumentsIsAnError) {
+  const Result result = run({});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.out.find("usage"), std::string::npos);
+}
+
+TEST_F(CliFixture, UnknownCommandFails) {
+  const Result result = run({"frobnicate"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliFixture, AnalyzeAllCategories) {
+  const Result result = run({"analyze", *path_, "--nmax", "1"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("confidentiality"), std::string::npos);
+  EXPECT_NE(result.out.find("integrity"), std::string::npos);
+  EXPECT_NE(result.out.find("availability"), std::string::npos);
+  EXPECT_NE(result.out.find("Architecture 1"), std::string::npos);
+}
+
+TEST_F(CliFixture, AnalyzeSingleCategoryAndMessage) {
+  const Result result = run({"analyze", *path_, "--message", "m", "--category",
+                             "confidentiality", "--nmax", "1"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("confidentiality"), std::string::npos);
+  EXPECT_EQ(result.out.find("integrity"), std::string::npos);
+}
+
+TEST_F(CliFixture, AnalyzeUnknownMessageFails) {
+  const Result result = run({"analyze", *path_, "--message", "ghost"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("ghost"), std::string::npos);
+}
+
+TEST_F(CliFixture, AnalyzeMissingFileFails) {
+  const Result result = run({"analyze", "/no/such/file.arch"});
+  EXPECT_EQ(result.exit_code, 1);
+}
+
+TEST_F(CliFixture, CheckQuantitativeProperty) {
+  const Result result = run({"check", *path_, "--message", "m", "--nmax", "1",
+                             "--property", "P=? [ F<=1 \"violated\" ]"});
+  EXPECT_EQ(result.exit_code, 0);
+  const double value = std::stod(result.out);
+  EXPECT_GT(value, 0.5);
+  EXPECT_LE(value, 1.0);
+}
+
+TEST_F(CliFixture, CheckBoundedPropertyExitCodes) {
+  const Result satisfied = run({"check", *path_, "--message", "m", "--nmax", "1",
+                                "--property", "P>=0.5 [ F<=1 \"violated\" ]"});
+  EXPECT_EQ(satisfied.exit_code, 0);
+  EXPECT_NE(satisfied.out.find("true"), std::string::npos);
+
+  const Result violated = run({"check", *path_, "--message", "m", "--nmax", "1",
+                               "--property", "P<=0.01 [ F<=1 \"violated\" ]"});
+  EXPECT_EQ(violated.exit_code, 2);
+  EXPECT_NE(violated.out.find("false"), std::string::npos);
+}
+
+TEST_F(CliFixture, CheckWithoutPropertyFails) {
+  const Result result = run({"check", *path_, "--message", "m"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--property"), std::string::npos);
+}
+
+TEST_F(CliFixture, CheckPropertyFile) {
+  const std::string props_path = ::testing::TempDir() + "/reqs.props";
+  std::ofstream(props_path) << R"(# requirements
+P=? [ F<=1 "violated" ]     # quantitative
+P>=0.5 [ F<=1 "violated" ]  # holds for arch 1
+P<=0.01 [ F<=1 "violated" ] # violated
+)";
+  const Result result =
+      run({"check", *path_, "--message", "m", "--nmax", "1", "--props", props_path});
+  EXPECT_EQ(result.exit_code, 2);  // one bounded property violated
+  EXPECT_NE(result.out.find("true"), std::string::npos);
+  EXPECT_NE(result.out.find("FALSE"), std::string::npos);
+}
+
+TEST_F(CliFixture, CheckPropertyFileMissing) {
+  EXPECT_EQ(run({"check", *path_, "--message", "m", "--props", "/no/file.props"})
+                .exit_code,
+            1);
+}
+
+TEST_F(CliFixture, SetOverridesConstants) {
+  const Result base = run({"check", *path_, "--message", "m", "--nmax", "1",
+                           "--property", "R{\"exposure\"}=? [ C<=1 ]"});
+  const Result hardened = run({"check", *path_, "--message", "m", "--nmax", "1",
+                               "--set", "phi_3g=500", "--property",
+                               "R{\"exposure\"}=? [ C<=1 ]"});
+  EXPECT_LT(std::stod(hardened.out), std::stod(base.out));
+}
+
+TEST_F(CliFixture, SimulateReportsBothEstimates) {
+  const Result result = run({"simulate", *path_, "--message", "m", "--nmax", "1",
+                             "--samples", "500", "--seed", "7"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("statistical:"), std::string::npos);
+  EXPECT_NE(result.out.find("numerical:"), std::string::npos);
+  EXPECT_NE(result.out.find("95% CI"), std::string::npos);
+}
+
+TEST_F(CliFixture, ExportPrismToStdout) {
+  const Result result = run({"export-prism", *path_, "--message", "m", "--nmax", "1"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("ctmc"), std::string::npos);
+  EXPECT_NE(result.out.find("module"), std::string::npos);
+  EXPECT_NE(result.out.find("label \"violated\""), std::string::npos);
+}
+
+TEST_F(CliFixture, ExportPrismToFile) {
+  const std::string out_path = ::testing::TempDir() + "/cli_model.sm";
+  const Result result = run({"export-prism", *path_, "--message", "m", "-o", out_path});
+  EXPECT_EQ(result.exit_code, 0);
+  std::ifstream file(out_path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_NE(buffer.str().find("endmodule"), std::string::npos);
+}
+
+TEST_F(CliFixture, SweepProducesMonotoneTable) {
+  const Result result = run({"sweep", *path_, "--message", "m", "--nmax", "1",
+                             "--constant", "phi_3g", "--from", "1", "--to", "100",
+                             "--points", "4"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("phi_3g"), std::string::npos);
+  // four data rows + header + rule
+  int lines = 0;
+  for (char c : result.out) lines += c == '\n';
+  EXPECT_EQ(lines, 6);
+}
+
+TEST_F(CliFixture, SweepValidatesRange) {
+  EXPECT_EQ(run({"sweep", *path_, "--message", "m", "--constant", "phi_3g",
+                 "--from", "10", "--to", "1"})
+                .exit_code,
+            1);
+  EXPECT_EQ(run({"sweep", *path_, "--message", "m", "--constant", "phi_3g",
+                 "--from", "0", "--to", "1"})
+                .exit_code,
+            1);  // log sweep from 0
+}
+
+TEST_F(CliFixture, AssessCvss) {
+  const Result result = run({"assess", "cvss", "AV:N/AC:H/Au:M"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("3.15"), std::string::npos);
+  EXPECT_NE(result.out.find("1.85"), std::string::npos);
+}
+
+TEST_F(CliFixture, AssessAsil) {
+  const Result result = run({"assess", "asil", "C"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("12"), std::string::npos);
+}
+
+TEST_F(CliFixture, AssessRejectsGarbage) {
+  EXPECT_EQ(run({"assess", "cvss", "AV:Z/AC:H/Au:M"}).exit_code, 1);
+  EXPECT_EQ(run({"assess", "asil", "E"}).exit_code, 1);
+  EXPECT_EQ(run({"assess", "nonsense"}).exit_code, 1);
+}
+
+TEST_F(CliFixture, CompareMultipleArchitectures) {
+  const std::string path3 = ::testing::TempDir() + "/cli_arch3.arch";
+  automotive::save_architecture_file(
+      automotive::casestudy::architecture(3, automotive::Protection::kUnencrypted),
+      path3);
+  const Result result =
+      run({"compare", *path_, path3, "--message", "m", "--nmax", "1"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("Architecture 1"), std::string::npos);
+  EXPECT_NE(result.out.find("Architecture 3"), std::string::npos);
+  EXPECT_NE(result.out.find("confidentiality"), std::string::npos);
+}
+
+TEST_F(CliFixture, CompareNeedsTwoFiles) {
+  EXPECT_EQ(run({"compare", *path_}).exit_code, 1);
+}
+
+TEST_F(CliFixture, ExportDot) {
+  const Result result = run({"export-dot", *path_, "--message", "m", "--nmax", "1"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("digraph ctmc"), std::string::npos);
+  EXPECT_NE(result.out.find("->"), std::string::npos);
+}
+
+TEST_F(CliFixture, DiagnoseShowsCriticalityAndAttribution) {
+  const Result result = run({"diagnose", *path_, "--message", "m", "--nmax", "1"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("criticality"), std::string::npos);
+  EXPECT_NE(result.out.find("eta_3g_net"), std::string::npos);
+  EXPECT_NE(result.out.find("first-breach attribution"), std::string::npos);
+  EXPECT_NE(result.out.find("3G"), std::string::npos);
+}
+
+TEST_F(CliFixture, DiagnoseNeedsMessage) {
+  EXPECT_EQ(run({"diagnose", *path_}).exit_code, 1);
+}
+
+TEST_F(CliFixture, CsvOutputIsMachineReadable) {
+  const Result result = run({"analyze", *path_, "--nmax", "1", "--category",
+                             "confidentiality", "--csv"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("Message,Category,"), std::string::npos);
+  EXPECT_NE(result.out.find("m,confidentiality,"), std::string::npos);
+  // No decorative rule lines in CSV mode.
+  EXPECT_EQ(result.out.find("---"), std::string::npos);
+}
+
+TEST_F(CliFixture, SweepCsv) {
+  const Result result = run({"sweep", *path_, "--message", "m", "--nmax", "1",
+                             "--constant", "phi_3g", "--from", "1", "--to", "10",
+                             "--points", "3", "--csv"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("phi_3g,exploitable time"), std::string::npos);
+}
+
+TEST_F(CliFixture, AnalyzeReportsMeanTimeToBreach) {
+  const Result result = run({"analyze", *path_, "--nmax", "1", "--category",
+                             "availability"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("mean time to breach"), std::string::npos);
+}
+
+TEST_F(CliFixture, BadFlagValueFails) {
+  EXPECT_EQ(run({"analyze", *path_, "--nmax", "zero"}).exit_code, 1);
+  EXPECT_EQ(run({"analyze", *path_, "--nmax", "0"}).exit_code, 1);
+  EXPECT_EQ(run({"analyze", *path_, "--horizon", "-1"}).exit_code, 1);
+  EXPECT_EQ(run({"analyze", *path_, "--set", "novalue"}).exit_code, 1);
+  EXPECT_EQ(run({"analyze", *path_, "--bogus"}).exit_code, 1);
+}
+
+}  // namespace
+}  // namespace autosec::cli

@@ -1,0 +1,112 @@
+#include "csl/property_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autosec::csl {
+namespace {
+
+TEST(PropertyParser, BoundedEventually) {
+  const Property p = parse_property("P=? [ F<=1.0 \"violated\" ]");
+  EXPECT_EQ(p.kind, PropertyKind::kProbUntil);
+  ASSERT_TRUE(p.has_time_bound());
+  EXPECT_EQ(p.right.to_string(), "label:violated");
+  // Left operand defaults to true for F.
+  symbolic::Value v;
+  ASSERT_TRUE(p.left.as_literal(v));
+  EXPECT_TRUE(v.as_bool());
+}
+
+TEST(PropertyParser, UnboundedEventually) {
+  const Property p = parse_property("P=? [ F x>0 ]");
+  EXPECT_EQ(p.kind, PropertyKind::kProbUntil);
+  EXPECT_FALSE(p.has_time_bound());
+}
+
+TEST(PropertyParser, BoundedUntil) {
+  const Property p = parse_property("P=? [ x=0 U<=2.5 x=2 ]");
+  EXPECT_EQ(p.kind, PropertyKind::kProbUntil);
+  ASSERT_TRUE(p.has_time_bound());
+  EXPECT_EQ(p.left.to_string(), "(x = 0)");
+  EXPECT_EQ(p.right.to_string(), "(x = 2)");
+}
+
+TEST(PropertyParser, Globally) {
+  const Property p = parse_property("P=? [ G<=1 \"ok\" ]");
+  EXPECT_EQ(p.kind, PropertyKind::kProbGlobally);
+  EXPECT_TRUE(p.has_time_bound());
+  const Property unbounded = parse_property("P=? [ G \"ok\" ]");
+  EXPECT_FALSE(unbounded.has_time_bound());
+}
+
+TEST(PropertyParser, SteadyState) {
+  const Property p = parse_property("S=? [ \"violated\" ]");
+  EXPECT_EQ(p.kind, PropertyKind::kSteadyStateProb);
+}
+
+TEST(PropertyParser, CumulativeReward) {
+  const Property p = parse_property("R{\"exposure\"}=? [ C<=1 ]");
+  EXPECT_EQ(p.kind, PropertyKind::kCumulativeReward);
+  EXPECT_EQ(p.reward_name, "exposure");
+  EXPECT_TRUE(p.has_time_bound());
+}
+
+TEST(PropertyParser, CumulativeRewardRequiresBound) {
+  EXPECT_THROW(parse_property("R{\"r\"}=? [ C ]"), PropertyError);
+}
+
+TEST(PropertyParser, InstantaneousReward) {
+  const Property p = parse_property("R{\"r\"}=? [ I=0.5 ]");
+  EXPECT_EQ(p.kind, PropertyKind::kInstantaneousReward);
+  EXPECT_TRUE(p.has_time_bound());
+}
+
+TEST(PropertyParser, SteadyStateReward) {
+  const Property p = parse_property("R{\"r\"}=? [ S ]");
+  EXPECT_EQ(p.kind, PropertyKind::kSteadyStateReward);
+}
+
+TEST(PropertyParser, ReachabilityReward) {
+  const Property p = parse_property("R{\"r\"}=? [ F x=0 ]");
+  EXPECT_EQ(p.kind, PropertyKind::kReachabilityReward);
+  EXPECT_FALSE(p.has_time_bound());
+}
+
+TEST(PropertyParser, DefaultRewardStructure) {
+  const Property p = parse_property("R=? [ C<=1 ]");
+  EXPECT_EQ(p.reward_name, "");
+}
+
+TEST(PropertyParser, TimeBoundMayBeAnExpression) {
+  const Property p = parse_property("P=? [ F<=HORIZON \"v\" ]");
+  EXPECT_TRUE(p.has_time_bound());
+  EXPECT_EQ(p.time_bound.to_string(), "HORIZON");
+}
+
+TEST(PropertyParser, StrictBoundTreatedAsNonStrict) {
+  // CTMC measures are identical for < and <= bounds.
+  const Property p = parse_property("P=? [ F<1 \"v\" ]");
+  EXPECT_TRUE(p.has_time_bound());
+}
+
+TEST(PropertyParser, SourcePreserved) {
+  const std::string text = "S=? [ x>0 ]";
+  EXPECT_EQ(parse_property(text).source, text);
+}
+
+TEST(PropertyParser, MalformedPropertiesThrow) {
+  EXPECT_THROW(parse_property(""), PropertyError);
+  EXPECT_THROW(parse_property("Q=? [ F x ]"), PropertyError);
+  EXPECT_THROW(parse_property("P=? F x"), PropertyError);
+  EXPECT_THROW(parse_property("P=? [ F x > ]"), PropertyError);
+  EXPECT_THROW(parse_property("P=? [ x>0 ]"), PropertyError);  // missing U
+  EXPECT_THROW(parse_property("R{exposure}=? [ C<=1 ]"), PropertyError);  // unquoted
+  EXPECT_THROW(parse_property("R=? [ X ]"), PropertyError);
+  EXPECT_THROW(parse_property("P=? [ F x ] trailing"), PropertyError);
+}
+
+TEST(PropertyParser, LexErrorsSurfaceAsPropertyErrors) {
+  EXPECT_THROW(parse_property("P=? [ F \"unterminated ]"), PropertyError);
+}
+
+}  // namespace
+}  // namespace autosec::csl

@@ -1,0 +1,53 @@
+// Shared chain constructors and closed-form references for the CTMC tests.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+
+namespace autosec::ctmc::testing {
+
+/// Two-state chain: 0 --a--> 1, 1 --b--> 0.
+inline Ctmc two_state(double a, double b) {
+  linalg::CsrBuilder builder(2, 2);
+  if (a > 0.0) builder.add(0, 1, a);
+  if (b > 0.0) builder.add(1, 0, b);
+  return Ctmc(std::move(builder).build());
+}
+
+/// Closed form for the two-state chain started in state 0:
+/// P(X_t = 1) = a/(a+b) (1 - e^{-(a+b) t}).
+inline double two_state_p1(double a, double b, double t) {
+  return a / (a + b) * (1.0 - std::exp(-(a + b) * t));
+}
+
+/// Closed form for expected time spent in state 1 during [0, T], started in 0:
+/// a/(a+b) * (T - (1 - e^{-(a+b)T}) / (a+b)).
+inline double two_state_occupancy1(double a, double b, double T) {
+  const double s = a + b;
+  return a / s * (T - (1.0 - std::exp(-s * T)) / s);
+}
+
+/// The paper's worked example (Eq. 13/14): 3 states,
+///   s0 --eta3g--> s1, s1 --phi3g--> s0, s1 --etamc--> s2,
+///   s2 --phimc--> s1, s2 --phi3g--> s0.
+inline Ctmc figure3_chain(double eta3g = 2.0, double etamc = 2.0, double phi3g = 52.0,
+                          double phimc = 52.0) {
+  linalg::CsrBuilder builder(3, 3);
+  builder.add(0, 1, eta3g);
+  builder.add(1, 0, phi3g);
+  builder.add(1, 2, etamc);
+  builder.add(2, 1, phimc);
+  builder.add(2, 0, phi3g);
+  return Ctmc(std::move(builder).build());
+}
+
+/// Point distribution on `state` of an n-state chain.
+inline std::vector<double> start_in(size_t n, size_t state) {
+  std::vector<double> d(n, 0.0);
+  d[state] = 1.0;
+  return d;
+}
+
+}  // namespace autosec::ctmc::testing

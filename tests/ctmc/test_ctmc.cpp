@@ -1,0 +1,121 @@
+#include "ctmc/ctmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ctmc_test_helpers.hpp"
+
+namespace autosec::ctmc {
+namespace {
+
+using testing::two_state;
+
+TEST(Ctmc, ExitRates) {
+  const Ctmc chain = testing::figure3_chain();
+  EXPECT_DOUBLE_EQ(chain.exit_rate(0), 2.0);
+  EXPECT_DOUBLE_EQ(chain.exit_rate(1), 54.0);
+  EXPECT_DOUBLE_EQ(chain.exit_rate(2), 104.0);
+  EXPECT_DOUBLE_EQ(chain.max_exit_rate(), 104.0);
+}
+
+TEST(Ctmc, GeneratorMatchesPaperEq14) {
+  // Eq. (14): Q = [[-2, 2, 0], [52, -54, 2], [52, 52, -104]].
+  const Ctmc chain = testing::figure3_chain();
+  const linalg::CsrMatrix Q = chain.generator();
+  EXPECT_DOUBLE_EQ(Q.at(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(Q.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(Q.at(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(Q.at(1, 0), 52.0);
+  EXPECT_DOUBLE_EQ(Q.at(1, 1), -54.0);
+  EXPECT_DOUBLE_EQ(Q.at(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(Q.at(2, 0), 52.0);
+  EXPECT_DOUBLE_EQ(Q.at(2, 1), 52.0);
+  EXPECT_DOUBLE_EQ(Q.at(2, 2), -104.0);
+  // Generator rows sum to zero.
+  for (size_t r = 0; r < 3; ++r) EXPECT_NEAR(Q.row_sum(r), 0.0, 1e-12);
+}
+
+TEST(Ctmc, RejectsSelfLoop) {
+  linalg::CsrBuilder builder(1, 1);
+  builder.add(0, 0, 1.0);
+  EXPECT_THROW(Ctmc(std::move(builder).build()), std::invalid_argument);
+}
+
+TEST(Ctmc, RejectsNegativeRate) {
+  linalg::CsrBuilder builder(2, 2);
+  builder.add(0, 1, -1.0);
+  EXPECT_THROW(Ctmc(std::move(builder).build()), std::invalid_argument);
+}
+
+TEST(Ctmc, RejectsNonSquare) {
+  linalg::CsrBuilder builder(2, 3);
+  builder.add(0, 2, 1.0);
+  EXPECT_THROW(Ctmc(std::move(builder).build()), std::invalid_argument);
+}
+
+TEST(Ctmc, UniformizedRowsAreStochastic) {
+  const Ctmc chain = testing::figure3_chain();
+  const double q = chain.default_uniformization_rate();
+  const linalg::CsrMatrix P = chain.uniformized(q);
+  for (size_t r = 0; r < P.rows(); ++r) EXPECT_NEAR(P.row_sum(r), 1.0, 1e-12);
+  // Self-loop compensates the exit rate gap.
+  EXPECT_NEAR(P.at(0, 0), 1.0 - 2.0 / q, 1e-12);
+}
+
+TEST(Ctmc, UniformizedRejectsTooSmallRate) {
+  const Ctmc chain = two_state(3.0, 1.0);
+  EXPECT_THROW(chain.uniformized(2.0), std::invalid_argument);
+}
+
+TEST(Ctmc, UniformizedAbsorbingStateGetsFullSelfLoop) {
+  linalg::CsrBuilder builder(2, 2);
+  builder.add(0, 1, 1.0);  // state 1 is absorbing
+  const Ctmc chain(std::move(builder).build());
+  const linalg::CsrMatrix P = chain.uniformized(2.0);
+  EXPECT_DOUBLE_EQ(P.at(1, 1), 1.0);
+  EXPECT_NEAR(P.row_sum(0), 1.0, 1e-12);
+}
+
+TEST(Ctmc, EmbeddedDtmcNormalizesRows) {
+  const Ctmc chain = testing::figure3_chain();
+  const linalg::CsrMatrix P = chain.embedded_dtmc();
+  EXPECT_NEAR(P.at(1, 0), 52.0 / 54.0, 1e-12);
+  EXPECT_NEAR(P.at(1, 2), 2.0 / 54.0, 1e-12);
+  for (size_t r = 0; r < P.rows(); ++r) EXPECT_NEAR(P.row_sum(r), 1.0, 1e-12);
+}
+
+TEST(Ctmc, EmbeddedDtmcAbsorbingSelfLoop) {
+  linalg::CsrBuilder builder(2, 2);
+  builder.add(0, 1, 5.0);
+  const Ctmc chain(std::move(builder).build());
+  const linalg::CsrMatrix P = chain.embedded_dtmc();
+  EXPECT_DOUBLE_EQ(P.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(P.at(0, 1), 1.0);
+}
+
+TEST(Ctmc, WithAbsorbingCutsOutgoingEdges) {
+  const Ctmc chain = testing::figure3_chain();
+  const Ctmc modified = chain.with_absorbing({false, true, false});
+  EXPECT_DOUBLE_EQ(modified.exit_rate(1), 0.0);
+  EXPECT_DOUBLE_EQ(modified.exit_rate(0), 2.0);
+  // State 2 still has its transitions (including into the absorbing state).
+  EXPECT_DOUBLE_EQ(modified.rates().at(2, 1), 52.0);
+}
+
+TEST(Ctmc, WithAbsorbingMaskSizeChecked) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW(chain.with_absorbing({true}), std::invalid_argument);
+}
+
+TEST(Ctmc, DefaultUniformizationRateAboveMaxExit) {
+  const Ctmc chain = two_state(3.0, 7.0);
+  EXPECT_GT(chain.default_uniformization_rate(), chain.max_exit_rate());
+}
+
+TEST(Ctmc, AllAbsorbingChainHasPositiveDefaultRate) {
+  linalg::CsrBuilder builder(2, 2);
+  const Ctmc chain(std::move(builder).build());
+  EXPECT_GT(chain.default_uniformization_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace autosec::ctmc

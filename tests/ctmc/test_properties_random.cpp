@@ -1,0 +1,137 @@
+// Property-based checks on randomly generated CTMCs (fixed seeds for
+// reproducibility): invariants that must hold for any chain, regardless of
+// structure.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ctmc/rewards.hpp"
+#include "ctmc/steady_state.hpp"
+#include "ctmc/transient.hpp"
+#include "ctmc_test_helpers.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace autosec::ctmc {
+namespace {
+
+Ctmc random_chain(uint32_t seed, size_t n, double edge_probability, double max_rate) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_real_distribution<double> rate(0.01, max_rate);
+  linalg::CsrBuilder builder(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j && coin(rng) < edge_probability) builder.add(i, j, rate(rng));
+    }
+  }
+  return Ctmc(std::move(builder).build());
+}
+
+Ctmc random_irreducible_chain(uint32_t seed, size_t n, double max_rate) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> rate(0.01, max_rate);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  linalg::CsrBuilder builder(n, n);
+  // Ring backbone guarantees irreducibility; extra random edges on top.
+  for (size_t i = 0; i < n; ++i) {
+    builder.add(i, (i + 1) % n, rate(rng));
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j && coin(rng) < 0.2) builder.add(i, j, rate(rng));
+    }
+  }
+  return Ctmc(std::move(builder).build());
+}
+
+class RandomChain : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RandomChain, TransientRemainsDistribution) {
+  const Ctmc chain = random_chain(GetParam(), 25, 0.15, 20.0);
+  const auto initial = testing::start_in(25, GetParam() % 25);
+  for (double t : {0.05, 0.7, 3.0}) {
+    const auto dist = transient_distribution(chain, initial, t);
+    EXPECT_NEAR(linalg::sum(dist), 1.0, 1e-9);
+    for (double p : dist) {
+      EXPECT_GE(p, -1e-12);
+      EXPECT_LE(p, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST_P(RandomChain, ChapmanKolmogorov) {
+  // pi(s+t) == transient(pi(s), t).
+  const Ctmc chain = random_chain(GetParam() + 100, 15, 0.25, 8.0);
+  const auto initial = testing::start_in(15, 0);
+  const auto at_s = transient_distribution(chain, initial, 0.4);
+  const auto direct = transient_distribution(chain, initial, 1.0);
+  const auto stepped = transient_distribution(chain, at_s, 0.6);
+  for (size_t i = 0; i < 15; ++i) EXPECT_NEAR(direct[i], stepped[i], 1e-8);
+}
+
+TEST_P(RandomChain, SteadyStateIsDistributionAndStable) {
+  const Ctmc chain = random_chain(GetParam() + 200, 20, 0.2, 10.0);
+  const auto initial = testing::start_in(20, 0);
+  const auto result = steady_state(chain, initial);
+  EXPECT_NEAR(linalg::sum(result.distribution), 1.0, 1e-8);
+  // The long-run distribution is invariant under further evolution.
+  const auto evolved = transient_distribution(chain, result.distribution, 2.0);
+  for (size_t i = 0; i < 20; ++i) EXPECT_NEAR(evolved[i], result.distribution[i], 1e-6);
+}
+
+TEST_P(RandomChain, IrreducibleStationarySolvesBalance) {
+  const Ctmc chain = random_irreducible_chain(GetParam() + 300, 18, 12.0);
+  const auto pi = stationary_distribution(chain);
+  std::vector<double> residual(18, 0.0);
+  chain.generator().left_multiply(pi, residual);
+  for (double r : residual) EXPECT_NEAR(r, 0.0, 1e-8);
+}
+
+TEST_P(RandomChain, CumulativeRewardBoundedByHorizonTimesMax) {
+  const Ctmc chain = random_chain(GetParam() + 400, 12, 0.3, 15.0);
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> reward_dist(0.0, 5.0);
+  std::vector<double> rewards(12);
+  double max_reward = 0.0;
+  for (double& r : rewards) {
+    r = reward_dist(rng);
+    max_reward = std::max(max_reward, r);
+  }
+  const double T = 1.5;
+  const double value =
+      expected_cumulative_reward(chain, testing::start_in(12, 0), rewards, T);
+  EXPECT_GE(value, -1e-12);
+  EXPECT_LE(value, T * max_reward + 1e-9);
+}
+
+TEST_P(RandomChain, BoundedReachabilityMonotoneInTime) {
+  const Ctmc chain = random_chain(GetParam() + 500, 15, 0.2, 10.0);
+  std::vector<bool> target(15, false);
+  target[7] = target[11] = true;
+  const std::vector<bool> allowed(15, true);
+  const auto initial = testing::start_in(15, 0);
+  double previous = 0.0;
+  for (double t : {0.1, 0.4, 1.0, 2.5}) {
+    const double p = bounded_reachability(chain, initial, allowed, target, t);
+    EXPECT_GE(p, previous - 1e-10) << "t=" << t;
+    EXPECT_LE(p, 1.0 + 1e-10);
+    previous = p;
+  }
+}
+
+TEST_P(RandomChain, RestrictingAllowedRegionNeverIncreasesProbability) {
+  const Ctmc chain = random_chain(GetParam() + 600, 15, 0.25, 10.0);
+  std::vector<bool> target(15, false);
+  target[14] = true;
+  std::vector<bool> all(15, true);
+  std::vector<bool> restricted(15, true);
+  restricted[3] = restricted[8] = false;
+  const auto initial = testing::start_in(15, 0);
+  const double p_all = bounded_reachability(chain, initial, all, target, 1.0);
+  const double p_restricted =
+      bounded_reachability(chain, initial, restricted, target, 1.0);
+  EXPECT_LE(p_restricted, p_all + 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChain, ::testing::Range(1u, 9u));
+
+}  // namespace
+}  // namespace autosec::ctmc

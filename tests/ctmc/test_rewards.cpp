@@ -1,0 +1,121 @@
+#include "ctmc/rewards.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc_test_helpers.hpp"
+
+namespace autosec::ctmc {
+namespace {
+
+using testing::start_in;
+using testing::two_state;
+using testing::two_state_occupancy1;
+using testing::two_state_p1;
+
+TEST(CumulativeReward, TwoStateOccupancyMatchesClosedForm) {
+  const double a = 1.9, b = 52.0;  // telematics-like rates
+  const Ctmc chain = two_state(a, b);
+  const std::vector<double> reward = {0.0, 1.0};
+  for (double T : {0.1, 0.5, 1.0, 2.0}) {
+    const double expected = two_state_occupancy1(a, b, T);
+    const double actual = expected_cumulative_reward(chain, start_in(2, 0), reward, T);
+    EXPECT_NEAR(actual, expected, 1e-10) << "T=" << T;
+  }
+}
+
+TEST(CumulativeReward, ConstantRewardAccumulatesLinearly) {
+  const Ctmc chain = two_state(2.0, 3.0);
+  const std::vector<double> reward = {5.0, 5.0};
+  const double value = expected_cumulative_reward(chain, start_in(2, 0), reward, 2.0);
+  EXPECT_NEAR(value, 10.0, 1e-9);
+}
+
+TEST(CumulativeReward, ZeroHorizonIsZero) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(
+      expected_cumulative_reward(chain, start_in(2, 0), {1.0, 1.0}, 0.0), 0.0);
+}
+
+TEST(CumulativeReward, FrozenChainAccumulatesInitialReward) {
+  linalg::CsrBuilder builder(2, 2);
+  const Ctmc chain(std::move(builder).build());
+  const double value =
+      expected_cumulative_reward(chain, start_in(2, 1), {3.0, 7.0}, 2.0);
+  EXPECT_DOUBLE_EQ(value, 14.0);
+}
+
+TEST(CumulativeReward, RejectsBadArguments) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW(expected_cumulative_reward(chain, start_in(2, 0), {1.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      expected_cumulative_reward(chain, start_in(2, 0), {1.0, 1.0}, -1.0),
+      std::invalid_argument);
+}
+
+TEST(InstantaneousReward, MatchesTransientDistribution) {
+  const double a = 2.0, b = 6.0, t = 0.4;
+  const Ctmc chain = two_state(a, b);
+  const double value =
+      expected_instantaneous_reward(chain, start_in(2, 0), {0.0, 10.0}, t);
+  EXPECT_NEAR(value, 10.0 * two_state_p1(a, b, t), 1e-10);
+}
+
+TEST(SteadyStateReward, TwoStateLongRunAverage) {
+  const double a = 2.0, b = 6.0;
+  const Ctmc chain = two_state(a, b);
+  const double value = steady_state_reward(chain, start_in(2, 0), {1.0, 5.0});
+  EXPECT_NEAR(value, 1.0 * 0.75 + 5.0 * 0.25, 1e-9);
+}
+
+TEST(ExpectedTimeFraction, PaperStyleExposureMetric) {
+  // Fraction of a 1-year horizon spent "exploited" for a 2-state chain.
+  const double a = 1.9, b = 52.0;
+  const Ctmc chain = two_state(a, b);
+  const double fraction =
+      expected_time_fraction(chain, start_in(2, 0), {false, true}, 1.0);
+  EXPECT_NEAR(fraction, two_state_occupancy1(a, b, 1.0), 1e-10);
+  EXPECT_GT(fraction, 0.0);
+  EXPECT_LT(fraction, a / (a + b));  // below the stationary share within year 1
+}
+
+TEST(ExpectedTimeFraction, FullMaskIsOne) {
+  const Ctmc chain = two_state(1.0, 2.0);
+  EXPECT_NEAR(expected_time_fraction(chain, start_in(2, 0), {true, true}, 3.0), 1.0,
+              1e-10);
+}
+
+TEST(ExpectedTimeFraction, RequiresPositiveHorizon) {
+  const Ctmc chain = two_state(1.0, 2.0);
+  EXPECT_THROW(expected_time_fraction(chain, start_in(2, 0), {true, true}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(CumulativeReward, Figure3ExposureConsistentWithLongRun) {
+  // Over a long horizon the time fraction in s2 approaches the stationary
+  // probability 0.000699 (Eq. 15).
+  const Ctmc chain = testing::figure3_chain();
+  const double fraction =
+      expected_time_fraction(chain, start_in(3, 0), {false, false, true}, 200.0);
+  EXPECT_NEAR(fraction, 0.000699, 2e-5);
+}
+
+class OccupancySweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(OccupancySweep, MatchesClosedFormAcrossRates) {
+  const auto [eta, phi] = GetParam();
+  const Ctmc chain = two_state(eta, phi);
+  const double actual =
+      expected_time_fraction(chain, start_in(2, 0), {false, true}, 1.0);
+  EXPECT_NEAR(actual, two_state_occupancy1(eta, phi, 1.0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRateGrid, OccupancySweep,
+    ::testing::Combine(::testing::Values(0.1, 1.2, 1.9, 3.8, 12.0),
+                       ::testing::Values(0.1, 4.0, 12.0, 52.0, 8760.0)));
+
+}  // namespace
+}  // namespace autosec::ctmc

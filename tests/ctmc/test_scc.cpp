@@ -1,0 +1,107 @@
+#include "ctmc/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace autosec::ctmc {
+namespace {
+
+linalg::CsrMatrix graph(size_t n, std::initializer_list<std::pair<int, int>> edges) {
+  linalg::CsrBuilder builder(n, n);
+  for (const auto& [from, to] : edges) builder.add(from, to, 1.0);
+  return std::move(builder).build();
+}
+
+TEST(Scc, SingleCycleIsOneBottomComponent) {
+  const auto d = strongly_connected_components(graph(3, {{0, 1}, {1, 2}, {2, 0}}));
+  EXPECT_EQ(d.component_count, 1u);
+  EXPECT_TRUE(d.is_bottom[0]);
+  EXPECT_EQ(d.members[0].size(), 3u);
+}
+
+TEST(Scc, ChainHasSingletonComponents) {
+  const auto d = strongly_connected_components(graph(3, {{0, 1}, {1, 2}}));
+  EXPECT_EQ(d.component_count, 3u);
+  // Only the sink is bottom.
+  EXPECT_EQ(d.bottom_components().size(), 1u);
+  const uint32_t bottom = d.bottom_components()[0];
+  ASSERT_EQ(d.members[bottom].size(), 1u);
+  EXPECT_EQ(d.members[bottom][0], 2u);
+}
+
+TEST(Scc, TwoBottomComponents) {
+  // 0 -> 1 (absorbing), 0 -> 2 <-> 3.
+  const auto d = strongly_connected_components(graph(4, {{0, 1}, {0, 2}, {2, 3}, {3, 2}}));
+  EXPECT_EQ(d.component_count, 3u);
+  EXPECT_EQ(d.bottom_components().size(), 2u);
+  // State 0 is transient.
+  EXPECT_FALSE(d.is_bottom[d.component_of[0]]);
+  EXPECT_TRUE(d.is_bottom[d.component_of[1]]);
+  EXPECT_TRUE(d.is_bottom[d.component_of[2]]);
+  EXPECT_EQ(d.component_of[2], d.component_of[3]);
+}
+
+TEST(Scc, IsolatedStatesAreBottomSingletons) {
+  const auto d = strongly_connected_components(graph(2, {}));
+  EXPECT_EQ(d.component_count, 2u);
+  EXPECT_TRUE(d.is_bottom[0]);
+  EXPECT_TRUE(d.is_bottom[1]);
+}
+
+TEST(Scc, SelfLoopIgnoredAsEdge) {
+  // A self-loop must not suppress bottom-ness or create a bigger component.
+  linalg::CsrBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 1, 1.0);
+  const auto d = strongly_connected_components(std::move(builder).build());
+  EXPECT_EQ(d.component_count, 2u);
+  EXPECT_FALSE(d.is_bottom[d.component_of[0]]);
+  EXPECT_TRUE(d.is_bottom[d.component_of[1]]);
+}
+
+TEST(Scc, ZeroWeightEdgesIgnored) {
+  linalg::CsrBuilder builder(2, 2);
+  builder.add(0, 1, 0.0);
+  const auto d = strongly_connected_components(std::move(builder).build());
+  EXPECT_EQ(d.component_count, 2u);
+  EXPECT_TRUE(d.is_bottom[d.component_of[0]]);
+}
+
+TEST(Scc, MembersPartitionTheStateSpace) {
+  const auto d = strongly_connected_components(
+      graph(6, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}, {4, 5}}));
+  size_t total = 0;
+  for (const auto& members : d.members) total += members.size();
+  EXPECT_EQ(total, 6u);
+  for (uint32_t s = 0; s < 6; ++s) {
+    const auto& members = d.members[d.component_of[s]];
+    EXPECT_NE(std::find(members.begin(), members.end(), s), members.end());
+  }
+}
+
+TEST(Scc, DeepChainDoesNotOverflowStack) {
+  // 100k-state path exercises the iterative DFS.
+  const size_t n = 100000;
+  linalg::CsrBuilder builder(n, n);
+  for (size_t i = 0; i + 1 < n; ++i) builder.add(i, i + 1, 1.0);
+  const auto d = strongly_connected_components(std::move(builder).build());
+  EXPECT_EQ(d.component_count, n);
+  EXPECT_EQ(d.bottom_components().size(), 1u);
+}
+
+TEST(Scc, RejectsNonSquare) {
+  linalg::CsrBuilder builder(2, 3);
+  EXPECT_THROW(strongly_connected_components(std::move(builder).build()),
+               std::invalid_argument);
+}
+
+TEST(Scc, ReverseTopologicalNumbering) {
+  // Tarjan ids: an edge between components goes from higher id to lower id.
+  const auto d = strongly_connected_components(graph(3, {{0, 1}, {1, 2}}));
+  EXPECT_GT(d.component_of[0], d.component_of[1]);
+  EXPECT_GT(d.component_of[1], d.component_of[2]);
+}
+
+}  // namespace
+}  // namespace autosec::ctmc

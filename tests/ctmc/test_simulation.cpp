@@ -1,0 +1,162 @@
+#include "ctmc/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/rewards.hpp"
+#include "ctmc/transient.hpp"
+#include "ctmc_test_helpers.hpp"
+
+namespace autosec::ctmc {
+namespace {
+
+using testing::two_state;
+using testing::two_state_occupancy1;
+
+TEST(Simulation, TrajectoryStartsAtInitialState) {
+  const Ctmc chain = two_state(2.0, 3.0);
+  uint64_t rng = 7;
+  const Trajectory t = simulate_trajectory(chain, 1, 5.0, rng);
+  ASSERT_FALSE(t.states.empty());
+  EXPECT_EQ(t.states[0], 1u);
+  EXPECT_DOUBLE_EQ(t.entry_times[0], 0.0);
+}
+
+TEST(Simulation, TrajectoryTimesAreIncreasingAndWithinHorizon) {
+  const Ctmc chain = testing::figure3_chain();
+  uint64_t rng = 42;
+  const Trajectory t = simulate_trajectory(chain, 0, 2.0, rng);
+  for (size_t i = 1; i < t.entry_times.size(); ++i) {
+    EXPECT_GT(t.entry_times[i], t.entry_times[i - 1]);
+    EXPECT_LT(t.entry_times[i], 2.0);
+  }
+}
+
+TEST(Simulation, TrajectoryAlternatesOnTwoStateChain) {
+  const Ctmc chain = two_state(5.0, 5.0);
+  uint64_t rng = 3;
+  const Trajectory t = simulate_trajectory(chain, 0, 10.0, rng);
+  for (size_t i = 1; i < t.states.size(); ++i) {
+    EXPECT_NE(t.states[i], t.states[i - 1]);
+  }
+}
+
+TEST(Simulation, AbsorbingStateEndsTrajectory) {
+  const Ctmc chain = two_state(100.0, 0.0);  // state 1 absorbing
+  uint64_t rng = 5;
+  const Trajectory t = simulate_trajectory(chain, 0, 1000.0, rng);
+  EXPECT_EQ(t.states.back(), 1u);
+  EXPECT_LE(t.states.size(), 2u);
+}
+
+TEST(Simulation, DeterministicForFixedSeed) {
+  const Ctmc chain = testing::figure3_chain();
+  SimulationOptions options;
+  options.seed = 99;
+  options.samples = 200;
+  const auto a = estimate_time_fraction(chain, 0, {false, true, true}, 1.0, options);
+  const auto b = estimate_time_fraction(chain, 0, {false, true, true}, 1.0, options);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.half_width, b.half_width);
+}
+
+TEST(Simulation, DifferentSeedsDiffer) {
+  const Ctmc chain = testing::figure3_chain();
+  SimulationOptions a{.seed = 1, .samples = 100};
+  SimulationOptions b{.seed = 2, .samples = 100};
+  EXPECT_NE(estimate_time_fraction(chain, 0, {false, true, true}, 1.0, a).mean,
+            estimate_time_fraction(chain, 0, {false, true, true}, 1.0, b).mean);
+}
+
+TEST(Simulation, TimeFractionMatchesNumericalEngine) {
+  const double a = 1.9, b = 52.0;
+  const Ctmc chain = two_state(a, b);
+  const double exact = two_state_occupancy1(a, b, 1.0);
+  SimulationOptions options;
+  options.seed = 12345;
+  options.samples = 20000;
+  const SimulationEstimate estimate =
+      estimate_time_fraction(chain, 0, {false, true}, 1.0, options);
+  // 4x the CI half-width: overwhelmingly unlikely to fail by chance.
+  EXPECT_NEAR(estimate.mean, exact, 4.0 * estimate.half_width + 1e-6);
+  EXPECT_GT(estimate.half_width, 0.0);
+}
+
+TEST(Simulation, ReachabilityMatchesNumericalEngine) {
+  const Ctmc chain = testing::figure3_chain();
+  const std::vector<bool> target = {false, false, true};
+  const double exact = bounded_reachability(
+      chain, testing::start_in(3, 0), {true, true, true}, target, 1.0);
+  SimulationOptions options;
+  options.seed = 777;
+  options.samples = 20000;
+  const SimulationEstimate estimate = estimate_reachability(chain, 0, target, 1.0, options);
+  EXPECT_NEAR(estimate.mean, exact, 4.0 * estimate.half_width + 1e-6);
+}
+
+TEST(Simulation, CumulativeRewardMatchesNumericalEngine) {
+  const Ctmc chain = two_state(2.0, 6.0);
+  const std::vector<double> rewards = {1.0, 3.0};
+  const double exact = expected_cumulative_reward(
+      chain, testing::start_in(2, 0), rewards, 1.5);
+  SimulationOptions options;
+  options.seed = 4242;
+  options.samples = 20000;
+  const SimulationEstimate estimate =
+      estimate_cumulative_reward(chain, 0, rewards, 1.5, options);
+  EXPECT_NEAR(estimate.mean, exact, 4.0 * estimate.half_width + 1e-6);
+}
+
+TEST(Simulation, HalfWidthShrinksWithSamples) {
+  const Ctmc chain = two_state(1.0, 2.0);
+  SimulationOptions small{.seed = 10, .samples = 500};
+  SimulationOptions large{.seed = 10, .samples = 50000};
+  const double hw_small =
+      estimate_time_fraction(chain, 0, {false, true}, 1.0, small).half_width;
+  const double hw_large =
+      estimate_time_fraction(chain, 0, {false, true}, 1.0, large).half_width;
+  EXPECT_LT(hw_large, hw_small);
+}
+
+TEST(Simulation, DegenerateMaskGivesZeroVarianceEstimates) {
+  const Ctmc chain = two_state(1.0, 2.0);
+  SimulationOptions options{.seed = 1, .samples = 100};
+  const auto none = estimate_time_fraction(chain, 0, {false, false}, 1.0, options);
+  EXPECT_DOUBLE_EQ(none.mean, 0.0);
+  EXPECT_DOUBLE_EQ(none.half_width, 0.0);
+  const auto all = estimate_time_fraction(chain, 0, {true, true}, 1.0, options);
+  EXPECT_DOUBLE_EQ(all.mean, 1.0);
+}
+
+TEST(Simulation, RejectsBadInputs) {
+  const Ctmc chain = two_state(1.0, 2.0);
+  SimulationOptions options;
+  EXPECT_THROW(estimate_time_fraction(chain, 5, {false, true}, 1.0, options),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_time_fraction(chain, 0, {false}, 1.0, options),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_time_fraction(chain, 0, {false, true}, 0.0, options),
+               std::invalid_argument);
+}
+
+class SimulationGrid : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SimulationGrid, OccupancyWithinConfidenceAcrossRates) {
+  const auto [eta, phi] = GetParam();
+  const Ctmc chain = two_state(eta, phi);
+  SimulationOptions options;
+  options.seed = 2024;
+  options.samples = 8000;
+  const SimulationEstimate estimate =
+      estimate_time_fraction(chain, 0, {false, true}, 1.0, options);
+  EXPECT_NEAR(estimate.mean, two_state_occupancy1(eta, phi, 1.0),
+              5.0 * estimate.half_width + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SimulationGrid,
+                         ::testing::Combine(::testing::Values(0.5, 1.9, 12.0),
+                                            ::testing::Values(4.0, 52.0)));
+
+}  // namespace
+}  // namespace autosec::ctmc

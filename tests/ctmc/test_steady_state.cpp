@@ -1,0 +1,124 @@
+#include "ctmc/steady_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ctmc_test_helpers.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace autosec::ctmc {
+namespace {
+
+using testing::start_in;
+using testing::two_state;
+
+TEST(Stationary, PaperEq15) {
+  // The paper's worked steady-state solution (Eq. 15):
+  // pi = (0.96296, 0.036338, 0.000699).
+  const Ctmc chain = testing::figure3_chain();
+  const auto pi = stationary_distribution(chain);
+  EXPECT_NEAR(pi[0], 0.96296, 5e-6);
+  EXPECT_NEAR(pi[1], 0.036338, 5e-7);
+  EXPECT_NEAR(pi[2], 0.000699, 5e-7);
+  EXPECT_NEAR(linalg::sum(pi), 1.0, 1e-12);
+}
+
+TEST(Stationary, SatisfiesBalanceEquations) {
+  const Ctmc chain = testing::figure3_chain(1.3, 0.7, 11.0, 5.0);
+  const auto pi = stationary_distribution(chain);
+  const linalg::CsrMatrix Q = chain.generator();
+  std::vector<double> residual(3, 0.0);
+  Q.left_multiply(pi, residual);
+  for (double r : residual) EXPECT_NEAR(r, 0.0, 1e-9);
+}
+
+TEST(Stationary, RejectsReducibleChain) {
+  const Ctmc chain = two_state(1.0, 0.0);  // state 1 absorbing
+  EXPECT_THROW(stationary_distribution(chain), std::invalid_argument);
+}
+
+TEST(SteadyState, IrreducibleMatchesStationary) {
+  const Ctmc chain = testing::figure3_chain();
+  const auto result = steady_state(chain, start_in(3, 0));
+  const auto pi = stationary_distribution(chain);
+  EXPECT_EQ(result.bscc_count, 1u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(result.distribution[i], pi[i], 1e-9);
+}
+
+TEST(SteadyState, SingleAbsorbingState) {
+  const Ctmc chain = two_state(3.0, 0.0);
+  const auto result = steady_state(chain, start_in(2, 0));
+  EXPECT_EQ(result.bscc_count, 1u);
+  EXPECT_NEAR(result.distribution[0], 0.0, 1e-12);
+  EXPECT_NEAR(result.distribution[1], 1.0, 1e-12);
+}
+
+TEST(SteadyState, TwoAbsorbingStatesSplitByBranchRates) {
+  // 0 --2--> 1, 0 --6--> 2: absorption probabilities 0.25 / 0.75.
+  linalg::CsrBuilder builder(3, 3);
+  builder.add(0, 1, 2.0);
+  builder.add(0, 2, 6.0);
+  const Ctmc chain(std::move(builder).build());
+  const auto result = steady_state(chain, start_in(3, 0));
+  EXPECT_EQ(result.bscc_count, 2u);
+  EXPECT_NEAR(result.distribution[1] + result.distribution[2], 1.0, 1e-10);
+  EXPECT_NEAR(result.distribution[1], 0.25, 1e-10);
+  EXPECT_NEAR(result.distribution[2], 0.75, 1e-10);
+}
+
+TEST(SteadyState, TransientCycleBeforeAbsorption) {
+  // 0 <-> 1 transient pair; 1 --> 2 (absorbing).
+  linalg::CsrBuilder builder(3, 3);
+  builder.add(0, 1, 1.0);
+  builder.add(1, 0, 1.0);
+  builder.add(1, 2, 1.0);
+  const Ctmc chain(std::move(builder).build());
+  const auto result = steady_state(chain, start_in(3, 0));
+  EXPECT_EQ(result.bscc_count, 1u);
+  EXPECT_NEAR(result.distribution[2], 1.0, 1e-9);
+}
+
+TEST(SteadyState, MultiStateBsccGetsInternalStationary) {
+  // 0 --> {1 <-> 2} with asymmetric internal rates 4 (1->2) and 1 (2->1):
+  // conditional stationary = (0.2, 0.8).
+  linalg::CsrBuilder builder(3, 3);
+  builder.add(0, 1, 1.0);
+  builder.add(1, 2, 4.0);
+  builder.add(2, 1, 1.0);
+  const Ctmc chain(std::move(builder).build());
+  const auto result = steady_state(chain, start_in(3, 0));
+  EXPECT_NEAR(result.distribution[1], 0.2, 1e-9);
+  EXPECT_NEAR(result.distribution[2], 0.8, 1e-9);
+}
+
+TEST(SteadyState, InitialDistributionInsideBsccIsRespected) {
+  // Two disconnected absorbing states; start 30/70 mixed.
+  linalg::CsrBuilder builder(2, 2);
+  const Ctmc chain(std::move(builder).build());
+  const auto result = steady_state(chain, {0.3, 0.7});
+  EXPECT_NEAR(result.distribution[0], 0.3, 1e-12);
+  EXPECT_NEAR(result.distribution[1], 0.7, 1e-12);
+  EXPECT_EQ(result.bscc_count, 2u);
+  EXPECT_NEAR(result.bscc_probability[0] + result.bscc_probability[1], 1.0, 1e-12);
+}
+
+TEST(SteadyState, DistributionSizeChecked) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW(steady_state(chain, {1.0}), std::invalid_argument);
+}
+
+class SteadyStateRates : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SteadyStateRates, TwoStateClosedForm) {
+  const auto [a, b] = GetParam();
+  const Ctmc chain = two_state(a, b);
+  const auto result = steady_state(chain, start_in(2, 0));
+  EXPECT_NEAR(result.distribution[0], b / (a + b), 1e-9);
+  EXPECT_NEAR(result.distribution[1], a / (a + b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RateGrid, SteadyStateRates,
+                         ::testing::Combine(::testing::Values(0.1, 1.9, 52.0),
+                                            ::testing::Values(0.2, 4.0, 52.0)));
+
+}  // namespace
+}  // namespace autosec::ctmc

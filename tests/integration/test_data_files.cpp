@@ -1,0 +1,91 @@
+// The committed data/ files must stay loadable and consistent with the
+// programmatic case study — they are the CLI's user-facing entry point.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "automotive/analyzer.hpp"
+#include "automotive/archfile.hpp"
+#include "automotive/casestudy.hpp"
+
+namespace autosec::automotive {
+namespace {
+
+namespace cs = casestudy;
+
+std::string data_path(const std::string& name) {
+  // Tests run from the build tree; the data directory sits next to it in the
+  // source tree. Allow an override for out-of-tree runs.
+  if (const char* root = std::getenv("AUTOSEC_DATA_DIR")) {
+    return std::string(root) + "/" + name;
+  }
+  return std::string(AUTOSEC_SOURCE_DIR) + "/data/" + name;
+}
+
+TEST(DataFiles, CaseStudyFilesMatchProgrammaticArchitectures) {
+  for (int which = 1; which <= 3; ++which) {
+    const Architecture from_file =
+        load_architecture_file(data_path("arch" + std::to_string(which) + ".arch"));
+    const Architecture programmatic =
+        cs::architecture(which, Protection::kUnencrypted);
+    EXPECT_EQ(from_file.name, programmatic.name);
+    ASSERT_EQ(from_file.ecus.size(), programmatic.ecus.size());
+    ASSERT_EQ(from_file.buses.size(), programmatic.buses.size());
+    EXPECT_EQ(from_file.messages[0].buses, programmatic.messages[0].buses);
+
+    // And identical analysis results.
+    AnalysisOptions options;
+    options.nmax = 1;
+    const double a = analyze_message(from_file, cs::kMessage,
+                                     SecurityCategory::kConfidentiality, options)
+                         .exploitable_fraction;
+    const double b = analyze_message(programmatic, cs::kMessage,
+                                     SecurityCategory::kConfidentiality, options)
+                         .exploitable_fraction;
+    EXPECT_NEAR(a, b, 1e-12) << "arch" << which;
+  }
+}
+
+TEST(DataFiles, ZonalEthernetDemoLoadsAndAnalyzes) {
+  const Architecture arch = load_architecture_file(data_path("zonal_ethernet.arch"));
+  EXPECT_EQ(arch.buses.size(), 3u);
+  EXPECT_NE(arch.find_bus("ETH"), nullptr);
+  EXPECT_EQ(arch.find_bus("ETH")->kind, BusKind::kEthernet);
+  EXPECT_EQ(arch.messages.size(), 2u);
+  ASSERT_TRUE(arch.find_ecu("DRIVE")->failure.has_value());
+
+  AnalysisOptions options;
+  options.nmax = 1;
+  // The failure-prone DRIVE endpoint shows up in steer's availability.
+  const SecurityAnalysis analysis(arch, "steer", SecurityCategory::kAvailability,
+                                  options);
+  EXPECT_GT(analysis.check("R{\"exposure_failure\"}=? [ C<=1 ]"), 0.0);
+  // Interval property: exposure risk concentrated in the second half-year is
+  // below the full-year breach probability.
+  const double second_half = analysis.check("P=? [ F[0.5,1] \"violated\" ]");
+  const double full_year = analysis.check("P=? [ F<=1 \"violated\" ]");
+  EXPECT_GT(second_half, 0.0);
+  EXPECT_LE(second_half, full_year + 1e-12);
+}
+
+TEST(DataFiles, IntervalPropertiesOnCaseStudy) {
+  AnalysisOptions options;
+  options.nmax = 1;
+  const SecurityAnalysis analysis(cs::architecture(1, Protection::kUnencrypted),
+                                  cs::kMessage, SecurityCategory::kConfidentiality,
+                                  options);
+  // F[0,1] == F<=1, and quarters accumulate monotonically.
+  EXPECT_NEAR(analysis.check("P=? [ F[0,1] \"violated\" ]"),
+              analysis.check("P=? [ F<=1 \"violated\" ]"), 1e-12);
+  double previous = 0.0;
+  for (const char* property :
+       {"P=? [ F[0.75,1] \"violated\" ]", "P=? [ F[0.5,1] \"violated\" ]",
+        "P=? [ F[0.25,1] \"violated\" ]", "P=? [ F[0,1] \"violated\" ]"}) {
+    const double value = analysis.check(property);
+    EXPECT_GE(value, previous - 1e-12) << property;
+    previous = value;
+  }
+}
+
+}  // namespace
+}  // namespace autosec::automotive

@@ -1,0 +1,163 @@
+// Reproduction guards for the paper's qualitative claims (Section 4): these
+// are the statements EXPERIMENTS.md reports on, pinned as tests so a
+// regression in any engine layer surfaces as a broken paper property.
+#include <gtest/gtest.h>
+
+#include "automotive/analyzer.hpp"
+#include "automotive/casestudy.hpp"
+
+namespace autosec::automotive {
+namespace {
+
+namespace cs = casestudy;
+
+double exposure(int arch, Protection protection, SecurityCategory category,
+                int nmax = 1) {
+  AnalysisOptions options;
+  options.nmax = nmax;
+  return analyze_message(cs::architecture(arch, protection), cs::kMessage, category,
+                         options)
+      .exploitable_fraction;
+}
+
+TEST(PaperClaims, EncryptionHelpsConfidentialityHashingDoesNot) {
+  // "cryptographic hashing with CMAC 128 only improves security in terms of
+  //  integrity while encryption with AES 128 is effective for integrity and
+  //  confidentiality"
+  const double unenc = exposure(1, Protection::kUnencrypted,
+                                SecurityCategory::kConfidentiality);
+  const double cmac = exposure(1, Protection::kCmac128,
+                               SecurityCategory::kConfidentiality);
+  const double aes = exposure(1, Protection::kAes128,
+                              SecurityCategory::kConfidentiality);
+  EXPECT_DOUBLE_EQ(cmac, unenc);
+  EXPECT_LT(aes, cmac);
+
+  const double unenc_g = exposure(1, Protection::kUnencrypted,
+                                  SecurityCategory::kIntegrity);
+  const double cmac_g = exposure(1, Protection::kCmac128, SecurityCategory::kIntegrity);
+  const double aes_g = exposure(1, Protection::kAes128, SecurityCategory::kIntegrity);
+  EXPECT_LT(cmac_g, unenc_g);
+  EXPECT_DOUBLE_EQ(cmac_g, aes_g);
+}
+
+TEST(PaperClaims, ProtectionDoesNotHelpDramatically) {
+  // "neither cryptographic hashing nor encryption improves the security
+  //  values significantly" — endpoint (PA) compromise dominates: AES cuts
+  //  confidentiality exposure by well under an order of magnitude.
+  const double unenc = exposure(1, Protection::kUnencrypted,
+                                SecurityCategory::kConfidentiality);
+  const double aes = exposure(1, Protection::kAes128,
+                              SecurityCategory::kConfidentiality);
+  EXPECT_GT(aes, unenc / 10.0);
+}
+
+TEST(PaperClaims, Architecture2IsNoSignificantImprovement) {
+  // "Architecture 2 does not improve the security significantly in comparison
+  //  with Architecture 1 and in some cases it even becomes worse."
+  // Our leaner model separates the two architectures more than the paper's
+  // (ours ~3x, the paper's Fig. 5 ~1.3x), but the claim's core holds: the
+  // dedicated CAN2 connection is no order-of-magnitude fix the way the
+  // FlexRay redesign is (EXPERIMENTS.md discusses the gap).
+  const double a1 = exposure(1, Protection::kUnencrypted,
+                             SecurityCategory::kConfidentiality);
+  const double a2 = exposure(2, Protection::kUnencrypted,
+                             SecurityCategory::kConfidentiality);
+  const double a3 = exposure(3, Protection::kUnencrypted,
+                             SecurityCategory::kConfidentiality);
+  EXPECT_GT(a2, a1 / 10.0);  // same order of magnitude as Architecture 1 ...
+  EXPECT_LT(a2, a1);
+  EXPECT_LT(a3, a2 / 3.0);   // ... unlike the FlexRay redesign
+}
+
+TEST(PaperClaims, Architecture3FlexRayReducesAttackSurface) {
+  // "This leads to an overall reduction of the attack surface" — an order of
+  // magnitude in the paper's Fig. 5 (12.2% vs 0.668%).
+  for (const auto category :
+       {SecurityCategory::kConfidentiality, SecurityCategory::kIntegrity,
+        SecurityCategory::kAvailability}) {
+    const double a1 = exposure(1, Protection::kUnencrypted, category);
+    const double a3 = exposure(3, Protection::kUnencrypted, category);
+    EXPECT_LT(a3, a1 / 5.0) << category_name(category);
+  }
+}
+
+TEST(PaperClaims, AvailabilityNeedsBusSupport) {
+  // "In terms of availability, support from the bus system is required":
+  // protection mode changes nothing, only the FlexRay architecture does.
+  const double can_unenc = exposure(1, Protection::kUnencrypted,
+                                    SecurityCategory::kAvailability);
+  const double can_aes = exposure(1, Protection::kAes128,
+                                  SecurityCategory::kAvailability);
+  const double fr = exposure(3, Protection::kUnencrypted,
+                             SecurityCategory::kAvailability);
+  EXPECT_DOUBLE_EQ(can_unenc, can_aes);
+  EXPECT_LT(fr, can_unenc / 5.0);
+}
+
+TEST(PaperClaims, Figure6aPatchRateSweepIsMonotoneDecreasing) {
+  const Architecture arch = cs::architecture(1, Protection::kUnencrypted);
+  double previous = 1.0;
+  for (const double phi : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    AnalysisOptions options;
+    options.nmax = 1;
+    options.constant_overrides = {
+        {ecu_phi_constant(cs::kTelematics), symbolic::Value::of(phi)}};
+    const double fraction =
+        analyze_message(arch, cs::kMessage, SecurityCategory::kConfidentiality, options)
+            .exploitable_fraction;
+    EXPECT_LT(fraction, previous) << "phi=" << phi;
+    previous = fraction;
+  }
+}
+
+TEST(PaperClaims, Figure6bExploitRateSweepIsMonotoneIncreasing) {
+  const Architecture arch = cs::architecture(1, Protection::kUnencrypted);
+  double previous = 0.0;
+  for (const double eta : {0.1, 1.0, 10.0, 100.0}) {
+    AnalysisOptions options;
+    options.nmax = 1;
+    options.constant_overrides = {
+        {interface_eta_constant(cs::kTelematics, cs::kUplink),
+         symbolic::Value::of(eta)}};
+    const double fraction =
+        analyze_message(arch, cs::kMessage, SecurityCategory::kConfidentiality, options)
+            .exploitable_fraction;
+    EXPECT_GT(fraction, previous) << "eta=" << eta;
+    previous = fraction;
+  }
+}
+
+TEST(PaperClaims, Figure6SaturatesAtHighRates) {
+  // "changes at the lower end ... have a rather large impact ... higher rates
+  //  do not significantly help": the curve flattens at the top end.
+  const Architecture arch = cs::architecture(1, Protection::kUnencrypted);
+  auto run = [&](double phi) {
+    AnalysisOptions options;
+    options.nmax = 1;
+    options.constant_overrides = {
+        {ecu_phi_constant(cs::kTelematics), symbolic::Value::of(phi)}};
+    return analyze_message(arch, cs::kMessage, SecurityCategory::kConfidentiality,
+                           options)
+        .exploitable_fraction;
+  };
+  const double low_jump = run(0.1) - run(1.0);
+  const double high_jump = run(876.0) - run(8760.0);
+  EXPECT_GT(low_jump, 10.0 * high_jump);
+}
+
+TEST(PaperClaims, StateCountGrowsWithNmax) {
+  // Section 4.3: model size is the limiting factor; nmax scales it.
+  AnalysisOptions n1;
+  n1.nmax = 1;
+  AnalysisOptions n2;
+  n2.nmax = 2;
+  const auto r1 = analyze_message(cs::architecture(1, Protection::kUnencrypted),
+                                  cs::kMessage, SecurityCategory::kAvailability, n1);
+  const auto r2 = analyze_message(cs::architecture(1, Protection::kUnencrypted),
+                                  cs::kMessage, SecurityCategory::kAvailability, n2);
+  EXPECT_GT(r2.state_count, r1.state_count);
+}
+
+}  // namespace
+}  // namespace autosec::automotive

@@ -1,0 +1,141 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autosec::linalg {
+namespace {
+
+CsrMatrix make_small() {
+  // [ 0 2 0 ]
+  // [ 1 0 3 ]
+  // [ 0 0 0 ]
+  CsrBuilder builder(3, 3);
+  builder.add(0, 1, 2.0);
+  builder.add(1, 0, 1.0);
+  builder.add(1, 2, 3.0);
+  return std::move(builder).build();
+}
+
+TEST(CsrMatrix, BasicAccessors) {
+  const CsrMatrix m = make_small();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nonzeros(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 0.0);
+}
+
+TEST(CsrMatrix, RowSpansSortedByColumn) {
+  CsrBuilder builder(1, 4);
+  builder.add(0, 3, 3.0);
+  builder.add(0, 1, 1.0);
+  builder.add(0, 2, 2.0);
+  const CsrMatrix m = std::move(builder).build();
+  const auto cols = m.row_columns(0);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 1u);
+  EXPECT_EQ(cols[1], 2u);
+  EXPECT_EQ(cols[2], 3u);
+}
+
+TEST(CsrMatrix, DuplicateEntriesAreSummed) {
+  CsrBuilder builder(2, 2);
+  builder.add(0, 1, 1.5);
+  builder.add(0, 1, 2.5);
+  const CsrMatrix m = std::move(builder).build();
+  EXPECT_EQ(m.nonzeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+}
+
+TEST(CsrMatrix, LeftMultiply) {
+  const CsrMatrix m = make_small();
+  std::vector<double> x = {1.0, 10.0, 100.0};
+  std::vector<double> y(3, -1.0);
+  m.left_multiply(x, y);
+  // y = x * M: y_j = sum_i x_i M_ij
+  EXPECT_DOUBLE_EQ(y[0], 10.0);   // x1*M10
+  EXPECT_DOUBLE_EQ(y[1], 2.0);    // x0*M01
+  EXPECT_DOUBLE_EQ(y[2], 30.0);   // x1*M12
+}
+
+TEST(CsrMatrix, RightMultiply) {
+  const CsrMatrix m = make_small();
+  std::vector<double> x = {1.0, 10.0, 100.0};
+  std::vector<double> y(3, -1.0);
+  m.right_multiply(x, y);
+  // y = M * x: y_i = sum_j M_ij x_j
+  EXPECT_DOUBLE_EQ(y[0], 20.0);    // M01*x1
+  EXPECT_DOUBLE_EQ(y[1], 301.0);   // M10*x0 + M12*x2
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(CsrMatrix, MultiplyDimensionMismatchThrows) {
+  const CsrMatrix m = make_small();
+  std::vector<double> bad(2, 0.0);
+  std::vector<double> y(3, 0.0);
+  EXPECT_THROW(m.left_multiply(bad, y), std::invalid_argument);
+  EXPECT_THROW(m.right_multiply(bad, y), std::invalid_argument);
+}
+
+TEST(CsrMatrix, RowSum) {
+  const CsrMatrix m = make_small();
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 4.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(2), 0.0);
+}
+
+TEST(CsrMatrix, TransposedSwapsEntries) {
+  const CsrMatrix m = make_small();
+  const CsrMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 3.0);
+  EXPECT_EQ(t.nonzeros(), m.nonzeros());
+}
+
+TEST(CsrMatrix, NonSquareShapes) {
+  CsrBuilder builder(2, 5);
+  builder.add(0, 4, 1.0);
+  builder.add(1, 0, 2.0);
+  const CsrMatrix m = std::move(builder).build();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 5u);
+  const CsrMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(4, 0), 1.0);
+}
+
+TEST(CsrBuilder, OutOfRangeIndexThrows) {
+  CsrBuilder builder(2, 2);
+  EXPECT_THROW(builder.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(builder.add(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(CsrMatrix, InvalidConstructionRejected) {
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), std::invalid_argument);  // offsets
+  EXPECT_THROW(CsrMatrix(1, 1, {0, 1}, {0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(1, 1, {0, 1}, {5}, {1.0}), std::invalid_argument);  // column
+}
+
+TEST(CsrMatrix, DenseStringRendersAllEntries) {
+  CsrBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(1, 1, 2.0);
+  const CsrMatrix m = std::move(builder).build();
+  EXPECT_EQ(m.to_dense_string(), "1 0\n0 2\n");
+}
+
+TEST(CsrMatrix, EmptyMatrix) {
+  CsrBuilder builder(0, 0);
+  const CsrMatrix m = std::move(builder).build();
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.nonzeros(), 0u);
+}
+
+}  // namespace
+}  // namespace autosec::linalg

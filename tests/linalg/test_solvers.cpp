@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/gauss_seidel.hpp"
+#include "linalg/power_iteration.hpp"
+
+namespace autosec::linalg {
+namespace {
+
+TEST(SolveFixpoint, IdentityFreeTerm) {
+  // x = 0*x + b  =>  x = b.
+  CsrBuilder builder(2, 2);
+  const CsrMatrix A = std::move(builder).build();
+  const auto result = solve_fixpoint(A, {3.0, 4.0});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-12);
+  EXPECT_NEAR(result.x[1], 4.0, 1e-12);
+}
+
+TEST(SolveFixpoint, TwoStateAbsorption) {
+  // Gambler-style: from state 0, go to success w.p. 0.3, to state 1 w.p. 0.7;
+  // from state 1, back to 0 w.p. 0.5, fail w.p. 0.5.
+  // x0 = 0.3 + 0.7*x1; x1 = 0.5*x0  =>  x0 = 0.3/(1-0.35) = 6/13.
+  CsrBuilder builder(2, 2);
+  builder.add(0, 1, 0.7);
+  builder.add(1, 0, 0.5);
+  const auto result = solve_fixpoint(std::move(builder).build(), {0.3, 0.0});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 6.0 / 13.0, 1e-10);
+  EXPECT_NEAR(result.x[1], 3.0 / 13.0, 1e-10);
+}
+
+TEST(SolveFixpoint, HandlesDiagonalEntries) {
+  // x0 = 0.5*x0 + 1  =>  x0 = 2.
+  CsrBuilder builder(1, 1);
+  builder.add(0, 0, 0.5);
+  const auto result = solve_fixpoint(std::move(builder).build(), {1.0});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-12);
+}
+
+TEST(SolveFixpoint, DiagonalAtOneThrows) {
+  CsrBuilder builder(1, 1);
+  builder.add(0, 0, 1.0);
+  const CsrMatrix A = std::move(builder).build();
+  EXPECT_THROW(solve_fixpoint(A, {1.0}), std::runtime_error);
+}
+
+TEST(SolveFixpoint, DimensionMismatchThrows) {
+  CsrBuilder builder(2, 2);
+  const CsrMatrix A = std::move(builder).build();
+  EXPECT_THROW(solve_fixpoint(A, {1.0}), std::invalid_argument);
+}
+
+// Transposed generator of the 2-state chain with rates a: 0->1 and b: 1->0.
+CsrMatrix two_state_transposed(double a, double b) {
+  CsrBuilder builder(2, 2);
+  builder.add(0, 0, -a);
+  builder.add(0, 1, b);
+  builder.add(1, 0, a);
+  builder.add(1, 1, -b);
+  return std::move(builder).build();
+}
+
+TEST(Stationary, TwoStateChain) {
+  const auto result = stationary_from_transposed(two_state_transposed(2.0, 6.0));
+  ASSERT_TRUE(result.converged);
+  // pi = (b, a) / (a+b).
+  EXPECT_NEAR(result.x[0], 0.75, 1e-10);
+  EXPECT_NEAR(result.x[1], 0.25, 1e-10);
+}
+
+TEST(Stationary, SingleStateIsPointMass) {
+  CsrBuilder builder(1, 1);
+  const auto result = stationary_from_transposed(std::move(builder).build());
+  ASSERT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.x[0], 1.0);
+}
+
+TEST(Stationary, ThreeStateCycle) {
+  // 0 -> 1 -> 2 -> 0 with unit rates: uniform stationary distribution.
+  CsrBuilder builder(3, 3);
+  for (uint32_t i = 0; i < 3; ++i) {
+    builder.add((i + 1) % 3, i, 1.0);  // transposed: incoming edge
+    builder.add(i, i, -1.0);
+  }
+  const auto result = stationary_from_transposed(std::move(builder).build());
+  ASSERT_TRUE(result.converged);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(result.x[i], 1.0 / 3.0, 1e-10);
+}
+
+TEST(Stationary, StateWithoutExitRateThrows) {
+  CsrBuilder builder(2, 2);
+  builder.add(1, 0, 1.0);  // state 0 flows into 1, but state 1 has no exit
+  builder.add(0, 0, -1.0);
+  const CsrMatrix Qt = std::move(builder).build();
+  EXPECT_THROW(stationary_from_transposed(Qt), std::runtime_error);
+}
+
+TEST(PowerIteration, MatchesGaussSeidelOnUniformizedChain) {
+  // Uniformize the 2-state chain (a=2, b=6) with q=10:
+  // P = [[0.8, 0.2], [0.6, 0.4]].
+  CsrBuilder builder(2, 2);
+  builder.add(0, 0, 0.8);
+  builder.add(0, 1, 0.2);
+  builder.add(1, 0, 0.6);
+  builder.add(1, 1, 0.4);
+  const auto result = stationary_power_iteration(std::move(builder).build());
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 0.75, 1e-8);
+  EXPECT_NEAR(result.x[1], 0.25, 1e-8);
+}
+
+TEST(PowerIteration, RequiresSquareMatrix) {
+  CsrBuilder builder(1, 2);
+  builder.add(0, 1, 1.0);
+  const CsrMatrix P = std::move(builder).build();
+  EXPECT_THROW(stationary_power_iteration(P), std::invalid_argument);
+}
+
+TEST(IterativeOptions, MaxIterationsRespected) {
+  IterativeOptions options;
+  options.max_iterations = 1;
+  options.tolerance = 0.0;  // unreachable
+  const auto result = stationary_from_transposed(two_state_transposed(2.0, 6.0), options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 1u);
+}
+
+}  // namespace
+}  // namespace autosec::linalg

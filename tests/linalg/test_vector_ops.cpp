@@ -1,0 +1,74 @@
+#include "linalg/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autosec::linalg {
+namespace {
+
+TEST(VectorOps, Sum) {
+  std::vector<double> v = {1.0, 2.0, 3.5};
+  EXPECT_DOUBLE_EQ(sum(v), 6.5);
+  EXPECT_DOUBLE_EQ(sum(std::vector<double>{}), 0.0);
+}
+
+TEST(VectorOps, Dot) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(VectorOps, DotSizeMismatchThrows) {
+  std::vector<double> a = {1.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+}
+
+TEST(VectorOps, MaxAbsDiff) {
+  std::vector<double> a = {1.0, -2.0, 3.0};
+  std::vector<double> b = {1.5, -2.0, 2.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+}
+
+TEST(VectorOps, MaxAbs) {
+  std::vector<double> v = {-3.0, 2.0};
+  EXPECT_DOUBLE_EQ(max_abs(v), 3.0);
+  EXPECT_DOUBLE_EQ(max_abs(std::vector<double>{}), 0.0);
+}
+
+TEST(VectorOps, Axpy) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, Scale) {
+  std::vector<double> x = {1.0, -2.0};
+  scale(x, -0.5);
+  EXPECT_DOUBLE_EQ(x[0], -0.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+}
+
+TEST(VectorOps, NormalizeL1) {
+  std::vector<double> x = {1.0, 3.0};
+  normalize_l1(x);
+  EXPECT_DOUBLE_EQ(x[0], 0.25);
+  EXPECT_DOUBLE_EQ(x[1], 0.75);
+}
+
+TEST(VectorOps, NormalizeL1RejectsZeroSum) {
+  std::vector<double> x = {0.0, 0.0};
+  EXPECT_THROW(normalize_l1(x), std::runtime_error);
+}
+
+TEST(VectorOps, UnitVector) {
+  const std::vector<double> e = unit_vector(3, 1);
+  EXPECT_DOUBLE_EQ(e[0], 0.0);
+  EXPECT_DOUBLE_EQ(e[1], 1.0);
+  EXPECT_DOUBLE_EQ(e[2], 0.0);
+  EXPECT_THROW(unit_vector(2, 2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace autosec::linalg

@@ -1,0 +1,73 @@
+#include "symbolic/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "symbolic/builder.hpp"
+
+namespace autosec::symbolic {
+namespace {
+
+StateSpace two_state_space() {
+  ModelBuilder b;
+  auto& m = b.module("p");
+  m.variable("x", 0, 1, 0);
+  m.command(Expr::ident("x") == Expr::literal(0), Expr::literal(2.5),
+            {{"x", Expr::literal(1)}});
+  m.command(Expr::ident("x") == Expr::literal(1), Expr::literal(4.0),
+            {{"x", Expr::literal(0)}});
+  b.label("hot", Expr::ident("x") == Expr::literal(1));
+  return explore(compile(b.build()));
+}
+
+TEST(Dot, ContainsNodesEdgesAndRates) {
+  const StateSpace space = two_state_space();
+  const std::string dot = write_dot(space);
+  EXPECT_NE(dot.find("digraph ctmc"), std::string::npos);
+  EXPECT_NE(dot.find("(x=0)"), std::string::npos);
+  EXPECT_NE(dot.find("(x=1)"), std::string::npos);
+  EXPECT_NE(dot.find("s0 -> s1 [label=\"2.5\"]"), std::string::npos);
+  EXPECT_NE(dot.find("s1 -> s0 [label=\"4\"]"), std::string::npos);
+}
+
+TEST(Dot, InitialStateIsBold) {
+  const std::string dot = write_dot(two_state_space());
+  EXPECT_NE(dot.find("penwidth=2"), std::string::npos);
+}
+
+TEST(Dot, HighlightsLabeledStates) {
+  DotOptions options;
+  options.highlight_label = "hot";
+  const std::string dot = write_dot(two_state_space(), options);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+  // Exactly one highlighted node.
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = dot.find("peripheries=2", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Dot, UnknownHighlightLabelThrows) {
+  DotOptions options;
+  options.highlight_label = "ghost";
+  EXPECT_THROW(write_dot(two_state_space(), options), ModelError);
+}
+
+TEST(Dot, IndicesInsteadOfValuations) {
+  DotOptions options;
+  options.show_valuations = false;
+  const std::string dot = write_dot(two_state_space(), options);
+  EXPECT_EQ(dot.find("(x=0)"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"s0\""), std::string::npos);
+}
+
+TEST(Dot, SizeGuard) {
+  DotOptions options;
+  options.max_states = 1;
+  EXPECT_THROW(write_dot(two_state_space(), options), ModelError);
+}
+
+}  // namespace
+}  // namespace autosec::symbolic

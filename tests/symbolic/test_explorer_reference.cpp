@@ -1,0 +1,147 @@
+// Differential test of the explorer against an independent reference
+// implementation: for small randomly generated guarded-command models, the
+// reference enumerates the FULL variable cuboid, evaluates every command in
+// every valuation, and builds the reachable fragment by naive fixpoint. The
+// BFS explorer must produce exactly the same reachable set and rates.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+
+#include "symbolic/builder.hpp"
+#include "symbolic/explorer.hpp"
+
+namespace autosec::symbolic {
+namespace {
+
+struct ReferenceResult {
+  // valuation -> (successor valuation -> total rate)
+  std::map<std::vector<int32_t>, std::map<std::vector<int32_t>, double>> transitions;
+  std::set<std::vector<int32_t>> reachable;
+};
+
+ReferenceResult reference_explore(const CompiledModel& model) {
+  // Enumerate the full cuboid of valuations.
+  std::vector<std::vector<int32_t>> cuboid = {{}};
+  for (const CompiledVariable& var : model.variables) {
+    std::vector<std::vector<int32_t>> next;
+    for (const auto& prefix : cuboid) {
+      for (int32_t v = var.low; v <= var.high; ++v) {
+        auto extended = prefix;
+        extended.push_back(v);
+        next.push_back(std::move(extended));
+      }
+    }
+    cuboid = std::move(next);
+  }
+
+  ReferenceResult result;
+  for (const auto& state : cuboid) {
+    for (const CompiledCommand& command : model.commands) {
+      if (!command.guard.evaluate_bool(state)) continue;
+      const double rate = command.rate.evaluate_number(state);
+      if (rate <= 0.0) continue;
+      auto successor = state;
+      for (const auto& [index, expr] : command.assignments) {
+        successor[index] = static_cast<int32_t>(expr.evaluate(state).as_int());
+      }
+      if (successor == state) continue;
+      result.transitions[state][successor] += rate;
+    }
+  }
+
+  // Naive reachability fixpoint from the initial valuation.
+  result.reachable.insert(model.initial_state());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [from, successors] : result.transitions) {
+      if (result.reachable.count(from) == 0) continue;
+      for (const auto& [to, rate] : successors) {
+        if (result.reachable.insert(to).second) changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+Model random_model(uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> var_count(1, 3);
+  std::uniform_int_distribution<int> range(1, 3);
+  std::uniform_int_distribution<int> command_count(2, 6);
+  std::uniform_real_distribution<double> rate(0.1, 10.0);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  ModelBuilder builder;
+  auto& module = builder.module("m");
+  const int vars = var_count(rng);
+  std::vector<std::string> names;
+  std::vector<int> highs;
+  for (int v = 0; v < vars; ++v) {
+    const std::string name = "v" + std::to_string(v);
+    const int high = range(rng);
+    module.variable(name, 0, high, 0);
+    names.push_back(name);
+    highs.push_back(high);
+  }
+  const int commands = command_count(rng);
+  for (int c = 0; c < commands; ++c) {
+    const int target = std::uniform_int_distribution<int>(0, vars - 1)(rng);
+    const Expr x = Expr::ident(names[target]);
+    const bool up = coin(rng) == 1;
+    // Guard: bound check on the target, plus an optional condition on
+    // another variable.
+    Expr guard = up ? (x < Expr::literal(static_cast<int64_t>(highs[target])))
+                    : (x > Expr::literal(0));
+    if (vars > 1 && coin(rng) == 1) {
+      const int other = std::uniform_int_distribution<int>(0, vars - 1)(rng);
+      guard = std::move(guard) &&
+              (Expr::ident(names[other]) <=
+               Expr::literal(static_cast<int64_t>(highs[other] / 2 + 1)));
+    }
+    const Expr update = up ? x + Expr::literal(1) : x - Expr::literal(1);
+    module.command(std::move(guard), Expr::literal(rate(rng)),
+                   {{names[target], update}});
+  }
+  return builder.build();
+}
+
+class ExplorerDifferential : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ExplorerDifferential, MatchesReferenceImplementation) {
+  const CompiledModel compiled = compile(random_model(GetParam()));
+  const ReferenceResult reference = reference_explore(compiled);
+  const StateSpace space = explore(compiled);
+
+  ASSERT_EQ(space.state_count(), reference.reachable.size());
+
+  // Map explorer indices to valuations and compare rate structure.
+  std::map<std::vector<int32_t>, size_t> index_of;
+  for (size_t s = 0; s < space.state_count(); ++s) {
+    const auto& values = space.state_values(s);
+    EXPECT_TRUE(reference.reachable.count(values))
+        << "explorer found unreachable state " << space.state_to_string(s);
+    index_of[values] = s;
+  }
+
+  for (const auto& state : reference.reachable) {
+    const size_t s = index_of.at(state);
+    const auto it = reference.transitions.find(state);
+    const size_t expected_degree =
+        it == reference.transitions.end() ? 0 : it->second.size();
+    ASSERT_EQ(space.rates().row_columns(s).size(), expected_degree)
+        << space.state_to_string(s);
+    if (it == reference.transitions.end()) continue;
+    for (const auto& [successor, expected_rate] : it->second) {
+      const size_t t = index_of.at(successor);
+      EXPECT_NEAR(space.rates().at(s, t), expected_rate, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExplorerDifferential, ::testing::Range(1u, 25u));
+
+}  // namespace
+}  // namespace autosec::symbolic

@@ -1,0 +1,185 @@
+#include "symbolic/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autosec::symbolic {
+namespace {
+
+Expr resolved(Expr e, const std::vector<std::string>& vars = {}) {
+  SymbolScope scope{.constants = nullptr, .formulas = nullptr, .variables = &vars};
+  return e.resolve(scope);
+}
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value::of(true).as_bool());
+  EXPECT_EQ(Value::of(int64_t{7}).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value::of(2.5).as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::of(int64_t{3}).as_number(), 3.0);
+  EXPECT_THROW(Value::of(true).as_number(), EvalError);
+  EXPECT_THROW(Value::of(1.5).as_int(), EvalError);
+  EXPECT_THROW(Value::of(int64_t{1}).as_bool(), EvalError);
+}
+
+TEST(Value, EqualsComparesNumericallyAcrossIntDouble) {
+  EXPECT_TRUE(Value::of(int64_t{2}).equals(Value::of(2.0)));
+  EXPECT_FALSE(Value::of(int64_t{2}).equals(Value::of(true)));
+  EXPECT_TRUE(Value::of(false).equals(Value::of(false)));
+}
+
+TEST(Expr, LiteralEvaluation) {
+  EXPECT_EQ(Expr::literal(5).evaluate({}).as_int(), 5);
+  EXPECT_DOUBLE_EQ(Expr::literal(1.5).evaluate({}).as_number(), 1.5);
+  EXPECT_TRUE(Expr::literal(true).evaluate({}).as_bool());
+}
+
+TEST(Expr, Arithmetic) {
+  const Expr e = (Expr::literal(2) + Expr::literal(3)) * Expr::literal(4);
+  EXPECT_EQ(e.evaluate({}).as_int(), 20);
+  const Expr d = Expr::literal(7) / Expr::literal(2);
+  EXPECT_DOUBLE_EQ(d.evaluate({}).as_number(), 3.5);  // PRISM real division
+}
+
+TEST(Expr, DivisionByZeroThrows) {
+  const Expr e = Expr::literal(1) / Expr::literal(0);
+  EXPECT_THROW(e.evaluate({}), EvalError);
+}
+
+TEST(Expr, MixedIntDoublePromotes) {
+  const Expr e = Expr::literal(2) + Expr::literal(0.5);
+  EXPECT_DOUBLE_EQ(e.evaluate({}).as_number(), 2.5);
+}
+
+TEST(Expr, Comparisons) {
+  EXPECT_TRUE((Expr::literal(1) < Expr::literal(2)).evaluate({}).as_bool());
+  EXPECT_TRUE((Expr::literal(2) <= Expr::literal(2)).evaluate({}).as_bool());
+  EXPECT_FALSE((Expr::literal(1) > Expr::literal(2)).evaluate({}).as_bool());
+  EXPECT_TRUE((Expr::literal(2) == Expr::literal(2.0)).evaluate({}).as_bool());
+  EXPECT_TRUE((Expr::literal(1) != Expr::literal(2)).evaluate({}).as_bool());
+}
+
+TEST(Expr, BooleanConnectives) {
+  const Expr t = Expr::literal(true);
+  const Expr f = Expr::literal(false);
+  EXPECT_FALSE((t && f).evaluate({}).as_bool());
+  EXPECT_TRUE((t || f).evaluate({}).as_bool());
+  EXPECT_FALSE((!t).evaluate({}).as_bool());
+  EXPECT_TRUE(Expr::binary(BinaryOp::kImplies, f, f).evaluate({}).as_bool());
+  EXPECT_FALSE(Expr::binary(BinaryOp::kImplies, t, f).evaluate({}).as_bool());
+  EXPECT_TRUE(Expr::binary(BinaryOp::kIff, t, t).evaluate({}).as_bool());
+}
+
+TEST(Expr, ShortCircuitProtectsGuardedSubexpressions) {
+  // (false) & (1/0 > 0) must not evaluate the division.
+  const Expr guarded =
+      Expr::literal(false) && (Expr::literal(1) / Expr::literal(0) > Expr::literal(0));
+  EXPECT_FALSE(guarded.evaluate({}).as_bool());
+  const Expr guarded_or =
+      Expr::literal(true) || (Expr::literal(1) / Expr::literal(0) > Expr::literal(0));
+  EXPECT_TRUE(guarded_or.evaluate({}).as_bool());
+}
+
+TEST(Expr, VariableReferenceReadsState) {
+  const Expr x = Expr::var_ref(1, "x");
+  const int32_t state[] = {10, 42};
+  EXPECT_EQ(x.evaluate(state).as_int(), 42);
+}
+
+TEST(Expr, UnresolvedIdentifierThrowsOnEvaluate) {
+  EXPECT_THROW(Expr::ident("x").evaluate({}), EvalError);
+}
+
+TEST(Expr, ResolveBindsVariables) {
+  const Expr e = Expr::ident("y") + Expr::literal(1);
+  const Expr r = resolved(e, {"x", "y"});
+  const int32_t state[] = {0, 5};
+  EXPECT_EQ(r.evaluate(state).as_int(), 6);
+}
+
+TEST(Expr, ResolveSubstitutesConstantsAndFolds) {
+  std::vector<std::pair<std::string, Value>> constants = {
+      {"eta", Value::of(1.9)}};
+  SymbolScope scope{.constants = &constants, .formulas = nullptr, .variables = nullptr};
+  const Expr e = Expr::ident("eta") * Expr::literal(2);
+  const Expr r = e.resolve(scope);
+  Value v;
+  ASSERT_TRUE(r.as_literal(v));
+  EXPECT_DOUBLE_EQ(v.as_number(), 3.8);
+}
+
+TEST(Expr, ResolveSubstitutesFormulas) {
+  std::vector<std::string> vars = {"x"};
+  std::vector<std::pair<std::string, Expr>> formulas = {
+      {"exploited", Expr::var_ref(0, "x") > Expr::literal(0)}};
+  SymbolScope scope{.constants = nullptr, .formulas = &formulas, .variables = &vars};
+  const Expr r = Expr::ident("exploited").resolve(scope);
+  const int32_t hot[] = {2};
+  const int32_t cold[] = {0};
+  EXPECT_TRUE(r.evaluate_bool(hot));
+  EXPECT_FALSE(r.evaluate_bool(cold));
+}
+
+TEST(Expr, VariableShadowsNothingUnknownThrows) {
+  EXPECT_THROW(resolved(Expr::ident("ghost")), EvalError);
+}
+
+TEST(Expr, CallFunctions) {
+  using V = std::vector<Expr>;
+  EXPECT_EQ(Expr::call(CallOp::kMin, V{Expr::literal(3), Expr::literal(5)})
+                .evaluate({}).as_int(), 3);
+  EXPECT_EQ(Expr::call(CallOp::kMax, V{Expr::literal(3), Expr::literal(5)})
+                .evaluate({}).as_int(), 5);
+  EXPECT_EQ(Expr::call(CallOp::kFloor, V{Expr::literal(2.7)}).evaluate({}).as_int(), 2);
+  EXPECT_EQ(Expr::call(CallOp::kCeil, V{Expr::literal(2.1)}).evaluate({}).as_int(), 3);
+  EXPECT_DOUBLE_EQ(Expr::call(CallOp::kPow, V{Expr::literal(2), Expr::literal(10)})
+                       .evaluate({}).as_number(), 1024.0);
+  EXPECT_EQ(Expr::call(CallOp::kMod, V{Expr::literal(7), Expr::literal(3)})
+                .evaluate({}).as_int(), 1);
+}
+
+TEST(Expr, CallArityChecked) {
+  EXPECT_THROW(Expr::call(CallOp::kMin, {Expr::literal(1)}), EvalError);
+  EXPECT_THROW(Expr::call(CallOp::kFloor, {Expr::literal(1), Expr::literal(2)}),
+               EvalError);
+}
+
+TEST(Expr, ModByZeroThrows) {
+  const Expr e = Expr::call(CallOp::kMod, {Expr::literal(1), Expr::literal(0)});
+  EXPECT_THROW(e.evaluate({}), EvalError);
+}
+
+TEST(Expr, IteSelectsBranch) {
+  const Expr e = Expr::ite(Expr::literal(true), Expr::literal(1), Expr::literal(2));
+  EXPECT_EQ(e.evaluate({}).as_int(), 1);
+  const Expr f = Expr::ite(Expr::literal(false), Expr::literal(1), Expr::literal(2));
+  EXPECT_EQ(f.evaluate({}).as_int(), 2);
+}
+
+TEST(Expr, AnyOfAllOf) {
+  EXPECT_FALSE(any_of({}).evaluate({}).as_bool());
+  EXPECT_TRUE(all_of({}).evaluate({}).as_bool());
+  EXPECT_TRUE(any_of({Expr::literal(false), Expr::literal(true)}).evaluate({}).as_bool());
+  EXPECT_FALSE(all_of({Expr::literal(true), Expr::literal(false)}).evaluate({}).as_bool());
+}
+
+TEST(Expr, CollectVariables) {
+  const Expr e = (Expr::var_ref(0, "a") > Expr::literal(0)) &&
+                 (Expr::var_ref(2, "c") == Expr::literal(1));
+  std::vector<uint32_t> vars;
+  e.collect_variables(vars);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], 0u);
+  EXPECT_EQ(vars[1], 2u);
+}
+
+TEST(Expr, ToStringRendersPrismSyntax) {
+  const Expr e = (Expr::ident("x") > Expr::literal(0)) && Expr::ident("bus");
+  EXPECT_EQ(e.to_string(), "((x > 0) & bus)");
+}
+
+TEST(Expr, EvaluateBoolRejectsNumbers) {
+  EXPECT_THROW(Expr::literal(1).evaluate_bool({}), EvalError);
+  EXPECT_THROW(Expr::literal(true).evaluate_number({}), EvalError);
+}
+
+}  // namespace
+}  // namespace autosec::symbolic

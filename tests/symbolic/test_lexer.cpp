@@ -1,0 +1,107 @@
+#include "symbolic/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autosec::symbolic {
+namespace {
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEndOfInput);
+}
+
+TEST(Lexer, IdentifiersAndKeywordsAreIdentifiers) {
+  const auto tokens = tokenize("ctmc module x_1 endmodule");
+  ASSERT_EQ(tokens.size(), 5u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(tokens[i].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[2].text, "x_1");
+}
+
+TEST(Lexer, IntegerAndDoubleLiterals) {
+  const auto tokens = tokenize("42 1.5 2e3 1.2e-4 .5");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 1.5);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 2000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 1.2e-4);
+  EXPECT_DOUBLE_EQ(tokens[4].double_value, 0.5);
+}
+
+TEST(Lexer, RangeDotsDoNotBecomeFloats) {
+  const auto tokens = tokenize("[0..2]");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_TRUE(tokens[0].is_symbol("["));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[1].int_value, 0);
+  EXPECT_TRUE(tokens[2].is_symbol(".."));
+  EXPECT_EQ(tokens[3].int_value, 2);
+  EXPECT_TRUE(tokens[4].is_symbol("]"));
+}
+
+TEST(Lexer, Strings) {
+  const auto tokens = tokenize("label \"violated\" =");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "violated");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(tokenize("\"oops"), LexError);
+  EXPECT_THROW(tokenize("\"oops\nnext\""), LexError);
+}
+
+TEST(Lexer, MultiCharacterSymbols) {
+  const auto tokens = tokenize("-> .. <= >= != => <=>");
+  EXPECT_TRUE(tokens[0].is_symbol("->"));
+  EXPECT_TRUE(tokens[1].is_symbol(".."));
+  EXPECT_TRUE(tokens[2].is_symbol("<="));
+  EXPECT_TRUE(tokens[3].is_symbol(">="));
+  EXPECT_TRUE(tokens[4].is_symbol("!="));
+  EXPECT_TRUE(tokens[5].is_symbol("=>"));
+  EXPECT_TRUE(tokens[6].is_symbol("<=>"));
+}
+
+TEST(Lexer, PrimeSymbolForUpdates) {
+  const auto tokens = tokenize("(x'=x+1)");
+  EXPECT_TRUE(tokens[0].is_symbol("("));
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_TRUE(tokens[2].is_symbol("'"));
+  EXPECT_TRUE(tokens[3].is_symbol("="));
+}
+
+TEST(Lexer, CommentsSkippedToEndOfLine) {
+  const auto tokens = tokenize("x // comment -> ignored\ny");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].text, "y");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto tokens = tokenize("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[0].column, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[1].column, 3u);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+  EXPECT_THROW(tokenize("a # b"), LexError);
+  EXPECT_THROW(tokenize("1e+"), LexError);
+}
+
+TEST(Lexer, FullCommandLine) {
+  const auto tokens =
+      tokenize("[] x<nmax & bus_can1 -> eta : (x'=x+1);");
+  EXPECT_TRUE(tokens[0].is_symbol("["));
+  EXPECT_TRUE(tokens[1].is_symbol("]"));
+  EXPECT_EQ(tokens[2].text, "x");
+  EXPECT_TRUE(tokens[3].is_symbol("<"));
+  // ... and it ends with ';' then EOF.
+  EXPECT_TRUE(tokens[tokens.size() - 2].is_symbol(";"));
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEndOfInput);
+}
+
+}  // namespace
+}  // namespace autosec::symbolic

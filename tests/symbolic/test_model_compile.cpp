@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "symbolic/builder.hpp"
+#include "symbolic/model.hpp"
+
+namespace autosec::symbolic {
+namespace {
+
+Model two_state_model(double up_rate = 2.0, double down_rate = 3.0) {
+  ModelBuilder b;
+  b.constant_double("up", up_rate);
+  b.constant_double("down", down_rate);
+  auto& m = b.module("proc");
+  m.variable("x", 0, 1, 0);
+  m.command(Expr::ident("x") == Expr::literal(0), Expr::ident("up"),
+            {{"x", Expr::literal(1)}});
+  m.command(Expr::ident("x") == Expr::literal(1), Expr::ident("down"),
+            {{"x", Expr::literal(0)}});
+  b.label("hot", Expr::ident("x") == Expr::literal(1));
+  b.state_reward("heat", Expr::ident("x") == Expr::literal(1), Expr::literal(1.0));
+  return b.build();
+}
+
+TEST(Compile, BasicModelCompiles) {
+  const CompiledModel compiled = compile(two_state_model());
+  ASSERT_EQ(compiled.variables.size(), 1u);
+  EXPECT_EQ(compiled.variables[0].name, "x");
+  EXPECT_EQ(compiled.variables[0].low, 0);
+  EXPECT_EQ(compiled.variables[0].high, 1);
+  EXPECT_EQ(compiled.variables[0].init, 0);
+  EXPECT_EQ(compiled.commands.size(), 2u);
+  EXPECT_EQ(compiled.labels.size(), 1u);
+  EXPECT_EQ(compiled.rewards.size(), 1u);
+  EXPECT_EQ(compiled.initial_state(), std::vector<int32_t>{0});
+}
+
+TEST(Compile, ConstantsAreFoldedIntoRates) {
+  const CompiledModel compiled = compile(two_state_model(7.5, 1.0));
+  Value rate;
+  ASSERT_TRUE(compiled.commands[0].rate.as_literal(rate));
+  EXPECT_DOUBLE_EQ(rate.as_number(), 7.5);
+}
+
+TEST(Compile, ConstantOverridesReplaceDeclaredValues) {
+  const CompiledModel compiled =
+      compile(two_state_model(), {{"up", Value::of(99.0)}});
+  Value rate;
+  ASSERT_TRUE(compiled.commands[0].rate.as_literal(rate));
+  EXPECT_DOUBLE_EQ(rate.as_number(), 99.0);
+}
+
+TEST(Compile, UndefinedConstantRequiresOverride) {
+  ModelBuilder b;
+  b.constant_undefined("eta", ConstantDecl::Type::kDouble);
+  auto& m = b.module("p");
+  m.variable("x", 0, 1, 0);
+  m.command(Expr::ident("x") == Expr::literal(0), Expr::ident("eta"),
+            {{"x", Expr::literal(1)}});
+  const Model model = b.build();
+  EXPECT_THROW(compile(model), ModelError);
+  const CompiledModel compiled = compile(model, {{"eta", Value::of(1.5)}});
+  Value rate;
+  ASSERT_TRUE(compiled.commands[0].rate.as_literal(rate));
+  EXPECT_DOUBLE_EQ(rate.as_number(), 1.5);
+}
+
+TEST(Compile, OverrideForUndeclaredConstantThrows) {
+  EXPECT_THROW(compile(two_state_model(), {{"ghost", Value::of(1.0)}}), ModelError);
+}
+
+TEST(Compile, ConstantTypeCoercionChecked) {
+  ModelBuilder b;
+  b.constant_int("n", 3);
+  auto& m = b.module("p");
+  m.variable("x", 0, 1, 0);
+  const Model model = b.build();
+  EXPECT_THROW(compile(model, {{"n", Value::of(1.5)}}), ModelError);
+  // ints are accepted for double constants (promoted)...
+  ModelBuilder b2;
+  b2.constant_double("r", 1.0);
+  auto& m2 = b2.module("p");
+  m2.variable("x", 0, 1, 0);
+  const CompiledModel ok = compile(b2.build(), {{"r", Value::of(int64_t{2})}});
+  EXPECT_DOUBLE_EQ(ok.constant_values[0].second.as_number(), 2.0);
+}
+
+TEST(Compile, ConstantsMayReferenceEarlierConstants) {
+  ModelBuilder b;
+  b.constant_double("base", 2.0);
+  b.constant_expr("doubled", ConstantDecl::Type::kDouble,
+                  Expr::ident("base") * Expr::literal(2));
+  auto& m = b.module("p");
+  m.variable("x", 0, 1, 0);
+  const CompiledModel compiled = compile(b.build());
+  ASSERT_EQ(compiled.constant_values.size(), 2u);
+  EXPECT_EQ(compiled.constant_values[1].first, "doubled");
+  EXPECT_DOUBLE_EQ(compiled.constant_values[1].second.as_number(), 4.0);
+}
+
+TEST(Compile, OverrideChangesDownstreamDerivedConstant) {
+  ModelBuilder b;
+  b.constant_double("base", 2.0);
+  b.constant_expr("doubled", ConstantDecl::Type::kDouble,
+                  Expr::ident("base") * Expr::literal(2));
+  auto& m = b.module("p");
+  m.variable("x", 0, 1, 0);
+  const CompiledModel compiled = compile(b.build(), {{"base", Value::of(5.0)}});
+  EXPECT_DOUBLE_EQ(compiled.constant_values[1].second.as_number(), 10.0);
+}
+
+TEST(Compile, FormulasResolveInOrder) {
+  ModelBuilder b;
+  auto& m = b.module("p");
+  m.variable("x", 0, 2, 0);
+  b.formula("hot", Expr::ident("x") > Expr::literal(0));
+  b.formula("very_hot", Expr::ident("hot") && (Expr::ident("x") > Expr::literal(1)));
+  b.label("alarm", Expr::ident("very_hot"));
+  const CompiledModel compiled = compile(b.build());
+  const int32_t s2[] = {2};
+  const int32_t s1[] = {1};
+  EXPECT_TRUE(compiled.labels[0].condition.evaluate_bool(s2));
+  EXPECT_FALSE(compiled.labels[0].condition.evaluate_bool(s1));
+}
+
+TEST(Compile, DuplicateVariableRejected) {
+  ModelBuilder b;
+  auto& m = b.module("p");
+  m.variable("x", 0, 1, 0);
+  auto& m2 = b.module("q");
+  m2.variable("x", 0, 1, 0);
+  EXPECT_THROW(compile(b.build()), ModelError);
+}
+
+TEST(Compile, VariableShadowingConstantRejected) {
+  ModelBuilder b;
+  b.constant_int("x", 1);
+  auto& m = b.module("p");
+  m.variable("x", 0, 1, 0);
+  EXPECT_THROW(compile(b.build()), ModelError);
+}
+
+TEST(Compile, EmptyRangeRejected) {
+  ModelBuilder b;
+  auto& m = b.module("p");
+  m.variable("x", 2, 1, 2);
+  EXPECT_THROW(compile(b.build()), ModelError);
+}
+
+TEST(Compile, InitOutsideRangeRejected) {
+  ModelBuilder b;
+  auto& m = b.module("p");
+  m.variable("x", 0, 1, 5);
+  EXPECT_THROW(compile(b.build()), ModelError);
+}
+
+TEST(Compile, CrossModuleAssignmentRejected) {
+  ModelBuilder b;
+  auto& p = b.module("p");
+  p.variable("x", 0, 1, 0);
+  auto& q = b.module("q");
+  q.variable("y", 0, 1, 0);
+  q.command(Expr::literal(true), Expr::literal(1.0), {{"x", Expr::literal(1)}});
+  EXPECT_THROW(compile(b.build()), ModelError);
+}
+
+TEST(Compile, SharedActionAcrossModulesRejected) {
+  ModelBuilder b;
+  auto& p = b.module("p");
+  p.variable("x", 0, 1, 0);
+  p.command("sync", Expr::literal(true), Expr::literal(1.0), {{"x", Expr::literal(1)}});
+  auto& q = b.module("q");
+  q.variable("y", 0, 1, 0);
+  q.command("sync", Expr::literal(true), Expr::literal(1.0), {{"y", Expr::literal(1)}});
+  EXPECT_THROW(compile(b.build()), ModelError);
+}
+
+TEST(Compile, SameActionWithinOneModuleAllowed) {
+  ModelBuilder b;
+  auto& p = b.module("p");
+  p.variable("x", 0, 2, 0);
+  p.command("step", Expr::ident("x") < Expr::literal(2), Expr::literal(1.0),
+            {{"x", Expr::ident("x") + Expr::literal(1)}});
+  p.command("step", Expr::ident("x") > Expr::literal(0), Expr::literal(1.0),
+            {{"x", Expr::ident("x") - Expr::literal(1)}});
+  EXPECT_NO_THROW(compile(b.build()));
+}
+
+TEST(Compile, DoubleAssignmentInOneCommandRejected) {
+  ModelBuilder b;
+  auto& p = b.module("p");
+  p.variable("x", 0, 1, 0);
+  p.command(Expr::literal(true), Expr::literal(1.0),
+            {{"x", Expr::literal(1)}, {"x", Expr::literal(0)}});
+  EXPECT_THROW(compile(b.build()), ModelError);
+}
+
+TEST(Compile, DuplicateLabelRejected) {
+  ModelBuilder b;
+  auto& p = b.module("p");
+  p.variable("x", 0, 1, 0);
+  b.label("l", Expr::literal(true));
+  b.label("l", Expr::literal(false));
+  EXPECT_THROW(compile(b.build()), ModelError);
+}
+
+TEST(Compile, FindersLocateLabelsAndRewards) {
+  const CompiledModel compiled = compile(two_state_model());
+  EXPECT_NE(compiled.find_label("hot"), nullptr);
+  EXPECT_EQ(compiled.find_label("cold"), nullptr);
+  EXPECT_NE(compiled.find_rewards("heat"), nullptr);
+  EXPECT_EQ(compiled.find_rewards("none"), nullptr);
+}
+
+}  // namespace
+}  // namespace autosec::symbolic

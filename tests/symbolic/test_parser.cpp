@@ -1,0 +1,246 @@
+#include "symbolic/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "symbolic/explorer.hpp"
+
+namespace autosec::symbolic {
+namespace {
+
+Expr parse_expr(std::string_view text) {
+  TokenStream stream(tokenize(text));
+  Expr e = parse_expression(stream);
+  EXPECT_TRUE(stream.at_end()) << "trailing tokens in '" << text << "'";
+  return e;
+}
+
+double eval_num(std::string_view text) {
+  return parse_expr(text).evaluate({}).as_number();
+}
+
+bool eval_bool(std::string_view text) {
+  return parse_expr(text).evaluate({}).as_bool();
+}
+
+TEST(ExprParser, Precedence) {
+  EXPECT_DOUBLE_EQ(eval_num("2+3*4"), 14.0);
+  EXPECT_DOUBLE_EQ(eval_num("(2+3)*4"), 20.0);
+  EXPECT_DOUBLE_EQ(eval_num("10-4-3"), 3.0);  // left associative
+  EXPECT_DOUBLE_EQ(eval_num("12/4/3"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_num("-2*3"), -6.0);
+  EXPECT_DOUBLE_EQ(eval_num("--2"), 2.0);
+}
+
+TEST(ExprParser, BooleanPrecedence) {
+  EXPECT_TRUE(eval_bool("true | false & false"));   // & binds tighter
+  EXPECT_FALSE(eval_bool("(true | false) & false"));
+  EXPECT_TRUE(eval_bool("!false & true"));
+  EXPECT_TRUE(eval_bool("1 < 2 & 3 > 2"));
+}
+
+TEST(ExprParser, EqualityUsesSingleEquals) {
+  EXPECT_TRUE(eval_bool("2 = 2"));
+  EXPECT_TRUE(eval_bool("2 != 3"));
+  EXPECT_TRUE(eval_bool("1+1 = 2 & 2*2 = 4"));
+}
+
+TEST(ExprParser, ImplicationAndIff) {
+  EXPECT_TRUE(eval_bool("false => true"));
+  EXPECT_FALSE(eval_bool("true => false"));
+  EXPECT_TRUE(eval_bool("true <=> true"));
+  // Right associativity: a => (b => c).
+  EXPECT_TRUE(eval_bool("true => false => false"));
+}
+
+TEST(ExprParser, TernaryConditional) {
+  EXPECT_DOUBLE_EQ(eval_num("true ? 1 : 2"), 1.0);
+  EXPECT_DOUBLE_EQ(eval_num("false ? 1 : 2"), 2.0);
+  EXPECT_DOUBLE_EQ(eval_num("false ? 1 : true ? 2 : 3"), 2.0);
+}
+
+TEST(ExprParser, Functions) {
+  EXPECT_DOUBLE_EQ(eval_num("min(3, 5)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval_num("max(3, 5)"), 5.0);
+  EXPECT_DOUBLE_EQ(eval_num("floor(2.9)"), 2.0);
+  EXPECT_DOUBLE_EQ(eval_num("ceil(2.1)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval_num("pow(2, 8)"), 256.0);
+  EXPECT_DOUBLE_EQ(eval_num("mod(7, 3)"), 1.0);
+}
+
+TEST(ExprParser, QuotedLabelBecomesPrefixedIdent) {
+  const Expr e = parse_expr("\"violated\"");
+  EXPECT_EQ(e.to_string(), "label:violated");
+}
+
+TEST(ExprParser, MalformedExpressionThrows) {
+  TokenStream s1(tokenize("1 +"));
+  EXPECT_THROW(parse_expression(s1), ParseError);
+  TokenStream s2(tokenize("(1"));
+  EXPECT_THROW(parse_expression(s2), ParseError);
+  TokenStream s3(tokenize("min(1)"));
+  EXPECT_THROW(parse_expression(s3), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+
+constexpr const char* kBirthDeath = R"(
+ctmc
+
+const int n = 3;
+const double up = 2.0;
+const double down = 3.0;
+
+formula busy = x > 0;
+
+module proc
+  x : [0..n] init 0;
+  [] x < n -> up : (x'=x+1);
+  [] busy -> down : (x'=x-1);
+endmodule
+
+label "top" = x = n;
+
+rewards "level"
+  x > 0 : x;
+endrewards
+)";
+
+TEST(ModelParser, ParsesFullModel) {
+  const Model model = parse_model(kBirthDeath);
+  EXPECT_EQ(model.constants.size(), 3u);
+  EXPECT_EQ(model.formulas.size(), 1u);
+  ASSERT_EQ(model.modules.size(), 1u);
+  EXPECT_EQ(model.modules[0].variables.size(), 1u);
+  EXPECT_EQ(model.modules[0].commands.size(), 2u);
+  EXPECT_EQ(model.labels.size(), 1u);
+  EXPECT_EQ(model.rewards.size(), 1u);
+}
+
+TEST(ModelParser, ParsedModelExploresCorrectly) {
+  const StateSpace space = explore(compile(parse_model(kBirthDeath)));
+  EXPECT_EQ(space.state_count(), 4u);
+  EXPECT_DOUBLE_EQ(space.rates().at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(space.rates().at(1, 0), 3.0);
+}
+
+TEST(ModelParser, RequiresCtmcHeader) {
+  EXPECT_THROW(parse_model("module m x : [0..1] init 0; endmodule"), ParseError);
+  EXPECT_THROW(parse_model("dtmc"), ParseError);
+  EXPECT_THROW(parse_model("mdp"), ParseError);
+}
+
+TEST(ModelParser, ConstantWithoutTypeDefaultsToInt) {
+  const Model model = parse_model("ctmc const k = 4; module m x:[0..k] init 0; endmodule");
+  ASSERT_EQ(model.constants.size(), 1u);
+  EXPECT_EQ(model.constants[0].type, ConstantDecl::Type::kInt);
+}
+
+TEST(ModelParser, UndefinedConstantParsed) {
+  const Model model =
+      parse_model("ctmc const double eta; module m x:[0..1] init 0; endmodule");
+  ASSERT_EQ(model.constants.size(), 1u);
+  EXPECT_FALSE(model.constants[0].value.has_value());
+}
+
+TEST(ModelParser, BoolVariableSugar) {
+  const Model model = parse_model(R"(ctmc
+module m
+  flag : bool init true;
+  [] flag = 1 -> 2.0 : (flag'=0);
+endmodule)");
+  const StateSpace space = explore(compile(model));
+  EXPECT_EQ(space.state_count(), 2u);
+  EXPECT_EQ(space.state_values(space.initial_state())[0], 1);
+}
+
+TEST(ModelParser, VariableWithoutInitDefaultsToLowerBound) {
+  const Model model = parse_model("ctmc module m x:[2..5]; endmodule");
+  const CompiledModel compiled = compile(model);
+  EXPECT_EQ(compiled.variables[0].init, 2);
+}
+
+TEST(ModelParser, RatelessCommandDefaultsToRateOne) {
+  const Model model = parse_model(R"(ctmc
+module m
+  x : [0..1] init 0;
+  [] x=0 -> (x'=1);
+endmodule)");
+  const StateSpace space = explore(compile(model));
+  EXPECT_DOUBLE_EQ(space.rates().at(0, 1), 1.0);
+}
+
+TEST(ModelParser, MultipleRateAlternatives) {
+  const Model model = parse_model(R"(ctmc
+module m
+  x : [0..2] init 1;
+  [] x=1 -> 2.0 : (x'=0) + 3.0 : (x'=2);
+endmodule)");
+  ASSERT_EQ(model.modules[0].commands.size(), 2u);
+  const StateSpace space = explore(compile(model));
+  // BFS from x=1: state 0 is (x=1), then (x=0), (x=2).
+  EXPECT_DOUBLE_EQ(space.rates().at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(space.rates().at(0, 2), 3.0);
+}
+
+TEST(ModelParser, TrueUpdateMeansNoChange) {
+  const Model model = parse_model(R"(ctmc
+module m
+  x : [0..1] init 0;
+  [] x=0 -> 5.0 : true;
+endmodule)");
+  const StateSpace space = explore(compile(model));
+  EXPECT_EQ(space.transition_count(), 0u);  // self-loop dropped
+}
+
+TEST(ModelParser, ActionLabelsParsed) {
+  const Model model = parse_model(R"(ctmc
+module m
+  x : [0..1] init 0;
+  [go] x=0 -> 1.0 : (x'=1);
+endmodule)");
+  EXPECT_EQ(model.modules[0].commands[0].action, "go");
+}
+
+TEST(ModelParser, MultipleAssignmentsInUpdate) {
+  const Model model = parse_model(R"(ctmc
+module m
+  x : [0..1] init 0;
+  y : [0..1] init 0;
+  [] x=0 -> 1.0 : (x'=1) & (y'=1);
+endmodule)");
+  const StateSpace space = explore(compile(model));
+  EXPECT_EQ(space.state_count(), 2u);
+  const auto& final_state = space.state_values(1);
+  EXPECT_EQ(final_state[0], 1);
+  EXPECT_EQ(final_state[1], 1);
+}
+
+TEST(ModelParser, TransitionRewardsRejected) {
+  EXPECT_THROW(parse_model(R"(ctmc
+module m
+  x : [0..1] init 0;
+endmodule
+rewards "r"
+  [] x=0 : 1;
+endrewards)"),
+               ParseError);
+}
+
+TEST(ModelParser, UnnamedRewardStructure) {
+  const Model model = parse_model(R"(ctmc
+module m
+  x : [0..1] init 0;
+endmodule
+rewards
+  true : 1;
+endrewards)");
+  ASSERT_EQ(model.rewards.size(), 1u);
+  EXPECT_TRUE(model.rewards[0].name.empty());
+}
+
+TEST(ModelParser, GarbageDeclarationThrows) {
+  EXPECT_THROW(parse_model("ctmc banana"), ParseError);
+}
+
+}  // namespace
+}  // namespace autosec::symbolic

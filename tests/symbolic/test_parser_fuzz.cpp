@@ -1,0 +1,92 @@
+// Robustness: arbitrary token soup must never crash or hang the parsers —
+// every input either parses or throws a LexError/ParseError (and property
+// inputs a PropertyError). Seeded pseudo-random inputs keep this
+// reproducible.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "csl/property_parser.hpp"
+#include "symbolic/parser.hpp"
+
+namespace autosec::symbolic {
+namespace {
+
+std::string random_soup(uint32_t seed, size_t length) {
+  static const char* kFragments[] = {
+      "ctmc",   "module",  "endmodule", "const",  "double",  "init", "[",
+      "]",      "(",       ")",         ";",      ":",       "..",   "->",
+      "+",      "-",       "*",         "/",      "&",       "|",    "!",
+      "=",      "<=",      ">=",        "<",      ">",       "x",    "y",
+      "label",  "rewards", "endrewards", "formula", "1",     "2.5",  "0",
+      "true",   "false",   "\"tag\"",   "'",      "min",     ",",    "?",
+      "=>",     "<=>",     "F",         "G",      "U",       "P",    "S",
+      "R",      "C",       "I",         "{",      "}",       "nmax",
+  };
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<size_t> pick(0, std::size(kFragments) - 1);
+  std::string out;
+  for (size_t i = 0; i < length; ++i) {
+    out += kFragments[pick(rng)];
+    out += ' ';
+  }
+  return out;
+}
+
+class ModelParserFuzz : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ModelParserFuzz, NeverCrashesOnTokenSoup) {
+  for (size_t length : {3u, 10u, 40u, 120u}) {
+    const std::string input = random_soup(GetParam() * 31 + length, length);
+    try {
+      (void)parse_model(input);
+    } catch (const ParseError&) {
+    } catch (const LexError&) {
+    } catch (const EvalError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelParserFuzz, ::testing::Range(1u, 16u));
+
+class PropertyParserFuzz : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PropertyParserFuzz, NeverCrashesOnTokenSoup) {
+  for (size_t length : {2u, 6u, 20u}) {
+    const std::string input = random_soup(GetParam() * 97 + length, length);
+    try {
+      (void)csl::parse_property(input);
+    } catch (const csl::PropertyError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyParserFuzz, ::testing::Range(1u, 16u));
+
+TEST(ParserFuzz, RandomBytesRejectedCleanly) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> byte(32, 126);
+  for (int round = 0; round < 50; ++round) {
+    std::string input;
+    for (int i = 0; i < 60; ++i) input += static_cast<char>(byte(rng));
+    try {
+      (void)parse_model(input);
+    } catch (const ParseError&) {
+    } catch (const LexError&) {
+    } catch (const EvalError&) {
+    }
+  }
+}
+
+TEST(ParserFuzz, DeeplyNestedExpressionsSurvive) {
+  std::string nested = "ctmc module m x : [0..1] init 0; [] ";
+  for (int i = 0; i < 200; ++i) nested += "(";
+  nested += "x=0";
+  for (int i = 0; i < 200; ++i) nested += ")";
+  nested += " -> 1.0 : (x'=1); endmodule";
+  EXPECT_NO_THROW(parse_model(nested));
+}
+
+}  // namespace
+}  // namespace autosec::symbolic

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "symbolic/expr.hpp"
+#include "symbolic/lexer.hpp"
+#include "symbolic/parser.hpp"
+
+namespace autosec::symbolic {
+namespace {
+
+Expr parse(std::string_view text) {
+  TokenStream stream(tokenize(text));
+  return parse_expression(stream);
+}
+
+std::string simplify(std::string_view text) {
+  return parse(text).simplified().to_string();
+}
+
+TEST(Simplify, BooleanIdentities) {
+  EXPECT_EQ(simplify("true & x"), "x");
+  EXPECT_EQ(simplify("x & true"), "x");
+  EXPECT_EQ(simplify("false & x"), "false");
+  EXPECT_EQ(simplify("x | false"), "x");
+  EXPECT_EQ(simplify("false | x"), "x");
+  EXPECT_EQ(simplify("x | true"), "true");
+}
+
+TEST(Simplify, Negations) {
+  EXPECT_EQ(simplify("!true"), "false");
+  EXPECT_EQ(simplify("!false"), "true");
+  EXPECT_EQ(simplify("!!x"), "x");
+  EXPECT_EQ(simplify("!!!x"), "!(x)");
+}
+
+TEST(Simplify, ArithmeticIdentities) {
+  EXPECT_EQ(simplify("x + 0"), "x");
+  EXPECT_EQ(simplify("0 + x"), "x");
+  EXPECT_EQ(simplify("x - 0"), "x");
+  EXPECT_EQ(simplify("x * 1"), "x");
+  EXPECT_EQ(simplify("1 * x"), "x");
+  EXPECT_EQ(simplify("x * 0"), "0");
+}
+
+TEST(Simplify, LiteralFolding) {
+  EXPECT_EQ(simplify("2 + 3"), "5");
+  EXPECT_EQ(simplify("2 < 3"), "true");
+  EXPECT_EQ(simplify("2 = 3"), "false");
+}
+
+TEST(Simplify, DivisionByZeroLeftUnfolded) {
+  EXPECT_EQ(simplify("1 / 0"), "(1 / 0)");
+}
+
+TEST(Simplify, Implications) {
+  EXPECT_EQ(simplify("true => x"), "x");
+  EXPECT_EQ(simplify("false => x"), "true");
+  EXPECT_EQ(simplify("x => true"), "true");
+}
+
+TEST(Simplify, Conditionals) {
+  EXPECT_EQ(simplify("true ? a : b"), "a");
+  EXPECT_EQ(simplify("false ? a : b"), "b");
+  EXPECT_EQ(simplify("c ? a : b"), "(c ? a : b)");
+}
+
+TEST(Simplify, RecursesThroughStructure) {
+  EXPECT_EQ(simplify("(x > 0) & (true | y)"), "(x > 0)");
+  EXPECT_EQ(simplify("(false & a) | (b & true)"), "b");
+  EXPECT_EQ(simplify("min(x + 0, y * 1)"), "min(x, y)");
+}
+
+TEST(Simplify, SemanticsPreservedOnStatefulExpressions) {
+  std::vector<std::string> variables = {"x"};
+  const SymbolScope scope{.constants = nullptr, .formulas = nullptr,
+                          .variables = &variables};
+  const Expr original = parse("(x > 0 & true) | false").resolve(scope);
+  const Expr simplified = original.simplified();
+  const int32_t hot[] = {1};
+  const int32_t cold[] = {0};
+  EXPECT_EQ(original.evaluate_bool(hot), simplified.evaluate_bool(hot));
+  EXPECT_EQ(original.evaluate_bool(cold), simplified.evaluate_bool(cold));
+}
+
+TEST(Simplify, IdempotentOnAlreadySimpleExpressions) {
+  const std::string once = simplify("x & (y | false)");
+  TokenStream stream(tokenize(once));
+  const Expr reparsed = parse_expression(stream);
+  EXPECT_EQ(reparsed.simplified().to_string(), once);
+}
+
+}  // namespace
+}  // namespace autosec::symbolic

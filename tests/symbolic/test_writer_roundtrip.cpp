@@ -1,0 +1,110 @@
+#include "symbolic/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "symbolic/builder.hpp"
+#include "symbolic/explorer.hpp"
+#include "symbolic/parser.hpp"
+
+namespace autosec::symbolic {
+namespace {
+
+Model sample_model() {
+  ModelBuilder b;
+  b.constant_int("n", 2);
+  b.constant_double("up", 1.5);
+  b.constant_double("down", 4.0);
+  b.formula("busy", Expr::ident("x") > Expr::literal(0));
+  auto& m = b.module("proc");
+  m.variable("x", Expr::literal(0), Expr::ident("n"), Expr::literal(0));
+  m.command(Expr::ident("x") < Expr::ident("n"), Expr::ident("up"),
+            {{"x", Expr::ident("x") + Expr::literal(1)}});
+  m.command(Expr::ident("busy"), Expr::ident("down"),
+            {{"x", Expr::ident("x") - Expr::literal(1)}});
+  b.label("top", Expr::ident("x") == Expr::ident("n"));
+  b.state_reward("level", Expr::ident("busy"), Expr::ident("x"));
+  return b.build();
+}
+
+TEST(Writer, OutputContainsAllSections) {
+  const std::string text = write_model(sample_model());
+  EXPECT_NE(text.find("ctmc"), std::string::npos);
+  EXPECT_NE(text.find("const int n = 2;"), std::string::npos);
+  EXPECT_NE(text.find("const double up = 1.5;"), std::string::npos);
+  EXPECT_NE(text.find("formula busy"), std::string::npos);
+  EXPECT_NE(text.find("module proc"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+  EXPECT_NE(text.find("label \"top\""), std::string::npos);
+  EXPECT_NE(text.find("rewards \"level\""), std::string::npos);
+  EXPECT_NE(text.find("endrewards"), std::string::npos);
+}
+
+TEST(Writer, UndefinedConstantWrittenWithoutValue) {
+  ModelBuilder b;
+  b.constant_undefined("eta", ConstantDecl::Type::kDouble);
+  auto& m = b.module("p");
+  m.variable("x", 0, 1, 0);
+  const std::string text = write_model(b.build());
+  EXPECT_NE(text.find("const double eta;"), std::string::npos);
+}
+
+/// Structural equivalence through the state space: same states, same rates,
+/// same label masks, same rewards.
+void expect_same_semantics(const Model& a, const Model& b) {
+  const StateSpace sa = explore(compile(a));
+  const StateSpace sb = explore(compile(b));
+  ASSERT_EQ(sa.state_count(), sb.state_count());
+  ASSERT_EQ(sa.transition_count(), sb.transition_count());
+  for (size_t i = 0; i < sa.state_count(); ++i) {
+    EXPECT_EQ(sa.state_values(i), sb.state_values(i));
+    for (size_t j = 0; j < sa.state_count(); ++j) {
+      EXPECT_DOUBLE_EQ(sa.rates().at(i, j), sb.rates().at(i, j));
+    }
+  }
+}
+
+TEST(Writer, ParseWriteRoundTripPreservesSemantics) {
+  const Model original = sample_model();
+  const Model reparsed = parse_model(write_model(original));
+  expect_same_semantics(original, reparsed);
+  EXPECT_EQ(reparsed.labels.size(), original.labels.size());
+  EXPECT_EQ(reparsed.rewards.size(), original.rewards.size());
+}
+
+TEST(Writer, DoubleRoundTripIsStable) {
+  const Model original = sample_model();
+  const std::string once = write_model(parse_model(write_model(original)));
+  const std::string twice = write_model(parse_model(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Writer, RoundTripWithBooleanOperatorsAndFunctions) {
+  ModelBuilder b;
+  auto& m = b.module("p");
+  m.variable("x", 0, 3, 0);
+  m.command((Expr::ident("x") < Expr::literal(3)) &&
+                !(Expr::ident("x") == Expr::literal(2)),
+            Expr::literal(1.0),
+            {{"x", Expr::call(CallOp::kMin,
+                              {Expr::ident("x") + Expr::literal(2), Expr::literal(3)})}});
+  m.command(Expr::ident("x") > Expr::literal(0), Expr::literal(2.0),
+            {{"x", Expr::literal(0)}});
+  const Model original = b.build();
+  const Model reparsed = parse_model(write_model(original));
+  expect_same_semantics(original, reparsed);
+}
+
+TEST(Writer, RoundTripWithIte) {
+  ModelBuilder b;
+  auto& m = b.module("p");
+  m.variable("x", 0, 2, 0);
+  m.command(Expr::ident("x") < Expr::literal(2),
+            Expr::ite(Expr::ident("x") == Expr::literal(0), Expr::literal(5.0),
+                      Expr::literal(1.0)),
+            {{"x", Expr::ident("x") + Expr::literal(1)}});
+  const Model original = b.build();
+  expect_same_semantics(original, parse_model(write_model(original)));
+}
+
+}  // namespace
+}  // namespace autosec::symbolic

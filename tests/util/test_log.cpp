@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autosec::util {
+namespace {
+
+TEST(Log, ParseLevelNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST(Log, UnknownLevelFallsBackToWarn) {
+  EXPECT_EQ(parse_log_level("chatty"), LogLevel::kWarn);
+}
+
+TEST(Log, SetLevelRoundTrips) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+TEST(Log, SuppressedMessageDoesNotThrow) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  AUTOSEC_LOG_ERROR("test") << "should be swallowed " << 42;
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace autosec::util

@@ -1,0 +1,74 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autosec::util {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim("no_space"), "no_space");
+}
+
+TEST(Strings, TrimOfAllWhitespaceIsEmpty) {
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, TrimKeepsInnerWhitespace) { EXPECT_EQ(trim(" a b "), "a b"); }
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a/b/c", '/');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a//b/", '/');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWithoutSeparatorYieldsWholeString) {
+  const auto parts = split("abc", '/');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("foo", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_FALSE(starts_with("barfoo", "foo"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Strings, JoinInterleavesSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("CAN1"), "can1");
+  EXPECT_EQ(to_lower("FlexRay"), "flexray");
+}
+
+TEST(Strings, FormatSigRoundsToSignificantDigits) {
+  EXPECT_EQ(format_sig(0.0123456, 3), "0.0123");
+  EXPECT_EQ(format_sig(12.249, 3), "12.2");
+  EXPECT_EQ(format_sig(1.0, 3), "1");
+}
+
+TEST(Strings, FormatPercentMatchesPaperStyle) {
+  // The paper's Fig. 5 prints values like "12.2%" and "0.668%".
+  EXPECT_EQ(format_percent(0.122), "12.2%");
+  EXPECT_EQ(format_percent(0.00668), "0.668%");
+}
+
+}  // namespace
+}  // namespace autosec::util

@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace autosec::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("name    value"), std::string::npos);
+  EXPECT_NE(rendered.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, StreamInsertionMatchesToString) {
+  TextTable table({"h"});
+  table.add_row({"v"});
+  std::ostringstream os;
+  os << table;
+  EXPECT_EQ(os.str(), table.to_string());
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table({"h"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"v"});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace autosec::util

@@ -1,0 +1,12 @@
+// Thin entry point; all behaviour lives in cli/cli.cpp (library code, so the
+// test suite covers every command).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return autosec::cli::run_cli(args, std::cout, std::cerr);
+}
