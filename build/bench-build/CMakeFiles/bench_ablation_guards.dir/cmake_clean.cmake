@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_guards"
+  "../bench/bench_ablation_guards.pdb"
+  "CMakeFiles/bench_ablation_guards.dir/bench_ablation_guards.cpp.o"
+  "CMakeFiles/bench_ablation_guards.dir/bench_ablation_guards.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_guards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

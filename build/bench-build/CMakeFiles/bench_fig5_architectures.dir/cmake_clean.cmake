@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_architectures"
+  "../bench/bench_fig5_architectures.pdb"
+  "CMakeFiles/bench_fig5_architectures.dir/bench_fig5_architectures.cpp.o"
+  "CMakeFiles/bench_fig5_architectures.dir/bench_fig5_architectures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_exploration"
+  "../bench/bench_fig6_exploration.pdb"
+  "CMakeFiles/bench_fig6_exploration.dir/bench_fig6_exploration.cpp.o"
+  "CMakeFiles/bench_fig6_exploration.dir/bench_fig6_exploration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_smc_validation"
+  "../bench/bench_smc_validation.pdb"
+  "CMakeFiles/bench_smc_validation.dir/bench_smc_validation.cpp.o"
+  "CMakeFiles/bench_smc_validation.dir/bench_smc_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smc_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_steady_example"
+  "../bench/bench_steady_example.pdb"
+  "CMakeFiles/bench_steady_example.dir/bench_steady_example.cpp.o"
+  "CMakeFiles/bench_steady_example.dir/bench_steady_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_steady_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_assessment"
+  "../bench/bench_table2_assessment.pdb"
+  "CMakeFiles/bench_table2_assessment.dir/bench_table2_assessment.cpp.o"
+  "CMakeFiles/bench_table2_assessment.dir/bench_table2_assessment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

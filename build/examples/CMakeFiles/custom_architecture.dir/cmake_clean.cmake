@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_architecture.dir/custom_architecture.cpp.o"
+  "CMakeFiles/custom_architecture.dir/custom_architecture.cpp.o.d"
+  "custom_architecture"
+  "custom_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

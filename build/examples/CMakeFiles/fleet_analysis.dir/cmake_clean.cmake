@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_analysis.dir/fleet_analysis.cpp.o"
+  "CMakeFiles/fleet_analysis.dir/fleet_analysis.cpp.o.d"
+  "fleet_analysis"
+  "fleet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

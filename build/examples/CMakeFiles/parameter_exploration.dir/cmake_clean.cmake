@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_exploration.dir/parameter_exploration.cpp.o"
+  "CMakeFiles/parameter_exploration.dir/parameter_exploration.cpp.o.d"
+  "parameter_exploration"
+  "parameter_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

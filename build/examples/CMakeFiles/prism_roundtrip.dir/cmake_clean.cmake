@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_roundtrip.dir/prism_roundtrip.cpp.o"
+  "CMakeFiles/prism_roundtrip.dir/prism_roundtrip.cpp.o.d"
+  "prism_roundtrip"
+  "prism_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

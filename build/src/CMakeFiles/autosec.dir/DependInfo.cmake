@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assess/asil.cpp" "src/CMakeFiles/autosec.dir/assess/asil.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/assess/asil.cpp.o.d"
+  "/root/repo/src/assess/cvss.cpp" "src/CMakeFiles/autosec.dir/assess/cvss.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/assess/cvss.cpp.o.d"
+  "/root/repo/src/automotive/analyzer.cpp" "src/CMakeFiles/autosec.dir/automotive/analyzer.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/automotive/analyzer.cpp.o.d"
+  "/root/repo/src/automotive/archfile.cpp" "src/CMakeFiles/autosec.dir/automotive/archfile.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/automotive/archfile.cpp.o.d"
+  "/root/repo/src/automotive/architecture.cpp" "src/CMakeFiles/autosec.dir/automotive/architecture.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/automotive/architecture.cpp.o.d"
+  "/root/repo/src/automotive/casestudy.cpp" "src/CMakeFiles/autosec.dir/automotive/casestudy.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/automotive/casestudy.cpp.o.d"
+  "/root/repo/src/automotive/diagnostics.cpp" "src/CMakeFiles/autosec.dir/automotive/diagnostics.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/automotive/diagnostics.cpp.o.d"
+  "/root/repo/src/automotive/transform.cpp" "src/CMakeFiles/autosec.dir/automotive/transform.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/automotive/transform.cpp.o.d"
+  "/root/repo/src/cli/cli.cpp" "src/CMakeFiles/autosec.dir/cli/cli.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/cli/cli.cpp.o.d"
+  "/root/repo/src/csl/checker.cpp" "src/CMakeFiles/autosec.dir/csl/checker.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/csl/checker.cpp.o.d"
+  "/root/repo/src/csl/lumped.cpp" "src/CMakeFiles/autosec.dir/csl/lumped.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/csl/lumped.cpp.o.d"
+  "/root/repo/src/csl/property.cpp" "src/CMakeFiles/autosec.dir/csl/property.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/csl/property.cpp.o.d"
+  "/root/repo/src/csl/property_parser.cpp" "src/CMakeFiles/autosec.dir/csl/property_parser.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/csl/property_parser.cpp.o.d"
+  "/root/repo/src/ctmc/ctmc.cpp" "src/CMakeFiles/autosec.dir/ctmc/ctmc.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/ctmc/ctmc.cpp.o.d"
+  "/root/repo/src/ctmc/lumping.cpp" "src/CMakeFiles/autosec.dir/ctmc/lumping.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/ctmc/lumping.cpp.o.d"
+  "/root/repo/src/ctmc/poisson.cpp" "src/CMakeFiles/autosec.dir/ctmc/poisson.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/ctmc/poisson.cpp.o.d"
+  "/root/repo/src/ctmc/rewards.cpp" "src/CMakeFiles/autosec.dir/ctmc/rewards.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/ctmc/rewards.cpp.o.d"
+  "/root/repo/src/ctmc/scc.cpp" "src/CMakeFiles/autosec.dir/ctmc/scc.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/ctmc/scc.cpp.o.d"
+  "/root/repo/src/ctmc/simulation.cpp" "src/CMakeFiles/autosec.dir/ctmc/simulation.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/ctmc/simulation.cpp.o.d"
+  "/root/repo/src/ctmc/steady_state.cpp" "src/CMakeFiles/autosec.dir/ctmc/steady_state.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/ctmc/steady_state.cpp.o.d"
+  "/root/repo/src/ctmc/transient.cpp" "src/CMakeFiles/autosec.dir/ctmc/transient.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/ctmc/transient.cpp.o.d"
+  "/root/repo/src/linalg/csr_matrix.cpp" "src/CMakeFiles/autosec.dir/linalg/csr_matrix.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/linalg/csr_matrix.cpp.o.d"
+  "/root/repo/src/linalg/gauss_seidel.cpp" "src/CMakeFiles/autosec.dir/linalg/gauss_seidel.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/linalg/gauss_seidel.cpp.o.d"
+  "/root/repo/src/linalg/power_iteration.cpp" "src/CMakeFiles/autosec.dir/linalg/power_iteration.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/linalg/power_iteration.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/CMakeFiles/autosec.dir/linalg/vector_ops.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/linalg/vector_ops.cpp.o.d"
+  "/root/repo/src/symbolic/builder.cpp" "src/CMakeFiles/autosec.dir/symbolic/builder.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/symbolic/builder.cpp.o.d"
+  "/root/repo/src/symbolic/dot.cpp" "src/CMakeFiles/autosec.dir/symbolic/dot.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/symbolic/dot.cpp.o.d"
+  "/root/repo/src/symbolic/explorer.cpp" "src/CMakeFiles/autosec.dir/symbolic/explorer.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/symbolic/explorer.cpp.o.d"
+  "/root/repo/src/symbolic/expr.cpp" "src/CMakeFiles/autosec.dir/symbolic/expr.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/symbolic/expr.cpp.o.d"
+  "/root/repo/src/symbolic/lexer.cpp" "src/CMakeFiles/autosec.dir/symbolic/lexer.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/symbolic/lexer.cpp.o.d"
+  "/root/repo/src/symbolic/model.cpp" "src/CMakeFiles/autosec.dir/symbolic/model.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/symbolic/model.cpp.o.d"
+  "/root/repo/src/symbolic/parser.cpp" "src/CMakeFiles/autosec.dir/symbolic/parser.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/symbolic/parser.cpp.o.d"
+  "/root/repo/src/symbolic/writer.cpp" "src/CMakeFiles/autosec.dir/symbolic/writer.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/symbolic/writer.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/autosec.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/stopwatch.cpp" "src/CMakeFiles/autosec.dir/util/stopwatch.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/util/stopwatch.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/autosec.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/autosec.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/autosec.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assess/test_asil.cpp" "tests/CMakeFiles/test_assess.dir/assess/test_asil.cpp.o" "gcc" "tests/CMakeFiles/test_assess.dir/assess/test_asil.cpp.o.d"
+  "/root/repo/tests/assess/test_cvss.cpp" "tests/CMakeFiles/test_assess.dir/assess/test_cvss.cpp.o" "gcc" "tests/CMakeFiles/test_assess.dir/assess/test_cvss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autosec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assess.dir/assess/test_asil.cpp.o"
+  "CMakeFiles/test_assess.dir/assess/test_asil.cpp.o.d"
+  "CMakeFiles/test_assess.dir/assess/test_cvss.cpp.o"
+  "CMakeFiles/test_assess.dir/assess/test_cvss.cpp.o.d"
+  "test_assess"
+  "test_assess.pdb"
+  "test_assess[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

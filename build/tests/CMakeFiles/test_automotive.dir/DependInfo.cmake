@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/automotive/test_analyzer.cpp" "tests/CMakeFiles/test_automotive.dir/automotive/test_analyzer.cpp.o" "gcc" "tests/CMakeFiles/test_automotive.dir/automotive/test_analyzer.cpp.o.d"
+  "/root/repo/tests/automotive/test_archfile.cpp" "tests/CMakeFiles/test_automotive.dir/automotive/test_archfile.cpp.o" "gcc" "tests/CMakeFiles/test_automotive.dir/automotive/test_archfile.cpp.o.d"
+  "/root/repo/tests/automotive/test_architecture.cpp" "tests/CMakeFiles/test_automotive.dir/automotive/test_architecture.cpp.o" "gcc" "tests/CMakeFiles/test_automotive.dir/automotive/test_architecture.cpp.o.d"
+  "/root/repo/tests/automotive/test_casestudy.cpp" "tests/CMakeFiles/test_automotive.dir/automotive/test_casestudy.cpp.o" "gcc" "tests/CMakeFiles/test_automotive.dir/automotive/test_casestudy.cpp.o.d"
+  "/root/repo/tests/automotive/test_diagnostics.cpp" "tests/CMakeFiles/test_automotive.dir/automotive/test_diagnostics.cpp.o" "gcc" "tests/CMakeFiles/test_automotive.dir/automotive/test_diagnostics.cpp.o.d"
+  "/root/repo/tests/automotive/test_extensions.cpp" "tests/CMakeFiles/test_automotive.dir/automotive/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_automotive.dir/automotive/test_extensions.cpp.o.d"
+  "/root/repo/tests/automotive/test_transform.cpp" "tests/CMakeFiles/test_automotive.dir/automotive/test_transform.cpp.o" "gcc" "tests/CMakeFiles/test_automotive.dir/automotive/test_transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autosec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

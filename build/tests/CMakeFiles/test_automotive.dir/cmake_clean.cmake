@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_automotive.dir/automotive/test_analyzer.cpp.o"
+  "CMakeFiles/test_automotive.dir/automotive/test_analyzer.cpp.o.d"
+  "CMakeFiles/test_automotive.dir/automotive/test_archfile.cpp.o"
+  "CMakeFiles/test_automotive.dir/automotive/test_archfile.cpp.o.d"
+  "CMakeFiles/test_automotive.dir/automotive/test_architecture.cpp.o"
+  "CMakeFiles/test_automotive.dir/automotive/test_architecture.cpp.o.d"
+  "CMakeFiles/test_automotive.dir/automotive/test_casestudy.cpp.o"
+  "CMakeFiles/test_automotive.dir/automotive/test_casestudy.cpp.o.d"
+  "CMakeFiles/test_automotive.dir/automotive/test_diagnostics.cpp.o"
+  "CMakeFiles/test_automotive.dir/automotive/test_diagnostics.cpp.o.d"
+  "CMakeFiles/test_automotive.dir/automotive/test_extensions.cpp.o"
+  "CMakeFiles/test_automotive.dir/automotive/test_extensions.cpp.o.d"
+  "CMakeFiles/test_automotive.dir/automotive/test_transform.cpp.o"
+  "CMakeFiles/test_automotive.dir/automotive/test_transform.cpp.o.d"
+  "test_automotive"
+  "test_automotive.pdb"
+  "test_automotive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_automotive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

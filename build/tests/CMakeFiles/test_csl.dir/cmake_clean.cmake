@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csl.dir/csl/test_bounds.cpp.o"
+  "CMakeFiles/test_csl.dir/csl/test_bounds.cpp.o.d"
+  "CMakeFiles/test_csl.dir/csl/test_checker.cpp.o"
+  "CMakeFiles/test_csl.dir/csl/test_checker.cpp.o.d"
+  "CMakeFiles/test_csl.dir/csl/test_interval_bounds.cpp.o"
+  "CMakeFiles/test_csl.dir/csl/test_interval_bounds.cpp.o.d"
+  "CMakeFiles/test_csl.dir/csl/test_lumped.cpp.o"
+  "CMakeFiles/test_csl.dir/csl/test_lumped.cpp.o.d"
+  "CMakeFiles/test_csl.dir/csl/test_property_parser.cpp.o"
+  "CMakeFiles/test_csl.dir/csl/test_property_parser.cpp.o.d"
+  "test_csl"
+  "test_csl.pdb"
+  "test_csl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ctmc/test_ctmc.cpp" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_ctmc.cpp.o" "gcc" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_ctmc.cpp.o.d"
+  "/root/repo/tests/ctmc/test_lumping.cpp" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_lumping.cpp.o" "gcc" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_lumping.cpp.o.d"
+  "/root/repo/tests/ctmc/test_poisson.cpp" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_poisson.cpp.o" "gcc" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_poisson.cpp.o.d"
+  "/root/repo/tests/ctmc/test_properties_random.cpp" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_properties_random.cpp.o" "gcc" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_properties_random.cpp.o.d"
+  "/root/repo/tests/ctmc/test_rewards.cpp" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_rewards.cpp.o" "gcc" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_rewards.cpp.o.d"
+  "/root/repo/tests/ctmc/test_scc.cpp" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_scc.cpp.o" "gcc" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_scc.cpp.o.d"
+  "/root/repo/tests/ctmc/test_simulation.cpp" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_simulation.cpp.o.d"
+  "/root/repo/tests/ctmc/test_steady_state.cpp" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_steady_state.cpp.o" "gcc" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_steady_state.cpp.o.d"
+  "/root/repo/tests/ctmc/test_transient.cpp" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_transient.cpp.o" "gcc" "tests/CMakeFiles/test_ctmc.dir/ctmc/test_transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autosec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctmc.dir/ctmc/test_ctmc.cpp.o"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_ctmc.cpp.o.d"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_lumping.cpp.o"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_lumping.cpp.o.d"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_poisson.cpp.o"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_poisson.cpp.o.d"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_properties_random.cpp.o"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_properties_random.cpp.o.d"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_rewards.cpp.o"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_rewards.cpp.o.d"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_scc.cpp.o"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_scc.cpp.o.d"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_simulation.cpp.o"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_simulation.cpp.o.d"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_steady_state.cpp.o"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_steady_state.cpp.o.d"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_transient.cpp.o"
+  "CMakeFiles/test_ctmc.dir/ctmc/test_transient.cpp.o.d"
+  "test_ctmc"
+  "test_ctmc.pdb"
+  "test_ctmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

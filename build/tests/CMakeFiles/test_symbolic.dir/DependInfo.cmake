@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/symbolic/test_dot.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_dot.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_dot.cpp.o.d"
+  "/root/repo/tests/symbolic/test_explorer.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_explorer.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_explorer.cpp.o.d"
+  "/root/repo/tests/symbolic/test_explorer_reference.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_explorer_reference.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_explorer_reference.cpp.o.d"
+  "/root/repo/tests/symbolic/test_expr.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_expr.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_expr.cpp.o.d"
+  "/root/repo/tests/symbolic/test_lexer.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_lexer.cpp.o.d"
+  "/root/repo/tests/symbolic/test_model_compile.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_model_compile.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_model_compile.cpp.o.d"
+  "/root/repo/tests/symbolic/test_parser.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_parser.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_parser.cpp.o.d"
+  "/root/repo/tests/symbolic/test_parser_fuzz.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_parser_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_parser_fuzz.cpp.o.d"
+  "/root/repo/tests/symbolic/test_simplify.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_simplify.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_simplify.cpp.o.d"
+  "/root/repo/tests/symbolic/test_writer_roundtrip.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_writer_roundtrip.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/test_writer_roundtrip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autosec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbolic.dir/symbolic/test_dot.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_dot.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_explorer.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_explorer.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_explorer_reference.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_explorer_reference.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_expr.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_expr.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_lexer.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_lexer.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_model_compile.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_model_compile.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_parser.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_parser.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_parser_fuzz.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_parser_fuzz.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_simplify.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_simplify.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_writer_roundtrip.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/test_writer_roundtrip.cpp.o.d"
+  "test_symbolic"
+  "test_symbolic.pdb"
+  "test_symbolic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autosec_cli.dir/autosec_cli.cpp.o"
+  "CMakeFiles/autosec_cli.dir/autosec_cli.cpp.o.d"
+  "autosec"
+  "autosec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autosec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
