@@ -3,12 +3,33 @@
 // AES128} x {Architecture 1, 2, 3}, with nmax = 2 as in the paper's
 // experiments. The paper's printed bar values are shown alongside for the
 // shape comparison recorded in EXPERIMENTS.md.
+//
+// The run doubles as the staged-engine benchmark. The figure's 27
+// (architecture, protection, category) analyses are computed three ways:
+//   1. serial baseline: one model per analysis, every solve sequential on a
+//      single thread, unbounded queries via pure Gauss-Seidel — the engine
+//      path before the staged session existed;
+//   2. staged engine, parallel fan: the same 27 independent sessions fanned
+//      across the 4-thread pool with the Krylov-accelerated fixpoint solver
+//      (the parallel kernels keep serial summation order, so results are
+//      deterministic at any thread count);
+//   3. staged engine, batch sessions: one EngineSession per (architecture,
+//      protection) whose batch model covers all three categories — 9
+//      compiles + explorations instead of 27, every property solved against
+//      a shared state space (results match to solver tolerance).
+// It reports the wall-clock speedup of (2) over (1) — expected >= 2x — and
+// the largest absolute result difference of (2) and (3) against (1).
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
-#include <map>
+#include <vector>
 
 #include "automotive/analyzer.hpp"
 #include "automotive/casestudy.hpp"
+#include "linalg/gauss_seidel.hpp"
+#include "util/parallel.hpp"
+#include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -17,6 +38,12 @@ using namespace autosec::automotive;
 namespace cs = casestudy;
 
 namespace {
+
+constexpr SecurityCategory kCategories[] = {SecurityCategory::kConfidentiality,
+                                            SecurityCategory::kIntegrity,
+                                            SecurityCategory::kAvailability};
+constexpr Protection kProtections[] = {Protection::kUnencrypted, Protection::kCmac128,
+                                       Protection::kAes128};
 
 // The values printed in the paper's Fig. 5 (percent within one year).
 // Availability has no protection dependence; confidentiality/integrity values
@@ -38,33 +65,151 @@ double paper_value(SecurityCategory category, Protection protection, int arch) {
   return 0.0;
 }
 
+/// The 27 analyses of the figure in a fixed order: protection-major, then
+/// architecture, then category — shared by all three engine passes.
+struct Task {
+  Protection protection;
+  int arch = 1;
+  SecurityCategory category = SecurityCategory::kConfidentiality;
+};
+
+std::vector<Task> tasks() {
+  std::vector<Task> out;
+  for (const Protection protection : kProtections) {
+    for (int arch = 1; arch <= 3; ++arch) {
+      for (const SecurityCategory category : kCategories) {
+        out.push_back({protection, arch, category});
+      }
+    }
+  }
+  return out;
+}
+
+AnalysisOptions pair_options() {
+  AnalysisOptions options;
+  options.nmax = 2;
+  options.batch_model = false;
+  options.parallel_solves = false;
+  return options;
+}
+
+/// Serial baseline: the seed engine path — one model compiled and explored
+/// per (architecture, protection, category), all solves sequential, unbounded
+/// queries solved by pure Gauss-Seidel sweeps (the seed's only method).
+std::vector<AnalysisResult> run_serial_baseline() {
+  util::set_thread_count(1);
+  AnalysisOptions options = pair_options();
+  options.checker.steady_state.solver.method = linalg::FixpointMethod::kGaussSeidel;
+  std::vector<AnalysisResult> results;
+  for (const Task& task : tasks()) {
+    results.push_back(analyze_message(cs::architecture(task.arch, task.protection),
+                                      cs::kMessage, task.category, options));
+  }
+  return results;
+}
+
+/// Staged engine, parallel fan: the same 27 independent session-backed
+/// analyses distributed over the pool; each slot writes only its own result,
+/// so the output is identical at any thread count.
+std::vector<AnalysisResult> run_parallel_fan() {
+  util::set_thread_count(4);
+  const std::vector<Task> all = tasks();
+  std::vector<AnalysisResult> results(all.size());
+  util::parallel_for(0, all.size(), 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      results[i] =
+          analyze_message(cs::architecture(all[i].arch, all[i].protection),
+                          cs::kMessage, all[i].category, pair_options());
+    }
+  });
+  return results;
+}
+
+/// Staged engine, batch sessions: one EngineSession per (architecture,
+/// protection) covering all categories — 9 explorations serve 27 analyses
+/// (108 properties); the per-property solves fan across the pool.
+std::vector<AnalysisResult> run_batch_sessions(csl::SessionStats& stats_out) {
+  util::set_thread_count(4);
+  AnalysisOptions options;
+  options.nmax = 2;  // batch_model + parallel_solves on by default
+  std::vector<AnalysisResult> results;
+  for (const Protection protection : kProtections) {
+    for (int arch = 1; arch <= 3; ++arch) {
+      ArchitectureReport report = analyze_architecture_report(
+          cs::architecture(arch, protection), options,
+          {kCategories[0], kCategories[1], kCategories[2]}, {cs::kMessage});
+      stats_out.compile_count += report.stats.compile_count;
+      stats_out.explore_count += report.stats.explore_count;
+      stats_out.check_count += report.stats.check_count;
+      stats_out.compile_seconds += report.stats.compile_seconds;
+      stats_out.explore_seconds += report.stats.explore_seconds;
+      stats_out.solve_seconds += report.stats.solve_seconds;
+      for (AnalysisResult& result : report.results) {
+        results.push_back(std::move(result));
+      }
+    }
+  }
+  return results;
+}
+
+double max_abs_difference(const std::vector<AnalysisResult>& a,
+                          const std::vector<AnalysisResult>& b) {
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diffs[] = {
+        std::fabs(a[i].exploitable_fraction - b[i].exploitable_fraction),
+        std::fabs(a[i].breach_probability - b[i].breach_probability),
+        std::fabs(a[i].steady_state_fraction - b[i].steady_state_fraction),
+        // Mean time to breach is +inf on both sides for unreachable targets.
+        std::isinf(a[i].mean_time_to_breach) && std::isinf(b[i].mean_time_to_breach)
+            ? 0.0
+            : std::fabs(a[i].mean_time_to_breach - b[i].mean_time_to_breach),
+    };
+    max_diff = std::max(max_diff, *std::max_element(std::begin(diffs), std::end(diffs)));
+  }
+  return max_diff;
+}
+
 }  // namespace
 
 int main() {
   std::cout << "== Figure 5: exploitability of message m within 1 year (nmax = 2) ==\n\n";
 
-  const SecurityCategory categories[] = {SecurityCategory::kConfidentiality,
-                                         SecurityCategory::kIntegrity,
-                                         SecurityCategory::kAvailability};
-  const Protection protections[] = {Protection::kUnencrypted, Protection::kCmac128,
-                                    Protection::kAes128};
+  util::Stopwatch serial_watch;
+  const std::vector<AnalysisResult> serial = run_serial_baseline();
+  const double serial_seconds = serial_watch.elapsed_seconds();
 
-  AnalysisOptions options;
-  options.nmax = 2;
+  util::Stopwatch fan_watch;
+  const std::vector<AnalysisResult> fanned = run_parallel_fan();
+  const double fan_seconds = fan_watch.elapsed_seconds();
 
-  double total_check_seconds = 0.0;
-  for (const SecurityCategory category : categories) {
+  csl::SessionStats batch_stats;
+  util::Stopwatch batch_watch;
+  const std::vector<AnalysisResult> batched = run_batch_sessions(batch_stats);
+  const double batch_seconds = batch_watch.elapsed_seconds();
+
+  // The figure, from the parallel-fan results (task order is category-minor).
+  const std::vector<Task> all = tasks();
+  const auto result_of = [&](SecurityCategory category, Protection protection,
+                             int arch) -> const AnalysisResult& {
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (all[i].protection == protection && all[i].arch == arch &&
+          all[i].category == category) {
+        return fanned[i];
+      }
+    }
+    throw std::logic_error("task not found");
+  };
+
+  for (const SecurityCategory category : kCategories) {
     std::printf("--- %s ---\n", category_name(category).data());
     util::TextTable table({"Protection", "Arch 1", "Arch 2", "Arch 3",
                            "paper (A1/A2/A3)"});
-    for (const Protection protection : protections) {
+    for (const Protection protection : kProtections) {
       std::vector<std::string> row{std::string(protection_name(protection))};
       std::string paper;
       for (int arch = 1; arch <= 3; ++arch) {
-        const AnalysisResult result =
-            analyze_message(cs::architecture(arch, protection), cs::kMessage,
-                            category, options);
-        total_check_seconds += result.build_seconds + result.check_seconds;
+        const AnalysisResult& result = result_of(category, protection, arch);
         row.push_back(util::format_percent(result.exploitable_fraction));
         paper += util::format_sig(paper_value(category, protection, arch), 3) + "%";
         if (arch < 3) paper += " / ";
@@ -81,6 +226,28 @@ int main() {
                "  * availability is protection-independent (bus-level property);\n"
                "  * Architecture 3 (FlexRay + bus guardian) is an order of magnitude\n"
                "    more secure; Architecture 2 is no dramatic improvement over 1.\n";
-  std::printf("\ntotal model build+check time: %.2f s\n", total_check_seconds);
+
+  std::printf("\n== staged engine vs serial baseline (27 analyses) ==\n");
+  std::printf("serial baseline  (1 thread, 27 models):          %.3f s\n",
+              serial_seconds);
+  std::printf("parallel fan     (4 threads, 27 models):         %.3f s\n",
+              fan_seconds);
+  std::printf("batch sessions   (4 threads, 9 shared models):   %.3f s\n",
+              batch_seconds);
+  std::printf("  batch stages: compile %.3f s (x%zu)  explore %.3f s (x%zu)  "
+              "solve %.3f s CPU (%zu properties)\n",
+              batch_stats.compile_seconds, batch_stats.compile_count,
+              batch_stats.explore_seconds, batch_stats.explore_count,
+              batch_stats.solve_seconds, batch_stats.check_count);
+  const double speedup = serial_seconds / std::max(fan_seconds, 1e-12);
+  const double fan_diff = max_abs_difference(serial, fanned);
+  const double batch_diff = max_abs_difference(serial, batched);
+  std::printf("speedup (parallel fan): %.2fx\n", speedup);
+  std::printf("max |difference| vs serial: parallel fan %.3g, batch sessions %.3g\n",
+              fan_diff, batch_diff);
+  if (speedup < 2.0) std::printf("WARNING: speedup below the 2x target\n");
+  if (fan_diff > 1e-9 || batch_diff > 1e-9) {
+    std::printf("WARNING: results differ beyond 1e-9\n");
+  }
   return 0;
 }

@@ -4,6 +4,13 @@
 // patch and exploitation rates (Fig. 6) and derives contract-ready numbers
 // for a configurable exploitability budget.
 //
+// The sweep showcases the staged engine: ONE csl::EngineSession owns the
+// transformed model, and each sweep point only re-keys the session's
+// constant overrides — the symbolic transform is never redone, every
+// (constant, value) pipeline stays cached (revisiting a value is free), and
+// the solver stages reuse cached Poisson weights. AUTOSEC_THREADS (or
+// util::set_thread_count) sizes the thread pool used by the numeric kernels.
+//
 // Usage: parameter_exploration [threshold-percent]   (default 0.5)
 #include <cmath>
 #include <cstdio>
@@ -19,13 +26,23 @@ namespace cs = casestudy;
 
 namespace {
 
+/// One staged session for the whole exploration; sweep points re-key it.
+csl::EngineSession& session() {
+  static csl::EngineSession instance = [] {
+    TransformOptions transform_options;
+    transform_options.message = cs::kMessage;
+    transform_options.category = SecurityCategory::kConfidentiality;
+    transform_options.nmax = 2;
+    return csl::EngineSession(
+        transform(cs::architecture(1, Protection::kUnencrypted), transform_options));
+  }();
+  return instance;
+}
+
 double exposure_with_override(const std::string& constant, double value) {
-  AnalysisOptions options;
-  options.nmax = 2;
-  options.constant_overrides = {{constant, symbolic::Value::of(value)}};
-  return analyze_message(cs::architecture(1, Protection::kUnencrypted), cs::kMessage,
-                         SecurityCategory::kConfidentiality, options)
-      .exploitable_fraction;
+  session().set_constant_overrides({{constant, symbolic::Value::of(value)}});
+  // Horizon 1 year: the expected cumulated violation time IS the fraction.
+  return session().check("R{\"exposure\"}=? [ C<=1 ]");
 }
 
 /// Bisect for the rate where exposure crosses `target` (exposure is monotone
@@ -66,6 +83,7 @@ int main(int argc, char** argv) {
   std::printf("Contract numbers for a %.2f%% budget:\n", threshold_percent);
   std::printf("  required patch cadence:    phi_3G >= %.2f/year (every %.1f days)\n",
               phi_needed, 365.0 / phi_needed);
+  // eta = 0.1 was already swept above — this re-key is a pure cache hit.
   const double floor_exposure = exposure_with_override(eta, 0.1);
   if (floor_exposure > threshold) {
     std::printf(
@@ -80,5 +98,13 @@ int main(int argc, char** argv) {
   std::printf(
       "\n(The paper reads ~phi = 6/year and ~eta = 12/year off Fig. 6 for 0.5%%;\n"
       "the bisection above computes the same crossings on our model.)\n");
+
+  const csl::SessionStats& stats = session().stats();
+  std::printf(
+      "\nstaged engine: %zu properties answered, %zu explorations "
+      "(%zu cached re-keys), %u pool threads\n",
+      stats.check_count, stats.explore_count,
+      stats.check_count - stats.explore_count,
+      static_cast<unsigned>(util::thread_count()));
   return 0;
 }

@@ -1,6 +1,9 @@
 #include "automotive/analyzer.hpp"
 
+#include <utility>
+
 #include "symbolic/explorer.hpp"
+#include "util/parallel.hpp"
 #include "util/stopwatch.hpp"
 
 namespace autosec::automotive {
@@ -19,6 +22,40 @@ symbolic::Model build_model(const Architecture& architecture, const std::string&
   return transform(architecture, transform_options);
 }
 
+csl::SessionOptions session_options(const AnalysisOptions& options) {
+  csl::SessionOptions session;
+  session.constant_overrides = options.constant_overrides;
+  session.checker = options.checker;
+  session.parallel_properties = options.parallel_solves;
+  return session;
+}
+
+void apply_thread_option(const AnalysisOptions& options) {
+  if (options.threads > 0) {
+    util::set_thread_count(static_cast<size_t>(options.threads));
+  }
+}
+
+/// The single-model constant names do not exist in the batch model, so
+/// overrides targeting them force the per-pair path.
+bool overrides_require_single_models(const AnalysisOptions& options) {
+  for (const auto& [name, value] : options.constant_overrides) {
+    if (name == kMessageEtaConstant || name == kMessagePhiConstant) return true;
+  }
+  return false;
+}
+
+void accumulate(csl::SessionStats& total, const csl::SessionStats& part) {
+  total.compile_count += part.compile_count;
+  total.explore_count += part.explore_count;
+  total.uniformize_count += part.uniformize_count;
+  total.steady_state_count += part.steady_state_count;
+  total.check_count += part.check_count;
+  total.compile_seconds += part.compile_seconds;
+  total.explore_seconds += part.explore_seconds;
+  total.solve_seconds += part.solve_seconds;
+}
+
 }  // namespace
 
 SecurityAnalysis::SecurityAnalysis(const Architecture& architecture,
@@ -28,35 +65,41 @@ SecurityAnalysis::SecurityAnalysis(const Architecture& architecture,
       architecture_name_(architecture.name),
       message_(message),
       category_(category),
-      model_([&] {
-        return build_model(architecture, message, category, options);
-      }()),
-      space_([&] {
-        util::Stopwatch watch;
-        symbolic::StateSpace explored =
-            symbolic::explore(symbolic::compile(model_, options.constant_overrides));
-        build_seconds_ = watch.elapsed_seconds();
-        return explored;
-      }()),
-      checker_(space_, options.checker) {}
+      model_(build_model(architecture, message, category, options)),
+      session_(std::make_shared<csl::EngineSession>(model_, session_options(options))),
+      checker_(session_) {
+  apply_thread_option(options_);
+  session_->space();  // explore eagerly, matching the historical behaviour
+}
+
+double SecurityAnalysis::build_seconds() const {
+  const csl::SessionStats& stats = session_->stats();
+  return stats.compile_seconds + stats.explore_seconds;
+}
 
 AnalysisResult SecurityAnalysis::result() const {
   AnalysisResult out;
   out.architecture = architecture_name_;
   out.message = message_;
   out.category = category_;
-  out.state_count = space_.state_count();
-  out.transition_count = space_.transition_count();
-  out.build_seconds = build_seconds_;
+  out.state_count = session_->space().state_count();
+  out.transition_count = session_->space().transition_count();
+  out.build_seconds = build_seconds();
 
   const double horizon = options_.horizon_years;
   util::Stopwatch watch;
   const std::string h = std::to_string(horizon);
-  out.exploitable_fraction =
-      checker_.check("R{\"exposure\"}=? [ C<=" + h + " ]") / horizon;
-  out.breach_probability = checker_.check("P=? [ F<=" + h + " \"violated\" ]");
-  out.steady_state_fraction = checker_.check("S=? [ \"violated\" ]");
-  out.mean_time_to_breach = checker_.check("R{\"time\"}=? [ F \"violated\" ]");
+  const std::vector<std::string> properties = {
+      "R{\"exposure\"}=? [ C<=" + h + " ]",
+      "P=? [ F<=" + h + " \"violated\" ]",
+      "S=? [ \"violated\" ]",
+      "R{\"time\"}=? [ F \"violated\" ]",
+  };
+  const std::vector<double> values = session_->check_all(properties);
+  out.exploitable_fraction = values[0] / horizon;
+  out.breach_probability = values[1];
+  out.steady_state_fraction = values[2];
+  out.mean_time_to_breach = values[3];
   out.check_seconds = watch.elapsed_seconds();
   return out;
 }
@@ -72,16 +115,119 @@ AnalysisResult analyze_message(const Architecture& architecture,
   return analysis.result();
 }
 
+ArchitectureReport analyze_architecture_report(
+    const Architecture& architecture, const AnalysisOptions& options,
+    const std::vector<SecurityCategory>& categories,
+    const std::vector<std::string>& messages) {
+  apply_thread_option(options);
+
+  std::vector<std::string> message_names = messages;
+  if (message_names.empty()) {
+    for (const Message& message : architecture.messages) {
+      message_names.push_back(message.name);
+    }
+  }
+
+  ArchitectureReport report;
+  const size_t pair_count = message_names.size() * categories.size();
+  if (pair_count == 0) return report;
+
+  if (!options.batch_model || overrides_require_single_models(options)) {
+    // Legacy path: one model per (message, category) pair. The pairs are
+    // independent, so they can still fan across the pool; each slot writes
+    // only its own result, keeping the report deterministic.
+    std::vector<std::pair<std::string, SecurityCategory>> pairs;
+    pairs.reserve(pair_count);
+    for (const std::string& message : message_names) {
+      for (const SecurityCategory category : categories) {
+        pairs.emplace_back(message, category);
+      }
+    }
+    report.results.resize(pairs.size());
+    std::vector<csl::SessionStats> stats(pairs.size());
+    AnalysisOptions pair_options = options;
+    pair_options.threads = 0;  // already applied process-wide
+    const auto analyze_range = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const SecurityAnalysis analysis(architecture, pairs[i].first, pairs[i].second,
+                                        pair_options);
+        report.results[i] = analysis.result();
+        stats[i] = analysis.session()->stats();
+      }
+    };
+    if (options.parallel_solves) {
+      util::parallel_for(0, pairs.size(), 1, analyze_range);
+    } else {
+      analyze_range(0, pairs.size());
+    }
+    for (const csl::SessionStats& part : stats) accumulate(report.stats, part);
+    return report;
+  }
+
+  // Staged path: one combined model for every pair — exactly one compile and
+  // one explore per constant-override set, all properties solved against the
+  // shared state space.
+  BatchTransformOptions batch;
+  batch.messages = message_names;
+  batch.categories = categories;
+  batch.nmax = options.nmax;
+  batch.literal_patch_guard = options.literal_patch_guard;
+  batch.include_reliability = options.include_reliability;
+  batch.guardian_requires_foothold = options.guardian_requires_foothold;
+
+  csl::EngineSession session(transform_batch(architecture, batch),
+                             session_options(options));
+
+  const double horizon = options.horizon_years;
+  const std::string h = std::to_string(horizon);
+  std::vector<std::string> properties;
+  properties.reserve(pair_count * 4);
+  for (const std::string& message : message_names) {
+    for (const SecurityCategory category : categories) {
+      const std::string violated = batch_violated_label(message, category);
+      const std::string exposure = batch_exposure_reward(message, category);
+      properties.push_back("R{\"" + exposure + "\"}=? [ C<=" + h + " ]");
+      properties.push_back("P=? [ F<=" + h + " \"" + violated + "\" ]");
+      properties.push_back("S=? [ \"" + violated + "\" ]");
+      properties.push_back("R{\"time\"}=? [ F \"" + violated + "\" ]");
+    }
+  }
+  const std::vector<double> values = session.check_all(properties);
+
+  const size_t state_count = session.space().state_count();
+  const size_t transition_count = session.space().transition_count();
+  report.stats = session.stats();
+  // Shared stage costs are split evenly across the pairs they served.
+  const double build_each =
+      (report.stats.compile_seconds + report.stats.explore_seconds) / pair_count;
+  const double check_each = report.stats.solve_seconds / pair_count;
+
+  report.results.reserve(pair_count);
+  size_t v = 0;
+  for (const std::string& message : message_names) {
+    for (const SecurityCategory category : categories) {
+      AnalysisResult result;
+      result.architecture = architecture.name;
+      result.message = message;
+      result.category = category;
+      result.exploitable_fraction = values[v++] / horizon;
+      result.breach_probability = values[v++];
+      result.steady_state_fraction = values[v++];
+      result.mean_time_to_breach = values[v++];
+      result.state_count = state_count;
+      result.transition_count = transition_count;
+      result.build_seconds = build_each;
+      result.check_seconds = check_each;
+      report.results.push_back(std::move(result));
+    }
+  }
+  return report;
+}
+
 std::vector<AnalysisResult> analyze_architecture(
     const Architecture& architecture, const AnalysisOptions& options,
     const std::vector<SecurityCategory>& categories) {
-  std::vector<AnalysisResult> results;
-  for (const Message& message : architecture.messages) {
-    for (const SecurityCategory category : categories) {
-      results.push_back(analyze_message(architecture, message.name, category, options));
-    }
-  }
-  return results;
+  return analyze_architecture_report(architecture, options, categories).results;
 }
 
 }  // namespace autosec::automotive

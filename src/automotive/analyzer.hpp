@@ -6,14 +6,22 @@
 // The headline metric matches the paper's evaluation: "percentage of time the
 // message m is exploitable within 1 year", i.e. the expected cumulated
 // violation time R{"exposure"}=?[C<=1] divided by the horizon.
+//
+// Whole-vehicle reports run on the staged engine (csl::EngineSession): the
+// architecture is transformed into ONE batch model covering every
+// (message, category) pair, compiled and explored once per constant-override
+// set, and all properties are evaluated against the shared state space —
+// optionally fanned across the thread pool.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "automotive/architecture.hpp"
 #include "automotive/transform.hpp"
 #include "csl/checker.hpp"
+#include "csl/session.hpp"
 
 namespace autosec::automotive {
 
@@ -28,6 +36,20 @@ struct AnalysisOptions {
   /// paper's Fig. 6); names per transform.hpp's *_constant helpers.
   std::vector<std::pair<std::string, symbolic::Value>> constant_overrides;
   csl::CheckerOptions checker;
+  /// Worker threads for the engine's parallel backend (0 = keep the current
+  /// process-wide setting, which defaults to AUTOSEC_THREADS or the hardware
+  /// concurrency). Applied via util::set_thread_count.
+  int threads = 0;
+  /// Fan independent per-message/per-property solves across the thread pool.
+  /// Results are deterministic regardless of thread count.
+  bool parallel_solves = true;
+  /// Whole-vehicle reports: combine all (message, category) measures into one
+  /// batch model so the architecture is compiled and explored exactly once
+  /// per constant-override set. When false — or when constant_overrides
+  /// reference the single-model "eta_msg"/"phi_msg" names, which do not exist
+  /// in the batch model — each pair is analyzed on its own model (the legacy
+  /// path).
+  bool batch_model = true;
 };
 
 struct AnalysisResult {
@@ -48,20 +70,31 @@ struct AnalysisResult {
   /// (e.g. isolated networks).
   double mean_time_to_breach = 0.0;
 
+  /// Size of the state space the result was computed on (the shared batch
+  /// model's for whole-vehicle reports, the per-pair model's otherwise).
   size_t state_count = 0;
   size_t transition_count = 0;
   double build_seconds = 0.0;
   double check_seconds = 0.0;
 };
 
-/// A reusable analysis session: the model is transformed, compiled and
-/// explored once; several properties can then be checked against it.
+/// A whole-vehicle report plus the engine counters that produced it. The
+/// stats expose the staged pipeline's cache behaviour: on the batch path
+/// explore_count == number of constant-override sets (1 for a plain report).
+struct ArchitectureReport {
+  std::vector<AnalysisResult> results;
+  csl::SessionStats stats;
+};
+
+/// A reusable analysis session over one (message, category) pair: the model
+/// is transformed once and handed to a csl::EngineSession, which compiles and
+/// explores it lazily and caches every stage; several properties can then be
+/// checked against it.
 class SecurityAnalysis {
  public:
   SecurityAnalysis(const Architecture& architecture, const std::string& message,
                    SecurityCategory category, const AnalysisOptions& options = {});
 
-  // space_ and checker_ hold internal pointers; pin the object.
   SecurityAnalysis(const SecurityAnalysis&) = delete;
   SecurityAnalysis& operator=(const SecurityAnalysis&) = delete;
 
@@ -75,9 +108,10 @@ class SecurityAnalysis {
   double check(const std::string& property) const;
 
   const symbolic::Model& model() const { return model_; }
-  const symbolic::StateSpace& space() const { return space_; }
+  const symbolic::StateSpace& space() const { return session_->space(); }
   const csl::Checker& checker() const { return checker_; }
-  double build_seconds() const { return build_seconds_; }
+  const std::shared_ptr<csl::EngineSession>& session() const { return session_; }
+  double build_seconds() const;
 
  private:
   AnalysisOptions options_;
@@ -85,10 +119,7 @@ class SecurityAnalysis {
   std::string message_;
   SecurityCategory category_;
   symbolic::Model model_;
-  // Declared before space_: the space_ initializer measures and records the
-  // exploration time here.
-  double build_seconds_ = 0.0;
-  symbolic::StateSpace space_;
+  std::shared_ptr<csl::EngineSession> session_;
   csl::Checker checker_;
 };
 
@@ -97,9 +128,19 @@ AnalysisResult analyze_message(const Architecture& architecture,
                                const std::string& message, SecurityCategory category,
                                const AnalysisOptions& options = {});
 
-/// Whole-vehicle report: every message in the architecture, across the given
-/// categories (default: all three). Results are ordered message-major in
-/// declaration order — the table a decision maker compares variants with.
+/// Whole-vehicle report: every message in the architecture (or `messages`
+/// when non-empty), across the given categories. Results are ordered
+/// message-major in declaration order — the table a decision maker compares
+/// variants with. One compile + explore serves all pairs (see
+/// AnalysisOptions::batch_model); per-pair solves can run in parallel.
+ArchitectureReport analyze_architecture_report(
+    const Architecture& architecture, const AnalysisOptions& options = {},
+    const std::vector<SecurityCategory>& categories = {
+        SecurityCategory::kConfidentiality, SecurityCategory::kIntegrity,
+        SecurityCategory::kAvailability},
+    const std::vector<std::string>& messages = {});
+
+/// Results-only wrapper kept for existing call sites.
 std::vector<AnalysisResult> analyze_architecture(
     const Architecture& architecture, const AnalysisOptions& options = {},
     const std::vector<SecurityCategory>& categories = {

@@ -87,6 +87,40 @@ std::string bus_formula_name(const std::string& bus) {
   return "bus_" + sanitize_identifier(bus);
 }
 
+std::string category_key(SecurityCategory category) {
+  switch (category) {
+    case SecurityCategory::kConfidentiality: return "conf";
+    case SecurityCategory::kIntegrity: return "integ";
+    case SecurityCategory::kAvailability: return "avail";
+  }
+  throw ArchitectureError("category_key: corrupt category");
+}
+
+std::string batch_violated_label(const std::string& message,
+                                 SecurityCategory category) {
+  return "violated_" + sanitize_identifier(message) + "_" + category_key(category);
+}
+
+std::string batch_exposure_reward(const std::string& message,
+                                  SecurityCategory category) {
+  return "exposure_" + sanitize_identifier(message) + "_" + category_key(category);
+}
+
+std::string batch_message_variable_name(const std::string& message,
+                                        SecurityCategory category) {
+  return message_variable_name(message) + "_" + category_key(category);
+}
+
+std::string batch_message_eta_constant(const std::string& message,
+                                       SecurityCategory category) {
+  return "eta_msg_" + sanitize_identifier(message) + "_" + category_key(category);
+}
+
+std::string batch_message_phi_constant(const std::string& message,
+                                       SecurityCategory category) {
+  return "phi_msg_" + sanitize_identifier(message) + "_" + category_key(category);
+}
+
 namespace {
 
 /// Ensures sanitization did not collide two distinct architecture names.
@@ -104,20 +138,13 @@ class NameChecker {
   std::unordered_map<std::string, std::string> claimed_;
 };
 
-}  // namespace
-
-symbolic::Model transform(const Architecture& architecture,
-                          const TransformOptions& options) {
-  architecture.validate();
-  if (options.nmax < 1) throw ArchitectureError("transform: nmax must be >= 1");
-  const Message* message = architecture.find_message(options.message);
-  if (message == nullptr) {
-    throw ArchitectureError("transform: unknown message '" + options.message + "'");
-  }
-
-  NameChecker names;
-  symbolic::ModelBuilder builder;
-  builder.constant_int("nmax", options.nmax);
+/// The attack core shared by every message measure: rate constants, the ε(e)
+/// and ε(b) formulas (Eqs. 3-6), and the interface / guardian / switch
+/// modules (Eqs. 1-2 and their bus-component analogues).
+void emit_attack_core(const Architecture& architecture, int nmax_value,
+                      bool literal_patch_guard, bool guardian_requires_foothold,
+                      symbolic::ModelBuilder& builder, NameChecker& names) {
+  builder.constant_int("nmax", nmax_value);
   const Expr nmax = Expr::ident("nmax");
 
   // --- constants for every interface / ECU / guardian rate.
@@ -197,7 +224,7 @@ symbolic::Model transform(const Architecture& architecture,
                      {{var, x + Expr::literal(1)}});
       // Eq. (2): patching (unconditional unless the literal-guard ablation).
       Expr patch_guard = x > Expr::literal(0);
-      if (options.literal_patch_guard) patch_guard = std::move(patch_guard) && bus_up;
+      if (literal_patch_guard) patch_guard = std::move(patch_guard) && bus_up;
       module.command(std::move(patch_guard), Expr::ident(ecu_phi_constant(ecu.name)),
                      {{var, x - Expr::literal(1)}});
     }
@@ -213,7 +240,7 @@ symbolic::Model transform(const Architecture& architecture,
     const Expr x = Expr::ident(var);
 
     Expr foothold = Expr::literal(true);
-    if (options.guardian_requires_foothold) {
+    if (guardian_requires_foothold) {
       std::vector<Expr> ecu_terms;
       for (const Ecu* ecu : architecture.ecus_on_bus(bus.name)) {
         ecu_terms.push_back(Expr::ident(ecu_formula_name(ecu->name)));
@@ -247,99 +274,126 @@ symbolic::Model transform(const Architecture& architecture,
     module.command(x > Expr::literal(0), Expr::ident(switch_phi_constant(bus.name)),
                    {{var, x - Expr::literal(1)}});
   }
+}
 
-  // --- the analyzed message (Eqs. 7-10).
+/// Eq. (7)'s path disjunction: some bus on the transmission path exploitable.
+Expr message_path_expr(const Message& message) {
   std::vector<Expr> path_terms;
-  for (const std::string& bus : message->buses) {
+  for (const std::string& bus : message.buses) {
     path_terms.push_back(Expr::ident(bus_formula_name(bus)));
   }
-  const Expr any_path_bus = symbolic::any_of(path_terms);
+  return symbolic::any_of(path_terms);
+}
 
+/// Eq. (8): some endpoint (sender or receiver) compromised.
+Expr message_endpoints_expr(const Message& message) {
   std::vector<Expr> endpoint_terms;
-  endpoint_terms.push_back(Expr::ident(ecu_formula_name(message->sender)));
-  for (const std::string& receiver : message->receivers) {
+  endpoint_terms.push_back(Expr::ident(ecu_formula_name(message.sender)));
+  for (const std::string& receiver : message.receivers) {
     endpoint_terms.push_back(Expr::ident(ecu_formula_name(receiver)));
   }
-  const Expr endpoints = symbolic::any_of(endpoint_terms);
+  return symbolic::any_of(endpoint_terms);
+}
 
+/// Generated names of one message measure. transform() uses the historical
+/// single-model names ("eta_msg", "x_msg_<m>"); transform_batch() suffixes
+/// them per (message, category) pair so the measures can coexist.
+struct MeasureNames {
+  std::string eta_constant;
+  std::string phi_constant;
+  std::string variable;
+  std::string module_name;
+};
+
+struct MessageMeasure {
   Expr attack_violated;
-  bool message_has_variable = false;
-  if (options.category == SecurityCategory::kAvailability) {
+  bool has_variable = false;
+  std::string variable;
+};
+
+/// Eqs. (7)-(10) for one (message, category) pair: the violation expression,
+/// plus the protection-break module when the category's η is finite.
+MessageMeasure emit_attack_measure(const Message& message, SecurityCategory category,
+                                   bool literal_patch_guard,
+                                   const MeasureNames& measure_names,
+                                   symbolic::ModelBuilder& builder,
+                                   NameChecker& names) {
+  const Expr any_path_bus = message_path_expr(message);
+  const Expr endpoints = message_endpoints_expr(message);
+
+  MessageMeasure out;
+  if (category == SecurityCategory::kAvailability) {
     // Eq. (7): availability depends on the transmission buses only.
-    attack_violated = any_path_bus;
-  } else {
-    const ProtectionRates rates = message->rates();
-    const std::optional<double> eta =
-        options.category == SecurityCategory::kConfidentiality
-            ? rates.confidentiality_eta
-            : rates.integrity_eta;
-    if (!eta.has_value()) {
-      // "∞ (instant)": the protection is void for this category; any
-      // exploitable path bus exposes the message immediately.
-      attack_violated = endpoints || any_path_bus;
-    } else {
-      builder.constant_double(kMessageEtaConstant, *eta);
-      builder.constant_double(kMessagePhiConstant, message->patch_rate);
-      const std::string var = message_variable_name(message->name);
-      names.claim(var, "message " + message->name);
-      auto& module = builder.module("msg_" + sanitize_identifier(message->name));
-      module.variable(var, 0, 1, 0);
-      const Expr x = Expr::ident(var);
-      // Eq. (9): the protection is broken while some path bus is exploitable.
-      module.command((x == Expr::literal(0)) && any_path_bus,
-                     Expr::ident(kMessageEtaConstant), {{var, Expr::literal(1)}});
-      // Eq. (10): patching the protection (rate 0 by default — disabled).
-      Expr patch_guard = x == Expr::literal(1);
-      if (options.literal_patch_guard) patch_guard = std::move(patch_guard) && any_path_bus;
-      module.command(std::move(patch_guard), Expr::ident(kMessagePhiConstant),
-                     {{var, Expr::literal(0)}});
-      // Eq. (8) ∨ broken protection.
-      attack_violated = endpoints || (x == Expr::literal(1));
-      message_has_variable = true;
+    out.attack_violated = any_path_bus;
+    return out;
+  }
+  const ProtectionRates rates = message.rates();
+  const std::optional<double> eta = category == SecurityCategory::kConfidentiality
+                                        ? rates.confidentiality_eta
+                                        : rates.integrity_eta;
+  if (!eta.has_value()) {
+    // "∞ (instant)": the protection is void for this category; any
+    // exploitable path bus exposes the message immediately.
+    out.attack_violated = endpoints || any_path_bus;
+    return out;
+  }
+  builder.constant_double(measure_names.eta_constant, *eta);
+  builder.constant_double(measure_names.phi_constant, message.patch_rate);
+  const std::string& var = measure_names.variable;
+  names.claim(var, "message " + message.name);
+  auto& module = builder.module(measure_names.module_name);
+  module.variable(var, 0, 1, 0);
+  const Expr x = Expr::ident(var);
+  // Eq. (9): the protection is broken while some path bus is exploitable.
+  module.command((x == Expr::literal(0)) && any_path_bus,
+                 Expr::ident(measure_names.eta_constant), {{var, Expr::literal(1)}});
+  // Eq. (10): patching the protection (rate 0 by default — disabled).
+  Expr patch_guard = x == Expr::literal(1);
+  if (literal_patch_guard) patch_guard = std::move(patch_guard) && any_path_bus;
+  module.command(std::move(patch_guard), Expr::ident(measure_names.phi_constant),
+                 {{var, Expr::literal(0)}});
+  // Eq. (8) ∨ broken protection.
+  out.attack_violated = endpoints || (x == Expr::literal(1));
+  out.has_variable = true;
+  out.variable = var;
+  return out;
+}
+
+/// Failure/repair module of one ECU (the Section-5 reliability combination),
+/// with its "ecu_<name>_failed" label. Returns the failed expression.
+Expr emit_failure_module(const Ecu& ecu, symbolic::ModelBuilder& builder,
+                         NameChecker& names) {
+  const std::string var = failure_variable_name(ecu.name);
+  names.claim(var, "failure " + ecu.name);
+  builder.constant_double(failure_rate_constant(ecu.name), ecu.failure->failure_rate);
+  builder.constant_double(repair_rate_constant(ecu.name), ecu.failure->repair_rate);
+  auto& module = builder.module("fail_" + sanitize_identifier(ecu.name));
+  module.variable(var, 0, 1, 0);
+  const Expr f = Expr::ident(var);
+  module.command(f == Expr::literal(0), Expr::ident(failure_rate_constant(ecu.name)),
+                 {{var, Expr::literal(1)}});
+  module.command(f == Expr::literal(1), Expr::ident(repair_rate_constant(ecu.name)),
+                 {{var, Expr::literal(0)}});
+  builder.label("ecu_" + sanitize_identifier(ecu.name) + "_failed",
+                f == Expr::literal(1));
+  return f == Expr::literal(1);
+}
+
+/// Message endpoints (sender first, then receivers) without duplicates.
+std::vector<std::string> endpoint_list(const Message& message) {
+  std::vector<std::string> endpoints{message.sender};
+  for (const std::string& receiver : message.receivers) {
+    if (std::find(endpoints.begin(), endpoints.end(), receiver) == endpoints.end()) {
+      endpoints.push_back(receiver);
     }
   }
+  return endpoints;
+}
 
-  // --- reliability (Section 5 future work): random failures of the message
-  // endpoints make it unavailable until repaired. Only generated when it can
-  // matter — availability analyses of ECUs with failure specs.
-  Expr failure_violated = Expr::literal(false);
-  if (options.category == SecurityCategory::kAvailability &&
-      options.include_reliability) {
-    std::vector<std::string> endpoints_list{message->sender};
-    for (const std::string& receiver : message->receivers) {
-      if (std::find(endpoints_list.begin(), endpoints_list.end(), receiver) ==
-          endpoints_list.end()) {
-        endpoints_list.push_back(receiver);
-      }
-    }
-    std::vector<Expr> failed_terms;
-    for (const std::string& ecu_name : endpoints_list) {
-      const Ecu* ecu = architecture.find_ecu(ecu_name);
-      if (!ecu->failure.has_value()) continue;
-      const std::string var = failure_variable_name(ecu->name);
-      names.claim(var, "failure " + ecu->name);
-      builder.constant_double(failure_rate_constant(ecu->name),
-                              ecu->failure->failure_rate);
-      builder.constant_double(repair_rate_constant(ecu->name),
-                              ecu->failure->repair_rate);
-      auto& module = builder.module("fail_" + sanitize_identifier(ecu->name));
-      module.variable(var, 0, 1, 0);
-      const Expr f = Expr::ident(var);
-      module.command(f == Expr::literal(0), Expr::ident(failure_rate_constant(ecu->name)),
-                     {{var, Expr::literal(1)}});
-      module.command(f == Expr::literal(1), Expr::ident(repair_rate_constant(ecu->name)),
-                     {{var, Expr::literal(0)}});
-      builder.label("ecu_" + sanitize_identifier(ecu->name) + "_failed",
-                    f == Expr::literal(1));
-      failed_terms.push_back(f == Expr::literal(1));
-    }
-    failure_violated = symbolic::any_of(failed_terms);
-  }
-
-  const Expr violated = attack_violated || failure_violated;
-  builder.label(kViolatedLabel, violated);
-  builder.label(kViolatedAttackLabel, attack_violated);
-  builder.label(kViolatedFailureLabel, failure_violated);
+/// Structural labels shared by every measure: exploited/exploitable state of
+/// each ECU, bus, guardian and switch.
+void emit_structural_labels(const Architecture& architecture,
+                            symbolic::ModelBuilder& builder) {
   for (const Ecu& ecu : architecture.ecus) {
     builder.label("ecu_" + sanitize_identifier(ecu.name) + "_exploited",
                   Expr::ident(ecu_formula_name(ecu.name)));
@@ -356,6 +410,57 @@ symbolic::Model transform(const Architecture& architecture,
                     Expr::ident(switch_variable_name(bus.name)) > Expr::literal(0));
     }
   }
+}
+
+}  // namespace
+
+symbolic::Model transform(const Architecture& architecture,
+                          const TransformOptions& options) {
+  architecture.validate();
+  if (options.nmax < 1) throw ArchitectureError("transform: nmax must be >= 1");
+  const Message* message = architecture.find_message(options.message);
+  if (message == nullptr) {
+    throw ArchitectureError("transform: unknown message '" + options.message + "'");
+  }
+
+  NameChecker names;
+  symbolic::ModelBuilder builder;
+  emit_attack_core(architecture, options.nmax, options.literal_patch_guard,
+                   options.guardian_requires_foothold, builder, names);
+
+  // --- the analyzed message (Eqs. 7-10).
+  const MessageMeasure measure = emit_attack_measure(
+      *message, options.category, options.literal_patch_guard,
+      MeasureNames{
+          .eta_constant = kMessageEtaConstant,
+          .phi_constant = kMessagePhiConstant,
+          .variable = message_variable_name(message->name),
+          .module_name = "msg_" + sanitize_identifier(message->name),
+      },
+      builder, names);
+  const Expr attack_violated = measure.attack_violated;
+  const bool message_has_variable = measure.has_variable;
+
+  // --- reliability (Section 5 future work): random failures of the message
+  // endpoints make it unavailable until repaired. Only generated when it can
+  // matter — availability analyses of ECUs with failure specs.
+  Expr failure_violated = Expr::literal(false);
+  if (options.category == SecurityCategory::kAvailability &&
+      options.include_reliability) {
+    std::vector<Expr> failed_terms;
+    for (const std::string& ecu_name : endpoint_list(*message)) {
+      const Ecu* ecu = architecture.find_ecu(ecu_name);
+      if (!ecu->failure.has_value()) continue;
+      failed_terms.push_back(emit_failure_module(*ecu, builder, names));
+    }
+    failure_violated = symbolic::any_of(failed_terms);
+  }
+
+  const Expr violated = attack_violated || failure_violated;
+  builder.label(kViolatedLabel, violated);
+  builder.label(kViolatedAttackLabel, attack_violated);
+  builder.label(kViolatedFailureLabel, failure_violated);
+  emit_structural_labels(architecture, builder);
   // Label for the analyzed message's protection state (false when the
   // category has no protection variable).
   builder.label("protection_broken",
@@ -368,6 +473,92 @@ symbolic::Model transform(const Architecture& architecture,
   builder.state_reward(kExposureFailureReward, failure_violated, Expr::literal(1.0));
   // Elapsed-time reward: R{"time"}=?[F "violated"] is the mean time to the
   // first breach.
+  builder.state_reward(kTimeReward, Expr::literal(true), Expr::literal(1.0));
+
+  return builder.build();
+}
+
+symbolic::Model transform_batch(const Architecture& architecture,
+                                const BatchTransformOptions& options) {
+  architecture.validate();
+  if (options.nmax < 1) throw ArchitectureError("transform_batch: nmax must be >= 1");
+  if (options.categories.empty()) {
+    throw ArchitectureError("transform_batch: no categories");
+  }
+
+  std::vector<const Message*> messages;
+  if (options.messages.empty()) {
+    for (const Message& message : architecture.messages) messages.push_back(&message);
+  } else {
+    for (const std::string& name : options.messages) {
+      const Message* message = architecture.find_message(name);
+      if (message == nullptr) {
+        throw ArchitectureError("transform_batch: unknown message '" + name + "'");
+      }
+      messages.push_back(message);
+    }
+  }
+  if (messages.empty()) {
+    throw ArchitectureError("transform_batch: architecture has no messages");
+  }
+
+  NameChecker names;
+  symbolic::ModelBuilder builder;
+  emit_attack_core(architecture, options.nmax, options.literal_patch_guard,
+                   options.guardian_requires_foothold, builder, names);
+
+  // --- failure modules (availability × reliability), unioned over every
+  // covered message's endpoints and emitted once per ECU: independent driven
+  // components, shared by all pairs whose endpoint set contains them.
+  std::unordered_map<std::string, Expr> failed_exprs;
+  const bool availability_covered =
+      std::find(options.categories.begin(), options.categories.end(),
+                SecurityCategory::kAvailability) != options.categories.end();
+  if (availability_covered && options.include_reliability) {
+    for (const Message* message : messages) {
+      for (const std::string& ecu_name : endpoint_list(*message)) {
+        if (failed_exprs.count(ecu_name) != 0) continue;
+        const Ecu* ecu = architecture.find_ecu(ecu_name);
+        if (!ecu->failure.has_value()) continue;
+        failed_exprs.emplace(ecu_name, emit_failure_module(*ecu, builder, names));
+      }
+    }
+  }
+
+  // --- one measure per (message, category) pair, message-major like
+  // analyze_architecture's result order.
+  for (const Message* message : messages) {
+    for (const SecurityCategory category : options.categories) {
+      const MessageMeasure measure = emit_attack_measure(
+          *message, category, options.literal_patch_guard,
+          MeasureNames{
+              .eta_constant = batch_message_eta_constant(message->name, category),
+              .phi_constant = batch_message_phi_constant(message->name, category),
+              .variable = batch_message_variable_name(message->name, category),
+              .module_name = "msg_" + sanitize_identifier(message->name) + "_" +
+                             category_key(category),
+          },
+          builder, names);
+
+      Expr failure_violated = Expr::literal(false);
+      if (category == SecurityCategory::kAvailability && options.include_reliability) {
+        std::vector<Expr> failed_terms;
+        for (const std::string& ecu_name : endpoint_list(*message)) {
+          const auto it = failed_exprs.find(ecu_name);
+          if (it != failed_exprs.end()) failed_terms.push_back(it->second);
+        }
+        failure_violated = symbolic::any_of(failed_terms);
+      }
+
+      const Expr violated = measure.attack_violated || failure_violated;
+      builder.label(batch_violated_label(message->name, category), violated);
+      builder.state_reward(batch_exposure_reward(message->name, category), violated,
+                           Expr::literal(1.0));
+    }
+  }
+
+  emit_structural_labels(architecture, builder);
+  // Shared elapsed-time reward, same name as the single-message model.
   builder.state_reward(kTimeReward, Expr::literal(true), Expr::literal(1.0));
 
   return builder.build();

@@ -101,4 +101,45 @@ inline constexpr const char* kMessagePhiConstant = "phi_msg";
 symbolic::Model transform(const Architecture& architecture,
                           const TransformOptions& options);
 
+/// Batch transformation: one combined model covering many (message, category)
+/// analyses of the same architecture, so a whole-vehicle report needs a
+/// single compile + explore instead of one per pair. The attack core
+/// (interfaces, guardians, switches, the ε formulas) is shared; each pair
+/// adds only its violation label, exposure reward, and — when its protection
+/// η is finite — a protection module with per-pair constant names. Protection
+/// and failure modules are driven components with no feedback into the shared
+/// core, so every pair's measures on the combined chain equal the ones on its
+/// single-pair transform() model (up to solver tolerance).
+struct BatchTransformOptions {
+  /// Messages to cover, in result order. Empty = every message of the
+  /// architecture in declaration order.
+  std::vector<std::string> messages;
+  std::vector<SecurityCategory> categories = {SecurityCategory::kConfidentiality,
+                                              SecurityCategory::kIntegrity,
+                                              SecurityCategory::kAvailability};
+  int nmax = 1;
+  bool literal_patch_guard = false;
+  bool include_reliability = true;
+  bool guardian_requires_foothold = false;
+};
+
+/// Short key of a category used in generated batch names: "conf", "integ",
+/// "avail".
+std::string category_key(SecurityCategory category);
+
+/// Per-(message, category) names generated by transform_batch. The label and
+/// reward replace the single-model "violated" / "exposure"; the constants
+/// replace "eta_msg" / "phi_msg". The "time" reward keeps its shared name.
+std::string batch_violated_label(const std::string& message, SecurityCategory category);
+std::string batch_exposure_reward(const std::string& message, SecurityCategory category);
+std::string batch_message_variable_name(const std::string& message,
+                                        SecurityCategory category);
+std::string batch_message_eta_constant(const std::string& message,
+                                       SecurityCategory category);
+std::string batch_message_phi_constant(const std::string& message,
+                                       SecurityCategory category);
+
+symbolic::Model transform_batch(const Architecture& architecture,
+                                const BatchTransformOptions& options);
+
 }  // namespace autosec::automotive

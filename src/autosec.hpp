@@ -17,6 +17,7 @@
 #include "automotive/casestudy.hpp"
 #include "automotive/transform.hpp"
 #include "csl/checker.hpp"
+#include "csl/session.hpp"
 #include "csl/property.hpp"
 #include "csl/property_parser.hpp"
 #include "ctmc/ctmc.hpp"
@@ -27,6 +28,7 @@
 #include "ctmc/transient.hpp"
 #include "linalg/csr_matrix.hpp"
 #include "linalg/gauss_seidel.hpp"
+#include "linalg/krylov.hpp"
 #include "linalg/power_iteration.hpp"
 #include "linalg/vector_ops.hpp"
 #include "symbolic/builder.hpp"
@@ -36,6 +38,7 @@
 #include "symbolic/parser.hpp"
 #include "symbolic/writer.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"

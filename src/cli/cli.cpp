@@ -16,6 +16,7 @@
 #include "ctmc/simulation.hpp"
 #include "symbolic/dot.hpp"
 #include "symbolic/writer.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -134,6 +135,10 @@ ModelOptions parse_model_options(Args& args) {
       options.analysis.constant_overrides.emplace_back(
           assignment.substr(0, eq),
           symbolic::Value::of(parse_double(assignment.substr(eq + 1), "--set value")));
+    } else if (*flag == "--threads") {
+      options.analysis.threads = parse_int(args.next("--threads value"), "--threads");
+      if (options.analysis.threads < 1) throw UsageError("--threads must be >= 1");
+      util::set_thread_count(static_cast<size_t>(options.analysis.threads));
     } else if (*flag == "--literal-patch-guard") {
       options.analysis.literal_patch_guard = true;
     } else if (*flag == "--no-reliability") {
@@ -187,21 +192,22 @@ int command_analyze(Args& args, std::ostream& out) {
   const ModelOptions options = parse_model_options(args);
   const Architecture arch = automotive::load_architecture_file(options.file);
 
+  // One staged engine pass: the architecture is explored once and every
+  // (message, category) property is solved against the shared state space.
+  const automotive::ArchitectureReport report = automotive::analyze_architecture_report(
+      arch, options.analysis, options.categories, selected_messages(arch, options));
+
   util::TextTable table({"Message", "Category", "exploitable time", "breach prob.",
                          "long-run share", "mean time to breach", "states"});
-  for (const std::string& message : selected_messages(arch, options)) {
-    for (const SecurityCategory category : options.categories) {
-      const automotive::AnalysisResult result =
-          automotive::analyze_message(arch, message, category, options.analysis);
-      table.add_row({message, std::string(category_name(category)),
-                     util::format_percent(result.exploitable_fraction),
-                     util::format_sig(result.breach_probability, 3),
-                     util::format_percent(result.steady_state_fraction),
-                     std::isfinite(result.mean_time_to_breach)
-                         ? util::format_sig(result.mean_time_to_breach, 3) + " y"
-                         : "inf",
-                     std::to_string(result.state_count)});
-    }
+  for (const automotive::AnalysisResult& result : report.results) {
+    table.add_row({result.message, std::string(category_name(result.category)),
+                   util::format_percent(result.exploitable_fraction),
+                   util::format_sig(result.breach_probability, 3),
+                   util::format_percent(result.steady_state_fraction),
+                   std::isfinite(result.mean_time_to_breach)
+                       ? util::format_sig(result.mean_time_to_breach, 3) + " y"
+                       : "inf",
+                   std::to_string(result.state_count)});
   }
   if (options.csv) {
     out << table.to_csv();
@@ -210,6 +216,13 @@ int command_analyze(Args& args, std::ostream& out) {
         << util::format_sig(options.analysis.horizon_years, 4) << " years, nmax "
         << options.analysis.nmax << ")\n\n"
         << table;
+    out << "\nstages: compile " << util::format_sig(report.stats.compile_seconds, 3)
+        << " s (x" << report.stats.compile_count << ")  explore "
+        << util::format_sig(report.stats.explore_seconds, 3) << " s (x"
+        << report.stats.explore_count << ")  solve "
+        << util::format_sig(report.stats.solve_seconds, 3) << " s ("
+        << report.stats.check_count << " properties, " << util::thread_count()
+        << " threads)\n";
   }
   return 0;
 }
@@ -328,20 +341,34 @@ int command_sweep(Args& args, std::ostream& out) {
   if (options.to <= options.from) throw UsageError("sweep needs --to > --from");
   const Architecture arch = automotive::load_architecture_file(options.file);
 
+  // Each sweep point is an independent (override → model → solve) run, so
+  // the points fan across the thread pool; every slot writes only its own
+  // row, keeping the table deterministic at any thread count.
+  const size_t points = static_cast<size_t>(options.points);
+  std::vector<double> point_values(points, 0.0);
+  std::vector<double> fractions(points, 0.0);
+  util::parallel_for(0, points, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double t = static_cast<double>(i) / (options.points - 1);
+      const double value =
+          options.logarithmic
+              ? options.from * std::pow(options.to / options.from, t)
+              : options.from + (options.to - options.from) * t;
+      automotive::AnalysisOptions analysis = options.analysis;
+      analysis.threads = 0;  // applied process-wide by --threads already
+      analysis.constant_overrides.emplace_back(options.constant,
+                                               symbolic::Value::of(value));
+      const automotive::AnalysisResult result = automotive::analyze_message(
+          arch, options.message, options.categories.front(), analysis);
+      point_values[i] = value;
+      fractions[i] = result.exploitable_fraction;
+    }
+  });
+
   util::TextTable table({options.constant, "exploitable time"});
-  for (int i = 0; i < options.points; ++i) {
-    const double t = static_cast<double>(i) / (options.points - 1);
-    const double value =
-        options.logarithmic
-            ? options.from * std::pow(options.to / options.from, t)
-            : options.from + (options.to - options.from) * t;
-    automotive::AnalysisOptions analysis = options.analysis;
-    analysis.constant_overrides.emplace_back(options.constant,
-                                             symbolic::Value::of(value));
-    const automotive::AnalysisResult result = automotive::analyze_message(
-        arch, options.message, options.categories.front(), analysis);
-    table.add_row({util::format_sig(value, 5),
-                   util::format_percent(result.exploitable_fraction)});
+  for (size_t i = 0; i < points; ++i) {
+    table.add_row({util::format_sig(point_values[i], 5),
+                   util::format_percent(fractions[i])});
   }
   out << (options.csv ? table.to_csv() : table.to_string());
   return 0;
@@ -500,6 +527,7 @@ void print_help(std::ostream& out) {
          "commands:\n"
          "  analyze <file.arch> [--message M] [--category C|all] [--nmax N]\n"
          "          [--horizon YEARS] [--set CONST=VALUE] [--no-reliability]\n"
+         "          [--threads N]\n"
          "  check <file.arch> --message M (--property \"P=? [...]\" | --props FILE)\n"
          "  simulate <file.arch> --message M [--samples N] [--seed S]\n"
          "  export-prism <file.arch> --message M [--category C] [-o FILE]\n"
@@ -510,7 +538,11 @@ void print_help(std::ostream& out) {
          "  sweep <file.arch> --message M --constant NAME --from A --to B\n"
          "        [--points N] [--linear] [--csv]\n"
          "  assess cvss <AV:x/AC:y/Au:z>   |   assess asil <QM|A|B|C|D>\n"
-         "  help\n";
+         "  help\n"
+         "\n"
+         "--threads N sets the engine's worker-thread count for every command\n"
+         "(default: AUTOSEC_THREADS or the hardware concurrency); results are\n"
+         "identical at any thread count.\n";
 }
 
 }  // namespace

@@ -1,272 +1,63 @@
 #include "csl/checker.hpp"
 
-#include <cmath>
-#include <limits>
-#include <stdexcept>
-
-#include "csl/property_parser.hpp"
-#include "ctmc/rewards.hpp"
-#include "linalg/gauss_seidel.hpp"
-#include "linalg/vector_ops.hpp"
+#include "csl/session.hpp"
 
 namespace autosec::csl {
 
-using symbolic::Expr;
+namespace {
+
+SessionOptions session_options(CheckerOptions options) {
+  SessionOptions session;
+  session.checker = options;
+  return session;
+}
+
+}  // namespace
+
+Checker::Checker(std::shared_ptr<const symbolic::StateSpace> space,
+                 CheckerOptions options)
+    : session_(std::make_shared<EngineSession>(std::move(space),
+                                               session_options(options))) {}
 
 Checker::Checker(const symbolic::StateSpace& space, CheckerOptions options)
-    : space_(&space),
-      options_(options),
-      chain_(space.to_ctmc()),
-      initial_(space.initial_distribution()) {}
+    // Aliasing shared_ptr with no control block: borrow, as documented.
+    : Checker(std::shared_ptr<const symbolic::StateSpace>(
+                  std::shared_ptr<const symbolic::StateSpace>(), &space),
+              options) {}
 
-Expr Checker::resolve_formula(const Expr& formula) const {
-  // Labels are exposed to the resolver as pre-resolved formulas named
-  // "label:<name>" — matching the encoding the expression parser emits for
-  // quoted atoms.
-  std::vector<std::pair<std::string, Expr>> label_formulas;
-  for (const symbolic::CompiledLabel& label : space_->model().labels) {
-    label_formulas.emplace_back("label:" + label.name, label.condition);
-  }
-  std::vector<std::string> variable_names;
-  for (const symbolic::CompiledVariable& v : space_->model().variables) {
-    variable_names.push_back(v.name);
-  }
-  const symbolic::SymbolScope scope{
-      .constants = &space_->model().constant_values,
-      .formulas = &label_formulas,
-      .variables = &variable_names,
-  };
-  try {
-    return formula.resolve(scope);
-  } catch (const symbolic::EvalError& e) {
-    throw PropertyError(std::string("state formula: ") + e.what());
-  }
+Checker::Checker(std::shared_ptr<EngineSession> session)
+    : session_(std::move(session)) {
+  if (!session_) throw PropertyError("Checker: null session");
 }
 
-std::vector<bool> Checker::satisfying(const Expr& formula) const {
-  return space_->satisfying(resolve_formula(formula));
-}
-
-double Checker::time_bound_value(const Property& property) const {
-  if (!property.has_time_bound()) {
-    throw PropertyError("property requires a time bound: " + property.source);
-  }
-  const Expr resolved = resolve_formula(property.time_bound);
-  symbolic::Value value;
-  if (!resolved.as_literal(value) || !value.is_numeric()) {
-    throw PropertyError("time bound does not fold to a number: " + property.source);
-  }
-  const double t = value.as_number();
-  if (!(t >= 0.0)) throw PropertyError("negative time bound: " + property.source);
-  return t;
-}
+Checker::~Checker() = default;
 
 double Checker::check(const Property& property) const {
-  switch (property.kind) {
-    case PropertyKind::kProbUntil: return check_until(property);
-    case PropertyKind::kProbGlobally: return check_globally(property);
-    case PropertyKind::kSteadyStateProb: return check_steady_prob(property);
-    case PropertyKind::kCumulativeReward:
-    case PropertyKind::kInstantaneousReward:
-    case PropertyKind::kSteadyStateReward:
-    case PropertyKind::kReachabilityReward: return check_reward(property);
-  }
-  throw PropertyError("corrupt property kind");
+  return session_->check(property);
 }
 
 double Checker::check(std::string_view property_text) const {
-  return check(parse_property(property_text));
+  return session_->check(property_text);
 }
 
 bool Checker::satisfies(const Property& property) const {
-  if (property.is_query()) {
-    throw PropertyError("satisfies: property is a =? query: " + property.source);
-  }
-  const Expr resolved = resolve_formula(property.bound_value);
-  symbolic::Value bound;
-  if (!resolved.as_literal(bound) || !bound.is_numeric()) {
-    throw PropertyError("satisfies: bound does not fold to a number: " +
-                        property.source);
-  }
-  const double value = check(property);
-  const double threshold = bound.as_number();
-  switch (property.bound) {
-    case BoundKind::kLt: return value < threshold;
-    case BoundKind::kLe: return value <= threshold;
-    case BoundKind::kGt: return value > threshold;
-    case BoundKind::kGe: return value >= threshold;
-    case BoundKind::kQuery: break;
-  }
-  throw PropertyError("satisfies: corrupt bound kind");
+  return session_->satisfies(property);
 }
 
 bool Checker::satisfies(std::string_view property_text) const {
-  return satisfies(parse_property(property_text));
+  return session_->satisfies(property_text);
 }
 
-std::vector<double> Checker::reachability_probabilities(
-    const std::vector<bool>& target) const {
-  // Least fixpoint x = A·x + b on the embedded DTMC: x_i = 1 on target
-  // states; for others, b is the one-step probability into the target.
-  const size_t n = chain_.state_count();
-  const linalg::CsrMatrix embedded = chain_.embedded_dtmc();
-
-  linalg::CsrBuilder block(n, n);
-  std::vector<double> one_step(n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    if (target[i]) continue;
-    const auto cols = embedded.row_columns(i);
-    const auto vals = embedded.row_values(i);
-    for (size_t k = 0; k < cols.size(); ++k) {
-      if (target[cols[k]]) {
-        one_step[i] += vals[k];
-      } else if (cols[k] != i) {
-        block.add(i, cols[k], vals[k]);
-      }
-      // Self-loops of non-target states contribute nothing to the least
-      // fixpoint and are dropped (keeps absorbing states at x = 0).
-    }
-  }
-  auto solved = linalg::solve_fixpoint(std::move(block).build(), one_step,
-                                       options_.steady_state.solver);
-  if (!solved.converged) {
-    throw PropertyError("reachability fixpoint did not converge");
-  }
-  std::vector<double> x = std::move(solved.x);
-  for (size_t i = 0; i < n; ++i) {
-    if (target[i]) x[i] = 1.0;
-  }
-  return x;
+std::vector<bool> Checker::satisfying(const symbolic::Expr& formula) const {
+  return session_->satisfying(formula);
 }
 
-double Checker::check_until(const Property& property) const {
-  const std::vector<bool> allowed = satisfying(property.left);
-  const std::vector<bool> target = satisfying(property.right);
-
-  if (property.has_time_lower_bound()) {
-    // Interval until Φ U[t1,t2] Ψ (Baier et al.'s two-phase algorithm):
-    // phase 1 evolves to t1 on the chain with ¬Φ absorbing — any path that
-    // leaves Φ before t1 can no longer satisfy the formula — then the mass
-    // still inside Φ runs a plain bounded until for the remaining t2-t1.
-    const Expr lower_resolved = resolve_formula(property.time_lower_bound);
-    symbolic::Value lower_value;
-    if (!lower_resolved.as_literal(lower_value) || !lower_value.is_numeric()) {
-      throw PropertyError("interval lower bound does not fold to a number: " +
-                          property.source);
-    }
-    const double t1 = lower_value.as_number();
-    const double t2 = time_bound_value(property);
-    if (t1 < 0.0 || t2 < t1) {
-      throw PropertyError("invalid time interval in: " + property.source);
-    }
-    const size_t n = chain_.state_count();
-    std::vector<bool> not_allowed(n, false);
-    for (size_t i = 0; i < n; ++i) not_allowed[i] = !allowed[i];
-    const ctmc::Ctmc phase1 = chain_.with_absorbing(not_allowed);
-    std::vector<double> at_t1 =
-        ctmc::transient_distribution(phase1, initial_, t1, options_.transient);
-    for (size_t i = 0; i < n; ++i) {
-      if (!allowed[i]) at_t1[i] = 0.0;  // left Φ before t1: failed
-    }
-    return ctmc::bounded_reachability(chain_, at_t1, allowed, target, t2 - t1,
-                                      options_.transient);
-  }
-
-  if (property.has_time_bound()) {
-    return ctmc::bounded_reachability(chain_, initial_, allowed, target,
-                                      time_bound_value(property), options_.transient);
-  }
-  // Unbounded until: restrict to the allowed region by making forbidden
-  // states absorbing (they can never contribute), then take unbounded
-  // reachability of the target.
-  const size_t n = chain_.state_count();
-  std::vector<bool> absorbing(n, false);
-  bool any_forbidden = false;
-  for (size_t i = 0; i < n; ++i) {
-    absorbing[i] = !allowed[i] && !target[i];
-    any_forbidden = any_forbidden || absorbing[i];
-  }
-  Checker restricted = *this;
-  if (any_forbidden) restricted.chain_ = chain_.with_absorbing(absorbing);
-  const std::vector<double> reach = restricted.reachability_probabilities(target);
-  return linalg::dot(initial_, reach);
+double Checker::time_bound_value(const Property& property) const {
+  return session_->time_bound_value(property);
 }
 
-double Checker::check_globally(const Property& property) const {
-  // P[G phi] = 1 − P[F !phi] (with the same bound).
-  Property dual;
-  dual.kind = PropertyKind::kProbUntil;
-  dual.left = Expr::literal(true);
-  dual.right = !property.right;
-  dual.time_bound = property.time_bound;
-  dual.time_lower_bound = property.time_lower_bound;
-  dual.source = property.source;
-  return 1.0 - check_until(dual);
-}
+const symbolic::StateSpace& Checker::space() const { return session_->space(); }
 
-double Checker::check_steady_prob(const Property& property) const {
-  const std::vector<bool> target = satisfying(property.right);
-  const ctmc::SteadyStateResult result =
-      ctmc::steady_state(chain_, initial_, options_.steady_state);
-  double acc = 0.0;
-  for (size_t i = 0; i < target.size(); ++i) {
-    if (target[i]) acc += result.distribution[i];
-  }
-  return acc;
-}
-
-double Checker::check_reward(const Property& property) const {
-  const std::vector<double> rewards = space_->reward_vector(property.reward_name);
-  switch (property.kind) {
-    case PropertyKind::kCumulativeReward:
-      return ctmc::expected_cumulative_reward(chain_, initial_, rewards,
-                                              time_bound_value(property),
-                                              options_.transient);
-    case PropertyKind::kInstantaneousReward:
-      return ctmc::expected_instantaneous_reward(chain_, initial_, rewards,
-                                                 time_bound_value(property),
-                                                 options_.transient);
-    case PropertyKind::kSteadyStateReward:
-      return ctmc::steady_state_reward(chain_, initial_, rewards,
-                                       options_.steady_state);
-    case PropertyKind::kReachabilityReward: {
-      const std::vector<bool> target = satisfying(property.right);
-      const std::vector<double> reach = reachability_probabilities(target);
-      const double reach_from_init = linalg::dot(initial_, reach);
-      if (reach_from_init < 1.0 - 1e-9) {
-        // PRISM convention: expected reward is infinite when the target is
-        // missed with positive probability.
-        return std::numeric_limits<double>::infinity();
-      }
-      // e_i = 0 on target; otherwise e_i = r_i / E_i + Σ_j P_ij e_j.
-      const size_t n = chain_.state_count();
-      const linalg::CsrMatrix embedded = chain_.embedded_dtmc();
-      linalg::CsrBuilder block(n, n);
-      std::vector<double> base(n, 0.0);
-      for (size_t i = 0; i < n; ++i) {
-        if (target[i]) continue;
-        const double exit = chain_.exit_rate(i);
-        if (exit <= 0.0) {
-          throw PropertyError(
-              "reachability reward: absorbing non-target state reached");
-        }
-        base[i] = rewards[i] / exit;
-        const auto cols = embedded.row_columns(i);
-        const auto vals = embedded.row_values(i);
-        for (size_t k = 0; k < cols.size(); ++k) {
-          if (!target[cols[k]]) block.add(i, cols[k], vals[k]);
-        }
-      }
-      auto solved = linalg::solve_fixpoint(std::move(block).build(), base,
-                                           options_.steady_state.solver);
-      if (!solved.converged) {
-        throw PropertyError("reachability reward fixpoint did not converge");
-      }
-      return linalg::dot(initial_, solved.x);
-    }
-    default:
-      throw PropertyError("check_reward: not a reward property");
-  }
-}
+const ctmc::Ctmc& Checker::chain() const { return session_->chain(); }
 
 }  // namespace autosec::csl

@@ -1,8 +1,13 @@
 // Binds CSL properties to the CTMC engine: the "probabilistic model checker"
-// box of the paper's Fig. 2. Construct a Checker over an explored state
-// space, then evaluate properties given as objects or text.
+// box of the paper's Fig. 2. Checker is a thin facade over csl::EngineSession
+// — the staged compile → explore → uniformize → solve pipeline in
+// csl/session.hpp — and exists for call sites that already hold an explored
+// state space. Construct one over a state space, then evaluate properties
+// given as objects or text; repeated checks reuse the session's cached
+// stages (uniformization, long-run distribution).
 #pragma once
 
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -14,6 +19,8 @@
 
 namespace autosec::csl {
 
+class EngineSession;
+
 struct CheckerOptions {
   ctmc::TransientOptions transient;
   ctmc::SteadyStateOptions steady_state;
@@ -21,8 +28,21 @@ struct CheckerOptions {
 
 class Checker {
  public:
-  /// `space` is borrowed and must outlive the checker.
+  /// Shared ownership: the checker keeps the state space alive for its own
+  /// lifetime. Preferred constructor.
+  explicit Checker(std::shared_ptr<const symbolic::StateSpace> space,
+                   CheckerOptions options = {});
+
+  /// `space` is borrowed and must outlive the checker (no ownership taken —
+  /// use the shared_ptr constructor to rule the lifetime footgun out).
   explicit Checker(const symbolic::StateSpace& space, CheckerOptions options = {});
+
+  /// Facade over an existing session: checks share that session's caches.
+  explicit Checker(std::shared_ptr<EngineSession> session);
+
+  ~Checker();
+  Checker(const Checker&) = default;
+  Checker& operator=(const Checker&) = default;
 
   /// Evaluate a quantitative property from the model's initial state.
   /// Returns +infinity for reachability rewards whose target is reached with
@@ -45,25 +65,17 @@ class Checker {
   /// PropertyError when absent or non-numeric.
   double time_bound_value(const Property& property) const;
 
-  const symbolic::StateSpace& space() const { return *space_; }
-  const ctmc::Ctmc& chain() const { return chain_; }
+  const symbolic::StateSpace& space() const;
+  const ctmc::Ctmc& chain() const;
+
+  /// The session backing this checker (shared: copies of the checker and
+  /// other facades over the same session see the same caches).
+  const std::shared_ptr<EngineSession>& session() const { return session_; }
 
  private:
-  symbolic::Expr resolve_formula(const symbolic::Expr& formula) const;
-
-  double check_until(const Property& property) const;
-  double check_globally(const Property& property) const;
-  double check_steady_prob(const Property& property) const;
-  double check_reward(const Property& property) const;
-
-  /// Unbounded reachability probability per state (least fixpoint on the
-  /// embedded DTMC).
-  std::vector<double> reachability_probabilities(const std::vector<bool>& target) const;
-
-  const symbolic::StateSpace* space_;
-  CheckerOptions options_;
-  ctmc::Ctmc chain_;
-  std::vector<double> initial_;
+  // Stage construction is lazy, so the const query methods reach the mutable
+  // session through the shared pointer.
+  std::shared_ptr<EngineSession> session_;
 };
 
 }  // namespace autosec::csl

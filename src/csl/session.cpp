@@ -1,0 +1,506 @@
+#include "csl/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "csl/property_parser.hpp"
+#include "ctmc/rewards.hpp"
+#include "linalg/gauss_seidel.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/parallel.hpp"
+
+namespace autosec::csl {
+
+using symbolic::Expr;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::string override_cache_key(
+    const std::vector<std::pair<std::string, symbolic::Value>>& overrides) {
+  std::vector<std::pair<std::string, std::string>> parts;
+  parts.reserve(overrides.size());
+  for (const auto& [name, value] : overrides) {
+    parts.emplace_back(name, value.to_string());
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string key;
+  for (const auto& [name, text] : parts) {
+    key += name;
+    key += '=';
+    key += text;
+    key += ';';
+  }
+  return key;
+}
+
+EngineSession::EngineSession(symbolic::Model model, SessionOptions options)
+    : model_(std::move(model)),
+      options_(std::move(options)),
+      active_key_(override_cache_key(options_.constant_overrides)) {}
+
+EngineSession::EngineSession(std::shared_ptr<const symbolic::StateSpace> space,
+                             SessionOptions options)
+    : options_(std::move(options)) {
+  if (!space) throw PropertyError("EngineSession: null state space");
+  if (!options_.constant_overrides.empty()) {
+    throw PropertyError(
+        "EngineSession: constant overrides require a symbolic model, not a "
+        "pre-explored state space");
+  }
+  auto stages = std::make_unique<Stages>();
+  stages->space = std::move(space);
+  cache_.emplace_back(active_key_, std::move(stages));
+  active_ = cache_.front().second.get();
+}
+
+void EngineSession::set_constant_overrides(
+    std::vector<std::pair<std::string, symbolic::Value>> overrides) {
+  if (!model_) {
+    throw PropertyError(
+        "EngineSession: cannot re-key constant overrides on a session built "
+        "from a pre-explored state space");
+  }
+  options_.constant_overrides = std::move(overrides);
+  active_key_ = override_cache_key(options_.constant_overrides);
+  active_ = nullptr;  // re-resolved (and possibly rebuilt) on next use
+}
+
+EngineSession::Stages& EngineSession::prepare() {
+  if (active_ == nullptr) {
+    for (auto& [key, stages] : cache_) {
+      if (key == active_key_) {
+        active_ = stages.get();
+        break;
+      }
+    }
+    if (active_ == nullptr) {
+      cache_.emplace_back(active_key_, std::make_unique<Stages>());
+      active_ = cache_.back().second.get();
+    }
+  }
+  Stages& stages = *active_;
+  if (!stages.space) {
+    // model_ is guaranteed here: space-adopting sessions seed their stage set
+    // in the constructor and cannot re-key.
+    auto start = std::chrono::steady_clock::now();
+    stages.compiled = std::make_shared<const symbolic::CompiledModel>(
+        symbolic::compile(*model_, options_.constant_overrides));
+    stats_.compile_count += 1;
+    stats_.compile_seconds += seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    stages.space = std::make_shared<const symbolic::StateSpace>(
+        symbolic::explore(stages.compiled, options_.explore));
+    stats_.explore_count += 1;
+    stats_.explore_seconds += seconds_since(start);
+  }
+  if (!stages.chain) {
+    stages.chain = stages.space->to_ctmc();
+    stages.initial = stages.space->initial_distribution();
+  }
+  return stages;
+}
+
+const symbolic::StateSpace& EngineSession::space() { return *prepare().space; }
+
+std::shared_ptr<const symbolic::StateSpace> EngineSession::space_ptr() {
+  return prepare().space;
+}
+
+const ctmc::Ctmc& EngineSession::chain() { return *prepare().chain; }
+
+const ctmc::Uniformized& EngineSession::uniformized() {
+  return uniformized_of(prepare());
+}
+
+const ctmc::SteadyStateResult& EngineSession::steady() {
+  return steady_of(prepare());
+}
+
+const ctmc::Uniformized& EngineSession::uniformized_of(Stages& stages) {
+  std::lock_guard<std::mutex> lock(stages.lazy_mutex);
+  if (!stages.uniformized) {
+    stages.uniformized =
+        ctmc::uniformize(*stages.chain, options_.checker.transient);
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.uniformize_count += 1;
+  }
+  return *stages.uniformized;
+}
+
+const ctmc::SteadyStateResult& EngineSession::steady_of(Stages& stages) {
+  std::lock_guard<std::mutex> lock(stages.lazy_mutex);
+  if (!stages.steady) {
+    stages.steady = ctmc::steady_state(*stages.chain, stages.initial,
+                                       options_.checker.steady_state);
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.steady_state_count += 1;
+  }
+  return *stages.steady;
+}
+
+Expr EngineSession::resolve_formula(const Stages& stages,
+                                    const Expr& formula) const {
+  // Labels are exposed to the resolver as pre-resolved formulas named
+  // "label:<name>" — matching the encoding the expression parser emits for
+  // quoted atoms.
+  std::vector<std::pair<std::string, Expr>> label_formulas;
+  for (const symbolic::CompiledLabel& label : stages.space->model().labels) {
+    label_formulas.emplace_back("label:" + label.name, label.condition);
+  }
+  std::vector<std::string> variable_names;
+  for (const symbolic::CompiledVariable& v : stages.space->model().variables) {
+    variable_names.push_back(v.name);
+  }
+  const symbolic::SymbolScope scope{
+      .constants = &stages.space->model().constant_values,
+      .formulas = &label_formulas,
+      .variables = &variable_names,
+  };
+  try {
+    return formula.resolve(scope);
+  } catch (const symbolic::EvalError& e) {
+    throw PropertyError(std::string("state formula: ") + e.what());
+  }
+}
+
+std::vector<bool> EngineSession::satisfying_in(const Stages& stages,
+                                               const Expr& formula) const {
+  return stages.space->satisfying(resolve_formula(stages, formula));
+}
+
+std::vector<bool> EngineSession::satisfying(const Expr& formula) {
+  return satisfying_in(prepare(), formula);
+}
+
+double EngineSession::time_bound_in(const Stages& stages,
+                                    const Property& property) const {
+  if (!property.has_time_bound()) {
+    throw PropertyError("property requires a time bound: " + property.source);
+  }
+  const Expr resolved = resolve_formula(stages, property.time_bound);
+  symbolic::Value value;
+  if (!resolved.as_literal(value) || !value.is_numeric()) {
+    throw PropertyError("time bound does not fold to a number: " + property.source);
+  }
+  const double t = value.as_number();
+  if (!(t >= 0.0)) throw PropertyError("negative time bound: " + property.source);
+  return t;
+}
+
+double EngineSession::time_bound_value(const Property& property) {
+  return time_bound_in(prepare(), property);
+}
+
+double EngineSession::check(const Property& property) {
+  Stages& stages = prepare();
+  const auto start = std::chrono::steady_clock::now();
+  const double value = evaluate(stages, property);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.solve_seconds += seconds_since(start);
+  }
+  return value;
+}
+
+double EngineSession::check(std::string_view property_text) {
+  return check(parse_property(property_text));
+}
+
+bool EngineSession::satisfies(const Property& property) {
+  if (property.is_query()) {
+    throw PropertyError("satisfies: property is a =? query: " + property.source);
+  }
+  Stages& stages = prepare();
+  const Expr resolved = resolve_formula(stages, property.bound_value);
+  symbolic::Value bound;
+  if (!resolved.as_literal(bound) || !bound.is_numeric()) {
+    throw PropertyError("satisfies: bound does not fold to a number: " +
+                        property.source);
+  }
+  const double value = check(property);
+  const double threshold = bound.as_number();
+  switch (property.bound) {
+    case BoundKind::kLt: return value < threshold;
+    case BoundKind::kLe: return value <= threshold;
+    case BoundKind::kGt: return value > threshold;
+    case BoundKind::kGe: return value >= threshold;
+    case BoundKind::kQuery: break;
+  }
+  throw PropertyError("satisfies: corrupt bound kind");
+}
+
+bool EngineSession::satisfies(std::string_view property_text) {
+  return satisfies(parse_property(property_text));
+}
+
+std::vector<double> EngineSession::check_all(std::span<const Property> properties) {
+  if (properties.empty()) return {};
+  Stages& stages = prepare();  // one compile/explore serves the whole batch
+
+  // Pre-build the shared lazy stages serially: under the parallel fan-out the
+  // first solver to need them would build them while its peers block on
+  // lazy_mutex, wasting the pool.
+  bool needs_uniformized = false;
+  bool needs_steady = false;
+  for (const Property& p : properties) {
+    switch (p.kind) {
+      case PropertyKind::kCumulativeReward:
+      case PropertyKind::kInstantaneousReward:
+        needs_uniformized = true;
+        break;
+      case PropertyKind::kSteadyStateProb:
+      case PropertyKind::kSteadyStateReward:
+        needs_steady = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (needs_uniformized && stages.chain->max_exit_rate() > 0.0) {
+    uniformized_of(stages);
+  }
+  if (needs_steady) steady_of(stages);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<double> results(properties.size(), 0.0);
+  if (!options_.parallel_properties || properties.size() == 1) {
+    for (size_t i = 0; i < properties.size(); ++i) {
+      results[i] = evaluate(stages, properties[i]);
+    }
+  } else {
+    // Each slot writes only results[i]; evaluation order cannot change any
+    // value, so the batch is deterministic at every thread count.
+    util::parallel_for(0, properties.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        results[i] = evaluate(stages, properties[i]);
+      }
+    });
+  }
+  stats_.solve_seconds += seconds_since(start);
+  return results;
+}
+
+std::vector<double> EngineSession::check_all(
+    const std::vector<std::string>& property_texts) {
+  std::vector<Property> properties;
+  properties.reserve(property_texts.size());
+  for (const std::string& text : property_texts) {
+    properties.push_back(parse_property(text));
+  }
+  return check_all(std::span<const Property>(properties));
+}
+
+double EngineSession::evaluate(Stages& stages, const Property& property) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.check_count += 1;
+  }
+  switch (property.kind) {
+    case PropertyKind::kProbUntil: return check_until(stages, property);
+    case PropertyKind::kProbGlobally: return check_globally(stages, property);
+    case PropertyKind::kSteadyStateProb: return check_steady_prob(stages, property);
+    case PropertyKind::kCumulativeReward:
+    case PropertyKind::kInstantaneousReward:
+    case PropertyKind::kSteadyStateReward:
+    case PropertyKind::kReachabilityReward: return check_reward(stages, property);
+  }
+  throw PropertyError("corrupt property kind");
+}
+
+std::vector<double> EngineSession::reachability_probabilities(
+    const ctmc::Ctmc& chain, const std::vector<bool>& target) const {
+  // Least fixpoint x = A·x + b on the embedded DTMC: x_i = 1 on target
+  // states; for others, b is the one-step probability into the target.
+  const size_t n = chain.state_count();
+  const linalg::CsrMatrix embedded = chain.embedded_dtmc();
+
+  linalg::CsrBuilder block(n, n);
+  std::vector<double> one_step(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (target[i]) continue;
+    const auto cols = embedded.row_columns(i);
+    const auto vals = embedded.row_values(i);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      if (target[cols[k]]) {
+        one_step[i] += vals[k];
+      } else if (cols[k] != i) {
+        block.add(i, cols[k], vals[k]);
+      }
+      // Self-loops of non-target states contribute nothing to the least
+      // fixpoint and are dropped (keeps absorbing states at x = 0).
+    }
+  }
+  auto solved = linalg::solve_fixpoint(std::move(block).build(), one_step,
+                                       options_.checker.steady_state.solver);
+  if (!solved.converged) {
+    throw PropertyError("reachability fixpoint did not converge");
+  }
+  std::vector<double> x = std::move(solved.x);
+  for (size_t i = 0; i < n; ++i) {
+    if (target[i]) x[i] = 1.0;
+  }
+  return x;
+}
+
+double EngineSession::check_until(Stages& stages, const Property& property) {
+  const ctmc::Ctmc& chain = *stages.chain;
+  const std::vector<double>& initial = stages.initial;
+  const std::vector<bool> allowed = satisfying_in(stages, property.left);
+  const std::vector<bool> target = satisfying_in(stages, property.right);
+
+  if (property.has_time_lower_bound()) {
+    // Interval until Φ U[t1,t2] Ψ (Baier et al.'s two-phase algorithm):
+    // phase 1 evolves to t1 on the chain with ¬Φ absorbing — any path that
+    // leaves Φ before t1 can no longer satisfy the formula — then the mass
+    // still inside Φ runs a plain bounded until for the remaining t2-t1.
+    const Expr lower_resolved = resolve_formula(stages, property.time_lower_bound);
+    symbolic::Value lower_value;
+    if (!lower_resolved.as_literal(lower_value) || !lower_value.is_numeric()) {
+      throw PropertyError("interval lower bound does not fold to a number: " +
+                          property.source);
+    }
+    const double t1 = lower_value.as_number();
+    const double t2 = time_bound_in(stages, property);
+    if (t1 < 0.0 || t2 < t1) {
+      throw PropertyError("invalid time interval in: " + property.source);
+    }
+    const size_t n = chain.state_count();
+    std::vector<bool> not_allowed(n, false);
+    for (size_t i = 0; i < n; ++i) not_allowed[i] = !allowed[i];
+    const ctmc::Ctmc phase1 = chain.with_absorbing(not_allowed);
+    std::vector<double> at_t1 = ctmc::transient_distribution(
+        phase1, initial, t1, options_.checker.transient);
+    for (size_t i = 0; i < n; ++i) {
+      if (!allowed[i]) at_t1[i] = 0.0;  // left Φ before t1: failed
+    }
+    return ctmc::bounded_reachability(chain, at_t1, allowed, target, t2 - t1,
+                                      options_.checker.transient);
+  }
+
+  if (property.has_time_bound()) {
+    return ctmc::bounded_reachability(chain, initial, allowed, target,
+                                      time_bound_in(stages, property),
+                                      options_.checker.transient);
+  }
+  // Unbounded until: restrict to the allowed region by making forbidden
+  // states absorbing (they can never contribute), then take unbounded
+  // reachability of the target.
+  const size_t n = chain.state_count();
+  std::vector<bool> absorbing(n, false);
+  bool any_forbidden = false;
+  for (size_t i = 0; i < n; ++i) {
+    absorbing[i] = !allowed[i] && !target[i];
+    any_forbidden = any_forbidden || absorbing[i];
+  }
+  const std::vector<double> reach =
+      any_forbidden
+          ? reachability_probabilities(chain.with_absorbing(absorbing), target)
+          : reachability_probabilities(chain, target);
+  return linalg::dot(initial, reach);
+}
+
+double EngineSession::check_globally(Stages& stages, const Property& property) {
+  // P[G phi] = 1 − P[F !phi] (with the same bound).
+  Property dual;
+  dual.kind = PropertyKind::kProbUntil;
+  dual.left = Expr::literal(true);
+  dual.right = !property.right;
+  dual.time_bound = property.time_bound;
+  dual.time_lower_bound = property.time_lower_bound;
+  dual.source = property.source;
+  return 1.0 - check_until(stages, dual);
+}
+
+double EngineSession::check_steady_prob(Stages& stages, const Property& property) {
+  const std::vector<bool> target = satisfying_in(stages, property.right);
+  // The long-run distribution is a per-stage-set cache: every S=? property of
+  // the session reuses one BSCC decomposition and one set of solves.
+  const ctmc::SteadyStateResult& result = steady_of(stages);
+  double acc = 0.0;
+  for (size_t i = 0; i < target.size(); ++i) {
+    if (target[i]) acc += result.distribution[i];
+  }
+  return acc;
+}
+
+double EngineSession::check_reward(Stages& stages, const Property& property) {
+  const ctmc::Ctmc& chain = *stages.chain;
+  const std::vector<double>& initial = stages.initial;
+  const std::vector<double> rewards =
+      stages.space->reward_vector(property.reward_name);
+  switch (property.kind) {
+    case PropertyKind::kCumulativeReward: {
+      const double t = time_bound_in(stages, property);
+      if (chain.max_exit_rate() == 0.0) {
+        return ctmc::expected_cumulative_reward(chain, initial, rewards, t,
+                                                options_.checker.transient);
+      }
+      // Base-chain accumulation reuses the session's uniformization stage, so
+      // repeated horizons skip the uniformize + transpose work.
+      return ctmc::expected_cumulative_reward(uniformized_of(stages), initial,
+                                              rewards, t,
+                                              options_.checker.transient);
+    }
+    case PropertyKind::kInstantaneousReward: {
+      const double t = time_bound_in(stages, property);
+      if (chain.max_exit_rate() == 0.0 || t == 0.0) {
+        return linalg::dot(initial, rewards);
+      }
+      const std::vector<double> dist = ctmc::transient_distribution(
+          uniformized_of(stages), initial, t, options_.checker.transient);
+      return linalg::dot(dist, rewards);
+    }
+    case PropertyKind::kSteadyStateReward:
+      return linalg::dot(steady_of(stages).distribution, rewards);
+    case PropertyKind::kReachabilityReward: {
+      const std::vector<bool> target = satisfying_in(stages, property.right);
+      const std::vector<double> reach = reachability_probabilities(chain, target);
+      const double reach_from_init = linalg::dot(initial, reach);
+      if (reach_from_init < 1.0 - 1e-9) {
+        // PRISM convention: expected reward is infinite when the target is
+        // missed with positive probability.
+        return std::numeric_limits<double>::infinity();
+      }
+      // e_i = 0 on target; otherwise e_i = r_i / E_i + Σ_j P_ij e_j.
+      const size_t n = chain.state_count();
+      const linalg::CsrMatrix embedded = chain.embedded_dtmc();
+      linalg::CsrBuilder block(n, n);
+      std::vector<double> base(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        if (target[i]) continue;
+        const double exit = chain.exit_rate(i);
+        if (exit <= 0.0) {
+          throw PropertyError(
+              "reachability reward: absorbing non-target state reached");
+        }
+        base[i] = rewards[i] / exit;
+        const auto cols = embedded.row_columns(i);
+        const auto vals = embedded.row_values(i);
+        for (size_t k = 0; k < cols.size(); ++k) {
+          if (!target[cols[k]]) block.add(i, cols[k], vals[k]);
+        }
+      }
+      auto solved = linalg::solve_fixpoint(std::move(block).build(), base,
+                                           options_.checker.steady_state.solver);
+      if (!solved.converged) {
+        throw PropertyError("reachability reward fixpoint did not converge");
+      }
+      return linalg::dot(initial, solved.x);
+    }
+    default:
+      throw PropertyError("check_reward: not a reward property");
+  }
+}
+
+}  // namespace autosec::csl

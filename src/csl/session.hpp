@@ -1,0 +1,161 @@
+// The staged analysis engine: one reusable session owning the
+//   compile → explore → Ctmc → uniformize → solve
+// pipeline of the paper's Fig. 2, with every stage built lazily, cached, and
+// keyed by the active constant-override set. Re-checking another property —
+// or the same property at another horizon — reuses every stage already
+// built; switching constant overrides re-keys the pipeline but keeps earlier
+// stage sets cached for when a sweep returns to a value.
+//
+// This is the single implementation path of the CSL engine: csl::Checker is
+// a thin facade over a session, and automotive::analyze_architecture batches
+// all of an architecture's message properties through one session.
+//
+// Thread model: check_all() fans independent property solves across the
+// process-wide pool (util::parallel_for); each solve then runs its numeric
+// kernels serially (nested parallel regions degrade to serial loops), while
+// single check() calls parallelize inside the kernels instead. Results are
+// deterministic either way.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "csl/checker.hpp"
+#include "csl/property.hpp"
+#include "ctmc/ctmc.hpp"
+#include "ctmc/steady_state.hpp"
+#include "ctmc/transient.hpp"
+#include "symbolic/explorer.hpp"
+#include "symbolic/model.hpp"
+
+namespace autosec::csl {
+
+struct SessionOptions {
+  /// Constant overrides applied at compile time (PRISM's -const); the cache
+  /// key of the stage pipeline.
+  std::vector<std::pair<std::string, symbolic::Value>> constant_overrides;
+  symbolic::ExploreOptions explore;
+  CheckerOptions checker;
+  /// Fan the independent solves of check_all() across the thread pool.
+  bool parallel_properties = true;
+};
+
+/// Cumulative per-stage counters and wall-clock timings. Counters make cache
+/// behaviour observable: a session that answered N properties with
+/// explore_count == 1 provably reused its state space.
+struct SessionStats {
+  size_t compile_count = 0;
+  size_t explore_count = 0;
+  size_t uniformize_count = 0;
+  size_t steady_state_count = 0;
+  size_t check_count = 0;
+  double compile_seconds = 0.0;
+  double explore_seconds = 0.0;
+  double solve_seconds = 0.0;  ///< property evaluation incl. uniformization
+};
+
+class EngineSession {
+ public:
+  /// Session over a symbolic model; nothing is built until first use.
+  explicit EngineSession(symbolic::Model model, SessionOptions options = {});
+
+  /// Session adopting an already-explored state space (the Checker facade
+  /// path). Compile/explore stages are pinned; constant overrides cannot be
+  /// re-keyed.
+  explicit EngineSession(std::shared_ptr<const symbolic::StateSpace> space,
+                         SessionOptions options = {});
+
+  EngineSession(const EngineSession&) = delete;
+  EngineSession& operator=(const EngineSession&) = delete;
+
+  // --- stage accessors (each builds and caches its stage on first use).
+  const symbolic::StateSpace& space();
+  std::shared_ptr<const symbolic::StateSpace> space_ptr();
+  const ctmc::Ctmc& chain();
+  /// Uniformization of the base chain at its default rate (modified chains —
+  /// bounded reachability — uniformize per call).
+  const ctmc::Uniformized& uniformized();
+  /// Long-run distribution from the initial state; shared by every S=? /
+  /// steady-reward property of the session.
+  const ctmc::SteadyStateResult& steady();
+
+  /// Re-key the pipeline to another constant-override set. Stages already
+  /// built for earlier keys stay cached and are reused when the key returns.
+  /// Throws PropertyError on a space-adopting session.
+  void set_constant_overrides(
+      std::vector<std::pair<std::string, symbolic::Value>> overrides);
+
+  // --- property evaluation.
+  double check(const Property& property);
+  double check(std::string_view property_text);
+  bool satisfies(const Property& property);
+  bool satisfies(std::string_view property_text);
+
+  /// Batch evaluation: builds the stages once, then solves every property —
+  /// in parallel across the pool when options().parallel_properties. Results
+  /// are positionally aligned with `properties`.
+  std::vector<double> check_all(std::span<const Property> properties);
+  std::vector<double> check_all(const std::vector<std::string>& property_texts);
+
+  /// States satisfying a state formula (labels resolved, then variables).
+  std::vector<bool> satisfying(const symbolic::Expr& formula);
+
+  /// Resolve a property's time bound against the model constants.
+  double time_bound_value(const Property& property);
+
+  const SessionStats& stats() const { return stats_; }
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  /// All artifacts derived from one constant-override key.
+  struct Stages {
+    std::shared_ptr<const symbolic::CompiledModel> compiled;
+    std::shared_ptr<const symbolic::StateSpace> space;
+    std::optional<ctmc::Ctmc> chain;
+    std::vector<double> initial;
+    std::optional<ctmc::Uniformized> uniformized;
+    std::optional<ctmc::SteadyStateResult> steady;
+    std::mutex lazy_mutex;  ///< guards uniformized/steady under check_all
+  };
+
+  Stages& prepare();  ///< build compile/explore/chain for the active key
+
+  symbolic::Expr resolve_formula(const Stages& stages,
+                                 const symbolic::Expr& formula) const;
+  std::vector<bool> satisfying_in(const Stages& stages,
+                                  const symbolic::Expr& formula) const;
+  double time_bound_in(const Stages& stages, const Property& property) const;
+
+  double evaluate(Stages& stages, const Property& property);
+  double check_until(Stages& stages, const Property& property);
+  double check_globally(Stages& stages, const Property& property);
+  double check_steady_prob(Stages& stages, const Property& property);
+  double check_reward(Stages& stages, const Property& property);
+  std::vector<double> reachability_probabilities(const ctmc::Ctmc& chain,
+                                                 const std::vector<bool>& target) const;
+
+  const ctmc::Uniformized& uniformized_of(Stages& stages);
+  const ctmc::SteadyStateResult& steady_of(Stages& stages);
+
+  std::optional<symbolic::Model> model_;  ///< absent for space-adopting sessions
+  SessionOptions options_;
+  std::string active_key_;
+  // Stage sets per override key; node stability (list of unique_ptr not
+  // needed — keyed map with stable values) keeps references valid across
+  // re-keying.
+  std::vector<std::pair<std::string, std::unique_ptr<Stages>>> cache_;
+  Stages* active_ = nullptr;
+  SessionStats stats_;
+  std::mutex stats_mutex_;  ///< counters under parallel check_all
+};
+
+/// Canonical cache key of an override set (order-insensitive).
+std::string override_cache_key(
+    const std::vector<std::pair<std::string, symbolic::Value>>& overrides);
+
+}  // namespace autosec::csl

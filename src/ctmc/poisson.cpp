@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <deque>
+#include <functional>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace autosec::ctmc {
 
@@ -81,6 +84,70 @@ PoissonWeights poisson_weights(double lambda, double epsilon) {
   // convex combinations.
   for (double& w : out.weights) w /= mass;
   return out;
+}
+
+namespace {
+
+struct PoissonKey {
+  double lambda;
+  double epsilon;
+  bool operator==(const PoissonKey&) const = default;
+};
+
+struct PoissonKeyHash {
+  size_t operator()(const PoissonKey& key) const {
+    // Exact bit-pattern keying: equal doubles hash equal, and the engine only
+    // ever reuses horizons it constructed from identical inputs.
+    const size_t a = std::hash<double>{}(key.lambda);
+    const size_t b = std::hash<double>{}(key.epsilon);
+    return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  }
+};
+
+// A weight vector for qt ~ 1e6 holds ~O(sqrt(qt)) doubles; 1024 entries keep
+// the cache bounded well under typical working-set sizes.
+constexpr size_t kMaxCacheEntries = 1024;
+
+std::mutex g_poisson_mutex;
+std::unordered_map<PoissonKey, std::shared_ptr<const PoissonWeights>, PoissonKeyHash>
+    g_poisson_cache;
+PoissonCacheStats g_poisson_stats;
+
+}  // namespace
+
+std::shared_ptr<const PoissonWeights> poisson_weights_cached(double lambda,
+                                                             double epsilon) {
+  const PoissonKey key{lambda, epsilon};
+  {
+    std::lock_guard<std::mutex> lock(g_poisson_mutex);
+    const auto it = g_poisson_cache.find(key);
+    if (it != g_poisson_cache.end()) {
+      ++g_poisson_stats.hits;
+      return it->second;
+    }
+  }
+  // Compute outside the lock (concurrent misses for the same key may race to
+  // insert; both compute identical weights, so either result is correct).
+  auto weights = std::make_shared<const PoissonWeights>(poisson_weights(lambda, epsilon));
+  std::lock_guard<std::mutex> lock(g_poisson_mutex);
+  ++g_poisson_stats.misses;
+  if (g_poisson_cache.size() >= kMaxCacheEntries) g_poisson_cache.clear();
+  const auto [it, inserted] = g_poisson_cache.emplace(key, std::move(weights));
+  g_poisson_stats.entries = g_poisson_cache.size();
+  return it->second;
+}
+
+PoissonCacheStats poisson_cache_stats() {
+  std::lock_guard<std::mutex> lock(g_poisson_mutex);
+  PoissonCacheStats stats = g_poisson_stats;
+  stats.entries = g_poisson_cache.size();
+  return stats;
+}
+
+void reset_poisson_cache() {
+  std::lock_guard<std::mutex> lock(g_poisson_mutex);
+  g_poisson_cache.clear();
+  g_poisson_stats = {};
 }
 
 }  // namespace autosec::ctmc

@@ -7,6 +7,39 @@
 
 namespace autosec::ctmc {
 
+double expected_cumulative_reward(const Uniformized& uniformized,
+                                  const std::vector<double>& initial,
+                                  const std::vector<double>& state_rewards, double t,
+                                  const TransientOptions& options) {
+  const size_t n = uniformized.state_count;
+  if (initial.size() != n || state_rewards.size() != n) {
+    throw std::invalid_argument("cumulative_reward: size mismatch");
+  }
+  if (t < 0.0) throw std::invalid_argument("cumulative_reward: negative time");
+  if (t == 0.0) return 0.0;
+
+  const auto weights = poisson_weights_cached(uniformized.q * t, options.epsilon);
+
+  // E = (1/q) Σ_{k=0..R} (1 − CDF(k)) (π₀ Pᵏ)·r.  Since the normalized
+  // weights sum to 1 over [L,R], the factor (1 − CDF(k)) is 1 for k < L and 0
+  // for k ≥ R; running the cumulative sum incrementally avoids the quadratic
+  // cdf() scan.
+  std::vector<double> current = initial;
+  std::vector<double> next(n, 0.0);
+  double cdf = 0.0;
+  double acc = 0.0;
+  for (size_t k = 0; k <= weights->right; ++k) {
+    cdf += weights->weight(k);
+    const double factor = 1.0 - cdf;
+    if (factor > 0.0) acc += factor * linalg::dot(current, state_rewards);
+    if (k < weights->right) {
+      uniformized.step(current, next);
+      current.swap(next);
+    }
+  }
+  return acc / uniformized.q;
+}
+
 double expected_cumulative_reward(const Ctmc& chain, const std::vector<double>& initial,
                                   const std::vector<double>& state_rewards, double t,
                                   const TransientOptions& options) {
@@ -20,31 +53,8 @@ double expected_cumulative_reward(const Ctmc& chain, const std::vector<double>& 
     // No movement: the chain sits in the initial distribution for all of [0,t].
     return t * linalg::dot(initial, state_rewards);
   }
-
-  const double q = options.uniformization_rate > 0.0
-                       ? options.uniformization_rate
-                       : chain.default_uniformization_rate();
-  const linalg::CsrMatrix P = chain.uniformized(q);
-  const PoissonWeights weights = poisson_weights(q * t, options.epsilon);
-
-  // E = (1/q) Σ_{k=0..R} (1 − CDF(k)) (π₀ Pᵏ)·r.  Since the normalized
-  // weights sum to 1 over [L,R], the factor (1 − CDF(k)) is 1 for k < L and 0
-  // for k ≥ R; running the cumulative sum incrementally avoids the quadratic
-  // cdf() scan.
-  std::vector<double> current = initial;
-  std::vector<double> next(n, 0.0);
-  double cdf = 0.0;
-  double acc = 0.0;
-  for (size_t k = 0; k <= weights.right; ++k) {
-    cdf += weights.weight(k);
-    const double factor = 1.0 - cdf;
-    if (factor > 0.0) acc += factor * linalg::dot(current, state_rewards);
-    if (k < weights.right) {
-      P.left_multiply(current, next);
-      current.swap(next);
-    }
-  }
-  return acc / q;
+  return expected_cumulative_reward(uniformize(chain, options), initial,
+                                    state_rewards, t, options);
 }
 
 double expected_instantaneous_reward(const Ctmc& chain,

@@ -21,6 +21,13 @@ double expected_cumulative_reward(const Ctmc& chain, const std::vector<double>& 
                                   const std::vector<double>& state_rewards, double t,
                                   const TransientOptions& options = {});
 
+/// Same, on a prebuilt uniformization stage (EngineSession caches the stage
+/// so repeated cumulative-reward horizons skip the uniformize+transpose).
+double expected_cumulative_reward(const Uniformized& uniformized,
+                                  const std::vector<double>& initial,
+                                  const std::vector<double>& state_rewards, double t,
+                                  const TransientOptions& options = {});
+
 /// Expected instantaneous state reward at time t: E[r(X_t)] = π(t)·r.
 double expected_instantaneous_reward(const Ctmc& chain,
                                      const std::vector<double>& initial,

@@ -6,6 +6,7 @@
 
 #include "ctmc/scc.hpp"
 #include "linalg/vector_ops.hpp"
+#include "util/parallel.hpp"
 
 namespace autosec::ctmc {
 
@@ -139,30 +140,34 @@ SteadyStateResult steady_state(const Ctmc& chain, const std::vector<double>& ini
   }
   const linalg::CsrMatrix transient_block = std::move(block_builder).build();
 
-  for (uint32_t b = 0; b < bottoms.size(); ++b) {
-    absorb[b].assign(n, 0.0);
-    for (uint32_t s = 0; s < n; ++s) {
-      if (determined_bscc[s] == b) absorb[b][s] = 1.0;
-    }
-    if (transient_states.empty()) continue;
+  // Independent per-BSCC absorption solves: each b writes only absorb[b], so
+  // fanning them across the pool keeps results identical to the serial sweep.
+  util::parallel_for(0, bottoms.size(), 1, [&](size_t b_begin, size_t b_end) {
+    for (size_t b = b_begin; b < b_end; ++b) {
+      absorb[b].assign(n, 0.0);
+      for (uint32_t s = 0; s < n; ++s) {
+        if (determined_bscc[s] == b) absorb[b][s] = 1.0;
+      }
+      if (transient_states.empty()) continue;
 
-    std::vector<double> one_step(transient_states.size(), 0.0);
-    for (uint32_t local = 0; local < transient_states.size(); ++local) {
-      const uint32_t global = transient_states[local];
-      const auto cols = embedded.row_columns(global);
-      const auto vals = embedded.row_values(global);
-      for (size_t k = 0; k < cols.size(); ++k) {
-        if (determined_bscc[cols[k]] == b) one_step[local] += vals[k];
+      std::vector<double> one_step(transient_states.size(), 0.0);
+      for (uint32_t local = 0; local < transient_states.size(); ++local) {
+        const uint32_t global = transient_states[local];
+        const auto cols = embedded.row_columns(global);
+        const auto vals = embedded.row_values(global);
+        for (size_t k = 0; k < cols.size(); ++k) {
+          if (determined_bscc[cols[k]] == b) one_step[local] += vals[k];
+        }
+      }
+      auto solved = linalg::solve_fixpoint(transient_block, one_step, options.solver);
+      if (!solved.converged) {
+        throw std::runtime_error("steady_state: absorption solver did not converge");
+      }
+      for (uint32_t local = 0; local < transient_states.size(); ++local) {
+        absorb[b][transient_states[local]] = solved.x[local];
       }
     }
-    auto solved = linalg::solve_fixpoint(transient_block, one_step, options.solver);
-    if (!solved.converged) {
-      throw std::runtime_error("steady_state: absorption solver did not converge");
-    }
-    for (uint32_t local = 0; local < transient_states.size(); ++local) {
-      absorb[b][transient_states[local]] = solved.x[local];
-    }
-  }
+  });
 
   result.bscc_probability.assign(bottoms.size(), 0.0);
   for (uint32_t b = 0; b < bottoms.size(); ++b) {
@@ -170,16 +175,20 @@ SteadyStateResult steady_state(const Ctmc& chain, const std::vector<double>& ini
     result.bscc_states.push_back(sccs.members[bottoms[b]]);
   }
 
-  for (uint32_t b = 0; b < bottoms.size(); ++b) {
-    const double weight = result.bscc_probability[b];
-    if (weight <= 0.0) continue;
-    const std::vector<double> local_pi =
-        bscc_stationary(chain, sccs.members[bottoms[b]], options.solver);
-    const auto& members = sccs.members[bottoms[b]];
-    for (size_t i = 0; i < members.size(); ++i) {
-      result.distribution[members[i]] += weight * local_pi[i];
+  // Per-BSCC stationary solves are likewise independent; BSCC member sets are
+  // disjoint, so the distribution writes never overlap.
+  util::parallel_for(0, bottoms.size(), 1, [&](size_t b_begin, size_t b_end) {
+    for (size_t b = b_begin; b < b_end; ++b) {
+      const double weight = result.bscc_probability[b];
+      if (weight <= 0.0) continue;
+      const std::vector<double> local_pi =
+          bscc_stationary(chain, sccs.members[bottoms[b]], options.solver);
+      const auto& members = sccs.members[bottoms[b]];
+      for (size_t i = 0; i < members.size(); ++i) {
+        result.distribution[members[i]] += weight * local_pi[i];
+      }
     }
-  }
+  });
   return result;
 }
 

@@ -10,8 +10,8 @@ namespace autosec::ctmc {
 
 namespace {
 
-void check_distribution(const Ctmc& chain, const std::vector<double>& initial) {
-  if (initial.size() != chain.state_count()) {
+void check_distribution(size_t state_count, const std::vector<double>& initial) {
+  if (initial.size() != state_count) {
     throw std::invalid_argument("transient: initial distribution size mismatch");
   }
   double total = 0.0;
@@ -28,34 +28,48 @@ void check_distribution(const Ctmc& chain, const std::vector<double>& initial) {
 
 }  // namespace
 
-std::vector<double> transient_distribution(const Ctmc& chain,
+Uniformized uniformize(const Ctmc& chain, const TransientOptions& options) {
+  Uniformized out;
+  out.state_count = chain.state_count();
+  out.q = options.uniformization_rate > 0.0 ? options.uniformization_rate
+                                            : chain.default_uniformization_rate();
+  out.transposed = chain.uniformized(out.q).transposed();
+  return out;
+}
+
+std::vector<double> transient_distribution(const Uniformized& uniformized,
                                            const std::vector<double>& initial,
                                            double t, const TransientOptions& options) {
-  check_distribution(chain, initial);
+  check_distribution(uniformized.state_count, initial);
   if (t < 0.0) throw std::invalid_argument("transient: negative time");
-  if (t == 0.0 || chain.max_exit_rate() == 0.0) return initial;
+  if (t == 0.0) return initial;
 
-  const double q = options.uniformization_rate > 0.0
-                       ? options.uniformization_rate
-                       : chain.default_uniformization_rate();
-  const linalg::CsrMatrix P = chain.uniformized(q);
-  const PoissonWeights weights = poisson_weights(q * t, options.epsilon);
+  const auto weights = poisson_weights_cached(uniformized.q * t, options.epsilon);
 
-  const size_t n = chain.state_count();
+  const size_t n = uniformized.state_count;
   std::vector<double> current = initial;
   std::vector<double> next(n, 0.0);
   std::vector<double> result(n, 0.0);
 
-  for (size_t k = 0; k <= weights.right; ++k) {
-    if (k >= weights.left) {
-      linalg::axpy(weights.weight(k), current, result);
+  for (size_t k = 0; k <= weights->right; ++k) {
+    if (k >= weights->left) {
+      linalg::axpy(weights->weight(k), current, result);
     }
-    if (k < weights.right) {
-      P.left_multiply(current, next);
+    if (k < weights->right) {
+      uniformized.step(current, next);
       current.swap(next);
     }
   }
   return result;
+}
+
+std::vector<double> transient_distribution(const Ctmc& chain,
+                                           const std::vector<double>& initial,
+                                           double t, const TransientOptions& options) {
+  check_distribution(chain.state_count(), initial);
+  if (t < 0.0) throw std::invalid_argument("transient: negative time");
+  if (t == 0.0 || chain.max_exit_rate() == 0.0) return initial;
+  return transient_distribution(uniformize(chain, options), initial, t, options);
 }
 
 double transient_probability(const Ctmc& chain, const std::vector<double>& initial,

@@ -14,9 +14,37 @@ struct TransientOptions {
   double uniformization_rate = 0.0;
 };
 
+/// A prebuilt uniformization stage: the rate q and the *transposed*
+/// uniformized DTMC Pᵀ. The transposed layout turns the hot vector-matrix
+/// product π·P into the gather-form Pᵀ·π, which sums each output entry in the
+/// same order as the serial scatter kernel but runs row-parallel on the
+/// engine thread pool — results are bit-identical at any thread count.
+/// Building this once per chain (EngineSession caches it) amortizes the
+/// transposition across every transient query at any horizon.
+struct Uniformized {
+  double q = 0.0;
+  size_t state_count = 0;
+  linalg::CsrMatrix transposed;  ///< Pᵀ with P = I + Q/q
+
+  /// next = current · P, computed as Pᵀ · current.
+  void step(const std::vector<double>& current, std::vector<double>& next) const {
+    transposed.right_multiply(current, next);
+  }
+};
+
+/// Build the uniformization stage for a chain. Empty (max exit rate 0) chains
+/// yield a valid identity stage.
+Uniformized uniformize(const Ctmc& chain, const TransientOptions& options = {});
+
 /// Distribution over states at time t, starting from `initial` (a probability
 /// distribution over states). t must be >= 0; t == 0 returns `initial`.
 std::vector<double> transient_distribution(const Ctmc& chain,
+                                           const std::vector<double>& initial,
+                                           double t,
+                                           const TransientOptions& options = {});
+
+/// Same, on a prebuilt uniformization stage (repeated horizons reuse it).
+std::vector<double> transient_distribution(const Uniformized& uniformized,
                                            const std::vector<double>& initial,
                                            double t,
                                            const TransientOptions& options = {});

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace autosec::linalg {
 
 CsrMatrix::CsrMatrix(size_t row_count, size_t column_count,
@@ -68,13 +70,17 @@ void CsrMatrix::right_multiply(std::span<const double> x, std::span<double> y) c
   if (x.size() != column_count_ || y.size() != row_count_) {
     throw std::invalid_argument("right_multiply: dimension mismatch");
   }
-  for (size_t r = 0; r < row_count_; ++r) {
-    const auto cols = row_columns(r);
-    const auto vals = row_values(r);
-    double acc = 0.0;
-    for (size_t i = 0; i < cols.size(); ++i) acc += vals[i] * x[cols[i]];
-    y[r] = acc;
-  }
+  // Row-disjoint writes: chunks touch y[begin..end) only, so the result is
+  // independent of the chunking. The grain keeps tiny matrices serial.
+  util::parallel_for(0, row_count_, 1024, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      const auto cols = row_columns(r);
+      const auto vals = row_values(r);
+      double acc = 0.0;
+      for (size_t i = 0; i < cols.size(); ++i) acc += vals[i] * x[cols[i]];
+      y[r] = acc;
+    }
+  });
 }
 
 double CsrMatrix::row_sum(size_t r) const {

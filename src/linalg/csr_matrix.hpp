@@ -41,9 +41,15 @@ class CsrMatrix {
   double at(size_t r, size_t c) const;
 
   /// y = x * M (left multiplication, row vector x of length rows()).
+  /// Scatter-form kernel: stays serial — parallel callers should multiply by
+  /// the transposed matrix with right_multiply (gather form), which computes
+  /// the same sums in the same order and parallelizes row-wise.
   void left_multiply(std::span<const double> x, std::span<double> y) const;
 
   /// y = M * x (right multiplication, column vector x of length cols()).
+  /// Gather-form kernel, row-parallel over the engine thread pool: every row
+  /// is summed by exactly one thread in column order, so the result is
+  /// bit-identical at any thread count.
   void right_multiply(std::span<const double> x, std::span<double> y) const;
 
   /// Sum of entries of row r.

@@ -3,16 +3,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/krylov.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace autosec::linalg {
 
-IterativeResult solve_fixpoint(const CsrMatrix& A, const std::vector<double>& b,
-                               const IterativeOptions& options) {
+namespace {
+
+/// Gauss-Seidel sweeps for x = A·x + b — the original solver, now one of the
+/// methods solve_fixpoint dispatches between.
+IterativeResult fixpoint_gauss_seidel(const CsrMatrix& A,
+                                      const std::vector<double>& b,
+                                      const IterativeOptions& options) {
   const size_t n = A.rows();
-  if (A.cols() != n || b.size() != n) {
-    throw std::invalid_argument("solve_fixpoint: dimension mismatch");
-  }
   IterativeResult result;
   result.x.assign(n, 0.0);
   std::vector<double>& x = result.x;
@@ -46,6 +49,30 @@ IterativeResult solve_fixpoint(const CsrMatrix& A, const std::vector<double>& b,
     }
   }
   return result;
+}
+
+}  // namespace
+
+IterativeResult solve_fixpoint(const CsrMatrix& A, const std::vector<double>& b,
+                               const IterativeOptions& options) {
+  const size_t n = A.rows();
+  if (A.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve_fixpoint: dimension mismatch");
+  }
+  switch (options.method) {
+    case FixpointMethod::kGaussSeidel:
+      return fixpoint_gauss_seidel(A, b, options);
+    case FixpointMethod::kKrylov:
+      return solve_fixpoint_krylov(A, b, options);
+    case FixpointMethod::kAuto: {
+      IterativeResult result = solve_fixpoint_krylov(A, b, options);
+      if (result.converged) return result;
+      // Breakdown or stagnation — rare, but the contracting sweeps always
+      // converge, so the combined method is as robust as Gauss-Seidel alone.
+      return fixpoint_gauss_seidel(A, b, options);
+    }
+  }
+  throw std::logic_error("solve_fixpoint: unknown method");
 }
 
 IterativeResult stationary_from_transposed(const CsrMatrix& Qt,

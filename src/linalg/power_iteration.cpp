@@ -16,8 +16,12 @@ IterativeResult stationary_power_iteration(const CsrMatrix& P,
   result.x.assign(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
 
+  // π·P computed as Pᵀ·π: the gather form sums each entry in the same order
+  // as the serial scatter kernel but runs row-parallel.
+  const CsrMatrix Pt = P.transposed();
+
   for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
-    P.left_multiply(result.x, next);
+    Pt.right_multiply(result.x, next);
     normalize_l1(next);
     const double delta = max_abs_diff(result.x, next);
     result.x.swap(next);

@@ -1,0 +1,160 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace autosec::util {
+
+namespace {
+
+// True on threads currently executing inside a parallel region (pool workers
+// permanently; the calling thread while it participates). Nested
+// parallel_for calls from such threads run inline.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t lanes = std::max<size_t>(threads, 1);
+  workers_.reserve(lanes - 1);
+  for (size_t i = 0; i + 1 < lanes; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_chunks() {
+  while (true) {
+    const size_t start = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (start >= end_) break;
+    const size_t stop = std::min(start + chunk_, end_);
+    try {
+      (*fn_)(start, stop);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_in_parallel_region = true;  // workers never open their own region
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || job_id_ != seen; });
+      if (stop_) return;
+      seen = job_id_;
+    }
+    run_chunks();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(size_t begin, size_t end, size_t grain,
+                              const ChunkFn& fn) {
+  if (begin >= end) return;
+  const size_t count = end - begin;
+  const size_t min_chunk = std::max<size_t>(grain, 1);
+  if (t_in_parallel_region || workers_.empty() || count <= min_chunk) {
+    fn(begin, end);
+    return;
+  }
+
+  std::lock_guard<std::mutex> call_lock(call_mutex_);
+  // ~4 chunks per lane for load balance; never below the grain.
+  const size_t chunk =
+      std::max(min_chunk, (count + 4 * size() - 1) / (4 * size()));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    next_.store(begin, std::memory_order_relaxed);
+    end_ = end;
+    chunk_ = chunk;
+    fn_ = &fn;
+    error_ = nullptr;
+    workers_done_ = 0;
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+
+  t_in_parallel_region = true;
+  run_chunks();
+  t_in_parallel_region = false;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_done_ == workers_.size(); });
+  fn_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+size_t g_pool_size = 0;       // lanes of the live pool
+size_t g_thread_override = 0; // 0 = automatic
+
+size_t automatic_thread_count() {
+  if (const char* env = std::getenv("AUTOSEC_THREADS")) {
+    char* tail = nullptr;
+    const long parsed = std::strtol(env, &tail, 10);
+    if (tail != env && *tail == '\0' && parsed > 0) {
+      return std::min<long>(parsed, 1024);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+size_t thread_count() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return g_thread_override > 0 ? g_thread_override : automatic_thread_count();
+}
+
+void set_thread_count(size_t threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_thread_override = threads;
+  g_pool.reset();  // rebuilt to the new size on next use
+  g_pool_size = 0;
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const size_t want =
+      g_thread_override > 0 ? g_thread_override : automatic_thread_count();
+  if (!g_pool || g_pool_size != want) {
+    g_pool.reset();  // join old workers before starting new ones
+    g_pool = std::make_unique<ThreadPool>(want);
+    g_pool_size = want;
+  }
+  return *g_pool;
+}
+
+void parallel_for(size_t begin, size_t end, size_t grain, const ChunkFn& fn) {
+  if (begin >= end) return;
+  if (t_in_parallel_region || end - begin <= std::max<size_t>(grain, 1)) {
+    fn(begin, end);
+    return;
+  }
+  global_pool().parallel_for(begin, end, grain, fn);
+}
+
+}  // namespace autosec::util

@@ -1,0 +1,90 @@
+// Fixed-size thread pool with a blocking parallel_for over index ranges —
+// the execution backend of the staged analysis engine. Design constraints:
+//
+//  * Determinism: parallel_for only partitions the index range; a chunk
+//    [i, j) always runs the same code on the same indices, so any kernel
+//    whose chunks write disjoint outputs produces bit-identical results at
+//    1, 2 or N threads. Kernels that would need a reduction across chunks
+//    (dot products, scatter-style SpMV) are deliberately left serial.
+//  * One pool per process: workers are started once and reused; a
+//    parallel_for from inside a worker (nested parallelism) degrades to a
+//    serial loop instead of deadlocking or oversubscribing.
+//  * Thread count: set_thread_count() override, else the AUTOSEC_THREADS
+//    environment variable, else std::thread::hardware_concurrency().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace autosec::util {
+
+/// A chunk handler: process indices [begin, end).
+using ChunkFn = std::function<void(size_t begin, size_t end)>;
+
+class ThreadPool {
+ public:
+  /// Pool with `threads` total execution lanes (including the calling
+  /// thread); clamped to >= 1. A 1-thread pool starts no workers and runs
+  /// everything inline.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (workers + the calling thread).
+  size_t size() const { return workers_.size() + 1; }
+
+  /// Run fn over [begin, end) split into chunks of at least `grain` indices;
+  /// blocks until every chunk is done. The calling thread participates. The
+  /// first exception thrown by a chunk is rethrown here after the range is
+  /// drained. Serial fast paths: single-lane pool, range <= grain, or a call
+  /// from inside another parallel_for (nested regions run inline).
+  void parallel_for(size_t begin, size_t end, size_t grain, const ChunkFn& fn);
+
+ private:
+  void worker_loop();
+  void run_chunks();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  uint64_t job_id_ = 0;        // bumped per parallel_for; workers watch it
+  size_t workers_done_ = 0;    // workers finished with the current job
+
+  // Current job (valid while a parallel_for is in flight).
+  std::atomic<size_t> next_{0};
+  size_t end_ = 0;
+  size_t chunk_ = 1;
+  const ChunkFn* fn_ = nullptr;
+  std::exception_ptr error_;
+
+  std::mutex call_mutex_;  // serializes top-level parallel_for calls
+};
+
+/// Resolved engine thread count: set_thread_count() override if set, else
+/// AUTOSEC_THREADS, else hardware concurrency (>= 1 always).
+size_t thread_count();
+
+/// Override the engine thread count (0 restores the automatic choice). The
+/// process-wide pool is rebuilt on the next use. Not safe to call while
+/// parallel work is in flight.
+void set_thread_count(size_t threads);
+
+/// The process-wide pool, sized to thread_count() (rebuilt after
+/// set_thread_count()).
+ThreadPool& global_pool();
+
+/// global_pool().parallel_for with the serial fast paths applied first.
+void parallel_for(size_t begin, size_t end, size_t grain, const ChunkFn& fn);
+
+}  // namespace autosec::util

@@ -202,5 +202,61 @@ TEST(Analyzer, HorizonScalesBreachProbability) {
   EXPECT_LT(p_short, p_long);
 }
 
+
+// --- staged batch engine --------------------------------------------------
+
+TEST(Analyzer, BatchReportExploresExactlyOncePerOverrideSet) {
+  const Architecture arch = casestudy::architecture(1, Protection::kAes128);
+  const ArchitectureReport report =
+      analyze_architecture_report(arch, fast_options());
+  // The acceptance counter: one combined model serves every (message,
+  // category) pair — a single compile and a single exploration.
+  EXPECT_EQ(report.stats.compile_count, 1u);
+  EXPECT_EQ(report.stats.explore_count, 1u);
+  EXPECT_EQ(report.results.size(), arch.messages.size() * 3);
+  EXPECT_EQ(report.stats.check_count, report.results.size() * 4);
+}
+
+TEST(Analyzer, BatchReportMatchesLegacyPerPairModels) {
+  const Architecture arch = casestudy::architecture(2, Protection::kCmac128);
+
+  AnalysisOptions legacy = fast_options();
+  legacy.batch_model = false;
+  legacy.parallel_solves = false;
+  const std::vector<AnalysisResult> reference = analyze_architecture(arch, legacy);
+
+  const std::vector<AnalysisResult> batch =
+      analyze_architecture(arch, fast_options());
+
+  ASSERT_EQ(batch.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(batch[i].message, reference[i].message);
+    EXPECT_EQ(batch[i].category, reference[i].category);
+    EXPECT_NEAR(batch[i].exploitable_fraction, reference[i].exploitable_fraction,
+                1e-9);
+    EXPECT_NEAR(batch[i].breach_probability, reference[i].breach_probability, 1e-9);
+    EXPECT_NEAR(batch[i].steady_state_fraction, reference[i].steady_state_fraction,
+                1e-9);
+    if (std::isinf(reference[i].mean_time_to_breach)) {
+      EXPECT_TRUE(std::isinf(batch[i].mean_time_to_breach));
+    } else {
+      EXPECT_NEAR(batch[i].mean_time_to_breach, reference[i].mean_time_to_breach,
+                  1e-9 * std::max(1.0, reference[i].mean_time_to_breach));
+    }
+  }
+}
+
+TEST(Analyzer, SingleModelOverridesForceLegacyPath) {
+  const Architecture arch = casestudy::architecture(1, Protection::kAes128);
+  AnalysisOptions options = fast_options();
+  options.constant_overrides = {{kMessageEtaConstant, symbolic::Value::of(0.5)}};
+  // The per-message constants only exist in single-pair models; the report
+  // must fall back to one model per pair instead of failing to compile.
+  const ArchitectureReport report = analyze_architecture_report(
+      arch, options, {SecurityCategory::kConfidentiality});
+  EXPECT_EQ(report.results.size(), arch.messages.size());
+  EXPECT_EQ(report.stats.explore_count, arch.messages.size());
+}
+
 }  // namespace
 }  // namespace autosec::automotive

@@ -1,0 +1,130 @@
+#include "csl/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "csl/checker.hpp"
+#include "symbolic/builder.hpp"
+
+namespace autosec::csl {
+namespace {
+
+using symbolic::Expr;
+
+/// Two-state repair model with overridable rates (x=0 healthy, x=1 broken).
+symbolic::Model repair_model(double a, double b) {
+  symbolic::ModelBuilder builder;
+  builder.constant_double("a", a);
+  builder.constant_double("b", b);
+  auto& m = builder.module("unit");
+  m.variable("x", 0, 1, 0);
+  m.command(Expr::ident("x") == Expr::literal(0), Expr::ident("a"),
+            {{"x", Expr::literal(1)}});
+  m.command(Expr::ident("x") == Expr::literal(1), Expr::ident("b"),
+            {{"x", Expr::literal(0)}});
+  builder.label("broken", Expr::ident("x") == Expr::literal(1));
+  builder.state_reward("downtime", Expr::ident("x") == Expr::literal(1),
+                       Expr::literal(1.0));
+  return builder.build();
+}
+
+const std::vector<std::string> kProperties = {
+    "P=? [ F<=0.5 \"broken\" ]",
+    "P=? [ F \"broken\" ]",
+    "S=? [ \"broken\" ]",
+    "R{\"downtime\"}=? [ C<=1 ]",
+    "R{\"downtime\"}=? [ F \"broken\" ]",
+};
+
+TEST(EngineSession, OneExplorationServesManyProperties) {
+  EngineSession session(repair_model(2.0, 6.0));
+  for (const std::string& property : kProperties) session.check(property);
+  // The acceptance counter: however many properties ran, the model was
+  // compiled and the state space explored exactly once.
+  EXPECT_EQ(session.stats().compile_count, 1u);
+  EXPECT_EQ(session.stats().explore_count, 1u);
+  EXPECT_EQ(session.stats().check_count, kProperties.size());
+}
+
+TEST(EngineSession, SteadyAndUniformizedStagesAreSharedAcrossProperties) {
+  EngineSession session(repair_model(2.0, 6.0));
+  session.check("S=? [ \"broken\" ]");
+  session.check("S=? [ x=0 ]");
+  session.check("R{\"downtime\"}=? [ C<=1 ]");
+  session.check("R{\"downtime\"}=? [ C<=2 ]");
+  EXPECT_EQ(session.stats().steady_state_count, 1u);
+  EXPECT_EQ(session.stats().uniformize_count, 1u);
+}
+
+TEST(EngineSession, CheckAllAgreesWithSequentialChecks) {
+  EngineSession sequential(repair_model(2.0, 6.0));
+  std::vector<double> expected;
+  for (const std::string& property : kProperties) {
+    expected.push_back(sequential.check(property));
+  }
+
+  for (const bool parallel : {false, true}) {
+    SessionOptions options;
+    options.parallel_properties = parallel;
+    EngineSession session(repair_model(2.0, 6.0), options);
+    const std::vector<double> values = session.check_all(kProperties);
+    ASSERT_EQ(values.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_DOUBLE_EQ(values[i], expected[i]) << kProperties[i];
+    }
+    EXPECT_EQ(session.stats().explore_count, 1u);
+  }
+}
+
+TEST(EngineSession, OverrideRekeyingKeepsEarlierStagesCached) {
+  EngineSession session(repair_model(2.0, 6.0));
+  const double p_base = session.check("S=? [ \"broken\" ]");
+  EXPECT_NEAR(p_base, 2.0 / 8.0, 1e-9);
+
+  session.set_constant_overrides({{"a", symbolic::Value::of(6.0)}});
+  const double p_override = session.check("S=? [ \"broken\" ]");
+  EXPECT_NEAR(p_override, 6.0 / 12.0, 1e-9);
+  EXPECT_EQ(session.stats().explore_count, 2u);
+
+  // Returning to the original key must reuse the cached stage set: the
+  // explore counter stays at two.
+  session.set_constant_overrides({});
+  EXPECT_NEAR(session.check("S=? [ \"broken\" ]"), p_base, 1e-15);
+  EXPECT_EQ(session.stats().explore_count, 2u);
+}
+
+TEST(EngineSession, OverrideCacheKeyIsOrderInsensitive) {
+  const std::vector<std::pair<std::string, symbolic::Value>> ab = {
+      {"a", symbolic::Value::of(1.0)}, {"b", symbolic::Value::of(2.0)}};
+  const std::vector<std::pair<std::string, symbolic::Value>> ba = {
+      {"b", symbolic::Value::of(2.0)}, {"a", symbolic::Value::of(1.0)}};
+  EXPECT_EQ(override_cache_key(ab), override_cache_key(ba));
+  EXPECT_NE(override_cache_key(ab), override_cache_key({}));
+}
+
+TEST(EngineSession, CheckerFacadeDelegatesToSession) {
+  auto session = std::make_shared<EngineSession>(repair_model(2.0, 6.0));
+  Checker checker(session);
+  const double via_facade = checker.check("S=? [ \"broken\" ]");
+  const double direct = session->check("S=? [ \"broken\" ]");
+  EXPECT_DOUBLE_EQ(via_facade, direct);
+  // Both calls hit the same cached pipeline.
+  EXPECT_EQ(session->stats().explore_count, 1u);
+  EXPECT_EQ(session->stats().steady_state_count, 1u);
+}
+
+TEST(EngineSession, SpaceAdoptingSessionRejectsOverrides) {
+  const auto compiled = symbolic::compile(repair_model(2.0, 6.0));
+  auto space =
+      std::make_shared<const symbolic::StateSpace>(symbolic::explore(compiled));
+  EngineSession session(space);
+  EXPECT_NEAR(session.check("S=? [ \"broken\" ]"), 0.25, 1e-9);
+  EXPECT_THROW(session.set_constant_overrides({{"a", symbolic::Value::of(1.0)}}),
+               PropertyError);
+}
+
+}  // namespace
+}  // namespace autosec::csl

@@ -110,5 +110,43 @@ INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonSweep,
                          ::testing::Values(0.05, 0.5, 1.0, 2.0, 8.0, 52.0, 104.0,
                                            1000.0, 8760.0));
 
+
+TEST(PoissonCache, RepeatedHorizonHitsTheCache) {
+  reset_poisson_cache();
+  const auto first = poisson_weights_cached(52.0, 1e-12);
+  PoissonCacheStats stats = poisson_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  const auto second = poisson_weights_cached(52.0, 1e-12);
+  stats = poisson_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  // Same shared vector, not a recomputation.
+  EXPECT_EQ(first.get(), second.get());
+
+  // A different lambda or epsilon is a distinct entry.
+  poisson_weights_cached(53.0, 1e-12);
+  poisson_weights_cached(52.0, 1e-10);
+  stats = poisson_cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.entries, 3u);
+  reset_poisson_cache();
+}
+
+TEST(PoissonCache, CachedWeightsMatchDirectComputation) {
+  reset_poisson_cache();
+  const PoissonWeights direct = poisson_weights(104.0, 1e-12);
+  const auto cached = poisson_weights_cached(104.0, 1e-12);
+  ASSERT_EQ(cached->weights.size(), direct.weights.size());
+  EXPECT_EQ(cached->left, direct.left);
+  EXPECT_EQ(cached->right, direct.right);
+  for (size_t k = 0; k < direct.weights.size(); ++k) {
+    EXPECT_EQ(cached->weights[k], direct.weights[k]);
+  }
+  reset_poisson_cache();
+}
+
 }  // namespace
 }  // namespace autosec::ctmc

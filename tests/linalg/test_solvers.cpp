@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/gauss_seidel.hpp"
+#include "linalg/krylov.hpp"
 #include "linalg/power_iteration.hpp"
 
 namespace autosec::linalg {
@@ -126,6 +127,83 @@ TEST(IterativeOptions, MaxIterationsRespected) {
   const auto result = stationary_from_transposed(two_state_transposed(2.0, 6.0), options);
   EXPECT_FALSE(result.converged);
   EXPECT_EQ(result.iterations, 1u);
+}
+
+
+// --- Krylov acceleration --------------------------------------------------
+
+/// A stiff substochastic block: a long one-way chain with a strong "reset"
+/// back to state 0 and a tiny leak to the (implicit) target — the shape of
+/// the embedded DTMC of a patched attack chain. Gauss-Seidel needs thousands
+/// of sweeps on it; BiCGSTAB a few dozen steps.
+CsrMatrix stiff_block(size_t n, double leak) {
+  CsrBuilder builder(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    const double forward = 1.0 - leak;
+    if (i + 1 < n) {
+      builder.add(i, i + 1, forward * 0.6);
+      builder.add(i, 0, forward * 0.4);
+    } else {
+      builder.add(i, 0, forward);
+    }
+  }
+  return std::move(builder).build();
+}
+
+TEST(SolveFixpointKrylov, MatchesGaussSeidelOnStiffSystem) {
+  const CsrMatrix A = stiff_block(200, 1e-3);
+  std::vector<double> b(200, 0.0);
+  for (size_t i = 0; i < b.size(); ++i) b[i] = 1e-3 * (1.0 + 0.001 * i);
+
+  IterativeOptions gs;
+  gs.method = FixpointMethod::kGaussSeidel;
+  const auto reference = solve_fixpoint(A, b, gs);
+  ASSERT_TRUE(reference.converged);
+
+  IterativeOptions krylov;
+  krylov.method = FixpointMethod::kKrylov;
+  const auto accelerated = solve_fixpoint(A, b, krylov);
+  ASSERT_TRUE(accelerated.converged);
+  // Far fewer iterations (each Krylov step is two matvecs ~ two sweeps).
+  EXPECT_LT(accelerated.iterations * 4, reference.iterations);
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(accelerated.x[i], reference.x[i],
+                1e-9 * std::max(1.0, std::abs(reference.x[i])))
+        << i;
+  }
+}
+
+TEST(SolveFixpointKrylov, DefaultAutoMethodAgreesWithBothBackends) {
+  const CsrMatrix A = stiff_block(60, 1e-3);
+  std::vector<double> b(60, 1e-3);
+  const auto auto_result = solve_fixpoint(A, b);  // kAuto is the default
+  IterativeOptions gs;
+  gs.method = FixpointMethod::kGaussSeidel;
+  const auto reference = solve_fixpoint(A, b, gs);
+  ASSERT_TRUE(auto_result.converged);
+  ASSERT_TRUE(reference.converged);
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(auto_result.x[i], reference.x[i], 1e-9);
+  }
+}
+
+TEST(SolveFixpointKrylov, ZeroRhsIsImmediatelyConverged) {
+  const CsrMatrix A = stiff_block(10, 1e-3);
+  const auto result = solve_fixpoint_krylov(A, std::vector<double>(10, 0.0));
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+  for (const double v : result.x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SolveFixpointKrylov, SolvesSmallClosedFormSystem) {
+  // Same gambler system as the Gauss-Seidel test above.
+  CsrBuilder builder(2, 2);
+  builder.add(0, 1, 0.7);
+  builder.add(1, 0, 0.5);
+  const auto result = solve_fixpoint_krylov(std::move(builder).build(), {0.3, 0.0});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 6.0 / 13.0, 1e-10);
+  EXPECT_NEAR(result.x[1], 3.0 / 13.0, 1e-10);
 }
 
 }  // namespace

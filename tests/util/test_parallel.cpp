@@ -1,0 +1,162 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+#include "ctmc/steady_state.hpp"
+#include "ctmc/transient.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace autosec::util {
+namespace {
+
+/// Restores the automatic thread count when a test exits.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_thread_count(0); }
+};
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> touched(kCount);
+  parallel_for(0, kCount, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyRangeDoesNotInvokeBody) {
+  bool called = false;
+  parallel_for(5, 5, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, RespectsGrainForSmallRanges) {
+  // A range no larger than the grain must run as one serial chunk.
+  std::vector<std::pair<size_t, size_t>> chunks;
+  parallel_for(0, 8, 8, [&](size_t begin, size_t end) {
+    chunks.emplace_back(begin, end);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<size_t, size_t>{0, 8}));
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  std::atomic<size_t> total{0};
+  parallel_for(0, 16, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      // Inner parallel_for from a pool lane must degrade to a serial loop
+      // instead of deadlocking on the pool.
+      parallel_for(0, 10, 1, [&](size_t b, size_t e) { total.fetch_add(e - b); });
+    }
+  });
+  EXPECT_EQ(total.load(), 160u);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  EXPECT_THROW(
+      parallel_for(0, 100, 1,
+                   [&](size_t begin, size_t) {
+                     if (begin >= 50) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after an exception drained the range.
+  std::atomic<size_t> count{0};
+  parallel_for(0, 64, 1, [&](size_t b, size_t e) { count.fetch_add(e - b); });
+  EXPECT_EQ(count.load(), 64u);
+}
+
+TEST(ThreadCount, OverrideWinsOverEnvironment) {
+  ThreadCountGuard guard;
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  set_thread_count(0);
+  EXPECT_GE(thread_count(), 1u);
+}
+
+TEST(ThreadCount, ReadsEnvironmentWhenAutomatic) {
+  ThreadCountGuard guard;
+  ::setenv("AUTOSEC_THREADS", "7", 1);
+  set_thread_count(0);
+  EXPECT_EQ(thread_count(), 7u);
+  ::unsetenv("AUTOSEC_THREADS");
+  EXPECT_GE(thread_count(), 1u);
+}
+
+// --- determinism of the parallel numeric kernels -------------------------
+//
+// The engine's guarantee: a kernel run at 1, 2 or 8 threads returns
+// bit-identical results, because parallel_for only partitions rows and each
+// row is summed by exactly one thread in column order.
+
+/// A stiff-ish 120-state birth-death chain with deterministic pseudo-random
+/// rates (no RNG: rates derived from the index).
+ctmc::Ctmc test_chain(size_t n = 120) {
+  linalg::CsrBuilder builder(n, n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const double up = 0.3 + 0.01 * static_cast<double>(i % 17);
+    const double down = 1.7 + 0.05 * static_cast<double>(i % 11);
+    builder.add(i, i + 1, up);
+    builder.add(i + 1, i, down);
+  }
+  return ctmc::Ctmc(std::move(builder).build());
+}
+
+template <typename Fn>
+void expect_bit_identical_across_thread_counts(Fn&& compute) {
+  ThreadCountGuard guard;
+  set_thread_count(1);
+  const std::vector<double> serial = compute();
+  for (const size_t threads : {2, 8}) {
+    set_thread_count(threads);
+    const std::vector<double> parallel = compute();
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      // Exact equality on purpose: the contract is bit-identical results.
+      EXPECT_EQ(parallel[i], serial[i]) << "index " << i << " at " << threads
+                                        << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminism, SparseMatrixVectorProduct) {
+  const ctmc::Ctmc chain = test_chain();
+  const linalg::CsrMatrix matrix = chain.rates().transposed();
+  std::vector<double> x(matrix.cols());
+  for (size_t i = 0; i < x.size(); ++i) x[i] = 1.0 / static_cast<double>(i + 1);
+  expect_bit_identical_across_thread_counts([&] {
+    std::vector<double> y(matrix.rows(), 0.0);
+    matrix.right_multiply(x, y);
+    return y;
+  });
+}
+
+TEST(ParallelDeterminism, TransientDistribution) {
+  const ctmc::Ctmc chain = test_chain();
+  std::vector<double> initial(chain.state_count(), 0.0);
+  initial[0] = 1.0;
+  expect_bit_identical_across_thread_counts(
+      [&] { return ctmc::transient_distribution(chain, initial, 0.8); });
+}
+
+TEST(ParallelDeterminism, SteadyStateDistribution) {
+  const ctmc::Ctmc chain = test_chain();
+  std::vector<double> initial(chain.state_count(), 0.0);
+  initial[0] = 1.0;
+  expect_bit_identical_across_thread_counts(
+      [&] { return ctmc::steady_state(chain, initial).distribution; });
+}
+
+}  // namespace
+}  // namespace autosec::util
