@@ -27,6 +27,7 @@
 
 #include "automotive/analyzer.hpp"
 #include "automotive/casestudy.hpp"
+#include "bench_util.hpp"
 #include "linalg/gauss_seidel.hpp"
 #include "util/parallel.hpp"
 #include "util/stopwatch.hpp"
@@ -173,6 +174,7 @@ double max_abs_difference(const std::vector<AnalysisResult>& a,
 }  // namespace
 
 int main() {
+  const bench::BenchReport report("fig5_architectures");
   std::cout << "== Figure 5: exploitability of message m within 1 year (nmax = 2) ==\n\n";
 
   util::Stopwatch serial_watch;

@@ -15,6 +15,7 @@
 #include "automotive/analyzer.hpp"
 #include "automotive/casestudy.hpp"
 #include "automotive/transform.hpp"
+#include "bench_util.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -56,6 +57,7 @@ double crossing(const std::vector<double>& xs, const std::vector<double>& ys,
 }  // namespace
 
 int main() {
+  const bench::BenchReport report("fig6_exploration");
   std::cout << "== Figure 6: parameter exploration, Architecture 1, message m ==\n";
   std::cout << "(confidentiality, unencrypted, nmax = 2; exploitability as fraction\n"
                " of one year; rates in 1/year)\n\n";

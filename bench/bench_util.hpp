@@ -1,0 +1,59 @@
+// Shared harness for the paper-figure bench binaries: every bench that
+// constructs a BenchReport records the whole run in the process-wide metrics
+// registry and serializes it to BENCH_<name>.json on exit, so CI can archive
+// per-figure engine metrics (stage spans, solver iterations, cache and pool
+// stats) next to the printed tables.
+//
+// Output directory: $AUTOSEC_BENCH_DIR when set, else the current directory.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace autosec::bench {
+
+class BenchReport {
+ public:
+  /// Enables (and resets) the global metrics registry for the lifetime of
+  /// this object; `name` becomes the BENCH_<name>.json file stem. Setting
+  /// AUTOSEC_BENCH_NO_METRICS keeps the registry off — the A/B knob for
+  /// measuring the recording overhead itself.
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    util::metrics::Registry& metrics = util::metrics::registry();
+    metrics.reset();
+    metrics.set_enabled(std::getenv("AUTOSEC_BENCH_NO_METRICS") == nullptr);
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() {
+    util::metrics::Registry& metrics = util::metrics::registry();
+    metrics.gauge("bench.wall_seconds", watch_.elapsed_seconds());
+    metrics.set_enabled(false);
+    const std::string path = output_path();
+    try {
+      metrics.write_json(path);
+      std::cerr << "metrics: " << path << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "metrics: failed to write " << path << ": " << e.what() << "\n";
+    }
+  }
+
+  std::string output_path() const {
+    std::string dir;
+    if (const char* env = std::getenv("AUTOSEC_BENCH_DIR")) dir = env;
+    if (!dir.empty() && dir.back() != '/') dir += '/';
+    return dir + "BENCH_" + name_ + ".json";
+  }
+
+ private:
+  std::string name_;
+  util::Stopwatch watch_;
+};
+
+}  // namespace autosec::bench

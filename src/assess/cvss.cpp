@@ -91,6 +91,14 @@ CvssVector parse_cvss_vector(std::string_view text) {
     }
     const std::string_view key = component.substr(0, colon);
     const std::string_view value = component.substr(colon + 1);
+    if (key == "C" || key == "I" || key == "A" || key == "E" || key == "RL" ||
+        key == "RC") {
+      // Impact / temporal components of a full CVSS v2 vector: the
+      // exploitation subscore does not use them, and several take
+      // multi-letter values (E:POC, RL:OF, RC:UR, E:ND) — accept anything.
+      continue;
+    }
+    // The exploitability components AV/AC/Au keep strict one-letter values.
     if (value.size() != 1) {
       throw std::invalid_argument("CVSS component value must be one letter: " +
                                   std::string(component));
@@ -114,10 +122,6 @@ CvssVector parse_cvss_vector(std::string_view text) {
       else if (v == 'N') out.authentication = Authentication::kNone;
       else throw std::invalid_argument("bad Au value: " + std::string(component));
       have_au = true;
-    } else if (key == "C" || key == "I" || key == "A" || key == "E" || key == "RL" ||
-               key == "RC") {
-      // Impact / temporal components of a full CVSS v2 vector: ignored, the
-      // exploitation subscore does not use them.
     } else {
       throw std::invalid_argument("unknown CVSS component: " + std::string(component));
     }

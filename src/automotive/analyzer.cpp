@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "symbolic/explorer.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/stopwatch.hpp"
 
@@ -131,6 +132,17 @@ ArchitectureReport analyze_architecture_report(
   ArchitectureReport report;
   const size_t pair_count = message_names.size() * categories.size();
   if (pair_count == 0) return report;
+
+  // Everything below — per-pair sessions or the shared batch session — nests
+  // its stage spans under "analyze/..." in the metrics registry.
+  util::metrics::ScopedSpan span("analyze");
+  {
+    util::metrics::Registry& metrics = util::metrics::registry();
+    if (metrics.enabled()) {
+      metrics.add("analyze.architectures");
+      metrics.add("analyze.pairs", pair_count);
+    }
+  }
 
   if (!options.batch_model || overrides_require_single_models(options)) {
     // Legacy path: one model per (message, category) pair. The pairs are

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/numeric.hpp"
 #include "util/strings.hpp"
 
 namespace autosec::automotive {
@@ -34,18 +35,13 @@ bool split_option(const std::string& field, std::string& key, std::string& value
   return true;
 }
 
+// util::parse_double keeps rate parsing locale-independent: a comma-decimal
+// LC_NUMERIC must not change how an .arch file reads.
 double parse_rate(const std::string& text, size_t line, const std::string& what) {
-  try {
-    size_t consumed = 0;
-    const double value = std::stod(text, &consumed);
-    if (consumed != text.size()) fail(line, "malformed " + what + ": '" + text + "'");
-    if (value < 0.0) fail(line, what + " must be non-negative");
-    return value;
-  } catch (const std::invalid_argument&) {
-    fail(line, "malformed " + what + ": '" + text + "'");
-  } catch (const std::out_of_range&) {
-    fail(line, what + " out of range: '" + text + "'");
-  }
+  const std::optional<double> value = util::parse_double(text);
+  if (!value) fail(line, "malformed " + what + ": '" + text + "'");
+  if (*value < 0.0) fail(line, what + " must be non-negative");
+  return *value;
 }
 
 Protection parse_protection(const std::string& text, size_t line) {

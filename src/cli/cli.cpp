@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -13,9 +14,12 @@
 #include "automotive/diagnostics.hpp"
 #include "automotive/transform.hpp"
 #include "csl/property_parser.hpp"
+#include "ctmc/poisson.hpp"
 #include "ctmc/simulation.hpp"
 #include "symbolic/dot.hpp"
 #include "symbolic/writer.hpp"
+#include "util/metrics.hpp"
+#include "util/numeric.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -52,26 +56,21 @@ class Args {
   size_t position_ = 0;
 };
 
+// Locale-independent flag parsing (util/numeric.hpp): flag values mean the
+// same thing whatever LC_NUMERIC the caller's shell exported.
 double parse_double(const std::string& text, const std::string& what) {
-  try {
-    size_t consumed = 0;
-    const double value = std::stod(text, &consumed);
-    if (consumed != text.size()) throw UsageError("malformed " + what + ": " + text);
-    return value;
-  } catch (const std::logic_error&) {
-    throw UsageError("malformed " + what + ": " + text);
-  }
+  const std::optional<double> value = util::parse_double(text);
+  if (!value) throw UsageError("malformed " + what + ": " + text);
+  return *value;
 }
 
 int parse_int(const std::string& text, const std::string& what) {
-  try {
-    size_t consumed = 0;
-    const int value = std::stoi(text, &consumed);
-    if (consumed != text.size()) throw UsageError("malformed " + what + ": " + text);
-    return value;
-  } catch (const std::logic_error&) {
+  const std::optional<int64_t> value = util::parse_int(text);
+  if (!value || *value < std::numeric_limits<int>::min() ||
+      *value > std::numeric_limits<int>::max()) {
     throw UsageError("malformed " + what + ": " + text);
   }
+  return static_cast<int>(*value);
 }
 
 std::vector<SecurityCategory> parse_categories(const std::string& text) {
@@ -542,32 +541,79 @@ void print_help(std::ostream& out) {
          "\n"
          "--threads N sets the engine's worker-thread count for every command\n"
          "(default: AUTOSEC_THREADS or the hardware concurrency); results are\n"
-         "identical at any thread count.\n";
+         "identical at any thread count.\n"
+         "\n"
+         "--metrics-json FILE records engine metrics for the whole run (stage\n"
+         "spans, solver iterations, Poisson cache and thread-pool stats) and\n"
+         "writes them as JSON on exit; works with every command.\n";
 }
 
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
-  Args cursor(args);
+  // --metrics-json PATH is a global flag of every command: strip it before
+  // command parsing, record the whole run, and serialize the registry on the
+  // way out (also after errors — a failed run's partial metrics still tell
+  // where it stopped).
+  std::string metrics_path;
+  std::vector<std::string> remaining;
+  remaining.reserve(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--metrics-json") {
+      if (i + 1 >= args.size()) {
+        err << "error: missing --metrics-json value\n";
+        return 1;
+      }
+      metrics_path = args[++i];
+    } else {
+      remaining.push_back(args[i]);
+    }
+  }
+  util::metrics::Registry& metrics = util::metrics::registry();
+  if (!metrics_path.empty()) {
+    metrics.reset();
+    metrics.set_enabled(true);
+  }
+  const auto write_metrics = [&](int exit_code) {
+    if (metrics_path.empty()) return;
+    metrics.gauge("cli.exit_code", exit_code);
+    metrics.gauge("cli.threads", static_cast<double>(util::thread_count()));
+    const ctmc::PoissonCacheStats poisson = ctmc::poisson_cache_stats();
+    metrics.gauge("poisson.cache_entries", static_cast<double>(poisson.entries));
+    metrics.set_enabled(false);
+    try {
+      metrics.write_json(metrics_path);
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+    }
+  };
+
+  Args cursor(remaining);
   try {
     const auto command = cursor.try_next();
     if (!command || *command == "help" || *command == "--help") {
       print_help(out);
-      return command ? 0 : 1;
+      const int code = command ? 0 : 1;
+      write_metrics(code);
+      return code;
     }
-    if (*command == "analyze") return command_analyze(cursor, out);
-    if (*command == "check") return command_check(cursor, out);
-    if (*command == "simulate") return command_simulate(cursor, out);
-    if (*command == "export-prism") return command_export_prism(cursor, out);
-    if (*command == "export-dot") return command_export_dot(cursor, out);
-    if (*command == "diagnose") return command_diagnose(cursor, out);
-    if (*command == "compare") return command_compare(cursor, out);
-    if (*command == "sweep") return command_sweep(cursor, out);
-    if (*command == "assess") return command_assess(cursor, out);
-    throw UsageError("unknown command '" + *command + "'; see 'autosec help'");
+    int code = 1;
+    if (*command == "analyze") code = command_analyze(cursor, out);
+    else if (*command == "check") code = command_check(cursor, out);
+    else if (*command == "simulate") code = command_simulate(cursor, out);
+    else if (*command == "export-prism") code = command_export_prism(cursor, out);
+    else if (*command == "export-dot") code = command_export_dot(cursor, out);
+    else if (*command == "diagnose") code = command_diagnose(cursor, out);
+    else if (*command == "compare") code = command_compare(cursor, out);
+    else if (*command == "sweep") code = command_sweep(cursor, out);
+    else if (*command == "assess") code = command_assess(cursor, out);
+    else throw UsageError("unknown command '" + *command + "'; see 'autosec help'");
+    write_metrics(code);
+    return code;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
+    write_metrics(1);
     return 1;
   }
 }

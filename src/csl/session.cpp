@@ -10,6 +10,7 @@
 #include "ctmc/rewards.hpp"
 #include "linalg/gauss_seidel.hpp"
 #include "linalg/vector_ops.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace autosec::csl {
@@ -93,16 +94,30 @@ EngineSession::Stages& EngineSession::prepare() {
     // model_ is guaranteed here: space-adopting sessions seed their stage set
     // in the constructor and cannot re-key.
     auto start = std::chrono::steady_clock::now();
-    stages.compiled = std::make_shared<const symbolic::CompiledModel>(
-        symbolic::compile(*model_, options_.constant_overrides));
+    {
+      util::metrics::ScopedSpan span("compile");
+      stages.compiled = std::make_shared<const symbolic::CompiledModel>(
+          symbolic::compile(*model_, options_.constant_overrides));
+    }
     stats_.compile_count += 1;
     stats_.compile_seconds += seconds_since(start);
 
     start = std::chrono::steady_clock::now();
-    stages.space = std::make_shared<const symbolic::StateSpace>(
-        symbolic::explore(stages.compiled, options_.explore));
+    {
+      util::metrics::ScopedSpan span("explore");
+      stages.space = std::make_shared<const symbolic::StateSpace>(
+          symbolic::explore(stages.compiled, options_.explore));
+    }
     stats_.explore_count += 1;
     stats_.explore_seconds += seconds_since(start);
+
+    util::metrics::Registry& metrics = util::metrics::registry();
+    if (metrics.enabled()) {
+      metrics.add("session.compiles");
+      metrics.add("session.explores");
+      metrics.add("explore.states", stages.space->state_count());
+      metrics.add("explore.transitions", stages.space->transition_count());
+    }
   }
   if (!stages.chain) {
     stages.chain = stages.space->to_ctmc();
@@ -130,6 +145,7 @@ const ctmc::SteadyStateResult& EngineSession::steady() {
 const ctmc::Uniformized& EngineSession::uniformized_of(Stages& stages) {
   std::lock_guard<std::mutex> lock(stages.lazy_mutex);
   if (!stages.uniformized) {
+    util::metrics::ScopedSpan span("uniformize");
     stages.uniformized =
         ctmc::uniformize(*stages.chain, options_.checker.transient);
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -141,6 +157,7 @@ const ctmc::Uniformized& EngineSession::uniformized_of(Stages& stages) {
 const ctmc::SteadyStateResult& EngineSession::steady_of(Stages& stages) {
   std::lock_guard<std::mutex> lock(stages.lazy_mutex);
   if (!stages.steady) {
+    util::metrics::ScopedSpan span("steady_state");
     stages.steady = ctmc::steady_state(*stages.chain, stages.initial,
                                        options_.checker.steady_state);
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -205,7 +222,11 @@ double EngineSession::time_bound_value(const Property& property) {
 double EngineSession::check(const Property& property) {
   Stages& stages = prepare();
   const auto start = std::chrono::steady_clock::now();
-  const double value = evaluate(stages, property);
+  double value = 0.0;
+  {
+    util::metrics::ScopedSpan span("solve");
+    value = evaluate(stages, property);
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.solve_seconds += seconds_since(start);
@@ -273,6 +294,7 @@ std::vector<double> EngineSession::check_all(std::span<const Property> propertie
   if (needs_steady) steady_of(stages);
 
   const auto start = std::chrono::steady_clock::now();
+  util::metrics::ScopedSpan span("solve");
   std::vector<double> results(properties.size(), 0.0);
   if (!options_.parallel_properties || properties.size() == 1) {
     for (size_t i = 0; i < properties.size(); ++i) {
@@ -302,6 +324,7 @@ std::vector<double> EngineSession::check_all(
 }
 
 double EngineSession::evaluate(Stages& stages, const Property& property) {
+  util::metrics::registry().add("session.properties");
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.check_count += 1;

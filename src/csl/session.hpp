@@ -45,9 +45,13 @@ struct SessionOptions {
   bool parallel_properties = true;
 };
 
-/// Cumulative per-stage counters and wall-clock timings. Counters make cache
-/// behaviour observable: a session that answered N properties with
-/// explore_count == 1 provably reused its state space.
+/// Cumulative per-stage counters and wall-clock timings — the session-local
+/// view of the pipeline. The same stage events also land in the process-wide
+/// util::metrics registry (spans "compile"/"explore"/"uniformize"/
+/// "steady_state"/"solve", counters "session.*"), which aggregates across
+/// every session of the process; this struct stays the per-session slice.
+/// Counters make cache behaviour observable: a session that answered N
+/// properties with explore_count == 1 provably reused its state space.
 struct SessionStats {
   size_t compile_count = 0;
   size_t explore_count = 0;

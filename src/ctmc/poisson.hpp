@@ -42,10 +42,17 @@ struct PoissonCacheStats {
   size_t hits = 0;
   size_t misses = 0;
   size_t entries = 0;
+  size_t evictions = 0;  ///< entries dropped by capacity eviction
 };
 
 /// Process-wide cache counters (for tests and stage reporting).
 PoissonCacheStats poisson_cache_stats();
+
+/// Change the cache capacity (clamped to >= 2, default 1024); entries beyond
+/// the new capacity are evicted oldest-first. Returns the previous capacity.
+/// When the cache fills, the oldest-inserted half is evicted — not the whole
+/// cache — so parameter sweeps straddling the limit keep a warm working set.
+size_t set_poisson_cache_capacity(size_t capacity);
 
 /// Drop all cached weights and zero the counters.
 void reset_poisson_cache();

@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "ctmc/scc.hpp"
+#include "ctmc/transient.hpp"
 #include "linalg/vector_ops.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace autosec::ctmc {
@@ -55,9 +57,9 @@ std::vector<double> bscc_stationary(const Ctmc& chain,
 SteadyStateResult steady_state(const Ctmc& chain, const std::vector<double>& initial,
                                const SteadyStateOptions& options) {
   const size_t n = chain.state_count();
-  if (initial.size() != n) {
-    throw std::invalid_argument("steady_state: initial distribution size mismatch");
-  }
+  // Same contract as transient analysis: reject negative entries and mass
+  // above 1 instead of silently folding them into the BSCC weighting.
+  check_distribution(n, initial, "steady_state");
 
   const SccDecomposition sccs = strongly_connected_components(chain.rates());
   const std::vector<uint32_t> bottoms = sccs.bottom_components();
@@ -121,6 +123,18 @@ SteadyStateResult steady_state(const Ctmc& chain, const std::vector<double>& ini
     } else {
       transient_local[s] = static_cast<uint32_t>(transient_states.size());
       transient_states.push_back(s);
+    }
+  }
+
+  {
+    util::metrics::Registry& metrics = util::metrics::registry();
+    if (metrics.enabled()) {
+      metrics.add("steady_state.solves");
+      metrics.add("steady_state.bsccs", bottoms.size());
+      metrics.add("steady_state.absorption_states", transient_states.size());
+      metrics.gauge("steady_state.last_bsccs", static_cast<double>(bottoms.size()));
+      metrics.gauge("steady_state.last_absorption_size",
+                    static_cast<double>(transient_states.size()));
     }
   }
 

@@ -2,33 +2,34 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "ctmc/poisson.hpp"
 #include "linalg/vector_ops.hpp"
+#include "util/metrics.hpp"
 
 namespace autosec::ctmc {
 
-namespace {
-
-void check_distribution(size_t state_count, const std::vector<double>& initial) {
+void check_distribution(size_t state_count, const std::vector<double>& initial,
+                        const char* what) {
+  const std::string prefix(what);
   if (initial.size() != state_count) {
-    throw std::invalid_argument("transient: initial distribution size mismatch");
+    throw std::invalid_argument(prefix + ": initial distribution size mismatch");
   }
   double total = 0.0;
   for (double p : initial) {
-    if (p < 0.0) throw std::invalid_argument("transient: negative probability");
+    if (p < 0.0) throw std::invalid_argument(prefix + ": negative probability");
     total += p;
   }
   // Subdistributions (sum < 1) are allowed: multi-phase CSL algorithms
   // (interval-bounded until) restrict distributions between phases.
   if (total > 1.0 + 1e-9) {
-    throw std::invalid_argument("transient: initial distribution sums above 1");
+    throw std::invalid_argument(prefix + ": initial distribution sums above 1");
   }
 }
 
-}  // namespace
-
 Uniformized uniformize(const Ctmc& chain, const TransientOptions& options) {
+  util::metrics::registry().add("ctmc.uniformizations");
   Uniformized out;
   out.state_count = chain.state_count();
   out.q = options.uniformization_rate > 0.0 ? options.uniformization_rate
@@ -45,6 +46,16 @@ std::vector<double> transient_distribution(const Uniformized& uniformized,
   if (t == 0.0) return initial;
 
   const auto weights = poisson_weights_cached(uniformized.q * t, options.epsilon);
+  {
+    util::metrics::Registry& metrics = util::metrics::registry();
+    if (metrics.enabled()) {
+      metrics.add("ctmc.transient_solves");
+      metrics.add("ctmc.matrix_vector_products", weights->right);
+      metrics.gauge("poisson.last_qt", uniformized.q * t);
+      metrics.gauge("poisson.last_left", static_cast<double>(weights->left));
+      metrics.gauge("poisson.last_right", static_cast<double>(weights->right));
+    }
+  }
 
   const size_t n = uniformized.state_count;
   std::vector<double> current = initial;

@@ -36,6 +36,14 @@ struct Uniformized {
 /// yield a valid identity stage.
 Uniformized uniformize(const Ctmc& chain, const TransientOptions& options = {});
 
+/// Validate an initial (sub)distribution: size match, no negative entries,
+/// total mass <= 1 (+1e-9 slack; subdistributions are legal — interval-bounded
+/// until restricts mass between phases). Throws std::invalid_argument with
+/// `what` as the message prefix. Shared by the transient and steady-state
+/// entry points so both reject malformed input identically.
+void check_distribution(size_t state_count, const std::vector<double>& initial,
+                        const char* what = "transient");
+
 /// Distribution over states at time t, starting from `initial` (a probability
 /// distribution over states). t must be >= 0; t == 0 returns `initial`.
 std::vector<double> transient_distribution(const Ctmc& chain,

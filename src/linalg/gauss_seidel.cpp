@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "linalg/krylov.hpp"
 #include "linalg/vector_ops.hpp"
+#include "util/metrics.hpp"
 
 namespace autosec::linalg {
 
@@ -53,6 +55,25 @@ IterativeResult fixpoint_gauss_seidel(const CsrMatrix& A,
 
 }  // namespace
 
+namespace {
+
+/// Per-method solver counters/gauges; the residual gauge keeps the last
+/// solve's final delta visible in metrics dumps.
+IterativeResult record_solve(const char* method, IterativeResult result) {
+  util::metrics::Registry& metrics = util::metrics::registry();
+  if (metrics.enabled()) {
+    metrics.add("solver.fixpoint_solves");
+    metrics.add(std::string("solver.") + method + "_iterations", result.iterations);
+    if (!result.converged) {
+      metrics.add(std::string("solver.") + method + "_failures");
+    }
+    metrics.gauge("solver.last_residual", result.final_delta);
+  }
+  return result;
+}
+
+}  // namespace
+
 IterativeResult solve_fixpoint(const CsrMatrix& A, const std::vector<double>& b,
                                const IterativeOptions& options) {
   const size_t n = A.rows();
@@ -61,15 +82,17 @@ IterativeResult solve_fixpoint(const CsrMatrix& A, const std::vector<double>& b,
   }
   switch (options.method) {
     case FixpointMethod::kGaussSeidel:
-      return fixpoint_gauss_seidel(A, b, options);
+      return record_solve("gauss_seidel", fixpoint_gauss_seidel(A, b, options));
     case FixpointMethod::kKrylov:
-      return solve_fixpoint_krylov(A, b, options);
+      return record_solve("krylov", solve_fixpoint_krylov(A, b, options));
     case FixpointMethod::kAuto: {
-      IterativeResult result = solve_fixpoint_krylov(A, b, options);
+      IterativeResult result =
+          record_solve("krylov", solve_fixpoint_krylov(A, b, options));
       if (result.converged) return result;
       // Breakdown or stagnation — rare, but the contracting sweeps always
       // converge, so the combined method is as robust as Gauss-Seidel alone.
-      return fixpoint_gauss_seidel(A, b, options);
+      util::metrics::registry().add("solver.krylov_fallbacks");
+      return record_solve("gauss_seidel", fixpoint_gauss_seidel(A, b, options));
     }
   }
   throw std::logic_error("solve_fixpoint: unknown method");
@@ -81,6 +104,7 @@ IterativeResult stationary_from_transposed(const CsrMatrix& Qt,
   if (Qt.cols() != n) throw std::invalid_argument("stationary: matrix must be square");
   if (n == 0) throw std::invalid_argument("stationary: empty matrix");
 
+  util::metrics::registry().add("solver.stationary_solves");
   IterativeResult result;
   if (n == 1) {
     result.x = {1.0};
@@ -123,6 +147,7 @@ IterativeResult stationary_from_transposed(const CsrMatrix& Qt,
       break;
     }
   }
+  util::metrics::registry().add("solver.stationary_iterations", result.iterations);
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <charconv>
 
+#include "util/numeric.hpp"
+
 namespace autosec::symbolic {
 
 namespace {
@@ -91,7 +93,11 @@ std::vector<Token> tokenize(std::string_view source) {
       token.text = std::string(text);
       if (is_double) {
         token.kind = TokenKind::kDouble;
-        token.double_value = std::stod(token.text);
+        // Locale-independent: model files always use '.' decimals, whatever
+        // LC_NUMERIC the host process runs under.
+        const std::optional<double> parsed = util::parse_double(text);
+        if (!parsed) fail(token.line, token.column, "malformed number");
+        token.double_value = *parsed;
       } else {
         token.kind = TokenKind::kInt;
         auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),

@@ -1,0 +1,180 @@
+#include "util/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace autosec::util::metrics {
+
+namespace {
+
+// Per-thread stack of open span names; a span records under the '/'-joined
+// path of the stack at the time it closes.
+thread_local std::vector<std::string> t_span_stack;
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan literals; clamp to null, which readers can spot.
+    return "null";
+  }
+  std::ostringstream stream;
+  stream.precision(std::numeric_limits<double>::max_digits10);
+  stream << value;
+  return stream.str();
+}
+
+}  // namespace
+
+void Registry::add_slow(std::string_view name, uint64_t delta) {
+  std::atomic<uint64_t>* counter = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(std::string(name),
+                             std::make_unique<std::atomic<uint64_t>>(0)).first;
+    }
+    counter = it->second.get();
+  }
+  counter->fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::gauge_slow(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void Registry::record_span_slow(const std::string& path, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanStats& stats = spans_[path];
+  stats.count += 1;
+  stats.seconds += seconds;
+}
+
+uint64_t Registry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->load(std::memory_order_relaxed);
+}
+
+std::optional<double> Registry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second;
+}
+
+SpanStats Registry::span_stats(std::string_view path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = spans_.find(path);
+  return it == spans_.end() ? SpanStats{} : it->second;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"schema\": \"autosec-metrics-v1\",\n  \"spans\": {";
+  bool first = true;
+  for (const auto& [path, stats] : spans_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, path);
+    out += ": {\"count\": " + std::to_string(stats.count) +
+           ", \"seconds\": " + format_double(stats.seconds) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"counters\": {";
+  first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": " + std::to_string(counter->load(std::memory_order_relaxed));
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": " + format_double(value);
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void Registry::write_json(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("metrics: cannot write '" + path + "'");
+  file << to_json();
+  if (!file) throw std::runtime_error("metrics: write failed for '" + path + "'");
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  spans_.clear();
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  if (!registry().enabled()) return;
+  active_ = true;
+  t_span_stack.emplace_back(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::string path;
+  for (const std::string& name : t_span_stack) {
+    if (!path.empty()) path += '/';
+    path += name;
+  }
+  t_span_stack.pop_back();
+  registry().record_span(path, seconds);
+}
+
+}  // namespace autosec::util::metrics

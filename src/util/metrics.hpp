@@ -1,0 +1,110 @@
+// Process-wide observability for the staged engine: named counters, gauges
+// and hierarchical timed spans, serialized to JSON for machine-readable perf
+// trajectories (CLI --metrics-json, BENCH_*.json).
+//
+// Design constraints:
+//  * Always compiled in, cheap when off: every recording call first does one
+//    relaxed atomic load of the enabled flag and returns immediately when the
+//    registry is disabled. A ScopedSpan on a disabled registry performs no
+//    clock read at all.
+//  * Thread-safe: counters are atomics (increments after the name lookup are
+//    lock-free); name lookups and span/gauge updates take one short mutex.
+//  * Hierarchy by thread: each thread keeps its own span stack, and a span's
+//    key is the '/'-joined path of the spans open on that thread ("analyze/
+//    compile"). Spans opened on pool workers therefore root at the worker.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace autosec::util::metrics {
+
+/// Aggregated timings of one span path.
+struct SpanStats {
+  uint64_t count = 0;     ///< completed spans at this path
+  double seconds = 0.0;   ///< total wall time across them
+};
+
+class Registry {
+ public:
+  /// Recording switch; disabled (the default) short-circuits every call.
+  /// Enabling does not clear previously recorded values.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Add `delta` to the named counter (created at 0 on first use).
+  void add(std::string_view name, uint64_t delta = 1) {
+    if (enabled()) add_slow(name, delta);
+  }
+
+  /// Set the named gauge to `value` (last write wins).
+  void gauge(std::string_view name, double value) {
+    if (enabled()) gauge_slow(name, value);
+  }
+
+  /// Record one completed span at `path` (called by ScopedSpan).
+  void record_span(const std::string& path, double seconds) {
+    if (enabled()) record_span_slow(path, seconds);
+  }
+
+  // --- snapshots (for tests and reporting; 0 / nullopt when absent).
+  uint64_t counter_value(std::string_view name) const;
+  std::optional<double> gauge_value(std::string_view name) const;
+  SpanStats span_stats(std::string_view path) const;
+
+  /// The whole registry as one pretty-printed JSON object:
+  ///   {"schema": "autosec-metrics-v1",
+  ///    "spans": {"<path>": {"count": N, "seconds": S}, ...},
+  ///    "counters": {"<name>": N, ...},
+  ///    "gauges": {"<name>": V, ...}}
+  /// Keys are sorted; doubles use max_digits10 so the file round-trips.
+  std::string to_json() const;
+
+  /// Serialize to_json() to `path`; throws std::runtime_error on I/O failure.
+  void write_json(const std::string& path) const;
+
+  /// Drop every recorded value (the enabled flag is kept).
+  void reset();
+
+ private:
+  void add_slow(std::string_view name, uint64_t delta);
+  void gauge_slow(std::string_view name, double value);
+  void record_span_slow(const std::string& path, double seconds);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  // unique_ptr keeps each atomic at a stable address across rehashes; an
+  // ordered map keeps the JSON output deterministic for free.
+  std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, SpanStats, std::less<>> spans_;
+};
+
+/// The process-wide registry every engine layer records into.
+Registry& registry();
+
+/// RAII timed span on the process registry. Construction pushes `name` onto
+/// the calling thread's span stack; destruction records the elapsed wall time
+/// under the '/'-joined stack path and pops. Two clock reads per span when
+/// enabled, nothing when disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace autosec::util::metrics

@@ -1,0 +1,38 @@
+#include "util/numeric.hpp"
+
+#include <charconv>
+
+namespace autosec::util {
+
+namespace {
+
+std::string_view strip_plus(std::string_view text) {
+  // std::from_chars rejects a leading '+'; the historical std::stod sites
+  // accepted it, so keep "+1.5" parsing.
+  if (text.size() > 1 && text.front() == '+') text.remove_prefix(1);
+  return text;
+}
+
+}  // namespace
+
+std::optional<double> parse_double(std::string_view text) {
+  text = strip_plus(text);
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<int64_t> parse_int(std::string_view text) {
+  text = strip_plus(text);
+  if (text.empty()) return std::nullopt;
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace autosec::util

@@ -1,0 +1,24 @@
+// Locale-independent numeric parsing. The engine's inputs — .arch files,
+// PRISM model literals, CLI flag values — are defined in the C locale, but
+// std::stod/std::stoi honour the process's LC_NUMERIC: under a comma-decimal
+// locale (de_DE, fr_FR, ...) "1.5" stops parsing at the dot and rate tables
+// silently load wrong. These helpers are built on std::from_chars and never
+// consult the locale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace autosec::util {
+
+/// Parse a double, requiring the whole string to be consumed. Accepts an
+/// optional leading '+' (std::from_chars itself does not); rejects leading
+/// whitespace, trailing garbage, hex floats and empty input. Returns nullopt
+/// on any failure, including out-of-range magnitudes.
+std::optional<double> parse_double(std::string_view text);
+
+/// Parse a base-10 signed integer with the same whole-string contract.
+std::optional<int64_t> parse_int(std::string_view text);
+
+}  // namespace autosec::util

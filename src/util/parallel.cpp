@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 
+#include "util/metrics.hpp"
+
 namespace autosec::util {
 
 namespace {
@@ -34,11 +36,13 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::run_chunks() {
+size_t ThreadPool::run_chunks() {
+  size_t chunks = 0;
   while (true) {
     const size_t start = next_.fetch_add(chunk_, std::memory_order_relaxed);
     if (start >= end_) break;
     const size_t stop = std::min(start + chunk_, end_);
+    ++chunks;
     try {
       (*fn_)(start, stop);
     } catch (...) {
@@ -46,6 +50,7 @@ void ThreadPool::run_chunks() {
       if (!error_) error_ = std::current_exception();
     }
   }
+  return chunks;
 }
 
 void ThreadPool::worker_loop() {
@@ -58,7 +63,15 @@ void ThreadPool::worker_loop() {
       if (stop_) return;
       seen = job_id_;
     }
-    run_chunks();
+    const size_t chunks = run_chunks();
+    // Lane occupancy: a worker that drew zero chunks was an idle lane for
+    // this job — the gap between jobs and busy lanes is pool oversizing.
+    if (chunks > 0) {
+      metrics::registry().add("pool.worker_chunks", chunks);
+      metrics::registry().add("pool.busy_worker_lanes");
+    } else {
+      metrics::registry().add("pool.idle_worker_lanes");
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++workers_done_;
@@ -92,10 +105,19 @@ void ThreadPool::parallel_for(size_t begin, size_t end, size_t grain,
     ++job_id_;
   }
   work_cv_.notify_all();
+  {
+    metrics::Registry& metrics = metrics::registry();
+    if (metrics.enabled()) {
+      metrics.add("pool.jobs");
+      metrics.add("pool.indices", count);
+      metrics.gauge("pool.lanes", static_cast<double>(size()));
+    }
+  }
 
   t_in_parallel_region = true;
-  run_chunks();
+  const size_t caller_chunks = run_chunks();
   t_in_parallel_region = false;
+  metrics::registry().add("pool.caller_chunks", caller_chunks);
 
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return workers_done_ == workers_.size(); });

@@ -50,7 +50,7 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void run_chunks();
+  size_t run_chunks();  ///< returns chunks executed by this lane
 
   std::vector<std::thread> workers_;
 

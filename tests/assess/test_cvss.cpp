@@ -79,6 +79,33 @@ TEST(Cvss, ParseIgnoresImpactComponents) {
   EXPECT_EQ(v.to_string(), "AV:N/AC:L/Au:N");
 }
 
+TEST(Cvss, ParseIgnoresTemporalComponents) {
+  // Regression: multi-letter temporal values (E:POC, RL:OF, RC:UR) used to be
+  // rejected by the one-letter check before the ignore list was consulted.
+  // Full NVD-style CVSS v2 base + temporal vector:
+  const CvssVector v =
+      parse_cvss_vector("AV:N/AC:H/Au:M/C:P/I:P/A:C/E:POC/RL:OF/RC:UR");
+  EXPECT_EQ(v.to_string(), "AV:N/AC:H/Au:M");
+  EXPECT_NEAR(v.exploitability_score(), 3.15, 1e-12);  // base score unaffected
+}
+
+TEST(Cvss, ParseIgnoredComponentsAcceptAnyValue) {
+  // "not defined" markers and single letters are equally fine on ignored
+  // components; the round trip always lands on the canonical base vector.
+  for (const char* text :
+       {"AV:A/AC:L/Au:S/E:ND", "AV:A/AC:L/Au:S/RL:TF/RC:C",
+        "AV:A/AC:L/Au:S/E:F/RL:W", "E:POC/AV:A/RC:UC/AC:L/RL:OF/Au:S"}) {
+    EXPECT_EQ(parse_cvss_vector(text).to_string(), "AV:A/AC:L/Au:S") << text;
+  }
+}
+
+TEST(Cvss, ParseExploitabilityValuesStayStrictlyOneLetter) {
+  // The ignore list must not loosen AV/AC/Au.
+  EXPECT_THROW(parse_cvss_vector("AV:ND/AC:H/Au:S"), std::invalid_argument);
+  EXPECT_THROW(parse_cvss_vector("AV:A/AC:ND/Au:S"), std::invalid_argument);
+  EXPECT_THROW(parse_cvss_vector("AV:A/AC:H/Au:ND"), std::invalid_argument);
+}
+
 TEST(Cvss, ParseRejectsMalformedInput) {
   EXPECT_THROW(parse_cvss_vector(""), std::invalid_argument);
   EXPECT_THROW(parse_cvss_vector("AV:A"), std::invalid_argument);  // missing AC, Au

@@ -284,5 +284,51 @@ TEST_F(CliFixture, BadFlagValueFails) {
   EXPECT_EQ(run({"analyze", *path_, "--bogus"}).exit_code, 1);
 }
 
+std::string slurp(const std::string& path) {
+  std::ifstream stream(path);
+  std::ostringstream content;
+  content << stream.rdbuf();
+  return content.str();
+}
+
+TEST_F(CliFixture, MetricsJsonRecordsEngineStages) {
+  const std::string metrics_path = ::testing::TempDir() + "/cli_metrics.json";
+  const Result result = run({"analyze", *path_, "--message", "m", "--category",
+                             "confidentiality", "--nmax", "1", "--metrics-json",
+                             metrics_path});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+
+  const std::string json = slurp(metrics_path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"schema\": \"autosec-metrics-v1\""), std::string::npos);
+  // Stage spans of the analysis pipeline (nested under the analyze span).
+  EXPECT_NE(json.find("\"analyze\""), std::string::npos);
+  EXPECT_NE(json.find("compile\""), std::string::npos);
+  EXPECT_NE(json.find("explore\""), std::string::npos);
+  EXPECT_NE(json.find("uniformize\""), std::string::npos);
+  EXPECT_NE(json.find("solve\""), std::string::npos);
+  // Engine-layer counters and gauges.
+  EXPECT_NE(json.find("\"explore.states\""), std::string::npos);
+  EXPECT_NE(json.find("\"solver.fixpoint_solves\""), std::string::npos);
+  EXPECT_NE(json.find("\"poisson.cache_"), std::string::npos);
+  EXPECT_NE(json.find("\"cli.exit_code\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"cli.threads\""), std::string::npos);
+}
+
+TEST_F(CliFixture, MetricsJsonWrittenOnFailureToo) {
+  const std::string metrics_path = ::testing::TempDir() + "/cli_metrics_fail.json";
+  const Result result =
+      run({"analyze", "/nonexistent.arch", "--metrics-json", metrics_path});
+  EXPECT_EQ(result.exit_code, 1);
+  const std::string json = slurp(metrics_path);
+  EXPECT_NE(json.find("\"cli.exit_code\": 1"), std::string::npos);
+}
+
+TEST_F(CliFixture, MetricsJsonFlagNeedsValue) {
+  const Result result = run({"analyze", *path_, "--metrics-json"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--metrics-json"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace autosec::cli

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "ctmc/poisson.hpp"
 #include "ctmc_test_helpers.hpp"
 
 namespace autosec::ctmc {
@@ -30,6 +31,33 @@ TEST(CumulativeReward, ConstantRewardAccumulatesLinearly) {
   const std::vector<double> reward = {5.0, 5.0};
   const double value = expected_cumulative_reward(chain, start_in(2, 0), reward, 2.0);
   EXPECT_NEAR(value, 10.0, 1e-9);
+}
+
+TEST(CumulativeReward, LargeHorizonExercisesTruncationTail) {
+  // At large q·t the Fox–Glynn window starts at left > 0: every Poisson index
+  // below `left` has weight 0 but still contributes full survivor mass
+  // (1 − PoisCDF(k) = 1) to the cumulative sum. A bug in that tail handling
+  // is invisible to the small-q·t tests where left == 0.
+  const double a = 40.0, b = 10.0;
+  const Ctmc chain = two_state(a, b);
+  const double t = 60.0;
+
+  // Premise check: this horizon really has a truncated left tail.
+  const double qt = chain.default_uniformization_rate() * t;
+  const PoissonWeights window = poisson_weights(qt, 1e-12);
+  ASSERT_GT(window.left, 0u);
+
+  // Closed form from p0(s) = pi0 + (1 - pi0) e^{-(a+b)s} started in state 0:
+  // E[∫r] = r0 ∫p0 + r1 (t - ∫p0).
+  const std::vector<double> reward = {2.0, 5.0};
+  const double rate_sum = a + b;
+  const double pi0 = b / rate_sum;
+  const double int_p0 =
+      pi0 * t + (1.0 - pi0) * (1.0 - std::exp(-rate_sum * t)) / rate_sum;
+  const double expected = reward[0] * int_p0 + reward[1] * (t - int_p0);
+
+  const double actual = expected_cumulative_reward(chain, start_in(2, 0), reward, t);
+  EXPECT_NEAR(actual, expected, 1e-8 * expected);
 }
 
 TEST(CumulativeReward, ZeroHorizonIsZero) {

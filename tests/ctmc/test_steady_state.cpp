@@ -106,6 +106,26 @@ TEST(SteadyState, DistributionSizeChecked) {
   EXPECT_THROW(steady_state(chain, {1.0}), std::invalid_argument);
 }
 
+TEST(SteadyState, RejectsNegativeProbabilities) {
+  // Regression: steady_state used to check only the size of the initial
+  // distribution, silently accepting values transient_distribution rejects.
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW(steady_state(chain, {1.5, -0.5}), std::invalid_argument);
+}
+
+TEST(SteadyState, RejectsMassAboveOne) {
+  const Ctmc chain = two_state(1.0, 1.0);
+  EXPECT_THROW(steady_state(chain, {0.7, 0.7}), std::invalid_argument);
+}
+
+TEST(SteadyState, AcceptsSubdistributions) {
+  // Sub-stochastic initial vectors are legal, exactly as in transient
+  // analysis (interval-bounded CSL restricts mass between phases).
+  const Ctmc chain = two_state(1.0, 1.0);
+  const auto result = steady_state(chain, {0.5, 0.0});
+  EXPECT_NEAR(result.distribution[0] + result.distribution[1], 0.5, 1e-9);
+}
+
 class SteadyStateRates : public ::testing::TestWithParam<std::tuple<double, double>> {};
 
 TEST_P(SteadyStateRates, TwoStateClosedForm) {

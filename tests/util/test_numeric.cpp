@@ -1,0 +1,101 @@
+#include "util/numeric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdint>
+#include <string>
+
+#include "symbolic/lexer.hpp"
+
+namespace autosec::util {
+namespace {
+
+TEST(ParseDouble, AcceptsPlainAndScientificForms) {
+  EXPECT_DOUBLE_EQ(*parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-2.25"), -2.25);
+  EXPECT_DOUBLE_EQ(*parse_double("+0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*parse_double("3e2"), 300.0);
+  EXPECT_DOUBLE_EQ(*parse_double("1.25E-2"), 0.0125);
+  EXPECT_DOUBLE_EQ(*parse_double("42"), 42.0);
+  EXPECT_DOUBLE_EQ(*parse_double(".5"), 0.5);
+}
+
+TEST(ParseDouble, RejectsPartialAndMalformedInput) {
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("+"));
+  EXPECT_FALSE(parse_double("1.5x"));
+  EXPECT_FALSE(parse_double(" 1.5"));
+  EXPECT_FALSE(parse_double("1.5 "));
+  EXPECT_FALSE(parse_double("1,5"));
+  EXPECT_FALSE(parse_double("++1"));
+  EXPECT_FALSE(parse_double("1e999"));  // overflows double
+}
+
+TEST(ParseInt, AcceptsSignedBase10) {
+  EXPECT_EQ(*parse_int("42"), 42);
+  EXPECT_EQ(*parse_int("-7"), -7);
+  EXPECT_EQ(*parse_int("+7"), 7);
+  EXPECT_EQ(*parse_int("0"), 0);
+  EXPECT_EQ(*parse_int("9223372036854775807"), INT64_MAX);
+}
+
+TEST(ParseInt, RejectsNonIntegersAndOverflow) {
+  EXPECT_FALSE(parse_int(""));
+  EXPECT_FALSE(parse_int("+"));
+  EXPECT_FALSE(parse_int("12.5"));
+  EXPECT_FALSE(parse_int("12x"));
+  EXPECT_FALSE(parse_int(" 12"));
+  EXPECT_FALSE(parse_int("9223372036854775808"));  // INT64_MAX + 1
+}
+
+/// Restores the process locale on scope exit.
+class LocaleGuard {
+ public:
+  LocaleGuard() : saved_(std::setlocale(LC_ALL, nullptr)) {}
+  ~LocaleGuard() { std::setlocale(LC_ALL, saved_.c_str()); }
+
+ private:
+  std::string saved_;
+};
+
+/// Try to switch LC_ALL to any comma-decimal locale the host provides.
+bool enter_comma_decimal_locale() {
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8",
+                           "fr_FR.utf8", "fr_FR", "it_IT.UTF-8", "es_ES.UTF-8"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      const std::lconv* conv = std::localeconv();
+      if (conv && conv->decimal_point && conv->decimal_point[0] == ',') return true;
+    }
+  }
+  return false;
+}
+
+TEST(ParseDouble, IndependentOfCommaDecimalLocale) {
+  // Regression: std::stod honours LC_NUMERIC, so "1.5" parsed as 1.0 under a
+  // comma-decimal locale. util::parse_double must not care.
+  LocaleGuard guard;
+  if (!enter_comma_decimal_locale()) {
+    GTEST_SKIP() << "no comma-decimal locale installed on this host";
+  }
+  EXPECT_DOUBLE_EQ(*parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parse_double("2.75e-3"), 0.00275);
+  EXPECT_FALSE(parse_double("1,5"));  // comma never becomes a decimal point
+}
+
+TEST(ParseDouble, LexerDoubleTokensIndependentOfLocale) {
+  // The PRISM-model lexer is a parse_double consumer: model rate literals
+  // must mean the same thing under any host locale.
+  LocaleGuard guard;
+  if (!enter_comma_decimal_locale()) {
+    GTEST_SKIP() << "no comma-decimal locale installed on this host";
+  }
+  const auto tokens = symbolic::tokenize("1.5 2.5e-1");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, symbolic::TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[0].double_value, 1.5);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 0.25);
+}
+
+}  // namespace
+}  // namespace autosec::util
