@@ -1,0 +1,31 @@
+// Standalone replay driver: runs each file argument through the linked
+// harness's LLVMFuzzerTestOneInput once. This is the gcc-friendly build of
+// the fuzz targets — no libFuzzer needed — used by the corpus replay tests
+// and for reproducing crash inputs saved by a coverage-guided run.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s input-file...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+  }
+  std::printf("replayed %d inputs\n", argc - 1);
+  return 0;
+}

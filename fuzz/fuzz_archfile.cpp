@@ -1,0 +1,26 @@
+// libFuzzer harness for the .arch architecture-file loader. Malformed input
+// must be rejected with ArchFileError (or ArchitectureError from validation);
+// an accepted architecture must survive the writer → parser round-trip with
+// a textual fixpoint.
+#include <cstdint>
+#include <string>
+
+#include "automotive/architecture.hpp"
+#include "automotive/archfile.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  autosec::automotive::Architecture arch;
+  try {
+    arch = autosec::automotive::parse_architecture(text);
+  } catch (const autosec::automotive::ArchFileError&) {
+    return 0;
+  } catch (const autosec::automotive::ArchitectureError&) {
+    return 0;
+  }
+  const std::string once = autosec::automotive::write_architecture(arch);
+  const std::string twice = autosec::automotive::write_architecture(
+      autosec::automotive::parse_architecture(once));
+  if (once != twice) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// libFuzzer harness for the PRISM-subset lexer and model parser. Any byte
+// string may be rejected with a parse-layer error; an input that parses must
+// additionally survive the writer → parser round-trip with a textual
+// fixpoint (the same invariant the differential harness enforces on
+// generated models). Anything else — crash, sanitizer report, uncaught
+// exception, broken fixpoint — is a finding.
+#include <cstdint>
+#include <string>
+
+#include "symbolic/lexer.hpp"
+#include "symbolic/model.hpp"
+#include "symbolic/parser.hpp"
+#include "symbolic/writer.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  autosec::symbolic::Model model;
+  try {
+    model = autosec::symbolic::parse_model(text);
+  } catch (const autosec::symbolic::LexError&) {
+    return 0;
+  } catch (const autosec::symbolic::ParseError&) {
+    return 0;
+  } catch (const autosec::symbolic::ModelError&) {
+    return 0;
+  } catch (const autosec::symbolic::EvalError&) {
+    return 0;
+  }
+  // Accepted input: the writer must emit text the parser accepts again, and
+  // writing the reparse must reproduce that text exactly.
+  const std::string once = autosec::symbolic::write_model(model);
+  const std::string twice =
+      autosec::symbolic::write_model(autosec::symbolic::parse_model(once));
+  if (once != twice) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,21 @@
+// libFuzzer harness for the CSL property parser. Malformed property text
+// must be rejected with PropertyError (or a lexer/parser error from the
+// shared expression layer); everything else is a finding.
+#include <cstdint>
+#include <string>
+
+#include "csl/property.hpp"
+#include "csl/property_parser.hpp"
+#include "symbolic/lexer.hpp"
+#include "symbolic/parser.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)autosec::csl::parse_property(text);
+  } catch (const autosec::csl::PropertyError&) {
+  } catch (const autosec::symbolic::LexError&) {
+  } catch (const autosec::symbolic::ParseError&) {
+  }
+  return 0;
+}

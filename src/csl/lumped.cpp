@@ -5,6 +5,7 @@
 
 #include "csl/property_parser.hpp"
 #include "ctmc/rewards.hpp"
+#include "ctmc/scc.hpp"
 #include "ctmc/steady_state.hpp"
 #include "ctmc/transient.hpp"
 #include "linalg/vector_ops.hpp"
@@ -13,23 +14,37 @@ namespace autosec::csl {
 
 namespace {
 
-/// Quotient-space reachability probability (least fixpoint on the embedded
-/// DTMC), mirroring Checker::reachability_probabilities.
+/// Quotient-space reachability probability (Prob0/Prob1 precomputation plus
+/// a least fixpoint on the embedded DTMC over the uncertain states),
+/// mirroring EngineSession::reachability_probabilities.
 std::vector<double> quotient_reachability(const ctmc::Ctmc& chain,
                                           const std::vector<bool>& target,
                                           const CheckerOptions& options) {
   const size_t n = chain.state_count();
+  const ctmc::ReachabilityClassification classes =
+      ctmc::classify_reachability(chain.rates(), target);
+  std::vector<double> x(n, 0.0);
+  bool any_uncertain = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (classes.certain[i]) {
+      x[i] = 1.0;
+    } else if (classes.possible[i]) {
+      any_uncertain = true;
+    }
+  }
+  if (!any_uncertain) return x;
+
   const linalg::CsrMatrix embedded = chain.embedded_dtmc();
   linalg::CsrBuilder block(n, n);
   std::vector<double> one_step(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
-    if (target[i]) continue;
+    if (classes.certain[i] || !classes.possible[i]) continue;
     const auto cols = embedded.row_columns(i);
     const auto vals = embedded.row_values(i);
     for (size_t k = 0; k < cols.size(); ++k) {
-      if (target[cols[k]]) {
+      if (classes.certain[cols[k]]) {
         one_step[i] += vals[k];
-      } else if (cols[k] != i) {
+      } else if (classes.possible[cols[k]]) {
         block.add(i, cols[k], vals[k]);
       }
     }
@@ -39,9 +54,8 @@ std::vector<double> quotient_reachability(const ctmc::Ctmc& chain,
   if (!solved.converged) {
     throw PropertyError("lumped reachability fixpoint did not converge");
   }
-  std::vector<double> x = std::move(solved.x);
   for (size_t i = 0; i < n; ++i) {
-    if (target[i]) x[i] = 1.0;
+    if (!classes.certain[i] && classes.possible[i]) x[i] = solved.x[i];
   }
   return x;
 }
@@ -175,22 +189,30 @@ LumpedCheckResult check_lumped(const symbolic::StateSpace& space,
       break;
     case PropertyKind::kReachabilityReward: {
       const std::vector<bool> target = right_mask();
-      const std::vector<double> reach =
-          quotient_reachability(quotient, target, options);
-      if (linalg::dot(q_initial, reach) < 1.0 - 1e-9) {
+      // Same exact Prob1 classification as the full engine: infinite iff the
+      // target is missed with positive probability, and the linear system is
+      // restricted to the Prob1 states (see EngineSession::check_reward).
+      const std::vector<bool> certain =
+          ctmc::almost_sure_reachability(quotient.rates(), target);
+      const size_t n = quotient.state_count();
+      bool infinite = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (q_initial[i] > 0.0 && !certain[i]) {
+          infinite = true;
+          break;
+        }
+      }
+      if (infinite) {
         result.value = std::numeric_limits<double>::infinity();
         break;
       }
       const std::vector<double> q_rewards = lumping.aggregate_rewards(rewards[0]);
-      const size_t n = quotient.state_count();
       const linalg::CsrMatrix embedded = quotient.embedded_dtmc();
       linalg::CsrBuilder block(n, n);
       std::vector<double> base(n, 0.0);
       for (size_t i = 0; i < n; ++i) {
-        if (target[i]) continue;
-        const double exit = quotient.exit_rate(i);
-        if (exit <= 0.0) throw PropertyError("lumped: absorbing non-target state");
-        base[i] = q_rewards[i] / exit;
+        if (target[i] || !certain[i]) continue;
+        base[i] = q_rewards[i] / quotient.exit_rate(i);
         const auto cols = embedded.row_columns(i);
         const auto vals = embedded.row_values(i);
         for (size_t k = 0; k < cols.size(); ++k) {

@@ -8,6 +8,7 @@
 
 #include "csl/property_parser.hpp"
 #include "ctmc/rewards.hpp"
+#include "ctmc/scc.hpp"
 #include "linalg/gauss_seidel.hpp"
 #include "linalg/vector_ops.hpp"
 #include "util/metrics.hpp"
@@ -343,25 +344,44 @@ double EngineSession::evaluate(Stages& stages, const Property& property) {
 
 std::vector<double> EngineSession::reachability_probabilities(
     const ctmc::Ctmc& chain, const std::vector<bool>& target) const {
-  // Least fixpoint x = A·x + b on the embedded DTMC: x_i = 1 on target
-  // states; for others, b is the one-step probability into the target.
+  // Prob0/Prob1 graph precomputation first: states that cannot reach the
+  // target are exactly 0, states that reach it almost surely are exactly 1.
+  // Only the genuinely uncertain states go through the numeric least-fixpoint
+  // x = A·x + b on the embedded DTMC (b = one-step probability into the
+  // certain set). Besides making the 0/1 answers exact, this strips every
+  // recurrent class out of the linear system — BSCC states are always
+  // classified — so the iterative solvers never see the near-1 eigenmodes of
+  // an almost-closed recurrent set.
   const size_t n = chain.state_count();
-  const linalg::CsrMatrix embedded = chain.embedded_dtmc();
+  const ctmc::ReachabilityClassification classes =
+      ctmc::classify_reachability(chain.rates(), target);
+  std::vector<double> x(n, 0.0);
+  bool any_uncertain = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (classes.certain[i]) {
+      x[i] = 1.0;
+    } else if (classes.possible[i]) {
+      any_uncertain = true;
+    }
+  }
+  if (!any_uncertain) return x;
 
+  const linalg::CsrMatrix embedded = chain.embedded_dtmc();
   linalg::CsrBuilder block(n, n);
   std::vector<double> one_step(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
-    if (target[i]) continue;
+    if (classes.certain[i] || !classes.possible[i]) continue;
     const auto cols = embedded.row_columns(i);
     const auto vals = embedded.row_values(i);
     for (size_t k = 0; k < cols.size(); ++k) {
-      if (target[cols[k]]) {
+      if (classes.certain[cols[k]]) {
         one_step[i] += vals[k];
-      } else if (cols[k] != i) {
+      } else if (classes.possible[cols[k]]) {
+        // Diagonal entries stay in the block; solve_fixpoint folds A_ii < 1
+        // into the update, and an uncertain state can never have A_ii = 1.
         block.add(i, cols[k], vals[k]);
       }
-      // Self-loops of non-target states contribute nothing to the least
-      // fixpoint and are dropped (keeps absorbing states at x = 0).
+      // Successors in the Prob0 set contribute nothing.
     }
   }
   auto solved = linalg::solve_fixpoint(std::move(block).build(), one_step,
@@ -369,9 +389,8 @@ std::vector<double> EngineSession::reachability_probabilities(
   if (!solved.converged) {
     throw PropertyError("reachability fixpoint did not converge");
   }
-  std::vector<double> x = std::move(solved.x);
   for (size_t i = 0; i < n; ++i) {
-    if (target[i]) x[i] = 1.0;
+    if (!classes.certain[i] && classes.possible[i]) x[i] = solved.x[i];
   }
   return x;
 }
@@ -488,26 +507,30 @@ double EngineSession::check_reward(Stages& stages, const Property& property) {
       return linalg::dot(steady_of(stages).distribution, rewards);
     case PropertyKind::kReachabilityReward: {
       const std::vector<bool> target = satisfying_in(stages, property.right);
-      const std::vector<double> reach = reachability_probabilities(chain, target);
-      const double reach_from_init = linalg::dot(initial, reach);
-      if (reach_from_init < 1.0 - 1e-9) {
-        // PRISM convention: expected reward is infinite when the target is
-        // missed with positive probability.
-        return std::numeric_limits<double>::infinity();
-      }
-      // e_i = 0 on target; otherwise e_i = r_i / E_i + Σ_j P_ij e_j.
+      // PRISM convention: the expected reward is infinite when the target is
+      // missed with positive probability. The Prob1 set is a graph
+      // precomputation, so the finite/infinite classification is exact — no
+      // numeric reach-probability threshold.
+      const std::vector<bool> certain =
+          ctmc::almost_sure_reachability(chain.rates(), target);
       const size_t n = chain.state_count();
+      for (size_t i = 0; i < n; ++i) {
+        if (initial[i] > 0.0 && !certain[i]) {
+          return std::numeric_limits<double>::infinity();
+        }
+      }
+      // e_i = 0 on target; otherwise e_i = r_i / E_i + Σ_j P_ij e_j. The
+      // system is restricted to the Prob1 states: anything outside carries
+      // infinite expected reward, and including it would make the transient
+      // block singular (an absorbing non-target state) or near-singular.
+      // Successors of non-target Prob1 states are again Prob1 or target, so
+      // the restricted system is closed; Prob1 also guarantees exit > 0.
       const linalg::CsrMatrix embedded = chain.embedded_dtmc();
       linalg::CsrBuilder block(n, n);
       std::vector<double> base(n, 0.0);
       for (size_t i = 0; i < n; ++i) {
-        if (target[i]) continue;
-        const double exit = chain.exit_rate(i);
-        if (exit <= 0.0) {
-          throw PropertyError(
-              "reachability reward: absorbing non-target state reached");
-        }
-        base[i] = rewards[i] / exit;
+        if (target[i] || !certain[i]) continue;
+        base[i] = rewards[i] / chain.exit_rate(i);
         const auto cols = embedded.row_columns(i);
         const auto vals = embedded.row_values(i);
         for (size_t k = 0; k < cols.size(); ++k) {

@@ -107,4 +107,59 @@ SccDecomposition strongly_connected_components(const linalg::CsrMatrix& adjacenc
   return out;
 }
 
+ReachabilityClassification classify_reachability(const linalg::CsrMatrix& adjacency,
+                                                 const std::vector<bool>& target) {
+  if (adjacency.rows() != adjacency.cols()) {
+    throw std::invalid_argument("classify_reachability: adjacency must be square");
+  }
+  const size_t n = adjacency.rows();
+  if (target.size() != n) {
+    throw std::invalid_argument("classify_reachability: target size mismatch");
+  }
+  // Predecessor lists over the target-absorbed graph (outgoing edges of
+  // target states removed; self-loops and zero weights ignored).
+  std::vector<std::vector<uint32_t>> predecessors(n);
+  for (uint32_t row = 0; row < n; ++row) {
+    if (target[row]) continue;
+    const auto cols = adjacency.row_columns(row);
+    const auto vals = adjacency.row_values(row);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      if (vals[k] != 0.0 && cols[k] != row) predecessors[cols[k]].push_back(row);
+    }
+  }
+  auto backward_closure = [&](std::vector<bool>& reached) {
+    std::vector<uint32_t> stack;
+    for (uint32_t s = 0; s < n; ++s) {
+      if (reached[s]) stack.push_back(s);
+    }
+    while (!stack.empty()) {
+      const uint32_t state = stack.back();
+      stack.pop_back();
+      for (const uint32_t pred : predecessors[state]) {
+        if (!reached[pred]) {
+          reached[pred] = true;
+          stack.push_back(pred);
+        }
+      }
+    }
+  };
+  // Prob>0: states that can reach the target at all.
+  std::vector<bool> can_reach = target;
+  backward_closure(can_reach);
+  // Prob<1: states that can reach a Prob=0 state. The complement is Prob1.
+  std::vector<bool> below_one(n);
+  for (size_t i = 0; i < n; ++i) below_one[i] = !can_reach[i];
+  backward_closure(below_one);
+  ReachabilityClassification out;
+  out.possible = std::move(can_reach);
+  out.certain.resize(n);
+  for (size_t i = 0; i < n; ++i) out.certain[i] = !below_one[i];
+  return out;
+}
+
+std::vector<bool> almost_sure_reachability(const linalg::CsrMatrix& adjacency,
+                                           const std::vector<bool>& target) {
+  return classify_reachability(adjacency, target).certain;
+}
+
 }  // namespace autosec::ctmc

@@ -30,4 +30,22 @@ struct SccDecomposition {
 /// (must be square). Zero-weight entries are ignored.
 SccDecomposition strongly_connected_components(const linalg::CsrMatrix& adjacency);
 
+/// The classic Prob0/Prob1 reachability precomputation (graph analysis, no
+/// numerics), over the target-absorbed graph.
+struct ReachabilityClassification {
+  /// Pr[F target] > 0: the state can reach the target at all.
+  std::vector<bool> possible;
+  /// Pr[F target] = 1: no state reachable from here (without first passing
+  /// through the target) is itself unable to reach the target. Target states
+  /// are always in the set.
+  std::vector<bool> certain;
+};
+
+ReachabilityClassification classify_reachability(const linalg::CsrMatrix& adjacency,
+                                                 const std::vector<bool>& target);
+
+/// The Prob1 set alone; see ReachabilityClassification::certain.
+std::vector<bool> almost_sure_reachability(const linalg::CsrMatrix& adjacency,
+                                           const std::vector<bool>& target);
+
 }  // namespace autosec::ctmc

@@ -1,0 +1,181 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace autosec::linalg {
+
+DenseMatrix DenseMatrix::identity(size_t n) {
+  DenseMatrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out.at(i, i) = 1.0;
+  return out;
+}
+
+DenseMatrix DenseMatrix::from_csr(const CsrMatrix& sparse) {
+  DenseMatrix out(sparse.rows(), sparse.cols());
+  for (size_t r = 0; r < sparse.rows(); ++r) {
+    const auto columns = sparse.row_columns(r);
+    const auto values = sparse.row_values(r);
+    for (size_t k = 0; k < columns.size(); ++k) {
+      out.at(r, columns[k]) += values[k];
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("DenseMatrix::multiply: shape mismatch");
+  }
+  DenseMatrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop contiguous in both operands.
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = at(i, k);
+      if (aik == 0.0) continue;
+      const double* b_row = &other.data_[k * other.cols_];
+      double* out_row = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> DenseMatrix::left_multiply(std::span<const double> x) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument("DenseMatrix::left_multiply: size mismatch");
+  }
+  std::vector<double> out(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row_data = &data_[i * cols_];
+    for (size_t j = 0; j < cols_; ++j) out[j] += xi * row_data[j];
+  }
+  return out;
+}
+
+std::vector<double> DenseMatrix::right_multiply(std::span<const double> x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("DenseMatrix::right_multiply: size mismatch");
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row_data = &data_[i * cols_];
+    double sum = 0.0;
+    for (size_t j = 0; j < cols_; ++j) sum += row_data[j] * x[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::plus(const DenseMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("DenseMatrix::plus: shape mismatch");
+  }
+  DenseMatrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+DenseMatrix DenseMatrix::minus(const DenseMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("DenseMatrix::minus: shape mismatch");
+  }
+  DenseMatrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+DenseMatrix DenseMatrix::scaled(double factor) const {
+  DenseMatrix out = *this;
+  for (double& v : out.data_) v *= factor;
+  return out;
+}
+
+double DenseMatrix::max_abs_row_sum() const {
+  double norm = 0.0;
+  for (size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < cols_; ++j) sum += std::fabs(at(i, j));
+    norm = std::max(norm, sum);
+  }
+  return norm;
+}
+
+double DenseMatrix::max_abs_difference(const DenseMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("DenseMatrix::max_abs_difference: shape mismatch");
+  }
+  double max_diff = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+DenseMatrix dense_expm(const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("dense_expm: matrix must be square");
+  }
+  const size_t n = a.rows();
+  if (n == 0) return DenseMatrix(0, 0);
+
+  // Scale A down to infinity norm <= 1/16; at that norm a 20-term Taylor
+  // series has remainder below 1e-30, so the squaring steps dominate the
+  // (still negligible) error.
+  const double norm = a.max_abs_row_sum();
+  int squarings = 0;
+  if (norm > 1.0 / 16.0) {
+    squarings = static_cast<int>(std::ceil(std::log2(norm * 16.0)));
+  }
+  const DenseMatrix scaled = a.scaled(std::ldexp(1.0, -squarings));
+
+  DenseMatrix result = DenseMatrix::identity(n);
+  DenseMatrix term = DenseMatrix::identity(n);
+  constexpr int kTaylorTerms = 20;
+  for (int k = 1; k <= kTaylorTerms; ++k) {
+    term = term.multiply(scaled).scaled(1.0 / k);
+    result = result.plus(term);
+  }
+  for (int k = 0; k < squarings; ++k) result = result.multiply(result);
+  return result;
+}
+
+std::vector<double> dense_solve(DenseMatrix a, std::vector<double> b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("dense_solve: shape mismatch");
+  }
+  // Gaussian elimination with partial pivoting, in place on the copies.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a.at(r, col)) > std::fabs(a.at(pivot, col))) pivot = r;
+    }
+    const double pivot_value = a.at(pivot, col);
+    if (std::fabs(pivot_value) < 1e-300) {
+      throw std::runtime_error("dense_solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t j = col; j < n; ++j) std::swap(a.at(col, j), a.at(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0.0) continue;
+      for (size_t j = col; j < n; ++j) a.at(r, j) -= factor * a.at(col, j);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t j = i + 1; j < n; ++j) sum -= a.at(i, j) * x[j];
+    x[i] = sum / a.at(i, i);
+  }
+  return x;
+}
+
+}  // namespace autosec::linalg

@@ -24,6 +24,7 @@ IterativeResult fixpoint_gauss_seidel(const CsrMatrix& A,
 
   for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
     double delta = 0.0;
+    double magnitude = 0.0;
     for (size_t i = 0; i < n; ++i) {
       const auto cols = A.row_columns(i);
       const auto vals = A.row_values(i);
@@ -41,11 +42,16 @@ IterativeResult fixpoint_gauss_seidel(const CsrMatrix& A,
       }
       const double updated = acc / (1.0 - diagonal);
       delta = std::max(delta, std::abs(updated - x[i]));
+      magnitude = std::max(magnitude, std::abs(updated));
       x[i] = updated;
     }
     result.iterations = iter;
     result.final_delta = delta;
-    if (delta <= options.tolerance) {
+    // Relative to the solution scale: expected-reward solves can carry values
+    // of 1e5 and more, where an absolute 1e-12 sits below the roundoff floor
+    // (|x|·2^-52) and the sweep stagnates forever. For probability-scale
+    // solves (|x| ≤ 1) this is the plain absolute criterion.
+    if (delta <= options.tolerance * std::max(1.0, magnitude)) {
       result.converged = true;
       break;
     }

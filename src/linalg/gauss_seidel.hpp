@@ -32,8 +32,13 @@ enum class FixpointMethod {
 };
 
 struct IterativeOptions {
-  double tolerance = 1e-12;   ///< max-norm change between sweeps
-  size_t max_iterations = 100000;
+  /// Max-norm change between sweeps, relative to max(1, |x|∞) — absolute for
+  /// probability-scale solutions, relative for large expected rewards.
+  double tolerance = 1e-12;
+  /// Stiff reward chains (escape probability ~1e-5 per step) legitimately
+  /// need several hundred thousand Gauss-Seidel sweeps to push the max-norm
+  /// delta to 1e-12; the cap only exists to bound genuinely divergent solves.
+  size_t max_iterations = 1000000;
   FixpointMethod method = FixpointMethod::kAuto;
 };
 

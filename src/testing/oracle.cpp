@@ -1,0 +1,167 @@
+#include "testing/oracle.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ctmc/transient.hpp"
+#include "linalg/dense.hpp"
+
+namespace autosec::testing {
+
+namespace {
+
+using linalg::DenseMatrix;
+
+void check_size(const ctmc::Ctmc& chain, const OracleOptions& options) {
+  if (chain.state_count() > options.max_states) {
+    throw std::invalid_argument("oracle: chain exceeds the dense-state limit");
+  }
+}
+
+/// Dense generator Q = R − diag(E).
+DenseMatrix dense_generator(const ctmc::Ctmc& chain) {
+  DenseMatrix q = DenseMatrix::from_csr(chain.rates());
+  for (size_t i = 0; i < chain.state_count(); ++i) {
+    q.at(i, i) -= chain.exit_rate(i);
+  }
+  return q;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double mask_dot(const std::vector<double>& distribution, const std::vector<bool>& mask) {
+  double sum = 0.0;
+  for (size_t i = 0; i < distribution.size(); ++i) {
+    if (mask[i]) sum += distribution[i];
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<double> oracle_transient(const ctmc::Ctmc& chain,
+                                     const std::vector<double>& initial, double t,
+                                     const OracleOptions& options) {
+  check_size(chain, options);
+  ctmc::check_distribution(chain.state_count(), initial, "oracle_transient");
+  if (t < 0.0) throw std::invalid_argument("oracle_transient: negative time");
+  if (t == 0.0 || chain.state_count() == 0) return initial;
+  const DenseMatrix propagator = linalg::dense_expm(dense_generator(chain).scaled(t));
+  return propagator.left_multiply(initial);
+}
+
+double oracle_transient_probability(const ctmc::Ctmc& chain,
+                                    const std::vector<double>& initial,
+                                    const std::vector<bool>& target, double t,
+                                    const OracleOptions& options) {
+  return mask_dot(oracle_transient(chain, initial, t, options), target);
+}
+
+double oracle_bounded_reachability(const ctmc::Ctmc& chain,
+                                   const std::vector<double>& initial,
+                                   const std::vector<bool>& allowed,
+                                   const std::vector<bool>& target, double t,
+                                   const OracleOptions& options) {
+  check_size(chain, options);
+  const size_t n = chain.state_count();
+  // Same CSL semantics as ctmc::bounded_reachability: target states absorb as
+  // success, states outside allowed ∪ target absorb as failure; already-target
+  // initial mass counts fully.
+  std::vector<bool> absorbing(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    absorbing[i] = target[i] || (!allowed[i] && !target[i]);
+  }
+  const ctmc::Ctmc modified = chain.with_absorbing(absorbing);
+  return mask_dot(oracle_transient(modified, initial, t, options), target);
+}
+
+std::vector<double> oracle_steady_state(const ctmc::Ctmc& chain,
+                                        const std::vector<double>& initial,
+                                        const OracleOptions& options) {
+  check_size(chain, options);
+  ctmc::check_distribution(chain.state_count(), initial, "oracle_steady_state");
+  const size_t n = chain.state_count();
+  if (n == 0) return initial;
+  if (chain.max_exit_rate() == 0.0) return initial;  // every state absorbing
+
+  const double q = chain.default_uniformization_rate();
+  DenseMatrix power = DenseMatrix::from_csr(chain.uniformized(q));
+  std::vector<double> current = power.left_multiply(initial);
+  // π · P^{2^k} for growing k; each squaring doubles the horizon, so slow
+  // mixing costs iterations logarithmically. Repeated squaring also doubles
+  // the accumulated roundoff every step, so once the distribution has settled
+  // (small delta) any *growth* in delta marks the roundoff regime — stop and
+  // keep the best iterate rather than squaring the matrix into garbage.
+  double previous_delta = std::numeric_limits<double>::infinity();
+  for (int iteration = 0; iteration < 64; ++iteration) {
+    power = power.multiply(power);
+    std::vector<double> next = power.left_multiply(initial);
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) delta = std::max(delta, std::fabs(next[i] - current[i]));
+    if (delta < options.steady_tolerance) {
+      current = std::move(next);
+      break;
+    }
+    if (delta < 1e-8 && delta >= previous_delta) break;  // roundoff floor reached
+    current = std::move(next);
+    previous_delta = delta;
+  }
+  // Clean up the tiny negatives dense squaring can leave and renormalize to
+  // the initial mass.
+  double mass = 0.0;
+  double target_mass = 0.0;
+  for (const double v : initial) target_mass += v;
+  for (double& v : current) {
+    if (v < 0.0) v = 0.0;
+    mass += v;
+  }
+  if (mass > 0.0) {
+    for (double& v : current) v *= target_mass / mass;
+  }
+  return current;
+}
+
+double oracle_cumulative_reward(const ctmc::Ctmc& chain,
+                                const std::vector<double>& initial,
+                                const std::vector<double>& state_rewards, double t,
+                                const OracleOptions& options) {
+  check_size(chain, options);
+  ctmc::check_distribution(chain.state_count(), initial, "oracle_cumulative_reward");
+  if (t < 0.0) throw std::invalid_argument("oracle_cumulative_reward: negative time");
+  const size_t n = chain.state_count();
+  if (t == 0.0 || n == 0) return 0.0;
+  if (state_rewards.size() != n) {
+    throw std::invalid_argument("oracle_cumulative_reward: reward size mismatch");
+  }
+  // Van Loan block trick: exp([[Q, r],[0, 0]] t) has ∫₀ᵗ e^{Qs} r ds as its
+  // top-right column, so the expectation is one augmented expm away.
+  DenseMatrix augmented(n + 1, n + 1);
+  const DenseMatrix generator = dense_generator(chain);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) augmented.at(i, j) = generator.at(i, j) * t;
+    augmented.at(i, n) = state_rewards[i] * t;
+  }
+  const DenseMatrix block = linalg::dense_expm(augmented);
+  double expectation = 0.0;
+  for (size_t i = 0; i < n; ++i) expectation += initial[i] * block.at(i, n);
+  return expectation;
+}
+
+double oracle_instantaneous_reward(const ctmc::Ctmc& chain,
+                                   const std::vector<double>& initial,
+                                   const std::vector<double>& state_rewards, double t,
+                                   const OracleOptions& options) {
+  return dot(oracle_transient(chain, initial, t, options), state_rewards);
+}
+
+double oracle_steady_reward(const ctmc::Ctmc& chain, const std::vector<double>& initial,
+                            const std::vector<double>& state_rewards,
+                            const OracleOptions& options) {
+  return dot(oracle_steady_state(chain, initial, options), state_rewards);
+}
+
+}  // namespace autosec::testing

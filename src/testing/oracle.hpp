@@ -1,0 +1,82 @@
+// Independent dense oracle for CTMC measures, used by the differential
+// harness to cross-check the sparse uniformization/Krylov engine the way
+// Storm validates its engines against each other. Every measure is computed
+// through a different numerical route than the engine takes:
+//
+//   transient          π(t) = π(0) · e^{Qt}        (dense scaling-and-squaring
+//                                                   matrix exponential)
+//   cumulative reward  π(0) · [∫₀ᵗ e^{Qs} ds] · r  (Van Loan augmented-matrix
+//                                                   exponential: the integral
+//                                                   is the top-right block of
+//                                                   exp([[Q, r],[0, 0]] t))
+//   steady state       π(0) · P^{2^k}, P = I + Q/q (repeated dense squaring of
+//                                                   the uniformized DTMC until
+//                                                   the distribution is a
+//                                                   fixpoint; aperiodicity is
+//                                                   guaranteed by q strictly
+//                                                   above every exit rate)
+//
+// All of it is O(n^3)-dense and only feasible for small chains; the harness
+// keeps generated models at or below a couple hundred states.
+#pragma once
+
+#include <vector>
+
+#include "ctmc/ctmc.hpp"
+
+namespace autosec::testing {
+
+struct OracleOptions {
+  /// Refuse (by throwing std::invalid_argument) chains above this many
+  /// states, as a guard against accidentally cubing a large state space.
+  size_t max_states = 512;
+  /// Fixpoint threshold for the steady-state squaring iteration.
+  double steady_tolerance = 1e-12;
+};
+
+/// Distribution over states at time t: π(0)·e^{Qt}.
+std::vector<double> oracle_transient(const ctmc::Ctmc& chain,
+                                     const std::vector<double>& initial, double t,
+                                     const OracleOptions& options = {});
+
+/// Probability of being in a `target` state at time exactly t.
+double oracle_transient_probability(const ctmc::Ctmc& chain,
+                                    const std::vector<double>& initial,
+                                    const std::vector<bool>& target, double t,
+                                    const OracleOptions& options = {});
+
+/// Time-bounded reachability Pr[ reach target within t through allowed ],
+/// via the same absorbing-chain construction as the engine but dense-expm
+/// numerics.
+double oracle_bounded_reachability(const ctmc::Ctmc& chain,
+                                   const std::vector<double>& initial,
+                                   const std::vector<bool>& allowed,
+                                   const std::vector<bool>& target, double t,
+                                   const OracleOptions& options = {});
+
+/// Long-run distribution from `initial`, by squaring the uniformized DTMC
+/// until π is a fixpoint. Handles reducible chains (the limit of P^k exists
+/// for any aperiodic DTMC, reducible or not).
+std::vector<double> oracle_steady_state(const ctmc::Ctmc& chain,
+                                        const std::vector<double>& initial,
+                                        const OracleOptions& options = {});
+
+/// Expected accumulated state reward over [0, t] via the augmented-matrix
+/// exponential.
+double oracle_cumulative_reward(const ctmc::Ctmc& chain,
+                                const std::vector<double>& initial,
+                                const std::vector<double>& state_rewards, double t,
+                                const OracleOptions& options = {});
+
+/// Expected instantaneous reward at time t: π(t)·r.
+double oracle_instantaneous_reward(const ctmc::Ctmc& chain,
+                                   const std::vector<double>& initial,
+                                   const std::vector<double>& state_rewards, double t,
+                                   const OracleOptions& options = {});
+
+/// Long-run average reward: π∞·r.
+double oracle_steady_reward(const ctmc::Ctmc& chain, const std::vector<double>& initial,
+                            const std::vector<double>& state_rewards,
+                            const OracleOptions& options = {});
+
+}  // namespace autosec::testing

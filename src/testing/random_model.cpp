@@ -1,0 +1,350 @@
+#include "testing/random_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "util/numeric.hpp"
+#include "util/strings.hpp"
+
+namespace autosec::testing {
+
+namespace {
+
+using automotive::Architecture;
+using automotive::Bus;
+using automotive::BusKind;
+using automotive::Ecu;
+using automotive::FailureSpec;
+using automotive::GuardianSpec;
+using automotive::Interface;
+using automotive::Message;
+using automotive::Protection;
+using automotive::SwitchSpec;
+using symbolic::BinaryOp;
+using symbolic::Command;
+using symbolic::ConstantDecl;
+using symbolic::Expr;
+using symbolic::FormulaDecl;
+using symbolic::LabelDecl;
+using symbolic::Model;
+using symbolic::Module;
+using symbolic::RewardItem;
+using symbolic::RewardStructDecl;
+using symbolic::Value;
+using symbolic::VariableDecl;
+
+/// SplitMix64 scrambler: spreads consecutive seeds over the full state space
+/// before they feed the mt19937_64, so seed and seed+1 give unrelated runs.
+uint64_t scramble(uint64_t seed) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(scramble(seed)) {}
+
+  size_t index(size_t count) {  // uniform in [0, count)
+    return std::uniform_int_distribution<size_t>(0, count - 1)(engine_);
+  }
+  int32_t int_in(int32_t low, int32_t high) {
+    return std::uniform_int_distribution<int32_t>(low, high)(engine_);
+  }
+  bool chance(double probability) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_) < probability;
+  }
+  /// Log-uniform rate in [low, high], quantized to 6 significant digits so
+  /// the 12-digit .arch writer and the 17-digit model writer both round-trip
+  /// it exactly.
+  double rate(double low, double high) {
+    const double u = std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    const double raw = low * std::pow(high / low, u);
+    return *util::parse_double(util::format_sig(raw, 6));
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+struct VariableInfo {
+  std::string name;
+  size_t module = 0;
+  int32_t high = 0;
+};
+
+/// Random comparison over one variable, e.g. (v2 <= 1).
+Expr random_comparison(Rng& rng, const std::vector<VariableInfo>& variables) {
+  const VariableInfo& var = variables[rng.index(variables.size())];
+  const Expr lhs = Expr::ident(var.name);
+  const Expr rhs = Expr::literal(rng.int_in(0, var.high));
+  constexpr BinaryOp kOps[] = {BinaryOp::kEq, BinaryOp::kNe, BinaryOp::kLt,
+                               BinaryOp::kLe, BinaryOp::kGt, BinaryOp::kGe};
+  return Expr::binary(kOps[rng.index(6)], lhs, rhs);
+}
+
+/// Random boolean state formula: one comparison, or an and/or of two, with an
+/// occasional negation on top.
+Expr random_state_formula(Rng& rng, const std::vector<VariableInfo>& variables) {
+  Expr expr = random_comparison(rng, variables);
+  if (rng.chance(0.5)) {
+    const Expr other = random_comparison(rng, variables);
+    expr = rng.chance(0.5) ? (expr && other) : (expr || other);
+  }
+  if (rng.chance(0.15)) expr = !expr;
+  return expr;
+}
+
+/// Random rate expression: a literal, a constant reference, or a scaled
+/// constant.
+Expr random_rate_expr(Rng& rng, const std::vector<std::string>& constants,
+                      const RandomModelOptions& options) {
+  if (!constants.empty() && rng.chance(0.4)) {
+    const Expr constant = Expr::ident(constants[rng.index(constants.size())]);
+    if (rng.chance(0.3)) return constant * Expr::literal(rng.rate(0.1, 4.0));
+    return constant;
+  }
+  return Expr::literal(rng.rate(options.min_rate, options.max_rate));
+}
+
+}  // namespace
+
+Model random_model(uint64_t seed, const RandomModelOptions& options) {
+  Rng rng(seed);
+  Model model;
+
+  // Constants: rate-valued, referenced from some command rates (and the
+  // override machinery in the differential harness).
+  const size_t constant_count = 1 + rng.index(options.max_constants);
+  std::vector<std::string> constant_names;
+  for (size_t i = 0; i < constant_count; ++i) {
+    ConstantDecl decl;
+    decl.name = "c" + std::to_string(i);
+    decl.type = ConstantDecl::Type::kDouble;
+    decl.value = Expr::literal(rng.rate(options.min_rate, options.max_rate));
+    constant_names.push_back(decl.name);
+    model.constants.push_back(std::move(decl));
+  }
+
+  // Variables, distributed round-robin over the modules, with the domain
+  // product capped by the state budget.
+  const size_t module_count = 1 + rng.index(options.max_modules);
+  std::vector<VariableInfo> variables;
+  size_t budget = options.state_budget;
+  const size_t variable_count = 1 + rng.index(options.max_variables);
+  for (size_t i = 0; i < variable_count; ++i) {
+    int32_t high = rng.int_in(1, options.max_range);
+    while (high > 1 && budget / (high + 1) < 1) --high;
+    if (budget / (high + 1) < 1) break;
+    budget /= (high + 1);
+    variables.push_back({"v" + std::to_string(i), i % module_count, high});
+  }
+
+  for (size_t m = 0; m < module_count; ++m) {
+    model.modules.push_back(Module{"m" + std::to_string(m), {}, {}});
+  }
+  for (const VariableInfo& var : variables) {
+    VariableDecl decl;
+    decl.name = var.name;
+    decl.low = Expr::literal(0);
+    decl.high = Expr::literal(var.high);
+    // Bias the initial state toward 0 (the transformation's un-exploited
+    // state) but cover nonzero starts too.
+    decl.init = Expr::literal(rng.chance(0.75) ? 0 : rng.int_in(0, var.high));
+    model.modules[var.module].variables.push_back(std::move(decl));
+  }
+
+  // One optional formula, usable as a guard conjunct.
+  std::string formula_name;
+  if (rng.chance(0.5)) {
+    FormulaDecl formula;
+    formula.name = "f0";
+    formula.body = random_state_formula(rng, variables);
+    formula_name = formula.name;
+    model.formulas.push_back(std::move(formula));
+  }
+
+  // Commands: per variable an increment ("exploit") and, usually, a decrement
+  // ("patch"), each optionally strengthened by an extra conjunct; plus
+  // occasional reset and two-variable commands per module.
+  size_t action_counter = 0;
+  auto guard_extra = [&](Expr guard) {
+    if (rng.chance(0.35)) {
+      Expr extra = !formula_name.empty() && rng.chance(0.3)
+                       ? Expr::ident(formula_name)
+                       : random_comparison(rng, variables);
+      guard = guard && extra;
+    }
+    return guard;
+  };
+  auto maybe_action = [&]() -> std::string {
+    // Unique names keep the model inside the unsynchronized subset.
+    if (rng.chance(0.2)) return "act" + std::to_string(action_counter++);
+    return "";
+  };
+
+  for (const VariableInfo& var : variables) {
+    const Expr v = Expr::ident(var.name);
+    Command up;
+    up.action = maybe_action();
+    up.guard = guard_extra(v < Expr::literal(var.high));
+    up.rate = random_rate_expr(rng, constant_names, options);
+    up.assignments.push_back({var.name, v + Expr::literal(1)});
+    model.modules[var.module].commands.push_back(std::move(up));
+
+    if (rng.chance(0.9)) {
+      Command down;
+      down.action = maybe_action();
+      down.guard = guard_extra(v > Expr::literal(0));
+      down.rate = random_rate_expr(rng, constant_names, options);
+      down.assignments.push_back({var.name, v - Expr::literal(1)});
+      model.modules[var.module].commands.push_back(std::move(down));
+    }
+    if (rng.chance(0.25)) {
+      Command reset;
+      reset.action = maybe_action();
+      reset.guard = v > Expr::literal(0);
+      reset.rate = random_rate_expr(rng, constant_names, options);
+      reset.assignments.push_back({var.name, Expr::literal(0)});
+      model.modules[var.module].commands.push_back(std::move(reset));
+    }
+  }
+  // Two-variable simultaneous updates inside one module.
+  for (size_t m = 0; m < module_count; ++m) {
+    std::vector<const VariableInfo*> local;
+    for (const VariableInfo& var : variables) {
+      if (var.module == m) local.push_back(&var);
+    }
+    if (local.size() >= 2 && rng.chance(0.5)) {
+      const VariableInfo& a = *local[0];
+      const VariableInfo& b = *local[1];
+      Command both;
+      both.action = maybe_action();
+      both.guard = (Expr::ident(a.name) < Expr::literal(a.high)) &&
+                   (Expr::ident(b.name) > Expr::literal(0));
+      both.rate = random_rate_expr(rng, constant_names, options);
+      both.assignments.push_back({a.name, Expr::ident(a.name) + Expr::literal(1)});
+      both.assignments.push_back({b.name, Expr::ident(b.name) - Expr::literal(1)});
+      model.modules[m].commands.push_back(std::move(both));
+    }
+  }
+
+  // Labels over the state space (targets for reachability properties).
+  const size_t label_count = 1 + rng.index(options.max_labels);
+  for (size_t i = 0; i < label_count; ++i) {
+    LabelDecl label;
+    label.name = "l" + std::to_string(i);
+    label.condition = random_state_formula(rng, variables);
+    model.labels.push_back(std::move(label));
+  }
+
+  // Reward structures with guard:value items.
+  const size_t reward_count = 1 + rng.index(options.max_reward_structs);
+  for (size_t i = 0; i < reward_count; ++i) {
+    RewardStructDecl rewards;
+    rewards.name = "r" + std::to_string(i);
+    const size_t item_count = 1 + rng.index(3);
+    for (size_t k = 0; k < item_count; ++k) {
+      RewardItem item;
+      item.guard = rng.chance(0.4) ? Expr::truth() : random_state_formula(rng, variables);
+      item.value = Expr::literal(rng.rate(0.1, 5.0));
+      rewards.items.push_back(std::move(item));
+    }
+    model.rewards.push_back(std::move(rewards));
+  }
+
+  return model;
+}
+
+Architecture random_architecture(uint64_t seed,
+                                 const RandomArchitectureOptions& options) {
+  Rng rng(seed ^ 0xa5c3u);
+  Architecture arch;
+  arch.name = "Random architecture " + std::to_string(seed);
+
+  const size_t bus_count = 1 + rng.index(options.max_buses);
+  for (size_t i = 0; i < bus_count; ++i) {
+    Bus bus;
+    bus.name = "B" + std::to_string(i);
+    const size_t kind = rng.index(10);
+    if (kind < 4) {
+      bus.kind = BusKind::kCan;
+    } else if (kind < 6) {
+      bus.kind = BusKind::kInternet;
+    } else if (kind < 8) {
+      bus.kind = BusKind::kFlexRay;
+      bus.guardian = GuardianSpec{rng.rate(0.1, 2.0), rng.rate(1.0, 52.0)};
+    } else {
+      bus.kind = BusKind::kEthernet;
+      bus.eth_switch = SwitchSpec{rng.rate(0.1, 2.0), rng.rate(1.0, 52.0)};
+    }
+    arch.buses.push_back(std::move(bus));
+  }
+
+  const size_t ecu_count = 2 + rng.index(options.max_ecus - 1);
+  for (size_t i = 0; i < ecu_count; ++i) {
+    Ecu ecu;
+    ecu.name = "E" + std::to_string(i);
+    ecu.phi = rng.rate(1.0, 52.0);
+    if (rng.chance(0.3)) {
+      ecu.asil = static_cast<assess::Asil>(rng.index(5));
+    }
+    if (options.allow_failures && rng.chance(0.3)) {
+      ecu.failure = FailureSpec{rng.rate(0.05, 1.0), rng.rate(12.0, 365.0)};
+    }
+    // Attach to a random nonempty subset of buses.
+    for (size_t b = 0; b < bus_count; ++b) {
+      if (b == i % bus_count || rng.chance(0.4)) {
+        ecu.interfaces.push_back(Interface{arch.buses[b].name, rng.rate(0.1, 5.0), {}});
+      }
+    }
+    arch.ecus.push_back(std::move(ecu));
+  }
+  // Every bus needs at least two attached ECUs so it can carry a message.
+  for (size_t b = 0; b < bus_count; ++b) {
+    size_t attached = 0;
+    for (const Ecu& ecu : arch.ecus) {
+      if (ecu.find_interface(arch.buses[b].name) != nullptr) ++attached;
+    }
+    for (size_t i = 0; i < ecu_count && attached < 2; ++i) {
+      if (arch.ecus[i].find_interface(arch.buses[b].name) == nullptr) {
+        arch.ecus[i].interfaces.push_back(
+            Interface{arch.buses[b].name, rng.rate(0.1, 5.0), {}});
+        ++attached;
+      }
+    }
+  }
+
+  const size_t message_count = 1 + rng.index(options.max_messages);
+  for (size_t i = 0; i < message_count; ++i) {
+    const Bus& bus = arch.buses[rng.index(bus_count)];
+    std::vector<std::string> attached;
+    for (const Ecu& ecu : arch.ecus) {
+      if (ecu.find_interface(bus.name) != nullptr) attached.push_back(ecu.name);
+    }
+    Message message;
+    message.name = "msg" + std::to_string(i);
+    const size_t sender = rng.index(attached.size());
+    message.sender = attached[sender];
+    for (size_t r = 0; r < attached.size(); ++r) {
+      if (r != sender && (message.receivers.empty() || rng.chance(0.4))) {
+        message.receivers.push_back(attached[r]);
+      }
+    }
+    message.buses = {bus.name};
+    constexpr Protection kProtections[] = {Protection::kUnencrypted,
+                                           Protection::kCmac128, Protection::kAes128};
+    message.protection = kProtections[rng.index(3)];
+    if (rng.chance(0.3)) message.patch_rate = rng.rate(0.5, 12.0);
+    arch.messages.push_back(std::move(message));
+  }
+
+  arch.validate();
+  return arch;
+}
+
+}  // namespace autosec::testing

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <fstream>
 #include <sstream>
 
@@ -11,11 +13,18 @@
 namespace autosec::cli {
 namespace {
 
+/// Per-process temp path: ctest -j runs each discovered test in its own
+/// process, and fixed names race (one process rewrites the file while
+/// another parses it).
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
+}
+
 /// Writes the case-study Architecture 1 to a temp .arch file once.
 class CliFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    path_ = new std::string(::testing::TempDir() + "/cli_arch1.arch");
+    path_ = new std::string(temp_path("cli_arch1.arch"));
     automotive::save_architecture_file(
         automotive::casestudy::architecture(1, automotive::Protection::kUnencrypted),
         *path_);
@@ -116,7 +125,7 @@ TEST_F(CliFixture, CheckWithoutPropertyFails) {
 }
 
 TEST_F(CliFixture, CheckPropertyFile) {
-  const std::string props_path = ::testing::TempDir() + "/reqs.props";
+  const std::string props_path = temp_path("reqs.props");
   std::ofstream(props_path) << R"(# requirements
 P=? [ F<=1 "violated" ]     # quantitative
 P>=0.5 [ F<=1 "violated" ]  # holds for arch 1
@@ -162,7 +171,7 @@ TEST_F(CliFixture, ExportPrismToStdout) {
 }
 
 TEST_F(CliFixture, ExportPrismToFile) {
-  const std::string out_path = ::testing::TempDir() + "/cli_model.sm";
+  const std::string out_path = temp_path("cli_model.sm");
   const Result result = run({"export-prism", *path_, "--message", "m", "-o", out_path});
   EXPECT_EQ(result.exit_code, 0);
   std::ifstream file(out_path);
@@ -215,7 +224,7 @@ TEST_F(CliFixture, AssessRejectsGarbage) {
 }
 
 TEST_F(CliFixture, CompareMultipleArchitectures) {
-  const std::string path3 = ::testing::TempDir() + "/cli_arch3.arch";
+  const std::string path3 = temp_path("cli_arch3.arch");
   automotive::save_architecture_file(
       automotive::casestudy::architecture(3, automotive::Protection::kUnencrypted),
       path3);
@@ -292,7 +301,7 @@ std::string slurp(const std::string& path) {
 }
 
 TEST_F(CliFixture, MetricsJsonRecordsEngineStages) {
-  const std::string metrics_path = ::testing::TempDir() + "/cli_metrics.json";
+  const std::string metrics_path = temp_path("cli_metrics.json");
   const Result result = run({"analyze", *path_, "--message", "m", "--category",
                              "confidentiality", "--nmax", "1", "--metrics-json",
                              metrics_path});
@@ -316,7 +325,7 @@ TEST_F(CliFixture, MetricsJsonRecordsEngineStages) {
 }
 
 TEST_F(CliFixture, MetricsJsonWrittenOnFailureToo) {
-  const std::string metrics_path = ::testing::TempDir() + "/cli_metrics_fail.json";
+  const std::string metrics_path = temp_path("cli_metrics_fail.json");
   const Result result =
       run({"analyze", "/nonexistent.arch", "--metrics-json", metrics_path});
   EXPECT_EQ(result.exit_code, 1);

@@ -1,0 +1,140 @@
+// Tests for the dense oracle kernels: matrix exponential and direct solve
+// against closed forms, plus the DenseMatrix basics they are built on.
+#include "linalg/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace autosec::linalg {
+namespace {
+
+TEST(DenseMatrix, IdentityAndMultiply) {
+  const DenseMatrix eye = DenseMatrix::identity(3);
+  DenseMatrix a(3, 3);
+  a.at(0, 1) = 2.0;
+  a.at(1, 2) = -1.5;
+  a.at(2, 0) = 0.25;
+  EXPECT_EQ(a.multiply(eye).max_abs_difference(a), 0.0);
+  EXPECT_EQ(eye.multiply(a).max_abs_difference(a), 0.0);
+
+  DenseMatrix b(3, 3);
+  b.at(1, 0) = 3.0;
+  const DenseMatrix product = a.multiply(b);
+  EXPECT_DOUBLE_EQ(product.at(0, 0), 6.0);  // a(0,1) * b(1,0)
+  EXPECT_DOUBLE_EQ(product.at(2, 0), 0.0);
+}
+
+TEST(DenseMatrix, FromCsrMatchesEntries) {
+  CsrBuilder builder(2, 3);
+  builder.add(0, 2, 4.0);
+  builder.add(1, 0, -1.0);
+  const DenseMatrix dense = DenseMatrix::from_csr(std::move(builder).build());
+  EXPECT_EQ(dense.rows(), 2u);
+  EXPECT_EQ(dense.cols(), 3u);
+  EXPECT_DOUBLE_EQ(dense.at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(dense.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(dense.at(0, 0), 0.0);
+}
+
+TEST(DenseMatrix, VectorMultiplies) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 3.0;
+  a.at(1, 1) = 4.0;
+  const std::vector<double> x{1.0, 10.0};
+  const std::vector<double> left = a.left_multiply(x);   // x * A
+  const std::vector<double> right = a.right_multiply(x);  // A * x
+  EXPECT_DOUBLE_EQ(left[0], 31.0);
+  EXPECT_DOUBLE_EQ(left[1], 42.0);
+  EXPECT_DOUBLE_EQ(right[0], 21.0);
+  EXPECT_DOUBLE_EQ(right[1], 43.0);
+}
+
+TEST(DenseExpm, ZeroMatrixGivesIdentity) {
+  const DenseMatrix result = dense_expm(DenseMatrix(3, 3));
+  EXPECT_LT(result.max_abs_difference(DenseMatrix::identity(3)), 1e-15);
+}
+
+TEST(DenseExpm, DiagonalMatrixExponentiatesEntrywise) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = -3.0;
+  const DenseMatrix result = dense_expm(a);
+  EXPECT_NEAR(result.at(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(result.at(1, 1), std::exp(-3.0), 1e-12);
+  EXPECT_NEAR(result.at(0, 1), 0.0, 1e-14);
+}
+
+TEST(DenseExpm, NilpotentMatrixTruncatesExactly) {
+  // exp([[0, c], [0, 0]]) = [[1, c], [0, 1]] exactly.
+  DenseMatrix a(2, 2);
+  a.at(0, 1) = 5.0;
+  const DenseMatrix result = dense_expm(a);
+  EXPECT_NEAR(result.at(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(result.at(0, 1), 5.0, 1e-12);
+  EXPECT_NEAR(result.at(1, 0), 0.0, 1e-14);
+  EXPECT_NEAR(result.at(1, 1), 1.0, 1e-14);
+}
+
+TEST(DenseExpm, TwoStateGeneratorMatchesClosedForm) {
+  // Q for 0 --a--> 1, 1 --b--> 0; row 0 of e^{Qt} is the transient
+  // distribution from state 0: P(X_t = 1) = a/(a+b) (1 - e^{-(a+b)t}).
+  const double a = 2.0, b = 0.5, t = 0.7;
+  DenseMatrix q(2, 2);
+  q.at(0, 0) = -a;
+  q.at(0, 1) = a;
+  q.at(1, 0) = b;
+  q.at(1, 1) = -b;
+  const DenseMatrix result = dense_expm(q.scaled(t));
+  const double expected = a / (a + b) * (1.0 - std::exp(-(a + b) * t));
+  EXPECT_NEAR(result.at(0, 1), expected, 1e-12);
+  EXPECT_NEAR(result.at(0, 0) + result.at(0, 1), 1.0, 1e-12);  // stochastic row
+}
+
+TEST(DenseSolve, RecoversKnownSolution) {
+  DenseMatrix a(3, 3);
+  a.at(0, 0) = 4.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  a.at(1, 2) = 1.0;
+  a.at(2, 1) = 1.0;
+  a.at(2, 2) = 2.0;
+  const std::vector<double> x_true{1.0, -2.0, 3.0};
+  const std::vector<double> b = a.right_multiply(x_true);
+  const std::vector<double> x = dense_solve(a, b);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-12);
+}
+
+TEST(DenseSolve, RequiresPivoting) {
+  // Zero in the leading position: only solvable with row exchanges.
+  DenseMatrix a(2, 2);
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  const std::vector<double> x = dense_solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(DenseSolve, SingularMatrixThrows) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;  // rank 1
+  EXPECT_THROW(dense_solve(a, {1.0, 1.0}), std::runtime_error);
+}
+
+TEST(DenseSolve, ShapeMismatchThrows) {
+  EXPECT_THROW(dense_solve(DenseMatrix(2, 2), {1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autosec::linalg

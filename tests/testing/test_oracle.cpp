@@ -1,0 +1,92 @@
+// The dense oracle against closed forms on the shared reference chains. The
+// differential harness then trusts it as the independent side of every
+// engine comparison, so these are the only tests that pin it to paper math
+// rather than to another implementation.
+#include "testing/oracle.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../ctmc/ctmc_test_helpers.hpp"
+
+namespace autosec::testing {
+namespace {
+
+namespace ct = ctmc::testing;
+
+TEST(Oracle, TransientMatchesClosedForm) {
+  const ctmc::Ctmc chain = ct::two_state(2.0, 0.5);
+  const double t = 0.7;
+  const std::vector<double> pi = oracle_transient(chain, ct::start_in(2, 0), t);
+  EXPECT_NEAR(pi[1], ct::two_state_p1(2.0, 0.5, t), 1e-12);
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+}
+
+TEST(Oracle, TransientProbabilityOfTarget) {
+  const ctmc::Ctmc chain = ct::two_state(2.0, 0.5);
+  const double p = oracle_transient_probability(chain, ct::start_in(2, 0),
+                                                {false, true}, 0.7);
+  EXPECT_NEAR(p, ct::two_state_p1(2.0, 0.5, 0.7), 1e-12);
+}
+
+TEST(Oracle, BoundedReachabilityOfAbsorbingTarget) {
+  // 0 --a--> 1 with 1 absorbing: P[F<=t target] = 1 - e^{-a t}.
+  const double a = 1.5, t = 0.4;
+  const ctmc::Ctmc chain = ct::two_state(a, 0.0);
+  const double p = oracle_bounded_reachability(chain, ct::start_in(2, 0),
+                                               {true, true}, {false, true}, t);
+  EXPECT_NEAR(p, 1.0 - std::exp(-a * t), 1e-12);
+}
+
+TEST(Oracle, SteadyStateMatchesDetailedBalance) {
+  const double a = 2.0, b = 0.5;
+  const std::vector<double> pi =
+      oracle_steady_state(ct::two_state(a, b), ct::start_in(2, 0));
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-10);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-10);
+}
+
+TEST(Oracle, SteadyStateOfReducibleChainKeepsAbsorbingMass) {
+  // 0 --a--> 1 absorbing: all long-run mass ends in 1.
+  const std::vector<double> pi =
+      oracle_steady_state(ct::two_state(1.0, 0.0), ct::start_in(2, 0));
+  EXPECT_NEAR(pi[0], 0.0, 1e-10);
+  EXPECT_NEAR(pi[1], 1.0, 1e-10);
+}
+
+TEST(Oracle, CumulativeRewardIsOccupancyTime) {
+  // Reward 1 on state 1 accumulates exactly the expected time spent there.
+  const double a = 2.0, b = 0.5, T = 1.3;
+  const double value = oracle_cumulative_reward(ct::two_state(a, b),
+                                                ct::start_in(2, 0), {0.0, 1.0}, T);
+  EXPECT_NEAR(value, ct::two_state_occupancy1(a, b, T), 1e-12);
+}
+
+TEST(Oracle, InstantaneousRewardIsTransientExpectation) {
+  const double a = 2.0, b = 0.5, t = 0.7;
+  const double value = oracle_instantaneous_reward(
+      ct::two_state(a, b), ct::start_in(2, 0), {3.0, 10.0}, t);
+  const double p1 = ct::two_state_p1(a, b, t);
+  EXPECT_NEAR(value, 3.0 * (1.0 - p1) + 10.0 * p1, 1e-12);
+}
+
+TEST(Oracle, SteadyRewardIsLongRunAverage) {
+  const double a = 2.0, b = 0.5;
+  const double value = oracle_steady_reward(ct::two_state(a, b), ct::start_in(2, 0),
+                                            {0.0, 6.0});
+  EXPECT_NEAR(value, 6.0 * a / (a + b), 1e-9);
+}
+
+TEST(Oracle, RefusesChainsAboveTheStateCap) {
+  OracleOptions options;
+  options.max_states = 1;
+  EXPECT_THROW(
+      oracle_transient(ct::two_state(1.0, 1.0), ct::start_in(2, 0), 1.0, options),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autosec::testing

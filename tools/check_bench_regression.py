@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Bench regression gate for CI.
+
+Compares the BENCH_*.json metrics files a bench run just produced against the
+committed baselines in bench/baselines/:
+
+  * wall time (gauge ``bench.wall_seconds``) must not regress by more than
+    --max-slowdown (default 1.25, i.e. +25%);
+  * every ``bench.agreement_*`` gauge — the cross-engine result agreement
+    recorded by the bench itself, as |a-b| / max(1, |a|, |b|) — must stay
+    within --agreement-tolerance (default 1e-8), regardless of the baseline.
+
+Exit status 0 when everything holds, 1 with a per-file report otherwise.
+Baselines are refreshed by re-running the benches with
+``AUTOSEC_BENCH_DIR=bench/baselines`` on a quiet machine (see
+docs/testing.md).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+WALL_GAUGE = "bench.wall_seconds"
+AGREEMENT_PREFIX = "bench.agreement_"
+
+
+def load_gauges(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("schema") != "autosec-metrics-v1":
+        raise ValueError(f"{path}: unexpected schema {data.get('schema')!r}")
+    return data.get("gauges", {})
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines",
+                        help="directory with committed BENCH_*.json baselines")
+    parser.add_argument("--current-dir", required=True,
+                        help="directory with the BENCH_*.json files of this run")
+    parser.add_argument("--max-slowdown", type=float, default=1.25,
+                        help="allowed wall-time ratio current/baseline")
+    parser.add_argument("--agreement-tolerance", type=float, default=1e-8,
+                        help="bound on every bench.agreement_* gauge")
+    args = parser.parse_args()
+
+    baseline_dir = pathlib.Path(args.baseline_dir)
+    current_dir = pathlib.Path(args.current_dir)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {baseline_dir}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for baseline_path in baselines:
+        current_path = current_dir / baseline_path.name
+        if not current_path.exists():
+            failures.append(f"{baseline_path.name}: missing from {current_dir} "
+                            "(bench did not run?)")
+            continue
+        baseline = load_gauges(baseline_path)
+        current = load_gauges(current_path)
+
+        base_wall = baseline.get(WALL_GAUGE)
+        cur_wall = current.get(WALL_GAUGE)
+        if base_wall is None or cur_wall is None:
+            failures.append(f"{baseline_path.name}: {WALL_GAUGE} gauge missing")
+        else:
+            ratio = cur_wall / base_wall if base_wall > 0 else float("inf")
+            status = "ok" if ratio <= args.max_slowdown else "REGRESSION"
+            print(f"{baseline_path.name}: wall {cur_wall:.3f}s vs baseline "
+                  f"{base_wall:.3f}s ({ratio:.2f}x) {status}")
+            if ratio > args.max_slowdown:
+                failures.append(
+                    f"{baseline_path.name}: wall time {cur_wall:.3f}s is "
+                    f"{ratio:.2f}x the baseline {base_wall:.3f}s "
+                    f"(limit {args.max_slowdown:.2f}x)")
+
+        for name, value in sorted(current.items()):
+            if not name.startswith(AGREEMENT_PREFIX):
+                continue
+            status = "ok" if value <= args.agreement_tolerance else "DISAGREEMENT"
+            print(f"{baseline_path.name}: {name} = {value:.3g} {status}")
+            if value > args.agreement_tolerance:
+                failures.append(
+                    f"{baseline_path.name}: {name} = {value:.3g} exceeds "
+                    f"{args.agreement_tolerance:.3g}")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench regression gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
