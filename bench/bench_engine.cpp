@@ -4,6 +4,8 @@
 // ours (not a paper artifact) and exist to track engine regressions.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "automotive/casestudy.hpp"
 #include "automotive/transform.hpp"
 #include "csl/checker.hpp"
@@ -83,7 +85,7 @@ BENCHMARK(BM_SteadyState)->Arg(1)->Arg(2);
 
 void BM_FullPropertyCheck(benchmark::State& state) {
   const symbolic::StateSpace space = symbolic::explore(case_study_model(2));
-  const csl::Checker checker(space);
+  const csl::Checker checker(std::make_shared<const symbolic::StateSpace>(space));
   for (auto _ : state) {
     benchmark::DoNotOptimize(checker.check("R{\"exposure\"}=? [ C<=1 ]"));
   }

@@ -1,0 +1,123 @@
+// Serve-path bench: drives the in-process Server through the v1 NDJSON
+// protocol and measures what the session cache buys — cold vs warm analyze
+// wall time per architecture — plus the served-vs-one-shot numeric agreement
+// that tools/check_bench_regression.py gates on (bench.agreement_*).
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "automotive/analyzer.hpp"
+#include "automotive/archfile.hpp"
+#include "bench_util.hpp"
+#include "service/server.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/strings.hpp"
+
+using namespace autosec;
+using util::JsonValue;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::cerr << "bench_serve: cannot read " << path
+              << " (run from the repository root)\n";
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+JsonValue handle(service::Server& server, const std::string& line) {
+  return JsonValue::parse(server.handle_line(line));
+}
+
+double relative_diff(double a, double b) {
+  return std::abs(a - b) / std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchReport report("serve");
+  util::metrics::Registry& metrics = util::metrics::registry();
+
+  const std::vector<std::string> archs = {"data/arch1.arch", "data/arch2.arch",
+                                          "data/arch3.arch"};
+  service::Server server({});
+
+  std::cout << "== autosec serve: session-cache effect per architecture ==\n\n";
+  util::TextTable table(
+      {"architecture", "states", "cold (s)", "warm (s)", "speedup"});
+
+  double agreement = 0.0;
+  for (const std::string& path : archs) {
+    const std::string line =
+        "{\"op\": \"analyze\", \"architecture\": \"" + path + "\"}";
+
+    util::Stopwatch cold_watch;
+    const JsonValue cold = handle(server, line);
+    const double cold_seconds = cold_watch.elapsed_seconds();
+    // Averaging many warm requests keeps the wall-time gauge out of noise
+    // territory for the regression gate (a single warm hit is ~1ms).
+    constexpr int kWarmIters = 100;
+    util::Stopwatch warm_watch;
+    JsonValue warm = handle(server, line);
+    for (int i = 1; i < kWarmIters; ++i) warm = handle(server, line);
+    const double warm_seconds = warm_watch.elapsed_seconds() / kWarmIters;
+    if (!cold.bool_or("ok", false) || !warm.bool_or("ok", false)) {
+      std::cerr << "bench_serve: request failed: " << cold.dump() << "\n";
+      return 1;
+    }
+    if (warm.find("metrics")->int_or("explores", -1) != 0) {
+      std::cerr << "bench_serve: warm request re-explored " << path << "\n";
+      return 1;
+    }
+
+    // Served numbers must agree with the one-shot analyzer bit-for-bit; the
+    // gauge records the worst relative difference across all rows.
+    const automotive::ArchitectureReport direct =
+        automotive::analyze_architecture_report(
+            automotive::parse_architecture(read_file(path)));
+    const JsonValue* rows = cold.find("result")->find("results");
+    for (size_t i = 0; i < direct.results.size(); ++i) {
+      const JsonValue& row = rows->at(i);
+      const automotive::AnalysisResult& expected = direct.results[i];
+      agreement = std::max(
+          {agreement,
+           relative_diff(row.number_or("exploitable_fraction", -1.0),
+                         expected.exploitable_fraction),
+           relative_diff(row.number_or("breach_probability", -1.0),
+                         expected.breach_probability),
+           relative_diff(row.number_or("steady_state_fraction", -1.0),
+                         expected.steady_state_fraction)});
+    }
+
+    const double speedup = warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0;
+    table.add_row({path,
+                   std::to_string(cold.find("metrics")->int_or("states", 0)),
+                   util::format_sig(cold_seconds, 3),
+                   util::format_sig(warm_seconds, 3),
+                   util::format_sig(speedup, 3)});
+    metrics.gauge("serve.cold_seconds[" + path + "]", cold_seconds);
+    metrics.gauge("serve.warm_seconds[" + path + "]", warm_seconds);
+  }
+  std::cout << table << "\n";
+
+  const service::SessionCache::Stats cache = server.cache_stats();
+  std::cout << "cache: " << cache.entries << " entries, " << cache.hits
+            << " hits, " << cache.misses << " misses\n";
+  std::cout << "max served-vs-oneshot relative diff: " << agreement << "\n";
+
+  metrics.gauge("bench.agreement_serve_analyze", agreement);
+  metrics.gauge("serve.cache_hits", static_cast<double>(cache.hits));
+  metrics.gauge("serve.cache_misses", static_cast<double>(cache.misses));
+  return 0;
+}

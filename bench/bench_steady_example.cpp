@@ -3,6 +3,7 @@
 // distribution pi = (0.96296, 0.036338, 0.000699), plus the reward-based
 // property the paper contrasts it with (R{s2}=?[F<1]-style cumulated time).
 #include <cstdio>
+#include <memory>
 #include <iostream>
 
 #include "automotive/casestudy.hpp"
@@ -26,7 +27,7 @@ int main() {
             << chain.generator().to_dense_string(4)
             << "paper:  -2 2 0 / 52 -54 2 / 52 52 -104\n\n";
 
-  const csl::Checker checker(space);
+  const csl::Checker checker(std::make_shared<const symbolic::StateSpace>(space));
   const double s0 = checker.check("S=? [ \"s0\" ]");
   const double s1 = checker.check("S=? [ \"s1\" ]");
   const double s2 = checker.check("S=? [ \"s2\" ]");

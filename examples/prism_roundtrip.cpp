@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "autosec.hpp"
@@ -48,8 +49,10 @@ int main() {
       symbolic::explore(symbolic::compile(generated));
   const symbolic::StateSpace reparsed_space =
       symbolic::explore(symbolic::compile(reparsed));
-  const csl::Checker original(original_space);
-  const csl::Checker roundtripped(reparsed_space);
+  const csl::Checker original(
+      std::make_shared<const symbolic::StateSpace>(original_space));
+  const csl::Checker roundtripped(
+      std::make_shared<const symbolic::StateSpace>(reparsed_space));
 
   util::TextTable table({"Property", "generated", "reparsed"});
   for (const char* property :

@@ -25,8 +25,7 @@ symbolic::Model build_model(const Architecture& architecture, const std::string&
 
 csl::SessionOptions session_options(const AnalysisOptions& options) {
   csl::SessionOptions session;
-  session.constant_overrides = options.constant_overrides;
-  session.checker = options.checker;
+  static_cast<csl::EngineOptions&>(session) = options;
   session.parallel_properties = options.parallel_solves;
   return session;
 }
@@ -55,6 +54,22 @@ void accumulate(csl::SessionStats& total, const csl::SessionStats& part) {
   total.compile_seconds += part.compile_seconds;
   total.explore_seconds += part.explore_seconds;
   total.solve_seconds += part.solve_seconds;
+}
+
+/// Counter/timing delta `after - before` — what one request added to a
+/// long-lived session's cumulative stats.
+csl::SessionStats stats_delta(const csl::SessionStats& after,
+                              const csl::SessionStats& before) {
+  csl::SessionStats delta;
+  delta.compile_count = after.compile_count - before.compile_count;
+  delta.explore_count = after.explore_count - before.explore_count;
+  delta.uniformize_count = after.uniformize_count - before.uniformize_count;
+  delta.steady_state_count = after.steady_state_count - before.steady_state_count;
+  delta.check_count = after.check_count - before.check_count;
+  delta.compile_seconds = after.compile_seconds - before.compile_seconds;
+  delta.explore_seconds = after.explore_seconds - before.explore_seconds;
+  delta.solve_seconds = after.solve_seconds - before.solve_seconds;
+  return delta;
 }
 
 }  // namespace
@@ -133,18 +148,17 @@ ArchitectureReport analyze_architecture_report(
   const size_t pair_count = message_names.size() * categories.size();
   if (pair_count == 0) return report;
 
-  // Everything below — per-pair sessions or the shared batch session — nests
-  // its stage spans under "analyze/..." in the metrics registry.
-  util::metrics::ScopedSpan span("analyze");
-  {
-    util::metrics::Registry& metrics = util::metrics::registry();
-    if (metrics.enabled()) {
-      metrics.add("analyze.architectures");
-      metrics.add("analyze.pairs", pair_count);
-    }
-  }
-
   if (!options.batch_model || overrides_require_single_models(options)) {
+    // Per-pair path: nest the stage spans under "analyze/..." like the batch
+    // path (analyze_batch_session) does for itself.
+    util::metrics::ScopedSpan span("analyze");
+    {
+      util::metrics::Registry& metrics = util::metrics::registry();
+      if (metrics.enabled()) {
+        metrics.add("analyze.architectures");
+        metrics.add("analyze.pairs", pair_count);
+      }
+    }
     // Legacy path: one model per (message, category) pair. The pairs are
     // independent, so they can still fan across the pool; each slot writes
     // only its own result, keeping the report deterministic.
@@ -179,23 +193,71 @@ ArchitectureReport analyze_architecture_report(
   // Staged path: one combined model for every pair — exactly one compile and
   // one explore per constant-override set, all properties solved against the
   // shared state space.
-  BatchTransformOptions batch;
-  batch.messages = message_names;
-  batch.categories = categories;
-  batch.nmax = options.nmax;
-  batch.literal_patch_guard = options.literal_patch_guard;
-  batch.include_reliability = options.include_reliability;
-  batch.guardian_requires_foothold = options.guardian_requires_foothold;
+  BatchSession batch = make_batch_session(architecture, options, categories,
+                                          message_names);
+  return analyze_batch_session(batch, options);
+}
 
-  csl::EngineSession session(transform_batch(architecture, batch),
-                             session_options(options));
+BatchSession make_batch_session(const Architecture& architecture,
+                                const AnalysisOptions& options,
+                                const std::vector<SecurityCategory>& categories,
+                                const std::vector<std::string>& messages) {
+  BatchSession batch;
+  batch.architecture_name = architecture.name;
+  batch.messages = messages;
+  if (batch.messages.empty()) {
+    for (const Message& message : architecture.messages) {
+      batch.messages.push_back(message.name);
+    }
+  }
+  batch.categories = categories;
+
+  BatchTransformOptions transform_options;
+  transform_options.messages = batch.messages;
+  transform_options.categories = batch.categories;
+  transform_options.nmax = options.nmax;
+  transform_options.literal_patch_guard = options.literal_patch_guard;
+  transform_options.include_reliability = options.include_reliability;
+  transform_options.guardian_requires_foothold = options.guardian_requires_foothold;
+  batch.session = std::make_shared<csl::EngineSession>(
+      transform_batch(architecture, transform_options), session_options(options));
+  return batch;
+}
+
+ArchitectureReport analyze_batch_session(BatchSession& batch,
+                                         const AnalysisOptions& options) {
+  apply_thread_option(options);
+
+  ArchitectureReport report;
+  const size_t pair_count = batch.messages.size() * batch.categories.size();
+  if (pair_count == 0 || !batch.session) return report;
+
+  util::metrics::ScopedSpan span("analyze");
+  {
+    util::metrics::Registry& metrics = util::metrics::registry();
+    if (metrics.enabled()) {
+      metrics.add("analyze.architectures");
+      metrics.add("analyze.pairs", pair_count);
+    }
+  }
+
+  csl::EngineSession& session = *batch.session;
+  // Per-request knobs: re-key the stage cache when the override set changed
+  // (same-key repeats reuse every cached stage) and arm this request's cancel
+  // token on the long-lived session.
+  if (csl::override_cache_key(options.constant_overrides) !=
+      csl::override_cache_key(session.options().constant_overrides)) {
+    session.set_constant_overrides(options.constant_overrides);
+  }
+  session.set_cancel_token(options.cancel);
+  const csl::SessionStats before = session.stats();
 
   const double horizon = options.horizon_years;
   const std::string h = std::to_string(horizon);
   std::vector<std::string> properties;
   properties.reserve(pair_count * 4);
-  for (const std::string& message : message_names) {
-    for (const SecurityCategory category : categories) {
+  for (const std::string& message : batch.messages) {
+    for (const SecurityCategory category : batch.categories) {
       const std::string violated = batch_violated_label(message, category);
       const std::string exposure = batch_exposure_reward(message, category);
       properties.push_back("R{\"" + exposure + "\"}=? [ C<=" + h + " ]");
@@ -208,7 +270,7 @@ ArchitectureReport analyze_architecture_report(
 
   const size_t state_count = session.space().state_count();
   const size_t transition_count = session.space().transition_count();
-  report.stats = session.stats();
+  report.stats = stats_delta(session.stats(), before);
   // Shared stage costs are split evenly across the pairs they served.
   const double build_each =
       (report.stats.compile_seconds + report.stats.explore_seconds) / pair_count;
@@ -216,10 +278,10 @@ ArchitectureReport analyze_architecture_report(
 
   report.results.reserve(pair_count);
   size_t v = 0;
-  for (const std::string& message : message_names) {
-    for (const SecurityCategory category : categories) {
+  for (const std::string& message : batch.messages) {
+    for (const SecurityCategory category : batch.categories) {
       AnalysisResult result;
-      result.architecture = architecture.name;
+      result.architecture = batch.architecture_name;
       result.message = message;
       result.category = category;
       result.exploitable_fraction = values[v++] / horizon;

@@ -25,21 +25,14 @@
 
 namespace autosec::automotive {
 
-struct AnalysisOptions {
-  int nmax = 1;
-  /// Analysis horizon in years (the paper uses 1).
-  double horizon_years = 1.0;
+/// Analyzer-level view of the shared engine knobs (csl/engine_options.hpp):
+/// nmax, horizon_years, constant_overrides (names per transform.hpp's
+/// *_constant helpers — the paper's Fig. 6 parameter exploration), threads,
+/// solver/transient settings and the cancel token are all inherited fields.
+struct AnalysisOptions : csl::EngineOptions {
   bool literal_patch_guard = false;
   bool guardian_requires_foothold = false;  // see TransformOptions
   bool include_reliability = true;          // see TransformOptions
-  /// Constant overrides applied at compile time (parameter exploration, the
-  /// paper's Fig. 6); names per transform.hpp's *_constant helpers.
-  std::vector<std::pair<std::string, symbolic::Value>> constant_overrides;
-  csl::CheckerOptions checker;
-  /// Worker threads for the engine's parallel backend (0 = keep the current
-  /// process-wide setting, which defaults to AUTOSEC_THREADS or the hardware
-  /// concurrency). Applied via util::set_thread_count.
-  int threads = 0;
   /// Fan independent per-message/per-property solves across the thread pool.
   /// Results are deterministic regardless of thread count.
   bool parallel_solves = true;
@@ -127,6 +120,36 @@ class SecurityAnalysis {
 AnalysisResult analyze_message(const Architecture& architecture,
                                const std::string& message, SecurityCategory category,
                                const AnalysisOptions& options = {});
+
+/// A prepared whole-vehicle batch analysis: the combined model's engine
+/// session plus the (message, category) grid it answers. Splitting the batch
+/// path into make + analyze lets a long-lived caller — the serving layer's
+/// session cache — build the session once and answer repeated reports from
+/// its cached stages (no re-compile / re-explore; see SessionStats).
+struct BatchSession {
+  std::shared_ptr<csl::EngineSession> session;
+  std::string architecture_name;
+  std::vector<std::string> messages;
+  std::vector<SecurityCategory> categories;
+};
+
+/// Transform + wrap the architecture into a reusable batch session. The model
+/// covers every (message, category) pair of the grid; nothing is compiled or
+/// explored until the first analyze_batch_session call.
+BatchSession make_batch_session(
+    const Architecture& architecture, const AnalysisOptions& options = {},
+    const std::vector<SecurityCategory>& categories = {
+        SecurityCategory::kConfidentiality, SecurityCategory::kIntegrity,
+        SecurityCategory::kAvailability},
+    const std::vector<std::string>& messages = {});
+
+/// Whole-vehicle report from a prepared batch session. `options` supplies the
+/// per-request knobs (horizon_years, constant_overrides — re-keying the
+/// session's stage cache when they change). The returned stats are the DELTA
+/// this call added to the session: a report answered entirely from cache has
+/// stats.explore_count == 0.
+ArchitectureReport analyze_batch_session(BatchSession& batch,
+                                         const AnalysisOptions& options = {});
 
 /// Whole-vehicle report: every message in the architecture (or `messages`
 /// when non-empty), across the given categories. Results are ordered

@@ -16,6 +16,7 @@
 #include "csl/property_parser.hpp"
 #include "ctmc/poisson.hpp"
 #include "ctmc/simulation.hpp"
+#include "service/server.hpp"
 #include "symbolic/dot.hpp"
 #include "symbolic/writer.hpp"
 #include "util/metrics.hpp"
@@ -537,6 +538,9 @@ void print_help(std::ostream& out) {
          "  sweep <file.arch> --message M --constant NAME --from A --to B\n"
          "        [--points N] [--linear] [--csv]\n"
          "  assess cvss <AV:x/AC:y/Au:z>   |   assess asil <QM|A|B|C|D>\n"
+         "  serve [--input FILE | --socket PATH] [--cache-capacity N]\n"
+         "        [--default-timeout-ms N] [--max-batch N] [--threads N]\n"
+         "        [--deterministic]   (NDJSON batch service, docs/serving.md)\n"
          "  help\n"
          "\n"
          "--threads N sets the engine's worker-thread count for every command\n"
@@ -608,6 +612,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     else if (*command == "compare") code = command_compare(cursor, out);
     else if (*command == "sweep") code = command_sweep(cursor, out);
     else if (*command == "assess") code = command_assess(cursor, out);
+    else if (*command == "serve") {
+      std::vector<std::string> serve_args;
+      while (auto token = cursor.try_next()) serve_args.push_back(*token);
+      code = service::run_serve(serve_args, out, err);
+    }
     else throw UsageError("unknown command '" + *command + "'; see 'autosec help'");
     write_metrics(code);
     return code;

@@ -6,9 +6,9 @@ namespace autosec::csl {
 
 namespace {
 
-SessionOptions session_options(CheckerOptions options) {
+SessionOptions session_options(const CheckerOptions& options) {
   SessionOptions session;
-  session.checker = options;
+  static_cast<EngineOptions&>(session) = options;
   return session;
 }
 
@@ -18,12 +18,6 @@ Checker::Checker(std::shared_ptr<const symbolic::StateSpace> space,
                  CheckerOptions options)
     : session_(std::make_shared<EngineSession>(std::move(space),
                                                session_options(options))) {}
-
-Checker::Checker(const symbolic::StateSpace& space, CheckerOptions options)
-    // Aliasing shared_ptr with no control block: borrow, as documented.
-    : Checker(std::shared_ptr<const symbolic::StateSpace>(
-                  std::shared_ptr<const symbolic::StateSpace>(), &space),
-              options) {}
 
 Checker::Checker(std::shared_ptr<EngineSession> session)
     : session_(std::move(session)) {

@@ -11,31 +11,29 @@
 #include <string_view>
 #include <vector>
 
+#include "csl/engine_options.hpp"
 #include "csl/property.hpp"
 #include "ctmc/ctmc.hpp"
-#include "ctmc/steady_state.hpp"
-#include "ctmc/transient.hpp"
 #include "symbolic/explorer.hpp"
 
 namespace autosec::csl {
 
 class EngineSession;
 
-struct CheckerOptions {
-  ctmc::TransientOptions transient;
-  ctmc::SteadyStateOptions steady_state;
-};
+/// Checker-level view of the shared engine knobs: the checker consumes the
+/// transient/steady_state/cancel slice of EngineOptions; the remaining fields
+/// are inert here (see csl/engine_options.hpp).
+struct CheckerOptions : EngineOptions {};
 
 class Checker {
  public:
   /// Shared ownership: the checker keeps the state space alive for its own
-  /// lifetime. Preferred constructor.
+  /// lifetime. Callers holding a StateSpace by value wrap it first —
+  /// std::make_shared<const symbolic::StateSpace>(std::move(space)) — which
+  /// replaces the removed borrow-a-reference constructor and its lifetime
+  /// footgun.
   explicit Checker(std::shared_ptr<const symbolic::StateSpace> space,
                    CheckerOptions options = {});
-
-  /// `space` is borrowed and must outlive the checker (no ownership taken —
-  /// use the shared_ptr constructor to rule the lifetime footgun out).
-  explicit Checker(const symbolic::StateSpace& space, CheckerOptions options = {});
 
   /// Facade over an existing session: checks share that session's caches.
   explicit Checker(std::shared_ptr<EngineSession> session);

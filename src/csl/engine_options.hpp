@@ -1,0 +1,59 @@
+// The one place engine knobs are defined. EngineOptions collects every
+// setting that used to be duplicated across CheckerOptions, SessionOptions
+// and automotive::AnalysisOptions — solver choice and tolerances, transient
+// truncation, exploration limits, constant overrides, the attacker bound
+// nmax, the analysis horizon, the worker-thread count, and the cooperative
+// cancellation token. The three option structs embed it as their base, so
+// the CLI, the serving layer, and library callers all configure the engine
+// through the same fields, and converting between layers is a slice
+// assignment:
+//
+//   csl::EngineOptions engine = ...;
+//   automotive::AnalysisOptions analysis;
+//   static_cast<csl::EngineOptions&>(analysis) = engine;
+//
+// Each layer consumes its slice: the csl session reads the solver/transient/
+// explore/override/cancel fields, the automotive transform reads nmax, the
+// analyzer reads horizon_years and threads. Unread fields are inert, never
+// an error.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ctmc/steady_state.hpp"
+#include "ctmc/transient.hpp"
+#include "symbolic/explorer.hpp"
+#include "symbolic/model.hpp"
+#include "util/cancel.hpp"
+
+namespace autosec::csl {
+
+struct EngineOptions {
+  /// Uniformization truncation for time-bounded operators.
+  ctmc::TransientOptions transient;
+  /// Long-run solves, including the fixpoint solver choice
+  /// (steady_state.solver.method: kAuto | kGaussSeidel | kKrylov).
+  ctmc::SteadyStateOptions steady_state;
+  /// State-space exploration limits.
+  symbolic::ExploreOptions explore;
+  /// Constant overrides applied at compile time (PRISM's -const); the cache
+  /// key of the session's stage pipeline.
+  std::vector<std::pair<std::string, symbolic::Value>> constant_overrides;
+  /// Max simultaneous exploits per interface (the paper's n_max; model-build
+  /// knob, consumed by the automotive transform).
+  int nmax = 1;
+  /// Analysis horizon in years (the paper uses 1).
+  double horizon_years = 1.0;
+  /// Worker threads for the parallel backend (0 = keep the process-wide
+  /// setting, which defaults to AUTOSEC_THREADS or hardware concurrency).
+  int threads = 0;
+  /// Cooperative cancellation: when set, engine stages and solver sweeps
+  /// poll it and unwind with util::Cancelled once it expires. Shared, so a
+  /// serving layer can arm per-request deadlines on a long-lived session.
+  std::shared_ptr<util::CancelToken> cancel;
+};
+
+}  // namespace autosec::csl

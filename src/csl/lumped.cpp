@@ -1,5 +1,7 @@
 #include "csl/lumped.hpp"
 
+#include <memory>
+
 #include <cmath>
 #include <limits>
 
@@ -65,7 +67,12 @@ std::vector<double> quotient_reachability(const ctmc::Ctmc& chain,
 LumpedCheckResult check_lumped(const symbolic::StateSpace& space,
                                const Property& property,
                                const CheckerOptions& options) {
-  const Checker helper(space, options);  // used for formula resolution only
+  // Non-owning alias: the helper only lives for this call, well inside the
+  // caller-guaranteed lifetime of `space`.
+  const Checker helper(
+      std::shared_ptr<const symbolic::StateSpace>(&space,
+                                                  [](const symbolic::StateSpace*) {}),
+      options);  // used for formula resolution only
   const ctmc::Ctmc& chain = helper.chain();
 
   // Observations the property depends on.

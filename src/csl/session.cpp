@@ -25,6 +25,13 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Poll hook for the numeric kernels: a copy of the shared token, so the
+/// options structs stay valid even if the session re-arms mid-solve.
+std::function<bool()> poll_hook(const std::shared_ptr<util::CancelToken>& token) {
+  if (!token) return {};
+  return [token] { return token->expired(); };
+}
+
 }  // namespace
 
 std::string override_cache_key(
@@ -77,7 +84,24 @@ void EngineSession::set_constant_overrides(
   active_ = nullptr;  // re-resolved (and possibly rebuilt) on next use
 }
 
+ctmc::TransientOptions EngineSession::transient_options() const {
+  ctmc::TransientOptions transient = options_.transient;
+  if (!transient.cancelled) transient.cancelled = poll_hook(options_.cancel);
+  return transient;
+}
+
+ctmc::SteadyStateOptions EngineSession::steady_state_options() const {
+  ctmc::SteadyStateOptions steady = options_.steady_state;
+  if (!steady.solver.cancelled) steady.solver.cancelled = poll_hook(options_.cancel);
+  return steady;
+}
+
+void EngineSession::check_cancel(const char* stage) const {
+  if (options_.cancel) options_.cancel->check(stage);
+}
+
 EngineSession::Stages& EngineSession::prepare() {
+  check_cancel("prepare");
   if (active_ == nullptr) {
     for (auto& [key, stages] : cache_) {
       if (key == active_key_) {
@@ -147,8 +171,7 @@ const ctmc::Uniformized& EngineSession::uniformized_of(Stages& stages) {
   std::lock_guard<std::mutex> lock(stages.lazy_mutex);
   if (!stages.uniformized) {
     util::metrics::ScopedSpan span("uniformize");
-    stages.uniformized =
-        ctmc::uniformize(*stages.chain, options_.checker.transient);
+    stages.uniformized = ctmc::uniformize(*stages.chain, transient_options());
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     stats_.uniformize_count += 1;
   }
@@ -159,8 +182,8 @@ const ctmc::SteadyStateResult& EngineSession::steady_of(Stages& stages) {
   std::lock_guard<std::mutex> lock(stages.lazy_mutex);
   if (!stages.steady) {
     util::metrics::ScopedSpan span("steady_state");
-    stages.steady = ctmc::steady_state(*stages.chain, stages.initial,
-                                       options_.checker.steady_state);
+    stages.steady =
+        ctmc::steady_state(*stages.chain, stages.initial, steady_state_options());
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     stats_.steady_state_count += 1;
   }
@@ -325,6 +348,7 @@ std::vector<double> EngineSession::check_all(
 }
 
 double EngineSession::evaluate(Stages& stages, const Property& property) {
+  check_cancel("solve");
   util::metrics::registry().add("session.properties");
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -385,7 +409,8 @@ std::vector<double> EngineSession::reachability_probabilities(
     }
   }
   auto solved = linalg::solve_fixpoint(std::move(block).build(), one_step,
-                                       options_.checker.steady_state.solver);
+                                       steady_state_options().solver);
+  if (solved.cancelled) throw util::Cancelled("solve");
   if (!solved.converged) {
     throw PropertyError("reachability fixpoint did not converge");
   }
@@ -422,18 +447,18 @@ double EngineSession::check_until(Stages& stages, const Property& property) {
     for (size_t i = 0; i < n; ++i) not_allowed[i] = !allowed[i];
     const ctmc::Ctmc phase1 = chain.with_absorbing(not_allowed);
     std::vector<double> at_t1 = ctmc::transient_distribution(
-        phase1, initial, t1, options_.checker.transient);
+        phase1, initial, t1, transient_options());
     for (size_t i = 0; i < n; ++i) {
       if (!allowed[i]) at_t1[i] = 0.0;  // left Φ before t1: failed
     }
     return ctmc::bounded_reachability(chain, at_t1, allowed, target, t2 - t1,
-                                      options_.checker.transient);
+                                      transient_options());
   }
 
   if (property.has_time_bound()) {
     return ctmc::bounded_reachability(chain, initial, allowed, target,
                                       time_bound_in(stages, property),
-                                      options_.checker.transient);
+                                      transient_options());
   }
   // Unbounded until: restrict to the allowed region by making forbidden
   // states absorbing (they can never contribute), then take unbounded
@@ -486,13 +511,13 @@ double EngineSession::check_reward(Stages& stages, const Property& property) {
       const double t = time_bound_in(stages, property);
       if (chain.max_exit_rate() == 0.0) {
         return ctmc::expected_cumulative_reward(chain, initial, rewards, t,
-                                                options_.checker.transient);
+                                                transient_options());
       }
       // Base-chain accumulation reuses the session's uniformization stage, so
       // repeated horizons skip the uniformize + transpose work.
       return ctmc::expected_cumulative_reward(uniformized_of(stages), initial,
                                               rewards, t,
-                                              options_.checker.transient);
+                                              transient_options());
     }
     case PropertyKind::kInstantaneousReward: {
       const double t = time_bound_in(stages, property);
@@ -500,7 +525,7 @@ double EngineSession::check_reward(Stages& stages, const Property& property) {
         return linalg::dot(initial, rewards);
       }
       const std::vector<double> dist = ctmc::transient_distribution(
-          uniformized_of(stages), initial, t, options_.checker.transient);
+          uniformized_of(stages), initial, t, transient_options());
       return linalg::dot(dist, rewards);
     }
     case PropertyKind::kSteadyStateReward:
@@ -538,7 +563,8 @@ double EngineSession::check_reward(Stages& stages, const Property& property) {
         }
       }
       auto solved = linalg::solve_fixpoint(std::move(block).build(), base,
-                                           options_.checker.steady_state.solver);
+                                           steady_state_options().solver);
+      if (solved.cancelled) throw util::Cancelled("solve");
       if (!solved.converged) {
         throw PropertyError("reachability reward fixpoint did not converge");
       }

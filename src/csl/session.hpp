@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "csl/checker.hpp"
+#include "csl/engine_options.hpp"
 #include "csl/property.hpp"
 #include "ctmc/ctmc.hpp"
 #include "ctmc/steady_state.hpp"
@@ -35,12 +36,10 @@
 
 namespace autosec::csl {
 
-struct SessionOptions {
-  /// Constant overrides applied at compile time (PRISM's -const); the cache
-  /// key of the stage pipeline.
-  std::vector<std::pair<std::string, symbolic::Value>> constant_overrides;
-  symbolic::ExploreOptions explore;
-  CheckerOptions checker;
+/// Session-level view of the shared engine knobs (csl/engine_options.hpp):
+/// the session consumes constant_overrides, explore, transient, steady_state
+/// and cancel; nmax/horizon_years/threads are inert at this layer.
+struct SessionOptions : EngineOptions {
   /// Fan the independent solves of check_all() across the thread pool.
   bool parallel_properties = true;
 };
@@ -94,6 +93,14 @@ class EngineSession {
   void set_constant_overrides(
       std::vector<std::pair<std::string, symbolic::Value>> overrides);
 
+  /// Swap the cooperative cancellation token. Stage boundaries and solver
+  /// sweeps poll the active token and unwind with util::Cancelled once it is
+  /// cancelled or its deadline passes; a long-lived (cached) session arms a
+  /// fresh token per request. Pass nullptr to disarm.
+  void set_cancel_token(std::shared_ptr<util::CancelToken> token) {
+    options_.cancel = std::move(token);
+  }
+
   // --- property evaluation.
   double check(const Property& property);
   double check(std::string_view property_text);
@@ -145,6 +152,12 @@ class EngineSession {
 
   const ctmc::Uniformized& uniformized_of(Stages& stages);
   const ctmc::SteadyStateResult& steady_of(Stages& stages);
+
+  // Effective numeric options with the active cancel token's poll hook bound
+  // (pass-through copies when no token is armed).
+  ctmc::TransientOptions transient_options() const;
+  ctmc::SteadyStateOptions steady_state_options() const;
+  void check_cancel(const char* stage) const;
 
   std::optional<symbolic::Model> model_;  ///< absent for space-adopting sessions
   SessionOptions options_;

@@ -7,6 +7,7 @@
 #include "ctmc/scc.hpp"
 #include "ctmc/transient.hpp"
 #include "linalg/vector_ops.hpp"
+#include "util/cancel.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
@@ -46,6 +47,7 @@ std::vector<double> bscc_stationary(const Ctmc& chain,
   }
   auto result = linalg::stationary_from_transposed(std::move(builder).build(),
                                                    solver);
+  if (result.cancelled) throw util::Cancelled("steady_state");
   if (!result.converged) {
     throw std::runtime_error("bscc_stationary: solver did not converge");
   }
@@ -174,6 +176,7 @@ SteadyStateResult steady_state(const Ctmc& chain, const std::vector<double>& ini
         }
       }
       auto solved = linalg::solve_fixpoint(transient_block, one_step, options.solver);
+      if (solved.cancelled) throw util::Cancelled("steady_state");
       if (!solved.converged) {
         throw std::runtime_error("steady_state: absorption solver did not converge");
       }

@@ -6,6 +6,7 @@
 
 #include "ctmc/poisson.hpp"
 #include "linalg/vector_ops.hpp"
+#include "util/cancel.hpp"
 #include "util/metrics.hpp"
 
 namespace autosec::ctmc {
@@ -63,6 +64,9 @@ std::vector<double> transient_distribution(const Uniformized& uniformized,
   std::vector<double> result(n, 0.0);
 
   for (size_t k = 0; k <= weights->right; ++k) {
+    if (options.cancelled && options.cancelled()) {
+      throw util::Cancelled("transient");
+    }
     if (k >= weights->left) {
       linalg::axpy(weights->weight(k), current, result);
     }

@@ -2,6 +2,7 @@
 //   π(t) = Σ_k Pois(qt, k) · π(0) Pᵏ   with P = I + Q/q.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
@@ -12,6 +13,9 @@ struct TransientOptions {
   double epsilon = 1e-12;  ///< truncation error bound for the Poisson weights
   /// Uniformization rate override; <= 0 means the chain's default rate.
   double uniformization_rate = 0.0;
+  /// Cooperative cancellation hook, polled between uniformization steps.
+  /// When it returns true the solve unwinds with util::Cancelled.
+  std::function<bool()> cancelled;
 };
 
 /// A prebuilt uniformization stage: the rate q and the *transposed*

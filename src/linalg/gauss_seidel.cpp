@@ -23,6 +23,10 @@ IterativeResult fixpoint_gauss_seidel(const CsrMatrix& A,
   std::vector<double>& x = result.x;
 
   for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    if (options.cancelled && options.cancelled()) {
+      result.cancelled = true;
+      return result;
+    }
     double delta = 0.0;
     double magnitude = 0.0;
     for (size_t i = 0; i < n; ++i) {
@@ -94,7 +98,7 @@ IterativeResult solve_fixpoint(const CsrMatrix& A, const std::vector<double>& b,
     case FixpointMethod::kAuto: {
       IterativeResult result =
           record_solve("krylov", solve_fixpoint_krylov(A, b, options));
-      if (result.converged) return result;
+      if (result.converged || result.cancelled) return result;
       // Breakdown or stagnation — rare, but the contracting sweeps always
       // converge, so the combined method is as robust as Gauss-Seidel alone.
       util::metrics::registry().add("solver.krylov_fallbacks");
@@ -133,6 +137,10 @@ IterativeResult stationary_from_transposed(const CsrMatrix& Qt,
   std::vector<double>& pi = result.x;
 
   for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    if (options.cancelled && options.cancelled()) {
+      result.cancelled = true;
+      return result;
+    }
     double delta = 0.0;
     for (size_t i = 0; i < n; ++i) {
       const auto cols = Qt.row_columns(i);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "linalg/csr_matrix.hpp"
@@ -40,6 +41,10 @@ struct IterativeOptions {
   /// delta to 1e-12; the cap only exists to bound genuinely divergent solves.
   size_t max_iterations = 1000000;
   FixpointMethod method = FixpointMethod::kAuto;
+  /// Cooperative cancellation hook, polled between sweeps/iterations. When
+  /// it returns true the solver stops cleanly with cancelled = true (and
+  /// converged = false); callers translate that into their own unwinding.
+  std::function<bool()> cancelled;
 };
 
 struct IterativeResult {
@@ -47,6 +52,7 @@ struct IterativeResult {
   size_t iterations = 0;
   double final_delta = 0.0;
   bool converged = false;
+  bool cancelled = false;  ///< stopped by IterativeOptions::cancelled
 };
 
 /// Solve x = A·x + b; the method is picked by options.method (BiCGSTAB with

@@ -57,6 +57,11 @@ IterativeResult solve_fixpoint_krylov(const CsrMatrix& A,
 
   for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
     result.iterations = iter;
+    if (options.cancelled && options.cancelled()) {
+      result.cancelled = true;
+      result.converged = false;
+      return result;
+    }
 
     const double rho_next = dot(r_hat, r);
     if (rho_next == 0.0) break;  // breakdown: shadow residual orthogonal

@@ -1,0 +1,98 @@
+// The v1 serve protocol: newline-delimited JSON requests and responses over
+// stdin, a file, or a Unix socket (see service/server.hpp). Every response —
+// success or error — carries the same envelope:
+//
+//   {"schema_version": "autosec-serve-v1", "id": "...", "op": "...",
+//    "ok": true|false, "result": {...} | "error": {...}, "metrics": {...}}
+//
+// The error object is structured ({"code", "message", "stage"?}) with codes
+//   bad_request    malformed JSON, unknown op, invalid or missing fields
+//   timeout        the request's deadline expired (stage names the engine
+//                  stage that observed it)
+//   engine_error   the engine rejected the model or a solve failed
+//   shutting_down  the service is draining (SIGTERM) and not accepting work
+//
+// The metrics object makes cache behaviour observable per request:
+//   {"wall_seconds": S, "session_cache": "hit"|"miss"|"none",
+//    "explores": N, "states": N}
+// — "explores" is the state-space explorations this request added to its
+// session; a repeated analyze answered from the session cache reports
+// session_cache "hit" and explores 0.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "automotive/architecture.hpp"
+#include "linalg/gauss_seidel.hpp"
+#include "symbolic/model.hpp"
+
+namespace autosec::service {
+
+inline constexpr std::string_view kSchemaVersion = "autosec-serve-v1";
+
+enum class Op { kAnalyze, kCheck, kSweep, kDiagnose, kStatus };
+
+/// The op token as it appears on the wire ("analyze", "check", ...).
+std::string_view op_name(Op op);
+
+/// Structured error object of the v1 envelope.
+struct ErrorInfo {
+  std::string code;     ///< bad_request | timeout | engine_error | shutting_down
+  std::string message;  ///< human-readable detail
+  std::string stage;    ///< engine stage for timeouts; empty otherwise
+};
+
+/// A parsed v1 request. Fields not used by the request's op are left at
+/// their defaults; see docs/serving.md for the full field matrix.
+struct Request {
+  std::string id;  ///< echoed verbatim; empty when the client sent none
+  Op op = Op::kStatus;
+
+  /// Path to the .arch file (every op except status).
+  std::string architecture;
+  /// analyze: the (message, category) grid; empty means all messages /
+  /// all three categories.
+  std::vector<std::string> messages;
+  std::vector<automotive::SecurityCategory> categories;
+  /// check / sweep / diagnose: the single target pair.
+  std::string message;
+  automotive::SecurityCategory category =
+      automotive::SecurityCategory::kConfidentiality;
+
+  std::vector<std::string> properties;  ///< check: CSL property texts
+  std::string constant;                 ///< sweep: overridden constant name
+  std::vector<double> values;           ///< sweep: values to evaluate
+
+  int nmax = 1;
+  double horizon_years = 1.0;
+  std::vector<std::pair<std::string, symbolic::Value>> overrides;
+  /// Per-request wall-clock budget. Absent = no timeout; 0 = already
+  /// expired (deterministic timeout, used by the protocol tests).
+  std::optional<int64_t> timeout_ms;
+  std::optional<linalg::FixpointMethod> solver;
+};
+
+/// Outcome of parsing one request line: either a request or a bad_request
+/// error (never both). `id`/`op_text` carry whatever could be salvaged from
+/// the malformed input so the error response can still echo them.
+struct ParseResult {
+  std::optional<Request> request;
+  ErrorInfo error;
+  std::string id;       ///< echoed id even when parsing failed
+  std::string op_text;  ///< raw op string even when unknown
+};
+
+/// Parse one newline-delimited request. Unknown top-level keys are rejected
+/// (bad_request) so client typos fail loudly instead of silently running a
+/// default analysis.
+ParseResult parse_request(std::string_view line);
+
+/// Parse a category token ("confidentiality" | "integrity" | "availability").
+std::optional<automotive::SecurityCategory> parse_category_token(
+    std::string_view text);
+
+}  // namespace autosec::service

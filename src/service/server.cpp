@@ -1,0 +1,737 @@
+#include "service/server.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "automotive/analyzer.hpp"
+#include "automotive/archfile.hpp"
+#include "automotive/diagnostics.hpp"
+#include "automotive/transform.hpp"
+#include "csl/session.hpp"
+#include "util/cancel.hpp"
+#include "util/drain.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace autosec::service {
+
+namespace {
+
+using automotive::SecurityCategory;
+using util::JsonValue;
+
+/// Client mistakes discovered after parsing (missing file, unknown message,
+/// invalid architecture); carries the structured error of the response.
+class RequestError : public std::runtime_error {
+ public:
+  explicit RequestError(ErrorInfo info)
+      : std::runtime_error(info.message), info_(std::move(info)) {}
+  const ErrorInfo& info() const { return info_; }
+
+ private:
+  ErrorInfo info_;
+};
+
+[[noreturn]] void bad_request(const std::string& message) {
+  throw RequestError({"bad_request", message, ""});
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bad_request("cannot open architecture file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string hex64(uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::string_view solver_token(const std::optional<linalg::FixpointMethod>& solver) {
+  if (!solver) return "auto";
+  switch (*solver) {
+    case linalg::FixpointMethod::kAuto: return "auto";
+    case linalg::FixpointMethod::kGaussSeidel: return "gauss_seidel";
+    case linalg::FixpointMethod::kKrylov: return "krylov";
+  }
+  return "auto";
+}
+
+/// Categories of an analyze grid: explicit list or the standard three.
+std::vector<SecurityCategory> grid_categories(const Request& request) {
+  if (!request.categories.empty()) return request.categories;
+  return {SecurityCategory::kConfidentiality, SecurityCategory::kIntegrity,
+          SecurityCategory::kAvailability};
+}
+
+/// Session-cache key: architecture content digest + every knob that changes
+/// the transformed model or the solver configuration baked into the session.
+/// Constant overrides and the horizon are deliberately NOT part of the key —
+/// the session re-keys its own stage cache per override set (that is what
+/// makes sweeps cheap) and the horizon only appears in property texts.
+std::string make_key(const char* kind, uint64_t digest, const Request& request) {
+  std::string key(kind);
+  key += ':';
+  key += hex64(digest);
+  key += ";nmax=";
+  key += std::to_string(request.nmax);
+  key += ";solver=";
+  key += solver_token(request.solver);
+  if (request.op == Op::kAnalyze) {
+    key += ";msgs=";
+    for (const std::string& message : request.messages) {
+      key += message;
+      key += ',';
+    }
+    key += ";cats=";
+    for (const SecurityCategory category : grid_categories(request)) {
+      key += automotive::category_key(category);
+      key += ',';
+    }
+  } else {
+    key += ";msg=";
+    key += request.message;
+    key += ";cat=";
+    key += automotive::category_key(request.category);
+  }
+  return key;
+}
+
+/// Per-request cancel token: armed when the request (or the server default)
+/// carries a timeout. timeout_ms == 0 arms an already-expired deadline, so
+/// the very first engine safepoint unwinds — the deterministic timeout path.
+std::shared_ptr<util::CancelToken> make_token(
+    const Request& request, const std::optional<int64_t>& fallback_ms) {
+  const std::optional<int64_t> ms =
+      request.timeout_ms ? request.timeout_ms : fallback_ms;
+  if (!ms) return nullptr;
+  auto token = std::make_shared<util::CancelToken>();
+  token->set_deadline_after(std::chrono::milliseconds(*ms));
+  return token;
+}
+
+/// Engine knobs of one request, shared by every op.
+automotive::AnalysisOptions engine_options(
+    const Request& request, std::shared_ptr<util::CancelToken> token) {
+  automotive::AnalysisOptions options;
+  options.nmax = request.nmax;
+  options.horizon_years = request.horizon_years;
+  options.constant_overrides = request.overrides;
+  if (request.solver) options.steady_state.solver.method = *request.solver;
+  options.cancel = std::move(token);
+  return options;
+}
+
+/// Parse the architecture text, mapping parse/validation failures to
+/// bad_request (the client named a bad file, not an engine defect).
+automotive::Architecture parse_architecture_checked(const std::string& content,
+                                                    const std::string& path) {
+  try {
+    return automotive::parse_architecture(content);
+  } catch (const std::exception& error) {
+    bad_request("invalid architecture '" + path + "': " + error.what());
+  }
+}
+
+JsonValue result_to_json(const automotive::AnalysisResult& result) {
+  JsonValue out = JsonValue::object();
+  out["message"] = JsonValue::string(result.message);
+  out["category"] = JsonValue::string(automotive::category_name(result.category));
+  out["exploitable_fraction"] = JsonValue::number(result.exploitable_fraction);
+  out["breach_probability"] = JsonValue::number(result.breach_probability);
+  out["steady_state_fraction"] = JsonValue::number(result.steady_state_fraction);
+  // +inf (breach not certain) serializes as null per the JSON convention.
+  out["mean_time_to_breach"] = JsonValue::number(result.mean_time_to_breach);
+  return out;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity) {}
+
+util::JsonValue Server::run_analyze(const Request& request,
+                                    RequestMetrics& metrics) {
+  const std::string content = read_file(request.architecture);
+  const std::string key = make_key("batch", fnv1a64(content), request);
+  const auto token = make_token(request, options_.default_timeout_ms);
+  const std::vector<SecurityCategory> categories = grid_categories(request);
+
+  bool hit = false;
+  const auto entry = cache_.acquire(
+      key,
+      [&] {
+        const automotive::Architecture arch =
+            parse_architecture_checked(content, request.architecture);
+        return automotive::make_batch_session(arch, engine_options(request, nullptr),
+                                              categories, request.messages);
+      },
+      &hit);
+
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  const automotive::ArchitectureReport report = automotive::analyze_batch_session(
+      entry->batch, engine_options(request, token));
+
+  metrics.session_cache = hit ? "hit" : "miss";
+  metrics.explores = report.stats.explore_count;
+  if (!report.results.empty()) metrics.states = report.results.front().state_count;
+
+  JsonValue result = JsonValue::object();
+  result["architecture"] = JsonValue::string(entry->batch.architecture_name);
+  result["horizon_years"] = JsonValue::number(request.horizon_years);
+  JsonValue results = JsonValue::array();
+  for (const automotive::AnalysisResult& r : report.results) {
+    results.push_back(result_to_json(r));
+  }
+  result["results"] = std::move(results);
+  return result;
+}
+
+util::JsonValue Server::run_check(const Request& request, RequestMetrics& metrics) {
+  const std::string content = read_file(request.architecture);
+  const std::string key = make_key("single", fnv1a64(content), request);
+  const auto token = make_token(request, options_.default_timeout_ms);
+
+  bool hit = false;
+  const auto entry = cache_.acquire(
+      key,
+      [&] {
+        const automotive::Architecture arch =
+            parse_architecture_checked(content, request.architecture);
+        if (!request.message.empty() &&
+            std::none_of(arch.messages.begin(), arch.messages.end(),
+                         [&](const automotive::Message& m) {
+                           return m.name == request.message;
+                         })) {
+          bad_request("unknown message '" + request.message + "'");
+        }
+        automotive::TransformOptions transform_options;
+        transform_options.message = request.message;
+        transform_options.category = request.category;
+        transform_options.nmax = request.nmax;
+        automotive::BatchSession batch;
+        batch.architecture_name = arch.name;
+        batch.messages = {request.message};
+        batch.categories = {request.category};
+        csl::SessionOptions session_options;
+        static_cast<csl::EngineOptions&>(session_options) =
+            engine_options(request, nullptr);
+        session_options.cancel = nullptr;
+        try {
+          batch.session = std::make_shared<csl::EngineSession>(
+              automotive::transform(arch, transform_options), session_options);
+        } catch (const std::exception& error) {
+          bad_request(std::string("cannot transform architecture: ") + error.what());
+        }
+        return batch;
+      },
+      &hit);
+
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  csl::EngineSession& session = *entry->batch.session;
+  if (csl::override_cache_key(request.overrides) !=
+      csl::override_cache_key(session.options().constant_overrides)) {
+    session.set_constant_overrides(request.overrides);
+  }
+  session.set_cancel_token(token);
+  const csl::SessionStats before = session.stats();
+
+  const std::vector<double> values = session.check_all(request.properties);
+
+  metrics.session_cache = hit ? "hit" : "miss";
+  metrics.explores = session.stats().explore_count - before.explore_count;
+  metrics.states = session.space().state_count();
+
+  JsonValue result = JsonValue::object();
+  result["architecture"] = JsonValue::string(entry->batch.architecture_name);
+  result["message"] = JsonValue::string(request.message);
+  result["category"] =
+      JsonValue::string(automotive::category_name(request.category));
+  JsonValue rows = JsonValue::array();
+  for (size_t i = 0; i < request.properties.size(); ++i) {
+    JsonValue row = JsonValue::object();
+    row["property"] = JsonValue::string(request.properties[i]);
+    row["value"] = JsonValue::number(values[i]);
+    rows.push_back(std::move(row));
+  }
+  result["properties"] = std::move(rows);
+  return result;
+}
+
+util::JsonValue Server::run_sweep(const Request& request, RequestMetrics& metrics) {
+  const std::string content = read_file(request.architecture);
+  const std::string key = make_key("single", fnv1a64(content), request);
+  const auto token = make_token(request, options_.default_timeout_ms);
+
+  bool hit = false;
+  const auto entry = cache_.acquire(
+      key,
+      [&] {
+        const automotive::Architecture arch =
+            parse_architecture_checked(content, request.architecture);
+        automotive::TransformOptions transform_options;
+        transform_options.message = request.message;
+        transform_options.category = request.category;
+        transform_options.nmax = request.nmax;
+        automotive::BatchSession batch;
+        batch.architecture_name = arch.name;
+        batch.messages = {request.message};
+        batch.categories = {request.category};
+        csl::SessionOptions session_options;
+        static_cast<csl::EngineOptions&>(session_options) =
+            engine_options(request, nullptr);
+        session_options.cancel = nullptr;
+        try {
+          batch.session = std::make_shared<csl::EngineSession>(
+              automotive::transform(arch, transform_options), session_options);
+        } catch (const std::exception& error) {
+          bad_request(std::string("cannot transform architecture: ") + error.what());
+        }
+        return batch;
+      },
+      &hit);
+
+  std::lock_guard<std::mutex> lock(entry->mutex);
+  csl::EngineSession& session = *entry->batch.session;
+  session.set_cancel_token(token);
+  const csl::SessionStats before = session.stats();
+
+  const double horizon = request.horizon_years;
+  const std::string property =
+      "R{\"exposure\"}=? [ C<=" + std::to_string(horizon) + " ]";
+  JsonValue points = JsonValue::array();
+  // The points run sequentially on the one session: each value re-keys the
+  // stage cache (a value seen before hits its cached stages), and the solves
+  // themselves parallelize inside the kernels.
+  for (const double value : request.values) {
+    std::vector<std::pair<std::string, symbolic::Value>> overrides =
+        request.overrides;
+    overrides.emplace_back(request.constant, symbolic::Value::of(value));
+    if (csl::override_cache_key(overrides) !=
+        csl::override_cache_key(session.options().constant_overrides)) {
+      session.set_constant_overrides(std::move(overrides));
+    }
+    JsonValue point = JsonValue::object();
+    point["value"] = JsonValue::number(value);
+    point["exploitable_fraction"] =
+        JsonValue::number(session.check(property) / horizon);
+    points.push_back(std::move(point));
+  }
+
+  metrics.session_cache = hit ? "hit" : "miss";
+  metrics.explores = session.stats().explore_count - before.explore_count;
+  metrics.states = session.space().state_count();
+
+  JsonValue result = JsonValue::object();
+  result["architecture"] = JsonValue::string(entry->batch.architecture_name);
+  result["message"] = JsonValue::string(request.message);
+  result["category"] =
+      JsonValue::string(automotive::category_name(request.category));
+  result["constant"] = JsonValue::string(request.constant);
+  result["horizon_years"] = JsonValue::number(horizon);
+  result["points"] = std::move(points);
+  return result;
+}
+
+util::JsonValue Server::run_diagnose(const Request& request,
+                                     RequestMetrics& metrics) {
+  // Diagnostics perturb rate constants internally (one model per perturbed
+  // value), so there is no long-lived session to reuse: session_cache "none".
+  const std::string content = read_file(request.architecture);
+  const automotive::Architecture arch =
+      parse_architecture_checked(content, request.architecture);
+  const auto token = make_token(request, options_.default_timeout_ms);
+  const automotive::AnalysisOptions analysis_options =
+      engine_options(request, token);
+
+  automotive::CriticalityOptions criticality_options;
+  criticality_options.analysis = analysis_options;
+  const std::vector<automotive::Criticality> criticalities =
+      automotive::criticality_analysis(arch, request.message, request.category,
+                                       criticality_options);
+  const automotive::BreachAttributionResult attribution =
+      automotive::first_breach_attribution(arch, request.message, request.category,
+                                           analysis_options);
+  const automotive::SecurityAnalysis analysis(arch, request.message,
+                                              request.category, analysis_options);
+
+  JsonValue result = JsonValue::object();
+  result["architecture"] = JsonValue::string(arch.name);
+  result["message"] = JsonValue::string(request.message);
+  result["category"] =
+      JsonValue::string(automotive::category_name(request.category));
+
+  JsonValue criticality = JsonValue::array();
+  for (const automotive::Criticality& c : criticalities) {
+    JsonValue row = JsonValue::object();
+    row["constant"] = JsonValue::string(c.constant);
+    row["value"] = JsonValue::number(c.base_value);
+    row["elasticity"] = JsonValue::number(c.elasticity);
+    criticality.push_back(std::move(row));
+  }
+  result["criticality"] = std::move(criticality);
+
+  JsonValue breach = JsonValue::object();
+  breach["total_breach_probability"] =
+      JsonValue::number(attribution.total_breach_probability);
+  JsonValue attributions = JsonValue::array();
+  for (const automotive::BreachAttribution& a : attribution.attributions) {
+    JsonValue row = JsonValue::object();
+    row["component"] = JsonValue::string(a.component);
+    row["probability"] = JsonValue::number(a.probability);
+    attributions.push_back(std::move(row));
+  }
+  breach["attributions"] = std::move(attributions);
+  result["first_breach"] = std::move(breach);
+
+  JsonValue quantiles = JsonValue::array();
+  for (const double q : {0.05, 0.25, 0.5, 0.95}) {
+    JsonValue row = JsonValue::object();
+    row["quantile"] = JsonValue::number(q);
+    // +inf (quantile beyond max_years) serializes as null.
+    row["years"] = JsonValue::number(automotive::breach_time_quantile(analysis, q));
+    quantiles.push_back(std::move(row));
+  }
+  result["breach_time_quantiles"] = std::move(quantiles);
+
+  metrics.states = analysis.space().state_count();
+  return result;
+}
+
+util::JsonValue Server::run_status(const Request&, RequestMetrics&) {
+  const SessionCache::Stats stats = cache_.stats();
+  JsonValue result = JsonValue::object();
+  JsonValue cache = JsonValue::object();
+  cache["entries"] = JsonValue::number(stats.entries);
+  cache["capacity"] = JsonValue::number(stats.capacity);
+  cache["hits"] = JsonValue::number(stats.hits);
+  cache["misses"] = JsonValue::number(stats.misses);
+  cache["evictions"] = JsonValue::number(stats.evictions);
+  result["cache"] = std::move(cache);
+  result["requests"] = JsonValue::number(requests_.load(std::memory_order_relaxed));
+  result["errors"] = JsonValue::number(errors_.load(std::memory_order_relaxed));
+  result["draining"] = JsonValue::boolean(draining());
+  result["threads"] = JsonValue::number(util::thread_count());
+  util::metrics::Registry& registry = util::metrics::registry();
+  result["metrics"] = registry.enabled() ? JsonValue::parse(registry.to_json())
+                                         : JsonValue::null();
+  return result;
+}
+
+util::JsonValue Server::dispatch(const Request& request, RequestMetrics& metrics) {
+  switch (request.op) {
+    case Op::kAnalyze: return run_analyze(request, metrics);
+    case Op::kCheck: return run_check(request, metrics);
+    case Op::kSweep: return run_sweep(request, metrics);
+    case Op::kDiagnose: return run_diagnose(request, metrics);
+    case Op::kStatus: return run_status(request, metrics);
+  }
+  bad_request("unhandled op");
+}
+
+std::string Server::handle_line(const std::string& line) {
+  const auto start = std::chrono::steady_clock::now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  util::metrics::registry().add("serve.requests");
+
+  const ParseResult parsed = parse_request(line);
+  RequestMetrics metrics;
+  std::optional<JsonValue> result;
+  ErrorInfo error;
+
+  if (draining()) {
+    error = {"shutting_down", "service is draining and not accepting requests", ""};
+  } else if (!parsed.request) {
+    error = parsed.error;
+  } else {
+    try {
+      result = dispatch(*parsed.request, metrics);
+    } catch (const util::Cancelled& cancelled) {
+      error = {"timeout", cancelled.what(), cancelled.stage()};
+    } catch (const RequestError& request_error) {
+      error = request_error.info();
+    } catch (const std::exception& engine_error) {
+      error = {"engine_error", engine_error.what(), ""};
+    }
+  }
+  if (!result) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    util::metrics::registry().add("serve.errors");
+  }
+
+  metrics.wall_seconds =
+      options_.deterministic
+          ? 0.0
+          : std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
+
+  util::JsonWriter writer(0);
+  writer.begin_object();
+  writer.key("schema_version").value(kSchemaVersion);
+  writer.key("id").value(parsed.id);
+  writer.key("op").value(parsed.op_text);
+  writer.key("ok").value(result.has_value());
+  if (result) {
+    writer.key("result");
+    result->write(writer);
+  } else {
+    writer.key("error");
+    writer.begin_object();
+    writer.key("code").value(error.code);
+    writer.key("message").value(error.message);
+    if (!error.stage.empty()) writer.key("stage").value(error.stage);
+    writer.end_object();
+  }
+  writer.key("metrics");
+  writer.begin_object();
+  writer.key("wall_seconds").value(metrics.wall_seconds);
+  writer.key("session_cache").value(metrics.session_cache);
+  writer.key("explores").value(metrics.explores);
+  writer.key("states").value(metrics.states);
+  writer.end_object();
+  writer.end_object();
+  return writer.take();
+}
+
+void Server::process_buffered(std::string& buffer, std::ostream& out) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (true) {
+    const size_t newline = buffer.find('\n', pos);
+    if (newline == std::string::npos) break;
+    std::string line = buffer.substr(pos, newline - pos);
+    pos = newline + 1;
+    if (line.find_first_not_of(" \t\r") != std::string::npos) {
+      lines.push_back(std::move(line));  // blank lines are ignored, not errors
+    }
+  }
+  buffer.erase(0, pos);
+
+  size_t index = 0;
+  while (index < lines.size()) {
+    const size_t batch = std::min(options_.max_batch, lines.size() - index);
+    std::vector<std::string> responses(batch);
+    if (batch == 1) {
+      responses[0] = handle_line(lines[index]);
+    } else {
+      // Fan the batch across the pool; responses keep input order because
+      // every slot writes only its own element.
+      util::parallel_for(0, batch, 1, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          responses[i] = handle_line(lines[index + i]);
+        }
+      });
+    }
+    for (const std::string& response : responses) out << response << '\n';
+    out.flush();
+    index += batch;
+  }
+}
+
+int Server::serve_stream(std::istream& in, std::ostream& out) {
+  std::ostringstream all;
+  all << in.rdbuf();
+  std::string buffer = all.str();
+  if (!buffer.empty() && buffer.back() != '\n') buffer += '\n';
+  process_buffered(buffer, out);
+  return 0;
+}
+
+int Server::serve_fd(int fd, std::ostream& out) {
+  std::string buffer;
+  bool eof = false;
+  while (!eof && !util::drain_requested()) {
+    pollfd fds[2] = {{fd, POLLIN, 0}, {util::drain_fd(), POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // drain signal
+    if ((fds[0].revents & (POLLIN | POLLHUP)) == 0) continue;
+    char chunk[65536];
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    if (got == 0) {
+      eof = true;
+    } else {
+      buffer.append(chunk, static_cast<size_t>(got));
+      // Requests already received are handled (and answered) even if a drain
+      // arrives while they run — the graceful part of the drain.
+      process_buffered(buffer, out);
+    }
+  }
+  process_buffered(buffer, out);
+  begin_drain();
+  return 0;
+}
+
+namespace {
+
+void write_all(int fd, std::string_view data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t wrote = ::write(fd, data.data() + offset, data.size() - offset);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; drop the rest of the responses
+    }
+    offset += static_cast<size_t>(wrote);
+  }
+}
+
+}  // namespace
+
+int Server::serve_socket(std::ostream& err) {
+  if (options_.socket_path.size() >= sizeof(sockaddr_un::sun_path)) {
+    err << "serve: socket path too long: " << options_.socket_path << "\n";
+    return 2;
+  }
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    err << "serve: socket(): " << std::strerror(errno) << "\n";
+    return 2;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 8) < 0) {
+    err << "serve: cannot listen on '" << options_.socket_path
+        << "': " << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return 2;
+  }
+  err << "serve: listening on " << options_.socket_path << "\n";
+
+  while (!util::drain_requested()) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {util::drain_fd(), POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    // One connection at a time; the batch fan-out inside process_buffered is
+    // where the parallelism lives.
+    std::string buffer;
+    while (true) {
+      pollfd conn_fds[2] = {{conn, POLLIN, 0}, {util::drain_fd(), POLLIN, 0}};
+      const int conn_ready = ::poll(conn_fds, 2, -1);
+      if (conn_ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (conn_fds[1].revents != 0) break;  // finish buffered work below
+      if ((conn_fds[0].revents & (POLLIN | POLLHUP)) == 0) continue;
+      char chunk[65536];
+      const ssize_t got = ::read(conn, chunk, sizeof(chunk));
+      if (got < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        break;
+      }
+      if (got == 0) break;
+      buffer.append(chunk, static_cast<size_t>(got));
+      std::ostringstream responses;
+      process_buffered(buffer, responses);
+      write_all(conn, responses.str());
+    }
+    std::ostringstream responses;
+    process_buffered(buffer, responses);
+    write_all(conn, responses.str());
+    ::close(conn);
+  }
+
+  ::close(listen_fd);
+  ::unlink(options_.socket_path.c_str());
+  begin_drain();
+  err << "serve: drained, shutting down\n";
+  return 0;
+}
+
+int Server::run(std::ostream& out, std::ostream& err) {
+  if (options_.threads > 0) {
+    util::set_thread_count(static_cast<size_t>(options_.threads));
+  }
+  if (!options_.input_path.empty()) {
+    std::ifstream in(options_.input_path);
+    if (!in) {
+      err << "serve: cannot open input '" << options_.input_path << "'\n";
+      return 2;
+    }
+    return serve_stream(in, out);
+  }
+  util::install_drain_signals();
+  if (!options_.socket_path.empty()) return serve_socket(err);
+  return serve_fd(STDIN_FILENO, out);
+}
+
+int run_serve(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  ServerOptions options;
+  try {
+    for (size_t i = 0; i < args.size(); ++i) {
+      const std::string& flag = args[i];
+      const auto next_value = [&]() -> const std::string& {
+        if (++i >= args.size()) {
+          throw std::runtime_error("flag " + flag + " needs a value");
+        }
+        return args[i];
+      };
+      if (flag == "--input") {
+        options.input_path = next_value();
+      } else if (flag == "--socket") {
+        options.socket_path = next_value();
+      } else if (flag == "--cache-capacity") {
+        options.cache_capacity = static_cast<size_t>(std::stoul(next_value()));
+      } else if (flag == "--default-timeout-ms") {
+        options.default_timeout_ms = std::stoll(next_value());
+      } else if (flag == "--max-batch") {
+        options.max_batch = std::max<size_t>(1, std::stoul(next_value()));
+      } else if (flag == "--threads") {
+        options.threads = static_cast<int>(std::stol(next_value()));
+      } else if (flag == "--deterministic") {
+        options.deterministic = true;
+      } else {
+        throw std::runtime_error("unknown serve flag '" + flag + "'");
+      }
+    }
+  } catch (const std::exception& error) {
+    err << "serve: " << error.what() << "\n";
+    return 2;
+  }
+  Server server(std::move(options));
+  return server.run(out, err);
+}
+
+}  // namespace autosec::service

@@ -1,0 +1,113 @@
+// `autosec serve` — a persistent batch-analysis service over the staged
+// engine. Requests are newline-delimited JSON (one request per line, see
+// service/protocol.hpp for the v1 schema) read from stdin, a file, or a
+// Unix socket; each is answered with exactly one response line.
+//
+//  * Sessions are cached (service/session_cache.hpp): repeated queries for
+//    the same architecture + engine knobs reuse every compiled/explored/
+//    uniformized stage. The per-response metrics object proves it
+//    (session_cache "hit", explores 0).
+//  * Batches of available request lines fan across the engine thread pool;
+//    responses keep input order.
+//  * Per-request deadlines (timeout_ms) cancel cleanly between solver
+//    sweeps via util::CancelToken and answer with a structured timeout
+//    error; the session survives for the next request.
+//  * SIGTERM/SIGINT request a graceful drain: requests already read are
+//    finished and answered, then the loop exits 0 (util/drain.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/session_cache.hpp"
+#include "util/json.hpp"
+
+namespace autosec::service {
+
+struct ServerOptions {
+  /// Read requests from this file instead of stdin (mainly tests/CI).
+  std::string input_path;
+  /// Listen on this Unix socket instead of stdin. One connection is served
+  /// at a time; each connection streams NDJSON requests and responses.
+  std::string socket_path;
+  size_t cache_capacity = 8;
+  /// Applied to requests that carry no timeout_ms of their own.
+  std::optional<int64_t> default_timeout_ms;
+  /// Max request lines handled per parallel batch.
+  size_t max_batch = 16;
+  /// Worker threads (0 = keep the process-wide setting).
+  int threads = 0;
+  /// Zero out wall-clock fields in responses — golden-file tests.
+  bool deterministic = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  /// Handle one raw request line and return the single-line JSON response
+  /// (no trailing newline). Thread-safe; concurrent calls on the same
+  /// session-cache entry serialize on the entry's mutex.
+  std::string handle_line(const std::string& line);
+
+  /// Stop accepting new work: every subsequent handle_line answers with a
+  /// structured shutting_down error. The serve loops call this when a drain
+  /// signal arrives; tests call it directly.
+  void begin_drain() { draining_.store(true, std::memory_order_relaxed); }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Run to EOF over a stream (the --input path). No signal handlers.
+  int serve_stream(std::istream& in, std::ostream& out);
+  /// Poll loop over a raw fd (stdin), watching the drain self-pipe so a
+  /// SIGTERM interrupts the wait; requests already read are still answered.
+  int serve_fd(int fd, std::ostream& out);
+  /// Unix-socket accept loop; exits 0 on drain. `err` gets lifecycle notes.
+  int serve_socket(std::ostream& err);
+  /// Dispatch on ServerOptions: input file, socket, or stdin.
+  int run(std::ostream& out, std::ostream& err);
+
+  SessionCache::Stats cache_stats() const { return cache_.stats(); }
+  uint64_t requests_handled() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct RequestMetrics {
+    double wall_seconds = 0.0;
+    const char* session_cache = "none";  // "hit" | "miss" | "none"
+    size_t explores = 0;
+    size_t states = 0;
+  };
+
+  /// Engine work of one parsed request; returns the "result" payload.
+  /// Throws util::Cancelled on deadline, RequestError for client mistakes
+  /// discovered during dispatch, anything else maps to engine_error.
+  util::JsonValue dispatch(const Request& request, RequestMetrics& metrics);
+
+  util::JsonValue run_analyze(const Request& request, RequestMetrics& metrics);
+  util::JsonValue run_check(const Request& request, RequestMetrics& metrics);
+  util::JsonValue run_sweep(const Request& request, RequestMetrics& metrics);
+  util::JsonValue run_diagnose(const Request& request, RequestMetrics& metrics);
+  util::JsonValue run_status(const Request& request, RequestMetrics& metrics);
+
+  /// Process every complete line currently in `buffer` (leaving a trailing
+  /// partial line in place), writing responses in input order.
+  void process_buffered(std::string& buffer, std::ostream& out);
+
+  ServerOptions options_;
+  SessionCache cache_;
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+/// CLI entry point: parse `serve` flags, construct the server, run it.
+int run_serve(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+
+}  // namespace autosec::service

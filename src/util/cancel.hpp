@@ -1,0 +1,77 @@
+// Cooperative cancellation for long-running engine work. A CancelToken is
+// shared between a controller (the serving layer, a signal handler) and the
+// compute kernels; the kernels poll expired() at natural safepoints — between
+// solver sweeps, between uniformization steps, between property solves — and
+// unwind with util::Cancelled when the token has been cancelled or its
+// wall-clock deadline has passed.
+//
+// Polling cost is two relaxed atomic loads, plus one steady_clock read only
+// when a deadline is armed, so tokens are cheap enough to check every sweep.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace autosec::util {
+
+/// Thrown by engine layers when a CancelToken expires mid-computation. The
+/// serving layer maps this to a structured "timeout" error; one-shot callers
+/// see it as an ordinary exception.
+class Cancelled : public std::runtime_error {
+ public:
+  explicit Cancelled(const std::string& stage)
+      : std::runtime_error("cancelled during " + stage), stage_(stage) {}
+  const std::string& stage() const { return stage_; }
+
+ private:
+  std::string stage_;
+};
+
+class CancelToken {
+ public:
+  /// Manual cancellation (drain, client disconnect). Safe from any thread.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arm (or re-arm) a wall-clock deadline `timeout` from now; the token
+  /// counts as expired once the deadline passes.
+  void set_deadline_after(std::chrono::nanoseconds timeout) noexcept {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() +
+            timeout.count(),
+        std::memory_order_relaxed);
+  }
+
+  /// Disarm the deadline and clear a manual cancel — tokens are reusable
+  /// across requests on an otherwise idle session.
+  void reset() noexcept {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+
+  bool expired() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline == kNoDeadline) return false;
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() >=
+           deadline;
+  }
+
+  /// Throw Cancelled(stage) when expired; the safepoint primitive.
+  void check(const char* stage) const {
+    if (expired()) throw Cancelled(stage);
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MAX;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace autosec::util

@@ -1,0 +1,76 @@
+#include "util/drain.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+
+namespace autosec::util {
+
+namespace {
+
+std::atomic<bool> g_drain{false};
+int g_pipe[2] = {-1, -1};
+std::once_flag g_pipe_once;
+
+void ensure_pipe() {
+  std::call_once(g_pipe_once, [] {
+    if (::pipe(g_pipe) != 0) {
+      g_pipe[0] = g_pipe[1] = -1;
+      return;
+    }
+    for (const int fd : g_pipe) {
+      const int flags = ::fcntl(fd, F_GETFL, 0);
+      if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+  });
+}
+
+void drain_signal_handler(int /*signal*/) { request_drain(); }
+
+}  // namespace
+
+void install_drain_signals() {
+  ensure_pipe();
+  struct sigaction action = {};
+  action.sa_handler = drain_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a blocked read()/poll() returns EINTR so the loop can
+  // re-check drain_requested() even if the self-pipe write were lost.
+  action.sa_flags = 0;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+void request_drain() noexcept {
+  g_drain.store(true, std::memory_order_relaxed);
+  if (g_pipe[1] >= 0) {
+    const char byte = 1;
+    // write() is async-signal-safe; the pipe is non-blocking, so a full pipe
+    // (already signalled) is fine to ignore.
+    [[maybe_unused]] const ssize_t n = ::write(g_pipe[1], &byte, 1);
+  }
+}
+
+bool drain_requested() noexcept {
+  return g_drain.load(std::memory_order_relaxed);
+}
+
+void reset_drain() noexcept {
+  g_drain.store(false, std::memory_order_relaxed);
+  if (g_pipe[0] >= 0) {
+    char buffer[16];
+    while (::read(g_pipe[0], buffer, sizeof(buffer)) > 0) {
+    }
+  }
+}
+
+int drain_fd() noexcept {
+  ensure_pipe();
+  return g_pipe[0];
+}
+
+}  // namespace autosec::util

@@ -1,0 +1,28 @@
+// Graceful-drain signal plumbing for the serving layer. A process-wide flag
+// plus a self-pipe: the SIGTERM/SIGINT handler calls request_drain(), which
+// is async-signal-safe (one atomic store and one write() to the pipe), and
+// blocking loops poll drain_fd() next to their input descriptors so a signal
+// wakes them immediately instead of after the next request.
+#pragma once
+
+namespace autosec::util {
+
+/// Install SIGTERM + SIGINT handlers that call request_drain(). Idempotent.
+/// Only the serving entry points call this — library use never alters signal
+/// dispositions.
+void install_drain_signals();
+
+/// Flag a drain request (callable from signal handlers and tests alike).
+void request_drain() noexcept;
+
+/// True once a drain has been requested.
+bool drain_requested() noexcept;
+
+/// Clear the flag and the pipe (test isolation between serve loops).
+void reset_drain() noexcept;
+
+/// Read end of the self-pipe: becomes readable when a drain is requested.
+/// Poll it alongside input fds; never read it directly (reset_drain does).
+int drain_fd() noexcept;
+
+}  // namespace autosec::util

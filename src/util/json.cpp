@@ -1,0 +1,535 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "util/numeric.hpp"
+
+namespace autosec::util {
+
+void json_escape(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;  // includes UTF-8 continuation bytes
+        }
+    }
+  }
+}
+
+std::string json_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  json_escape(out, text);
+  out += '"';
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc()) throw std::runtime_error("json_number: to_chars failed");
+  return std::string(buffer, end);
+}
+
+std::string json_number(int64_t value) { return std::to_string(value); }
+std::string json_number(uint64_t value) { return std::to_string(value); }
+
+// --- JsonWriter ---------------------------------------------------------
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  Level& level = stack_.back();
+  const bool single_line = inlined();
+  if (level.entries > 0) out_ += single_line ? ", " : ",";
+  level.entries += 1;
+  if (!single_line) {
+    out_ += '\n';
+    out_.append(indent_ * stack_.size(), ' ');
+  }
+}
+
+JsonWriter& JsonWriter::open(char bracket, bool inlined_subtree) {
+  separate();
+  // An inline parent forces every child inline too.
+  const bool parent_inline = !stack_.empty() && stack_.back().inlined;
+  stack_.push_back({inlined_subtree || parent_inline, 0});
+  out_ += bracket;
+  return *this;
+}
+
+JsonWriter& JsonWriter::close(char bracket) {
+  if (stack_.empty()) throw std::logic_error("JsonWriter: unbalanced close");
+  const Level level = stack_.back();
+  stack_.pop_back();
+  if (level.entries > 0 && indent_ > 0 && !level.inlined) {
+    out_ += '\n';
+    out_.append(indent_ * stack_.size(), ' ');
+  }
+  out_ += bracket;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separate();
+  out_ += json_quote(name);
+  out_ += ": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::nullptr_t) {
+  separate();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  out_ += json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  separate();
+  out_ += json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+  separate();
+  out_ += json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  out_ += json_quote(v);
+  return *this;
+}
+
+// --- JsonValue builders -------------------------------------------------
+
+JsonValue JsonValue::boolean(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::number(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::number(int64_t v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = static_cast<double>(v);
+  out.integer_ = v;
+  out.integral_ = true;
+  return out;
+}
+
+JsonValue JsonValue::number(uint64_t v) {
+  if (v <= static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return number(static_cast<int64_t>(v));
+  }
+  return number(static_cast<double>(v));
+}
+
+JsonValue JsonValue::string(std::string_view v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::string(v);
+  return out;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  return out;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  return out;
+}
+
+// --- JsonValue accessors ------------------------------------------------
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted) {
+  throw JsonError(std::string("json: value is not ") + wanted, 0);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("a boolean");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) kind_error("a number");
+  return integral_ ? static_cast<double>(integer_) : number_;
+}
+
+int64_t JsonValue::as_integer() const {
+  if (!is_integer()) kind_error("an integer");
+  return integer_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) kind_error("a string");
+  return string_;
+}
+
+size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(size_t index) const {
+  if (kind_ != Kind::kArray) kind_error("an array");
+  if (index >= array_.size()) throw JsonError("json: array index out of range", 0);
+  return array_[index];
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) kind_error("an array");
+  array_.push_back(std::move(v));
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (kind_ != Kind::kObject) kind_error("an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& member : object_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) kind_error("an object");
+  for (Member& member : object_) {
+    if (member.first == key) return member.second;
+  }
+  object_.emplace_back(std::string(key), JsonValue());
+  return object_.back().second;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* member = find(key);
+  return member != nullptr && member->is_number() ? member->as_number() : fallback;
+}
+
+int64_t JsonValue::int_or(std::string_view key, int64_t fallback) const {
+  const JsonValue* member = find(key);
+  return member != nullptr && member->is_integer() ? member->as_integer() : fallback;
+}
+
+bool JsonValue::bool_or(std::string_view key, bool fallback) const {
+  const JsonValue* member = find(key);
+  return member != nullptr && member->is_bool() ? member->as_bool() : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* member = find(key);
+  return member != nullptr && member->is_string() ? member->as_string()
+                                                  : std::string(fallback);
+}
+
+void JsonValue::write(JsonWriter& writer) const {
+  switch (kind_) {
+    case Kind::kNull: writer.value(nullptr); return;
+    case Kind::kBool: writer.value(bool_); return;
+    case Kind::kNumber:
+      if (integral_) {
+        writer.value(integer_);
+      } else {
+        writer.value(number_);
+      }
+      return;
+    case Kind::kString: writer.value(std::string_view(string_)); return;
+    case Kind::kArray:
+      writer.begin_array();
+      for (const JsonValue& entry : array_) entry.write(writer);
+      writer.end_array();
+      return;
+    case Kind::kObject:
+      writer.begin_object();
+      for (const Member& member : object_) {
+        writer.key(member.first);
+        member.second.write(writer);
+      }
+      writer.end_object();
+      return;
+  }
+  throw std::logic_error("json: corrupt kind");
+}
+
+std::string JsonValue::dump(int indent) const {
+  JsonWriter writer(indent);
+  write(writer);
+  return writer.take();
+}
+
+// --- parser -------------------------------------------------------------
+
+namespace {
+
+constexpr size_t kMaxDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (position_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonError("json parse error: " + message, position_);
+  }
+
+  void skip_whitespace() {
+    while (position_ < text_.size()) {
+      const char c = text_[position_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++position_;
+    }
+  }
+
+  char peek() {
+    if (position_ >= text_.size()) fail("unexpected end of input");
+    return text_[position_];
+  }
+
+  bool consume(char expected) {
+    if (position_ < text_.size() && text_[position_] == expected) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char expected) {
+    if (!consume(expected)) {
+      fail(std::string("expected '") + expected + "'");
+    }
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(position_, word.size()) == word) {
+      position_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value(size_t depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return JsonValue::string(parse_string());
+    if (consume_word("true")) return JsonValue::boolean(true);
+    if (consume_word("false")) return JsonValue::boolean(false);
+    if (consume_word("null")) return JsonValue::null();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+  }
+
+  JsonValue parse_object(size_t depth) {
+    expect('{');
+    JsonValue out = JsonValue::object();
+    skip_whitespace();
+    if (consume('}')) return out;
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      out[key] = parse_value(depth + 1);
+      skip_whitespace();
+      if (consume(',')) continue;
+      expect('}');
+      return out;
+    }
+  }
+
+  JsonValue parse_array(size_t depth) {
+    expect('[');
+    JsonValue out = JsonValue::array();
+    skip_whitespace();
+    if (consume(']')) return out;
+    while (true) {
+      out.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (consume(',')) continue;
+      expect(']');
+      return out;
+    }
+  }
+
+  void append_utf8(std::string& out, uint32_t code_point) {
+    if (code_point < 0x80) {
+      out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      out += static_cast<char>(0xC0 | (code_point >> 6));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      out += static_cast<char>(0xE0 | (code_point >> 12));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code_point >> 18));
+      out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  uint32_t parse_hex4() {
+    if (position_ + 4 > text_.size()) fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[position_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<uint32_t>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (position_ >= text_.size()) fail("unterminated string");
+      const char c = text_[position_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (position_ >= text_.size()) fail("truncated escape");
+      const char escape = text_[position_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          uint32_t code_point = parse_hex4();
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: must pair with a following \uDC00-\uDFFF.
+            if (!consume('\\') || !consume('u')) fail("unpaired surrogate");
+            const uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+            code_point = 0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const size_t start = position_;
+    bool integral = true;
+    if (consume('-')) {}
+    while (position_ < text_.size()) {
+      const char c = text_[position_];
+      if (c >= '0' && c <= '9') {
+        ++position_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++position_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, position_ - start);
+    if (integral) {
+      if (const std::optional<int64_t> value = parse_int(token)) {
+        return JsonValue::number(*value);
+      }
+      // Out-of-range integer literal: fall through to double.
+    }
+    const std::optional<double> value = parse_double(token);
+    if (!value) fail("malformed number");
+    return JsonValue::number(*value);
+  }
+
+  std::string_view text_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+}  // namespace autosec::util

@@ -1,12 +1,10 @@
 #include "util/metrics.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <fstream>
-#include <limits>
-#include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "util/json.hpp"
 
 namespace autosec::util::metrics {
 
@@ -15,38 +13,6 @@ namespace {
 // Per-thread stack of open span names; a span records under the '/'-joined
 // path of the stack at the time it closes.
 thread_local std::vector<std::string> t_span_stack;
-
-void append_json_string(std::string& out, std::string_view text) {
-  out += '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-std::string format_double(double value) {
-  if (!std::isfinite(value)) {
-    // JSON has no inf/nan literals; clamp to null, which readers can spot.
-    return "null";
-  }
-  std::ostringstream stream;
-  stream.precision(std::numeric_limits<double>::max_digits10);
-  stream << value;
-  return stream.str();
-}
 
 }  // namespace
 
@@ -102,39 +68,32 @@ SpanStats Registry::span_stats(std::string_view path) const {
 
 std::string Registry::to_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string out = "{\n  \"schema\": \"autosec-metrics-v1\",\n  \"spans\": {";
-  bool first = true;
+  // Shared JSON emission (util/json.hpp): one escaping routine for every
+  // machine-readable surface, non-finite doubles as null, spans kept on one
+  // line each — the stable human-diffable layout BENCH_*.json diffs rely on.
+  JsonWriter writer(2);
+  writer.begin_object();
+  writer.key("schema").value("autosec-metrics-v1");
+  writer.key("spans").begin_object();
   for (const auto& [path, stats] : spans_) {
-    out += first ? "\n" : ",\n";
-    first = false;
-    out += "    ";
-    append_json_string(out, path);
-    out += ": {\"count\": " + std::to_string(stats.count) +
-           ", \"seconds\": " + format_double(stats.seconds) + "}";
+    writer.key(path).begin_inline_object();
+    writer.key("count").value(stats.count);
+    writer.key("seconds").value(stats.seconds);
+    writer.end_object();
   }
-  out += first ? "},\n" : "\n  },\n";
-  out += "  \"counters\": {";
-  first = true;
+  writer.end_object();
+  writer.key("counters").begin_object();
   for (const auto& [name, counter] : counters_) {
-    out += first ? "\n" : ",\n";
-    first = false;
-    out += "    ";
-    append_json_string(out, name);
-    out += ": " + std::to_string(counter->load(std::memory_order_relaxed));
+    writer.key(name).value(counter->load(std::memory_order_relaxed));
   }
-  out += first ? "},\n" : "\n  },\n";
-  out += "  \"gauges\": {";
-  first = true;
+  writer.end_object();
+  writer.key("gauges").begin_object();
   for (const auto& [name, value] : gauges_) {
-    out += first ? "\n" : ",\n";
-    first = false;
-    out += "    ";
-    append_json_string(out, name);
-    out += ": " + format_double(value);
+    writer.key(name).value(value);
   }
-  out += first ? "}\n" : "\n  }\n";
-  out += "}\n";
-  return out;
+  writer.end_object();
+  writer.end_object();
+  return writer.take() + "\n";
 }
 
 void Registry::write_json(const std::string& path) const {

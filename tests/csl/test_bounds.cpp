@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "csl/checker.hpp"
 #include "csl/property_parser.hpp"
@@ -32,7 +33,7 @@ class BoundsFixture : public ::testing::Test {
  protected:
   BoundsFixture()
       : space_(symbolic::explore(symbolic::compile(repair_model()))),
-        checker_(space_) {}
+        checker_(std::make_shared<const symbolic::StateSpace>(space_)) {}
   symbolic::StateSpace space_;
   Checker checker_;
 };

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "symbolic/builder.hpp"
 #include "symbolic/parser.hpp"
@@ -36,7 +37,7 @@ class CheckerFixture : public ::testing::Test {
   CheckerFixture()
       : compiled_(symbolic::compile(repair_model(2.0, 6.0))),
         space_(symbolic::explore(compiled_)),
-        checker_(space_) {}
+        checker_(std::make_shared<const symbolic::StateSpace>(space_)) {}
 
   symbolic::CompiledModel compiled_;
   symbolic::StateSpace space_;
@@ -119,7 +120,7 @@ TEST(CheckerUntil, UntilRespectsLeftOperand) {
             {{"x", Expr::ident("x") + Expr::literal(1)}});
   const symbolic::CompiledModel compiled = symbolic::compile(builder.build());
   const symbolic::StateSpace space = symbolic::explore(compiled);
-  const Checker checker(space);
+  const Checker checker(std::make_shared<const symbolic::StateSpace>(space));
   EXPECT_NEAR(checker.check("P=? [ x=0 U<=5 x=2 ]"), 0.0, 1e-12);
   EXPECT_GT(checker.check("P=? [ F<=5 x=2 ]"), 0.9);
   EXPECT_GT(checker.check("P=? [ x<2 U<=5 x=2 ]"), 0.9);
@@ -138,7 +139,7 @@ TEST(CheckerUntil, UnboundedUntilWithForbiddenRegion) {
             {{"x", Expr::literal(1)}});
   const symbolic::CompiledModel compiled = symbolic::compile(builder.build());
   const symbolic::StateSpace space = symbolic::explore(compiled);
-  const Checker checker(space);
+  const Checker checker(std::make_shared<const symbolic::StateSpace>(space));
   // Unrestricted: reach 1 with probability 1.
   EXPECT_NEAR(checker.check("P=? [ F x=1 ]"), 1.0, 1e-9);
   // Forbidding x=2: only the direct branch counts (rate 3 of total 4).
@@ -155,7 +156,7 @@ TEST(CheckerReward, ReachabilityRewardExpectedTimeToAbsorption) {
   builder.state_reward("time", Expr::literal(true), Expr::literal(1.0));
   const symbolic::CompiledModel compiled = symbolic::compile(builder.build());
   const symbolic::StateSpace space = symbolic::explore(compiled);
-  const Checker checker(space);
+  const Checker checker(std::make_shared<const symbolic::StateSpace>(space));
   EXPECT_NEAR(checker.check("R{\"time\"}=? [ F x=1 ]"), 0.25, 1e-10);
 }
 
@@ -171,7 +172,7 @@ TEST(CheckerReward, ReachabilityRewardInfiniteWhenTargetMissable) {
   builder.state_reward("time", Expr::literal(true), Expr::literal(1.0));
   const symbolic::CompiledModel compiled = symbolic::compile(builder.build());
   const symbolic::StateSpace space = symbolic::explore(compiled);
-  const Checker checker(space);
+  const Checker checker(std::make_shared<const symbolic::StateSpace>(space));
   EXPECT_TRUE(std::isinf(checker.check("R{\"time\"}=? [ F x=1 ]")));
 }
 
@@ -185,7 +186,7 @@ TEST(CheckerReward, ErlangExpectedTimeThroughChain) {
   builder.state_reward("time", Expr::literal(true), Expr::literal(1.0));
   const symbolic::CompiledModel compiled = symbolic::compile(builder.build());
   const symbolic::StateSpace space = symbolic::explore(compiled);
-  const Checker checker(space);
+  const Checker checker(std::make_shared<const symbolic::StateSpace>(space));
   EXPECT_NEAR(checker.check("R{\"time\"}=? [ F x=2 ]"), 0.4, 1e-10);
 }
 
@@ -200,7 +201,7 @@ label "done" = x=1;
 )");
   const symbolic::CompiledModel compiled = symbolic::compile(model);
   const symbolic::StateSpace space = symbolic::explore(compiled);
-  const Checker checker(space);
+  const Checker checker(std::make_shared<const symbolic::StateSpace>(space));
   EXPECT_NEAR(checker.check("P=? [ F<=1 \"done\" ]"), 1.0 - std::exp(-3.0), 1e-10);
 }
 

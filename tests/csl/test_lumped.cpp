@@ -2,6 +2,8 @@
 // property kind, while shrinking symmetric state spaces.
 #include "csl/lumped.hpp"
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "automotive/analyzer.hpp"
@@ -53,7 +55,7 @@ TEST_F(LumpedFixture, ReducesSymmetricFarmToCountChain) {
 }
 
 TEST_F(LumpedFixture, AgreesOnAllPropertyKinds) {
-  const Checker direct(space_);
+  const Checker direct(std::make_shared<const symbolic::StateSpace>(space_));
   for (const char* property : {
            "P=? [ F<=0.5 \"all_hot\" ]",
            "P=? [ F \"all_hot\" ]",

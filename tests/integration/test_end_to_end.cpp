@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "automotive/analyzer.hpp"
 #include "automotive/casestudy.hpp"
@@ -44,7 +45,7 @@ endrewards
   const symbolic::CompiledModel compiled = symbolic::compile(model);
   const symbolic::StateSpace space = symbolic::explore(compiled);
   ASSERT_EQ(space.state_count(), 3u);
-  const csl::Checker checker(space);
+  const csl::Checker checker(std::make_shared<const symbolic::StateSpace>(space));
   // Eq. (15): steady-state probability of s2.
   EXPECT_NEAR(checker.check("S=? [ \"s2\" ]"), 0.000699, 5e-7);
 }
@@ -68,8 +69,8 @@ TEST(EndToEnd, GeneratedAutomotiveModelSurvivesPrismRoundTrip) {
   ASSERT_EQ(sa.state_count(), sb.state_count());
   ASSERT_EQ(sa.transition_count(), sb.transition_count());
 
-  const csl::Checker checker_a(sa);
-  const csl::Checker checker_b(sb);
+  const csl::Checker checker_a(std::make_shared<const symbolic::StateSpace>(sa));
+  const csl::Checker checker_b(std::make_shared<const symbolic::StateSpace>(sb));
   const char* property = "R{\"exposure\"}=? [ C<=1 ]";
   EXPECT_NEAR(checker_a.check(property), checker_b.check(property), 1e-12);
 }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <string>
 
 #include "csl/checker.hpp"
@@ -41,7 +42,7 @@ TEST_P(Mm1kQueue, SteadyStateMatchesClosedForm) {
   const symbolic::StateSpace space =
       symbolic::explore(symbolic::compile(symbolic::parse_model(source)));
   ASSERT_EQ(space.state_count(), static_cast<size_t>(capacity + 1));
-  const csl::Checker checker(space);
+  const csl::Checker checker(std::make_shared<const symbolic::StateSpace>(space));
 
   const double rho = lambda / mu;
   auto pi = [&](int i) {
@@ -80,7 +81,7 @@ TEST_P(ErlangLoss, BlockingProbabilityMatchesErlangB) {
       "label \"blocked\" = n = C;\n";
   const symbolic::StateSpace space =
       symbolic::explore(symbolic::compile(symbolic::parse_model(source)));
-  const csl::Checker checker(space);
+  const csl::Checker checker(std::make_shared<const symbolic::StateSpace>(space));
 
   const double a = lambda / mu;
   double denominator = 0.0;
@@ -108,7 +109,7 @@ TEST(MachineRepairman, UtilizationMatchesBirthDeathSolution) {
       "label \"idle\" = broken = 0;\n";
   const symbolic::StateSpace space =
       symbolic::explore(symbolic::compile(symbolic::parse_model(source)));
-  const csl::Checker checker(space);
+  const csl::Checker checker(std::make_shared<const symbolic::StateSpace>(space));
 
   // Birth-death stationary: pi_n ∝ prod_{k=0}^{n-1} (M-k) f / r.
   std::vector<double> pi(machines + 1, 1.0);
@@ -136,7 +137,7 @@ rewards "length"
   true : n;
 endrewards
 )")));
-  const csl::Checker checker(space);
+  const csl::Checker checker(std::make_shared<const symbolic::StateSpace>(space));
   const double horizon = 0.8;
   const double cumulative = checker.check("R{\"length\"}=? [ C<=0.8 ]");
   const double stationary = checker.check("R{\"length\"}=? [ S ]");

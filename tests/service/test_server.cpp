@@ -1,0 +1,329 @@
+// End-to-end tests of the serve layer: v1 envelope stability (golden files),
+// session-cache reuse proven by the per-request metrics, structured timeouts,
+// drain behaviour, and bit-identical agreement with one-shot analysis.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "automotive/analyzer.hpp"
+#include "automotive/archfile.hpp"
+#include "util/json.hpp"
+
+namespace autosec::service {
+namespace {
+
+using util::JsonValue;
+
+std::string source_path(const std::string& relative) {
+  return std::string(AUTOSEC_SOURCE_DIR) + "/" + relative;
+}
+
+std::string arch_path() { return source_path("data/arch1.arch"); }
+
+std::string analyze_line(const std::string& id, const std::string& extra = "") {
+  return "{\"id\": \"" + id + "\", \"op\": \"analyze\", \"architecture\": \"" +
+         arch_path() + "\"" + extra + "}";
+}
+
+JsonValue handle(Server& server, const std::string& line) {
+  return JsonValue::parse(server.handle_line(line));
+}
+
+ServerOptions deterministic_options() {
+  ServerOptions options;
+  options.deterministic = true;
+  return options;
+}
+
+std::string read_golden(const std::string& name) {
+  const std::string path = source_path("tests/service/golden/" + name);
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << "missing golden file " << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string text = buffer.str();
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+/// Replace every number with 0, pinning the response's shape and key order
+/// without pinning solver output.
+JsonValue normalize_numbers(const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNumber: return JsonValue::number(0);
+    case JsonValue::Kind::kArray: {
+      JsonValue out = JsonValue::array();
+      for (size_t i = 0; i < value.size(); ++i) {
+        out.push_back(normalize_numbers(value.at(i)));
+      }
+      return out;
+    }
+    case JsonValue::Kind::kObject: {
+      JsonValue out = JsonValue::object();
+      for (const auto& [key, member] : value.members()) {
+        out[key] = normalize_numbers(member);
+      }
+      return out;
+    }
+    default: return value;
+  }
+}
+
+TEST(ServerTest, EnvelopeCarriesSchemaVersionAndMetrics) {
+  Server server(deterministic_options());
+  const JsonValue response = handle(server, analyze_line("r1"));
+  EXPECT_EQ(response.string_or("schema_version", ""), "autosec-serve-v1");
+  EXPECT_EQ(response.string_or("id", ""), "r1");
+  EXPECT_EQ(response.string_or("op", ""), "analyze");
+  EXPECT_TRUE(response.bool_or("ok", false)) << response.dump();
+  ASSERT_NE(response.find("result"), nullptr);
+  ASSERT_NE(response.find("metrics"), nullptr);
+  EXPECT_EQ(response.find("metrics")->number_or("wall_seconds", -1.0), 0.0);
+}
+
+TEST(ServerTest, RepeatedAnalyzeHitsSessionCacheWithoutReExploration) {
+  Server server(deterministic_options());
+  const JsonValue first = handle(server, analyze_line("r1"));
+  const JsonValue second = handle(server, analyze_line("r2"));
+
+  EXPECT_EQ(first.find("metrics")->string_or("session_cache", ""), "miss");
+  EXPECT_EQ(first.find("metrics")->int_or("explores", -1), 1);
+  // The repeat is answered entirely from the cached session's stages.
+  EXPECT_EQ(second.find("metrics")->string_or("session_cache", ""), "hit");
+  EXPECT_EQ(second.find("metrics")->int_or("explores", -1), 0);
+  // And returns the identical payload.
+  EXPECT_EQ(first.find("result")->dump(), second.find("result")->dump());
+
+  const JsonValue status = handle(server, R"({"op": "status"})");
+  const JsonValue* cache = status.find("result")->find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->int_or("entries", -1), 1);
+  EXPECT_EQ(cache->int_or("hits", -1), 1);
+  EXPECT_EQ(cache->int_or("misses", -1), 1);
+}
+
+TEST(ServerTest, OverrideChangeReExploresButKeepsSession) {
+  Server server(deterministic_options());
+  handle(server, analyze_line("r1"));
+  const JsonValue overridden =
+      handle(server, analyze_line("r2", ", \"overrides\": {\"phi_gw\": 8.0}"));
+  // Same cached session (no new cache entry), but a new override set means
+  // one new exploration of the re-keyed stage set.
+  EXPECT_EQ(overridden.find("metrics")->string_or("session_cache", ""), "hit");
+  EXPECT_EQ(overridden.find("metrics")->int_or("explores", -1), 1);
+  // Returning to the original overrides hits the earlier stage set again.
+  const JsonValue back = handle(server, analyze_line("r3"));
+  EXPECT_EQ(back.find("metrics")->int_or("explores", -1), 0);
+}
+
+TEST(ServerTest, ServedNumbersMatchOneShotAnalysisBitExactly) {
+  Server server(deterministic_options());
+  const JsonValue response = handle(server, analyze_line("r1"));
+
+  std::ifstream file(arch_path());
+  ASSERT_TRUE(file.is_open());
+  std::ostringstream text;
+  text << file.rdbuf();
+  const automotive::Architecture arch =
+      automotive::parse_architecture(text.str());
+  const automotive::ArchitectureReport report =
+      automotive::analyze_architecture_report(arch);
+
+  const JsonValue* rows = response.find("result")->find("results");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->size(), report.results.size());
+  for (size_t i = 0; i < report.results.size(); ++i) {
+    const JsonValue& row = rows->at(i);
+    const automotive::AnalysisResult& expected = report.results[i];
+    EXPECT_EQ(row.string_or("message", ""), expected.message);
+    // Doubles round-trip exactly through the shortest-form JSON encoding, so
+    // == is the right comparison: served numerics are bit-identical to the
+    // one-shot path.
+    EXPECT_EQ(row.number_or("exploitable_fraction", -1.0),
+              expected.exploitable_fraction);
+    EXPECT_EQ(row.number_or("breach_probability", -1.0),
+              expected.breach_probability);
+    EXPECT_EQ(row.number_or("steady_state_fraction", -1.0),
+              expected.steady_state_fraction);
+    EXPECT_EQ(row.number_or("mean_time_to_breach", -1.0),
+              expected.mean_time_to_breach);
+  }
+}
+
+TEST(ServerTest, SweepReusesStagesAcrossRepeats) {
+  Server server(deterministic_options());
+  const std::string sweep_line =
+      "{\"id\": \"s\", \"op\": \"sweep\", \"architecture\": \"" + arch_path() +
+      "\", \"message\": \"m\", \"constant\": \"phi_gw\", \"values\": [2, 4, 8]}";
+  const JsonValue first = handle(server, sweep_line);
+  ASSERT_TRUE(first.bool_or("ok", false)) << first.dump();
+  EXPECT_EQ(first.find("metrics")->int_or("explores", -1), 3);
+  // Every sweep value's stage set is cached: the repeat explores nothing.
+  const JsonValue second = handle(server, sweep_line);
+  EXPECT_EQ(second.find("metrics")->int_or("explores", -1), 0);
+  EXPECT_EQ(first.find("result")->dump(), second.find("result")->dump());
+}
+
+TEST(ServerTest, CheckEvaluatesPropertiesOnCachedSingleModel) {
+  Server server(deterministic_options());
+  const std::string check_line =
+      "{\"op\": \"check\", \"architecture\": \"" + arch_path() +
+      "\", \"message\": \"m\", \"properties\": [\"S=? [ \\\"violated\\\" ]\"]}";
+  const JsonValue response = handle(server, check_line);
+  ASSERT_TRUE(response.bool_or("ok", false)) << response.dump();
+  const JsonValue* rows = response.find("result")->find("properties");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->size(), 1u);
+  const double value = rows->at(0).number_or("value", -1.0);
+  EXPECT_GE(value, 0.0);
+  EXPECT_LE(value, 1.0);
+  EXPECT_EQ(
+      handle(server, check_line).find("metrics")->string_or("session_cache", ""),
+      "hit");
+}
+
+TEST(ServerTest, ZeroTimeoutReturnsStructuredTimeoutError) {
+  Server server(deterministic_options());
+  const JsonValue response =
+      handle(server, analyze_line("t1", ", \"timeout_ms\": 0"));
+  EXPECT_FALSE(response.bool_or("ok", true));
+  const JsonValue* error = response.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->string_or("code", ""), "timeout");
+  EXPECT_EQ(error->string_or("stage", ""), "prepare");
+  // The timeout must not poison the cached session: the next request without
+  // a deadline succeeds.
+  EXPECT_TRUE(handle(server, analyze_line("t2")).bool_or("ok", false));
+}
+
+TEST(ServerTest, DefaultTimeoutAppliesWhenRequestCarriesNone) {
+  ServerOptions options = deterministic_options();
+  options.default_timeout_ms = 0;
+  Server server(options);
+  const JsonValue response = handle(server, analyze_line("t1"));
+  ASSERT_NE(response.find("error"), nullptr) << response.dump();
+  EXPECT_EQ(response.find("error")->string_or("code", ""), "timeout");
+  // A per-request timeout overrides the default.
+  const JsonValue ok =
+      handle(server, analyze_line("t2", ", \"timeout_ms\": 600000"));
+  EXPECT_TRUE(ok.bool_or("ok", false)) << ok.dump();
+}
+
+TEST(ServerTest, DrainingAnswersShuttingDown) {
+  Server server(deterministic_options());
+  EXPECT_TRUE(handle(server, analyze_line("r1")).bool_or("ok", false));
+  server.begin_drain();
+  const JsonValue response = handle(server, analyze_line("r2"));
+  EXPECT_FALSE(response.bool_or("ok", true));
+  EXPECT_EQ(response.find("error")->string_or("code", ""), "shutting_down");
+  EXPECT_EQ(response.string_or("id", ""), "r2");
+}
+
+TEST(ServerTest, MalformedRequestMatchesGolden) {
+  Server server(deterministic_options());
+  const std::string response = server.handle_line("{\"id\": \"g1\", \"op\": ");
+  EXPECT_EQ(response, read_golden("malformed_request.json"));
+}
+
+TEST(ServerTest, AnalyzeResponseShapeMatchesGolden) {
+  Server server(deterministic_options());
+  const JsonValue response = handle(server, analyze_line("g2"));
+  EXPECT_EQ(normalize_numbers(response).dump(),
+            read_golden("analyze_shape.json"));
+}
+
+TEST(ServerTest, BadInputsGetStructuredErrors) {
+  Server server(deterministic_options());
+  EXPECT_EQ(handle(server, R"({"op": "analyze", "architecture": "/nope.arch"})")
+                .find("error")
+                ->string_or("code", ""),
+            "bad_request");
+  const JsonValue unknown_message = handle(
+      server, "{\"op\": \"check\", \"architecture\": \"" + arch_path() +
+                  "\", \"message\": \"ghost\", \"properties\": [\"S=? [ "
+                  "\\\"violated\\\" ]\"]}");
+  EXPECT_FALSE(unknown_message.bool_or("ok", true));
+  EXPECT_EQ(unknown_message.find("error")->string_or("code", ""), "bad_request");
+}
+
+TEST(ServerTest, ServeStreamKeepsInputOrder) {
+  ServerOptions options = deterministic_options();
+  options.max_batch = 4;
+  Server server(options);
+  std::istringstream in(analyze_line("a") + "\n" + analyze_line("b") + "\n" +
+                        "\n" +  // blank lines are skipped
+                        R"({"op": "status", "id": "c"})" + "\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 0);
+  std::vector<std::string> ids;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    ids.push_back(JsonValue::parse(line).string_or("id", ""));
+  }
+  EXPECT_EQ(ids, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ServerTest, ConcurrentRequestsOnSharedServerStaySane) {
+  Server server(deterministic_options());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string id = "t" + std::to_string(t) + "-" + std::to_string(i);
+        const std::string line =
+            (i % 3 == 2) ? R"({"op": "status", "id": ")" + id + "\"}"
+                         : analyze_line(id);
+        try {
+          const JsonValue response = JsonValue::parse(server.handle_line(line));
+          if (!response.bool_or("ok", false)) failures[t] += 1;
+          if (response.string_or("id", "") != id) failures[t] += 1;
+        } catch (...) {
+          failures[t] += 1;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+  // Exactly one session was ever built for the shared key.
+  EXPECT_EQ(server.cache_stats().entries, 1u);
+}
+
+TEST(SessionCacheTest, EvictsLeastRecentlyUsed) {
+  SessionCache cache(2);
+  const auto build = [] { return automotive::BatchSession{}; };
+  bool hit = false;
+  cache.acquire("a", build, &hit);
+  EXPECT_FALSE(hit);
+  cache.acquire("b", build, &hit);
+  cache.acquire("a", build, &hit);  // bump a → b is now LRU
+  EXPECT_TRUE(hit);
+  cache.acquire("c", build, &hit);  // evicts b
+  EXPECT_FALSE(hit);
+  cache.acquire("a", build, &hit);
+  EXPECT_TRUE(hit);
+  cache.acquire("b", build, &hit);
+  EXPECT_FALSE(hit);
+  const SessionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 2u);
+}
+
+TEST(SessionCacheTest, DigestIsContentSensitive) {
+  EXPECT_EQ(fnv1a64("abc"), fnv1a64("abc"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+  EXPECT_NE(fnv1a64(""), fnv1a64(" "));
+}
+
+}  // namespace
+}  // namespace autosec::service

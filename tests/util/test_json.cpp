@@ -1,0 +1,140 @@
+// The shared JSON layer (util/json.hpp) backs the metrics files and the
+// serve protocol; these tests pin escaping, number formatting, writer
+// layouts, and the strictness of the parser.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace autosec::util {
+namespace {
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(json_quote(std::string("a\x01z")), "\"a\\u0001z\"");
+}
+
+TEST(JsonEscape, PassesUtf8Through) {
+  EXPECT_EQ(json_quote("gr\xc3\xbc n"), "\"gr\xc3\xbc n\"");
+}
+
+TEST(JsonNumber, ShortestRoundTripForm) {
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(1.0), "1");
+  EXPECT_EQ(json_number(-2.5), "-2.5");
+  EXPECT_EQ(json_number(int64_t{-7}), "-7");
+  EXPECT_EQ(json_number(uint64_t{18446744073709551615ull}),
+            "18446744073709551615");
+}
+
+TEST(JsonNumber, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+TEST(JsonWriter, CompactModeIsSingleLine) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").begin_array().value(true).value(nullptr).end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\": 1, \"b\": [true, null]}");
+}
+
+TEST(JsonWriter, IndentedModeWithInlineSubtree) {
+  JsonWriter w(2);
+  w.begin_object();
+  w.key("spans").begin_object();
+  w.key("explore").begin_inline_object();
+  w.key("count").value(uint64_t{1});
+  w.key("seconds").value(0.5);
+  w.end_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"spans\": {\n"
+            "    \"explore\": {\"count\": 1, \"seconds\": 0.5}\n"
+            "  }\n"
+            "}");
+}
+
+TEST(JsonWriter, EmptyContainersStayTight) {
+  JsonWriter w(2);
+  w.begin_object();
+  w.key("a").begin_object().end_object();
+  w.key("b").begin_array().end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\n  \"a\": {},\n  \"b\": []\n}");
+}
+
+TEST(JsonValue, BuildDumpRoundTrip) {
+  JsonValue doc = JsonValue::object();
+  doc["name"] = JsonValue::string("a \"quoted\" one");
+  doc["count"] = JsonValue::number(3);
+  doc["ratio"] = JsonValue::number(0.25);
+  doc["flag"] = JsonValue::boolean(false);
+  doc["list"].push_back(JsonValue::number(1));
+  doc["list"].push_back(JsonValue::null());
+  const std::string text = doc.dump();
+  const JsonValue parsed = JsonValue::parse(text);
+  EXPECT_EQ(parsed.dump(), text);
+  EXPECT_EQ(parsed.string_or("name", ""), "a \"quoted\" one");
+  EXPECT_EQ(parsed.int_or("count", 0), 3);
+  EXPECT_EQ(parsed.number_or("ratio", 0.0), 0.25);
+  EXPECT_FALSE(parsed.bool_or("flag", true));
+  EXPECT_EQ(parsed.find("list")->size(), 2u);
+  EXPECT_TRUE(parsed.find("list")->at(1).is_null());
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  JsonValue doc = JsonValue::object();
+  doc["zeta"] = JsonValue::number(1);
+  doc["alpha"] = JsonValue::number(2);
+  EXPECT_EQ(doc.dump(), "{\"zeta\": 1, \"alpha\": 2}");
+}
+
+TEST(JsonValue, ParsesEscapesAndSurrogatePairs) {
+  const JsonValue doc = JsonValue::parse(R"({"s": "a\u0041\n\ud83d\ude00"})");
+  EXPECT_EQ(doc.find("s")->as_string(), "aA\n\xf0\x9f\x98\x80");
+}
+
+TEST(JsonValue, IntegerDetection) {
+  EXPECT_TRUE(JsonValue::parse("42").is_integer());
+  EXPECT_EQ(JsonValue::parse("42").as_integer(), 42);
+  EXPECT_FALSE(JsonValue::parse("42.0").is_integer());
+  EXPECT_FALSE(JsonValue::parse("4e2").is_integer());
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), JsonError);
+  EXPECT_THROW(JsonValue::parse("{"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1,}"), JsonError);
+  EXPECT_THROW(JsonValue::parse("[1, 2] tail"), JsonError);
+  EXPECT_THROW(JsonValue::parse("'single'"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(JsonValue::parse("\"\\q\""), JsonError);
+  EXPECT_THROW(JsonValue::parse("\"\\ud800 lone\""), JsonError);
+}
+
+TEST(JsonValue, DepthCapStopsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW(JsonValue::parse(deep), JsonError);
+}
+
+TEST(JsonValue, TypeMismatchesThrow) {
+  const JsonValue doc = JsonValue::parse("{\"a\": \"text\"}");
+  EXPECT_THROW(doc.find("a")->as_number(), JsonError);
+  EXPECT_THROW(doc.find("a")->as_bool(), JsonError);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace autosec::util
