@@ -51,6 +51,7 @@ void accumulate(csl::SessionStats& total, const csl::SessionStats& part) {
   total.uniformize_count += part.uniformize_count;
   total.steady_state_count += part.steady_state_count;
   total.check_count += part.check_count;
+  total.solver_fallbacks += part.solver_fallbacks;
   total.compile_seconds += part.compile_seconds;
   total.explore_seconds += part.explore_seconds;
   total.solve_seconds += part.solve_seconds;
@@ -66,6 +67,7 @@ csl::SessionStats stats_delta(const csl::SessionStats& after,
   delta.uniformize_count = after.uniformize_count - before.uniformize_count;
   delta.steady_state_count = after.steady_state_count - before.steady_state_count;
   delta.check_count = after.check_count - before.check_count;
+  delta.solver_fallbacks = after.solver_fallbacks - before.solver_fallbacks;
   delta.compile_seconds = after.compile_seconds - before.compile_seconds;
   delta.explore_seconds = after.explore_seconds - before.explore_seconds;
   delta.solve_seconds = after.solve_seconds - before.solve_seconds;
@@ -250,6 +252,7 @@ ArchitectureReport analyze_batch_session(BatchSession& batch,
     session.set_constant_overrides(options.constant_overrides);
   }
   session.set_cancel_token(options.cancel);
+  session.set_resource_budget(options.budget);
   const csl::SessionStats before = session.stats();
 
   const double horizon = options.horizon_years;

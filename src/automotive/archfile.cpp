@@ -1,5 +1,6 @@
 #include "automotive/archfile.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -40,6 +41,9 @@ bool split_option(const std::string& field, std::string& key, std::string& value
 double parse_rate(const std::string& text, size_t line, const std::string& what) {
   const std::optional<double> value = util::parse_double(text);
   if (!value) fail(line, "malformed " + what + ": '" + text + "'");
+  // from_chars accepts "nan" and "inf", and `NaN < 0.0` is false — both
+  // checks are needed to keep poisoned rates out of the engine.
+  if (!std::isfinite(*value)) fail(line, what + " must be finite");
   if (*value < 0.0) fail(line, what + " must be non-negative");
   return *value;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -19,6 +20,8 @@
 #include "service/server.hpp"
 #include "symbolic/dot.hpp"
 #include "symbolic/writer.hpp"
+#include "util/budget.hpp"
+#include "util/failure.hpp"
 #include "util/metrics.hpp"
 #include "util/numeric.hpp"
 #include "util/parallel.hpp"
@@ -62,6 +65,8 @@ class Args {
 double parse_double(const std::string& text, const std::string& what) {
   const std::optional<double> value = util::parse_double(text);
   if (!value) throw UsageError("malformed " + what + ": " + text);
+  // from_chars accepts "nan"/"inf"; neither is a usable flag value.
+  if (!std::isfinite(*value)) throw UsageError(what + " must be finite");
   return *value;
 }
 
@@ -109,6 +114,9 @@ struct ModelOptions {
   uint64_t seed = 1;
   // output format
   bool csv = false;
+  // resource ceilings (0 = unlimited)
+  size_t max_states = 0;
+  size_t max_memory_mb = 0;
 };
 
 ModelOptions parse_model_options(Args& args) {
@@ -168,9 +176,22 @@ ModelOptions parse_model_options(Args& args) {
           static_cast<uint64_t>(parse_int(args.next("--seed value"), "--seed"));
     } else if (*flag == "--csv") {
       options.csv = true;
+    } else if (*flag == "--max-states") {
+      const int value = parse_int(args.next("--max-states value"), "--max-states");
+      if (value < 1) throw UsageError("--max-states must be >= 1");
+      options.max_states = static_cast<size_t>(value);
+    } else if (*flag == "--max-memory-mb") {
+      const int value =
+          parse_int(args.next("--max-memory-mb value"), "--max-memory-mb");
+      if (value < 1) throw UsageError("--max-memory-mb must be >= 1");
+      options.max_memory_mb = static_cast<size_t>(value);
     } else {
       throw UsageError("unknown option '" + *flag + "'");
     }
+  }
+  if (options.max_states != 0 || options.max_memory_mb != 0) {
+    options.analysis.budget = std::make_shared<util::ResourceBudget>(
+        options.max_states, options.max_memory_mb * 1024 * 1024);
   }
   return options;
 }
@@ -547,6 +568,10 @@ void print_help(std::ostream& out) {
          "(default: AUTOSEC_THREADS or the hardware concurrency); results are\n"
          "identical at any thread count.\n"
          "\n"
+         "--max-states N / --max-memory-mb N bound a model-building command's\n"
+         "state count and tracked engine allocations; exceeding a ceiling exits\n"
+         "1 with a typed error and the partial progress made (docs/robustness.md).\n"
+         "\n"
          "--metrics-json FILE records engine metrics for the whole run (stage\n"
          "spans, solver iterations, Poisson cache and thread-pool stats) and\n"
          "writes them as JSON on exit; works with every command.\n";
@@ -620,6 +645,34 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     else throw UsageError("unknown command '" + *command + "'; see 'autosec help'");
     write_metrics(code);
     return code;
+  } catch (const util::EngineFailure& failure) {
+    // Typed engine failure: show the stable code and stage, then whatever
+    // partial progress the failing stage reported.
+    err << "error [" << failure.code_name() << "/" << failure.stage()
+        << "]: " << failure.what() << "\n";
+    const util::FailureProgress& progress = failure.progress();
+    if (progress.states_explored) {
+      err << "  states explored: " << *progress.states_explored << "\n";
+    }
+    if (progress.frontier_size) {
+      err << "  frontier size:   " << *progress.frontier_size << "\n";
+    }
+    if (progress.last_command) {
+      err << "  last command:    " << *progress.last_command << "\n";
+    }
+    if (progress.iterations) {
+      err << "  iterations:      " << *progress.iterations << "\n";
+    }
+    if (progress.residual) {
+      err << "  residual:        " << util::format_sig(*progress.residual, 6)
+          << "\n";
+    }
+    if (progress.limit) err << "  limit:           " << *progress.limit << "\n";
+    if (progress.charged_bytes) {
+      err << "  charged bytes:   " << *progress.charged_bytes << "\n";
+    }
+    write_metrics(1);
+    return 1;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     write_metrics(1);

@@ -54,6 +54,11 @@ struct EngineOptions {
   /// poll it and unwind with util::Cancelled once it expires. Shared, so a
   /// serving layer can arm per-request deadlines on a long-lived session.
   std::shared_ptr<util::CancelToken> cancel;
+  /// Per-request resource governance: state-count and tracked-byte ceilings,
+  /// enforced at exploration/uniformization safepoints. A tripped ceiling
+  /// unwinds as a typed util::EngineFailure carrying partial progress. Shared
+  /// for the same reason as `cancel`; nullptr means unlimited.
+  std::shared_ptr<util::ResourceBudget> budget;
 };
 
 }  // namespace autosec::csl

@@ -11,6 +11,8 @@
 #include "ctmc/scc.hpp"
 #include "linalg/gauss_seidel.hpp"
 #include "linalg/vector_ops.hpp"
+#include "util/failure.hpp"
+#include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
@@ -87,6 +89,7 @@ void EngineSession::set_constant_overrides(
 ctmc::TransientOptions EngineSession::transient_options() const {
   ctmc::TransientOptions transient = options_.transient;
   if (!transient.cancelled) transient.cancelled = poll_hook(options_.cancel);
+  if (!transient.budget) transient.budget = options_.budget;
   return transient;
 }
 
@@ -119,19 +122,31 @@ EngineSession::Stages& EngineSession::prepare() {
     // model_ is guaranteed here: space-adopting sessions seed their stage set
     // in the constructor and cannot re-key.
     auto start = std::chrono::steady_clock::now();
-    {
+    try {
       util::metrics::ScopedSpan span("compile");
       stages.compiled = std::make_shared<const symbolic::CompiledModel>(
           symbolic::compile(*model_, options_.constant_overrides));
+    } catch (const std::bad_alloc&) {
+      throw util::EngineFailure(util::FailureCode::kOom, "compile",
+                                "compile: out of memory");
     }
     stats_.compile_count += 1;
     stats_.compile_seconds += seconds_since(start);
 
     start = std::chrono::steady_clock::now();
-    {
+    try {
       util::metrics::ScopedSpan span("explore");
+      symbolic::ExploreOptions explore = options_.explore;
+      if (!explore.budget) explore.budget = options_.budget;
       stages.space = std::make_shared<const symbolic::StateSpace>(
-          symbolic::explore(stages.compiled, options_.explore));
+          symbolic::explore(stages.compiled, explore));
+    } catch (const std::bad_alloc&) {
+      util::FailureProgress progress;
+      if (options_.budget) {
+        progress.charged_bytes = options_.budget->charged_bytes();
+      }
+      throw util::EngineFailure(util::FailureCode::kOom, "explore",
+                                "explore: out of memory", progress);
     }
     stats_.explore_count += 1;
     stats_.explore_seconds += seconds_since(start);
@@ -170,8 +185,13 @@ const ctmc::SteadyStateResult& EngineSession::steady() {
 const ctmc::Uniformized& EngineSession::uniformized_of(Stages& stages) {
   std::lock_guard<std::mutex> lock(stages.lazy_mutex);
   if (!stages.uniformized) {
-    util::metrics::ScopedSpan span("uniformize");
-    stages.uniformized = ctmc::uniformize(*stages.chain, transient_options());
+    try {
+      util::metrics::ScopedSpan span("uniformize");
+      stages.uniformized = ctmc::uniformize(*stages.chain, transient_options());
+    } catch (const std::bad_alloc&) {
+      throw util::EngineFailure(util::FailureCode::kOom, "uniformize",
+                                "uniformize: out of memory");
+    }
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     stats_.uniformize_count += 1;
   }
@@ -186,6 +206,7 @@ const ctmc::SteadyStateResult& EngineSession::steady_of(Stages& stages) {
         ctmc::steady_state(*stages.chain, stages.initial, steady_state_options());
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     stats_.steady_state_count += 1;
+    stats_.solver_fallbacks += stages.steady->solver_fallbacks;
   }
   return *stages.steady;
 }
@@ -349,6 +370,7 @@ std::vector<double> EngineSession::check_all(
 
 double EngineSession::evaluate(Stages& stages, const Property& property) {
   check_cancel("solve");
+  if (util::fault::triggered("solve.cancel")) throw util::Cancelled("solve");
   util::metrics::registry().add("session.properties");
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -367,7 +389,7 @@ double EngineSession::evaluate(Stages& stages, const Property& property) {
 }
 
 std::vector<double> EngineSession::reachability_probabilities(
-    const ctmc::Ctmc& chain, const std::vector<bool>& target) const {
+    const ctmc::Ctmc& chain, const std::vector<bool>& target) {
   // Prob0/Prob1 graph precomputation first: states that cannot reach the
   // target are exactly 0, states that reach it almost surely are exactly 1.
   // Only the genuinely uncertain states go through the numeric least-fixpoint
@@ -411,8 +433,19 @@ std::vector<double> EngineSession::reachability_probabilities(
   auto solved = linalg::solve_fixpoint(std::move(block).build(), one_step,
                                        steady_state_options().solver);
   if (solved.cancelled) throw util::Cancelled("solve");
+  if (solved.attempts.size() > 1) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.solver_fallbacks += solved.attempts.size() - 1;
+  }
   if (!solved.converged) {
-    throw PropertyError("reachability fixpoint did not converge");
+    util::FailureProgress progress;
+    progress.iterations = solved.iterations;
+    progress.residual = solved.final_delta;
+    throw util::EngineFailure(
+        util::FailureCode::kSolverDiverged, "solve",
+        "reachability fixpoint failed on every solver rung (" +
+            std::to_string(solved.attempts.size()) + " attempted)",
+        progress);
   }
   for (size_t i = 0; i < n; ++i) {
     if (!classes.certain[i] && classes.possible[i]) x[i] = solved.x[i];
@@ -565,8 +598,19 @@ double EngineSession::check_reward(Stages& stages, const Property& property) {
       auto solved = linalg::solve_fixpoint(std::move(block).build(), base,
                                            steady_state_options().solver);
       if (solved.cancelled) throw util::Cancelled("solve");
+      if (solved.attempts.size() > 1) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.solver_fallbacks += solved.attempts.size() - 1;
+      }
       if (!solved.converged) {
-        throw PropertyError("reachability reward fixpoint did not converge");
+        util::FailureProgress progress;
+        progress.iterations = solved.iterations;
+        progress.residual = solved.final_delta;
+        throw util::EngineFailure(
+            util::FailureCode::kSolverDiverged, "solve",
+            "reachability reward fixpoint failed on every solver rung (" +
+                std::to_string(solved.attempts.size()) + " attempted)",
+            progress);
       }
       return linalg::dot(initial, solved.x);
     }

@@ -57,6 +57,10 @@ struct SessionStats {
   size_t uniformize_count = 0;
   size_t steady_state_count = 0;
   size_t check_count = 0;
+  /// Solver rungs taken beyond the first (Krylov → Gauss-Seidel → power)
+  /// across every solve of the session — 0 when every solve converged on its
+  /// first rung; surfaced per request by the serving layer.
+  size_t solver_fallbacks = 0;
   double compile_seconds = 0.0;
   double explore_seconds = 0.0;
   double solve_seconds = 0.0;  ///< property evaluation incl. uniformization
@@ -99,6 +103,13 @@ class EngineSession {
   /// fresh token per request. Pass nullptr to disarm.
   void set_cancel_token(std::shared_ptr<util::CancelToken> token) {
     options_.cancel = std::move(token);
+  }
+
+  /// Swap the per-request resource budget (see EngineOptions::budget).
+  /// Stages already cached were paid for by an earlier budget; only work the
+  /// new request actually performs is charged. Pass nullptr to disarm.
+  void set_resource_budget(std::shared_ptr<util::ResourceBudget> budget) {
+    options_.budget = std::move(budget);
   }
 
   // --- property evaluation.
@@ -148,7 +159,7 @@ class EngineSession {
   double check_steady_prob(Stages& stages, const Property& property);
   double check_reward(Stages& stages, const Property& property);
   std::vector<double> reachability_probabilities(const ctmc::Ctmc& chain,
-                                                 const std::vector<bool>& target) const;
+                                                 const std::vector<bool>& target);
 
   const ctmc::Uniformized& uniformized_of(Stages& stages);
   const ctmc::SteadyStateResult& steady_of(Stages& stages);

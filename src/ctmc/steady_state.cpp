@@ -6,10 +6,14 @@
 
 #include "ctmc/scc.hpp"
 #include "ctmc/transient.hpp"
+#include "linalg/power_iteration.hpp"
 #include "linalg/vector_ops.hpp"
 #include "util/cancel.hpp"
+#include "util/failure.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
+
+#include <atomic>
 
 namespace autosec::ctmc {
 
@@ -17,10 +21,15 @@ namespace {
 
 /// Stationary distribution within one BSCC, returned over the BSCC's local
 /// state indices. The BSCC has no outgoing edges, so restricting the rate
-/// matrix to its members yields a conservative generator.
+/// matrix to its members yields a conservative generator. When the
+/// Gauss-Seidel solve fails (divergence or iteration cap), the uniformized
+/// power iteration gets one shot before the solve unwinds as a typed
+/// solver_diverged failure; `fallbacks` counts the rungs taken beyond the
+/// first.
 std::vector<double> bscc_stationary(const Ctmc& chain,
                                     const std::vector<uint32_t>& members,
-                                    const linalg::IterativeOptions& solver) {
+                                    const linalg::IterativeOptions& solver,
+                                    std::atomic<size_t>& fallbacks) {
   const size_t m = members.size();
   if (m == 1) return {1.0};
 
@@ -45,13 +54,30 @@ std::vector<double> bscc_stationary(const Ctmc& chain,
     }
     builder.add(local, local, -exit);
   }
-  auto result = linalg::stationary_from_transposed(std::move(builder).build(),
-                                                   solver);
+  const linalg::CsrMatrix Qt = std::move(builder).build();
+  auto result = linalg::stationary_from_transposed(Qt, solver);
   if (result.cancelled) throw util::Cancelled("steady_state");
-  if (!result.converged) {
-    throw std::runtime_error("bscc_stationary: solver did not converge");
+  if (result.converged) return std::move(result.x);
+
+  // Gauss-Seidel failed; the uniformized power iteration is slower but has
+  // weaker convergence requirements (only aperiodicity + irreducibility).
+  fallbacks.fetch_add(1, std::memory_order_relaxed);
+  util::metrics::registry().add("solver.stationary_fallbacks");
+  auto power = linalg::stationary_power_from_transposed(Qt, solver);
+  if (power.cancelled) throw util::Cancelled("steady_state");
+  if (!power.converged) {
+    util::FailureProgress progress;
+    progress.iterations = result.iterations + power.iterations;
+    progress.residual = power.final_delta;
+    throw util::EngineFailure(
+        util::FailureCode::kSolverDiverged, "steady_state",
+        "bscc_stationary: no solver rung converged (gauss_seidel " +
+            std::string(result.diverged ? "diverged" : "stalled") +
+            ", power " + std::string(power.diverged ? "diverged" : "stalled") +
+            ")",
+        progress);
   }
-  return std::move(result.x);
+  return std::move(power.x);
 }
 
 }  // namespace
@@ -69,6 +95,7 @@ SteadyStateResult steady_state(const Ctmc& chain, const std::vector<double>& ini
   SteadyStateResult result;
   result.bscc_count = bottoms.size();
   result.distribution.assign(n, 0.0);
+  std::atomic<size_t> fallbacks{0};
 
   // Map component id -> index into `bottoms` (or UINT32_MAX for transient).
   std::vector<uint32_t> bottom_index(sccs.component_count, UINT32_MAX);
@@ -177,8 +204,19 @@ SteadyStateResult steady_state(const Ctmc& chain, const std::vector<double>& ini
       }
       auto solved = linalg::solve_fixpoint(transient_block, one_step, options.solver);
       if (solved.cancelled) throw util::Cancelled("steady_state");
+      if (solved.attempts.size() > 1) {
+        fallbacks.fetch_add(solved.attempts.size() - 1,
+                            std::memory_order_relaxed);
+      }
       if (!solved.converged) {
-        throw std::runtime_error("steady_state: absorption solver did not converge");
+        util::FailureProgress progress;
+        progress.iterations = solved.iterations;
+        progress.residual = solved.final_delta;
+        throw util::EngineFailure(
+            util::FailureCode::kSolverDiverged, "steady_state",
+            "steady_state: absorption solve failed on every rung (" +
+                std::to_string(solved.attempts.size()) + " attempted)",
+            progress);
       }
       for (uint32_t local = 0; local < transient_states.size(); ++local) {
         absorb[b][transient_states[local]] = solved.x[local];
@@ -198,14 +236,15 @@ SteadyStateResult steady_state(const Ctmc& chain, const std::vector<double>& ini
     for (size_t b = b_begin; b < b_end; ++b) {
       const double weight = result.bscc_probability[b];
       if (weight <= 0.0) continue;
-      const std::vector<double> local_pi =
-          bscc_stationary(chain, sccs.members[bottoms[b]], options.solver);
+      const std::vector<double> local_pi = bscc_stationary(
+          chain, sccs.members[bottoms[b]], options.solver, fallbacks);
       const auto& members = sccs.members[bottoms[b]];
       for (size_t i = 0; i < members.size(); ++i) {
         result.distribution[members[i]] += weight * local_pi[i];
       }
     }
   });
+  result.solver_fallbacks = fallbacks.load(std::memory_order_relaxed);
   return result;
 }
 
@@ -218,7 +257,8 @@ std::vector<double> stationary_distribution(const Ctmc& chain,
   }
   std::vector<uint32_t> all(chain.state_count());
   for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
-  return bscc_stationary(chain, all, options.solver);
+  std::atomic<size_t> fallbacks{0};
+  return bscc_stationary(chain, all, options.solver, fallbacks);
 }
 
 }  // namespace autosec::ctmc

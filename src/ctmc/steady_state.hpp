@@ -21,6 +21,10 @@ struct SteadyStateResult {
   /// Probability of ending up in each BSCC (aligned with `bscc_states`).
   std::vector<double> bscc_probability;
   std::vector<std::vector<uint32_t>> bscc_states;
+  /// Solver rungs taken beyond the first across every absorption and
+  /// stationary solve — 0 on a clean run; surfaced through SessionStats and
+  /// the serve response so degraded solves are visible, never silent.
+  size_t solver_fallbacks = 0;
 };
 
 /// Long-run distribution starting from `initial`.

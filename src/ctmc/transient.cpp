@@ -1,12 +1,15 @@
 #include "ctmc/transient.hpp"
 
 #include <cmath>
+#include <new>
 #include <stdexcept>
 #include <string>
 
 #include "ctmc/poisson.hpp"
 #include "linalg/vector_ops.hpp"
 #include "util/cancel.hpp"
+#include "util/failure.hpp"
+#include "util/fault.hpp"
 #include "util/metrics.hpp"
 
 namespace autosec::ctmc {
@@ -31,11 +34,21 @@ void check_distribution(size_t state_count, const std::vector<double>& initial,
 
 Uniformized uniformize(const Ctmc& chain, const TransientOptions& options) {
   util::metrics::registry().add("ctmc.uniformizations");
+  if (util::fault::triggered("uniformize.alloc")) throw std::bad_alloc();
   Uniformized out;
   out.state_count = chain.state_count();
   out.q = options.uniformization_rate > 0.0 ? options.uniformization_rate
                                             : chain.default_uniformization_rate();
   out.transposed = chain.uniformized(out.q).transposed();
+  if (options.budget) {
+    // CSR footprint of Pᵀ: one double + one uint32 per stored entry, plus the
+    // row-pointer array. Charged after the build — the typed failure still
+    // fires before the matrix is handed to a solve.
+    options.budget->charge_bytes(
+        out.transposed.nonzeros() * (sizeof(double) + sizeof(uint32_t)) +
+            (out.transposed.rows() + 1) * sizeof(uint32_t),
+        "uniformize");
+  }
   return out;
 }
 
@@ -74,6 +87,15 @@ std::vector<double> transient_distribution(const Uniformized& uniformized,
       uniformized.step(current, next);
       current.swap(next);
     }
+  }
+  // Health guard: a NaN/Inf anywhere in the result means an upstream rate or
+  // weight was poisoned — surface a typed failure, never a silent wrong answer.
+  double checksum = 0.0;
+  for (const double p : result) checksum += p;
+  if (!std::isfinite(checksum)) {
+    throw util::EngineFailure(
+        util::FailureCode::kNumericalError, "transient",
+        "transient: non-finite probability in the result distribution");
   }
   return result;
 }

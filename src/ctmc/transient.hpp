@@ -3,9 +3,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
+#include "util/budget.hpp"
 
 namespace autosec::ctmc {
 
@@ -16,6 +18,10 @@ struct TransientOptions {
   /// Cooperative cancellation hook, polled between uniformization steps.
   /// When it returns true the solve unwinds with util::Cancelled.
   std::function<bool()> cancelled;
+  /// Optional per-request resource budget; uniformize() charges the
+  /// transposed-matrix bytes against it (and unwinds with a typed
+  /// memory_budget_exceeded failure when the ceiling is hit).
+  std::shared_ptr<util::ResourceBudget> budget;
 };
 
 /// A prebuilt uniformization stage: the rate q and the *transposed*

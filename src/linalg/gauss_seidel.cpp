@@ -5,15 +5,24 @@
 #include <string>
 
 #include "linalg/krylov.hpp"
+#include "linalg/power_iteration.hpp"
 #include "linalg/vector_ops.hpp"
+#include "util/fault.hpp"
 #include "util/metrics.hpp"
 
 namespace autosec::linalg {
 
 namespace {
 
+/// Iterate magnitudes past this ceiling can never settle back below a 1e-12
+/// relative tolerance in double precision; stop instead of overflowing to Inf.
+constexpr double kDivergenceCeiling = 1e100;
+
 /// Gauss-Seidel sweeps for x = A·x + b — the original solver, now one of the
-/// methods solve_fixpoint dispatches between.
+/// methods solve_fixpoint dispatches between. Reports (never throws on)
+/// numerical trouble: a non-contracting diagonal, NaN/Inf in the iterate, or
+/// runaway growth all come back as diverged = true so the kAuto ladder can
+/// move to the next rung and single-method callers see a typed failure.
 IterativeResult fixpoint_gauss_seidel(const CsrMatrix& A,
                                       const std::vector<double>& b,
                                       const IterativeOptions& options) {
@@ -22,6 +31,11 @@ IterativeResult fixpoint_gauss_seidel(const CsrMatrix& A,
   result.x.assign(n, 0.0);
   std::vector<double>& x = result.x;
 
+  if (util::fault::triggered("gauss_seidel.diverge")) {
+    result.diverged = true;
+    return result;
+  }
+
   for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
     if (options.cancelled && options.cancelled()) {
       result.cancelled = true;
@@ -29,6 +43,7 @@ IterativeResult fixpoint_gauss_seidel(const CsrMatrix& A,
     }
     double delta = 0.0;
     double magnitude = 0.0;
+    double checksum = 0.0;
     for (size_t i = 0; i < n; ++i) {
       const auto cols = A.row_columns(i);
       const auto vals = A.row_values(i);
@@ -42,15 +57,25 @@ IterativeResult fixpoint_gauss_seidel(const CsrMatrix& A,
         }
       }
       if (diagonal >= 1.0) {
-        throw std::runtime_error("solve_fixpoint: diagonal >= 1, not contracting");
+        // x_i = (... ) / (1 - A_ii) has no solution; the fixpoint iteration is
+        // not contracting at this state.
+        result.diverged = true;
+        return result;
       }
       const double updated = acc / (1.0 - diagonal);
       delta = std::max(delta, std::abs(updated - x[i]));
       magnitude = std::max(magnitude, std::abs(updated));
+      // max() never propagates NaN (both comparisons are false), so a plain
+      // sum is the per-sweep health probe: one NaN/Inf poisons it.
+      checksum += updated;
       x[i] = updated;
     }
     result.iterations = iter;
     result.final_delta = delta;
+    if (!std::isfinite(checksum) || magnitude > kDivergenceCeiling) {
+      result.diverged = true;
+      return result;
+    }
     // Relative to the solution scale: expected-reward solves can carry values
     // of 1e5 and more, where an absolute 1e-12 sits below the roundoff floor
     // (|x|·2^-52) and the sweep stagnates forever. For probability-scale
@@ -82,6 +107,21 @@ IterativeResult record_solve(const char* method, IterativeResult result) {
   return result;
 }
 
+/// Append this rung's outcome to the result's attempt log.
+IterativeResult with_attempt(const char* method, IterativeResult result) {
+  result.attempts.push_back({method, result.iterations, result.final_delta,
+                             result.converged, result.diverged});
+  return result;
+}
+
+/// Carry the attempt log of earlier rungs into the rung that replaced them.
+IterativeResult inherit_attempts(IterativeResult result,
+                                 const IterativeResult& earlier) {
+  result.attempts.insert(result.attempts.begin(), earlier.attempts.begin(),
+                         earlier.attempts.end());
+  return result;
+}
+
 }  // namespace
 
 IterativeResult solve_fixpoint(const CsrMatrix& A, const std::vector<double>& b,
@@ -92,17 +132,32 @@ IterativeResult solve_fixpoint(const CsrMatrix& A, const std::vector<double>& b,
   }
   switch (options.method) {
     case FixpointMethod::kGaussSeidel:
-      return record_solve("gauss_seidel", fixpoint_gauss_seidel(A, b, options));
+      return record_solve(
+          "gauss_seidel",
+          with_attempt("gauss_seidel", fixpoint_gauss_seidel(A, b, options)));
     case FixpointMethod::kKrylov:
-      return record_solve("krylov", solve_fixpoint_krylov(A, b, options));
+      return record_solve(
+          "krylov", with_attempt("krylov", solve_fixpoint_krylov(A, b, options)));
     case FixpointMethod::kAuto: {
-      IterativeResult result =
-          record_solve("krylov", solve_fixpoint_krylov(A, b, options));
-      if (result.converged || result.cancelled) return result;
-      // Breakdown or stagnation — rare, but the contracting sweeps always
-      // converge, so the combined method is as robust as Gauss-Seidel alone.
+      // The fallback ladder: BiCGSTAB → Gauss-Seidel → Jacobi power. Each rung
+      // only runs when the one above broke down, diverged, or stagnated; the
+      // returned result carries one attempt entry per rung taken so degraded
+      // solves are visible to callers and metrics.
+      IterativeResult krylov = record_solve(
+          "krylov", with_attempt("krylov", solve_fixpoint_krylov(A, b, options)));
+      if (krylov.converged || krylov.cancelled) return krylov;
       util::metrics::registry().add("solver.krylov_fallbacks");
-      return record_solve("gauss_seidel", fixpoint_gauss_seidel(A, b, options));
+      IterativeResult gs = inherit_attempts(
+          record_solve("gauss_seidel", with_attempt("gauss_seidel",
+                                                    fixpoint_gauss_seidel(
+                                                        A, b, options))),
+          krylov);
+      if (gs.converged || gs.cancelled) return gs;
+      util::metrics::registry().add("solver.gauss_seidel_fallbacks");
+      return inherit_attempts(
+          record_solve("power", with_attempt("power", solve_fixpoint_power(
+                                                          A, b, options))),
+          gs);
     }
   }
   throw std::logic_error("solve_fixpoint: unknown method");
@@ -119,6 +174,13 @@ IterativeResult stationary_from_transposed(const CsrMatrix& Qt,
   if (n == 1) {
     result.x = {1.0};
     result.converged = true;
+    return result;
+  }
+
+  if (util::fault::triggered("stationary.diverge")) {
+    result.x.assign(n, 1.0 / static_cast<double>(n));
+    result.diverged = true;
+    result.attempts.push_back({"gauss_seidel", 0, 0.0, false, true});
     return result;
   }
 
@@ -142,6 +204,7 @@ IterativeResult stationary_from_transposed(const CsrMatrix& Qt,
       return result;
     }
     double delta = 0.0;
+    double checksum = 0.0;
     for (size_t i = 0; i < n; ++i) {
       const auto cols = Qt.row_columns(i);
       const auto vals = Qt.row_values(i);
@@ -151,16 +214,24 @@ IterativeResult stationary_from_transposed(const CsrMatrix& Qt,
       }
       const double updated = inflow / exit_rate[i];
       delta = std::max(delta, std::abs(updated - pi[i]));
+      checksum += updated;
       pi[i] = updated;
     }
-    normalize_l1(pi);
     result.iterations = iter;
     result.final_delta = delta;
+    if (!std::isfinite(checksum)) {
+      result.diverged = true;
+      break;
+    }
+    normalize_l1(pi);
     if (delta <= options.tolerance) {
       result.converged = true;
       break;
     }
   }
+  result.attempts.push_back({"gauss_seidel", result.iterations,
+                             result.final_delta, result.converged,
+                             result.diverged});
   util::metrics::registry().add("solver.stationary_iterations", result.iterations);
   return result;
 }

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "linalg/csr_matrix.hpp"
@@ -20,10 +21,12 @@ namespace autosec::linalg {
 /// How solve_fixpoint attacks x = A·x + b. Stationary solves
 /// (stationary_from_transposed) always use Gauss-Seidel and ignore this.
 enum class FixpointMethod {
-  /// BiCGSTAB first (see linalg/krylov.hpp), Gauss-Seidel sweeps as the
-  /// fallback when Krylov breaks down or stagnates — the default: orders of
-  /// magnitude faster on stiff chains, bit-for-bit deterministic at any
-  /// thread count, and never worse than a clean Gauss-Seidel run.
+  /// The full fallback ladder: BiCGSTAB (linalg/krylov.hpp) first,
+  /// Gauss-Seidel sweeps when Krylov breaks down or stagnates, and a Jacobi
+  /// power rung (linalg/power_iteration.hpp) as the last resort. The default:
+  /// orders of magnitude faster on stiff chains, bit-for-bit deterministic at
+  /// any thread count, and never worse than a clean Gauss-Seidel run. Each
+  /// rung taken is recorded in IterativeResult::attempts and util::metrics.
   kAuto,
   /// Pure Gauss-Seidel sweeps — the engine's original path, kept selectable
   /// for baselines and for cross-checking the Krylov results.
@@ -47,12 +50,30 @@ struct IterativeOptions {
   std::function<bool()> cancelled;
 };
 
+/// One rung of the kAuto fallback ladder, as attempted. solve_fixpoint
+/// appends one entry per method it ran, so a degraded solve is visible to
+/// metrics, the serve response, and diagnostics — never silent.
+struct RungAttempt {
+  std::string method;  ///< "krylov" | "gauss_seidel" | "power"
+  size_t iterations = 0;
+  double final_delta = 0.0;
+  bool converged = false;
+  bool diverged = false;
+};
+
 struct IterativeResult {
   std::vector<double> x;
   size_t iterations = 0;
   double final_delta = 0.0;
   bool converged = false;
   bool cancelled = false;  ///< stopped by IterativeOptions::cancelled
+  /// Numerical health guard tripped: NaN/Inf in the iterate, a non-contracting
+  /// diagonal, or residual growth — the iteration cannot converge and was
+  /// stopped early instead of spinning to max_iterations.
+  bool diverged = false;
+  /// Rungs attempted, in order. Single-method solves carry one entry; a
+  /// kAuto solve that fell back carries one entry per rung taken.
+  std::vector<RungAttempt> attempts;
 };
 
 /// Solve x = A·x + b; the method is picked by options.method (BiCGSTAB with

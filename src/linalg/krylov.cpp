@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/vector_ops.hpp"
+#include "util/fault.hpp"
 
 namespace autosec::linalg {
 
@@ -29,6 +30,13 @@ IterativeResult solve_fixpoint_krylov(const CsrMatrix& A,
   result.x.assign(n, 0.0);
   if (n == 0) {
     result.converged = true;
+    return result;
+  }
+
+  if (util::fault::triggered("krylov.breakdown")) {
+    // Simulated breakdown on entry: a non-converged, diverged result that
+    // sends the kAuto ladder straight to the Gauss-Seidel rung.
+    result.diverged = true;
     return result;
   }
 
@@ -65,6 +73,10 @@ IterativeResult solve_fixpoint_krylov(const CsrMatrix& A,
 
     const double rho_next = dot(r_hat, r);
     if (rho_next == 0.0) break;  // breakdown: shadow residual orthogonal
+    if (!std::isfinite(rho_next)) {
+      result.diverged = true;
+      break;
+    }
     const double beta = (rho_next / rho) * (alpha / omega);
     rho = rho_next;
     for (size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
@@ -72,6 +84,10 @@ IterativeResult solve_fixpoint_krylov(const CsrMatrix& A,
     apply(p, v);
     const double r_hat_v = dot(r_hat, v);
     if (r_hat_v == 0.0) break;  // breakdown
+    if (!std::isfinite(r_hat_v)) {
+      result.diverged = true;
+      break;
+    }
     alpha = rho / r_hat_v;
 
     for (size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
@@ -91,6 +107,10 @@ IterativeResult solve_fixpoint_krylov(const CsrMatrix& A,
     if (t_t == 0.0) break;  // breakdown
     omega = dot(t, s) / t_t;
     if (omega == 0.0) break;
+    if (!std::isfinite(omega) || !std::isfinite(t_t)) {
+      result.diverged = true;
+      break;
+    }
 
     for (size_t i = 0; i < n; ++i) {
       x[i] += alpha * p[i] + omega * s[i];
@@ -98,6 +118,10 @@ IterativeResult solve_fixpoint_krylov(const CsrMatrix& A,
     }
     const double r_norm = max_norm(r);
     result.final_delta = r_norm;
+    if (!std::isfinite(r_norm)) {
+      result.diverged = true;
+      break;
+    }
     if (r_norm <= std::max(options.tolerance, 1e-14 * max_norm(x))) {
       result.converged = true;
       break;

@@ -1,10 +1,25 @@
 #include "linalg/power_iteration.hpp"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "linalg/vector_ops.hpp"
+#include "util/fault.hpp"
 
 namespace autosec::linalg {
+
+namespace {
+
+// See gauss_seidel.cpp: magnitudes past this can never converge to a 1e-12
+// relative tolerance in double precision.
+constexpr double kDivergenceCeiling = 1e100;
+
+// Jacobi converges geometrically when it converges at all; this many
+// iterations without a new best delta means the spectrum is not contracting.
+constexpr size_t kStagnationWindow = 10000;
+
+}  // namespace
 
 IterativeResult stationary_power_iteration(const CsrMatrix& P,
                                            const IterativeOptions& options) {
@@ -25,6 +40,133 @@ IterativeResult stationary_power_iteration(const CsrMatrix& P,
     normalize_l1(next);
     const double delta = max_abs_diff(result.x, next);
     result.x.swap(next);
+    result.iterations = iter;
+    result.final_delta = delta;
+    if (delta <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+IterativeResult solve_fixpoint_power(const CsrMatrix& A,
+                                     const std::vector<double>& b,
+                                     const IterativeOptions& options) {
+  const size_t n = A.rows();
+  if (A.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve_fixpoint_power: dimension mismatch");
+  }
+  IterativeResult result;
+  result.x.assign(n, 0.0);
+
+  if (util::fault::triggered("power.diverge")) {
+    result.diverged = true;
+    return result;
+  }
+
+  std::vector<double> next(n, 0.0);
+  double best_delta = std::numeric_limits<double>::infinity();
+  size_t stagnant = 0;
+
+  for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    if (options.cancelled && options.cancelled()) {
+      result.cancelled = true;
+      return result;
+    }
+    A.right_multiply(result.x, next);
+    double delta = 0.0;
+    double magnitude = 0.0;
+    double checksum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      next[i] += b[i];
+      delta = std::max(delta, std::abs(next[i] - result.x[i]));
+      magnitude = std::max(magnitude, std::abs(next[i]));
+      checksum += next[i];
+    }
+    result.x.swap(next);
+    result.iterations = iter;
+    result.final_delta = delta;
+    if (!std::isfinite(checksum) || magnitude > kDivergenceCeiling) {
+      result.diverged = true;
+      return result;
+    }
+    if (delta <= options.tolerance * std::max(1.0, magnitude)) {
+      result.converged = true;
+      break;
+    }
+    if (delta < best_delta) {
+      best_delta = delta;
+      stagnant = 0;
+    } else if (++stagnant >= kStagnationWindow) {
+      result.diverged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+IterativeResult stationary_power_from_transposed(const CsrMatrix& Qt,
+                                                 const IterativeOptions& options) {
+  const size_t n = Qt.rows();
+  if (Qt.cols() != n) {
+    throw std::invalid_argument("stationary power: square matrix required");
+  }
+  if (n == 0) throw std::invalid_argument("stationary power: empty matrix");
+
+  IterativeResult result;
+  if (n == 1) {
+    result.x = {1.0};
+    result.converged = true;
+    return result;
+  }
+
+  if (util::fault::triggered("power.diverge")) {
+    result.x.assign(n, 1.0 / static_cast<double>(n));
+    result.diverged = true;
+    return result;
+  }
+
+  // Uniformization constant: strictly above the max exit rate so the DTMC
+  // P = I + Q/q keeps a positive self-loop at the fastest state.
+  double max_exit = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double qii = Qt.at(i, i);
+    if (qii >= 0.0) {
+      throw std::runtime_error(
+          "stationary power: state without outgoing rate in a multi-state BSCC");
+    }
+    max_exit = std::max(max_exit, -qii);
+  }
+  const double q = 1.05 * max_exit;
+
+  result.x.assign(n, 1.0 / static_cast<double>(n));
+  std::vector<double> flow(n, 0.0);
+
+  for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    if (options.cancelled && options.cancelled()) {
+      result.cancelled = true;
+      return result;
+    }
+    // π ← π·P computed as π + (Qt·π)/q; Qt rows hold incoming rates, so the
+    // gather form needs no transpose pass.
+    Qt.right_multiply(result.x, flow);
+    double delta = 0.0;
+    double checksum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double updated = result.x[i] + flow[i] / q;
+      delta = std::max(delta, std::abs(updated - result.x[i]));
+      checksum += updated;
+      flow[i] = updated;
+    }
+    if (!std::isfinite(checksum)) {
+      result.diverged = true;
+      result.iterations = iter;
+      result.final_delta = delta;
+      return result;
+    }
+    normalize_l1(flow);
+    result.x.swap(flow);
     result.iterations = iter;
     result.final_delta = delta;
     if (delta <= options.tolerance) {

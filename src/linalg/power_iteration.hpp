@@ -18,4 +18,23 @@ namespace autosec::linalg {
 IterativeResult stationary_power_iteration(const CsrMatrix& P,
                                            const IterativeOptions& options = {});
 
+/// Jacobi iteration x ← A·x + b — the last rung of the solve_fixpoint kAuto
+/// ladder. Slower than Gauss-Seidel but makes no in-place-update assumption,
+/// so it can converge on orderings where the sweeps stall. Carries the same
+/// health guards as the other rungs (NaN/Inf, runaway growth) plus a
+/// stagnation window: ~10k iterations without improving the best delta means
+/// the iteration is not contracting, and the rung reports diverged instead of
+/// spinning to max_iterations.
+IterativeResult solve_fixpoint_power(const CsrMatrix& A,
+                                     const std::vector<double>& b,
+                                     const IterativeOptions& options = {});
+
+/// Stationary fallback for bscc_stationary when the Gauss-Seidel solve fails:
+/// power-iterate the uniformized DTMC π ← π + (Qt·π)/q directly on the
+/// *transposed* generator, with q = 1.05 × max exit rate (the slack keeps a
+/// strictly positive self-loop, guaranteeing aperiodicity). Requires every
+/// diagonal Qt_ii < 0, as stationary_from_transposed already validated.
+IterativeResult stationary_power_from_transposed(
+    const CsrMatrix& Qt, const IterativeOptions& options = {});
+
 }  // namespace autosec::linalg

@@ -186,6 +186,14 @@ ParseResult parse_request(std::string_view line) {
         const int64_t timeout = expect_integer(value, key);
         if (timeout < 0) throw BadRequest("timeout_ms must be >= 0");
         request.timeout_ms = timeout;
+      } else if (key == "max_states") {
+        const int64_t max_states = expect_integer(value, key);
+        if (max_states < 1) throw BadRequest("max_states must be >= 1");
+        request.max_states = max_states;
+      } else if (key == "max_memory_mb") {
+        const int64_t max_memory = expect_integer(value, key);
+        if (max_memory < 1) throw BadRequest("max_memory_mb must be >= 1");
+        request.max_memory_mb = max_memory;
       } else if (key == "solver") {
         const std::string solver = expect_string(value, key);
         if (solver == "auto") request.solver = linalg::FixpointMethod::kAuto;

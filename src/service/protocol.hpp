@@ -5,19 +5,33 @@
 //   {"schema_version": "autosec-serve-v1", "id": "...", "op": "...",
 //    "ok": true|false, "result": {...} | "error": {...}, "metrics": {...}}
 //
-// The error object is structured ({"code", "message", "stage"?}) with codes
-//   bad_request    malformed JSON, unknown op, invalid or missing fields
-//   timeout        the request's deadline expired (stage names the engine
-//                  stage that observed it)
-//   engine_error   the engine rejected the model or a solve failed
-//   shutting_down  the service is draining (SIGTERM) and not accepting work
+// The error object is structured ({"code", "message", "stage"?, "detail"?})
+// with codes
+//   bad_request              malformed JSON, unknown op, invalid/missing fields
+//   timeout                  the request's deadline expired (stage names the
+//                            engine stage that observed it)
+//   engine_error             the engine rejected the model or a solve failed
+//   shutting_down            the service is draining (SIGTERM)
+//   state_budget_exceeded    exploration hit the request's max_states ceiling
+//   memory_budget_exceeded   tracked engine allocations hit max_memory_mb
+//   oom                      a real allocation failure inside a stage
+//   solver_diverged          every solver rung failed to converge
+//   numerical_error          NaN/Inf detected in a result vector
+//   cancelled                cooperative cancellation other than a deadline
+//   internal_error           an unexpected exception crossed the dispatcher
+// Engine-side failures (the codes below shutting_down) carry an optional
+// "detail" object with the partial progress the failing stage reported:
+// states_explored, frontier_size, last_command, iterations, residual, limit,
+// charged_bytes — only the fields the stage could fill. After such a failure
+// the offending session-cache entry is evicted; the worker keeps serving.
 //
 // The metrics object makes cache behaviour observable per request:
 //   {"wall_seconds": S, "session_cache": "hit"|"miss"|"none",
-//    "explores": N, "states": N}
+//    "explores": N, "states": N, "solver_fallbacks": N}
 // — "explores" is the state-space explorations this request added to its
 // session; a repeated analyze answered from the session cache reports
-// session_cache "hit" and explores 0.
+// session_cache "hit" and explores 0. "solver_fallbacks" counts solver rungs
+// taken beyond the first (a degraded but correct solve).
 #pragma once
 
 #include <optional>
@@ -74,6 +88,10 @@ struct Request {
   /// expired (deterministic timeout, used by the protocol tests).
   std::optional<int64_t> timeout_ms;
   std::optional<linalg::FixpointMethod> solver;
+  /// Per-request resource ceilings (absent = unlimited). Exceeding one
+  /// yields a typed state_budget_exceeded / memory_budget_exceeded error.
+  std::optional<int64_t> max_states;
+  std::optional<int64_t> max_memory_mb;
 };
 
 /// Outcome of parsing one request line: either a request or a bad_request

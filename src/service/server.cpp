@@ -12,6 +12,7 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <new>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -22,8 +23,11 @@
 #include "automotive/diagnostics.hpp"
 #include "automotive/transform.hpp"
 #include "csl/session.hpp"
+#include "util/budget.hpp"
 #include "util/cancel.hpp"
 #include "util/drain.hpp"
+#include "util/failure.hpp"
+#include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
@@ -131,6 +135,20 @@ std::shared_ptr<util::CancelToken> make_token(
   return token;
 }
 
+/// Per-request resource ceilings; nullptr when the request sets neither knob.
+/// Budgets are deliberately NOT part of the cache key: they bound one
+/// request's work, they do not change the model or the session's stages.
+std::shared_ptr<util::ResourceBudget> make_budget(const Request& request) {
+  if (!request.max_states && !request.max_memory_mb) return nullptr;
+  const size_t max_states =
+      request.max_states ? static_cast<size_t>(*request.max_states) : 0;
+  const size_t max_bytes =
+      request.max_memory_mb
+          ? static_cast<size_t>(*request.max_memory_mb) * 1024 * 1024
+          : 0;
+  return std::make_shared<util::ResourceBudget>(max_states, max_bytes);
+}
+
 /// Engine knobs of one request, shared by every op.
 automotive::AnalysisOptions engine_options(
     const Request& request, std::shared_ptr<util::CancelToken> token) {
@@ -140,6 +158,7 @@ automotive::AnalysisOptions engine_options(
   options.constant_overrides = request.overrides;
   if (request.solver) options.steady_state.solver.method = *request.solver;
   options.cancel = std::move(token);
+  options.budget = make_budget(request);
   return options;
 }
 
@@ -152,6 +171,32 @@ automotive::Architecture parse_architecture_checked(const std::string& content,
   } catch (const std::exception& error) {
     bad_request("invalid architecture '" + path + "': " + error.what());
   }
+}
+
+/// The "detail" object of an engine-failure envelope: only the progress
+/// fields the failing stage actually reported.
+JsonValue progress_to_json(const util::FailureProgress& progress) {
+  JsonValue detail = JsonValue::object();
+  if (progress.states_explored) {
+    detail["states_explored"] = JsonValue::number(*progress.states_explored);
+  }
+  if (progress.frontier_size) {
+    detail["frontier_size"] = JsonValue::number(*progress.frontier_size);
+  }
+  if (progress.last_command) {
+    detail["last_command"] = JsonValue::string(*progress.last_command);
+  }
+  if (progress.iterations) {
+    detail["iterations"] = JsonValue::number(*progress.iterations);
+  }
+  if (progress.residual) {
+    detail["residual"] = JsonValue::number(*progress.residual);
+  }
+  if (progress.limit) detail["limit"] = JsonValue::number(*progress.limit);
+  if (progress.charged_bytes) {
+    detail["charged_bytes"] = JsonValue::number(*progress.charged_bytes);
+  }
+  return detail;
 }
 
 JsonValue result_to_json(const automotive::AnalysisResult& result) {
@@ -190,11 +235,13 @@ util::JsonValue Server::run_analyze(const Request& request,
       &hit);
 
   std::lock_guard<std::mutex> lock(entry->mutex);
+  metrics.session_cache = hit ? "hit" : "miss";
+  metrics.cache_key = key;
   const automotive::ArchitectureReport report = automotive::analyze_batch_session(
       entry->batch, engine_options(request, token));
 
-  metrics.session_cache = hit ? "hit" : "miss";
   metrics.explores = report.stats.explore_count;
+  metrics.solver_fallbacks = report.stats.solver_fallbacks;
   if (!report.results.empty()) metrics.states = report.results.front().state_count;
 
   JsonValue result = JsonValue::object();
@@ -238,6 +285,7 @@ util::JsonValue Server::run_check(const Request& request, RequestMetrics& metric
         static_cast<csl::EngineOptions&>(session_options) =
             engine_options(request, nullptr);
         session_options.cancel = nullptr;
+        session_options.budget = nullptr;  // budgets are per-request, not per-entry
         try {
           batch.session = std::make_shared<csl::EngineSession>(
               automotive::transform(arch, transform_options), session_options);
@@ -249,18 +297,22 @@ util::JsonValue Server::run_check(const Request& request, RequestMetrics& metric
       &hit);
 
   std::lock_guard<std::mutex> lock(entry->mutex);
+  metrics.session_cache = hit ? "hit" : "miss";
+  metrics.cache_key = key;
   csl::EngineSession& session = *entry->batch.session;
   if (csl::override_cache_key(request.overrides) !=
       csl::override_cache_key(session.options().constant_overrides)) {
     session.set_constant_overrides(request.overrides);
   }
   session.set_cancel_token(token);
+  session.set_resource_budget(make_budget(request));
   const csl::SessionStats before = session.stats();
 
   const std::vector<double> values = session.check_all(request.properties);
 
-  metrics.session_cache = hit ? "hit" : "miss";
   metrics.explores = session.stats().explore_count - before.explore_count;
+  metrics.solver_fallbacks =
+      session.stats().solver_fallbacks - before.solver_fallbacks;
   metrics.states = session.space().state_count();
 
   JsonValue result = JsonValue::object();
@@ -302,6 +354,7 @@ util::JsonValue Server::run_sweep(const Request& request, RequestMetrics& metric
         static_cast<csl::EngineOptions&>(session_options) =
             engine_options(request, nullptr);
         session_options.cancel = nullptr;
+        session_options.budget = nullptr;  // budgets are per-request, not per-entry
         try {
           batch.session = std::make_shared<csl::EngineSession>(
               automotive::transform(arch, transform_options), session_options);
@@ -313,8 +366,11 @@ util::JsonValue Server::run_sweep(const Request& request, RequestMetrics& metric
       &hit);
 
   std::lock_guard<std::mutex> lock(entry->mutex);
+  metrics.session_cache = hit ? "hit" : "miss";
+  metrics.cache_key = key;
   csl::EngineSession& session = *entry->batch.session;
   session.set_cancel_token(token);
+  session.set_resource_budget(make_budget(request));
   const csl::SessionStats before = session.stats();
 
   const double horizon = request.horizon_years;
@@ -339,8 +395,9 @@ util::JsonValue Server::run_sweep(const Request& request, RequestMetrics& metric
     points.push_back(std::move(point));
   }
 
-  metrics.session_cache = hit ? "hit" : "miss";
   metrics.explores = session.stats().explore_count - before.explore_count;
+  metrics.solver_fallbacks =
+      session.stats().solver_fallbacks - before.solver_fallbacks;
   metrics.states = session.space().state_count();
 
   JsonValue result = JsonValue::object();
@@ -459,6 +516,12 @@ std::string Server::handle_line(const std::string& line) {
   RequestMetrics metrics;
   std::optional<JsonValue> result;
   ErrorInfo error;
+  std::optional<JsonValue> error_detail;
+  // An engine-side failure may have left the cached session in a bad state
+  // (half-built stages, a poisoned matrix): drop the entry so the next
+  // request rebuilds from scratch. Timeouts are NOT evicted — a cancelled
+  // session is clean and its cached stages stay valid.
+  bool evict_entry = false;
 
   if (draining()) {
     error = {"shutting_down", "service is draining and not accepting requests", ""};
@@ -466,14 +529,31 @@ std::string Server::handle_line(const std::string& line) {
     error = parsed.error;
   } else {
     try {
+      // Fault site: proves the dispatcher converts an allocation failure into
+      // a structured oom envelope and keeps serving (autosec-verify --faults).
+      if (util::fault::triggered("serve.dispatch.alloc")) throw std::bad_alloc();
       result = dispatch(*parsed.request, metrics);
     } catch (const util::Cancelled& cancelled) {
       error = {"timeout", cancelled.what(), cancelled.stage()};
     } catch (const RequestError& request_error) {
       error = request_error.info();
+    } catch (const util::EngineFailure& failure) {
+      error = {failure.code_name(), failure.what(), failure.stage()};
+      error_detail = progress_to_json(failure.progress());
+      evict_entry = true;
+    } catch (const std::bad_alloc&) {
+      error = {"oom", "allocation failure while handling the request", ""};
+      evict_entry = true;
     } catch (const std::exception& engine_error) {
       error = {"engine_error", engine_error.what(), ""};
+    } catch (...) {
+      error = {"internal_error",
+               "an unexpected exception crossed the dispatcher", ""};
+      evict_entry = true;
     }
+  }
+  if (evict_entry && !metrics.cache_key.empty()) {
+    cache_.evict(metrics.cache_key);
   }
   if (!result) {
     errors_.fetch_add(1, std::memory_order_relaxed);
@@ -501,6 +581,10 @@ std::string Server::handle_line(const std::string& line) {
     writer.key("code").value(error.code);
     writer.key("message").value(error.message);
     if (!error.stage.empty()) writer.key("stage").value(error.stage);
+    if (error_detail && error_detail->size() > 0) {
+      writer.key("detail");
+      error_detail->write(writer);
+    }
     writer.end_object();
   }
   writer.key("metrics");
@@ -509,6 +593,7 @@ std::string Server::handle_line(const std::string& line) {
   writer.key("session_cache").value(metrics.session_cache);
   writer.key("explores").value(metrics.explores);
   writer.key("states").value(metrics.states);
+  writer.key("solver_fallbacks").value(metrics.solver_fallbacks);
   writer.end_object();
   writer.end_object();
   return writer.take();

@@ -82,6 +82,10 @@ class Server {
     const char* session_cache = "none";  // "hit" | "miss" | "none"
     size_t explores = 0;
     size_t states = 0;
+    size_t solver_fallbacks = 0;
+    /// Cache key of the entry this request used; lets handle_line evict the
+    /// (possibly poisoned) entry when dispatch fails engine-side.
+    std::string cache_key;
   };
 
   /// Engine work of one parsed request; returns the "result" payload.

@@ -55,6 +55,17 @@ std::shared_ptr<SessionCache::Entry> SessionCache::acquire(
   return entry;
 }
 
+void SessionCache::evict(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      entries_.erase(it);
+      evictions_ += 1;
+      return;
+    }
+  }
+}
+
 SessionCache::Stats SessionCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats stats;

@@ -55,6 +55,13 @@ class SessionCache {
       const std::string& key,
       const std::function<automotive::BatchSession()>& build, bool* hit);
 
+  /// Drop `key` from the cache if present. Used after an engine-side failure
+  /// (oom, solver_diverged, ...) so a poisoned session is rebuilt from
+  /// scratch on the next request instead of being served from cache. Only
+  /// the cache's reference is dropped — a request still holding the
+  /// shared_ptr finishes safely.
+  void evict(const std::string& key);
+
   Stats stats() const;
 
  private:

@@ -1,9 +1,13 @@
 #include "symbolic/explorer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
+#include <new>
 #include <unordered_map>
 
+#include "util/failure.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 
 namespace autosec::symbolic {
@@ -139,11 +143,48 @@ StateSpace explore(std::shared_ptr<const CompiledModel> model_ptr,
   };
   std::vector<Triplet> triplets;
 
+  // The effective state ceiling: the tighter of the static option and the
+  // per-request budget. Hitting it unwinds with a typed failure carrying the
+  // partial progress — callers can report how far the model got.
+  size_t state_limit = options.max_states;
+  if (options.budget && options.budget->max_states() != 0) {
+    state_limit = std::min(state_limit, options.budget->max_states());
+  }
+  const std::string* last_module = nullptr;  // module of the command firing now
+
   auto check_capacity = [&] {
-    if (states.size() >= options.max_states) {
-      throw ModelError("explore: state count exceeds the configured maximum (" +
-                       std::to_string(options.max_states) + ")");
+    if (states.size() >= state_limit) {
+      util::FailureProgress progress;
+      progress.states_explored = states.size();
+      progress.frontier_size = frontier.size();
+      progress.limit = state_limit;
+      if (last_module != nullptr) progress.last_command = *last_module;
+      throw util::EngineFailure(
+          util::FailureCode::kStateBudgetExceeded, "explore",
+          "explore: state count exceeds the configured maximum (" +
+              std::to_string(state_limit) + ")",
+          progress);
     }
+  };
+
+  // Incremental byte accounting against the budget: per interned state, the
+  // value vector plus the interning-map entry; per transition, one triplet.
+  const size_t state_bytes =
+      sizeof(std::vector<int32_t>) + variable_count * sizeof(int32_t) + 16;
+  size_t charged_states = 0;
+  size_t charged_triplets = 0;
+  auto charge_growth = [&] {
+    if (!options.budget) return;
+    if (states.size() - charged_states < 4096 &&
+        triplets.size() - charged_triplets < 16384) {
+      return;
+    }
+    options.budget->charge_bytes(
+        (states.size() - charged_states) * state_bytes +
+            (triplets.size() - charged_triplets) * sizeof(Triplet),
+        "explore");
+    charged_states = states.size();
+    charged_triplets = triplets.size();
   };
   auto intern = [&](std::vector<int32_t>&& state) -> uint32_t {
     if (packable) {
@@ -170,6 +211,8 @@ StateSpace explore(std::shared_ptr<const CompiledModel> model_ptr,
 
   std::vector<int32_t> successor;
   while (!frontier.empty()) {
+    if (util::fault::triggered("explore.alloc")) throw std::bad_alloc();
+    charge_growth();
     const uint32_t current_id = frontier.front();
     frontier.pop_front();
     // Copy: `states` may reallocate while interning successors.
@@ -177,6 +220,7 @@ StateSpace explore(std::shared_ptr<const CompiledModel> model_ptr,
 
     for (const CompiledCommand& command : model.commands) {
       if (!command.guard.evaluate_bool(current)) continue;
+      last_module = &command.module;
       const double rate = command.rate.evaluate_number(current);
       if (rate < 0.0 || !std::isfinite(rate)) {
         throw ModelError("explore: command in module '" + command.module +
@@ -209,6 +253,13 @@ StateSpace explore(std::shared_ptr<const CompiledModel> model_ptr,
       const uint32_t successor_id = intern(std::vector<int32_t>(successor));
       triplets.push_back({current_id, successor_id, rate});
     }
+  }
+
+  if (options.budget) {
+    options.budget->charge_bytes(
+        (states.size() - charged_states) * state_bytes +
+            (triplets.size() - charged_triplets) * sizeof(Triplet),
+        "explore");
   }
 
   linalg::CsrBuilder builder(states.size(), states.size());

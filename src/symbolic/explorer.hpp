@@ -12,15 +12,22 @@
 
 #include "ctmc/ctmc.hpp"
 #include "symbolic/model.hpp"
+#include "util/budget.hpp"
 
 namespace autosec::symbolic {
 
 struct ExploreOptions {
-  /// Abort exploration (with ModelError) beyond this many states.
+  /// Abort exploration beyond this many states with a typed
+  /// util::EngineFailure (code state_budget_exceeded) carrying the states
+  /// explored, the unexpanded frontier size, and the last command fired.
   size_t max_states = 20'000'000;
   /// Drop transitions whose rate evaluates to exactly 0 (guard enabled but
   /// rate zero). Rates < 0 always throw.
   bool allow_zero_rates = true;
+  /// Optional per-request resource budget. Its state ceiling tightens
+  /// max_states (the smaller of the two wins); its byte ceiling is charged
+  /// incrementally as the state table and transition triplets grow.
+  std::shared_ptr<util::ResourceBudget> budget;
 };
 
 /// The explored model: states, transitions, and evaluators bound to the

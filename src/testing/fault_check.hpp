@@ -1,0 +1,42 @@
+// Fault-injection verification: arm every known fault site in turn and prove
+// the engine converts the fault into a structured outcome instead of
+// crashing — a typed error envelope at the serve layer (oom, timeout,
+// solver_diverged), a recorded fallback rung for recoverable solver faults,
+// or an honestly-diverged result at the kernel layer — and that the serve
+// worker keeps answering requests afterwards (the one-shot fault semantics of
+// util/fault.hpp). `autosec-verify --faults` is the CLI front end; the CI
+// fault leg runs it under ASan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autosec::testing {
+
+struct FaultCheckResult {
+  std::string site;         ///< fault site armed for this check
+  std::string expectation;  ///< what the check asserted, human-readable
+  bool passed = false;
+  std::string detail;  ///< failure explanation; empty when passed
+};
+
+struct FaultCheckReport {
+  std::vector<FaultCheckResult> results;
+
+  bool ok() const {
+    for (const FaultCheckResult& result : results) {
+      if (!result.passed) return false;
+    }
+    return !results.empty();
+  }
+
+  /// Multi-line per-site PASS/FAIL table.
+  std::string summary() const;
+};
+
+/// Run every fault check. Self-contained: builds its own architecture file in
+/// the system temp directory and its own serve instance. Leaves the fault
+/// registry disarmed on return.
+FaultCheckReport run_fault_checks();
+
+}  // namespace autosec::testing

@@ -1,0 +1,75 @@
+// Typed engine failures. Every way the engine can legitimately give up —
+// resource budget exhausted, allocation failure, solver divergence, numerical
+// blow-up — unwinds as an EngineFailure carrying a stable error code, the
+// pipeline stage that observed it, and whatever partial progress the stage
+// had made (states explored, solver iterations, final residual). The serving
+// layer maps the code straight into the v1 error envelope; the CLI prints it
+// as a structured diagnostic; tests assert on the code instead of matching
+// message strings. See docs/robustness.md for the full taxonomy.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace autosec::util {
+
+enum class FailureCode {
+  kStateBudgetExceeded,   ///< exploration hit the state-count ceiling
+  kMemoryBudgetExceeded,  ///< tracked engine allocations hit the byte ceiling
+  kOom,                   ///< a real std::bad_alloc surfaced inside a stage
+  kSolverDiverged,        ///< every solver rung failed to converge
+  kNumericalError,        ///< NaN/Inf detected in a result vector
+  kCancelled,             ///< cooperative cancellation (deadline / drain)
+  kInternal,              ///< an unexpected exception crossed a stage boundary
+};
+
+/// Wire-stable name of a code; doubles as the serve error-envelope code.
+constexpr const char* failure_code_name(FailureCode code) {
+  switch (code) {
+    case FailureCode::kStateBudgetExceeded: return "state_budget_exceeded";
+    case FailureCode::kMemoryBudgetExceeded: return "memory_budget_exceeded";
+    case FailureCode::kOom: return "oom";
+    case FailureCode::kSolverDiverged: return "solver_diverged";
+    case FailureCode::kNumericalError: return "numerical_error";
+    case FailureCode::kCancelled: return "cancelled";
+    case FailureCode::kInternal: return "internal_error";
+  }
+  return "internal_error";
+}
+
+/// Partial progress at the moment of failure. Only the fields the failing
+/// stage can meaningfully report are set; everything else stays nullopt and
+/// is omitted from serialized diagnostics.
+struct FailureProgress {
+  std::optional<size_t> states_explored;  ///< states interned before the stop
+  std::optional<size_t> frontier_size;    ///< BFS frontier still unexpanded
+  std::optional<std::string> last_command;  ///< last model command fired
+  std::optional<size_t> iterations;       ///< solver iterations performed
+  std::optional<double> residual;         ///< final residual / max-norm delta
+  std::optional<size_t> limit;            ///< the budget ceiling that tripped
+  std::optional<size_t> charged_bytes;    ///< tracked bytes at the stop
+};
+
+class EngineFailure : public std::runtime_error {
+ public:
+  EngineFailure(FailureCode code, std::string stage, const std::string& message,
+                FailureProgress progress = {})
+      : std::runtime_error(message),
+        code_(code),
+        stage_(std::move(stage)),
+        progress_(std::move(progress)) {}
+
+  FailureCode code() const { return code_; }
+  const char* code_name() const { return failure_code_name(code_); }
+  const std::string& stage() const { return stage_; }
+  const FailureProgress& progress() const { return progress_; }
+
+ private:
+  FailureCode code_;
+  std::string stage_;
+  FailureProgress progress_;
+};
+
+}  // namespace autosec::util

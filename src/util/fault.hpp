@@ -1,0 +1,55 @@
+// Deterministic fault injection. Engine stages poll named sites at their
+// boundaries — `if (util::fault::triggered("explore.alloc")) throw ...` — and
+// the registry decides whether the nth visit of a site should fire. Sites are
+// compiled in always; the disarmed fast path is one relaxed atomic load, so
+// hooks are cheap enough to leave in release builds (the bench gate asserts
+// they stay below 2% of Fig. 5 wall time).
+//
+// Arming:
+//  * environment: AUTOSEC_FAULT=<site>[:<n>][,<site>[:<n>]...] — parsed once,
+//    on first registry use. `n` is the 1-based visit that fires (default 1).
+//  * programmatic: arm_site("krylov.breakdown", 1) / disarm_all() — what the
+//    unit tests and `autosec-verify --faults` use.
+//
+// A site fires exactly once, on its nth visit, then disarms itself: one
+// request absorbs the fault and the process keeps serving — the property
+// `autosec-verify --faults` proves end to end. The behaviour at each site
+// lives at the call site (throw std::bad_alloc, report solver breakdown,
+// throw Cancelled); the registry only answers "does this visit fire?".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autosec::util::fault {
+
+/// True when `site`'s armed visit count has been reached. Increments the
+/// site's visit counter when armed; a plain relaxed load when nothing is
+/// armed. Site names are compile-time literals by convention.
+bool triggered(const char* site);
+
+/// Arm one site to fire on its `nth` visit (1-based). Re-arming a site
+/// resets its visit counter.
+void arm_site(const std::string& site, uint64_t nth = 1);
+
+/// Parse and arm an AUTOSEC_FAULT-style spec: "site[:n][,site[:n]...]".
+/// Throws std::invalid_argument on malformed specs or unknown sites.
+void arm(const std::string& spec);
+
+/// Disarm every site and reset visit counters. Poll accounting state is
+/// unaffected.
+void disarm_all();
+
+/// Every site the engine polls, for `autosec-verify --faults` iteration and
+/// for validating AUTOSEC_FAULT specs.
+const std::vector<std::string>& known_sites();
+
+/// Poll accounting for the bench overhead gate: when enabled, every
+/// triggered() call increments a counter so a bench can compute
+/// polls x per-poll-cost / wall. Disabled by default (and in production).
+void set_accounting(bool enabled);
+uint64_t poll_count();
+void reset_poll_count();
+
+}  // namespace autosec::util::fault

@@ -5,6 +5,7 @@
 #include "linalg/gauss_seidel.hpp"
 #include "linalg/krylov.hpp"
 #include "linalg/power_iteration.hpp"
+#include "util/fault.hpp"
 
 namespace autosec::linalg {
 namespace {
@@ -41,11 +42,22 @@ TEST(SolveFixpoint, HandlesDiagonalEntries) {
   EXPECT_NEAR(result.x[0], 2.0, 1e-12);
 }
 
-TEST(SolveFixpoint, DiagonalAtOneThrows) {
+TEST(SolveFixpoint, DiagonalAtOneReportsDivergedAcrossLadder) {
+  // x = 1·x + 1 has no solution: every rung of the kAuto ladder must fail
+  // honestly (diverged, never converged) and each attempt must be recorded.
   CsrBuilder builder(1, 1);
   builder.add(0, 0, 1.0);
   const CsrMatrix A = std::move(builder).build();
-  EXPECT_THROW(solve_fixpoint(A, {1.0}), std::runtime_error);
+  const IterativeResult result = solve_fixpoint(A, {1.0});
+  EXPECT_FALSE(result.converged);
+  EXPECT_TRUE(result.diverged);
+  ASSERT_EQ(result.attempts.size(), 3u);
+  EXPECT_EQ(result.attempts[0].method, "krylov");
+  EXPECT_EQ(result.attempts[1].method, "gauss_seidel");
+  EXPECT_EQ(result.attempts[2].method, "power");
+  for (const RungAttempt& attempt : result.attempts) {
+    EXPECT_FALSE(attempt.converged);
+  }
 }
 
 TEST(SolveFixpoint, DimensionMismatchThrows) {
@@ -204,6 +216,96 @@ TEST(SolveFixpointKrylov, SolvesSmallClosedFormSystem) {
   ASSERT_TRUE(result.converged);
   EXPECT_NEAR(result.x[0], 6.0 / 13.0, 1e-10);
   EXPECT_NEAR(result.x[1], 3.0 / 13.0, 1e-10);
+}
+
+// --- fallback ladder under injected faults (util/fault.hpp) ---
+
+CsrMatrix gambler_matrix() {
+  CsrBuilder builder(2, 2);
+  builder.add(0, 1, 0.7);
+  builder.add(1, 0, 0.5);
+  return std::move(builder).build();
+}
+
+TEST(FallbackLadder, ForcedKrylovBreakdownMatchesDirectGaussSeidel) {
+  // A breakdown in rung 1 must hand the UNCHANGED problem to rung 2: the
+  // ladder's Gauss-Seidel answer is bit-for-bit the direct Gauss-Seidel one.
+  util::fault::disarm_all();
+  IterativeOptions direct_options;
+  direct_options.method = FixpointMethod::kGaussSeidel;
+  const IterativeResult direct =
+      solve_fixpoint(gambler_matrix(), {0.3, 0.0}, direct_options);
+  ASSERT_TRUE(direct.converged);
+
+  util::fault::arm_site("krylov.breakdown");
+  const IterativeResult laddered = solve_fixpoint(gambler_matrix(), {0.3, 0.0});
+  util::fault::disarm_all();
+
+  ASSERT_TRUE(laddered.converged);
+  ASSERT_EQ(laddered.attempts.size(), 2u);
+  EXPECT_EQ(laddered.attempts[0].method, "krylov");
+  EXPECT_TRUE(laddered.attempts[0].diverged);
+  EXPECT_EQ(laddered.attempts[1].method, "gauss_seidel");
+  EXPECT_TRUE(laddered.attempts[1].converged);
+  ASSERT_EQ(laddered.x.size(), direct.x.size());
+  for (size_t i = 0; i < direct.x.size(); ++i) {
+    EXPECT_EQ(laddered.x[i], direct.x[i]) << "component " << i;
+  }
+  EXPECT_EQ(laddered.iterations, direct.iterations);
+}
+
+TEST(FallbackLadder, ForcedDoubleFaultReachesPowerRung) {
+  util::fault::disarm_all();
+  util::fault::arm_site("krylov.breakdown");
+  util::fault::arm_site("gauss_seidel.diverge");
+  const IterativeResult result = solve_fixpoint(gambler_matrix(), {0.3, 0.0});
+  util::fault::disarm_all();
+
+  ASSERT_TRUE(result.converged);
+  ASSERT_EQ(result.attempts.size(), 3u);
+  EXPECT_EQ(result.attempts[2].method, "power");
+  EXPECT_TRUE(result.attempts[2].converged);
+  EXPECT_NEAR(result.x[0], 6.0 / 13.0, 1e-10);
+  EXPECT_NEAR(result.x[1], 3.0 / 13.0, 1e-10);
+}
+
+TEST(FallbackLadder, AllRungsFaultedReportsFullDiagnostics) {
+  util::fault::disarm_all();
+  util::fault::arm_site("krylov.breakdown");
+  util::fault::arm_site("gauss_seidel.diverge");
+  util::fault::arm_site("power.diverge");
+  const IterativeResult result = solve_fixpoint(gambler_matrix(), {0.3, 0.0});
+  util::fault::disarm_all();
+
+  EXPECT_FALSE(result.converged);
+  EXPECT_TRUE(result.diverged);
+  ASSERT_EQ(result.attempts.size(), 3u);
+  for (const RungAttempt& attempt : result.attempts) {
+    EXPECT_FALSE(attempt.converged) << attempt.method;
+    EXPECT_TRUE(attempt.diverged) << attempt.method;
+  }
+}
+
+TEST(FallbackLadder, StationaryFaultReportsDivergedNotWrongAnswer) {
+  CsrBuilder builder(2, 2);
+  builder.add(0, 0, -1.0);
+  builder.add(0, 1, 2.0);
+  builder.add(1, 0, 1.0);
+  builder.add(1, 1, -2.0);
+  const CsrMatrix Qt = std::move(builder).build();
+
+  util::fault::disarm_all();
+  util::fault::arm_site("stationary.diverge");
+  const IterativeResult faulted = stationary_from_transposed(Qt);
+  util::fault::disarm_all();
+  EXPECT_FALSE(faulted.converged);
+  EXPECT_TRUE(faulted.diverged);
+
+  // The power fallback solves the same chain independently.
+  const IterativeResult power = stationary_power_from_transposed(Qt);
+  ASSERT_TRUE(power.converged);
+  EXPECT_NEAR(power.x[0], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(power.x[1], 1.0 / 3.0, 1e-9);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "automotive/analyzer.hpp"
 #include "automotive/archfile.hpp"
+#include "util/fault.hpp"
 #include "util/json.hpp"
 
 namespace autosec::service {
@@ -297,6 +298,104 @@ TEST(ServerTest, ConcurrentRequestsOnSharedServerStaySane) {
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
   // Exactly one session was ever built for the shared key.
   EXPECT_EQ(server.cache_stats().entries, 1u);
+}
+
+TEST(ServerTest, StateBudgetExceededYieldsTypedErrorWithDetail) {
+  Server server(deterministic_options());
+  const JsonValue response =
+      handle(server, analyze_line("b1", ", \"max_states\": 2"));
+  EXPECT_FALSE(response.bool_or("ok", true));
+  const JsonValue* error = response.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->string_or("code", ""), "state_budget_exceeded");
+  EXPECT_EQ(error->string_or("stage", ""), "explore");
+  const JsonValue* detail = error->find("detail");
+  ASSERT_NE(detail, nullptr) << response.dump();
+  EXPECT_EQ(detail->int_or("limit", -1), 2);
+  EXPECT_GE(detail->int_or("states_explored", -1), 2);
+  EXPECT_FALSE(detail->string_or("last_command", "").empty());
+  // The failure must not poison the service: an unbudgeted repeat succeeds
+  // (on a freshly rebuilt session — the failing entry was evicted).
+  EXPECT_TRUE(handle(server, analyze_line("b2")).bool_or("ok", false));
+}
+
+TEST(ServerTest, BudgetKnobsDoNotChangeTheCacheKey) {
+  // A budgeted request and an unbudgeted one for the same model share one
+  // session entry: budgets bound work, they don't define the model.
+  Server server(deterministic_options());
+  ASSERT_TRUE(handle(server, analyze_line("k1")).bool_or("ok", false));
+  const JsonValue budgeted =
+      handle(server, analyze_line("k2", ", \"max_states\": 1000000"));
+  ASSERT_TRUE(budgeted.bool_or("ok", false)) << budgeted.dump();
+  EXPECT_EQ(budgeted.find("metrics")->string_or("session_cache", ""), "hit");
+}
+
+TEST(ServerTest, InjectedEngineFaultEvictsEntryAndServerKeepsServing) {
+  Server server(deterministic_options());
+  ASSERT_TRUE(handle(server, analyze_line("f0")).bool_or("ok", false));
+  const uint64_t evictions_before = server.cache_stats().evictions;
+
+  // Force an allocation failure inside the next request's explore stage.
+  // The session cache holds the old override set's stages, so an override
+  // change re-explores — with the armed fault in its path.
+  util::fault::disarm_all();
+  util::fault::arm_site("explore.alloc");
+  const JsonValue faulted = handle(
+      server, analyze_line("f1", ", \"overrides\": {\"phi_gw\": 9.0}"));
+  util::fault::disarm_all();
+
+  EXPECT_FALSE(faulted.bool_or("ok", true));
+  EXPECT_EQ(faulted.find("error")->string_or("code", ""), "oom");
+  EXPECT_EQ(faulted.find("error")->string_or("stage", ""), "explore");
+  // The poisoned entry was evicted...
+  EXPECT_EQ(server.cache_stats().evictions, evictions_before + 1);
+  // ...and the worker keeps serving: the same request now succeeds on a
+  // rebuilt session.
+  const JsonValue retried = handle(
+      server, analyze_line("f2", ", \"overrides\": {\"phi_gw\": 9.0}"));
+  EXPECT_TRUE(retried.bool_or("ok", false)) << retried.dump();
+}
+
+TEST(ServerTest, DispatchFaultBecomesStructuredOom) {
+  Server server(deterministic_options());
+  util::fault::disarm_all();
+  util::fault::arm_site("serve.dispatch.alloc");
+  const JsonValue faulted = handle(server, analyze_line("d1"));
+  util::fault::disarm_all();
+  EXPECT_FALSE(faulted.bool_or("ok", true));
+  EXPECT_EQ(faulted.find("error")->string_or("code", ""), "oom");
+  EXPECT_TRUE(handle(server, analyze_line("d2")).bool_or("ok", false));
+}
+
+TEST(ServerTest, SolverFallbackIsVisibleInResponseMetrics) {
+  Server server(deterministic_options());
+  util::fault::disarm_all();
+  util::fault::arm_site("krylov.breakdown");
+  const JsonValue response = handle(server, analyze_line("s1"));
+  util::fault::disarm_all();
+  // The ladder recovered: the request succeeded, degraded but correct, and
+  // the fallback is observable.
+  ASSERT_TRUE(response.bool_or("ok", false)) << response.dump();
+  EXPECT_GE(response.find("metrics")->int_or("solver_fallbacks", -1), 1);
+  // A clean repeat reports zero fallbacks.
+  const JsonValue clean = handle(server, analyze_line("s2"));
+  EXPECT_EQ(clean.find("metrics")->int_or("solver_fallbacks", -1), 0);
+}
+
+TEST(SessionCacheTest, EvictByKeyDropsOnlyThatEntry) {
+  SessionCache cache(4);
+  const auto build = [] { return automotive::BatchSession{}; };
+  bool hit = false;
+  cache.acquire("a", build, &hit);
+  cache.acquire("b", build, &hit);
+  cache.evict("a");
+  cache.evict("ghost");  // unknown keys are a no-op
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.acquire("b", build, &hit);
+  EXPECT_TRUE(hit);
+  cache.acquire("a", build, &hit);
+  EXPECT_FALSE(hit);  // evicted entries rebuild
 }
 
 TEST(SessionCacheTest, EvictsLeastRecentlyUsed) {

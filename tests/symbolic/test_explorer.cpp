@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "symbolic/builder.hpp"
+#include "util/failure.hpp"
 
 namespace autosec::symbolic {
 namespace {
@@ -110,7 +111,19 @@ TEST(Explorer, MaxStatesEnforced) {
   const CompiledModel compiled = compile(birth_death(100));
   ExploreOptions options;
   options.max_states = 10;
-  EXPECT_THROW(explore(compiled, options), ModelError);
+  try {
+    explore(compiled, options);
+    FAIL() << "expected util::EngineFailure";
+  } catch (const util::EngineFailure& failure) {
+    EXPECT_EQ(failure.code(), util::FailureCode::kStateBudgetExceeded);
+    EXPECT_EQ(failure.stage(), "explore");
+    ASSERT_TRUE(failure.progress().states_explored.has_value());
+    EXPECT_GE(*failure.progress().states_explored, 10u);
+    ASSERT_TRUE(failure.progress().limit.has_value());
+    EXPECT_EQ(*failure.progress().limit, 10u);
+    ASSERT_TRUE(failure.progress().last_command.has_value());
+    EXPECT_FALSE(failure.progress().last_command->empty());
+  }
 }
 
 TEST(Explorer, LabelMaskEvaluatesPerState) {

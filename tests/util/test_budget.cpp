@@ -1,0 +1,79 @@
+#include "util/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/failure.hpp"
+
+namespace autosec::util {
+namespace {
+
+TEST(ResourceBudget, UnlimitedByDefault) {
+  ResourceBudget budget;
+  EXPECT_FALSE(budget.states_exceeded(1u << 30));
+  EXPECT_NO_THROW(budget.charge_bytes(1ull << 40, "explore"));
+}
+
+TEST(ResourceBudget, StateCeilingIsExclusiveOfTheLimitItself) {
+  ResourceBudget budget(100, 0);
+  EXPECT_FALSE(budget.states_exceeded(99));
+  EXPECT_FALSE(budget.states_exceeded(100));
+  EXPECT_TRUE(budget.states_exceeded(101));
+}
+
+TEST(ResourceBudget, ByteCeilingThrowsTypedFailureWithProgress) {
+  ResourceBudget budget(0, 1000);
+  budget.charge_bytes(600, "explore");
+  try {
+    budget.charge_bytes(600, "uniformize");
+    FAIL() << "expected EngineFailure";
+  } catch (const EngineFailure& failure) {
+    EXPECT_EQ(failure.code(), FailureCode::kMemoryBudgetExceeded);
+    EXPECT_EQ(failure.stage(), "uniformize");
+    ASSERT_TRUE(failure.progress().limit.has_value());
+    EXPECT_EQ(*failure.progress().limit, 1000u);
+    ASSERT_TRUE(failure.progress().charged_bytes.has_value());
+    EXPECT_EQ(*failure.progress().charged_bytes, 1200u);
+  }
+}
+
+TEST(ResourceBudget, ReleaseReturnsHeadroom) {
+  ResourceBudget budget(0, 1000);
+  budget.charge_bytes(800, "explore");
+  budget.release_bytes(700);
+  EXPECT_EQ(budget.charged_bytes(), 100u);
+  EXPECT_NO_THROW(budget.charge_bytes(800, "explore"));
+  EXPECT_EQ(budget.peak_bytes(), 900u);
+}
+
+TEST(ResourceBudget, ConcurrentChargesAreCountedExactly) {
+  ResourceBudget budget;  // unlimited: count, don't throw
+  constexpr size_t kThreads = 8;
+  constexpr size_t kCharges = 1000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget] {
+      for (size_t i = 0; i < kCharges; ++i) budget.charge_bytes(3, "explore");
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(budget.charged_bytes(), kThreads * kCharges * 3);
+  EXPECT_EQ(budget.peak_bytes(), kThreads * kCharges * 3);
+}
+
+TEST(FailureCodeNames, AreWireStable) {
+  EXPECT_STREQ(failure_code_name(FailureCode::kStateBudgetExceeded),
+               "state_budget_exceeded");
+  EXPECT_STREQ(failure_code_name(FailureCode::kMemoryBudgetExceeded),
+               "memory_budget_exceeded");
+  EXPECT_STREQ(failure_code_name(FailureCode::kOom), "oom");
+  EXPECT_STREQ(failure_code_name(FailureCode::kSolverDiverged), "solver_diverged");
+  EXPECT_STREQ(failure_code_name(FailureCode::kNumericalError), "numerical_error");
+  EXPECT_STREQ(failure_code_name(FailureCode::kCancelled), "cancelled");
+  EXPECT_STREQ(failure_code_name(FailureCode::kInternal), "internal_error");
+}
+
+}  // namespace
+}  // namespace autosec::util

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "testing/differential.hpp"
+#include "testing/fault_check.hpp"
 #include "util/numeric.hpp"
 #include "util/stopwatch.hpp"
 
@@ -24,6 +25,9 @@ void print_usage(std::ostream& os) {
         "  --threads N        thread count of the parallel leg (default 4)\n"
         "  --skip FAMILY      disable a family: oracle, solvers, lumping,\n"
         "                     parallel, roundtrip (repeatable)\n"
+        "  --faults           run the fault-injection checks instead: arm every\n"
+        "                     known fault site and prove each yields a structured\n"
+        "                     error (and serve keeps serving)\n"
         "  --list             list check families and exit\n"
         "  --help             this text\n";
 }
@@ -44,6 +48,7 @@ uint64_t parse_count(const std::string& text, const std::string& flag) {
 
 int main(int argc, char** argv) {
   autosec::testing::DifferentialOptions options;
+  bool run_faults = false;
   const std::vector<std::string> args(argv + 1, argv + argc);
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -79,6 +84,8 @@ int main(int argc, char** argv) {
       } else {
         fail_usage("unknown family '" + family + "'");
       }
+    } else if (arg == "--faults") {
+      run_faults = true;
     } else if (arg == "--list") {
       std::cout << "oracle     transient/steady/reward/reachability vs dense expm oracle\n"
                    "solvers    Krylov-first vs pure Gauss-Seidel fixpoint solves\n"
@@ -92,6 +99,20 @@ int main(int argc, char** argv) {
     } else {
       fail_usage("unknown argument '" + arg + "'");
     }
+  }
+
+  if (run_faults) {
+    autosec::util::Stopwatch watch;
+    const autosec::testing::FaultCheckReport report =
+        autosec::testing::run_fault_checks();
+    std::cout << report.summary();
+    std::cout << "wall time: " << watch.elapsed_seconds() << " s\n";
+    if (!report.ok()) {
+      std::cout << "fault-injection verification FAILED\n";
+      return 1;
+    }
+    std::cout << "fault-injection verification OK\n";
+    return 0;
   }
 
   autosec::util::Stopwatch watch;

@@ -8,7 +8,10 @@ committed baselines in bench/baselines/:
     --max-slowdown (default 1.25, i.e. +25%);
   * every ``bench.agreement_*`` gauge — the cross-engine result agreement
     recorded by the bench itself, as |a-b| / max(1, |a|, |b|) — must stay
-    within --agreement-tolerance (default 1e-8), regardless of the baseline.
+    within --agreement-tolerance (default 1e-8), regardless of the baseline;
+  * the ``bench.fault_overhead_fraction`` gauge, when a bench records one —
+    the estimated cost of disarmed fault-injection hooks as a fraction of
+    engine wall time — must stay below --fault-overhead-limit (default 0.02).
 
 Exit status 0 when everything holds, 1 with a per-file report otherwise.
 Baselines are refreshed by re-running the benches with
@@ -23,6 +26,7 @@ import sys
 
 WALL_GAUGE = "bench.wall_seconds"
 AGREEMENT_PREFIX = "bench.agreement_"
+FAULT_OVERHEAD_GAUGE = "bench.fault_overhead_fraction"
 
 
 def load_gauges(path):
@@ -43,6 +47,8 @@ def main():
                         help="allowed wall-time ratio current/baseline")
     parser.add_argument("--agreement-tolerance", type=float, default=1e-8,
                         help="bound on every bench.agreement_* gauge")
+    parser.add_argument("--fault-overhead-limit", type=float, default=0.02,
+                        help="bound on bench.fault_overhead_fraction when present")
     args = parser.parse_args()
 
     baseline_dir = pathlib.Path(args.baseline_dir)
@@ -86,6 +92,18 @@ def main():
                 failures.append(
                     f"{baseline_path.name}: {name} = {value:.3g} exceeds "
                     f"{args.agreement_tolerance:.3g}")
+
+        fault_overhead = current.get(FAULT_OVERHEAD_GAUGE)
+        if fault_overhead is not None:
+            status = ("ok" if fault_overhead <= args.fault_overhead_limit
+                      else "OVERHEAD")
+            print(f"{baseline_path.name}: {FAULT_OVERHEAD_GAUGE} = "
+                  f"{fault_overhead:.3g} {status}")
+            if fault_overhead > args.fault_overhead_limit:
+                failures.append(
+                    f"{baseline_path.name}: {FAULT_OVERHEAD_GAUGE} = "
+                    f"{fault_overhead:.3g} exceeds disarmed-hook budget "
+                    f"{args.fault_overhead_limit:.3g}")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)
