@@ -11,10 +11,30 @@
 #include <iostream>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
 
 namespace autosec::bench {
+
+/// Peak resident set size of this process in MiB, 0.0 when the platform
+/// doesn't expose it. Linux reports ru_maxrss in KiB, macOS in bytes.
+inline double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
 
 class BenchReport {
  public:
@@ -34,6 +54,9 @@ class BenchReport {
   ~BenchReport() {
     util::metrics::Registry& metrics = util::metrics::registry();
     metrics.gauge("bench.wall_seconds", watch_.elapsed_seconds());
+    if (const double rss = peak_rss_mb(); rss > 0.0) {
+      metrics.gauge("bench.peak_rss_mb", rss);
+    }
     metrics.set_enabled(false);
     const std::string path = output_path();
     try {

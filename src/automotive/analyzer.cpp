@@ -46,6 +46,11 @@ bool overrides_require_single_models(const AnalysisOptions& options) {
 }
 
 void accumulate(csl::SessionStats& total, const csl::SessionStats& part) {
+  if (total.engine.empty()) {
+    total.engine = part.engine;
+  } else if (!part.engine.empty() && part.engine != total.engine) {
+    total.engine = "mixed";  // kAuto may resolve differently per pair
+  }
   total.compile_count += part.compile_count;
   total.explore_count += part.explore_count;
   total.uniformize_count += part.uniformize_count;
@@ -62,6 +67,7 @@ void accumulate(csl::SessionStats& total, const csl::SessionStats& part) {
 csl::SessionStats stats_delta(const csl::SessionStats& after,
                               const csl::SessionStats& before) {
   csl::SessionStats delta;
+  delta.engine = after.engine;
   delta.compile_count = after.compile_count - before.compile_count;
   delta.explore_count = after.explore_count - before.explore_count;
   delta.uniformize_count = after.uniformize_count - before.uniformize_count;

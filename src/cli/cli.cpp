@@ -185,6 +185,25 @@ ModelOptions parse_model_options(Args& args) {
           parse_int(args.next("--max-memory-mb value"), "--max-memory-mb");
       if (value < 1) throw UsageError("--max-memory-mb must be >= 1");
       options.max_memory_mb = static_cast<size_t>(value);
+    } else if (*flag == "--engine") {
+      const std::string engine = args.next("--engine value");
+      const auto parsed = symbolic::parse_engine_token(engine);
+      if (!parsed) {
+        throw UsageError("unknown engine '" + engine +
+                         "' (auto|classic|compact)");
+      }
+      options.analysis.explore.engine = *parsed;
+    } else if (*flag == "--reduction") {
+      const std::string reduction = args.next("--reduction value");
+      if (reduction == "auto") {
+        options.analysis.explore.reduction = symbolic::SymmetryReduction::kAuto;
+      } else if (reduction == "on") {
+        options.analysis.explore.reduction = symbolic::SymmetryReduction::kOn;
+      } else if (reduction == "off") {
+        options.analysis.explore.reduction = symbolic::SymmetryReduction::kOff;
+      } else {
+        throw UsageError("unknown reduction '" + reduction + "' (auto|on|off)");
+      }
     } else {
       throw UsageError("unknown option '" + *flag + "'");
     }
@@ -571,6 +590,16 @@ void print_help(std::ostream& out) {
          "--max-states N / --max-memory-mb N bound a model-building command's\n"
          "state count and tracked engine allocations; exceeding a ceiling exits\n"
          "1 with a typed error and the partial progress made (docs/robustness.md).\n"
+         "\n"
+         "--engine auto|classic|compact picks the exploration state store\n"
+         "(docs/engine.md): classic keeps one valuation vector per state;\n"
+         "compact bit-packs and interns states (an order of magnitude less\n"
+         "memory on wide fleet models) and enables symmetry reduction over\n"
+         "interchangeable ECU modules. auto (the default) picks per model.\n"
+         "--reduction auto|on|off overrides when the symmetry reduction runs\n"
+         "(auto: only with an explicitly requested compact engine). Reduced\n"
+         "spaces answer symmetric properties exactly and reject asymmetric\n"
+         "ones with a typed error.\n"
          "\n"
          "--metrics-json FILE records engine metrics for the whole run (stage\n"
          "spans, solver iterations, Poisson cache and thread-pool stats) and\n"

@@ -69,6 +69,7 @@ EngineSession::EngineSession(std::shared_ptr<const symbolic::StateSpace> space,
         "pre-explored state space");
   }
   auto stages = std::make_unique<Stages>();
+  stats_.engine = space->engine_name();
   stages->space = std::move(space);
   cache_.emplace_back(active_key_, std::move(stages));
   active_ = cache_.front().second.get();
@@ -150,6 +151,7 @@ EngineSession::Stages& EngineSession::prepare() {
     }
     stats_.explore_count += 1;
     stats_.explore_seconds += seconds_since(start);
+    stats_.engine = stages.space->engine_name();
 
     util::metrics::Registry& metrics = util::metrics::registry();
     if (metrics.enabled()) {
@@ -157,6 +159,9 @@ EngineSession::Stages& EngineSession::prepare() {
       metrics.add("session.explores");
       metrics.add("explore.states", stages.space->state_count());
       metrics.add("explore.transitions", stages.space->transition_count());
+      metrics.add(std::string("explore.engine.") + stages.space->engine_name());
+      metrics.gauge("explore.bytes_per_state",
+                    static_cast<double>(stages.space->bytes_per_state()));
     }
   }
   if (!stages.chain) {

@@ -61,6 +61,10 @@ struct SessionStats {
   /// across every solve of the session — 0 when every solve converged on its
   /// first rung; surfaced per request by the serving layer.
   size_t solver_fallbacks = 0;
+  /// Resolved state-store backend of the last explore ("classic"/"compact");
+  /// empty until the space is built. Surfaced per request by the serving
+  /// layer and recorded in the metrics registry.
+  std::string engine;
   double compile_seconds = 0.0;
   double explore_seconds = 0.0;
   double solve_seconds = 0.0;  ///< property evaluation incl. uniformization

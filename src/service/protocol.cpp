@@ -205,6 +205,14 @@ ParseResult parse_request(std::string_view line) {
           throw BadRequest("unknown solver '" + solver +
                            "' (auto|gauss_seidel|krylov)");
         }
+      } else if (key == "engine") {
+        const std::string engine = expect_string(value, key);
+        const auto parsed = symbolic::parse_engine_token(engine);
+        if (!parsed) {
+          throw BadRequest("unknown engine '" + engine +
+                           "' (auto|classic|compact)");
+        }
+        request.engine = *parsed;
       } else {
         throw BadRequest("unknown field '" + key + "'");
       }

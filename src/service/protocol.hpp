@@ -27,11 +27,13 @@
 //
 // The metrics object makes cache behaviour observable per request:
 //   {"wall_seconds": S, "session_cache": "hit"|"miss"|"none",
-//    "explores": N, "states": N, "solver_fallbacks": N}
+//    "explores": N, "states": N, "solver_fallbacks": N, "engine": "..."}
 // — "explores" is the state-space explorations this request added to its
 // session; a repeated analyze answered from the session cache reports
 // session_cache "hit" and explores 0. "solver_fallbacks" counts solver rungs
-// taken beyond the first (a degraded but correct solve).
+// taken beyond the first (a degraded but correct solve). "engine" is the
+// resolved state-store backend ("classic" | "compact"; "none" for requests
+// that build no state space, e.g. status/diagnose).
 #pragma once
 
 #include <optional>
@@ -43,6 +45,7 @@
 #include "automotive/architecture.hpp"
 #include "linalg/gauss_seidel.hpp"
 #include "symbolic/model.hpp"
+#include "symbolic/state_store.hpp"
 
 namespace autosec::service {
 
@@ -92,6 +95,8 @@ struct Request {
   /// yields a typed state_budget_exceeded / memory_budget_exceeded error.
   std::optional<int64_t> max_states;
   std::optional<int64_t> max_memory_mb;
+  /// State-store backend for exploration ("auto" | "classic" | "compact").
+  symbolic::ExplorationEngine engine = symbolic::ExplorationEngine::kAuto;
 };
 
 /// Outcome of parsing one request line: either a request or a bad_request

@@ -102,6 +102,10 @@ std::string make_key(const char* kind, uint64_t digest, const Request& request) 
   key += std::to_string(request.nmax);
   key += ";solver=";
   key += solver_token(request.solver);
+  // Different engine → potentially different state enumeration; never share
+  // a cached session across engine choices.
+  key += ";engine=";
+  key += symbolic::engine_token(request.engine);
   if (request.op == Op::kAnalyze) {
     key += ";msgs=";
     for (const std::string& message : request.messages) {
@@ -157,6 +161,7 @@ automotive::AnalysisOptions engine_options(
   options.horizon_years = request.horizon_years;
   options.constant_overrides = request.overrides;
   if (request.solver) options.steady_state.solver.method = *request.solver;
+  options.explore.engine = request.engine;
   options.cancel = std::move(token);
   options.budget = make_budget(request);
   return options;
@@ -242,6 +247,7 @@ util::JsonValue Server::run_analyze(const Request& request,
 
   metrics.explores = report.stats.explore_count;
   metrics.solver_fallbacks = report.stats.solver_fallbacks;
+  if (!report.stats.engine.empty()) metrics.engine = report.stats.engine;
   if (!report.results.empty()) metrics.states = report.results.front().state_count;
 
   JsonValue result = JsonValue::object();
@@ -314,6 +320,7 @@ util::JsonValue Server::run_check(const Request& request, RequestMetrics& metric
   metrics.solver_fallbacks =
       session.stats().solver_fallbacks - before.solver_fallbacks;
   metrics.states = session.space().state_count();
+  if (!session.stats().engine.empty()) metrics.engine = session.stats().engine;
 
   JsonValue result = JsonValue::object();
   result["architecture"] = JsonValue::string(entry->batch.architecture_name);
@@ -399,6 +406,7 @@ util::JsonValue Server::run_sweep(const Request& request, RequestMetrics& metric
   metrics.solver_fallbacks =
       session.stats().solver_fallbacks - before.solver_fallbacks;
   metrics.states = session.space().state_count();
+  if (!session.stats().engine.empty()) metrics.engine = session.stats().engine;
 
   JsonValue result = JsonValue::object();
   result["architecture"] = JsonValue::string(entry->batch.architecture_name);
@@ -594,6 +602,7 @@ std::string Server::handle_line(const std::string& line) {
   writer.key("explores").value(metrics.explores);
   writer.key("states").value(metrics.states);
   writer.key("solver_fallbacks").value(metrics.solver_fallbacks);
+  writer.key("engine").value(metrics.engine);
   writer.end_object();
   writer.end_object();
   return writer.take();

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <deque>
 #include <new>
-#include <unordered_map>
 
 #include "util/failure.hpp"
 #include "util/fault.hpp"
@@ -12,36 +11,25 @@
 
 namespace autosec::symbolic {
 
-namespace {
-
-struct StateHash {
-  size_t operator()(const std::vector<int32_t>& state) const {
-    // FNV-1a over the raw variable values.
-    uint64_t hash = 1469598103934665603ull;
-    for (int32_t v : state) {
-      auto word = static_cast<uint32_t>(v);
-      for (int byte = 0; byte < 4; ++byte) {
-        hash ^= (word >> (8 * byte)) & 0xffu;
-        hash *= 1099511628211ull;
-      }
-    }
-    return static_cast<size_t>(hash);
-  }
-};
-
-}  // namespace
-
 StateSpace::StateSpace(std::shared_ptr<const CompiledModel> model,
-                       std::vector<std::vector<int32_t>> states, size_t initial_state,
-                       linalg::CsrMatrix rates, size_t transition_count)
+                       std::shared_ptr<const StateStore> store, size_t initial_state,
+                       linalg::CsrMatrix rates, size_t transition_count,
+                       SymmetryGroup symmetry)
     : model_(std::move(model)),
-      states_(std::move(states)),
+      store_(std::move(store)),
       initial_state_(initial_state),
       rates_(std::move(rates)),
-      transition_count_(transition_count) {}
+      transition_count_(transition_count),
+      symmetry_(std::move(symmetry)) {}
+
+std::vector<int32_t> StateSpace::state_values(size_t index) const {
+  std::vector<int32_t> out;
+  store_->values_of(index, out);
+  return out;
+}
 
 std::string StateSpace::state_to_string(size_t index) const {
-  const std::vector<int32_t>& state = states_.at(index);
+  const std::vector<int32_t> state = state_values(index);
   std::string out = "(";
   for (size_t v = 0; v < state.size(); ++v) {
     if (v > 0) out += ",";
@@ -58,9 +46,20 @@ std::vector<double> StateSpace::initial_distribution() const {
 }
 
 std::vector<bool> StateSpace::satisfying(const Expr& condition) const {
+  if (reduced() && !symmetry_.invariant(condition)) {
+    throw ModelError(
+        "state formula '" + condition.to_string() +
+        "' is not invariant under the symmetry reduction that built this "
+        "state space; its value would depend on which orbit representative "
+        "was stored. Re-run with the classic engine or reduction off, or "
+        "phrase the property symmetrically (e.g. over all interchangeable "
+        "modules instead of one).");
+  }
   std::vector<bool> mask(state_count());
-  for (size_t i = 0; i < states_.size(); ++i) {
-    mask[i] = condition.evaluate_bool(states_[i]);
+  std::vector<int32_t> values;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    store_->values_of(i, values);
+    mask[i] = condition.evaluate_bool(values);
   }
   return mask;
 }
@@ -76,12 +75,17 @@ std::vector<double> StateSpace::reward_vector(const std::string& rewards_name) c
   if (rewards == nullptr) {
     throw ModelError("unknown rewards structure '" + rewards_name + "'");
   }
+  // No invariance gate here: symmetry detection verifies that every
+  // automorphism maps each reward structure's item multiset onto itself, so
+  // the per-state reward sum is constant on orbits by construction.
   std::vector<double> out(state_count(), 0.0);
-  for (size_t i = 0; i < states_.size(); ++i) {
+  std::vector<int32_t> values;
+  for (size_t i = 0; i < out.size(); ++i) {
+    store_->values_of(i, values);
     double acc = 0.0;
     for (const RewardItem& item : rewards->items) {
-      if (item.guard.evaluate_bool(states_[i])) {
-        acc += item.value.evaluate_number(states_[i]);
+      if (item.guard.evaluate_bool(values)) {
+        acc += item.value.evaluate_number(values);
       }
     }
     out[i] = acc;
@@ -99,43 +103,34 @@ StateSpace explore(std::shared_ptr<const CompiledModel> model_ptr,
   const size_t variable_count = model.variables.size();
   if (variable_count == 0) throw ModelError("explore: model has no variables");
 
-  // Fast path: when the offsets of all variables pack into 64 bits, states
-  // are interned through a uint64 key instead of hashing the full vector —
-  // a significant win at the 10^5-10^6-state scale of the scalability bench.
-  std::vector<uint32_t> bit_shift(variable_count, 0);
-  bool packable = true;
-  {
-    uint32_t used_bits = 0;
-    for (size_t v = 0; v < variable_count; ++v) {
-      const auto range = static_cast<uint64_t>(model.variables[v].high) -
-                         static_cast<uint64_t>(model.variables[v].low);
-      uint32_t bits = 1;
-      while (bits < 64 && (range >> bits) != 0) ++bits;
-      bit_shift[v] = used_bits;
-      used_bits += bits;
-      if (used_bits > 64) {
-        packable = false;
-        break;
-      }
+  std::shared_ptr<StateStore> store =
+      make_store(resolve_engine(options.engine, model), model);
+
+  // Symmetry reduction resolves from the *requested* engine, not the
+  // auto-resolved one: kAuto reduction turns on only when the caller
+  // explicitly picked the compact engine (the big-fleet path). A reduction
+  // changes which states exist, so it must never switch on silently.
+  SymmetryGroup symmetry;
+  const bool want_reduction =
+      options.reduction == SymmetryReduction::kOn ||
+      (options.reduction == SymmetryReduction::kAuto &&
+       options.engine == ExplorationEngine::kCompact);
+  if (want_reduction) {
+    symmetry = detect_symmetries(model);
+    if (!symmetry.trivial()) {
+      AUTOSEC_LOG_INFO("explorer")
+          << "symmetry reduction active: " << symmetry.interchangeable_modules()
+          << " interchangeable modules in " << symmetry.orbits().size()
+          << " orbit(s)";
     }
   }
-  auto pack = [&](const std::vector<int32_t>& state) -> uint64_t {
-    uint64_t key = 0;
-    for (size_t v = 0; v < variable_count; ++v) {
-      key |= (static_cast<uint64_t>(state[v]) -
-              static_cast<uint64_t>(model.variables[v].low))
-             << bit_shift[v];
-    }
-    return key;
-  };
+  CanonScratch scratch;
 
-  std::vector<std::vector<int32_t>> states;
-  std::unordered_map<std::vector<int32_t>, uint32_t, StateHash> index_of;
-  std::unordered_map<uint64_t, uint32_t> packed_index_of;
   std::deque<uint32_t> frontier;
 
   // Transitions gathered as triplets; deduplication (summing parallel
-  // commands between the same state pair) happens in the CSR builder.
+  // commands between the same state pair — and, under reduction, commands
+  // landing in the same orbit) happens in the CSR builder.
   struct Triplet {
     uint32_t from;
     uint32_t to;
@@ -143,80 +138,63 @@ StateSpace explore(std::shared_ptr<const CompiledModel> model_ptr,
   };
   std::vector<Triplet> triplets;
 
-  // The effective state ceiling: the tighter of the static option and the
-  // per-request budget. Hitting it unwinds with a typed failure carrying the
-  // partial progress — callers can report how far the model got.
-  size_t state_limit = options.max_states;
-  if (options.budget && options.budget->max_states() != 0) {
-    state_limit = std::min(state_limit, options.budget->max_states());
-  }
+  // The one resolved state ceiling (max_states vs budget); hitting it
+  // unwinds with a typed failure naming the binding constraint and carrying
+  // the partial progress — callers can report how far the model got.
+  const ExploreOptions::ResolvedStateLimit limit = options.resolved_state_limit();
   const std::string* last_module = nullptr;  // module of the command firing now
 
-  auto check_capacity = [&] {
-    if (states.size() >= state_limit) {
-      util::FailureProgress progress;
-      progress.states_explored = states.size();
-      progress.frontier_size = frontier.size();
-      progress.limit = state_limit;
-      if (last_module != nullptr) progress.last_command = *last_module;
-      throw util::EngineFailure(
-          util::FailureCode::kStateBudgetExceeded, "explore",
-          "explore: state count exceeds the configured maximum (" +
-              std::to_string(state_limit) + ")",
-          progress);
-    }
-  };
-
-  // Incremental byte accounting against the budget: per interned state, the
-  // value vector plus the interning-map entry; per transition, one triplet.
-  const size_t state_bytes =
-      sizeof(std::vector<int32_t>) + variable_count * sizeof(int32_t) + 16;
+  // Incremental byte accounting against the budget: the store's own
+  // per-state cost plus one triplet per transition.
+  const size_t state_bytes = store->bytes_per_state();
   size_t charged_states = 0;
   size_t charged_triplets = 0;
   auto charge_growth = [&] {
     if (!options.budget) return;
-    if (states.size() - charged_states < 4096 &&
+    if (store->size() - charged_states < 4096 &&
         triplets.size() - charged_triplets < 16384) {
       return;
     }
     options.budget->charge_bytes(
-        (states.size() - charged_states) * state_bytes +
+        (store->size() - charged_states) * state_bytes +
             (triplets.size() - charged_triplets) * sizeof(Triplet),
         "explore");
-    charged_states = states.size();
+    charged_states = store->size();
     charged_triplets = triplets.size();
   };
-  auto intern = [&](std::vector<int32_t>&& state) -> uint32_t {
-    if (packable) {
-      const auto [it, inserted] =
-          packed_index_of.try_emplace(pack(state), static_cast<uint32_t>(states.size()));
-      if (!inserted) return it->second;
-      check_capacity();
-      states.push_back(std::move(state));
-      frontier.push_back(it->second);
-      return it->second;
+
+  auto intern = [&](std::span<const int32_t> state) -> uint32_t {
+    bool inserted = false;
+    const uint32_t id = store->intern(state, inserted);
+    if (!inserted) return id;
+    if (store->size() > limit.limit) {
+      util::FailureProgress progress;
+      progress.states_explored = store->size() - 1;
+      progress.frontier_size = frontier.size();
+      progress.limit = limit.limit;
+      if (last_module != nullptr) progress.last_command = *last_module;
+      throw util::EngineFailure(
+          util::FailureCode::kStateBudgetExceeded, "explore",
+          "explore: state count exceeds the configured maximum (" +
+              std::to_string(limit.limit) + ", set by " + limit.describe() + ")",
+          progress);
     }
-    const auto it = index_of.find(state);
-    if (it != index_of.end()) return it->second;
-    check_capacity();
-    const auto id = static_cast<uint32_t>(states.size());
-    states.push_back(state);
-    index_of.emplace(std::move(state), id);
     frontier.push_back(id);
     return id;
   };
 
   std::vector<int32_t> initial = model.initial_state();
-  const uint32_t initial_id = intern(std::move(initial));
+  symmetry.canonicalize(initial, scratch);
+  const uint32_t initial_id = intern(initial);
 
+  std::vector<int32_t> current;
   std::vector<int32_t> successor;
   while (!frontier.empty()) {
     if (util::fault::triggered("explore.alloc")) throw std::bad_alloc();
     charge_growth();
     const uint32_t current_id = frontier.front();
     frontier.pop_front();
-    // Copy: `states` may reallocate while interning successors.
-    const std::vector<int32_t> current = states[current_id];
+    store->values_of(current_id, current);
 
     for (const CompiledCommand& command : model.commands) {
       if (!command.guard.evaluate_bool(current)) continue;
@@ -249,26 +227,32 @@ StateSpace explore(std::shared_ptr<const CompiledModel> model_ptr,
         }
         successor[var_index] = static_cast<int32_t>(raw);
       }
-      if (successor == current) continue;  // CTMC self-loops are unobservable
-      const uint32_t successor_id = intern(std::vector<int32_t>(successor));
+      // `current` is already canonical (every interned state is), so the
+      // self-loop test compares canonical forms: transitions within one
+      // orbit fold onto the quotient's diagonal, which a CTMC never observes.
+      symmetry.canonicalize(successor, scratch);
+      if (successor == current) continue;
+      const uint32_t successor_id = intern(successor);
       triplets.push_back({current_id, successor_id, rate});
     }
   }
 
   if (options.budget) {
     options.budget->charge_bytes(
-        (states.size() - charged_states) * state_bytes +
+        (store->size() - charged_states) * state_bytes +
             (triplets.size() - charged_triplets) * sizeof(Triplet),
         "explore");
   }
 
-  linalg::CsrBuilder builder(states.size(), states.size());
+  linalg::CsrBuilder builder(store->size(), store->size());
   for (const Triplet& t : triplets) builder.add(t.from, t.to, t.rate);
 
-  AUTOSEC_LOG_INFO("explorer") << "explored " << states.size() << " states, "
-                               << triplets.size() << " transitions";
-  return StateSpace(std::move(model_ptr), std::move(states), initial_id,
-                    std::move(builder).build(), triplets.size());
+  AUTOSEC_LOG_INFO("explorer") << "explored " << store->size() << " states, "
+                               << triplets.size() << " transitions ("
+                               << store->name() << " store)";
+  return StateSpace(std::move(model_ptr), std::move(store), initial_id,
+                    std::move(builder).build(), triplets.size(),
+                    std::move(symmetry));
 }
 
 }  // namespace autosec::symbolic

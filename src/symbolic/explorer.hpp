@@ -3,6 +3,12 @@
 // evaluated label masks and reward vectors. This is the step PRISM performs
 // when "building the model"; the paper's Section 4 reports its state counts
 // (4·10^5 – 1.2·10^6) and notes that runtime tracks the state count.
+//
+// Exploration is layered over two interchangeable state-store backends
+// (symbolic/state_store.hpp) selected by ExploreOptions::engine, plus an
+// optional on-the-fly symmetry reduction (symbolic/symmetry.hpp) that
+// collapses interchangeable ECU/stream modules during the BFS instead of
+// after full materialization.
 #pragma once
 
 #include <cstddef>
@@ -12,9 +18,17 @@
 
 #include "ctmc/ctmc.hpp"
 #include "symbolic/model.hpp"
+#include "symbolic/state_store.hpp"
+#include "symbolic/symmetry.hpp"
 #include "util/budget.hpp"
 
 namespace autosec::symbolic {
+
+/// On-the-fly symmetry reduction policy. kAuto enables the reduction only
+/// when the caller explicitly asked for the compact engine (the big-fleet
+/// path); kAuto under engine auto/classic resolves to off, so default
+/// exploration stays bit-identical to what it always produced.
+enum class SymmetryReduction { kAuto, kOff, kOn };
 
 struct ExploreOptions {
   /// Abort exploration beyond this many states with a typed
@@ -24,25 +38,57 @@ struct ExploreOptions {
   /// Drop transitions whose rate evaluates to exactly 0 (guard enabled but
   /// rate zero). Rates < 0 always throw.
   bool allow_zero_rates = true;
+  /// State-store backend: classic (vector valuations), compact (bit-packed
+  /// hash-consed), or auto (compact iff the packed state exceeds 64 bits).
+  ExplorationEngine engine = ExplorationEngine::kAuto;
+  /// Collapse verified-interchangeable modules during the BFS. Exact (an
+  /// ordinary lumping) for every query whose state formula is invariant
+  /// under the detected group; non-invariant queries on a reduced space
+  /// fail with a typed error instead of answering wrong.
+  SymmetryReduction reduction = SymmetryReduction::kAuto;
   /// Optional per-request resource budget. Its state ceiling tightens
-  /// max_states (the smaller of the two wins); its byte ceiling is charged
-  /// incrementally as the state table and transition triplets grow.
+  /// max_states (resolved_state_limit() computes the binding constraint
+  /// once); its byte ceiling is charged incrementally as the state store and
+  /// transition triplets grow.
   std::shared_ptr<util::ResourceBudget> budget;
+
+  /// The one resolved state ceiling: the tighter of max_states and the
+  /// budget's state ceiling, remembering which constraint binds so typed
+  /// failures always name it.
+  struct ResolvedStateLimit {
+    size_t limit = 0;
+    bool from_budget = false;
+    const char* describe() const {
+      return from_budget ? "the resource budget's state ceiling"
+                         : "the max_states exploration option";
+    }
+  };
+  ResolvedStateLimit resolved_state_limit() const {
+    ResolvedStateLimit resolved{max_states, false};
+    if (budget && budget->max_states() != 0 && budget->max_states() < max_states) {
+      resolved = {budget->max_states(), true};
+    }
+    return resolved;
+  }
 };
 
 /// The explored model: states, transitions, and evaluators bound to the
-/// state enumeration.
+/// state enumeration. States live in a StateStore backend; when a symmetry
+/// reduction was active, every stored state is the canonical representative
+/// of its orbit and the transition matrix is the exact lumped quotient.
 class StateSpace {
  public:
   StateSpace(std::shared_ptr<const CompiledModel> model,
-             std::vector<std::vector<int32_t>> states, size_t initial_state,
-             linalg::CsrMatrix rates, size_t transition_count);
+             std::shared_ptr<const StateStore> store, size_t initial_state,
+             linalg::CsrMatrix rates, size_t transition_count,
+             SymmetryGroup symmetry = {});
 
-  size_t state_count() const { return states_.size(); }
+  size_t state_count() const { return store_->size(); }
   size_t transition_count() const { return transition_count_; }
   size_t initial_state() const { return initial_state_; }
 
-  const std::vector<int32_t>& state_values(size_t index) const { return states_[index]; }
+  /// Valuation of one state (unpacked from the store).
+  std::vector<int32_t> state_values(size_t index) const;
 
   /// Human-readable "(x=1,y=0)" rendering of a state.
   std::string state_to_string(size_t index) const;
@@ -54,7 +100,10 @@ class StateSpace {
   /// Point distribution on the initial state.
   std::vector<double> initial_distribution() const;
 
-  /// Evaluate an arbitrary resolved boolean expression on every state.
+  /// Evaluate an arbitrary resolved boolean expression on every state. On a
+  /// symmetry-reduced space the expression must be invariant under the
+  /// active group; throws ModelError otherwise (a representative-dependent
+  /// answer would be silently wrong).
   std::vector<bool> satisfying(const Expr& condition) const;
   /// Mask of states satisfying the named label; throws ModelError if unknown.
   std::vector<bool> label_mask(const std::string& label_name) const;
@@ -65,12 +114,21 @@ class StateSpace {
 
   const CompiledModel& model() const { return *model_; }
 
+  /// Backend that holds the states ("classic" | "compact").
+  const char* engine_name() const { return store_->name(); }
+  /// Tracked bytes per interned state of the active backend.
+  size_t bytes_per_state() const { return store_->bytes_per_state(); }
+  /// True when an on-the-fly symmetry reduction collapsed this space.
+  bool reduced() const { return !symmetry_.trivial(); }
+  const SymmetryGroup& symmetry() const { return symmetry_; }
+
  private:
   std::shared_ptr<const CompiledModel> model_;  // owned (shared with callers)
-  std::vector<std::vector<int32_t>> states_;
+  std::shared_ptr<const StateStore> store_;
   size_t initial_state_;
   linalg::CsrMatrix rates_;
   size_t transition_count_;
+  SymmetryGroup symmetry_;
 };
 
 /// Run the BFS exploration. The state space takes (shared) ownership of the

@@ -127,6 +127,7 @@ CompiledModel compile(const Model& model,
     for (const VariableDecl& var : module.variables) {
       CompiledVariable cv;
       cv.name = var.name;
+      cv.module = module.name;
       Value v;
       if (!var.low.resolve(const_scope).as_literal(v)) {
         throw ModelError("variable '" + var.name + "': lower bound is not constant");

@@ -111,6 +111,9 @@ struct Model {
 
 struct CompiledVariable {
   std::string name;
+  /// Name of the declaring module — the block structure the symmetry
+  /// detector (symbolic/symmetry.hpp) groups variables by.
+  std::string module;
   int32_t low = 0;
   int32_t high = 0;
   int32_t init = 0;

@@ -1,0 +1,117 @@
+// State storage backends for the explorer — the representation half of the
+// multi-engine exploration layer (the checking half stays in csl/).
+//
+// Two backends implement the same StateStore interface:
+//
+//   classic   one std::vector<int32_t> valuation per state, interned through
+//             a hash map (with a 64-bit packed-key fast path for narrow
+//             models). This is the original representation; it stays the
+//             default for models whose state fits one machine word.
+//   compact   every variable bit-packed into its declared range width, the
+//             packed words interned in an arena-backed hash-consing table
+//             (open addressing, hash + deep word compare — the KLEE
+//             ExprAllocUnique idiom). No per-state heap allocation; a state
+//             costs ceil(bits/64) words plus one table slot, an order of
+//             magnitude below the classic store for wide fleet models.
+//
+// Engine selection (ExplorationEngine) is deliberately defined here, next to
+// the stores it chooses between; csl::EngineOptions::explore carries it and
+// the CLI/serve layers parse it with parse_engine_token.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "symbolic/model.hpp"
+
+namespace autosec::symbolic {
+
+/// Which state-store backend exploration uses. kAuto resolves per model:
+/// compact when the packed state is wider than 64 bits (i.e. beyond the
+/// classic store's packed-key fast path), classic otherwise — so small
+/// models keep their original representation bit-for-bit.
+enum class ExplorationEngine { kAuto, kClassic, kCompact };
+
+/// Wire/CLI token of an engine choice ("auto" | "classic" | "compact").
+std::string_view engine_token(ExplorationEngine engine);
+/// Parse an engine token; nullopt for anything unknown.
+std::optional<ExplorationEngine> parse_engine_token(std::string_view text);
+
+/// Bit-packing layout of a model's state vector: each variable occupies
+/// ceil(log2(high-low+1)) bits (minimum 1) of a little-endian bit stream;
+/// fields may straddle 64-bit word boundaries.
+class StateLayout {
+ public:
+  explicit StateLayout(const std::vector<CompiledVariable>& variables);
+
+  size_t variable_count() const { return fields_.size(); }
+  size_t bits() const { return bits_; }
+  /// Packed words per state (at least 1).
+  size_t words() const { return words_; }
+  size_t bytes() const { return words_ * sizeof(uint64_t); }
+
+  /// Pack a full valuation; `out` must hold words() words (overwritten).
+  void pack(std::span<const int32_t> values, uint64_t* out) const;
+  /// Unpack into `values` (must hold variable_count() entries).
+  void unpack(const uint64_t* packed, std::span<int32_t> values) const;
+
+ private:
+  struct Field {
+    uint32_t word;   ///< index of the first word the field touches
+    uint32_t shift;  ///< bit offset within that word
+    uint32_t bits;   ///< field width (1..33)
+    int32_t low;     ///< declared lower bound (packed value is offset by it)
+  };
+  std::vector<Field> fields_;
+  size_t bits_ = 0;
+  size_t words_ = 1;
+};
+
+/// Interning store of explored states. Indices are dense and assigned in
+/// insertion order, so any two stores fed the same intern() sequence number
+/// states identically — the bit-identical-engines contract rests on this.
+class StateStore {
+ public:
+  virtual ~StateStore() = default;
+
+  /// Return the index of `values`, inserting it when unseen; `inserted`
+  /// reports which happened. Values must respect the declared ranges.
+  virtual uint32_t intern(std::span<const int32_t> values, bool& inserted) = 0;
+
+  /// Copy the valuation of state `index` into `out` (resized as needed).
+  virtual void values_of(size_t index, std::vector<int32_t>& out) const = 0;
+
+  virtual size_t size() const = 0;
+
+  /// Amortized tracked bytes per interned state — what the explorer charges
+  /// against the resource budget (storage plus interning-table overhead).
+  virtual size_t bytes_per_state() const = 0;
+
+  /// Backend name as recorded in metrics and serve envelopes.
+  virtual const char* name() const = 0;
+};
+
+/// The original vector-of-valuations store.
+std::unique_ptr<StateStore> make_classic_store(const CompiledModel& model);
+
+/// The bit-packed hash-consing store. `table_capacity` is the initial
+/// open-addressing table size (rounded up to a power of two); the default is
+/// right for normal exploration, tests shrink it to force collision chains
+/// and rehash growth.
+std::unique_ptr<StateStore> make_compact_store(const CompiledModel& model,
+                                               size_t table_capacity = 1 << 10);
+
+/// Resolve kAuto against a concrete model (see ExplorationEngine docs);
+/// kClassic/kCompact pass through.
+ExplorationEngine resolve_engine(ExplorationEngine requested,
+                                 const CompiledModel& model);
+
+/// Instantiate the store for a resolved engine choice.
+std::unique_ptr<StateStore> make_store(ExplorationEngine resolved,
+                                       const CompiledModel& model);
+
+}  // namespace autosec::symbolic

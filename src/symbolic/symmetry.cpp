@@ -1,0 +1,442 @@
+#include "symbolic/symmetry.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace autosec::symbolic {
+
+namespace {
+
+using Node = Expr::Node;
+
+/// Flatten a chain of the same associative-commutative binary operator.
+void flatten_binary(const Expr& expr, BinaryOp op, std::vector<Expr>& out) {
+  const Node* node = expr.node();
+  if (node != nullptr && node->kind == Node::Kind::kBinary && node->binary_op == op) {
+    flatten_binary(node->children[0], op, out);
+    flatten_binary(node->children[1], op, out);
+    return;
+  }
+  out.push_back(expr);
+}
+
+/// Flatten nested min(min(a,b),c) / max chains.
+void flatten_call(const Expr& expr, CallOp op, std::vector<Expr>& out) {
+  const Node* node = expr.node();
+  if (node != nullptr && node->kind == Node::Kind::kCall && node->call_op == op) {
+    for (const Expr& arg : node->children) flatten_call(arg, op, out);
+    return;
+  }
+  out.push_back(expr);
+}
+
+std::string_view binary_token(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kAnd: return "&";
+    case BinaryOp::kOr: return "|";
+    case BinaryOp::kImplies: return "=>";
+    case BinaryOp::kIff: return "<=>";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string_view call_token(CallOp op) {
+  switch (op) {
+    case CallOp::kMin: return "min";
+    case CallOp::kMax: return "max";
+    case CallOp::kFloor: return "floor";
+    case CallOp::kCeil: return "ceil";
+    case CallOp::kPow: return "pow";
+    case CallOp::kMod: return "mod";
+    case CallOp::kLog: return "log";
+  }
+  return "?";
+}
+
+void append_key(const Expr& expr, std::string& out);
+
+/// Flattened, sorted operand list of a commutative operator.
+void append_sorted_operands(const std::vector<Expr>& operands, std::string& out) {
+  std::vector<std::string> keys;
+  keys.reserve(operands.size());
+  for (const Expr& operand : operands) {
+    std::string key;
+    append_key(operand, key);
+    keys.push_back(std::move(key));
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const std::string& key : keys) {
+    out += key;
+    out += ',';
+  }
+}
+
+void append_key(const Expr& expr, std::string& out) {
+  const Node* node = expr.node();
+  if (node == nullptr) {
+    out += "<empty>";
+    return;
+  }
+  switch (node->kind) {
+    case Node::Kind::kLiteral:
+      out += 'L';
+      out += node->value.to_string();
+      return;
+    case Node::Kind::kIdent:
+      out += 'N';
+      out += node->name;
+      return;
+    case Node::Kind::kVarRef:
+      out += 'V';
+      out += std::to_string(node->var_index);
+      return;
+    case Node::Kind::kUnary:
+      out += node->unary_op == UnaryOp::kNot ? "(!" : "(neg ";
+      append_key(node->children[0], out);
+      out += ')';
+      return;
+    case Node::Kind::kBinary:
+      if (node->binary_op == BinaryOp::kAnd || node->binary_op == BinaryOp::kOr) {
+        std::vector<Expr> operands;
+        flatten_binary(expr, node->binary_op, operands);
+        out += '(';
+        out += binary_token(node->binary_op);
+        out += ' ';
+        append_sorted_operands(operands, out);
+        out += ')';
+        return;
+      }
+      out += '(';
+      out += binary_token(node->binary_op);
+      out += ' ';
+      append_key(node->children[0], out);
+      out += ',';
+      append_key(node->children[1], out);
+      out += ')';
+      return;
+    case Node::Kind::kCall:
+      if (node->call_op == CallOp::kMin || node->call_op == CallOp::kMax) {
+        std::vector<Expr> operands;
+        flatten_call(expr, node->call_op, operands);
+        out += '(';
+        out += call_token(node->call_op);
+        out += ' ';
+        append_sorted_operands(operands, out);
+        out += ')';
+        return;
+      }
+      out += '(';
+      out += call_token(node->call_op);
+      out += ' ';
+      for (const Expr& arg : node->children) {
+        append_key(arg, out);
+        out += ',';
+      }
+      out += ')';
+      return;
+    case Node::Kind::kIte:
+      out += "(ite ";
+      append_key(node->children[0], out);
+      out += ',';
+      append_key(node->children[1], out);
+      out += ',';
+      append_key(node->children[2], out);
+      out += ')';
+      return;
+  }
+  out += '?';
+}
+
+Expr rebuild_literal(const Value& value) {
+  switch (value.type()) {
+    case Value::Type::kBool: return Expr::literal(value.as_bool());
+    case Value::Type::kInt: return Expr::literal(value.as_int());
+    case Value::Type::kDouble: return Expr::literal(value.as_number());
+  }
+  return Expr::literal(false);
+}
+
+/// Canonical key of one command under a variable mapping: guard, rate and
+/// the (remapped, sorted) assignment list. Action and module names are
+/// excluded — they never affect CTMC semantics in the unsynchronized subset.
+std::string command_key(const CompiledCommand& command,
+                        const std::vector<uint32_t>* mapping) {
+  auto mapped = [&](const Expr& e) {
+    return mapping == nullptr ? e : substitute_variables(e, *mapping);
+  };
+  std::string key = "G:";
+  append_key(mapped(command.guard), key);
+  key += "|R:";
+  append_key(mapped(command.rate), key);
+  key += "|A:";
+  std::vector<std::string> assignments;
+  assignments.reserve(command.assignments.size());
+  for (const auto& [index, value] : command.assignments) {
+    const uint32_t target = mapping == nullptr ? index : (*mapping)[index];
+    std::string a = std::to_string(target) + ":=";
+    append_key(mapped(value), a);
+    assignments.push_back(std::move(a));
+  }
+  std::sort(assignments.begin(), assignments.end());
+  for (const std::string& a : assignments) {
+    key += a;
+    key += ';';
+  }
+  return key;
+}
+
+/// Sorted multiset of canonical keys under a mapping (nullptr = identity).
+struct ModelFingerprint {
+  std::vector<std::string> commands;
+  std::vector<std::string> labels;
+  /// Per reward structure (order preserved — structs are addressed by name):
+  /// the sorted item keys.
+  std::vector<std::vector<std::string>> rewards;
+
+  bool operator==(const ModelFingerprint&) const = default;
+};
+
+ModelFingerprint fingerprint(const CompiledModel& model,
+                             const std::vector<uint32_t>* mapping) {
+  ModelFingerprint print;
+  print.commands.reserve(model.commands.size());
+  for (const CompiledCommand& command : model.commands) {
+    print.commands.push_back(command_key(command, mapping));
+  }
+  std::sort(print.commands.begin(), print.commands.end());
+  print.labels.reserve(model.labels.size());
+  for (const CompiledLabel& label : model.labels) {
+    std::string key;
+    append_key(mapping == nullptr ? label.condition
+                                  : substitute_variables(label.condition, *mapping),
+               key);
+    print.labels.push_back(std::move(key));
+  }
+  std::sort(print.labels.begin(), print.labels.end());
+  for (const CompiledRewardStruct& rewards : model.rewards) {
+    std::vector<std::string> items;
+    items.reserve(rewards.items.size());
+    for (const RewardItem& item : rewards.items) {
+      std::string key;
+      append_key(mapping == nullptr ? item.guard
+                                    : substitute_variables(item.guard, *mapping),
+                 key);
+      key += "->";
+      append_key(mapping == nullptr ? item.value
+                                    : substitute_variables(item.value, *mapping),
+                 key);
+      items.push_back(std::move(key));
+    }
+    std::sort(items.begin(), items.end());
+    print.rewards.push_back(std::move(items));
+  }
+  return print;
+}
+
+/// The transposition swapping two equal-width variable blocks.
+std::vector<uint32_t> swap_mapping(size_t variable_count,
+                                   const std::vector<uint32_t>& a,
+                                   const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> mapping(variable_count);
+  for (size_t i = 0; i < variable_count; ++i) {
+    mapping[i] = static_cast<uint32_t>(i);
+  }
+  for (size_t k = 0; k < a.size(); ++k) {
+    mapping[a[k]] = b[k];
+    mapping[b[k]] = a[k];
+  }
+  return mapping;
+}
+
+}  // namespace
+
+Expr substitute_variables(const Expr& expr, const std::vector<uint32_t>& mapping) {
+  const Node* node = expr.node();
+  if (node == nullptr) return expr;
+  switch (node->kind) {
+    case Node::Kind::kLiteral:
+      return rebuild_literal(node->value);
+    case Node::Kind::kIdent:
+      return expr;  // unresolved names carry no variable index
+    case Node::Kind::kVarRef:
+      return Expr::var_ref(mapping[node->var_index], node->name);
+    case Node::Kind::kUnary:
+      return Expr::unary(node->unary_op,
+                         substitute_variables(node->children[0], mapping));
+    case Node::Kind::kBinary:
+      return Expr::binary(node->binary_op,
+                          substitute_variables(node->children[0], mapping),
+                          substitute_variables(node->children[1], mapping));
+    case Node::Kind::kCall: {
+      std::vector<Expr> args;
+      args.reserve(node->children.size());
+      for (const Expr& arg : node->children) {
+        args.push_back(substitute_variables(arg, mapping));
+      }
+      return Expr::call(node->call_op, std::move(args));
+    }
+    case Node::Kind::kIte:
+      return Expr::ite(substitute_variables(node->children[0], mapping),
+                       substitute_variables(node->children[1], mapping),
+                       substitute_variables(node->children[2], mapping));
+  }
+  return expr;
+}
+
+std::string canonical_expr_key(const Expr& expr) {
+  std::string key;
+  append_key(expr, key);
+  return key;
+}
+
+size_t SymmetryGroup::interchangeable_modules() const {
+  size_t count = 0;
+  for (const SymmetryOrbit& orbit : orbits_) count += orbit.blocks.size();
+  return count;
+}
+
+void SymmetryGroup::canonicalize(std::span<int32_t> values,
+                                 CanonScratch& scratch) const {
+  for (const SymmetryOrbit& orbit : orbits_) {
+    const size_t width = orbit.blocks[0].size();
+    const size_t count = orbit.blocks.size();
+    if (width == 1) {
+      // Common case (one variable per module): sort the values directly.
+      scratch.gathered.resize(count);
+      for (size_t j = 0; j < count; ++j) {
+        scratch.gathered[j] = values[orbit.blocks[j][0]];
+      }
+      std::sort(scratch.gathered.begin(), scratch.gathered.end());
+      for (size_t j = 0; j < count; ++j) {
+        values[orbit.blocks[j][0]] = scratch.gathered[j];
+      }
+      continue;
+    }
+    scratch.gathered.resize(count * width);
+    for (size_t j = 0; j < count; ++j) {
+      for (size_t k = 0; k < width; ++k) {
+        scratch.gathered[j * width + k] = values[orbit.blocks[j][k]];
+      }
+    }
+    scratch.order.resize(count);
+    for (size_t j = 0; j < count; ++j) scratch.order[j] = static_cast<uint32_t>(j);
+    std::sort(scratch.order.begin(), scratch.order.end(),
+              [&](uint32_t a, uint32_t b) {
+                return std::lexicographical_compare(
+                    scratch.gathered.begin() + a * width,
+                    scratch.gathered.begin() + (a + 1) * width,
+                    scratch.gathered.begin() + b * width,
+                    scratch.gathered.begin() + (b + 1) * width);
+              });
+    for (size_t j = 0; j < count; ++j) {
+      const uint32_t source = scratch.order[j];
+      for (size_t k = 0; k < width; ++k) {
+        values[orbit.blocks[j][k]] = scratch.gathered[source * width + k];
+      }
+    }
+  }
+}
+
+bool SymmetryGroup::invariant(const Expr& expr) const {
+  if (orbits_.empty()) return true;
+  const std::string base = canonical_expr_key(expr);
+  size_t variable_count = 0;
+  for (const SymmetryOrbit& orbit : orbits_) {
+    for (const auto& block : orbit.blocks) {
+      for (const uint32_t index : block) {
+        variable_count = std::max<size_t>(variable_count, index + 1);
+      }
+    }
+  }
+  std::vector<uint32_t> referenced;
+  expr.collect_variables(referenced);
+  for (const uint32_t index : referenced) {
+    variable_count = std::max<size_t>(variable_count, index + 1);
+  }
+  // Adjacent transpositions generate the full symmetric group of each orbit,
+  // and invariance is closed under composition.
+  for (const SymmetryOrbit& orbit : orbits_) {
+    for (size_t j = 0; j + 1 < orbit.blocks.size(); ++j) {
+      const std::vector<uint32_t> mapping =
+          swap_mapping(variable_count, orbit.blocks[j], orbit.blocks[j + 1]);
+      if (canonical_expr_key(substitute_variables(expr, mapping)) != base) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+SymmetryGroup detect_symmetries(const CompiledModel& model) {
+  // Variable blocks per module, in first-seen order.
+  std::vector<std::string> module_names;
+  std::vector<std::vector<uint32_t>> module_vars;
+  for (uint32_t v = 0; v < model.variables.size(); ++v) {
+    const std::string& module = model.variables[v].module;
+    if (module_names.empty() || module_names.back() != module) {
+      const auto it = std::find(module_names.begin(), module_names.end(), module);
+      if (it != module_names.end()) {
+        // Non-contiguous module (hand-built model): record conservatively.
+        module_vars[static_cast<size_t>(it - module_names.begin())].push_back(v);
+        continue;
+      }
+      module_names.push_back(module);
+      module_vars.emplace_back();
+    }
+    module_vars.back().push_back(v);
+  }
+
+  // Candidate classes: identical per-variable (low, high, init) shapes.
+  std::map<std::vector<int64_t>, std::vector<size_t>> candidates;
+  for (size_t m = 0; m < module_vars.size(); ++m) {
+    if (module_vars[m].empty()) continue;
+    std::vector<int64_t> shape;
+    shape.reserve(module_vars[m].size() * 3);
+    for (const uint32_t v : module_vars[m]) {
+      shape.push_back(model.variables[v].low);
+      shape.push_back(model.variables[v].high);
+      shape.push_back(model.variables[v].init);
+    }
+    candidates[std::move(shape)].push_back(m);
+  }
+
+  const ModelFingerprint base = fingerprint(model, nullptr);
+  std::vector<SymmetryOrbit> orbits;
+  for (auto& [shape, members] : candidates) {
+    // Greedy partition into verified orbits: pick a pivot, collect every
+    // member whose swap with the pivot is a model automorphism. Transposition
+    // with a common pivot implies pairwise interchangeability (automorphisms
+    // compose), so each collected set is a full orbit.
+    std::vector<size_t> remaining = members;
+    while (remaining.size() >= 2) {
+      const size_t pivot = remaining.front();
+      remaining.erase(remaining.begin());
+      SymmetryOrbit orbit;
+      orbit.blocks.push_back(module_vars[pivot]);
+      for (auto it = remaining.begin(); it != remaining.end();) {
+        const std::vector<uint32_t> mapping = swap_mapping(
+            model.variables.size(), module_vars[pivot], module_vars[*it]);
+        if (fingerprint(model, &mapping) == base) {
+          orbit.blocks.push_back(module_vars[*it]);
+          it = remaining.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (orbit.blocks.size() >= 2) orbits.push_back(std::move(orbit));
+    }
+  }
+  return SymmetryGroup(std::move(orbits));
+}
+
+}  // namespace autosec::symbolic

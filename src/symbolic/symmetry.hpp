@@ -1,0 +1,92 @@
+// On-the-fly symmetry reduction for the explorer: detect groups of
+// interchangeable modules (identical up to a renaming of their variables),
+// then canonicalize every state before interning so each orbit of the
+// induced permutation group is stored once. Quotienting by a verified
+// automorphism group is an ordinary lumping (Buchholz), so every CSL value
+// computed on the quotient equals the full-space value exactly — the
+// partition ctmc::lump would find post hoc is reached during the BFS
+// instead, before the symmetric blocks are ever materialized.
+//
+// Soundness note: this is deliberately NOT a mid-BFS partition refinement.
+// Refinement over a partial state space can split blocks after their members
+// were merged, which cannot be undone; a verified automorphism group is
+// exact by construction. Detection errs conservatively: a candidate pair is
+// only accepted when swapping the two modules' variables maps the command
+// multiset, every label condition, and every reward item onto the model
+// itself (compared structurally, modulo commutativity of the boolean
+// connectives).
+//
+// A query on a reduced space is answerable iff its state formula is
+// invariant under the group (constant on orbits); StateSpace checks this via
+// SymmetryGroup::invariant and rejects non-invariant formulas with a typed
+// error rather than returning a representative-dependent answer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "symbolic/model.hpp"
+
+namespace autosec::symbolic {
+
+/// One class of interchangeable modules: each block is the ordered variable
+/// index list of one module; all blocks have the same width, and any
+/// permutation of the blocks is a model automorphism.
+struct SymmetryOrbit {
+  std::vector<std::vector<uint32_t>> blocks;
+};
+
+/// Reusable buffers for canonicalize(); the explorer keeps one across the
+/// whole BFS so per-successor canonicalization allocates nothing.
+struct CanonScratch {
+  std::vector<int32_t> gathered;
+  std::vector<uint32_t> order;
+};
+
+class SymmetryGroup {
+ public:
+  SymmetryGroup() = default;
+  explicit SymmetryGroup(std::vector<SymmetryOrbit> orbits)
+      : orbits_(std::move(orbits)) {}
+
+  bool trivial() const { return orbits_.empty(); }
+  const std::vector<SymmetryOrbit>& orbits() const { return orbits_; }
+  /// Modules in nontrivial orbits (each orbit contributes all its blocks).
+  size_t interchangeable_modules() const;
+
+  /// Replace `values` by its orbit representative: the value tuples of each
+  /// orbit's blocks, sorted lexicographically. Idempotent and constant on
+  /// orbits — the canonical form interned by the explorer.
+  void canonicalize(std::span<int32_t> values, CanonScratch& scratch) const;
+
+  /// True when `expr` is invariant under every generator of the group
+  /// (checked structurally modulo commutativity/associativity of the boolean
+  /// connectives and min/max). Invariant formulas evaluate identically on
+  /// every member of an orbit, so the quotient answers them exactly;
+  /// non-invariant formulas cannot be answered on the quotient at all.
+  bool invariant(const Expr& expr) const;
+
+ private:
+  std::vector<SymmetryOrbit> orbits_;
+};
+
+/// Detect the interchangeable-module groups of a compiled model. Candidate
+/// modules (same variable shapes) are verified pairwise: the variable swap
+/// must map the command multiset, all label conditions, and all reward items
+/// onto themselves. Returns the trivial group when nothing verifies.
+SymmetryGroup detect_symmetries(const CompiledModel& model);
+
+/// Rebuild `expr` with every variable index i replaced by mapping[i].
+/// Exposed for the symmetry tests.
+Expr substitute_variables(const Expr& expr, const std::vector<uint32_t>& mapping);
+
+/// Structural key that identifies expressions up to commutativity and
+/// associativity of &, | and min/max (operand lists flattened and sorted).
+/// Arithmetic chains are NOT reordered: floating-point addition is not
+/// associative, and reordering rates would break the engines'
+/// bit-identical-results contract. Exposed for the symmetry tests.
+std::string canonical_expr_key(const Expr& expr);
+
+}  // namespace autosec::symbolic

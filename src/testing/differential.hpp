@@ -13,7 +13,12 @@
 //   roundtrip   write_model → parse_model → explore yields the identical
 //               state space, and write∘parse∘write is a fixpoint; same for
 //               write_architecture/parse_architecture plus the transformed
-//               models of both architectures.
+//               models of both architectures;
+//   engine      the compact (bit-packed, hash-consed) state store vs the
+//               classic vector store, required to produce the identical
+//               state enumeration, rate matrix, masks, rewards and property
+//               values bit-for-bit; plus the symmetry-reduced quotient vs
+//               the full space on every group-invariant property.
 //
 // A failure records the iteration's seed; `autosec-verify --seed S
 // --iterations 1` reproduces it exactly.
@@ -51,6 +56,7 @@ struct DifferentialOptions {
   bool check_lumping = true;
   bool check_parallel = true;
   bool check_roundtrip = true;
+  bool check_engine = true;
 
   RandomModelOptions model;
   RandomArchitectureOptions architecture;

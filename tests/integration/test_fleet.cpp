@@ -1,0 +1,113 @@
+// The committed fleet examples are the compact engine's scaling workload:
+// dozens of interchangeable node ECUs that the classic engine cannot explore
+// within a modest state budget but the compact engine (bit-packed states +
+// on-the-fly symmetry reduction) collapses to a few hundred states. This is
+// the acceptance scenario of the engine-selection layer, pinned as a test.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "automotive/analyzer.hpp"
+#include "automotive/archfile.hpp"
+#include "util/failure.hpp"
+
+namespace autosec::automotive {
+namespace {
+
+std::string example_path(const std::string& name) {
+  if (const char* root = std::getenv("AUTOSEC_EXAMPLES_DIR")) {
+    return std::string(root) + "/" + name;
+  }
+  return std::string(AUTOSEC_SOURCE_DIR) + "/examples/" + name;
+}
+
+AnalysisOptions fleet_options(symbolic::ExplorationEngine engine,
+                              size_t max_states) {
+  AnalysisOptions options;
+  options.nmax = 1;
+  options.explore.engine = engine;
+  options.explore.max_states = max_states;
+  return options;
+}
+
+TEST(Fleet, CommittedExamplesLoadAndValidate) {
+  const Architecture small = load_architecture_file(example_path("fleet_20ecu.arch"));
+  const Architecture large = load_architecture_file(example_path("fleet_50ecu.arch"));
+  EXPECT_EQ(small.ecus.size(), 21u);  // GW + 20 nodes
+  EXPECT_EQ(large.ecus.size(), 51u);
+  EXPECT_EQ(small.messages.size(), 1u);
+  EXPECT_EQ(large.messages.size(), 1u);
+  EXPECT_NO_THROW(small.validate());
+  EXPECT_NO_THROW(large.validate());
+}
+
+TEST(Fleet, ClassicEngineExceedsBudgetWhereCompactFits) {
+  const Architecture arch = load_architecture_file(example_path("fleet_20ecu.arch"));
+  constexpr size_t kBudget = 100'000;
+
+  // Classic: the 20-node fleet's full space dwarfs the ceiling.
+  try {
+    const SecurityAnalysis analysis(
+        arch, "m1", SecurityCategory::kConfidentiality,
+        fleet_options(symbolic::ExplorationEngine::kClassic, kBudget));
+    analysis.check("P=? [ F<=1 \"violated\" ]");
+    FAIL() << "expected the classic engine to exceed the state budget";
+  } catch (const util::EngineFailure& failure) {
+    EXPECT_EQ(failure.code(), util::FailureCode::kStateBudgetExceeded);
+    ASSERT_TRUE(failure.progress().limit.has_value());
+    EXPECT_EQ(*failure.progress().limit, kBudget);
+  }
+
+  // Compact (which auto-enables the symmetry reduction): a few hundred
+  // states, well inside the same budget.
+  const SecurityAnalysis analysis(
+      arch, "m1", SecurityCategory::kConfidentiality,
+      fleet_options(symbolic::ExplorationEngine::kCompact, kBudget));
+  const double breach = analysis.check("P=? [ F<=1 \"violated\" ]");
+  EXPECT_GT(breach, 0.0);
+  EXPECT_LE(breach, 1.0);
+  EXPECT_STREQ(analysis.space().engine_name(), "compact");
+  EXPECT_TRUE(analysis.space().reduced());
+  EXPECT_LT(analysis.space().state_count(), 1'000u);
+}
+
+TEST(Fleet, FiftyEcuFleetExploresCompactly) {
+  const Architecture arch = load_architecture_file(example_path("fleet_50ecu.arch"));
+  const SecurityAnalysis analysis(
+      arch, "m1", SecurityCategory::kConfidentiality,
+      fleet_options(symbolic::ExplorationEngine::kCompact, 100'000));
+  const double breach = analysis.check("P=? [ F<=1 \"violated\" ]");
+  EXPECT_GT(breach, 0.0);
+  EXPECT_LE(breach, 1.0);
+  EXPECT_TRUE(analysis.space().reduced());
+  EXPECT_LT(analysis.space().state_count(), 1'000u);
+}
+
+TEST(Fleet, EnginesAgreeOnASmallFleet) {
+  // On a fleet small enough for both engines, the reduced compact answer
+  // matches the classic full-space answer (ordinary lumping is exact; the
+  // quotient only reorders the floating-point accumulation).
+  const Architecture arch = load_architecture_file(example_path("fleet_20ecu.arch"));
+  Architecture small = arch;
+  small.ecus.resize(8);  // GW + 7 nodes keeps the classic space tractable
+  small.validate();
+
+  const SecurityAnalysis classic(
+      small, "m1", SecurityCategory::kConfidentiality,
+      fleet_options(symbolic::ExplorationEngine::kClassic, 2'000'000));
+  const SecurityAnalysis compact(
+      small, "m1", SecurityCategory::kConfidentiality,
+      fleet_options(symbolic::ExplorationEngine::kCompact, 2'000'000));
+  EXPECT_FALSE(classic.space().reduced());
+  EXPECT_TRUE(compact.space().reduced());
+  EXPECT_LT(compact.space().state_count(), classic.space().state_count());
+  for (const char* property :
+       {"P=? [ F<=1 \"violated\" ]", "S=? [ \"violated\" ]",
+        "R{\"exposure\"}=? [ C<=1 ]"}) {
+    EXPECT_NEAR(classic.check(property), compact.check(property), 1e-8)
+        << property;
+  }
+}
+
+}  // namespace
+}  // namespace autosec::automotive

@@ -112,6 +112,29 @@ TEST(Protocol, ValidatesFieldTypesAndRanges) {
                    .request.has_value());
 }
 
+TEST(Protocol, ParsesEngineField) {
+  const ParseResult compact = parse_request(
+      R"({"op": "analyze", "architecture": "a.arch", "engine": "compact"})");
+  ASSERT_TRUE(compact.request.has_value());
+  EXPECT_EQ(compact.request->engine, symbolic::ExplorationEngine::kCompact);
+  const ParseResult classic = parse_request(
+      R"({"op": "analyze", "architecture": "a.arch", "engine": "classic"})");
+  ASSERT_TRUE(classic.request.has_value());
+  EXPECT_EQ(classic.request->engine, symbolic::ExplorationEngine::kClassic);
+  // Omitted -> auto (per-model resolution).
+  const ParseResult implicit =
+      parse_request(R"({"op": "analyze", "architecture": "a.arch"})");
+  ASSERT_TRUE(implicit.request.has_value());
+  EXPECT_EQ(implicit.request->engine, symbolic::ExplorationEngine::kAuto);
+  // Unknown tokens and wrong types fail loudly.
+  EXPECT_FALSE(parse_request(R"({"op": "analyze", "architecture": "a.arch",
+                                 "engine": "warp"})")
+                   .request.has_value());
+  EXPECT_FALSE(parse_request(R"({"op": "analyze", "architecture": "a.arch",
+                                 "engine": 3})")
+                   .request.has_value());
+}
+
 TEST(Protocol, EnforcesPerOpRequiredFields) {
   // analyze/check/sweep/diagnose all need an architecture.
   EXPECT_FALSE(parse_request(R"({"op": "analyze"})").request.has_value());

@@ -330,6 +330,27 @@ TEST(ServerTest, BudgetKnobsDoNotChangeTheCacheKey) {
   EXPECT_EQ(budgeted.find("metrics")->string_or("session_cache", ""), "hit");
 }
 
+TEST(ServerTest, EngineChoiceIsVisibleInMetricsAndSplitsTheCacheKey) {
+  Server server(deterministic_options());
+  const JsonValue classic = handle(server, analyze_line("e1"));
+  ASSERT_TRUE(classic.bool_or("ok", false)) << classic.dump();
+  // The paper architectures pack under 64 bits, so auto resolves to classic.
+  EXPECT_EQ(classic.find("metrics")->string_or("engine", ""), "classic");
+  // An explicit compact request is a different state enumeration: its own
+  // session entry, freshly explored, reported as compact.
+  const JsonValue compact =
+      handle(server, analyze_line("e2", ", \"engine\": \"compact\""));
+  ASSERT_TRUE(compact.bool_or("ok", false)) << compact.dump();
+  EXPECT_EQ(compact.find("metrics")->string_or("engine", ""), "compact");
+  EXPECT_EQ(compact.find("metrics")->string_or("session_cache", ""), "miss");
+  EXPECT_GE(compact.find("metrics")->int_or("explores", -1), 1);
+  // Unknown engine tokens are rejected before any work happens.
+  const JsonValue bad =
+      handle(server, analyze_line("e3", ", \"engine\": \"warp\""));
+  EXPECT_FALSE(bad.bool_or("ok", true));
+  EXPECT_EQ(bad.find("error")->string_or("code", ""), "bad_request");
+}
+
 TEST(ServerTest, InjectedEngineFaultEvictsEntryAndServerKeepsServing) {
   Server server(deterministic_options());
   ASSERT_TRUE(handle(server, analyze_line("f0")).bool_or("ok", false));

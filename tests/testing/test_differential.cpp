@@ -32,7 +32,8 @@ TEST(Differential, AllCheckFamiliesRun) {
         "oracle.instantaneous_reward", "oracle.bounded_reachability",
         "solver.krylov_vs_gauss_seidel", "lumping.quotient_vs_full",
         "parallel.determinism", "roundtrip.model_text_fixpoint",
-        "roundtrip.model_state_space", "roundtrip.arch_text_fixpoint"}) {
+        "roundtrip.model_state_space", "roundtrip.arch_text_fixpoint",
+        "engine.compact_vs_classic", "engine.reduced_vs_full"}) {
     const auto it = report.checks.find(family);
     ASSERT_NE(it, report.checks.end()) << family << " never ran";
     EXPECT_GT(it->second.runs, 0u) << family;
@@ -54,6 +55,7 @@ TEST(Differential, FamiliesCanBeDisabled) {
   options.check_solvers = false;
   options.check_lumping = false;
   options.check_parallel = false;
+  options.check_engine = false;
   const DifferentialReport report = run_differential(options);
   EXPECT_TRUE(report.ok()) << report.summary();
   for (const auto& [name, outcome] : report.checks) {

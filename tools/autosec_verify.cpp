@@ -24,7 +24,7 @@ void print_usage(std::ostream& os) {
         "  --max-states N     dense-oracle state limit (default 200)\n"
         "  --threads N        thread count of the parallel leg (default 4)\n"
         "  --skip FAMILY      disable a family: oracle, solvers, lumping,\n"
-        "                     parallel, roundtrip (repeatable)\n"
+        "                     parallel, roundtrip, engine (repeatable)\n"
         "  --faults           run the fault-injection checks instead: arm every\n"
         "                     known fault site and prove each yields a structured\n"
         "                     error (and serve keeps serving)\n"
@@ -81,6 +81,8 @@ int main(int argc, char** argv) {
         options.check_parallel = false;
       } else if (family == "roundtrip") {
         options.check_roundtrip = false;
+      } else if (family == "engine") {
+        options.check_engine = false;
       } else {
         fail_usage("unknown family '" + family + "'");
       }
@@ -91,7 +93,9 @@ int main(int argc, char** argv) {
                    "solvers    Krylov-first vs pure Gauss-Seidel fixpoint solves\n"
                    "lumping    lumped-quotient checking vs the full state space\n"
                    "parallel   1-thread vs N-thread batch solves (bit-exact)\n"
-                   "roundtrip  writer -> parser identity for models and .arch files\n";
+                   "roundtrip  writer -> parser identity for models and .arch files\n"
+                   "engine     compact vs classic state store (bit-exact) and the\n"
+                   "           symmetry-reduced quotient vs the full space\n";
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);

@@ -11,7 +11,16 @@ committed baselines in bench/baselines/:
     within --agreement-tolerance (default 1e-8), regardless of the baseline;
   * the ``bench.fault_overhead_fraction`` gauge, when a bench records one —
     the estimated cost of disarmed fault-injection hooks as a fraction of
-    engine wall time — must stay below --fault-overhead-limit (default 0.02).
+    engine wall time — must stay below --fault-overhead-limit (default 0.02);
+  * peak resident memory (gauge ``bench.peak_rss_mb``) must not grow by more
+    than --max-rss-growth (default 1.5, i.e. +50%) over the baseline;
+  * per-state storage (gauge ``explore.bytes_per_state``, recorded by the
+    engine session for the last explored space) must not grow by more than
+    --max-bytes-per-state-growth (default 1.1) over the baseline — the guard
+    that keeps the compact exploration engine compact.
+
+Memory gates are skipped for baselines that predate the gauge (refresh the
+baseline to arm them).
 
 Exit status 0 when everything holds, 1 with a per-file report otherwise.
 Baselines are refreshed by re-running the benches with
@@ -27,6 +36,27 @@ import sys
 WALL_GAUGE = "bench.wall_seconds"
 AGREEMENT_PREFIX = "bench.agreement_"
 FAULT_OVERHEAD_GAUGE = "bench.fault_overhead_fraction"
+RSS_GAUGE = "bench.peak_rss_mb"
+BYTES_PER_STATE_GAUGE = "explore.bytes_per_state"
+
+
+def check_growth_ratio(name, gauge, baseline, current, limit, failures):
+    """Gate a gauge's current/baseline ratio; skip when the baseline lacks it."""
+    base_value = baseline.get(gauge)
+    cur_value = current.get(gauge)
+    if base_value is None or base_value <= 0:
+        return  # baseline predates the gauge: nothing to compare against
+    if cur_value is None:
+        failures.append(f"{name}: {gauge} gauge missing from current run")
+        return
+    ratio = cur_value / base_value
+    status = "ok" if ratio <= limit else "REGRESSION"
+    print(f"{name}: {gauge} {cur_value:.1f} vs baseline "
+          f"{base_value:.1f} ({ratio:.2f}x) {status}")
+    if ratio > limit:
+        failures.append(
+            f"{name}: {gauge} {cur_value:.1f} is {ratio:.2f}x the "
+            f"baseline {base_value:.1f} (limit {limit:.2f}x)")
 
 
 def load_gauges(path):
@@ -49,6 +79,11 @@ def main():
                         help="bound on every bench.agreement_* gauge")
     parser.add_argument("--fault-overhead-limit", type=float, default=0.02,
                         help="bound on bench.fault_overhead_fraction when present")
+    parser.add_argument("--max-rss-growth", type=float, default=1.5,
+                        help="allowed peak-RSS ratio current/baseline")
+    parser.add_argument("--max-bytes-per-state-growth", type=float, default=1.1,
+                        help="allowed explore.bytes_per_state ratio "
+                             "current/baseline")
     args = parser.parse_args()
 
     baseline_dir = pathlib.Path(args.baseline_dir)
@@ -92,6 +127,11 @@ def main():
                 failures.append(
                     f"{baseline_path.name}: {name} = {value:.3g} exceeds "
                     f"{args.agreement_tolerance:.3g}")
+
+        check_growth_ratio(baseline_path.name, RSS_GAUGE, baseline, current,
+                           args.max_rss_growth, failures)
+        check_growth_ratio(baseline_path.name, BYTES_PER_STATE_GAUGE, baseline,
+                           current, args.max_bytes_per_state_growth, failures)
 
         fault_overhead = current.get(FAULT_OVERHEAD_GAUGE)
         if fault_overhead is not None:

@@ -1,0 +1,132 @@
+// gen-fleet: deterministic generator of parameterized N-ECU fleet
+// architectures, the scaling workload of the compact exploration engine.
+//
+// The generated topology is one internet-facing telematics gateway plus N
+// identical node ECUs on a shared CAN bus, with S message streams between the
+// first nodes. Every node beyond the stream endpoints is interchangeable —
+// their modules are identical up to variable renaming — so the symmetry
+// reduction collapses them during exploration while the endpoints (whose
+// exploited-state the properties actually reference) stay distinguished.
+//
+// Output is byte-deterministic in the parameters: CI regenerates the
+// committed examples/fleet_*.arch files and diffs them against the checkout.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "automotive/archfile.hpp"
+#include "automotive/architecture.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: gen-fleet --ecus N [--streams S] [--output FILE]\n"
+        "\n"
+        "Generate an N-node fleet architecture (.arch): one internet-facing\n"
+        "gateway plus N identical node ECUs on a shared CAN bus, with S\n"
+        "message streams between the first node ECUs (default 1). Output goes\n"
+        "to stdout unless --output is given. The output is byte-deterministic\n"
+        "in (N, S).\n"
+        "\n"
+        "  --ecus N      node ECU count (>= 2)\n"
+        "  --streams S   message streams NODE<2k-1> -> NODE<2k> (default 1;\n"
+        "                requires N >= 2*S)\n"
+        "  --output F    write to F instead of stdout\n"
+        "  --help        this text\n";
+}
+
+[[noreturn]] void fail_usage(const std::string& message) {
+  std::cerr << "gen-fleet: " << message << "\n\n";
+  print_usage(std::cerr);
+  std::exit(2);
+}
+
+int parse_count(const std::string& text, const char* what) {
+  const std::optional<double> value = autosec::util::parse_double(text);
+  if (!value || *value < 0 || *value != static_cast<int>(*value)) {
+    fail_usage(std::string("malformed ") + what + ": '" + text + "'");
+  }
+  return static_cast<int>(*value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace autosec::automotive;
+
+  int ecus = 0;
+  int streams = 1;
+  std::string output;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) fail_usage(std::string("missing ") + what);
+      return argv[++i];
+    };
+    if (arg == "--ecus") {
+      ecus = parse_count(next("--ecus value"), "--ecus");
+    } else if (arg == "--streams") {
+      streams = parse_count(next("--streams value"), "--streams");
+    } else if (arg == "--output" || arg == "-o") {
+      output = next("--output value");
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else {
+      fail_usage("unknown argument '" + arg + "'");
+    }
+  }
+  if (ecus < 2) fail_usage("--ecus must be >= 2");
+  if (streams < 1) fail_usage("--streams must be >= 1");
+  if (ecus < 2 * streams) fail_usage("--streams requires --ecus >= 2*S");
+
+  Architecture arch;
+  arch.name = "Fleet " + std::to_string(ecus) + " ECUs";
+
+  arch.buses.push_back({"NET", BusKind::kInternet, std::nullopt, std::nullopt});
+  arch.buses.push_back({"CAN", BusKind::kCan, std::nullopt, std::nullopt});
+
+  // Telematics gateway: the attacker's entry point (Table 2: externally
+  // reachable, ASIL A patch cadence on the uplink stack).
+  Ecu gateway;
+  gateway.name = "GW";
+  gateway.phi = 52.0;
+  gateway.interfaces.push_back({"NET", 1.9, std::nullopt});
+  gateway.interfaces.push_back({"CAN", 3.8, std::nullopt});
+  arch.ecus.push_back(std::move(gateway));
+
+  // Node ECUs: identical rates, so every node not named by a message stream
+  // is interchangeable with the others.
+  for (int n = 1; n <= ecus; ++n) {
+    Ecu node;
+    node.name = "NODE" + std::to_string(n);
+    node.phi = 12.0;
+    node.interfaces.push_back({"CAN", 1.2, std::nullopt});
+    arch.ecus.push_back(std::move(node));
+  }
+
+  // Streams pair up the first nodes: NODE1->NODE2, NODE3->NODE4, ...
+  for (int s = 1; s <= streams; ++s) {
+    Message message;
+    message.name = "m" + std::to_string(s);
+    message.sender = "NODE" + std::to_string(2 * s - 1);
+    message.receivers = {"NODE" + std::to_string(2 * s)};
+    message.buses = {"CAN"};
+    message.protection = Protection::kCmac128;
+    arch.messages.push_back(std::move(message));
+  }
+
+  arch.validate();
+  if (output.empty()) {
+    std::cout << write_architecture(arch);
+    return 0;
+  }
+  try {
+    save_architecture_file(arch, output);
+  } catch (const std::exception& error) {
+    std::cerr << "gen-fleet: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
