@@ -304,5 +304,17 @@ int main() {
   metrics.gauge("bench.agreement_fan_vs_serial", fan_diff);
   metrics.gauge("bench.agreement_batch_vs_serial", batch_diff);
   metrics.gauge("bench.fault_overhead_fraction", fault_overhead);
+
+  // Kernel throughput: uniformization products per second of solve span,
+  // gated as a floor (a kernel regression shows up here even when the
+  // products count drops through steady-state truncation).
+  const util::metrics::SpanStats solve_span = metrics.span_stats("solve");
+  const uint64_t mat_vecs = metrics.counter_value("ctmc.matrix_vector_products");
+  if (solve_span.seconds > 0.0) {
+    metrics.gauge("solve.mat_vec_per_sec",
+                  static_cast<double>(mat_vecs) / solve_span.seconds);
+  }
+  std::printf("solve kernels: %llu matrix-vector products in %.3f s solve span\n",
+              static_cast<unsigned long long>(mat_vecs), solve_span.seconds);
   return 0;
 }

@@ -38,6 +38,12 @@ class Ctmc {
   /// states get a self-loop of probability 1.
   linalg::CsrMatrix uniformized(double q) const;
 
+  /// Transpose of the uniformized DTMC, built directly from the rate matrix
+  /// in one counting-sort pass — the uniformization hot path never has to
+  /// materialize P and transpose it. Entry values and per-row orders are
+  /// identical to `uniformized(q).transposed()`.
+  linalg::CsrMatrix uniformized_transposed(double q) const;
+
   /// Uniformization rate used by default: 1.02 * max exit rate (strictly above
   /// every exit rate so the uniformized chain is aperiodic), with a positive
   /// floor for the degenerate all-absorbing chain.

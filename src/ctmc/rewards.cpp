@@ -1,9 +1,12 @@
 #include "ctmc/rewards.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "ctmc/poisson.hpp"
 #include "linalg/vector_ops.hpp"
+#include "util/metrics.hpp"
 
 namespace autosec::ctmc {
 
@@ -24,19 +27,54 @@ double expected_cumulative_reward(const Uniformized& uniformized,
   // weights sum to 1 over [L,R], the factor (1 − CDF(k)) is 1 for k < L and 0
   // for k ≥ R; running the cumulative sum incrementally avoids the quadratic
   // cdf() scan.
-  std::vector<double> current = initial;
+  std::vector<double> current = uniformized.to_solver_order(initial);
+  const std::vector<double> rewards = uniformized.to_solver_order(state_rewards);
+  double reward_ceiling = 0.0;
+  for (const double r : rewards) reward_ceiling = std::max(reward_ceiling, std::abs(r));
   std::vector<double> next(n, 0.0);
   double cdf = 0.0;
   double acc = 0.0;
+  size_t steps = 0;
   for (size_t k = 0; k <= weights->right; ++k) {
     cdf += weights->weight(k);
     const double factor = 1.0 - cdf;
-    if (factor > 0.0) acc += factor * linalg::dot(current, state_rewards);
+    if (factor > 0.0) acc += factor * linalg::dot(current, rewards);
     if (k < weights->right) {
       uniformized.step(current, next);
+      ++steps;
+      // Steady-state detection, with the quadratic tail bound this sum
+      // needs: the collapsed-tail error is Σ_j (1−CDF(j))·(j−k−1)·δ·‖r‖∞/q
+      // ≤ δ·(remaining)²·‖r‖∞/q (L1-contracting step deltas, as in
+      // transient_distribution). The tail itself has the closed form
+      // Σ_j (1−CDF(j)) · π_{k+1}·r.
+      if (options.steady_state_detection && (k & 3) == 3 &&
+          k + 1 < weights->right) {
+        double delta = 0.0;
+        for (size_t i = 0; i < n; ++i) delta += std::abs(next[i] - current[i]);
+        const double remaining = static_cast<double>(weights->right - (k + 1));
+        if (delta * remaining * remaining * std::max(1.0, reward_ceiling) /
+                uniformized.q <=
+            options.steady_state_epsilon) {
+          double tail_factor = 0.0;
+          double tail_cdf = cdf;
+          for (size_t j = k + 1; j <= weights->right; ++j) {
+            tail_cdf += weights->weight(j);
+            const double f = 1.0 - tail_cdf;
+            if (f > 0.0) tail_factor += f;
+          }
+          acc += tail_factor * linalg::dot(next, rewards);
+          util::metrics::Registry& metrics = util::metrics::registry();
+          if (metrics.enabled()) {
+            metrics.add("solve.steady_state_truncations");
+            metrics.add("solve.steady_state_steps_saved", weights->right - (k + 1));
+          }
+          break;
+        }
+      }
       current.swap(next);
     }
   }
+  util::metrics::registry().add("ctmc.matrix_vector_products", steps);
   return acc / uniformized.q;
 }
 

@@ -37,24 +37,43 @@ std::vector<double> bscc_stationary(const Ctmc& chain,
   for (uint32_t i = 0; i < m; ++i) local_of[members[i]] = i;
 
   // Build the transposed restricted generator directly: row i of Qt collects
-  // incoming rates Q_ji plus the diagonal -E_j.
-  linalg::CsrBuilder builder(m, m);
+  // incoming rates Q_ji plus the diagonal -E_i. Counting-sort assembly: the
+  // scatter scans local source states in ascending order and emits each row's
+  // diagonal while the scan sits on that row (no local self-loops exist), so
+  // every Qt row comes out with strictly ascending columns — no builder sort.
+  std::vector<double> exit(m, 0.0);
+  std::vector<uint32_t> offsets(m + 1, 0);
   for (uint32_t local = 0; local < m; ++local) {
-    const uint32_t global = members[local];
-    const auto cols = chain.rates().row_columns(global);
-    const auto vals = chain.rates().row_values(global);
-    double exit = 0.0;
+    ++offsets[local + 1];  // diagonal
+    const auto cols = chain.rates().row_columns(members[local]);
+    const auto vals = chain.rates().row_values(members[local]);
     for (size_t k = 0; k < cols.size(); ++k) {
       const uint32_t target_local = local_of[cols[k]];
       if (target_local == UINT32_MAX) {
         throw std::logic_error("bscc_stationary: edge leaves the BSCC");
       }
-      builder.add(target_local, local, vals[k]);
-      exit += vals[k];
+      ++offsets[target_local + 1];
+      exit[local] += vals[k];
     }
-    builder.add(local, local, -exit);
   }
-  const linalg::CsrMatrix Qt = std::move(builder).build();
+  for (uint32_t i = 0; i < m; ++i) offsets[i + 1] += offsets[i];
+  std::vector<uint32_t> columns(offsets[m]);
+  std::vector<double> values(offsets[m]);
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (uint32_t local = 0; local < m; ++local) {
+    const uint32_t diagonal_pos = cursor[local]++;
+    columns[diagonal_pos] = local;
+    values[diagonal_pos] = -exit[local];
+    const auto cols = chain.rates().row_columns(members[local]);
+    const auto vals = chain.rates().row_values(members[local]);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const uint32_t pos = cursor[local_of[cols[k]]]++;
+      columns[pos] = local;
+      values[pos] = vals[k];
+    }
+  }
+  const linalg::CsrMatrix Qt(m, m, std::move(offsets), std::move(columns),
+                             std::move(values));
   auto result = linalg::stationary_from_transposed(Qt, solver);
   if (result.cancelled) throw util::Cancelled("steady_state");
   if (result.converged) return std::move(result.x);

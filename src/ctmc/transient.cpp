@@ -1,5 +1,6 @@
 #include "ctmc/transient.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <new>
 #include <stdexcept>
@@ -22,6 +23,14 @@ void check_distribution(size_t state_count, const std::vector<double>& initial,
   }
   double total = 0.0;
   for (double p : initial) {
+    // `p < 0.0` is false for NaN, and NaN/Inf would sail through the sum
+    // guard (NaN compares false, the sum saturates) only to poison a solve
+    // later — reject non-finite mass up front as a typed numerical failure.
+    if (!std::isfinite(p)) {
+      throw util::EngineFailure(
+          util::FailureCode::kNumericalError, what,
+          prefix + ": non-finite probability in initial distribution");
+    }
     if (p < 0.0) throw std::invalid_argument(prefix + ": negative probability");
     total += p;
   }
@@ -32,22 +41,60 @@ void check_distribution(size_t state_count, const std::vector<double>& initial,
   }
 }
 
+namespace {
+
+/// CSR heap footprint: one double + one uint32 per entry plus row pointers.
+size_t csr_bytes(size_t nonzeros, size_t rows) {
+  return nonzeros * (sizeof(double) + sizeof(uint32_t)) +
+         (rows + 1) * sizeof(uint32_t);
+}
+
+}  // namespace
+
 Uniformized uniformize(const Ctmc& chain, const TransientOptions& options) {
   util::metrics::registry().add("ctmc.uniformizations");
-  if (util::fault::triggered("uniformize.alloc")) throw std::bad_alloc();
   Uniformized out;
   out.state_count = chain.state_count();
   out.q = options.uniformization_rate > 0.0 ? options.uniformization_rate
                                             : chain.default_uniformization_rate();
-  out.transposed = chain.uniformized(out.q).transposed();
+
+  // Charge the build's transient peak *before* allocating: P and Pᵀ are live
+  // simultaneously (nnz(P) ≤ nnz(R) + n for the compensating self-loops),
+  // plus the optional SELL-C-σ packing. A tripped ceiling therefore unwinds
+  // as a typed memory_budget_exceeded before the allocations happen, not
+  // after the matrices already sit in memory.
+  const size_t n = out.state_count;
+  const size_t nnz_bound = chain.rates().nonzeros() + n;
+  size_t peak_estimate = 2 * csr_bytes(nnz_bound, n);
+  if (options.layout != linalg::MatrixLayout::kCsr) {
+    peak_estimate += csr_bytes(nnz_bound, n) + 2 * n * sizeof(uint32_t);
+  }
+  if (options.budget) options.budget->charge_bytes(peak_estimate, "uniformize");
+  if (util::fault::triggered("uniformize.alloc")) throw std::bad_alloc();
+
+  if (linalg::resolve_reorder(options.reorder, n) == linalg::StateReorder::kRcm) {
+    const linalg::CsrMatrix P = chain.uniformized(out.q);
+    out.permutation = linalg::rcm_permutation(P);
+    out.inverse = linalg::invert_permutation(out.permutation);
+    out.transposed = linalg::permuted_transposed(P, out.inverse);
+    util::metrics::registry().add("uniformize.rcm_reorders");
+  } else {
+    // Fused build: Pᵀ straight from the rate matrix, skipping P entirely.
+    out.transposed = chain.uniformized_transposed(out.q);
+  }
+  if (linalg::resolve_layout(options.layout, out.transposed) ==
+      linalg::MatrixLayout::kBlocked) {
+    out.blocked.emplace(out.transposed);
+    util::metrics::registry().add("uniformize.blocked_layouts");
+  }
+
   if (options.budget) {
-    // CSR footprint of Pᵀ: one double + one uint32 per stored entry, plus the
-    // row-pointer array. Charged after the build — the typed failure still
-    // fires before the matrix is handed to a solve.
-    options.budget->charge_bytes(
-        out.transposed.nonzeros() * (sizeof(double) + sizeof(uint32_t)) +
-            (out.transposed.rows() + 1) * sizeof(uint32_t),
-        "uniformize");
+    // Settle the charge down to what the stage actually keeps: Pᵀ, the
+    // optional packed copy, and the permutation vectors. P itself is gone.
+    size_t kept = csr_bytes(out.transposed.nonzeros(), out.transposed.rows()) +
+                  (out.blocked ? out.blocked->bytes() : 0) +
+                  2 * out.permutation.size() * sizeof(uint32_t);
+    if (kept < peak_estimate) options.budget->release_bytes(peak_estimate - kept);
   }
   return out;
 }
@@ -64,7 +111,6 @@ std::vector<double> transient_distribution(const Uniformized& uniformized,
     util::metrics::Registry& metrics = util::metrics::registry();
     if (metrics.enabled()) {
       metrics.add("ctmc.transient_solves");
-      metrics.add("ctmc.matrix_vector_products", weights->right);
       metrics.gauge("poisson.last_qt", uniformized.q * t);
       metrics.gauge("poisson.last_left", static_cast<double>(weights->left));
       metrics.gauge("poisson.last_right", static_cast<double>(weights->right));
@@ -72,10 +118,11 @@ std::vector<double> transient_distribution(const Uniformized& uniformized,
   }
 
   const size_t n = uniformized.state_count;
-  std::vector<double> current = initial;
+  std::vector<double> current = uniformized.to_solver_order(initial);
   std::vector<double> next(n, 0.0);
   std::vector<double> result(n, 0.0);
 
+  size_t steps = 0;
   for (size_t k = 0; k <= weights->right; ++k) {
     if (options.cancelled && options.cancelled()) {
       throw util::Cancelled("transient");
@@ -85,9 +132,36 @@ std::vector<double> transient_distribution(const Uniformized& uniformized,
     }
     if (k < weights->right) {
       uniformized.step(current, next);
+      ++steps;
+      // Steady-state detection (every 4th phase: the delta pass costs an
+      // O(n) scan against the O(nnz) product). P is stochastic, so step
+      // deltas contract in L1: ||π_j − π_{k+1}||₁ ≤ (j−k−1)·δ for every
+      // later phase j. When δ · (remaining phases) ≤ ε the remaining
+      // contributions collapse — within ε per entry — into the total
+      // remaining Poisson mass applied to the current iterate.
+      if (options.steady_state_detection && (k & 3) == 3 &&
+          k + 1 < weights->right) {
+        double delta = 0.0;
+        for (size_t i = 0; i < n; ++i) delta += std::abs(next[i] - current[i]);
+        const double remaining = static_cast<double>(weights->right - (k + 1));
+        if (delta * remaining <= options.steady_state_epsilon) {
+          double tail_mass = 0.0;
+          for (size_t j = std::max(k + 1, weights->left); j <= weights->right; ++j) {
+            tail_mass += weights->weight(j);
+          }
+          linalg::axpy(tail_mass, next, result);
+          util::metrics::Registry& metrics = util::metrics::registry();
+          if (metrics.enabled()) {
+            metrics.add("solve.steady_state_truncations");
+            metrics.add("solve.steady_state_steps_saved", weights->right - (k + 1));
+          }
+          break;
+        }
+      }
       current.swap(next);
     }
   }
+  util::metrics::registry().add("ctmc.matrix_vector_products", steps);
   // Health guard: a NaN/Inf anywhere in the result means an upstream rate or
   // weight was poisoned — surface a typed failure, never a silent wrong answer.
   double checksum = 0.0;
@@ -97,7 +171,7 @@ std::vector<double> transient_distribution(const Uniformized& uniformized,
         util::FailureCode::kNumericalError, "transient",
         "transient: non-finite probability in the result distribution");
   }
-  return result;
+  return uniformized.to_original_order(result);
 }
 
 std::vector<double> transient_distribution(const Ctmc& chain,

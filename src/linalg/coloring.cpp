@@ -1,0 +1,88 @@
+#include "linalg/coloring.hpp"
+
+#include <algorithm>
+
+namespace autosec::linalg {
+
+SymmetricAdjacency symmetric_adjacency(const CsrMatrix& matrix) {
+  const size_t n = matrix.rows();
+  SymmetricAdjacency adjacency;
+  std::vector<uint32_t> degree(n, 0);
+  for (size_t r = 0; r < n; ++r) {
+    for (const uint32_t c : matrix.row_columns(r)) {
+      if (c == r) continue;
+      ++degree[r];
+      ++degree[c];
+    }
+  }
+  adjacency.offsets.assign(n + 1, 0);
+  for (size_t r = 0; r < n; ++r) {
+    adjacency.offsets[r + 1] = adjacency.offsets[r] + degree[r];
+  }
+  adjacency.neighbors.resize(adjacency.offsets[n]);
+  std::vector<uint32_t> cursor(adjacency.offsets.begin(), adjacency.offsets.end() - 1);
+  for (size_t r = 0; r < n; ++r) {
+    for (const uint32_t c : matrix.row_columns(r)) {
+      if (c == r) continue;
+      adjacency.neighbors[cursor[r]++] = c;
+      adjacency.neighbors[cursor[c]++] = static_cast<uint32_t>(r);
+    }
+  }
+  // Sort and deduplicate each neighbor list so degrees (and everything
+  // derived from them) are canonical even when both A_ij and A_ji exist.
+  uint32_t write = 0;
+  for (size_t r = 0; r < n; ++r) {
+    const uint32_t begin = adjacency.offsets[r];
+    const uint32_t end = cursor[r];
+    std::sort(adjacency.neighbors.begin() + begin, adjacency.neighbors.begin() + end);
+    const uint32_t row_start = write;
+    for (uint32_t k = begin; k < end; ++k) {
+      if (write == row_start || adjacency.neighbors[write - 1] != adjacency.neighbors[k]) {
+        adjacency.neighbors[write++] = adjacency.neighbors[k];
+      }
+    }
+    adjacency.offsets[r] = row_start;
+  }
+  adjacency.offsets[n] = write;
+  // offsets were rewritten in place above (start of each deduplicated row).
+  adjacency.neighbors.resize(write);
+  return adjacency;
+}
+
+ColorSchedule greedy_coloring(const CsrMatrix& matrix) {
+  const size_t n = matrix.rows();
+  const SymmetricAdjacency adjacency = symmetric_adjacency(matrix);
+
+  ColorSchedule schedule;
+  schedule.color_of.assign(n, 0);
+  std::vector<uint32_t> forbidden;  // forbidden[c] == row+1 marks color c used
+  for (size_t r = 0; r < n; ++r) {
+    for (uint32_t k = adjacency.offsets[r]; k < adjacency.offsets[r + 1]; ++k) {
+      const uint32_t neighbor = adjacency.neighbors[k];
+      if (neighbor < r) {
+        const uint32_t c = schedule.color_of[neighbor];
+        if (c >= forbidden.size()) forbidden.resize(c + 1, 0);
+        forbidden[c] = static_cast<uint32_t>(r) + 1;
+      }
+    }
+    uint32_t color = 0;
+    while (color < forbidden.size() && forbidden[color] == r + 1) ++color;
+    schedule.color_of[r] = color;
+    schedule.color_count = std::max(schedule.color_count, color + 1);
+  }
+
+  schedule.color_offsets.assign(schedule.color_count + 1, 0);
+  for (size_t r = 0; r < n; ++r) ++schedule.color_offsets[schedule.color_of[r] + 1];
+  for (size_t c = 0; c < schedule.color_count; ++c) {
+    schedule.color_offsets[c + 1] += schedule.color_offsets[c];
+  }
+  schedule.order.resize(n);
+  std::vector<uint32_t> cursor(schedule.color_offsets.begin(),
+                               schedule.color_offsets.end() - 1);
+  for (size_t r = 0; r < n; ++r) {
+    schedule.order[cursor[schedule.color_of[r]]++] = static_cast<uint32_t>(r);
+  }
+  return schedule;
+}
+
+}  // namespace autosec::linalg

@@ -29,6 +29,17 @@ CsrMatrix::CsrMatrix(size_t row_count, size_t column_count,
   for (uint32_t c : columns_) {
     if (c >= column_count_) throw std::invalid_argument("CsrMatrix: column out of range");
   }
+  // Rows must be strictly ascending in column (CsrBuilder guarantees this;
+  // raw construction must too): at() binary-searches rows, and the kernels'
+  // bit-exactness contract is defined over the ascending-column sum order.
+  for (size_t r = 0; r < row_count_; ++r) {
+    for (uint32_t k = row_offsets_[r] + 1; k < row_offsets_[r + 1]; ++k) {
+      if (columns_[k] <= columns_[k - 1]) {
+        throw std::invalid_argument(
+            "CsrMatrix: row columns must be strictly ascending");
+      }
+    }
+  }
 }
 
 std::span<const uint32_t> CsrMatrix::row_columns(size_t r) const {
@@ -44,12 +55,12 @@ std::span<const double> CsrMatrix::row_values(size_t r) const {
 }
 
 double CsrMatrix::at(size_t r, size_t c) const {
-  auto cols = row_columns(r);
-  auto vals = row_values(r);
-  for (size_t i = 0; i < cols.size(); ++i) {
-    if (cols[i] == c) return vals[i];
-  }
-  return 0.0;
+  const auto cols = row_columns(r);
+  // Rows are strictly ascending (validated at construction), so the lookup
+  // is a binary search rather than a linear scan.
+  const auto it = std::lower_bound(cols.begin(), cols.end(), static_cast<uint32_t>(c));
+  if (it == cols.end() || *it != c) return 0.0;
+  return row_values(r)[static_cast<size_t>(it - cols.begin())];
 }
 
 void CsrMatrix::left_multiply(std::span<const double> x, std::span<double> y) const {
@@ -90,13 +101,24 @@ double CsrMatrix::row_sum(size_t r) const {
 }
 
 CsrMatrix CsrMatrix::transposed() const {
-  CsrBuilder builder(column_count_, row_count_);
+  // Counting-sort transpose: one pass to histogram the column in-degrees, one
+  // scatter pass in ascending row order — so every result row ends up with
+  // strictly ascending columns, with no per-row intermediate allocations.
+  std::vector<uint32_t> offsets(column_count_ + 1, 0);
+  for (const uint32_t c : columns_) ++offsets[c + 1];
+  for (size_t c = 0; c < column_count_; ++c) offsets[c + 1] += offsets[c];
+  std::vector<uint32_t> cols(columns_.size());
+  std::vector<double> vals(columns_.size());
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
   for (size_t r = 0; r < row_count_; ++r) {
-    const auto cols = row_columns(r);
-    const auto vals = row_values(r);
-    for (size_t i = 0; i < cols.size(); ++i) builder.add(cols[i], r, vals[i]);
+    for (uint32_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const uint32_t pos = cursor[columns_[k]]++;
+      cols[pos] = static_cast<uint32_t>(r);
+      vals[pos] = values_[k];
+    }
   }
-  return std::move(builder).build();
+  return CsrMatrix(column_count_, row_count_, std::move(offsets), std::move(cols),
+                   std::move(vals));
 }
 
 std::string CsrMatrix::to_dense_string(int precision) const {

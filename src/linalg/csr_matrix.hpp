@@ -24,7 +24,8 @@ class CsrMatrix {
  public:
   CsrMatrix() = default;
 
-  /// Build from per-row entry lists. `columns` entries must be < column_count.
+  /// Build from per-row entry lists. `columns` entries must be < column_count
+  /// and strictly ascending within each row (both validated).
   CsrMatrix(size_t row_count, size_t column_count,
             std::vector<uint32_t> row_offsets, std::vector<uint32_t> columns,
             std::vector<double> values);
@@ -33,11 +34,11 @@ class CsrMatrix {
   size_t cols() const { return column_count_; }
   size_t nonzeros() const { return columns_.size(); }
 
-  /// Entries of row `r` as a span (columns ascending if built via CsrBuilder).
+  /// Entries of row `r` as a span (columns strictly ascending).
   std::span<const uint32_t> row_columns(size_t r) const;
   std::span<const double> row_values(size_t r) const;
 
-  /// Value at (r, c); zero when no entry exists. Linear scan of the row.
+  /// Value at (r, c); zero when no entry exists. Binary search of the row.
   double at(size_t r, size_t c) const;
 
   /// y = x * M (left multiplication, row vector x of length rows()).

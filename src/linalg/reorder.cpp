@@ -1,0 +1,131 @@
+#include "linalg/reorder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/coloring.hpp"
+
+namespace autosec::linalg {
+
+std::string_view reorder_token(StateReorder reorder) {
+  switch (reorder) {
+    case StateReorder::kAuto: return "auto";
+    case StateReorder::kOff: return "off";
+    case StateReorder::kRcm: return "rcm";
+  }
+  return "auto";
+}
+
+std::optional<StateReorder> parse_reorder_token(std::string_view text) {
+  if (text == "auto") return StateReorder::kAuto;
+  if (text == "off") return StateReorder::kOff;
+  if (text == "rcm") return StateReorder::kRcm;
+  return std::nullopt;
+}
+
+StateReorder resolve_reorder(StateReorder requested, size_t state_count) {
+  if (requested != StateReorder::kAuto) return requested;
+  // Below this the whole x vector sits in L1/L2 and relabeling only costs
+  // permutation copies; above it the gather window starts missing cache.
+  return state_count >= 4096 ? StateReorder::kRcm : StateReorder::kOff;
+}
+
+namespace {
+
+/// One BFS over the adjacency from `start`, visiting each level's nodes in
+/// the deterministic queue order and each node's unvisited neighbors by
+/// ascending degree (ties by index). Appends the visited nodes to `out` and
+/// returns the index (into `out`) where the last BFS level begins.
+size_t bfs_component(const SymmetricAdjacency& adjacency,
+                     const std::vector<uint32_t>& degree, uint32_t start,
+                     std::vector<uint8_t>& visited, std::vector<uint32_t>& out) {
+  const size_t component_begin = out.size();
+  visited[start] = 1;
+  out.push_back(start);
+  size_t level_begin = component_begin;
+  std::vector<uint32_t> buffer;
+  while (true) {
+    const size_t level_end = out.size();
+    for (size_t q = level_begin; q < level_end; ++q) {
+      const uint32_t node = out[q];
+      buffer.clear();
+      for (uint32_t k = adjacency.offsets[node]; k < adjacency.offsets[node + 1]; ++k) {
+        const uint32_t neighbor = adjacency.neighbors[k];
+        if (!visited[neighbor]) {
+          visited[neighbor] = 1;
+          buffer.push_back(neighbor);
+        }
+      }
+      std::sort(buffer.begin(), buffer.end(), [&](uint32_t a, uint32_t b) {
+        return degree[a] != degree[b] ? degree[a] < degree[b] : a < b;
+      });
+      out.insert(out.end(), buffer.begin(), buffer.end());
+    }
+    if (out.size() == level_end) return level_begin;
+    level_begin = level_end;
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> rcm_permutation(const CsrMatrix& matrix) {
+  const size_t n = matrix.rows();
+  const SymmetricAdjacency adjacency = symmetric_adjacency(matrix);
+  std::vector<uint32_t> degree(n, 0);
+  for (size_t r = 0; r < n; ++r) {
+    degree[r] = adjacency.offsets[r + 1] - adjacency.offsets[r];
+  }
+
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  for (uint32_t seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    // Pseudo-peripheral start: BFS from the component's min-degree seed, take
+    // a min-degree node of the last level, and BFS again from there.
+    std::vector<uint32_t> probe;
+    std::vector<uint8_t> probe_visited = visited;
+    const size_t last_level = bfs_component(adjacency, degree, seed, probe_visited, probe);
+    uint32_t start = probe[last_level];
+    for (size_t q = last_level; q < probe.size(); ++q) {
+      if (degree[probe[q]] < degree[start]) start = probe[q];
+    }
+    bfs_component(adjacency, degree, start, visited, order);
+  }
+  // Reverse Cuthill-McKee: the reversal is what turns the level sets into a
+  // small-bandwidth band.
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<uint32_t> invert_permutation(std::span<const uint32_t> perm) {
+  std::vector<uint32_t> inverse(perm.size(), 0);
+  for (size_t i = 0; i < perm.size(); ++i) inverse[perm[i]] = static_cast<uint32_t>(i);
+  return inverse;
+}
+
+CsrMatrix permuted_transposed(const CsrMatrix& matrix,
+                              std::span<const uint32_t> inverse) {
+  if (inverse.empty()) return matrix.transposed();
+  if (inverse.size() != matrix.rows() || matrix.rows() != matrix.cols()) {
+    throw std::invalid_argument("permuted_transposed: permutation size mismatch");
+  }
+  CsrBuilder builder(matrix.cols(), matrix.rows());
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    const auto cols = matrix.row_columns(r);
+    const auto vals = matrix.row_values(r);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      builder.add(inverse[cols[k]], inverse[r], vals[k]);
+    }
+  }
+  return std::move(builder).build();
+}
+
+std::vector<double> permute_vector(std::span<const double> v,
+                                   std::span<const uint32_t> perm) {
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < perm.size(); ++i) out[i] = v[perm[i]];
+  return out;
+}
+
+}  // namespace autosec::linalg

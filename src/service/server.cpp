@@ -106,6 +106,15 @@ std::string make_key(const char* kind, uint64_t digest, const Request& request) 
   // a cached session across engine choices.
   key += ";engine=";
   key += symbolic::engine_token(request.engine);
+  // Kernel knobs are baked into the session's solver configuration (the
+  // reorder even changes the cached uniformized matrix), so they key too.
+  key += ";layout=";
+  key += linalg::layout_token(request.layout);
+  key += ";gs=";
+  key += linalg::gs_ordering_token(request.gs_ordering);
+  key += ";reorder=";
+  key += linalg::reorder_token(request.reorder);
+  if (!request.steady_state_detection) key += ";ssd=off";
   if (request.op == Op::kAnalyze) {
     key += ";msgs=";
     for (const std::string& message : request.messages) {
@@ -161,6 +170,10 @@ automotive::AnalysisOptions engine_options(
   options.horizon_years = request.horizon_years;
   options.constant_overrides = request.overrides;
   if (request.solver) options.steady_state.solver.method = *request.solver;
+  options.steady_state.solver.ordering = request.gs_ordering;
+  options.transient.layout = request.layout;
+  options.transient.reorder = request.reorder;
+  options.transient.steady_state_detection = request.steady_state_detection;
   options.explore.engine = request.engine;
   options.cancel = std::move(token);
   options.budget = make_budget(request);

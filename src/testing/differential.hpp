@@ -7,6 +7,10 @@
 //               (testing/oracle.hpp), on chains small enough to cube;
 //   solvers     Krylov (BiCGSTAB) vs pure Gauss-Seidel on every unbounded
 //               property (reachability, steady-state, reachability reward);
+//   kernels     the blocked SELL-C-σ transient kernel vs the classic CSR
+//               kernel (bit-exact by contract), multicolor Gauss-Seidel vs
+//               the direct serial sweep (solver tolerance), and RCM-reordered
+//               solves vs natural state order (oracle tolerance);
 //   lumping     lumped-quotient checking vs the full-space engine;
 //   parallel    the whole property batch at 1 thread vs N threads, required
 //               to agree bit-for-bit (the engine's determinism contract);
@@ -53,6 +57,7 @@ struct DifferentialOptions {
 
   bool check_oracle = true;
   bool check_solvers = true;
+  bool check_kernels = true;
   bool check_lumping = true;
   bool check_parallel = true;
   bool check_roundtrip = true;

@@ -2,12 +2,17 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <new>
 #include <sstream>
 
+#include "ctmc/transient.hpp"
 #include "linalg/csr_matrix.hpp"
 #include "linalg/gauss_seidel.hpp"
 #include "linalg/power_iteration.hpp"
 #include "service/server.hpp"
+#include "util/budget.hpp"
+#include "util/failure.hpp"
 #include "util/fault.hpp"
 #include "util/json.hpp"
 
@@ -183,6 +188,42 @@ FaultCheckResult check_kernel_diverged(
   return result;
 }
 
+/// Budget-ordering check: with a tiny byte ceiling AND the allocation fault
+/// armed, uniformize must unwind as the typed budget failure. The fault site
+/// is polled just before the build allocates, so a bad_alloc here would mean
+/// the budget was charged too late — after the matrices were already built.
+FaultCheckResult check_uniformize_budget_order() {
+  FaultCheckResult result;
+  result.site = "uniformize.alloc";
+  result.expectation = "memory budget trips before the allocation fault fires";
+
+  linalg::CsrBuilder builder(2, 2);
+  builder.add(0, 1, 1.0);
+  builder.add(1, 0, 2.0);
+  const ctmc::Ctmc chain{std::move(builder).build()};
+  ctmc::TransientOptions options;
+  options.budget = std::make_shared<util::ResourceBudget>(0, 64);
+
+  util::fault::disarm_all();
+  util::fault::arm_site("uniformize.alloc");
+  try {
+    ctmc::uniformize(chain, options);
+    result.detail = "uniformize succeeded despite the ceiling and armed fault";
+  } catch (const util::EngineFailure& failure) {
+    if (failure.code() == util::FailureCode::kMemoryBudgetExceeded) {
+      result.passed = true;
+    } else {
+      result.detail = std::string("unexpected typed failure '") +
+                      failure.code_name() + "'";
+    }
+  } catch (const std::bad_alloc&) {
+    result.detail = "the allocation fault fired first — the budget charge "
+                    "must precede the build";
+  }
+  util::fault::disarm_all();
+  return result;
+}
+
 }  // namespace
 
 std::string FaultCheckReport::summary() const {
@@ -210,6 +251,9 @@ FaultCheckReport run_fault_checks() {
       check_serve_fault(arch_path, "explore.alloc", "oom"));
   report.results.push_back(
       check_serve_fault(arch_path, "uniformize.alloc", "oom"));
+  // Ordering proof for the same site: a tripped memory budget wins over the
+  // armed allocation fault, because uniformize charges its peak up front.
+  report.results.push_back(check_uniformize_budget_order());
   report.results.push_back(
       check_serve_fault(arch_path, "serve.dispatch.alloc", "oom"));
   report.results.push_back(

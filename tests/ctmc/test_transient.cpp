@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "ctmc_test_helpers.hpp"
 #include "linalg/vector_ops.hpp"
+#include "util/failure.hpp"
+#include "util/metrics.hpp"
 
 namespace autosec::ctmc {
 namespace {
@@ -143,6 +147,90 @@ TEST(BoundedReachability, MaskSizeChecked) {
   const Ctmc chain = two_state(1.0, 1.0);
   EXPECT_THROW(bounded_reachability(chain, start_in(2, 0), {true}, {true, false}, 1.0),
                std::invalid_argument);
+}
+
+TEST(Transient, NonFiniteInitialMassIsATypedNumericalError) {
+  // Regression: `p < 0.0` is false for NaN, so NaN/Inf used to sail through
+  // the input check and poison the solve. Now rejected up front, typed.
+  const Ctmc chain = two_state(1.0, 1.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double bad : {nan, inf, -inf}) {
+    try {
+      transient_distribution(chain, {bad, 0.5}, 1.0);
+      FAIL() << "non-finite probability accepted: " << bad;
+    } catch (const util::EngineFailure& failure) {
+      EXPECT_EQ(failure.code(), util::FailureCode::kNumericalError);
+    }
+  }
+}
+
+TEST(Transient, BlockedLayoutIsBitIdenticalToCsr) {
+  const Ctmc chain = testing::figure3_chain();
+  TransientOptions csr;
+  csr.layout = linalg::MatrixLayout::kCsr;
+  TransientOptions blocked;
+  blocked.layout = linalg::MatrixLayout::kBlocked;
+  for (double t : {0.05, 0.5, 2.0}) {
+    const auto a = transient_distribution(chain, start_in(3, 0), t, csr);
+    const auto b = transient_distribution(chain, start_in(3, 0), t, blocked);
+    for (size_t i = 0; i < 3; ++i) EXPECT_EQ(a[i], b[i]) << "t=" << t;
+  }
+}
+
+TEST(Transient, RcmReorderAgreesWithNaturalOrder) {
+  const Ctmc chain = testing::figure3_chain();
+  TransientOptions natural;
+  natural.reorder = linalg::StateReorder::kOff;
+  TransientOptions rcm;
+  rcm.reorder = linalg::StateReorder::kRcm;
+  for (double t : {0.05, 0.5, 2.0}) {
+    const auto a = transient_distribution(chain, start_in(3, 0), t, natural);
+    const auto b = transient_distribution(chain, start_in(3, 0), t, rcm);
+    // Documented probability-scale agreement (not bit-exact: the permuted
+    // rows sum in a different order).
+    for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-12) << "t=" << t;
+  }
+}
+
+TEST(Transient, SteadyStateDetectionTruncatesLongHorizons) {
+  // The figure-3 chain mixes in ~1 time unit; at t=50 the Poisson horizon is
+  // thousands of steps while the iterate stops moving after a few hundred.
+  const Ctmc chain = testing::figure3_chain();
+  TransientOptions detect;
+  detect.steady_state_detection = true;
+  TransientOptions exhaustive;
+  exhaustive.steady_state_detection = false;
+
+  util::metrics::registry().set_enabled(true);
+  const uint64_t products_before =
+      util::metrics::registry().counter_value("ctmc.matrix_vector_products");
+  const auto truncated = transient_distribution(chain, start_in(3, 2), 50.0, detect);
+  const uint64_t products_truncated =
+      util::metrics::registry().counter_value("ctmc.matrix_vector_products") -
+      products_before;
+  const auto full = transient_distribution(chain, start_in(3, 2), 50.0, exhaustive);
+  const uint64_t products_full =
+      util::metrics::registry().counter_value("ctmc.matrix_vector_products") -
+      products_before - products_truncated;
+  util::metrics::registry().set_enabled(false);
+
+  // Same answer within the detection bound, for far fewer products.
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(truncated[i], full[i], 1e-9);
+  EXPECT_LT(products_truncated, products_full / 2);
+}
+
+TEST(Transient, DetectionKeepsShortHorizonsExact) {
+  // On a short horizon the criterion never fires — results stay bit-identical
+  // to the exhaustive sum.
+  const Ctmc chain = two_state(2.0, 6.0);
+  TransientOptions detect;
+  TransientOptions exhaustive;
+  exhaustive.steady_state_detection = false;
+  const auto a = transient_distribution(chain, {1.0, 0.0}, 0.2, detect);
+  const auto b = transient_distribution(chain, {1.0, 0.0}, 0.2, exhaustive);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[1], b[1]);
 }
 
 class TransientGrid : public ::testing::TestWithParam<std::tuple<double, double>> {};

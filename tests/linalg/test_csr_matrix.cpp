@@ -122,6 +122,26 @@ TEST(CsrMatrix, InvalidConstructionRejected) {
   EXPECT_THROW(CsrMatrix(1, 1, {0, 1}, {5}, {1.0}), std::invalid_argument);  // column
 }
 
+TEST(CsrMatrix, UnsortedOrDuplicateRowColumnsRejected) {
+  // Raw construction with unsorted columns: at()'s binary search would give
+  // wrong answers and the kernel sum order would be unspecified.
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {2, 0}, {1.0, 2.0}), std::invalid_argument);
+  // Duplicate columns within a row are rejected too (strictly ascending).
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {1, 1}, {1.0, 2.0}), std::invalid_argument);
+  // Sorted rows construct fine.
+  const CsrMatrix ok(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ok.at(0, 2), 2.0);
+}
+
+TEST(CsrMatrix, AtBinarySearchOnLongRow) {
+  CsrBuilder builder(1, 100);
+  for (size_t c = 0; c < 100; c += 3) builder.add(0, c, static_cast<double>(c));
+  const CsrMatrix m = std::move(builder).build();
+  for (size_t c = 0; c < 100; ++c) {
+    EXPECT_DOUBLE_EQ(m.at(0, c), c % 3 == 0 ? static_cast<double>(c) : 0.0);
+  }
+}
+
 TEST(CsrMatrix, DenseStringRendersAllEntries) {
   CsrBuilder builder(2, 2);
   builder.add(0, 0, 1.0);

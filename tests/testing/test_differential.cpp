@@ -30,7 +30,9 @@ TEST(Differential, AllCheckFamiliesRun) {
   for (const char* family :
        {"oracle.transient", "oracle.steady_state", "oracle.cumulative_reward",
         "oracle.instantaneous_reward", "oracle.bounded_reachability",
-        "solver.krylov_vs_gauss_seidel", "lumping.quotient_vs_full",
+        "solver.krylov_vs_gauss_seidel", "solver.blocked_vs_csr",
+        "solver.colored_vs_direct_gs", "solver.rcm_vs_natural",
+        "lumping.quotient_vs_full",
         "parallel.determinism", "roundtrip.model_text_fixpoint",
         "roundtrip.model_state_space", "roundtrip.arch_text_fixpoint",
         "engine.compact_vs_classic", "engine.reduced_vs_full"}) {
@@ -53,6 +55,7 @@ TEST(Differential, FamiliesCanBeDisabled) {
   options.iterations = 2;
   options.check_oracle = false;
   options.check_solvers = false;
+  options.check_kernels = false;
   options.check_lumping = false;
   options.check_parallel = false;
   options.check_engine = false;

@@ -23,8 +23,8 @@ void print_usage(std::ostream& os) {
         "  --tolerance X      engine-vs-oracle tolerance (default 1e-8)\n"
         "  --max-states N     dense-oracle state limit (default 200)\n"
         "  --threads N        thread count of the parallel leg (default 4)\n"
-        "  --skip FAMILY      disable a family: oracle, solvers, lumping,\n"
-        "                     parallel, roundtrip, engine (repeatable)\n"
+        "  --skip FAMILY      disable a family: oracle, solvers, kernels,\n"
+        "                     lumping, parallel, roundtrip, engine (repeatable)\n"
         "  --faults           run the fault-injection checks instead: arm every\n"
         "                     known fault site and prove each yields a structured\n"
         "                     error (and serve keeps serving)\n"
@@ -75,6 +75,8 @@ int main(int argc, char** argv) {
         options.check_oracle = false;
       } else if (family == "solvers") {
         options.check_solvers = false;
+      } else if (family == "kernels") {
+        options.check_kernels = false;
       } else if (family == "lumping") {
         options.check_lumping = false;
       } else if (family == "parallel") {
@@ -91,6 +93,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--list") {
       std::cout << "oracle     transient/steady/reward/reachability vs dense expm oracle\n"
                    "solvers    Krylov-first vs pure Gauss-Seidel fixpoint solves\n"
+                   "kernels    blocked SELL-C-sigma vs CSR transient kernel (bit-exact),\n"
+                   "           multicolor vs direct Gauss-Seidel sweeps, and\n"
+                   "           RCM-reordered vs natural-order solves\n"
                    "lumping    lumped-quotient checking vs the full state space\n"
                    "parallel   1-thread vs N-thread batch solves (bit-exact)\n"
                    "roundtrip  writer -> parser identity for models and .arch files\n"

@@ -17,7 +17,11 @@ committed baselines in bench/baselines/:
   * per-state storage (gauge ``explore.bytes_per_state``, recorded by the
     engine session for the last explored space) must not grow by more than
     --max-bytes-per-state-growth (default 1.1) over the baseline — the guard
-    that keeps the compact exploration engine compact.
+    that keeps the compact exploration engine compact;
+  * solve-kernel throughput (gauge ``solve.mat_vec_per_sec``, matrix-vector
+    products over the solve span) must not fall below
+    --min-throughput-fraction (default 0.75) of the baseline — the guard
+    that keeps the SELL/colored-GS kernel work from quietly regressing.
 
 Memory gates are skipped for baselines that predate the gauge (refresh the
 baseline to arm them).
@@ -38,6 +42,27 @@ AGREEMENT_PREFIX = "bench.agreement_"
 FAULT_OVERHEAD_GAUGE = "bench.fault_overhead_fraction"
 RSS_GAUGE = "bench.peak_rss_mb"
 BYTES_PER_STATE_GAUGE = "explore.bytes_per_state"
+THROUGHPUT_GAUGE = "solve.mat_vec_per_sec"
+
+
+def check_throughput_floor(name, baseline, current, fraction, failures):
+    """Gate solve throughput against a fraction of the baseline (higher is
+    better, so this is a floor, not a growth ceiling)."""
+    base_value = baseline.get(THROUGHPUT_GAUGE)
+    cur_value = current.get(THROUGHPUT_GAUGE)
+    if base_value is None or base_value <= 0:
+        return  # baseline predates the gauge: nothing to compare against
+    if cur_value is None:
+        failures.append(f"{name}: {THROUGHPUT_GAUGE} gauge missing from current run")
+        return
+    ratio = cur_value / base_value
+    status = "ok" if ratio >= fraction else "REGRESSION"
+    print(f"{name}: {THROUGHPUT_GAUGE} {cur_value:.0f} vs baseline "
+          f"{base_value:.0f} ({ratio:.2f}x) {status}")
+    if ratio < fraction:
+        failures.append(
+            f"{name}: {THROUGHPUT_GAUGE} {cur_value:.0f} is only {ratio:.2f}x "
+            f"the baseline {base_value:.0f} (floor {fraction:.2f}x)")
 
 
 def check_growth_ratio(name, gauge, baseline, current, limit, failures):
@@ -84,6 +109,9 @@ def main():
     parser.add_argument("--max-bytes-per-state-growth", type=float, default=1.1,
                         help="allowed explore.bytes_per_state ratio "
                              "current/baseline")
+    parser.add_argument("--min-throughput-fraction", type=float, default=0.75,
+                        help="floor on solve.mat_vec_per_sec as a fraction of "
+                             "the baseline")
     args = parser.parse_args()
 
     baseline_dir = pathlib.Path(args.baseline_dir)
@@ -132,6 +160,8 @@ def main():
                            args.max_rss_growth, failures)
         check_growth_ratio(baseline_path.name, BYTES_PER_STATE_GAUGE, baseline,
                            current, args.max_bytes_per_state_growth, failures)
+        check_throughput_floor(baseline_path.name, baseline, current,
+                               args.min_throughput_fraction, failures)
 
         fault_overhead = current.get(FAULT_OVERHEAD_GAUGE)
         if fault_overhead is not None:
