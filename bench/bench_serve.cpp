@@ -3,6 +3,7 @@
 // wall time per architecture — plus the served-vs-one-shot numeric agreement
 // that tools/check_bench_regression.py gates on (bench.agreement_*).
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -119,5 +120,66 @@ int main() {
   metrics.gauge("bench.agreement_serve_analyze", agreement);
   metrics.gauge("serve.cache_hits", static_cast<double>(cache.hits));
   metrics.gauge("serve.cache_misses", static_cast<double>(cache.misses));
+
+  // == Disk-cache warm restart: a new Server over the same --disk-cache dir
+  // answers the whole batch from disk, with zero engine work, and the
+  // replayed payloads agree bit-for-bit with the computed ones.
+  std::cout << "\n== autosec serve: disk-cache warm restart ==\n\n";
+  const std::string cache_dir =
+      std::filesystem::temp_directory_path() / "autosec_bench_disk_cache";
+  std::filesystem::remove_all(cache_dir);
+  service::ServerOptions disk_options;
+  disk_options.disk_cache_dir = cache_dir;
+
+  std::vector<std::string> cold_results;
+  double populate_seconds = 0.0;
+  {
+    service::Server first(disk_options);
+    util::Stopwatch populate_watch;
+    for (const std::string& path : archs) {
+      const JsonValue cold = handle(
+          first, "{\"op\": \"analyze\", \"architecture\": \"" + path + "\"}");
+      if (!cold.bool_or("ok", false)) {
+        std::cerr << "bench_serve: disk-cache populate failed: " << cold.dump()
+                  << "\n";
+        return 1;
+      }
+      cold_results.push_back(cold.find("result")->dump());
+    }
+    populate_seconds = populate_watch.elapsed_seconds();
+  }  // the first server is gone; only the directory survives the "restart"
+
+  service::Server restarted(disk_options);
+  util::Stopwatch replay_watch;
+  double disk_agreement = 0.0;
+  for (size_t i = 0; i < archs.size(); ++i) {
+    const JsonValue replayed = handle(
+        restarted,
+        "{\"op\": \"analyze\", \"architecture\": \"" + archs[i] + "\"}");
+    if (replayed.find("metrics")->string_or("disk_cache", "") != "hit" ||
+        replayed.find("metrics")->int_or("explores", -1) != 0) {
+      std::cerr << "bench_serve: restart did not replay " << archs[i]
+                << " from disk: " << replayed.find("metrics")->dump() << "\n";
+      return 1;
+    }
+    disk_agreement = std::max(
+        disk_agreement,
+        replayed.find("result")->dump() == cold_results[i] ? 0.0 : 1.0);
+  }
+  const double replay_seconds = replay_watch.elapsed_seconds();
+  std::filesystem::remove_all(cache_dir);
+
+  std::cout << "populate (cold engine): " << util::format_sig(populate_seconds, 3)
+            << " s, warm replay from disk: "
+            << util::format_sig(replay_seconds, 3) << " s ("
+            << util::format_sig(
+                   replay_seconds > 0 ? populate_seconds / replay_seconds : 0.0,
+                   3)
+            << "x)\n";
+  metrics.gauge("serve.disk_populate_seconds", populate_seconds);
+  metrics.gauge("serve.disk_warm_seconds", replay_seconds);
+  // 0 when every replayed payload is byte-identical to its computed
+  // original; gated at <=1e-8 like every bench.agreement_* gauge.
+  metrics.gauge("bench.agreement_serve_disk", disk_agreement);
   return 0;
 }

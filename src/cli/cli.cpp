@@ -605,9 +605,14 @@ void print_help(std::ostream& out) {
          "  sweep <file.arch> --message M --constant NAME --from A --to B\n"
          "        [--points N] [--linear] [--csv]\n"
          "  assess cvss <AV:x/AC:y/Au:z>   |   assess asil <QM|A|B|C|D>\n"
-         "  serve [--input FILE | --socket PATH] [--cache-capacity N]\n"
+         "  serve [--input FILE | --socket PATH | --tcp [HOST:]PORT]\n"
+         "        [--workers N] [--max-connections N] [--max-inflight N]\n"
+         "        [--max-load-mb N] [--disk-cache DIR] [--cache-capacity N]\n"
          "        [--default-timeout-ms N] [--max-batch N] [--threads N]\n"
-         "        [--deterministic]   (NDJSON batch service, docs/serving.md)\n"
+         "        [--deterministic]   (NDJSON batch service, docs/serving.md;\n"
+         "        --workers pre-forks digest-sharded engine workers,\n"
+         "        --max-inflight/--max-load-mb shed with a structured\n"
+         "        overloaded error, --disk-cache makes restarts start warm)\n"
          "  help\n"
          "\n"
          "--threads N sets the engine's worker-thread count for every command\n"

@@ -1,0 +1,119 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+
+namespace autosec::service {
+
+namespace {
+
+constexpr size_t kMiB = size_t{1} << 20;
+/// Reservation floor: even a tiny request holds real buffers.
+constexpr size_t kMinReservation = kMiB;
+constexpr int64_t kMinRetryMs = 50;
+constexpr int64_t kMaxRetryMs = 10'000;
+constexpr int64_t kDeterministicRetryMs = 100;
+/// EWMA weight of the newest observation — heavy enough to adapt within a
+/// few requests, light enough to ride out one outlier.
+constexpr double kAlpha = 0.3;
+
+}  // namespace
+
+Ticket& Ticket::operator=(Ticket&& other) noexcept {
+  if (this != &other) {
+    release();
+    controller_ = other.controller_;
+    reserved_ = other.reserved_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+void Ticket::observe(double wall_ms, size_t peak_bytes) {
+  if (controller_ != nullptr) controller_->observe(wall_ms, peak_bytes);
+}
+
+void Ticket::release() {
+  if (controller_ != nullptr) {
+    controller_->finish(reserved_);
+    controller_ = nullptr;
+  }
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options), load_(0, options.max_load_mb * kMiB) {}
+
+size_t AdmissionController::reservation_estimate() const {
+  // Called under mutex_. Until the first request completes there is nothing
+  // to estimate from; start at the floor so a cold server admits eagerly.
+  const size_t ceiling = options_.max_load_mb * kMiB;
+  size_t estimate = kMinReservation;
+  if (ewma_peak_bytes_ > static_cast<double>(estimate)) {
+    estimate = static_cast<size_t>(ewma_peak_bytes_);
+  }
+  // Never estimate above the whole ceiling or nothing would ever be admitted.
+  if (ceiling != 0) estimate = std::min(estimate, ceiling);
+  return estimate;
+}
+
+int64_t AdmissionController::retry_estimate() const {
+  // Called under mutex_.
+  if (options_.deterministic) return kDeterministicRetryMs;
+  int64_t retry = static_cast<int64_t>(ewma_wall_ms_);
+  return std::clamp(retry, kMinRetryMs, kMaxRetryMs);
+}
+
+std::optional<Ticket> AdmissionController::try_admit(int64_t* retry_after_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.max_inflight != 0 && inflight_ >= options_.max_inflight) {
+    ++shed_;
+    if (retry_after_ms != nullptr) *retry_after_ms = retry_estimate();
+    return std::nullopt;
+  }
+  size_t reserved = 0;
+  if (options_.max_load_mb != 0) {
+    reserved = reservation_estimate();
+    if (!load_.try_charge_bytes(reserved)) {
+      ++shed_;
+      if (retry_after_ms != nullptr) *retry_after_ms = retry_estimate();
+      return std::nullopt;
+    }
+  }
+  ++inflight_;
+  ++admitted_;
+  return Ticket(this, reserved);
+}
+
+void AdmissionController::finish(size_t reserved) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (reserved != 0) load_.release_bytes(reserved);
+  if (inflight_ > 0) --inflight_;
+}
+
+void AdmissionController::observe(double wall_ms, size_t peak_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wall_ms > 0) {
+    ewma_wall_ms_ = ewma_wall_ms_ == 0
+                        ? wall_ms
+                        : (1 - kAlpha) * ewma_wall_ms_ + kAlpha * wall_ms;
+  }
+  if (peak_bytes > 0) {
+    const double observed = static_cast<double>(peak_bytes);
+    ewma_peak_bytes_ = ewma_peak_bytes_ == 0
+                           ? observed
+                           : (1 - kAlpha) * ewma_peak_bytes_ + kAlpha * observed;
+  }
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.admitted = admitted_;
+  stats.shed = shed_;
+  stats.inflight = inflight_;
+  stats.reserved_bytes = load_.charged_bytes();
+  stats.max_inflight = options_.max_inflight;
+  stats.max_load_mb = options_.max_load_mb;
+  return stats;
+}
+
+}  // namespace autosec::service

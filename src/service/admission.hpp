@@ -1,0 +1,102 @@
+// Admission control for `autosec serve`: decide at the door, never abort
+// mid-flight. Each request asks for a ticket before any engine work starts;
+// when the server is saturated — too many requests in flight, or the
+// estimated memory of one more request would cross the load ceiling — the
+// request is shed with a structured `overloaded` error carrying
+// retry_after_ms, and the requests already admitted run to completion
+// untouched.
+//
+// Memory gating reuses util::ResourceBudget: each admitted request reserves
+// an estimated working-set size via try_charge_bytes (an EWMA of the peak
+// bytes observed on completed requests, so the estimate tracks the actual
+// workload), and releases it when its ticket is destroyed. retry_after_ms is
+// an EWMA of observed request wall time — "come back after roughly one
+// request's worth of work has drained" — clamped to [50ms, 10s], or a fixed
+// 100 in deterministic mode so golden tests stay byte-stable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "util/budget.hpp"
+
+namespace autosec::service {
+
+struct AdmissionOptions {
+  size_t max_inflight = 0;  ///< 0 = unlimited concurrent admitted requests
+  size_t max_load_mb = 0;   ///< 0 = no memory gate
+  bool deterministic = false;  ///< fixed retry_after_ms for golden output
+};
+
+class AdmissionController;
+
+/// RAII admission grant: releases the in-flight slot and the reserved bytes,
+/// and feeds the observed wall time / peak bytes back into the controller's
+/// estimates, when destroyed.
+class Ticket {
+ public:
+  Ticket() = default;
+  Ticket(Ticket&& other) noexcept
+      : controller_(other.controller_), reserved_(other.reserved_) {
+    other.controller_ = nullptr;
+  }
+  Ticket& operator=(Ticket&& other) noexcept;
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+  ~Ticket() { release(); }
+
+  /// Report what the request actually used, before destruction, so the
+  /// controller's estimates learn from it. Optional — a ticket destroyed
+  /// without observations still releases its slot and reservation.
+  void observe(double wall_ms, size_t peak_bytes);
+
+ private:
+  friend class AdmissionController;
+  Ticket(AdmissionController* controller, size_t reserved)
+      : controller_(controller), reserved_(reserved) {}
+  void release();
+
+  AdmissionController* controller_ = nullptr;
+  size_t reserved_ = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  /// Try to admit one request. On success returns a ticket (keep it alive for
+  /// the request's duration). On shed returns nullopt and fills
+  /// `*retry_after_ms` with the suggested client backoff.
+  std::optional<Ticket> try_admit(int64_t* retry_after_ms);
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    size_t inflight = 0;
+    size_t reserved_bytes = 0;
+    size_t max_inflight = 0;
+    size_t max_load_mb = 0;
+  };
+  Stats stats() const;
+
+ private:
+  friend class Ticket;
+  void finish(size_t reserved);
+  void observe(double wall_ms, size_t peak_bytes);
+  size_t reservation_estimate() const;
+  int64_t retry_estimate() const;
+
+  AdmissionOptions options_;
+  util::ResourceBudget load_;  ///< byte gate (states dimension unused)
+
+  mutable std::mutex mutex_;
+  size_t inflight_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+  double ewma_peak_bytes_ = 0;  ///< 0 until the first observation
+  double ewma_wall_ms_ = 0;
+};
+
+}  // namespace autosec::service

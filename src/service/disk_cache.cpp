@@ -1,0 +1,112 @@
+#include "service/disk_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "service/session_cache.hpp"
+
+namespace autosec::service {
+
+namespace {
+
+constexpr const char* kHeader = "autosec-disk-cache-v1";
+
+std::string hex64(uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buffer);
+}
+
+}  // namespace
+
+DiskCache::DiskCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error("disk cache: cannot create directory '" + dir_ +
+                             "'" + (ec ? ": " + ec.message() : ""));
+  }
+}
+
+std::string DiskCache::entry_path(const std::string& key) const {
+  // Two independent hashes: 128 bits of name, so an accidental filename
+  // collision needs simultaneous collisions in both. The key stored inside
+  // the file closes the loophole entirely.
+  const uint64_t primary = fnv1a64(key);
+  const uint64_t secondary = fnv1a64(key + "\x1e""autosec-disk-cache-salt");
+  return dir_ + "/" + hex64(primary) + hex64(secondary) + ".entry";
+}
+
+std::optional<std::string> DiskCache::lookup(const std::string& key) {
+  if (key.find('\n') != std::string::npos) {
+    // A key with a newline cannot round-trip through the line-oriented file
+    // format; such requests are simply never disk-cached.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const std::string path = entry_path(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::string header;
+  std::string stored_key;
+  std::string payload;
+  const bool shape_ok = static_cast<bool>(std::getline(in, header)) &&
+                        static_cast<bool>(std::getline(in, stored_key)) &&
+                        static_cast<bool>(std::getline(in, payload));
+  if (!shape_ok || header != kHeader || stored_key != key || payload.empty()) {
+    // Truncated write, foreign file, or a (vanishingly unlikely) hash
+    // collision: drop the entry and answer cold.
+    in.close();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return payload;
+}
+
+void DiskCache::store(const std::string& key, const std::string& payload) {
+  if (key.find('\n') != std::string::npos) return;      // would tear line 2
+  if (payload.find('\n') != std::string::npos) return;  // would tear line 3
+  const std::string path = entry_path(key);
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << kHeader << "\n" << key << "\n" << payload << "\n";
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(temp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::filesystem::remove(temp, ec);
+    return;
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+DiskCache::Stats DiskCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.stores = stores_.load(std::memory_order_relaxed);
+  stats.corrupt = corrupt_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace autosec::service

@@ -1,0 +1,65 @@
+// Persistent result cache for `autosec serve`: restarts start warm. Entries
+// are keyed by the full request identity the server computes (architecture
+// content digest + property + engine knobs + overrides), so a model edit or
+// a different question can never replay a stale answer — it simply hashes to
+// a different file.
+//
+// On-disk format (one file per entry, named by two independent 64-bit FNV-1a
+// hashes of the key):
+//
+//   line 1: "autosec-disk-cache-v1"          format header
+//   line 2: <the full key>                   collision check on read
+//   line 3: <payload>                        opaque to the cache (JSON)
+//
+// Writes go to a temp file in the same directory and rename() into place, so
+// a crash mid-store leaves either the old entry or none — never a torn one.
+// Any read that fails validation (bad header, key mismatch, missing payload)
+// unlinks the file and reports a miss: corruption degrades to a cold entry,
+// never to a wrong answer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace autosec::service {
+
+class DiskCache {
+ public:
+  /// Opens (creating if needed) the cache directory. Throws std::runtime_error
+  /// when the directory cannot be created.
+  explicit DiskCache(std::string dir);
+
+  DiskCache(const DiskCache&) = delete;
+  DiskCache& operator=(const DiskCache&) = delete;
+
+  /// The payload stored for `key`, or nullopt on miss (including corrupt or
+  /// colliding entries, which are removed).
+  std::optional<std::string> lookup(const std::string& key);
+
+  /// Persist `payload` under `key` (atomic replace; best-effort — a failed
+  /// store leaves the cache cold for that key, it does not throw).
+  void store(const std::string& key, const std::string& payload);
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t stores = 0;
+    size_t corrupt = 0;  ///< entries discarded by validation
+  };
+  Stats stats() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string entry_path(const std::string& key) const;
+
+  std::string dir_;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
+  std::atomic<size_t> stores_{0};
+  std::atomic<size_t> corrupt_{0};
+};
+
+}  // namespace autosec::service

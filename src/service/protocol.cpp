@@ -275,4 +275,35 @@ ParseResult parse_request(std::string_view line) {
   return result;
 }
 
+std::string synthetic_envelope(std::string_view id, std::string_view op_text,
+                               const ErrorInfo& error) {
+  util::JsonWriter writer(0);
+  writer.begin_object();
+  writer.key("schema_version").value(kSchemaVersion);
+  writer.key("id").value(id);
+  writer.key("op").value(op_text);
+  writer.key("ok").value(false);
+  writer.key("error");
+  writer.begin_object();
+  writer.key("code").value(error.code);
+  writer.key("message").value(error.message);
+  if (!error.stage.empty()) writer.key("stage").value(error.stage);
+  if (error.retry_after_ms) {
+    writer.key("retry_after_ms").value(*error.retry_after_ms);
+  }
+  writer.end_object();
+  writer.key("metrics");
+  writer.begin_object();
+  writer.key("wall_seconds").value(0.0);
+  writer.key("session_cache").value("none");
+  writer.key("disk_cache").value("none");
+  writer.key("explores").value(static_cast<uint64_t>(0));
+  writer.key("states").value(static_cast<uint64_t>(0));
+  writer.key("solver_fallbacks").value(static_cast<uint64_t>(0));
+  writer.key("engine").value("none");
+  writer.end_object();
+  writer.end_object();
+  return writer.take();
+}
+
 }  // namespace autosec::service

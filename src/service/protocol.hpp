@@ -12,6 +12,10 @@
 //                            engine stage that observed it)
 //   engine_error             the engine rejected the model or a solve failed
 //   shutting_down            the service is draining (SIGTERM)
+//   overloaded               admission control shed the request before any
+//                            engine work started; the error object carries
+//                            "retry_after_ms", the suggested client backoff
+//                            (requests already running are never aborted)
 //   state_budget_exceeded    exploration hit the request's max_states ceiling
 //   memory_budget_exceeded   tracked engine allocations hit max_memory_mb
 //   oom                      a real allocation failure inside a stage
@@ -27,13 +31,17 @@
 //
 // The metrics object makes cache behaviour observable per request:
 //   {"wall_seconds": S, "session_cache": "hit"|"miss"|"none",
-//    "explores": N, "states": N, "solver_fallbacks": N, "engine": "..."}
+//    "disk_cache": "hit"|"miss"|"none", "explores": N, "states": N,
+//    "solver_fallbacks": N, "engine": "..."}
 // — "explores" is the state-space explorations this request added to its
 // session; a repeated analyze answered from the session cache reports
-// session_cache "hit" and explores 0. "solver_fallbacks" counts solver rungs
-// taken beyond the first (a degraded but correct solve). "engine" is the
-// resolved state-store backend ("classic" | "compact"; "none" for requests
-// that build no state space, e.g. status/diagnose).
+// session_cache "hit" and explores 0. "disk_cache" reports the persistent
+// result cache (service/disk_cache.hpp): "hit" means the whole result was
+// replayed from disk (explores 0, no engine work), "none" means no disk
+// cache is configured or the op is not cacheable. "solver_fallbacks" counts
+// solver rungs taken beyond the first (a degraded but correct solve).
+// "engine" is the resolved state-store backend ("classic" | "compact";
+// "none" for requests that build no state space, e.g. status/diagnose).
 #pragma once
 
 #include <optional>
@@ -60,9 +68,16 @@ std::string_view op_name(Op op);
 
 /// Structured error object of the v1 envelope.
 struct ErrorInfo {
+  ErrorInfo() = default;
+  ErrorInfo(std::string code, std::string message, std::string stage)
+      : code(std::move(code)), message(std::move(message)),
+        stage(std::move(stage)) {}
+
   std::string code;     ///< bad_request | timeout | engine_error | shutting_down
   std::string message;  ///< human-readable detail
   std::string stage;    ///< engine stage for timeouts; empty otherwise
+  /// Suggested client backoff; present only on `overloaded` responses.
+  std::optional<int64_t> retry_after_ms;
 };
 
 /// A parsed v1 request. Fields not used by the request's op are left at
@@ -128,5 +143,12 @@ ParseResult parse_request(std::string_view line);
 /// Parse a category token ("confidentiality" | "integrity" | "availability").
 std::optional<automotive::SecurityCategory> parse_category_token(
     std::string_view text);
+
+/// A complete v1 error envelope built outside the dispatcher — for requests
+/// that never reach it (connection overflow, a request whose worker crashed
+/// past the resend cap). `id`/`op_text` echo what could be salvaged from the
+/// original line; metrics are all zero ("none" caches, engine "none").
+std::string synthetic_envelope(std::string_view id, std::string_view op_text,
+                               const ErrorInfo& error);
 
 }  // namespace autosec::service

@@ -23,6 +23,8 @@
 #include "automotive/diagnostics.hpp"
 #include "automotive/transform.hpp"
 #include "csl/session.hpp"
+#include "service/shard.hpp"
+#include "service/transport.hpp"
 #include "util/budget.hpp"
 #include "util/cancel.hpp"
 #include "util/drain.hpp"
@@ -148,11 +150,13 @@ std::shared_ptr<util::CancelToken> make_token(
   return token;
 }
 
-/// Per-request resource ceilings; nullptr when the request sets neither knob.
-/// Budgets are deliberately NOT part of the cache key: they bound one
-/// request's work, they do not change the model or the session's stages.
+/// Per-request resource meter. Always non-null: ceilings of 0 mean the
+/// request set no limit, but the meter still records the peak bytes the
+/// engine charged — the observation the admission controller's working-set
+/// estimate learns from. Budgets are deliberately NOT part of the cache key:
+/// they bound one request's work, they do not change the model or the
+/// session's stages.
 std::shared_ptr<util::ResourceBudget> make_budget(const Request& request) {
-  if (!request.max_states && !request.max_memory_mb) return nullptr;
   const size_t max_states =
       request.max_states ? static_cast<size_t>(*request.max_states) : 0;
   const size_t max_bytes =
@@ -164,7 +168,8 @@ std::shared_ptr<util::ResourceBudget> make_budget(const Request& request) {
 
 /// Engine knobs of one request, shared by every op.
 automotive::AnalysisOptions engine_options(
-    const Request& request, std::shared_ptr<util::CancelToken> token) {
+    const Request& request, std::shared_ptr<util::CancelToken> token,
+    std::shared_ptr<util::ResourceBudget> budget) {
   automotive::AnalysisOptions options;
   options.nmax = request.nmax;
   options.horizon_years = request.horizon_years;
@@ -176,7 +181,7 @@ automotive::AnalysisOptions engine_options(
   options.transient.steady_state_detection = request.steady_state_detection;
   options.explore.engine = request.engine;
   options.cancel = std::move(token);
-  options.budget = make_budget(request);
+  options.budget = std::move(budget);
   return options;
 }
 
@@ -229,16 +234,73 @@ JsonValue result_to_json(const automotive::AnalysisResult& result) {
   return out;
 }
 
+/// Ops whose result depends only on the request identity + architecture
+/// content — safe to replay from the disk cache. Status reports live server
+/// state and is never cached.
+bool disk_cacheable(Op op) { return op != Op::kStatus; }
+
+/// Session-key kind prefix of an op (how run_* builds its make_key).
+const char* key_kind(Op op) {
+  switch (op) {
+    case Op::kAnalyze: return "batch";
+    case Op::kCheck:
+    case Op::kSweep: return "single";
+    case Op::kDiagnose: return "diag";
+    case Op::kStatus: return "status";
+  }
+  return "status";
+}
+
+/// Disk-cache key: the session key (architecture content digest + every
+/// engine knob) extended with everything the session deliberately leaves out
+/// because it re-keys per call — the op, the horizon, constant overrides,
+/// property texts, and sweep values. Numbers go through util::json_number so
+/// the key is exact, not printf-rounded. Timeouts and resource budgets stay
+/// out: they bound the work, they do not change a successful result.
+std::string make_disk_key(const Request& request, uint64_t digest) {
+  std::string key(op_name(request.op));
+  key += '|';
+  key += make_key(key_kind(request.op), digest, request);
+  key += ";h=";
+  key += util::json_number(request.horizon_years);
+  key += ";ov=";
+  key += csl::override_cache_key(request.overrides);
+  if (request.op == Op::kCheck) {
+    key += ";props=";
+    for (const std::string& property : request.properties) {
+      key += property;
+      key += '\x1f';
+    }
+  } else if (request.op == Op::kSweep) {
+    key += ";const=";
+    key += request.constant;
+    key += ";vals=";
+    for (const double value : request.values) {
+      key += util::json_number(value);
+      key += '\x1f';
+    }
+  }
+  return key;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), cache_(options_.cache_capacity) {}
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      admission_(AdmissionOptions{options_.max_inflight, options_.max_load_mb,
+                                  options_.deterministic}) {
+  if (!options_.disk_cache_dir.empty()) {
+    disk_cache_ = std::make_unique<DiskCache>(options_.disk_cache_dir);
+  }
+}
 
 util::JsonValue Server::run_analyze(const Request& request,
                                     RequestMetrics& metrics) {
   const std::string content = read_file(request.architecture);
   const std::string key = make_key("batch", fnv1a64(content), request);
   const auto token = make_token(request, options_.default_timeout_ms);
+  metrics.budget = make_budget(request);
   const std::vector<SecurityCategory> categories = grid_categories(request);
 
   bool hit = false;
@@ -247,8 +309,9 @@ util::JsonValue Server::run_analyze(const Request& request,
       [&] {
         const automotive::Architecture arch =
             parse_architecture_checked(content, request.architecture);
-        return automotive::make_batch_session(arch, engine_options(request, nullptr),
-                                              categories, request.messages);
+        return automotive::make_batch_session(
+            arch, engine_options(request, nullptr, nullptr), categories,
+            request.messages);
       },
       &hit);
 
@@ -256,7 +319,7 @@ util::JsonValue Server::run_analyze(const Request& request,
   metrics.session_cache = hit ? "hit" : "miss";
   metrics.cache_key = key;
   const automotive::ArchitectureReport report = automotive::analyze_batch_session(
-      entry->batch, engine_options(request, token));
+      entry->batch, engine_options(request, token, metrics.budget));
 
   metrics.explores = report.stats.explore_count;
   metrics.solver_fallbacks = report.stats.solver_fallbacks;
@@ -302,7 +365,7 @@ util::JsonValue Server::run_check(const Request& request, RequestMetrics& metric
         batch.categories = {request.category};
         csl::SessionOptions session_options;
         static_cast<csl::EngineOptions&>(session_options) =
-            engine_options(request, nullptr);
+            engine_options(request, nullptr, nullptr);
         session_options.cancel = nullptr;
         session_options.budget = nullptr;  // budgets are per-request, not per-entry
         try {
@@ -318,13 +381,14 @@ util::JsonValue Server::run_check(const Request& request, RequestMetrics& metric
   std::lock_guard<std::mutex> lock(entry->mutex);
   metrics.session_cache = hit ? "hit" : "miss";
   metrics.cache_key = key;
+  metrics.budget = make_budget(request);
   csl::EngineSession& session = *entry->batch.session;
   if (csl::override_cache_key(request.overrides) !=
       csl::override_cache_key(session.options().constant_overrides)) {
     session.set_constant_overrides(request.overrides);
   }
   session.set_cancel_token(token);
-  session.set_resource_budget(make_budget(request));
+  session.set_resource_budget(metrics.budget);
   const csl::SessionStats before = session.stats();
 
   const std::vector<double> values = session.check_all(request.properties);
@@ -372,7 +436,7 @@ util::JsonValue Server::run_sweep(const Request& request, RequestMetrics& metric
         batch.categories = {request.category};
         csl::SessionOptions session_options;
         static_cast<csl::EngineOptions&>(session_options) =
-            engine_options(request, nullptr);
+            engine_options(request, nullptr, nullptr);
         session_options.cancel = nullptr;
         session_options.budget = nullptr;  // budgets are per-request, not per-entry
         try {
@@ -388,9 +452,10 @@ util::JsonValue Server::run_sweep(const Request& request, RequestMetrics& metric
   std::lock_guard<std::mutex> lock(entry->mutex);
   metrics.session_cache = hit ? "hit" : "miss";
   metrics.cache_key = key;
+  metrics.budget = make_budget(request);
   csl::EngineSession& session = *entry->batch.session;
   session.set_cancel_token(token);
-  session.set_resource_budget(make_budget(request));
+  session.set_resource_budget(metrics.budget);
   const csl::SessionStats before = session.stats();
 
   const double horizon = request.horizon_years;
@@ -440,8 +505,9 @@ util::JsonValue Server::run_diagnose(const Request& request,
   const automotive::Architecture arch =
       parse_architecture_checked(content, request.architecture);
   const auto token = make_token(request, options_.default_timeout_ms);
+  metrics.budget = make_budget(request);
   const automotive::AnalysisOptions analysis_options =
-      engine_options(request, token);
+      engine_options(request, token, metrics.budget);
 
   automotive::CriticalityOptions criticality_options;
   criticality_options.analysis = analysis_options;
@@ -507,6 +573,25 @@ util::JsonValue Server::run_status(const Request&, RequestMetrics&) {
   cache["misses"] = JsonValue::number(stats.misses);
   cache["evictions"] = JsonValue::number(stats.evictions);
   result["cache"] = std::move(cache);
+  const AdmissionController::Stats admission_stats = admission_.stats();
+  JsonValue admission = JsonValue::object();
+  admission["admitted"] = JsonValue::number(admission_stats.admitted);
+  admission["shed"] = JsonValue::number(admission_stats.shed);
+  admission["inflight"] = JsonValue::number(admission_stats.inflight);
+  admission["max_inflight"] = JsonValue::number(admission_stats.max_inflight);
+  admission["max_load_mb"] = JsonValue::number(admission_stats.max_load_mb);
+  result["admission"] = std::move(admission);
+  if (disk_cache_) {
+    const DiskCache::Stats disk_stats = disk_cache_->stats();
+    JsonValue disk = JsonValue::object();
+    disk["hits"] = JsonValue::number(disk_stats.hits);
+    disk["misses"] = JsonValue::number(disk_stats.misses);
+    disk["stores"] = JsonValue::number(disk_stats.stores);
+    disk["corrupt"] = JsonValue::number(disk_stats.corrupt);
+    result["disk_cache"] = std::move(disk);
+  } else {
+    result["disk_cache"] = JsonValue::null();
+  }
   result["requests"] = JsonValue::number(requests_.load(std::memory_order_relaxed));
   result["errors"] = JsonValue::number(errors_.load(std::memory_order_relaxed));
   result["draining"] = JsonValue::boolean(draining());
@@ -538,39 +623,88 @@ std::string Server::handle_line(const std::string& line) {
   std::optional<JsonValue> result;
   ErrorInfo error;
   std::optional<JsonValue> error_detail;
+  Ticket ticket;
   // An engine-side failure may have left the cached session in a bad state
   // (half-built stages, a poisoned matrix): drop the entry so the next
   // request rebuilds from scratch. Timeouts are NOT evicted — a cancelled
   // session is clean and its cached stages stay valid.
   bool evict_entry = false;
+  bool admitted = true;
 
   if (draining()) {
     error = {"shutting_down", "service is draining and not accepting requests", ""};
   } else if (!parsed.request) {
     error = parsed.error;
   } else {
-    try {
-      // Fault site: proves the dispatcher converts an allocation failure into
-      // a structured oom envelope and keeps serving (autosec-verify --faults).
-      if (util::fault::triggered("serve.dispatch.alloc")) throw std::bad_alloc();
-      result = dispatch(*parsed.request, metrics);
-    } catch (const util::Cancelled& cancelled) {
-      error = {"timeout", cancelled.what(), cancelled.stage()};
-    } catch (const RequestError& request_error) {
-      error = request_error.info();
-    } catch (const util::EngineFailure& failure) {
-      error = {failure.code_name(), failure.what(), failure.stage()};
-      error_detail = progress_to_json(failure.progress());
-      evict_entry = true;
-    } catch (const std::bad_alloc&) {
-      error = {"oom", "allocation failure while handling the request", ""};
-      evict_entry = true;
-    } catch (const std::exception& engine_error) {
-      error = {"engine_error", engine_error.what(), ""};
-    } catch (...) {
-      error = {"internal_error",
-               "an unexpected exception crossed the dispatcher", ""};
-      evict_entry = true;
+    // Admission gate: decide before any engine work starts, so a saturated
+    // server sheds new requests instead of aborting admitted ones. Status is
+    // exempt — it is how operators look at a saturated server.
+    if (parsed.request->op != Op::kStatus) {
+      int64_t retry_after_ms = 0;
+      std::optional<Ticket> grant = admission_.try_admit(&retry_after_ms);
+      if (!grant) {
+        admitted = false;
+        error = {"overloaded",
+                 "service is at capacity; retry after retry_after_ms", ""};
+        error.retry_after_ms = retry_after_ms;
+        util::metrics::registry().add("serve.shed");
+      } else {
+        ticket = std::move(*grant);
+      }
+    }
+    if (admitted) {
+      try {
+        // Fault site: proves the dispatcher converts an allocation failure into
+        // a structured oom envelope and keeps serving (autosec-verify --faults).
+        if (util::fault::triggered("serve.dispatch.alloc")) throw std::bad_alloc();
+        // Disk-cache probe: a hit replays the stored result without touching
+        // the engine at all (explores 0 by construction).
+        std::optional<std::string> disk_key;
+        if (disk_cache_ && disk_cacheable(parsed.request->op)) {
+          const std::string content = read_file(parsed.request->architecture);
+          disk_key = make_disk_key(*parsed.request, fnv1a64(content));
+          if (const std::optional<std::string> payload =
+                  disk_cache_->lookup(*disk_key)) {
+            const JsonValue stored = JsonValue::parse(*payload);
+            if (const JsonValue* stored_result = stored.find("result")) {
+              result = *stored_result;
+              metrics.disk_cache = "hit";
+              metrics.states =
+                  static_cast<size_t>(stored.int_or("states", 0));
+              metrics.engine = stored.string_or("engine", "none");
+              util::metrics::registry().add("serve.disk_hits");
+            }
+          }
+          if (!result) metrics.disk_cache = "miss";
+        }
+        if (!result) {
+          result = dispatch(*parsed.request, metrics);
+          if (disk_key && result) {
+            JsonValue stored = JsonValue::object();
+            stored["result"] = *result;
+            stored["states"] = JsonValue::number(metrics.states);
+            stored["engine"] = JsonValue::string(metrics.engine);
+            disk_cache_->store(*disk_key, stored.dump());
+          }
+        }
+      } catch (const util::Cancelled& cancelled) {
+        error = {"timeout", cancelled.what(), cancelled.stage()};
+      } catch (const RequestError& request_error) {
+        error = request_error.info();
+      } catch (const util::EngineFailure& failure) {
+        error = {failure.code_name(), failure.what(), failure.stage()};
+        error_detail = progress_to_json(failure.progress());
+        evict_entry = true;
+      } catch (const std::bad_alloc&) {
+        error = {"oom", "allocation failure while handling the request", ""};
+        evict_entry = true;
+      } catch (const std::exception& engine_error) {
+        error = {"engine_error", engine_error.what(), ""};
+      } catch (...) {
+        error = {"internal_error",
+                 "an unexpected exception crossed the dispatcher", ""};
+        evict_entry = true;
+      }
     }
   }
   if (evict_entry && !metrics.cache_key.empty()) {
@@ -581,11 +715,14 @@ std::string Server::handle_line(const std::string& line) {
     util::metrics::registry().add("serve.errors");
   }
 
-  metrics.wall_seconds =
-      options_.deterministic
-          ? 0.0
-          : std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-                .count();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  metrics.wall_seconds = options_.deterministic ? 0.0 : wall_seconds;
+  // Feed what this request actually cost back into the admission estimates
+  // (the ticket's destructor releases the slot and reservation).
+  ticket.observe(wall_seconds * 1000.0,
+                 metrics.budget ? metrics.budget->peak_bytes() : 0);
 
   util::JsonWriter writer(0);
   writer.begin_object();
@@ -602,6 +739,9 @@ std::string Server::handle_line(const std::string& line) {
     writer.key("code").value(error.code);
     writer.key("message").value(error.message);
     if (!error.stage.empty()) writer.key("stage").value(error.stage);
+    if (error.retry_after_ms) {
+      writer.key("retry_after_ms").value(*error.retry_after_ms);
+    }
     if (error_detail && error_detail->size() > 0) {
       writer.key("detail");
       error_detail->write(writer);
@@ -612,6 +752,7 @@ std::string Server::handle_line(const std::string& line) {
   writer.begin_object();
   writer.key("wall_seconds").value(metrics.wall_seconds);
   writer.key("session_cache").value(metrics.session_cache);
+  writer.key("disk_cache").value(metrics.disk_cache);
   writer.key("explores").value(metrics.explores);
   writer.key("states").value(metrics.states);
   writer.key("solver_fallbacks").value(metrics.solver_fallbacks);
@@ -619,6 +760,27 @@ std::string Server::handle_line(const std::string& line) {
   writer.end_object();
   writer.end_object();
   return writer.take();
+}
+
+std::vector<std::string> Server::handle_batch(const std::vector<std::string>& lines) {
+  std::vector<std::string> responses(lines.size());
+  size_t index = 0;
+  while (index < lines.size()) {
+    const size_t batch = std::min(options_.max_batch, lines.size() - index);
+    if (batch == 1) {
+      responses[index] = handle_line(lines[index]);
+    } else {
+      // Fan the batch across the pool; responses keep input order because
+      // every slot writes only its own element.
+      util::parallel_for(0, batch, 1, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          responses[index + i] = handle_line(lines[index + i]);
+        }
+      });
+    }
+    index += batch;
+  }
+  return responses;
 }
 
 void Server::process_buffered(std::string& buffer, std::ostream& out) {
@@ -634,26 +796,10 @@ void Server::process_buffered(std::string& buffer, std::ostream& out) {
     }
   }
   buffer.erase(0, pos);
+  if (lines.empty()) return;
 
-  size_t index = 0;
-  while (index < lines.size()) {
-    const size_t batch = std::min(options_.max_batch, lines.size() - index);
-    std::vector<std::string> responses(batch);
-    if (batch == 1) {
-      responses[0] = handle_line(lines[index]);
-    } else {
-      // Fan the batch across the pool; responses keep input order because
-      // every slot writes only its own element.
-      util::parallel_for(0, batch, 1, [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          responses[i] = handle_line(lines[index + i]);
-        }
-      });
-    }
-    for (const std::string& response : responses) out << response << '\n';
-    out.flush();
-    index += batch;
-  }
+  for (const std::string& response : handle_batch(lines)) out << response << '\n';
+  out.flush();
 }
 
 int Server::serve_stream(std::istream& in, std::ostream& out) {
@@ -697,98 +843,65 @@ int Server::serve_fd(int fd, std::ostream& out) {
   return 0;
 }
 
+std::string Server::overflow_response() const {
+  ErrorInfo error{"overloaded",
+                  "connection limit reached; retry after retry_after_ms", ""};
+  error.retry_after_ms = options_.deterministic ? 100 : 1000;
+  return synthetic_envelope("", "", error);
+}
+
 namespace {
 
-void write_all(int fd, std::string_view data) {
-  size_t offset = 0;
-  while (offset < data.size()) {
-    const ssize_t wrote = ::write(fd, data.data() + offset, data.size() - offset);
-    if (wrote < 0) {
-      if (errno == EINTR) continue;
-      return;  // client went away; drop the rest of the responses
+/// In-process connection handler: every batch of lines fans across the
+/// engine pool synchronously, so finish() has nothing left to wait for.
+class DirectConnection : public ConnectionHandler {
+ public:
+  DirectConnection(Server& server, std::shared_ptr<ConnectionSink> sink)
+      : server_(server), sink_(std::move(sink)) {}
+
+  void handle_lines(std::vector<std::string> lines) override {
+    for (const std::string& response : server_.handle_batch(lines)) {
+      sink_->write_line(response);
     }
-    offset += static_cast<size_t>(wrote);
   }
-}
+
+  void finish() override {}
+
+ private:
+  Server& server_;
+  std::shared_ptr<ConnectionSink> sink_;
+};
 
 }  // namespace
 
-int Server::serve_socket(std::ostream& err) {
-  if (options_.socket_path.size() >= sizeof(sockaddr_un::sun_path)) {
-    err << "serve: socket path too long: " << options_.socket_path << "\n";
-    return 2;
-  }
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    err << "serve: socket(): " << std::strerror(errno) << "\n";
-    return 2;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  ::unlink(options_.socket_path.c_str());
-  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listen_fd, 8) < 0) {
-    err << "serve: cannot listen on '" << options_.socket_path
-        << "': " << std::strerror(errno) << "\n";
-    ::close(listen_fd);
-    return 2;
-  }
-  err << "serve: listening on " << options_.socket_path << "\n";
-
-  while (!util::drain_requested()) {
-    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {util::drain_fd(), POLLIN, 0}};
-    const int ready = ::poll(fds, 2, -1);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (fds[1].revents != 0) break;
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int conn = ::accept(listen_fd, nullptr, nullptr);
-    if (conn < 0) continue;
-
-    // One connection at a time; the batch fan-out inside process_buffered is
-    // where the parallelism lives.
-    std::string buffer;
-    while (true) {
-      pollfd conn_fds[2] = {{conn, POLLIN, 0}, {util::drain_fd(), POLLIN, 0}};
-      const int conn_ready = ::poll(conn_fds, 2, -1);
-      if (conn_ready < 0) {
-        if (errno == EINTR) continue;
-        break;
-      }
-      if (conn_fds[1].revents != 0) break;  // finish buffered work below
-      if ((conn_fds[0].revents & (POLLIN | POLLHUP)) == 0) continue;
-      char chunk[65536];
-      const ssize_t got = ::read(conn, chunk, sizeof(chunk));
-      if (got < 0) {
-        if (errno == EINTR || errno == EAGAIN) continue;
-        break;
-      }
-      if (got == 0) break;
-      buffer.append(chunk, static_cast<size_t>(got));
-      std::ostringstream responses;
-      process_buffered(buffer, responses);
-      write_all(conn, responses.str());
-    }
-    std::ostringstream responses;
-    process_buffered(buffer, responses);
-    write_all(conn, responses.str());
-    ::close(conn);
-  }
-
-  ::close(listen_fd);
-  ::unlink(options_.socket_path.c_str());
+int Server::serve_listener(int listen_fd, std::ostream& err) {
+  AcceptLoopOptions accept_options;
+  accept_options.max_connections = options_.max_connections;
+  accept_options.overflow_line = [this] { return overflow_response(); };
+  const int rc = serve_connections(
+      listen_fd, accept_options,
+      [this](std::shared_ptr<ConnectionSink> sink) {
+        return std::make_unique<DirectConnection>(*this, std::move(sink));
+      },
+      err);
   begin_drain();
   err << "serve: drained, shutting down\n";
-  return 0;
+  return rc;
 }
 
 int Server::run(std::ostream& out, std::ostream& err) {
   if (options_.threads > 0) {
     util::set_thread_count(static_cast<size_t>(options_.threads));
+  }
+  if (!options_.tcp_address.empty() && !options_.socket_path.empty()) {
+    err << "serve: --tcp and --socket are mutually exclusive\n";
+    return 2;
+  }
+  const bool has_listener =
+      !options_.tcp_address.empty() || !options_.socket_path.empty();
+  if (options_.workers > 0 && !has_listener) {
+    err << "serve: --workers requires --tcp or --socket\n";
+    return 2;
   }
   if (!options_.input_path.empty()) {
     std::ifstream in(options_.input_path);
@@ -799,7 +912,38 @@ int Server::run(std::ostream& out, std::ostream& err) {
     return serve_stream(in, out);
   }
   util::install_drain_signals();
-  if (!options_.socket_path.empty()) return serve_socket(err);
+  if (has_listener) {
+    std::string listen_error;
+    int listen_fd = -1;
+    if (!options_.tcp_address.empty()) {
+      int port = 0;
+      listen_fd = listen_tcp(options_.tcp_address, &port, listen_error);
+      if (listen_fd >= 0) {
+        // The resolved endpoint (not the requested one): with port 0 this
+        // line is how tests and CI discover where the server landed.
+        std::string host = "127.0.0.1";
+        if (const size_t colon = options_.tcp_address.rfind(':');
+            colon != std::string::npos) {
+          host = options_.tcp_address.substr(0, colon);
+        }
+        err << "serve: listening on " << host << ":" << port << "\n";
+      }
+    } else {
+      listen_fd = listen_unix(options_.socket_path, listen_error);
+      if (listen_fd >= 0) {
+        err << "serve: listening on " << options_.socket_path << "\n";
+      }
+    }
+    if (listen_fd < 0) {
+      err << "serve: " << listen_error << "\n";
+      return 2;
+    }
+    const int rc = options_.workers > 0 ? run_sharded(listen_fd, options_, err)
+                                        : serve_listener(listen_fd, err);
+    ::close(listen_fd);
+    if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+    return rc;
+  }
   return serve_fd(STDIN_FILENO, out);
 }
 
@@ -819,6 +963,18 @@ int run_serve(const std::vector<std::string>& args, std::ostream& out,
         options.input_path = next_value();
       } else if (flag == "--socket") {
         options.socket_path = next_value();
+      } else if (flag == "--tcp") {
+        options.tcp_address = next_value();
+      } else if (flag == "--workers") {
+        options.workers = static_cast<int>(std::stol(next_value()));
+      } else if (flag == "--max-connections") {
+        options.max_connections = std::max<size_t>(1, std::stoul(next_value()));
+      } else if (flag == "--max-inflight") {
+        options.max_inflight = static_cast<size_t>(std::stoul(next_value()));
+      } else if (flag == "--max-load-mb") {
+        options.max_load_mb = static_cast<size_t>(std::stoul(next_value()));
+      } else if (flag == "--disk-cache") {
+        options.disk_cache_dir = next_value();
       } else if (flag == "--cache-capacity") {
         options.cache_capacity = static_cast<size_t>(std::stoul(next_value()));
       } else if (flag == "--default-timeout-ms") {
@@ -837,8 +993,13 @@ int run_serve(const std::vector<std::string>& args, std::ostream& out,
     err << "serve: " << error.what() << "\n";
     return 2;
   }
-  Server server(std::move(options));
-  return server.run(out, err);
+  try {
+    Server server(std::move(options));
+    return server.run(out, err);
+  } catch (const std::exception& error) {
+    err << "serve: " << error.what() << "\n";
+    return 2;
+  }
 }
 
 }  // namespace autosec::service

@@ -1,14 +1,29 @@
 // `autosec serve` — a persistent batch-analysis service over the staged
 // engine. Requests are newline-delimited JSON (one request per line, see
-// service/protocol.hpp for the v1 schema) read from stdin, a file, or a
-// Unix socket; each is answered with exactly one response line.
+// service/protocol.hpp for the v1 schema) read from stdin, a file, a Unix
+// socket, or a TCP listener; each is answered with exactly one response
+// line. Every transport speaks the same v1 envelopes — a response is
+// bit-identical whether it travelled over stdin or a socket.
 //
 //  * Sessions are cached (service/session_cache.hpp): repeated queries for
 //    the same architecture + engine knobs reuse every compiled/explored/
 //    uniformized stage. The per-response metrics object proves it
 //    (session_cache "hit", explores 0).
-//  * Batches of available request lines fan across the engine thread pool;
-//    responses keep input order.
+//  * With --disk-cache DIR, finished results are also persisted
+//    (service/disk_cache.hpp) keyed by the full request identity, so a
+//    restarted server answers repeated requests with disk_cache "hit" and
+//    explores 0 — warm from the first request.
+//  * Socket transports serve connections concurrently (service/
+//    transport.hpp): each connection gets its own reader thread, responses
+//    keep per-connection input order, and batches of available request
+//    lines fan across the engine thread pool.
+//  * Admission control (service/admission.hpp): --max-inflight and
+//    --max-load-mb gate requests at the door; a saturated server answers
+//    with a structured `overloaded` error carrying retry_after_ms instead
+//    of aborting admitted work mid-flight.
+//  * With --workers N (service/shard.hpp) the process pre-forks N engine
+//    workers and routes requests by architecture digest, so each worker's
+//    session cache stays hot for its shard of the fleet's models.
 //  * Per-request deadlines (timeout_ms) cancel cleanly between solver
 //    sweeps via util::CancelToken and answer with a structured timeout
 //    error; the session survives for the next request.
@@ -19,12 +34,16 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "service/admission.hpp"
+#include "service/disk_cache.hpp"
 #include "service/protocol.hpp"
 #include "service/session_cache.hpp"
+#include "util/budget.hpp"
 #include "util/json.hpp"
 
 namespace autosec::service {
@@ -32,9 +51,28 @@ namespace autosec::service {
 struct ServerOptions {
   /// Read requests from this file instead of stdin (mainly tests/CI).
   std::string input_path;
-  /// Listen on this Unix socket instead of stdin. One connection is served
-  /// at a time; each connection streams NDJSON requests and responses.
+  /// Listen on this Unix socket instead of stdin; connections are served
+  /// concurrently, each streaming NDJSON requests and responses.
   std::string socket_path;
+  /// Listen on TCP ("PORT" or "HOST:PORT", default host 127.0.0.1; port 0
+  /// picks a free port, reported on stderr). Mutually exclusive with
+  /// --socket.
+  std::string tcp_address;
+  /// Pre-fork this many engine workers behind the listener and shard
+  /// requests by architecture digest (0 = serve in-process). Requires a
+  /// socket or TCP listener.
+  int workers = 0;
+  /// Concurrent connections served per listener; excess connections get one
+  /// overloaded envelope and are closed.
+  size_t max_connections = 64;
+  /// Admission control: concurrent admitted requests (0 = unlimited).
+  size_t max_inflight = 0;
+  /// Admission control: estimated engine working-set ceiling in MiB
+  /// (0 = no memory gate).
+  size_t max_load_mb = 0;
+  /// Persist results under this directory (created if needed) so restarts
+  /// answer repeated requests without engine work. Empty = no disk cache.
+  std::string disk_cache_dir;
   size_t cache_capacity = 8;
   /// Applied to requests that carry no timeout_ms of their own.
   std::optional<int64_t> default_timeout_ms;
@@ -48,12 +86,17 @@ struct ServerOptions {
 
 class Server {
  public:
+  /// Throws std::runtime_error when disk_cache_dir is set but unusable.
   explicit Server(ServerOptions options);
 
   /// Handle one raw request line and return the single-line JSON response
   /// (no trailing newline). Thread-safe; concurrent calls on the same
   /// session-cache entry serialize on the entry's mutex.
   std::string handle_line(const std::string& line);
+
+  /// Handle a batch of request lines, fanning across the engine pool in
+  /// max_batch groups; responses come back in input order.
+  std::vector<std::string> handle_batch(const std::vector<std::string>& lines);
 
   /// Stop accepting new work: every subsequent handle_line answers with a
   /// structured shutting_down error. The serve loops call this when a drain
@@ -66,20 +109,32 @@ class Server {
   /// Poll loop over a raw fd (stdin), watching the drain self-pipe so a
   /// SIGTERM interrupts the wait; requests already read are still answered.
   int serve_fd(int fd, std::ostream& out);
-  /// Unix-socket accept loop; exits 0 on drain. `err` gets lifecycle notes.
-  int serve_socket(std::ostream& err);
-  /// Dispatch on ServerOptions: input file, socket, or stdin.
+  /// Concurrent accept loop over an already-listening socket fd (TCP or
+  /// Unix); exits 0 on drain. Does not close the fd.
+  int serve_listener(int listen_fd, std::ostream& err);
+  /// Dispatch on ServerOptions: input file, TCP/Unix listener (optionally
+  /// pre-fork sharded), or stdin.
   int run(std::ostream& out, std::ostream& err);
 
   SessionCache::Stats cache_stats() const { return cache_.stats(); }
   uint64_t requests_handled() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Admission gate — exposed so tests can saturate it deterministically.
+  AdmissionController& admission() { return admission_; }
+  DiskCache* disk_cache() { return disk_cache_.get(); }
+  const ServerOptions& options() const { return options_; }
+
+  /// The envelope answered to connections shed at the accept gate (and to
+  /// requests shed by admission): ok=false, code "overloaded",
+  /// retry_after_ms filled.
+  std::string overflow_response() const;
 
  private:
   struct RequestMetrics {
     double wall_seconds = 0.0;
     const char* session_cache = "none";  // "hit" | "miss" | "none"
+    const char* disk_cache = "none";     // "hit" | "miss" | "none"
     size_t explores = 0;
     size_t states = 0;
     size_t solver_fallbacks = 0;
@@ -90,6 +145,9 @@ class Server {
     /// Cache key of the entry this request used; lets handle_line evict the
     /// (possibly poisoned) entry when dispatch fails engine-side.
     std::string cache_key;
+    /// The request's resource meter (always armed, ceilings optional); its
+    /// peak feeds the admission controller's working-set estimate.
+    std::shared_ptr<util::ResourceBudget> budget;
   };
 
   /// Engine work of one parsed request; returns the "result" payload.
@@ -109,6 +167,8 @@ class Server {
 
   ServerOptions options_;
   SessionCache cache_;
+  AdmissionController admission_;
+  std::unique_ptr<DiskCache> disk_cache_;
   std::atomic<bool> draining_{false};
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> errors_{0};

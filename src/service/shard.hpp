@@ -1,0 +1,41 @@
+// Pre-fork sharded mode for `autosec serve --workers N`: the parent process
+// owns the listener and the client connections; N forked workers each run a
+// full in-process Server over a socketpair. Requests are routed to workers
+// by the FNV-1a digest of the request's architecture path, so every repeat
+// query for an architecture lands on the same worker and its SessionCache
+// stays hot — the fleet scales out without losing the cache economics that
+// make serving worthwhile. Requests without a routable architecture (status,
+// malformed lines) round-robin.
+//
+// Wire format parent<->worker, both directions: "<seq> <payload>\n", where
+// seq is a parent-assigned monotonically increasing id and payload is the
+// raw request line / response envelope (which never contains a newline).
+//
+// Crash recovery: the parent waits on its children; a worker that dies
+// unexpectedly is respawned and the requests it had not answered are resent
+// to the replacement. The sequence map guarantees every request is answered
+// exactly once — a request interrupted mid-engine may be COMPUTED twice, but
+// its envelope is delivered once, because the first response claims the
+// pending entry and later duplicates find nothing to deliver. A request that
+// crashes the worker repeatedly (2 resends) is answered with a structured
+// internal_error instead of crashing the fleet forever. Per-connection
+// response order is preserved by an ordering queue in front of each sink.
+//
+// Drain: SIGTERM stops the accept loop; when every connection has been
+// answered the parent closes the worker pipes, the workers see EOF and exit,
+// and the parent reaps them and returns 0.
+#pragma once
+
+#include <iosfwd>
+
+#include "service/server.hpp"
+
+namespace autosec::service {
+
+/// Run the sharded supervisor over an already-listening socket until a drain
+/// request completes. `options.workers` must be > 0; the per-worker Server
+/// is constructed from the same options with the transport fields cleared.
+/// Returns 0 on a clean drain.
+int run_sharded(int listen_fd, const ServerOptions& options, std::ostream& err);
+
+}  // namespace autosec::service

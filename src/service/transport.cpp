@@ -1,0 +1,258 @@
+#include "service/transport.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <optional>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "util/drain.hpp"
+#include "util/numeric.hpp"
+
+namespace autosec::service {
+
+namespace {
+
+/// Writers must see EPIPE as a return value, not a process-killing signal —
+/// clients vanish mid-response all the time on a fleet.
+void ignore_sigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+int checked_listen(int fd, std::string_view what, std::string& error) {
+  if (::listen(fd, SOMAXCONN) < 0) {
+    error = std::string(what) + ": listen(): " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int listen_tcp(const std::string& address, int* bound_port, std::string& error) {
+  ignore_sigpipe();
+  std::string host = "127.0.0.1";
+  std::string port_text = address;
+  if (const size_t colon = address.rfind(':'); colon != std::string::npos) {
+    host = address.substr(0, colon);
+    port_text = address.substr(colon + 1);
+  }
+  const std::optional<int64_t> parsed = util::parse_int(port_text);
+  if (!parsed) {
+    error = "invalid TCP port '" + port_text + "' in '" + address + "'";
+    return -1;
+  }
+  if (*parsed < 0 || *parsed > 65535) {
+    error = "TCP port out of range in '" + address + "'";
+    return -1;
+  }
+  const int port = static_cast<int>(*parsed);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    error = "invalid TCP host '" + host + "' (use a dotted IPv4 address)";
+    return -1;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("tcp: socket(): ") + std::strerror(errno);
+    return -1;
+  }
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    error = "tcp: cannot bind " + host + ":" + std::to_string(port) + ": " +
+            std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in resolved{};
+    socklen_t length = sizeof(resolved);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&resolved), &length) == 0) {
+      *bound_port = ntohs(resolved.sin_port);
+    } else {
+      *bound_port = port;
+    }
+  }
+  return checked_listen(fd, "tcp", error);
+}
+
+int listen_unix(const std::string& path, std::string& error) {
+  ignore_sigpipe();
+  if (path.size() >= sizeof(sockaddr_un::sun_path)) {
+    error = "socket path too long: " + path;
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("unix: socket(): ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    error = "cannot bind '" + path + "': " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return checked_listen(fd, "unix", error);
+}
+
+bool write_fd_all(int fd, std::string_view data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t wrote = ::write(fd, data.data() + offset, data.size() - offset);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer went away; the caller drops the rest
+    }
+    offset += static_cast<size_t>(wrote);
+  }
+  return true;
+}
+
+void ConnectionSink::write_line(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (broken_.load(std::memory_order_relaxed)) return;
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  if (!write_fd_all(fd_, framed)) {
+    broken_.store(true, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+/// Split the complete lines out of `buffer` (leaving a trailing partial line
+/// in place), dropping blank ones.
+std::vector<std::string> take_lines(std::string& buffer) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (true) {
+    const size_t newline = buffer.find('\n', pos);
+    if (newline == std::string::npos) break;
+    std::string line = buffer.substr(pos, newline - pos);
+    pos = newline + 1;
+    if (line.find_first_not_of(" \t\r") != std::string::npos) {
+      lines.push_back(std::move(line));
+    }
+  }
+  buffer.erase(0, pos);
+  return lines;
+}
+
+/// One connection's read loop: batches of complete lines go to the handler;
+/// EOF or a drain finishes the handler (blocking until every line is
+/// answered) and closes the fd.
+void run_connection(int fd, const HandlerFactory& factory) {
+  auto sink = std::make_shared<ConnectionSink>(fd);
+  const std::unique_ptr<ConnectionHandler> handler = factory(sink);
+  std::string buffer;
+  while (!util::drain_requested()) {
+    pollfd fds[2] = {{fd, POLLIN, 0}, {util::drain_fd(), POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // drain: answer what was read, then stop
+    if ((fds[0].revents & (POLLIN | POLLHUP)) == 0) continue;
+    char chunk[65536];
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    if (got == 0) break;  // EOF
+    buffer.append(chunk, static_cast<size_t>(got));
+    if (std::vector<std::string> lines = take_lines(buffer); !lines.empty()) {
+      handler->handle_lines(std::move(lines));
+    }
+  }
+  // Lines fully received before the EOF/drain are still answered — the
+  // graceful half of the drain contract.
+  if (std::vector<std::string> lines = take_lines(buffer); !lines.empty()) {
+    handler->handle_lines(std::move(lines));
+  }
+  handler->finish();
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+struct ConnectionThread {
+  std::thread thread;
+  std::shared_ptr<std::atomic<bool>> done;
+};
+
+}  // namespace
+
+int serve_connections(int listen_fd, const AcceptLoopOptions& options,
+                      const HandlerFactory& factory, std::ostream& err) {
+  std::vector<ConnectionThread> connections;
+  std::atomic<size_t> active{0};
+  const size_t cap = options.max_connections == 0 ? 1 : options.max_connections;
+
+  while (!util::drain_requested()) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {util::drain_fd(), POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      err << "serve: poll(): " << std::strerror(errno) << "\n";
+      break;
+    }
+    if (fds[1].revents != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    // Reap finished connection threads so a long-lived server does not
+    // accumulate one join handle per connection ever served.
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (active.load(std::memory_order_relaxed) >= cap) {
+      if (options.overflow_line) {
+        write_fd_all(conn, options.overflow_line() + "\n");
+      }
+      ::close(conn);
+      continue;
+    }
+
+    active.fetch_add(1, std::memory_order_relaxed);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    connections.push_back(
+        {std::thread([conn, &factory, &active, done] {
+           run_connection(conn, factory);
+           active.fetch_sub(1, std::memory_order_relaxed);
+           done->store(true, std::memory_order_release);
+         }),
+         done});
+  }
+
+  for (ConnectionThread& connection : connections) connection.thread.join();
+  return 0;
+}
+
+}  // namespace autosec::service

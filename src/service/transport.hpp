@@ -1,0 +1,99 @@
+// Socket transport shared by every networked `autosec serve` mode: TCP and
+// Unix-domain listeners plus a concurrent accept loop that serves each
+// connection on its own thread. Both the single-process server and the
+// pre-fork shard parent (service/shard.hpp) run their connections through
+// this loop — the difference is only the ConnectionHandler they install.
+//
+// Concurrency model: one reader thread per live connection (capped by
+// AcceptLoopOptions::max_connections; connections beyond the cap receive one
+// overflow line and are closed). A connection's handler is only ever called
+// from that connection's thread; responses go through the connection's
+// ConnectionSink, which is safe to write from any thread (the shard parent
+// writes from worker-reader threads). A drain request (util/drain.hpp) stops
+// the accept loop, lets every connection finish the request lines it already
+// read, joins the connection threads and returns 0.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autosec::service {
+
+/// Bind and listen on a TCP address ("PORT" or "HOST:PORT"; host defaults to
+/// 127.0.0.1, port 0 asks the kernel for a free one). Returns the listening
+/// fd, or -1 with `error` filled. `*bound_port` (optional) reports the
+/// resolved port — how tests and CI discover a `--tcp 127.0.0.1:0` server.
+int listen_tcp(const std::string& address, int* bound_port, std::string& error);
+
+/// Bind and listen on a Unix-domain socket path (an existing socket file is
+/// replaced). Returns the listening fd, or -1 with `error` filled.
+int listen_unix(const std::string& path, std::string& error);
+
+/// write(2) the whole buffer; false when the peer went away (EPIPE &c. — the
+/// caller drops the rest of that connection's output). SIGPIPE is ignored
+/// process-wide by the listen_* helpers.
+bool write_fd_all(int fd, std::string_view data);
+
+/// Thread-safe line writer bound to one client connection. The sink does not
+/// own the fd (the connection thread closes it after the handler finished).
+class ConnectionSink {
+ public:
+  explicit ConnectionSink(int fd) : fd_(fd) {}
+
+  /// Write one response line (newline appended). Thread-safe; once the peer
+  /// is gone, further writes are silently dropped.
+  void write_line(std::string_view line);
+  bool broken() const { return broken_.load(std::memory_order_relaxed); }
+
+ private:
+  int fd_;
+  std::mutex mutex_;
+  std::atomic<bool> broken_{false};
+};
+
+/// Per-connection request processor. Methods are called from the
+/// connection's reader thread only; implementations may answer
+/// asynchronously through the sink as long as finish() blocks until every
+/// accepted line has been answered (per-connection input order is the
+/// implementation's contract — see Server::handle_batch and ShardConnection).
+class ConnectionHandler {
+ public:
+  virtual ~ConnectionHandler() = default;
+
+  /// Handle a batch of complete request lines (one read's worth, blank lines
+  /// already dropped). Responses for them must eventually reach the sink in
+  /// this order.
+  virtual void handle_lines(std::vector<std::string> lines) = 0;
+
+  /// EOF (or drain) on the connection: block until every line passed to
+  /// handle_lines has been answered.
+  virtual void finish() = 0;
+};
+
+using HandlerFactory = std::function<std::unique_ptr<ConnectionHandler>(
+    std::shared_ptr<ConnectionSink> sink)>;
+
+struct AcceptLoopOptions {
+  /// Concurrent connections served; one beyond the cap gets the overflow
+  /// line (if any) and an immediate close.
+  size_t max_connections = 64;
+  /// Response line for connections shed at the accept gate (no trailing
+  /// newline; empty = close silently).
+  std::function<std::string()> overflow_line;
+};
+
+/// Accept loop over a listening fd: serves every connection on its own
+/// thread until a drain is requested, then joins the connection threads
+/// (letting each answer the lines it already read) and returns 0. The
+/// listening fd is not closed.
+int serve_connections(int listen_fd, const AcceptLoopOptions& options,
+                      const HandlerFactory& factory, std::ostream& err);
+
+}  // namespace autosec::service

@@ -62,6 +62,25 @@ class ResourceBudget {
     }
   }
 
+  /// Admission-control variant of charge_bytes: reserve `bytes` against the
+  /// ceiling without throwing. On success the bytes stay charged (pair with
+  /// release_bytes when the admitted work completes); when the reservation
+  /// would cross the ceiling it is rolled back and false is returned, so the
+  /// caller can shed the work instead of unwinding mid-flight.
+  bool try_charge_bytes(size_t bytes) {
+    const size_t total =
+        charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (max_bytes_ != 0 && total > max_bytes_) {
+      charged_.fetch_sub(bytes, std::memory_order_relaxed);
+      return false;
+    }
+    size_t peak = peak_.load(std::memory_order_relaxed);
+    while (total > peak &&
+           !peak_.compare_exchange_weak(peak, total, std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
   /// Return bytes to the budget when a stage frees a tracked allocation.
   void release_bytes(size_t bytes) {
     charged_.fetch_sub(bytes, std::memory_order_relaxed);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
 
 #include "util/metrics.hpp"
@@ -155,6 +156,16 @@ void set_thread_count(size_t threads) {
   std::lock_guard<std::mutex> lock(g_pool_mutex);
   g_thread_override = threads;
   g_pool.reset();  // rebuilt to the new size on next use
+  g_pool_size = 0;
+}
+
+void abandon_pool_after_fork() noexcept {
+  // Single-threaded context by contract (immediately after fork): leak the
+  // inherited pool — its ~ThreadPool would block joining workers that exist
+  // only in the parent — and reset the mutex in case a parent thread held it
+  // at fork time.
+  new (&g_pool_mutex) std::mutex();
+  (void)g_pool.release();
   g_pool_size = 0;
 }
 

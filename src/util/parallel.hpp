@@ -84,6 +84,13 @@ void set_thread_count(size_t threads);
 /// set_thread_count()).
 ThreadPool& global_pool();
 
+/// Call in a freshly fork()ed child before any engine work: the inherited
+/// pool object's worker threads do not exist in the child, so destroying it
+/// normally would join threads that never run. This abandons the object
+/// without joining (and re-initializes the guard mutex, which may have been
+/// snapshotted mid-acquisition); the next parallel_for builds a fresh pool.
+void abandon_pool_after_fork() noexcept;
+
 /// global_pool().parallel_for with the serial fast paths applied first.
 void parallel_for(size_t begin, size_t end, size_t grain, const ChunkFn& fn);
 

@@ -1,0 +1,149 @@
+// Unit tests of the persistent result cache (service/disk_cache.hpp): the
+// round-trip contract, atomic-replace semantics, and — the property the
+// serve layer leans on — that every corruption mode degrades to a miss,
+// never to a wrong answer.
+#include "service/disk_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace autosec::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DiskCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "autosec_disk_cache_unit";
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::vector<fs::path> entry_files() const {
+    std::vector<fs::path> out;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (entry.path().extension() == ".entry") out.push_back(entry.path());
+    }
+    return out;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(DiskCacheTest, RoundTripAndStats) {
+  DiskCache cache(dir_.string());
+  EXPECT_FALSE(cache.lookup("k1").has_value());
+  cache.store("k1", R"({"result": 42})");
+  const auto payload = cache.lookup("k1");
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, R"({"result": 42})");
+
+  const DiskCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.corrupt, 0u);
+}
+
+TEST_F(DiskCacheTest, EntriesSurviveACacheObjectRestart) {
+  {
+    DiskCache cache(dir_.string());
+    cache.store("persistent", "payload");
+  }
+  DiskCache reopened(dir_.string());
+  const auto payload = reopened.lookup("persistent");
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "payload");
+}
+
+TEST_F(DiskCacheTest, StoreReplacesAtomically) {
+  DiskCache cache(dir_.string());
+  cache.store("k", "old");
+  cache.store("k", "new");
+  EXPECT_EQ(cache.lookup("k").value_or(""), "new");
+  // Still exactly one file total — no temp-file litter left behind.
+  EXPECT_EQ(entry_files().size(), 1u);
+  EXPECT_EQ(std::distance(fs::directory_iterator(dir_),
+                          fs::directory_iterator{}),
+            1);
+}
+
+TEST_F(DiskCacheTest, TruncatedEntryIsUnlinkedAndReportsMiss) {
+  DiskCache cache(dir_.string());
+  cache.store("k", "payload");
+  const std::vector<fs::path> files = entry_files();
+  ASSERT_EQ(files.size(), 1u);
+  // Simulate a torn write: header only, no key or payload lines.
+  std::ofstream(files[0], std::ios::trunc) << "autosec-disk-cache-v1\n";
+
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  // The poisoned file is gone; a fresh store works again.
+  EXPECT_TRUE(entry_files().empty());
+  cache.store("k", "payload2");
+  EXPECT_EQ(cache.lookup("k").value_or(""), "payload2");
+}
+
+TEST_F(DiskCacheTest, GarbageEntryIsToleratedAsMiss) {
+  DiskCache cache(dir_.string());
+  cache.store("k", "payload");
+  const std::vector<fs::path> files = entry_files();
+  ASSERT_EQ(files.size(), 1u);
+  std::ofstream(files[0], std::ios::trunc)
+      << "\xff\xfe garbage that is not a cache entry";
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+}
+
+TEST_F(DiskCacheTest, KeyMismatchIsACollisionNotAHit) {
+  DiskCache cache(dir_.string());
+  cache.store("k", "payload");
+  const std::vector<fs::path> files = entry_files();
+  ASSERT_EQ(files.size(), 1u);
+  // A (hypothetical) hash collision: right file name, different full key on
+  // line 2. The read-side key check must refuse to replay it.
+  std::ofstream(files[0], std::ios::trunc)
+      << "autosec-disk-cache-v1\nsome-other-key\npayload\n";
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+}
+
+TEST_F(DiskCacheTest, NewlineBearingKeysAndPayloadsAreNeverCached) {
+  DiskCache cache(dir_.string());
+  cache.store("key\nwith newline", "payload");
+  cache.store("key", "payload\nwith newline");
+  EXPECT_EQ(cache.stats().stores, 0u);
+  EXPECT_FALSE(cache.lookup("key\nwith newline").has_value());
+  EXPECT_FALSE(cache.lookup("key").has_value());
+  EXPECT_TRUE(entry_files().empty());
+}
+
+TEST_F(DiskCacheTest, DistinctKeysGetDistinctFiles) {
+  DiskCache cache(dir_.string());
+  cache.store("a", "1");
+  cache.store("b", "2");
+  EXPECT_EQ(entry_files().size(), 2u);
+  EXPECT_EQ(cache.lookup("a").value_or(""), "1");
+  EXPECT_EQ(cache.lookup("b").value_or(""), "2");
+}
+
+TEST_F(DiskCacheTest, TwoCachesOnOneDirectoryShareEntries) {
+  // The pre-fork sharded server runs one DiskCache per worker process over
+  // the same directory; a store from one must be a hit for the other.
+  DiskCache writer(dir_.string());
+  DiskCache reader(dir_.string());
+  writer.store("shared", "payload");
+  EXPECT_EQ(reader.lookup("shared").value_or(""), "payload");
+}
+
+TEST_F(DiskCacheTest, UnusableDirectoryThrows) {
+  EXPECT_THROW(DiskCache("/proc/definitely/not/writable"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace autosec::service

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -401,6 +404,148 @@ TEST(ServerTest, SolverFallbackIsVisibleInResponseMetrics) {
   // A clean repeat reports zero fallbacks.
   const JsonValue clean = handle(server, analyze_line("s2"));
   EXPECT_EQ(clean.find("metrics")->int_or("solver_fallbacks", -1), 0);
+}
+
+TEST(ServerTest, SaturatedServerShedsWithOverloadedGolden) {
+  ServerOptions options = deterministic_options();
+  options.max_inflight = 1;
+  Server server(options);
+  // Hold the only admission slot, exactly as a long-running request would.
+  int64_t retry = 0;
+  std::optional<Ticket> held = server.admission().try_admit(&retry);
+  ASSERT_TRUE(held.has_value());
+
+  const std::string shed = server.handle_line(analyze_line("o1"));
+  EXPECT_EQ(shed, read_golden("overloaded.json"));
+  const JsonValue parsed = JsonValue::parse(shed);
+  EXPECT_EQ(parsed.find("error")->int_or("retry_after_ms", -1), 100);
+
+  // The slot frees when the held ticket goes away; the same request is then
+  // admitted and runs normally — shedding never poisoned anything.
+  held.reset();
+  const JsonValue after = handle(server, analyze_line("o2"));
+  EXPECT_TRUE(after.bool_or("ok", false)) << after.dump();
+
+  const JsonValue status = handle(server, R"({"op": "status"})");
+  const JsonValue* admission = status.find("result")->find("admission");
+  ASSERT_NE(admission, nullptr);
+  EXPECT_EQ(admission->int_or("shed", -1), 1);
+  EXPECT_EQ(admission->int_or("max_inflight", -1), 1);
+  EXPECT_GE(admission->int_or("admitted", -1), 2);  // held ticket + o2
+}
+
+TEST(ServerTest, StatusBypassesAdmissionOnASaturatedServer) {
+  ServerOptions options = deterministic_options();
+  options.max_inflight = 1;
+  Server server(options);
+  int64_t retry = 0;
+  std::optional<Ticket> held = server.admission().try_admit(&retry);
+  ASSERT_TRUE(held.has_value());
+  // Operators can still look at a saturated server.
+  const JsonValue status = handle(server, R"({"op": "status"})");
+  EXPECT_TRUE(status.bool_or("ok", false)) << status.dump();
+  EXPECT_EQ(status.find("result")->find("admission")->int_or("inflight", -1),
+            1);
+}
+
+TEST(ServerTest, DiskCacheWarmRestartAnswersWithoutEngineWork) {
+  const std::string dir = ::testing::TempDir() + "autosec_warm_restart_cache";
+  std::filesystem::remove_all(dir);
+  ServerOptions options = deterministic_options();
+  options.disk_cache_dir = dir;
+
+  std::string cold_result;
+  {
+    Server first(options);
+    const JsonValue cold = handle(first, analyze_line("w1"));
+    ASSERT_TRUE(cold.bool_or("ok", false)) << cold.dump();
+    EXPECT_EQ(cold.find("metrics")->string_or("disk_cache", ""), "miss");
+    EXPECT_EQ(cold.find("metrics")->int_or("explores", -1), 1);
+    cold_result = cold.find("result")->dump();
+    const JsonValue status = handle(first, R"({"op": "status"})");
+    const JsonValue* disk = status.find("result")->find("disk_cache");
+    ASSERT_NE(disk, nullptr);
+    EXPECT_EQ(disk->int_or("stores", -1), 1);
+  }  // server gone — only the disk survives the "restart"
+
+  Server second(options);
+  const JsonValue warm = handle(second, analyze_line("w2"));
+  ASSERT_TRUE(warm.bool_or("ok", false)) << warm.dump();
+  EXPECT_EQ(warm.find("metrics")->string_or("disk_cache", ""), "hit");
+  // The whole point: zero engine work after a restart.
+  EXPECT_EQ(warm.find("metrics")->int_or("explores", -1), 0);
+  EXPECT_EQ(warm.find("metrics")->string_or("session_cache", ""), "none");
+  // And the replayed payload is bit-identical to the computed one.
+  EXPECT_EQ(warm.find("result")->dump(), cold_result);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerTest, DiskCacheKeySeparatesRequestIdentity) {
+  const std::string dir = ::testing::TempDir() + "autosec_disk_key_cache";
+  std::filesystem::remove_all(dir);
+  ServerOptions options = deterministic_options();
+  options.disk_cache_dir = dir;
+  Server server(options);
+
+  handle(server, analyze_line("k1"));
+  // Same architecture, different override set: must MISS (different answer).
+  const JsonValue overridden =
+      handle(server, analyze_line("k2", ", \"overrides\": {\"phi_gw\": 8.0}"));
+  EXPECT_EQ(overridden.find("metrics")->string_or("disk_cache", ""), "miss");
+  // Different horizon: must MISS too.
+  const JsonValue horizon =
+      handle(server, analyze_line("k3", ", \"horizon_years\": 2.0"));
+  EXPECT_EQ(horizon.find("metrics")->string_or("disk_cache", ""), "miss");
+  // The exact original request hits.
+  const JsonValue repeat = handle(server, analyze_line("k4"));
+  EXPECT_EQ(repeat.find("metrics")->string_or("disk_cache", ""), "hit");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerTest, StatusIsNeverDiskCached) {
+  const std::string dir = ::testing::TempDir() + "autosec_status_cache";
+  std::filesystem::remove_all(dir);
+  ServerOptions options = deterministic_options();
+  options.disk_cache_dir = dir;
+  Server server(options);
+  const JsonValue status = handle(server, R"({"op": "status"})");
+  EXPECT_EQ(status.find("metrics")->string_or("disk_cache", ""), "none");
+  const JsonValue disk = *status.find("result")->find("disk_cache");
+  EXPECT_EQ(disk.int_or("stores", -1), 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerTest, UnusableDiskCacheDirFailsConstructionLoudly) {
+  ServerOptions options = deterministic_options();
+  options.disk_cache_dir = "/proc/definitely/not/writable";
+  EXPECT_THROW(Server{options}, std::runtime_error);
+}
+
+TEST(ServerTest, OverflowResponseIsAStructuredOverloadedEnvelope) {
+  Server server(deterministic_options());
+  const JsonValue overflow = JsonValue::parse(server.overflow_response());
+  EXPECT_EQ(overflow.string_or("schema_version", ""), "autosec-serve-v1");
+  EXPECT_FALSE(overflow.bool_or("ok", true));
+  EXPECT_EQ(overflow.find("error")->string_or("code", ""), "overloaded");
+  EXPECT_EQ(overflow.find("error")->int_or("retry_after_ms", -1), 100);
+}
+
+TEST(ServerTest, HandleBatchKeepsInputOrderAcrossThePool) {
+  Server server(deterministic_options());
+  std::vector<std::string> lines;
+  for (int i = 0; i < 8; ++i) {
+    lines.push_back(analyze_line("b" + std::to_string(i)));
+  }
+  lines.push_back("{not json");
+  const std::vector<std::string> responses = server.handle_batch(lines);
+  ASSERT_EQ(responses.size(), lines.size());
+  for (int i = 0; i < 8; ++i) {
+    const JsonValue response = JsonValue::parse(responses[i]);
+    EXPECT_EQ(response.string_or("id", ""), "b" + std::to_string(i));
+    EXPECT_TRUE(response.bool_or("ok", false));
+  }
+  EXPECT_EQ(JsonValue::parse(responses[8]).find("error")->string_or("code", ""),
+            "bad_request");
 }
 
 TEST(SessionCacheTest, EvictByKeyDropsOnlyThatEntry) {

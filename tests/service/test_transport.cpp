@@ -1,0 +1,306 @@
+// Tests of the socket transport (service/transport.hpp): listener setup and
+// error reporting, the concurrent accept loop (several connections served at
+// once — the regression test for the old one-at-a-time Unix accept loop),
+// connection overflow shedding, and the transport-independence contract: a
+// response that travelled over TCP is bit-identical to one computed by
+// handle_line directly.
+#include "service/transport.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/server.hpp"
+#include "util/drain.hpp"
+
+namespace autosec::service {
+namespace {
+
+std::string source_path(const std::string& relative) {
+  return std::string(AUTOSEC_SOURCE_DIR) + "/" + relative;
+}
+
+std::string analyze_line(const std::string& id) {
+  return "{\"id\": \"" + id + "\", \"op\": \"analyze\", \"architecture\": \"" +
+         source_path("data/arch1.arch") + "\"}";
+}
+
+int connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Blocking line reader over a client socket (test side of the NDJSON wire).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// The next line (without the newline); empty string on EOF.
+  std::string next() {
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+      if (got <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(got));
+    }
+  }
+
+  bool at_eof() {
+    char byte;
+    return ::read(fd_, &byte, 1) == 0;
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// Trivial handler: answers every line with "echo:<line>" synchronously.
+class EchoHandler : public ConnectionHandler {
+ public:
+  explicit EchoHandler(std::shared_ptr<ConnectionSink> sink)
+      : sink_(std::move(sink)) {}
+  void handle_lines(std::vector<std::string> lines) override {
+    for (const std::string& line : lines) sink_->write_line("echo:" + line);
+  }
+  void finish() override {}
+
+ private:
+  std::shared_ptr<ConnectionSink> sink_;
+};
+
+HandlerFactory echo_factory() {
+  return [](std::shared_ptr<ConnectionSink> sink) {
+    return std::make_unique<EchoHandler>(std::move(sink));
+  };
+}
+
+/// Every test drives the process-wide drain flag; isolate them from each
+/// other (and from the server tests) by resetting it on both sides.
+class TransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::drain_fd();  // ensure the self-pipe exists before any request
+    util::reset_drain();
+  }
+  void TearDown() override { util::reset_drain(); }
+};
+
+TEST_F(TransportTest, ListenTcpRejectsBadAddressesWithClearErrors) {
+  std::string error;
+  EXPECT_EQ(listen_tcp("notaport", nullptr, error), -1);
+  EXPECT_NE(error.find("invalid TCP port"), std::string::npos) << error;
+  error.clear();
+  EXPECT_EQ(listen_tcp("127.0.0.1:99999", nullptr, error), -1);
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  error.clear();
+  EXPECT_EQ(listen_tcp("not.a.host:80", nullptr, error), -1);
+  EXPECT_NE(error.find("invalid TCP host"), std::string::npos) << error;
+}
+
+TEST_F(TransportTest, ListenTcpPortZeroReportsTheKernelChosenPort) {
+  std::string error;
+  int port = 0;
+  const int fd = listen_tcp("127.0.0.1:0", &port, error);
+  ASSERT_GE(fd, 0) << error;
+  EXPECT_GT(port, 0);
+  // The reported port is actually connectable.
+  const int client = connect_tcp(port);
+  EXPECT_GE(client, 0);
+  if (client >= 0) ::close(client);
+  ::close(fd);
+}
+
+TEST_F(TransportTest, ServesManyTcpConnectionsConcurrently) {
+  std::string error;
+  int port = 0;
+  const int listen_fd = listen_tcp("127.0.0.1:0", &port, error);
+  ASSERT_GE(listen_fd, 0) << error;
+
+  std::ostringstream err;
+  std::thread serve([&] {
+    EXPECT_EQ(serve_connections(listen_fd, {}, echo_factory(), err), 0);
+  });
+
+  // All four clients connect and STAY connected; each then gets answers
+  // while the others hold their connections open — impossible with a
+  // one-connection-at-a-time accept loop.
+  constexpr int kClients = 4;
+  std::vector<int> fds;
+  for (int i = 0; i < kClients; ++i) {
+    const int fd = connect_tcp(port);
+    ASSERT_GE(fd, 0);
+    fds.push_back(fd);
+  }
+  std::vector<LineReader> readers;
+  readers.reserve(fds.size());
+  for (const int fd : fds) readers.emplace_back(fd);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < kClients; ++i) {
+      const std::string line =
+          "c" + std::to_string(i) + "-r" + std::to_string(round);
+      ASSERT_TRUE(write_fd_all(fds[i], line + "\n"));
+      EXPECT_EQ(readers[i].next(), "echo:" + line);
+    }
+  }
+  for (const int fd : fds) ::close(fd);
+
+  util::request_drain();
+  serve.join();
+  ::close(listen_fd);
+}
+
+TEST_F(TransportTest, UnixSocketServesConnectionsConcurrentlyToo) {
+  const std::string path = ::testing::TempDir() + "autosec_transport_test.sock";
+  std::string error;
+  const int listen_fd = listen_unix(path, error);
+  ASSERT_GE(listen_fd, 0) << error;
+
+  std::ostringstream err;
+  std::thread serve([&] {
+    EXPECT_EQ(serve_connections(listen_fd, {}, echo_factory(), err), 0);
+  });
+
+  const int first = connect_unix(path);
+  ASSERT_GE(first, 0);
+  LineReader first_reader(first);
+  ASSERT_TRUE(write_fd_all(first, "one\n"));
+  EXPECT_EQ(first_reader.next(), "echo:one");
+
+  // With `first` still open, a second connection is served immediately.
+  const int second = connect_unix(path);
+  ASSERT_GE(second, 0);
+  LineReader second_reader(second);
+  ASSERT_TRUE(write_fd_all(second, "two\n"));
+  EXPECT_EQ(second_reader.next(), "echo:two");
+
+  // And the first connection still works afterwards.
+  ASSERT_TRUE(write_fd_all(first, "three\n"));
+  EXPECT_EQ(first_reader.next(), "echo:three");
+
+  ::close(first);
+  ::close(second);
+  util::request_drain();
+  serve.join();
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+}
+
+TEST_F(TransportTest, ConnectionsBeyondTheCapGetTheOverflowLine) {
+  std::string error;
+  int port = 0;
+  const int listen_fd = listen_tcp("127.0.0.1:0", &port, error);
+  ASSERT_GE(listen_fd, 0) << error;
+
+  AcceptLoopOptions options;
+  options.max_connections = 1;
+  options.overflow_line = [] { return std::string("OVERLOADED"); };
+  std::ostringstream err;
+  std::thread serve([&] {
+    EXPECT_EQ(serve_connections(listen_fd, options, echo_factory(), err), 0);
+  });
+
+  const int first = connect_tcp(port);
+  ASSERT_GE(first, 0);
+  LineReader first_reader(first);
+  ASSERT_TRUE(write_fd_all(first, "held\n"));
+  EXPECT_EQ(first_reader.next(), "echo:held");  // first is definitely served
+
+  const int second = connect_tcp(port);
+  ASSERT_GE(second, 0);
+  LineReader second_reader(second);
+  EXPECT_EQ(second_reader.next(), "OVERLOADED");
+  EXPECT_TRUE(second_reader.at_eof());  // shed connections are closed
+  ::close(second);
+
+  // The held connection was never disturbed.
+  ASSERT_TRUE(write_fd_all(first, "still-alive\n"));
+  EXPECT_EQ(first_reader.next(), "echo:still-alive");
+  ::close(first);
+
+  util::request_drain();
+  serve.join();
+  ::close(listen_fd);
+}
+
+TEST_F(TransportTest, TcpResponsesAreBitIdenticalToDirectHandleLine) {
+  std::string error;
+  int port = 0;
+  const int listen_fd = listen_tcp("127.0.0.1:0", &port, error);
+  ASSERT_GE(listen_fd, 0) << error;
+
+  ServerOptions options;
+  options.deterministic = true;
+  Server tcp_server(options);
+  std::ostringstream err;
+  std::thread serve([&] {
+    EXPECT_EQ(tcp_server.serve_listener(listen_fd, err), 0);
+  });
+
+  // A cache miss, a cache hit, and a malformed line — the interesting
+  // envelope shapes.
+  const std::vector<std::string> lines = {analyze_line("r1"),
+                                          analyze_line("r2"), "{not json"};
+  const int fd = connect_tcp(port);
+  ASSERT_GE(fd, 0);
+  LineReader reader(fd);
+  std::vector<std::string> via_tcp;
+  for (const std::string& line : lines) {
+    ASSERT_TRUE(write_fd_all(fd, line + "\n"));
+    via_tcp.push_back(reader.next());
+  }
+  ::close(fd);
+  util::request_drain();
+  serve.join();
+  ::close(listen_fd);
+
+  // A fresh server fed the same lines directly produces the same bytes:
+  // the transport adds nothing and loses nothing.
+  Server direct(options);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(via_tcp[i], direct.handle_line(lines[i])) << lines[i];
+  }
+}
+
+}  // namespace
+}  // namespace autosec::service

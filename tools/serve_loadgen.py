@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Concurrent load generator for `autosec serve` — the CI scale-out driver.
+
+Connects N clients to a running server (TCP or Unix socket), streams NDJSON
+v1 requests from each, and verifies the fleet-level invariants the serve
+layer promises:
+
+  * integrity (always on): every request id is answered exactly once, every
+    envelope parses, and every response is ok (a structured `overloaded`
+    shed fails the run unless --allow-overloaded is given);
+  * --assert-warm-hits: after a cold round that touches every architecture,
+    a warm round must answer every request from a cache (session_cache or
+    disk_cache "hit") with explores 0 — the digest-sharding proof (repeats
+    land on the worker that already explored the model);
+  * --kill-pid P --kill-after N: once N responses have arrived across all
+    clients, send SIGKILL to pid P (a pre-fork worker) and keep going — the
+    respawn proof is simply that integrity still holds.
+
+Request ids are deterministic ("c<client>-r<round>-<n>"), so a response file
+captured with --responses-out can be compared across transports. The
+companion mode
+
+    serve_loadgen.py extract RESPONSES.ndjson
+
+prints "id<TAB>result" lines (results canonicalised by Python's json module)
+sorted by id, so `diff` can prove the TCP fleet returned the same payloads
+as a one-shot --input run. Stdlib only; exit 0 = every assertion held.
+"""
+
+import argparse
+import json
+import signal
+import socket
+import sys
+import threading
+
+
+def parse_connect(text):
+    if text.startswith("tcp:"):
+        host, _, port = text[4:].rpartition(":")
+        return ("tcp", host or "127.0.0.1", int(port))
+    if text.startswith("unix:"):
+        return ("unix", text[5:], None)
+    raise SystemExit(f"serve_loadgen: bad --connect '{text}' "
+                     "(use tcp:HOST:PORT or unix:PATH)")
+
+
+def connect(target):
+    kind, host, port = target
+    if kind == "tcp":
+        return socket.create_connection((host, port), timeout=60)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(60)
+    sock.connect(host)
+    return sock
+
+
+class Killer:
+    """Fires SIGKILL at `pid` once, after `after` total responses."""
+
+    def __init__(self, pid, after):
+        self.pid = pid
+        self.after = after
+        self.count = 0
+        self.fired = False
+        self.lock = threading.Lock()
+
+    def on_response(self):
+        if self.pid is None:
+            return
+        with self.lock:
+            self.count += 1
+            if self.fired or self.count < self.after:
+                return
+            self.fired = True
+        print(f"serve_loadgen: kill -9 {self.pid} "
+              f"after {self.count} responses", flush=True)
+        try:
+            import os
+            os.kill(self.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+
+
+class Client(threading.Thread):
+    def __init__(self, index, target, args, killer):
+        super().__init__(name=f"client-{index}")
+        self.index = index
+        self.target = target
+        self.args = args
+        self.killer = killer
+        self.responses = []  # parsed envelopes, arrival order
+        self.errors = []
+
+    def fail(self, message):
+        self.errors.append(f"client {self.index}: {message}")
+
+    def request_line(self, round_name, n, arch):
+        rid = f"c{self.index}-r{round_name}-{n}"
+        return rid, json.dumps(
+            {"id": rid, "op": "analyze", "architecture": arch},
+            separators=(", ", ": "))
+
+    def run_round(self, sock, reader, round_name, expect_warm):
+        pending = {}
+        lines = []
+        for n in range(self.args.requests):
+            arch = self.args.arch[n % len(self.args.arch)]
+            rid, line = self.request_line(round_name, n, arch)
+            pending[rid] = True
+            lines.append(line)
+        sock.sendall(("\n".join(lines) + "\n").encode())
+        while pending:
+            raw = reader.readline()
+            if not raw:
+                self.fail(f"connection closed with {len(pending)} "
+                          "responses outstanding")
+                return
+            try:
+                envelope = json.loads(raw)
+            except json.JSONDecodeError as error:
+                self.fail(f"unparseable response: {error}: {raw[:200]!r}")
+                return
+            rid = envelope.get("id", "")
+            if rid not in pending:
+                self.fail(f"unexpected or duplicated response id '{rid}'")
+                return
+            del pending[rid]
+            self.responses.append(envelope)
+            self.killer.on_response()
+            if not envelope.get("ok", False):
+                code = envelope.get("error", {}).get("code", "?")
+                if code == "overloaded" and self.args.allow_overloaded:
+                    continue
+                self.fail(f"response '{rid}' not ok (code {code}): "
+                          f"{raw[:200]!r}")
+                return
+            if expect_warm and self.args.assert_warm_hits:
+                metrics = envelope.get("metrics", {})
+                cached = (metrics.get("session_cache") == "hit"
+                          or metrics.get("disk_cache") == "hit")
+                if not cached or metrics.get("explores") != 0:
+                    self.fail(f"warm response '{rid}' missed both caches: "
+                              f"{metrics}")
+                    return
+
+    def run(self):
+        try:
+            sock = connect(self.target)
+        except OSError as error:
+            self.fail(f"cannot connect: {error}")
+            return
+        try:
+            reader = sock.makefile("r", encoding="utf-8", newline="\n")
+            self.run_round(sock, reader, "cold", expect_warm=False)
+            if not self.errors and self.args.warm_rounds > 0:
+                for warm in range(self.args.warm_rounds):
+                    self.run_round(sock, reader, f"warm{warm}",
+                                   expect_warm=True)
+                    if self.errors:
+                        break
+        finally:
+            sock.close()
+
+
+def run_extract(path):
+    rows = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            envelope = json.loads(line)
+            result = json.dumps(envelope.get("result"), sort_keys=True)
+            rows.append((envelope.get("id", ""), result))
+    for rid, result in sorted(rows):
+        print(f"{rid}\t{result}")
+    return 0
+
+
+def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "extract":
+        if len(sys.argv) != 3:
+            raise SystemExit("usage: serve_loadgen.py extract FILE.ndjson")
+        return run_extract(sys.argv[2])
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--connect", required=True,
+                        help="tcp:HOST:PORT or unix:PATH")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=8,
+                        help="requests per client per round")
+    parser.add_argument("--arch", action="append", required=True,
+                        help="architecture file (repeatable; round-robined)")
+    parser.add_argument("--warm-rounds", type=int, default=1)
+    parser.add_argument("--assert-warm-hits", action="store_true",
+                        help="warm rounds must report a session or disk "
+                             "cache hit and explores=0")
+    parser.add_argument("--allow-overloaded", action="store_true")
+    parser.add_argument("--kill-pid", type=int, default=None)
+    parser.add_argument("--kill-after", type=int, default=0,
+                        help="responses to wait for before --kill-pid fires")
+    parser.add_argument("--responses-out", default=None,
+                        help="write every response envelope (NDJSON) here")
+    parser.add_argument("--requests-out", default=None,
+                        help="write the exact request lines this run sends "
+                             "(NDJSON) — replay them through `autosec serve "
+                             "--input` to compare transports")
+    args = parser.parse_args()
+
+    if args.requests_out:
+        # The same deterministic ids the clients will use, so a one-shot
+        # --input replay produces comparable envelopes.
+        rounds = ["cold"] + [f"warm{w}" for w in range(args.warm_rounds)]
+        with open(args.requests_out, "w", encoding="utf-8") as out:
+            for index in range(args.clients):
+                for round_name in rounds:
+                    for n in range(args.requests):
+                        arch = args.arch[n % len(args.arch)]
+                        out.write(json.dumps(
+                            {"id": f"c{index}-r{round_name}-{n}",
+                             "op": "analyze", "architecture": arch},
+                            separators=(", ", ": ")) + "\n")
+
+    target = parse_connect(args.connect)
+    killer = Killer(args.kill_pid, args.kill_after)
+    clients = [Client(i, target, args, killer) for i in range(args.clients)]
+    for client in clients:
+        client.start()
+    for client in clients:
+        client.join()
+
+    responses = [r for client in clients for r in client.responses]
+    if args.responses_out:
+        with open(args.responses_out, "w", encoding="utf-8") as out:
+            for envelope in responses:
+                out.write(json.dumps(envelope, sort_keys=True) + "\n")
+
+    errors = [e for client in clients for e in client.errors]
+    expected = args.clients * args.requests * (1 + max(args.warm_rounds, 0))
+    for error in errors:
+        print(f"serve_loadgen: FAIL: {error}", file=sys.stderr)
+    if not errors and len(responses) != expected:
+        print(f"serve_loadgen: FAIL: expected {expected} responses, "
+              f"got {len(responses)}", file=sys.stderr)
+        errors.append("response count")
+    if errors:
+        return 1
+    hits = sum(1 for r in responses
+               if r.get("metrics", {}).get("session_cache") == "hit")
+    disk_hits = sum(1 for r in responses
+                    if r.get("metrics", {}).get("disk_cache") == "hit")
+    print(f"serve_loadgen: OK — {len(responses)} responses across "
+          f"{args.clients} clients, {hits} session-cache hits, "
+          f"{disk_hits} disk-cache hits")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
