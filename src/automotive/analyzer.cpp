@@ -20,6 +20,7 @@ symbolic::Model build_model(const Architecture& architecture, const std::string&
   transform_options.literal_patch_guard = options.literal_patch_guard;
   transform_options.guardian_requires_foothold = options.guardian_requires_foothold;
   transform_options.include_reliability = options.include_reliability;
+  transform_options.model_type = options.model_type;
   return transform(architecture, transform_options);
 }
 

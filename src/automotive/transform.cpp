@@ -87,6 +87,31 @@ std::string bus_formula_name(const std::string& bus) {
   return "bus_" + sanitize_identifier(bus);
 }
 
+std::string interface_probability_constant(const std::string& ecu,
+                                           const std::string& bus) {
+  return "p_" + sanitize_identifier(ecu) + "_" + sanitize_identifier(bus);
+}
+
+std::string guardian_probability_constant(const std::string& bus) {
+  return "p_bg_" + sanitize_identifier(bus);
+}
+
+std::string switch_probability_constant(const std::string& bus) {
+  return "p_sw_" + sanitize_identifier(bus);
+}
+
+std::string interface_action_name(const std::string& ecu, const std::string& bus) {
+  return "atk_" + sanitize_identifier(ecu) + "_" + sanitize_identifier(bus);
+}
+
+std::string guardian_action_name(const std::string& bus) {
+  return "atk_bg_" + sanitize_identifier(bus);
+}
+
+std::string switch_action_name(const std::string& bus) {
+  return "atk_sw_" + sanitize_identifier(bus);
+}
+
 std::string category_key(SecurityCategory category) {
   switch (category) {
     case SecurityCategory::kConfidentiality: return "conf";
@@ -138,16 +163,11 @@ class NameChecker {
   std::unordered_map<std::string, std::string> claimed_;
 };
 
-/// The attack core shared by every message measure: rate constants, the ε(e)
-/// and ε(b) formulas (Eqs. 3-6), and the interface / guardian / switch
-/// modules (Eqs. 1-2 and their bus-component analogues).
-void emit_attack_core(const Architecture& architecture, int nmax_value,
-                      bool literal_patch_guard, bool guardian_requires_foothold,
-                      symbolic::ModelBuilder& builder, NameChecker& names) {
-  builder.constant_int("nmax", nmax_value);
-  const Expr nmax = Expr::ident("nmax");
-
-  // --- constants for every interface / ECU / guardian rate.
+/// Rate constants of every interface / ECU / guardian / switch. Shared by
+/// the ctmc and mdp cores so parameter sweeps override the same names in
+/// both model families.
+void emit_rate_constants(const Architecture& architecture,
+                         symbolic::ModelBuilder& builder, NameChecker& names) {
   for (const Ecu& ecu : architecture.ecus) {
     names.claim(ecu_phi_constant(ecu.name), "ecu " + ecu.name);
     builder.constant_double(ecu_phi_constant(ecu.name), ecu.phi);
@@ -168,7 +188,12 @@ void emit_attack_core(const Architecture& architecture, int nmax_value,
       builder.constant_double(switch_phi_constant(bus.name), bus.eth_switch->phi);
     }
   }
+}
 
+/// The ε(e) and ε(b) formulas (Eqs. 3-6), shared verbatim by both cores —
+/// what "exploitable" means does not depend on who schedules the attacks.
+void emit_epsilon_formulas(const Architecture& architecture,
+                           symbolic::ModelBuilder& builder, NameChecker& names) {
   // --- ε(e) formulas (Eq. 3). Declared before bus formulas that use them.
   for (const Ecu& ecu : architecture.ecus) {
     std::vector<Expr> terms;
@@ -205,6 +230,21 @@ void emit_attack_core(const Architecture& architecture, int nmax_value,
     }
     builder.formula(bus_formula_name(bus.name), std::move(exploitable));
   }
+}
+
+/// The attack core shared by every message measure: rate constants, the ε(e)
+/// and ε(b) formulas (Eqs. 3-6), and the interface / guardian / switch
+/// modules (Eqs. 1-2 and their bus-component analogues).
+void emit_attack_core(const Architecture& architecture, int nmax_value,
+                      bool literal_patch_guard, bool guardian_requires_foothold,
+                      symbolic::ModelBuilder& builder, NameChecker& names) {
+  builder.constant_int("nmax", nmax_value);
+  const Expr nmax = Expr::ident("nmax");
+
+  // --- constants for every interface / ECU / guardian rate.
+  emit_rate_constants(architecture, builder, names);
+
+  emit_epsilon_formulas(architecture, builder, names);
 
   // --- interface modules (Eqs. 1-2): one module per interface, holding the
   // exploit-count variable and its discovery/patch commands.
@@ -276,6 +316,129 @@ void emit_attack_core(const Architecture& architecture, int nmax_value,
   }
 }
 
+/// The attacker's one-attempt success probability against a surface with
+/// exploit rate η and patch rate ϕ: the embedded-jump probability η/(η+ϕ)
+/// of the exploit winning the race (ϕ = 0 gives p = 1, an unpatched surface).
+Expr success_probability(const std::string& eta_constant,
+                         const std::string& phi_constant) {
+  return Expr::ident(eta_constant) /
+         (Expr::ident(eta_constant) + Expr::ident(phi_constant));
+}
+
+/// One attack attempt as an mdp choice: the success branch applies the
+/// exploit, the failure branch (the patch winning the race) changes nothing.
+void attack_choice(symbolic::ModuleBuilder& module, const std::string& action,
+                   Expr guard, const std::string& probability_constant,
+                   const std::string& variable, Expr next_value) {
+  const Expr p = Expr::ident(probability_constant);
+  module.choice(action, std::move(guard),
+                {{p, {{variable, std::move(next_value)}}},
+                 {Expr::literal(1.0) - p, {}}});
+}
+
+/// The mdp attack core: the same rate constants, ε formulas and
+/// exploit-count variables as emit_attack_core, but each surface's
+/// exploit/patch rate pair becomes a single attacker *choice* that succeeds
+/// with probability η/(η+ϕ). There are no patch commands — a failed attempt
+/// is the patch winning the race — so exploit counters only grow and the
+/// worst-case attacker is a pure ordering question.
+void emit_adversary_core(const Architecture& architecture, int nmax_value,
+                         bool guardian_requires_foothold,
+                         symbolic::ModelBuilder& builder, NameChecker& names) {
+  builder.constant_int("nmax", nmax_value);
+  const Expr nmax = Expr::ident("nmax");
+
+  emit_rate_constants(architecture, builder, names);
+
+  // --- derived success probabilities, one per attack surface.
+  for (const Ecu& ecu : architecture.ecus) {
+    for (const Interface& iface : ecu.interfaces) {
+      names.claim(interface_probability_constant(ecu.name, iface.bus),
+                  "interface " + ecu.name + "/" + iface.bus);
+      builder.constant_expr(
+          interface_probability_constant(ecu.name, iface.bus),
+          symbolic::ConstantDecl::Type::kDouble,
+          success_probability(interface_eta_constant(ecu.name, iface.bus),
+                              ecu_phi_constant(ecu.name)));
+    }
+  }
+  for (const Bus& bus : architecture.buses) {
+    if (bus.kind == BusKind::kFlexRay) {
+      names.claim(guardian_probability_constant(bus.name), "guardian " + bus.name);
+      builder.constant_expr(
+          guardian_probability_constant(bus.name),
+          symbolic::ConstantDecl::Type::kDouble,
+          success_probability(guardian_eta_constant(bus.name),
+                              guardian_phi_constant(bus.name)));
+    } else if (bus.kind == BusKind::kEthernet) {
+      names.claim(switch_probability_constant(bus.name), "switch " + bus.name);
+      builder.constant_expr(
+          switch_probability_constant(bus.name),
+          symbolic::ConstantDecl::Type::kDouble,
+          success_probability(switch_eta_constant(bus.name),
+                              switch_phi_constant(bus.name)));
+    }
+  }
+
+  emit_epsilon_formulas(architecture, builder, names);
+
+  // --- interface modules: one attack choice each (Eq. 1's guard, jump
+  // probability instead of a rate).
+  for (const Ecu& ecu : architecture.ecus) {
+    for (const Interface& iface : ecu.interfaces) {
+      const std::string var = interface_variable_name(ecu.name, iface.bus);
+      names.claim(var, "interface " + ecu.name + "/" + iface.bus);
+      auto& module = builder.module("iface_" + sanitize_identifier(ecu.name) + "_" +
+                                    sanitize_identifier(iface.bus));
+      module.variable(var, Expr::literal(0), nmax, Expr::literal(0));
+      const Expr x = Expr::ident(var);
+      attack_choice(module, interface_action_name(ecu.name, iface.bus),
+                    (x < nmax) && Expr::ident(bus_formula_name(iface.bus)),
+                    interface_probability_constant(ecu.name, iface.bus), var,
+                    x + Expr::literal(1));
+    }
+  }
+
+  // --- FlexRay bus guardians.
+  for (const Bus& bus : architecture.buses) {
+    if (bus.kind != BusKind::kFlexRay) continue;
+    const std::string var = guardian_variable_name(bus.name);
+    names.claim(var, "guardian " + bus.name);
+    auto& module = builder.module("guardian_" + sanitize_identifier(bus.name));
+    module.variable(var, Expr::literal(0), nmax, Expr::literal(0));
+    const Expr x = Expr::ident(var);
+    Expr guard = x < nmax;
+    if (guardian_requires_foothold) {
+      std::vector<Expr> ecu_terms;
+      for (const Ecu* ecu : architecture.ecus_on_bus(bus.name)) {
+        ecu_terms.push_back(Expr::ident(ecu_formula_name(ecu->name)));
+      }
+      guard = std::move(guard) && symbolic::any_of(ecu_terms);
+    }
+    attack_choice(module, guardian_action_name(bus.name), std::move(guard),
+                  guardian_probability_constant(bus.name), var,
+                  x + Expr::literal(1));
+  }
+
+  // --- Ethernet switches (always foothold-guarded, like the ctmc core).
+  for (const Bus& bus : architecture.buses) {
+    if (bus.kind != BusKind::kEthernet) continue;
+    const std::string var = switch_variable_name(bus.name);
+    names.claim(var, "switch " + bus.name);
+    auto& module = builder.module("switch_" + sanitize_identifier(bus.name));
+    module.variable(var, Expr::literal(0), nmax, Expr::literal(0));
+    const Expr x = Expr::ident(var);
+    std::vector<Expr> ecu_terms;
+    for (const Ecu* ecu : architecture.ecus_on_bus(bus.name)) {
+      ecu_terms.push_back(Expr::ident(ecu_formula_name(ecu->name)));
+    }
+    attack_choice(module, switch_action_name(bus.name),
+                  (x < nmax) && symbolic::any_of(ecu_terms),
+                  switch_probability_constant(bus.name), var,
+                  x + Expr::literal(1));
+  }
+}
+
 /// Eq. (7)'s path disjunction: some bus on the transmission path exploitable.
 Expr message_path_expr(const Message& message) {
   std::vector<Expr> path_terms;
@@ -303,6 +466,9 @@ struct MeasureNames {
   std::string phi_constant;
   std::string variable;
   std::string module_name;
+  /// mdp only: the derived success probability and the attacker's action.
+  std::string probability_constant;
+  std::string action;
 };
 
 struct MessageMeasure {
@@ -312,9 +478,12 @@ struct MessageMeasure {
 };
 
 /// Eqs. (7)-(10) for one (message, category) pair: the violation expression,
-/// plus the protection-break module when the category's η is finite.
+/// plus the protection-break module when the category's η is finite. For an
+/// mdp the break is an attacker choice (probability η/(η+ϕ), no patch
+/// command), mirroring the adversary core.
 MessageMeasure emit_attack_measure(const Message& message, SecurityCategory category,
                                    bool literal_patch_guard,
+                                   symbolic::ModelType model_type,
                                    const MeasureNames& measure_names,
                                    symbolic::ModelBuilder& builder,
                                    NameChecker& names) {
@@ -341,17 +510,31 @@ MessageMeasure emit_attack_measure(const Message& message, SecurityCategory cate
   builder.constant_double(measure_names.phi_constant, message.patch_rate);
   const std::string& var = measure_names.variable;
   names.claim(var, "message " + message.name);
+  if (model_type == symbolic::ModelType::kMdp) {
+    names.claim(measure_names.probability_constant, "message " + message.name);
+    builder.constant_expr(measure_names.probability_constant,
+                          symbolic::ConstantDecl::Type::kDouble,
+                          success_probability(measure_names.eta_constant,
+                                              measure_names.phi_constant));
+  }
   auto& module = builder.module(measure_names.module_name);
   module.variable(var, 0, 1, 0);
   const Expr x = Expr::ident(var);
-  // Eq. (9): the protection is broken while some path bus is exploitable.
-  module.command((x == Expr::literal(0)) && any_path_bus,
-                 Expr::ident(measure_names.eta_constant), {{var, Expr::literal(1)}});
-  // Eq. (10): patching the protection (rate 0 by default — disabled).
-  Expr patch_guard = x == Expr::literal(1);
-  if (literal_patch_guard) patch_guard = std::move(patch_guard) && any_path_bus;
-  module.command(std::move(patch_guard), Expr::ident(measure_names.phi_constant),
-                 {{var, Expr::literal(0)}});
+  if (model_type == symbolic::ModelType::kMdp) {
+    // Eq. (9) as an attack attempt; no Eq. (10) — failure *is* the patch.
+    attack_choice(module, measure_names.action,
+                  (x == Expr::literal(0)) && any_path_bus,
+                  measure_names.probability_constant, var, Expr::literal(1));
+  } else {
+    // Eq. (9): the protection is broken while some path bus is exploitable.
+    module.command((x == Expr::literal(0)) && any_path_bus,
+                   Expr::ident(measure_names.eta_constant), {{var, Expr::literal(1)}});
+    // Eq. (10): patching the protection (rate 0 by default — disabled).
+    Expr patch_guard = x == Expr::literal(1);
+    if (literal_patch_guard) patch_guard = std::move(patch_guard) && any_path_bus;
+    module.command(std::move(patch_guard), Expr::ident(measure_names.phi_constant),
+                   {{var, Expr::literal(0)}});
+  }
   // Eq. (8) ∨ broken protection.
   out.attack_violated = endpoints || (x == Expr::literal(1));
   out.has_variable = true;
@@ -423,19 +606,29 @@ symbolic::Model transform(const Architecture& architecture,
     throw ArchitectureError("transform: unknown message '" + options.message + "'");
   }
 
+  const bool mdp = options.model_type == symbolic::ModelType::kMdp;
   NameChecker names;
   symbolic::ModelBuilder builder;
-  emit_attack_core(architecture, options.nmax, options.literal_patch_guard,
-                   options.guardian_requires_foothold, builder, names);
+  if (mdp) {
+    builder.type(symbolic::ModelType::kMdp);
+    emit_adversary_core(architecture, options.nmax,
+                        options.guardian_requires_foothold, builder, names);
+  } else {
+    emit_attack_core(architecture, options.nmax, options.literal_patch_guard,
+                     options.guardian_requires_foothold, builder, names);
+  }
 
   // --- the analyzed message (Eqs. 7-10).
   const MessageMeasure measure = emit_attack_measure(
       *message, options.category, options.literal_patch_guard,
+      options.model_type,
       MeasureNames{
           .eta_constant = kMessageEtaConstant,
           .phi_constant = kMessagePhiConstant,
           .variable = message_variable_name(message->name),
           .module_name = "msg_" + sanitize_identifier(message->name),
+          .probability_constant = kMessageProbabilityConstant,
+          .action = kMessageActionName,
       },
       builder, names);
   const Expr attack_violated = measure.attack_violated;
@@ -443,9 +636,11 @@ symbolic::Model transform(const Architecture& architecture,
 
   // --- reliability (Section 5 future work): random failures of the message
   // endpoints make it unavailable until repaired. Only generated when it can
-  // matter — availability analyses of ECUs with failure specs.
+  // matter — availability analyses of ECUs with failure specs. CTMC only:
+  // failures are racing exponential clocks, which a turn-based adversary
+  // model has no notion of.
   Expr failure_violated = Expr::literal(false);
-  if (options.category == SecurityCategory::kAvailability &&
+  if (!mdp && options.category == SecurityCategory::kAvailability &&
       options.include_reliability) {
     std::vector<Expr> failed_terms;
     for (const std::string& ecu_name : endpoint_list(*message)) {
@@ -531,6 +726,7 @@ symbolic::Model transform_batch(const Architecture& architecture,
     for (const SecurityCategory category : options.categories) {
       const MessageMeasure measure = emit_attack_measure(
           *message, category, options.literal_patch_guard,
+          symbolic::ModelType::kCtmc,
           MeasureNames{
               .eta_constant = batch_message_eta_constant(message->name, category),
               .phi_constant = batch_message_phi_constant(message->name, category),

@@ -18,6 +18,21 @@
 // All rates are emitted as named `const double` declarations so parameter
 // sweeps (the paper's Fig. 6) re-compile the same model with overridden
 // constants, exactly like PRISM's -const switch.
+//
+// TransformOptions::model_type selects between two readings of the same
+// architecture:
+//   ctmc (default)  the paper's stochastic race — every exploit and patch is
+//                   an exponential clock and they all run concurrently.
+//   mdp             a nondeterministic worst-case attacker. Each step the
+//                   attacker *chooses* one attack surface (an interface, a
+//                   guardian, a switch, or the message protection) and the
+//                   attempt succeeds with the embedded-jump probability of
+//                   the exploit-vs-patch race, p = η/(η+ϕ). Patching has no
+//                   separate command — a failed attempt *is* the patch
+//                   winning the race. Pmax=?[F<=T "violated"] then bounds
+//                   the breach probability over every attack ordering within
+//                   T attempts, and the optimizing scheduler is the attack
+//                   path itself.
 #pragma once
 
 #include <string>
@@ -54,6 +69,11 @@ struct TransformOptions {
   /// treats it; the foothold variant is kept as an ablation (and reproduces
   /// far lower Architecture-3 exposures than the paper's Fig. 5).
   bool guardian_requires_foothold = false;
+  /// Model family to generate (see the file comment). For kMdp,
+  /// literal_patch_guard is meaningless (there are no patch commands) and
+  /// include_reliability is ignored (random failures are racing exponential
+  /// clocks; a turn-based adversary model has no concurrent clock to race).
+  symbolic::ModelType model_type = symbolic::ModelType::kCtmc;
 };
 
 /// Names of generated symbols, for constant overrides and custom properties.
@@ -75,6 +95,16 @@ std::string repair_rate_constant(const std::string& ecu);
 std::string ecu_formula_name(const std::string& ecu);
 std::string bus_formula_name(const std::string& bus);
 
+/// mdp only: derived success-probability constants p = η/(η+ϕ) and the
+/// attacker's action labels, one per attack surface.
+std::string interface_probability_constant(const std::string& ecu,
+                                           const std::string& bus);
+std::string guardian_probability_constant(const std::string& bus);
+std::string switch_probability_constant(const std::string& bus);
+std::string interface_action_name(const std::string& ecu, const std::string& bus);
+std::string guardian_action_name(const std::string& bus);
+std::string switch_action_name(const std::string& bus);
+
 /// Name of the generated violation label and exposure reward structure.
 /// "violated" is the union of the attack and failure terms; the *_attack and
 /// *_failure variants decompose it (failure terms are only non-trivial for
@@ -91,9 +121,13 @@ inline constexpr const char* kTimeReward = "time";
 /// Constants controlling the message protection (when its η is finite).
 inline constexpr const char* kMessageEtaConstant = "eta_msg";
 inline constexpr const char* kMessagePhiConstant = "phi_msg";
+/// mdp only: success probability and action label of the protection attack.
+inline constexpr const char* kMessageProbabilityConstant = "p_msg";
+inline constexpr const char* kMessageActionName = "atk_msg";
 
-/// Build the symbolic CTMC for one (message, category) analysis. The
-/// architecture is validated first. Labels emitted:
+/// Build the symbolic model (ctmc or mdp, per options.model_type) for one
+/// (message, category) analysis. The architecture is validated first.
+/// Labels emitted:
 ///   "violated"                   the category's violation states
 ///   "ecu_<name>_exploited"       ε(e) per ECU
 ///   "bus_<name>_exploitable"     ε(b) per bus
@@ -109,7 +143,8 @@ symbolic::Model transform(const Architecture& architecture,
 /// η is finite — a protection module with per-pair constant names. Protection
 /// and failure modules are driven components with no feedback into the shared
 /// core, so every pair's measures on the combined chain equal the ones on its
-/// single-pair transform() model (up to solver tolerance).
+/// single-pair transform() model (up to solver tolerance). CTMC only — the
+/// mdp adversary is a per-measure worst case and does not batch.
 struct BatchTransformOptions {
   /// Messages to cover, in result order. Empty = every message of the
   /// architecture in declaration order.

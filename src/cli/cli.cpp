@@ -120,6 +120,10 @@ struct ModelOptions {
   // resource ceilings (0 = unlimited)
   size_t max_states = 0;
   size_t max_memory_mb = 0;
+  // check --model-type mdp: write the optimizing scheduler's JSON document
+  // here, then parse it back and re-check the induced chain (exit 3 when the
+  // round-trip disagrees with value iteration beyond 1e-8).
+  std::string strategy_json;
 };
 
 ModelOptions parse_model_options(Args& args) {
@@ -195,15 +199,15 @@ ModelOptions parse_model_options(Args& args) {
         throw UsageError("unknown engine '" + engine +
                          "' (auto|classic|compact)");
       }
-      options.analysis.explore.engine = *parsed;
+      options.analysis.plan.engine = *parsed;
     } else if (*flag == "--reduction") {
       const std::string reduction = args.next("--reduction value");
       if (reduction == "auto") {
-        options.analysis.explore.reduction = symbolic::SymmetryReduction::kAuto;
+        options.analysis.plan.reduction = symbolic::SymmetryReduction::kAuto;
       } else if (reduction == "on") {
-        options.analysis.explore.reduction = symbolic::SymmetryReduction::kOn;
+        options.analysis.plan.reduction = symbolic::SymmetryReduction::kOn;
       } else if (reduction == "off") {
-        options.analysis.explore.reduction = symbolic::SymmetryReduction::kOff;
+        options.analysis.plan.reduction = symbolic::SymmetryReduction::kOff;
       } else {
         throw UsageError("unknown reduction '" + reduction + "' (auto|on|off)");
       }
@@ -213,14 +217,14 @@ ModelOptions parse_model_options(Args& args) {
       if (!parsed) {
         throw UsageError("unknown layout '" + layout + "' (auto|csr|blocked)");
       }
-      options.analysis.transient.layout = *parsed;
+      options.analysis.plan.layout = *parsed;
     } else if (*flag == "--reorder") {
       const std::string reorder = args.next("--reorder value");
       const auto parsed = linalg::parse_reorder_token(reorder);
       if (!parsed) {
         throw UsageError("unknown reorder '" + reorder + "' (auto|off|rcm)");
       }
-      options.analysis.transient.reorder = *parsed;
+      options.analysis.plan.reorder = *parsed;
     } else if (*flag == "--gs-ordering") {
       const std::string ordering = args.next("--gs-ordering value");
       const auto parsed = linalg::parse_gs_ordering_token(ordering);
@@ -228,9 +232,18 @@ ModelOptions parse_model_options(Args& args) {
         throw UsageError("unknown gs-ordering '" + ordering +
                          "' (auto|direct|colored)");
       }
-      options.analysis.steady_state.solver.ordering = *parsed;
+      options.analysis.plan.gs_ordering = *parsed;
     } else if (*flag == "--no-steady-detect") {
-      options.analysis.transient.steady_state_detection = false;
+      options.analysis.plan.steady_state_detection = false;
+    } else if (*flag == "--model-type") {
+      const std::string token = args.next("--model-type value");
+      const auto parsed = symbolic::parse_model_type_token(token);
+      if (!parsed) {
+        throw UsageError("unknown model type '" + token + "' (ctmc|mdp)");
+      }
+      options.analysis.model_type = *parsed;
+    } else if (*flag == "--strategy-json") {
+      options.strategy_json = args.next("--strategy-json value");
     } else {
       throw UsageError("unknown option '" + *flag + "'");
     }
@@ -305,6 +318,35 @@ int command_check(Args& args, std::ostream& out) {
   const automotive::SecurityAnalysis analysis(arch, options.message,
                                               options.categories.front(),
                                               options.analysis);
+
+  // --strategy-json: solve with scheduler export, write the document, then
+  // prove the round trip — parse the file back and re-check the Markov chain
+  // the parsed strategy induces. Disagreement beyond 1e-8 exits 3.
+  if (!options.strategy_json.empty()) {
+    if (options.property.empty()) {
+      throw UsageError("--strategy-json needs a single --property");
+    }
+    const csl::Property property = csl::parse_property(options.property);
+    csl::EngineSession& session = *analysis.session();
+    const csl::StrategyCheck checked = session.check_with_strategy(property);
+    const util::JsonValue document =
+        session.strategy_document(property, checked.strategy);
+    {
+      std::ofstream file(options.strategy_json);
+      if (!file) throw UsageError("cannot write '" + options.strategy_json + "'");
+      file << document.dump(2) << "\n";
+    }
+    std::ifstream file(options.strategy_json);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const csl::StrategyExport parsed = csl::parse_strategy_json(buffer.str());
+    const double induced = session.induced_value(property, parsed);
+    out << "value:   " << util::format_sig(checked.value, 10) << "\n";
+    out << "induced: " << util::format_sig(induced, 10) << "\n";
+    const bool ok = std::abs(checked.value - induced) <= 1e-8;
+    out << (ok ? "strategy roundtrip ok\n" : "strategy roundtrip MISMATCH\n");
+    return ok ? 0 : 3;
+  }
 
   // Single property: terse output, exit code reflects bounded verdicts.
   if (!options.property.empty()) {
@@ -596,6 +638,7 @@ void print_help(std::ostream& out) {
          "          [--horizon YEARS] [--set CONST=VALUE] [--no-reliability]\n"
          "          [--threads N]\n"
          "  check <file.arch> --message M (--property \"P=? [...]\" | --props FILE)\n"
+         "        [--model-type ctmc|mdp] [--strategy-json FILE]\n"
          "  simulate <file.arch> --message M [--samples N] [--seed S]\n"
          "  export-prism <file.arch> --message M [--category C] [-o FILE]\n"
          "  export-dot <file.arch> --message M [--category C] [-o FILE]\n"
@@ -643,6 +686,14 @@ void print_help(std::ostream& out) {
          "applies reverse-Cuthill-McKee state reordering at uniformization\n"
          "(probability-scale agreement). --no-steady-detect disables\n"
          "steady-state truncation of long transient horizons.\n"
+         "\n"
+         "--model-type ctmc|mdp picks the generated model family (docs/\n"
+         "engine.md#model-types): ctmc is the paper's exploit-vs-patch race,\n"
+         "mdp a worst-case nondeterministic attacker checked with Pmax/Pmin\n"
+         "(time bounds count attack attempts). With mdp, check --strategy-json\n"
+         "FILE also exports the optimizing scheduler — the attack path — and\n"
+         "re-verifies it by solving the Markov chain it induces (exit 3 if the\n"
+         "round trip disagrees beyond 1e-8).\n"
          "\n"
          "--metrics-json FILE records engine metrics for the whole run (stage\n"
          "spans, solver iterations, Poisson cache and thread-pool stats) and\n"

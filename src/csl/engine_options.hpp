@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "csl/solver_plan.hpp"
 #include "ctmc/steady_state.hpp"
 #include "ctmc/transient.hpp"
 #include "symbolic/explorer.hpp"
@@ -32,6 +33,17 @@
 namespace autosec::csl {
 
 struct EngineOptions {
+  /// Model type the request is about: ctmc (the default, the paper's
+  /// exploit-vs-patch race) or mdp (nondeterministic attacker). The session
+  /// validates it against the model's declared type, the automotive
+  /// transform selects which model family to emit from it, and the serving
+  /// layer folds it into cache keys — a cached ctmc answer can never serve
+  /// an mdp query.
+  symbolic::ModelType model_type = symbolic::ModelType::kCtmc;
+  /// Cross-cutting solver/exploration knobs, applied onto the stage structs
+  /// below by apply_plan() (EngineSession does this on construction). Set
+  /// plan.* rather than the per-stage copies.
+  SolverPlan plan;
   /// Uniformization truncation for time-bounded operators.
   ctmc::TransientOptions transient;
   /// Long-run solves, including the fixpoint solver choice

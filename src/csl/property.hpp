@@ -4,6 +4,8 @@
 //
 // Supported query forms (all quantitative, "=?"):
 //   P=? [ F phi ]             unbounded reachability
+//   Pmax=? / Pmin=? [...]     optimal probability over schedulers (mdp)
+//   Rmax=? / Rmin=? [...]     optimal expected reward over schedulers (mdp)
 //   P=? [ F<=t phi ]          time-bounded reachability
 //   P=? [ F[t1,t2] phi ]      interval-bounded reachability
 //   P=? [ G phi ] / [ G<=t phi ] / [ G[t1,t2] phi ]   via duality with F
@@ -27,6 +29,12 @@ namespace autosec::csl {
 /// Comparison against a bound, for boolean queries like P<=0.01 [...].
 enum class BoundKind { kQuery, kLt, kLe, kGt, kGe };
 
+/// Optimization direction of a nondeterministic (mdp) query. kNone is the
+/// plain P=?/R=? form and the only direction a ctmc model accepts; mdp models
+/// require an explicit direction (Pmax=?, Pmin=?, Rmax=?, Rmin=?) because a
+/// nondeterministic model has no single probability to report.
+enum class OptDirection { kNone, kMin, kMax };
+
 enum class PropertyKind {
   kProbUntil,            ///< P=? [ left U right ], time bound optional
   kProbGlobally,         ///< P=? [ G right ], time bound optional
@@ -39,6 +47,9 @@ enum class PropertyKind {
 
 struct Property {
   PropertyKind kind = PropertyKind::kProbUntil;
+
+  /// Pmax/Pmin/Rmax/Rmin vs plain P/R (see OptDirection).
+  OptDirection direction = OptDirection::kNone;
 
   /// Reward structure name for R-properties ("" = default structure).
   std::string reward_name;

@@ -121,7 +121,25 @@ Property parse_property(std::string_view source) {
 
   try {
     Property p;
-    if (s.accept_identifier("P")) {
+    // The lexer yields "Pmax" as one identifier, so the directional forms
+    // must be tried before the plain "P"/"R" heads.
+    OptDirection direction = OptDirection::kNone;
+    bool is_probability = false;
+    bool is_reward = false;
+    if (s.accept_identifier("Pmax")) {
+      direction = OptDirection::kMax;
+      is_probability = true;
+    } else if (s.accept_identifier("Pmin")) {
+      direction = OptDirection::kMin;
+      is_probability = true;
+    } else if (s.accept_identifier("Rmax")) {
+      direction = OptDirection::kMax;
+      is_reward = true;
+    } else if (s.accept_identifier("Rmin")) {
+      direction = OptDirection::kMin;
+      is_reward = true;
+    }
+    if (is_probability || s.accept_identifier("P")) {
       const BoundSpec bound = parse_bound(s);
       s.expect_symbol("[");
       p = parse_probability_body(s);
@@ -136,7 +154,7 @@ Property parse_property(std::string_view source) {
       s.expect_symbol("]");
       p.bound = bound.kind;
       p.bound_value = bound.value;
-    } else if (s.accept_identifier("R")) {
+    } else if (is_reward || s.accept_identifier("R")) {
       std::string reward_name;
       if (s.accept_symbol("{")) {
         if (s.peek().kind != symbolic::TokenKind::kString) {
@@ -153,9 +171,10 @@ Property parse_property(std::string_view source) {
       p.bound = bound.kind;
       p.bound_value = bound.value;
     } else {
-      s.fail("property must start with P, S or R");
+      s.fail("property must start with P, S, R, Pmax, Pmin, Rmax or Rmin");
     }
     if (!s.at_end()) s.fail("trailing input after property");
+    p.direction = direction;
     p.source = std::string(source);
     return p;
   } catch (const symbolic::ParseError& e) {

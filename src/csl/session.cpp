@@ -11,6 +11,7 @@
 #include "ctmc/scc.hpp"
 #include "linalg/gauss_seidel.hpp"
 #include "linalg/vector_ops.hpp"
+#include "mdp/strategy.hpp"
 #include "util/failure.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
@@ -57,12 +58,19 @@ std::string override_cache_key(
 EngineSession::EngineSession(symbolic::Model model, SessionOptions options)
     : model_(std::move(model)),
       options_(std::move(options)),
-      active_key_(override_cache_key(options_.constant_overrides)) {}
+      active_key_(override_cache_key(options_.constant_overrides)) {
+  // The model-type axis always reflects the model actually held: a default
+  // options struct on an mdp model must not silently demand a rate matrix.
+  options_.model_type = model_->type;
+  apply_plan(options_.plan, options_);
+}
 
 EngineSession::EngineSession(std::shared_ptr<const symbolic::StateSpace> space,
                              SessionOptions options)
     : options_(std::move(options)) {
   if (!space) throw PropertyError("EngineSession: null state space");
+  options_.model_type = space->type();
+  apply_plan(options_.plan, options_);
   if (!options_.constant_overrides.empty()) {
     throw PropertyError(
         "EngineSession: constant overrides require a symbolic model, not a "
@@ -164,8 +172,12 @@ EngineSession::Stages& EngineSession::prepare() {
                     static_cast<double>(stages.space->bytes_per_state()));
     }
   }
-  if (!stages.chain) {
+  // The CTMC stage exists only on the ctmc axis; an mdp space keeps its
+  // flattened per-action matrix and value iteration consumes it directly.
+  if (!stages.space->is_mdp() && !stages.chain) {
     stages.chain = stages.space->to_ctmc();
+  }
+  if (stages.initial.empty()) {
     stages.initial = stages.space->initial_distribution();
   }
   return stages;
@@ -177,14 +189,31 @@ std::shared_ptr<const symbolic::StateSpace> EngineSession::space_ptr() {
   return prepare().space;
 }
 
-const ctmc::Ctmc& EngineSession::chain() { return *prepare().chain; }
+const ctmc::Ctmc& EngineSession::chain() {
+  Stages& stages = prepare();
+  if (stages.space->is_mdp()) {
+    throw PropertyError(
+        "chain(): this session holds an mdp model; there is no CTMC stage");
+  }
+  return *stages.chain;
+}
 
 const ctmc::Uniformized& EngineSession::uniformized() {
-  return uniformized_of(prepare());
+  Stages& stages = prepare();
+  if (stages.space->is_mdp()) {
+    throw PropertyError(
+        "uniformized(): this session holds an mdp model; there is no CTMC stage");
+  }
+  return uniformized_of(stages);
 }
 
 const ctmc::SteadyStateResult& EngineSession::steady() {
-  return steady_of(prepare());
+  Stages& stages = prepare();
+  if (stages.space->is_mdp()) {
+    throw PropertyError(
+        "steady(): steady-state analysis is not defined for mdp models");
+  }
+  return steady_of(stages);
 }
 
 const ctmc::Uniformized& EngineSession::uniformized_of(Stages& stages) {
@@ -322,26 +351,28 @@ std::vector<double> EngineSession::check_all(std::span<const Property> propertie
   // Pre-build the shared lazy stages serially: under the parallel fan-out the
   // first solver to need them would build them while its peers block on
   // lazy_mutex, wasting the pool.
-  bool needs_uniformized = false;
-  bool needs_steady = false;
-  for (const Property& p : properties) {
-    switch (p.kind) {
-      case PropertyKind::kCumulativeReward:
-      case PropertyKind::kInstantaneousReward:
-        needs_uniformized = true;
-        break;
-      case PropertyKind::kSteadyStateProb:
-      case PropertyKind::kSteadyStateReward:
-        needs_steady = true;
-        break;
-      default:
-        break;
+  if (!stages.space->is_mdp()) {  // mdp solves have no shared lazy stages
+    bool needs_uniformized = false;
+    bool needs_steady = false;
+    for (const Property& p : properties) {
+      switch (p.kind) {
+        case PropertyKind::kCumulativeReward:
+        case PropertyKind::kInstantaneousReward:
+          needs_uniformized = true;
+          break;
+        case PropertyKind::kSteadyStateProb:
+        case PropertyKind::kSteadyStateReward:
+          needs_steady = true;
+          break;
+        default:
+          break;
+      }
     }
+    if (needs_uniformized && stages.chain->max_exit_rate() > 0.0) {
+      uniformized_of(stages);
+    }
+    if (needs_steady) steady_of(stages);
   }
-  if (needs_uniformized && stages.chain->max_exit_rate() > 0.0) {
-    uniformized_of(stages);
-  }
-  if (needs_steady) steady_of(stages);
 
   const auto start = std::chrono::steady_clock::now();
   util::metrics::ScopedSpan span("solve");
@@ -380,6 +411,13 @@ double EngineSession::evaluate(Stages& stages, const Property& property) {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.check_count += 1;
+  }
+  if (stages.space->is_mdp()) return evaluate_mdp(stages, property, nullptr);
+  if (property.direction != OptDirection::kNone) {
+    throw PropertyError(
+        "directional operators (Pmax/Pmin/Rmax/Rmin) require an mdp model; "
+        "this model is a ctmc: " +
+        property.source);
   }
   switch (property.kind) {
     case PropertyKind::kProbUntil: return check_until(stages, property);
@@ -622,6 +660,301 @@ double EngineSession::check_reward(Stages& stages, const Property& property) {
     default:
       throw PropertyError("check_reward: not a reward property");
   }
+}
+
+// --- MDP axis -------------------------------------------------------------
+
+/// The reachability query an mdp until/eventually denotes. `query` points at
+/// the space's base MDP when no state is forbidden, at `absorbed` otherwise;
+/// exported strategy rows index the query MDP, and the re-check path rebuilds
+/// it from the same property so the indices line up.
+struct EngineSession::MdpReachQuery {
+  std::shared_ptr<const mdp::Mdp> base;
+  std::optional<mdp::Mdp> absorbed;
+  const mdp::Mdp* query = nullptr;
+  std::vector<bool> target;
+  bool bounded = false;
+  size_t steps = 0;
+};
+
+mdp::ViOptions EngineSession::mdp_vi_options(bool interval) const {
+  mdp::ViOptions options;
+  options.interval = interval;
+  // Interval iteration brackets the true value within epsilon, so the
+  // reported midpoint is within epsilon/2 — comfortably inside the 1e-8
+  // agreement the induced-chain cross-check asserts.
+  options.epsilon = 1e-10;
+  options.cancelled = poll_hook(options_.cancel);
+  return options;
+}
+
+size_t EngineSession::mdp_steps(Stages& stages, const Property& property) {
+  const double t = time_bound_in(stages, property);
+  const double rounded = std::nearbyint(t);
+  if (std::abs(t - rounded) > 1e-9 || rounded < 0.0 || rounded > 1e15) {
+    throw PropertyError(
+        "mdp time bounds count discrete steps and must be non-negative "
+        "integers: " +
+        property.source);
+  }
+  return static_cast<size_t>(rounded);
+}
+
+EngineSession::MdpReachQuery EngineSession::mdp_reach_query(
+    Stages& stages, const Property& property) {
+  if (property.has_time_lower_bound()) {
+    throw PropertyError(
+        "interval-bounded until is not supported for mdp models: " +
+        property.source);
+  }
+  MdpReachQuery q;
+  q.base = stages.space->mdp_ptr();
+  q.target = satisfying_in(stages, property.right);
+  const std::vector<bool> allowed = satisfying_in(stages, property.left);
+  const size_t n = q.base->state_count();
+  std::vector<bool> forbidden(n, false);
+  bool any_forbidden = false;
+  for (size_t i = 0; i < n; ++i) {
+    forbidden[i] = !allowed[i] && !q.target[i];
+    any_forbidden = any_forbidden || forbidden[i];
+  }
+  if (any_forbidden) {
+    // Restrict to the allowed region exactly as the ctmc path does: forbidden
+    // states become absorbing, so no path through them can reach the target.
+    q.absorbed = q.base->with_absorbing(forbidden);
+    q.query = &*q.absorbed;
+  } else {
+    q.query = q.base.get();
+  }
+  if (property.has_time_bound()) {
+    q.bounded = true;
+    q.steps = mdp_steps(stages, property);
+  }
+  return q;
+}
+
+double EngineSession::mdp_until(Stages& stages, const Property& property,
+                                bool maximize, StrategyExport* strategy_out) {
+  MdpReachQuery q = mdp_reach_query(stages, property);
+  const size_t initial = stages.space->initial_state();
+
+  if (q.bounded) {
+    const mdp::BoundedViResult result = mdp::bounded_reachability(
+        *q.query, q.target, q.steps, maximize, mdp_vi_options(false));
+    const double value = result.values[initial];
+    if (strategy_out != nullptr) {
+      strategy_out->bounded = true;
+      strategy_out->schedule = result.schedule;
+      strategy_out->value = value;
+      strategy_out->induced_value = mdp::induced_bounded_reachability(
+          *q.query, result.schedule, q.target, initial);
+      strategy_out->property = property.source;
+      strategy_out->direction = maximize ? "max" : "min";
+    }
+    return value;
+  }
+
+  // Unbounded: interval iteration, so convergence is sound (plain value
+  // iteration's step criterion can stop early on slowly-mixing models).
+  const mdp::ViResult result =
+      mdp::reachability(*q.query, q.target, maximize, mdp_vi_options(true));
+  if (result.cancelled) throw util::Cancelled("solve");
+  if (!result.converged) {
+    util::FailureProgress progress;
+    progress.iterations = result.iterations;
+    progress.residual = result.residual;
+    throw util::EngineFailure(util::FailureCode::kSolverDiverged, "solve",
+                              "mdp value iteration did not converge within " +
+                                  std::to_string(result.iterations) + " sweeps",
+                              progress);
+  }
+  const double value = result.values[initial];
+  if (strategy_out != nullptr) {
+    strategy_out->bounded = false;
+    strategy_out->rows = mdp::extract_reachability_strategy(
+        *q.query, q.target, result, maximize, /*tolerance=*/1e-8);
+    strategy_out->value = value;
+    const std::vector<double> induced = mdp::induced_reachability(
+        mdp::induced_chain(*q.query, strategy_out->rows), q.target);
+    strategy_out->induced_value = induced[initial];
+    strategy_out->property = property.source;
+    strategy_out->direction = maximize ? "max" : "min";
+  }
+  return value;
+}
+
+double EngineSession::mdp_reward(Stages& stages, const Property& property,
+                                 bool maximize) {
+  const mdp::Mdp& model = stages.space->mdp();
+  const size_t initial = stages.space->initial_state();
+  const std::vector<double> rewards =
+      stages.space->reward_vector(property.reward_name);
+  switch (property.kind) {
+    case PropertyKind::kCumulativeReward:
+      return mdp::bounded_cumulative_reward(model, rewards,
+                                            mdp_steps(stages, property),
+                                            maximize, mdp_vi_options(false))
+          .values[initial];
+    case PropertyKind::kInstantaneousReward:
+      return mdp::instantaneous_reward(model, rewards,
+                                       mdp_steps(stages, property), maximize,
+                                       mdp_vi_options(false))
+          .values[initial];
+    case PropertyKind::kReachabilityReward: {
+      const std::vector<bool> target = satisfying_in(stages, property.right);
+      const mdp::ViResult result = mdp::reachability_reward(
+          model, target, rewards, maximize, mdp_vi_options(false));
+      if (result.cancelled) throw util::Cancelled("solve");
+      if (!result.converged) {
+        util::FailureProgress progress;
+        progress.iterations = result.iterations;
+        progress.residual = result.residual;
+        throw util::EngineFailure(
+            util::FailureCode::kSolverDiverged, "solve",
+            "mdp reward iteration did not converge within " +
+                std::to_string(result.iterations) + " sweeps",
+            progress);
+      }
+      return result.values[initial];
+    }
+    default:
+      throw PropertyError("mdp_reward: not a reward property");
+  }
+}
+
+double EngineSession::evaluate_mdp(Stages& stages, const Property& property,
+                                   StrategyExport* strategy_out) {
+  if (property.direction == OptDirection::kNone) {
+    throw PropertyError(
+        "an mdp model requires a directional operator (Pmax/Pmin/Rmax/Rmin) "
+        "to resolve the nondeterministic choices: " +
+        property.source);
+  }
+  const bool maximize = property.direction == OptDirection::kMax;
+  switch (property.kind) {
+    case PropertyKind::kProbUntil:
+      return mdp_until(stages, property, maximize, strategy_out);
+    case PropertyKind::kProbGlobally: {
+      // Pmax[G φ] = 1 − Pmin[F ¬φ] (and dually): the optimizing adversary of
+      // a safety objective is the pessimizing adversary of its complement.
+      Property dual;
+      dual.kind = PropertyKind::kProbUntil;
+      dual.direction =
+          maximize ? OptDirection::kMin : OptDirection::kMax;
+      dual.left = Expr::literal(true);
+      dual.right = !property.right;
+      dual.time_bound = property.time_bound;
+      dual.time_lower_bound = property.time_lower_bound;
+      dual.source = property.source;
+      return 1.0 - mdp_until(stages, dual, !maximize, strategy_out);
+    }
+    case PropertyKind::kSteadyStateProb:
+    case PropertyKind::kSteadyStateReward:
+      throw PropertyError(
+          "steady-state operators are not supported for mdp models (the "
+          "long-run distribution depends on the scheduler): " +
+          property.source);
+    case PropertyKind::kCumulativeReward:
+    case PropertyKind::kInstantaneousReward:
+    case PropertyKind::kReachabilityReward:
+      return mdp_reward(stages, property, maximize);
+  }
+  throw PropertyError("corrupt property kind");
+}
+
+StrategyCheck EngineSession::check_with_strategy(const Property& property) {
+  Stages& stages = prepare();
+  if (!stages.space->is_mdp()) {
+    throw PropertyError(
+        "check_with_strategy requires an mdp model; a ctmc has no scheduler "
+        "to export");
+  }
+  if (property.kind != PropertyKind::kProbUntil) {
+    throw PropertyError(
+        "strategy export supports probabilistic until/eventually "
+        "(Pmax/Pmin [ ... U ... ] / [ F ... ]) only: " +
+        property.source);
+  }
+  check_cancel("solve");
+  if (util::fault::triggered("solve.cancel")) throw util::Cancelled("solve");
+  util::metrics::registry().add("session.properties");
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.check_count += 1;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  StrategyCheck out;
+  {
+    util::metrics::ScopedSpan span("solve");
+    const bool maximize = [&] {
+      if (property.direction == OptDirection::kNone) {
+        throw PropertyError(
+            "an mdp model requires a directional operator (Pmax/Pmin) to "
+            "resolve the nondeterministic choices: " +
+            property.source);
+      }
+      return property.direction == OptDirection::kMax;
+    }();
+    out.value = mdp_until(stages, property, maximize, &out.strategy);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.solve_seconds += seconds_since(start);
+  }
+  return out;
+}
+
+StrategyCheck EngineSession::check_with_strategy(std::string_view property_text) {
+  return check_with_strategy(parse_property(property_text));
+}
+
+double EngineSession::induced_value(const Property& property,
+                                    const StrategyExport& strategy) {
+  Stages& stages = prepare();
+  if (!stages.space->is_mdp()) {
+    throw PropertyError("induced_value requires an mdp model");
+  }
+  if (property.kind != PropertyKind::kProbUntil) {
+    throw PropertyError(
+        "induced_value supports probabilistic until/eventually only: " +
+        property.source);
+  }
+  MdpReachQuery q = mdp_reach_query(stages, property);
+  const size_t initial = stages.space->initial_state();
+  const size_t n = q.query->state_count();
+  if (strategy.bounded != q.bounded) {
+    throw PropertyError(
+        "strategy/property mismatch: one is step-bounded, the other is not");
+  }
+  if (strategy.bounded) {
+    if (strategy.schedule.size() != q.steps ||
+        (q.steps > 0 && strategy.schedule.front().size() != n)) {
+      throw PropertyError(
+          "strategy/property mismatch: schedule dimensions do not match the "
+          "query (steps or state count differ)");
+    }
+    return mdp::induced_bounded_reachability(*q.query, strategy.schedule,
+                                             q.target, initial);
+  }
+  if (strategy.rows.size() != n) {
+    throw PropertyError(
+        "strategy/property mismatch: rows cover " +
+        std::to_string(strategy.rows.size()) + " states, the query has " +
+        std::to_string(n));
+  }
+  const std::vector<double> induced = mdp::induced_reachability(
+      mdp::induced_chain(*q.query, strategy.rows), q.target);
+  return induced[initial];
+}
+
+util::JsonValue EngineSession::strategy_document(const Property& property,
+                                                 const StrategyExport& strategy) {
+  Stages& stages = prepare();
+  if (!stages.space->is_mdp()) {
+    throw PropertyError("strategy_document requires an mdp model");
+  }
+  MdpReachQuery q = mdp_reach_query(stages, property);
+  return strategy_json_value(strategy, *stages.space, *q.query, q.target);
 }
 
 }  // namespace autosec::csl

@@ -1,7 +1,13 @@
 // The staged analysis engine: one reusable session owning the
-//   compile → explore → Ctmc → uniformize → solve
+//   compile → explore → (Ctmc → uniformize | Mdp) → solve
 // pipeline of the paper's Fig. 2, with every stage built lazily, cached, and
-// keyed by the active constant-override set. Re-checking another property —
+// keyed by the active constant-override set. The pipeline is model-type
+// generic: a ctmc model flows through the rate-matrix/uniformization stages,
+// an mdp model (nondeterministic attacker) through the flattened per-action
+// matrix and value iteration, behind the same check()/check_all() surface —
+// directional operators (Pmax/Pmin/Rmax/Rmin) select the adversary's
+// objective, and check_with_strategy() additionally exports the optimizing
+// scheduler with an independent induced-chain cross-check. Re-checking another property —
 // or the same property at another horizon — reuses every stage already
 // built; switching constant overrides re-keys the pipeline but keeps earlier
 // stage sets cached for when a sweep returns to a value.
@@ -28,9 +34,11 @@
 #include "csl/checker.hpp"
 #include "csl/engine_options.hpp"
 #include "csl/property.hpp"
+#include "csl/strategy_export.hpp"
 #include "ctmc/ctmc.hpp"
 #include "ctmc/steady_state.hpp"
 #include "ctmc/transient.hpp"
+#include "mdp/value_iteration.hpp"
 #include "symbolic/explorer.hpp"
 #include "symbolic/model.hpp"
 
@@ -84,9 +92,16 @@ class EngineSession {
   EngineSession(const EngineSession&) = delete;
   EngineSession& operator=(const EngineSession&) = delete;
 
+  /// Model type of the session's pipeline — the stage axis the compile/
+  /// explore/solve stages dispatch on. Derived from the model's declared type
+  /// (or the adopted space's) at construction, so it always matches reality;
+  /// a caller-provided options.model_type that disagrees is corrected.
+  symbolic::ModelType model_type() const { return options_.model_type; }
+
   // --- stage accessors (each builds and caches its stage on first use).
   const symbolic::StateSpace& space();
   std::shared_ptr<const symbolic::StateSpace> space_ptr();
+  /// CTMC stage; throws PropertyError on an mdp session (no rate matrix).
   const ctmc::Ctmc& chain();
   /// Uniformization of the base chain at its default rate (modified chains —
   /// bounded reachability — uniformize per call).
@@ -128,6 +143,24 @@ class EngineSession {
   std::vector<double> check_all(std::span<const Property> properties);
   std::vector<double> check_all(const std::vector<std::string>& property_texts);
 
+  /// MDP only: evaluate a directional reachability property (Pmax/Pmin of an
+  /// until/eventually) and export the optimizing scheduler. The returned
+  /// strategy is already cross-checked: its induced Markov chain was built
+  /// and solved independently of value iteration, and strategy.induced_value
+  /// records that second answer.
+  StrategyCheck check_with_strategy(const Property& property);
+  StrategyCheck check_with_strategy(std::string_view property_text);
+
+  /// Value of `strategy` (e.g. one parsed back from its JSON document) under
+  /// `property`, computed on the chain the strategy induces. The round-trip
+  /// validation path of --strategy-json.
+  double induced_value(const Property& property, const StrategyExport& strategy);
+
+  /// Version-1 JSON document of an exported strategy, rendered against this
+  /// session's state space (action labels, state valuations, attack path).
+  util::JsonValue strategy_document(const Property& property,
+                                    const StrategyExport& strategy);
+
   /// States satisfying a state formula (labels resolved, then variables).
   std::vector<bool> satisfying(const symbolic::Expr& formula);
 
@@ -158,6 +191,22 @@ class EngineSession {
   double time_bound_in(const Stages& stages, const Property& property) const;
 
   double evaluate(Stages& stages, const Property& property);
+  /// MDP dispatch: directional probability/reward properties over the
+  /// flattened per-action matrix. `strategy_out`, when non-null, receives the
+  /// optimizing scheduler (kProbUntil only).
+  double evaluate_mdp(Stages& stages, const Property& property,
+                      StrategyExport* strategy_out);
+  /// The reachability query an mdp until/eventually property denotes: target
+  /// mask, query MDP (forbidden states absorbed), optional step bound.
+  struct MdpReachQuery;
+  MdpReachQuery mdp_reach_query(Stages& stages, const Property& property);
+  double mdp_until(Stages& stages, const Property& property, bool maximize,
+                   StrategyExport* strategy_out);
+  double mdp_reward(Stages& stages, const Property& property, bool maximize);
+  /// Steps of an mdp time bound: bounds count discrete steps and must fold to
+  /// a non-negative integer (within 1e-9).
+  size_t mdp_steps(Stages& stages, const Property& property);
+  mdp::ViOptions mdp_vi_options(bool interval) const;
   double check_until(Stages& stages, const Property& property);
   double check_globally(Stages& stages, const Property& property);
   double check_steady_prob(Stages& stages, const Property& property);

@@ -1,0 +1,57 @@
+// One struct for every cross-cutting solver/exploration knob. Historically
+// each feature PR grew its own field on a different stage struct (matrix
+// layout on TransientOptions, Gauss-Seidel ordering on the steady-state
+// solver, engine/reduction on ExploreOptions, ...), and every caller — CLI,
+// serve, differential harness, benches — had to know which stage owned which
+// knob. SolverPlan collapses them into one value embedded in EngineOptions;
+// apply_plan() is the single place the plan fans back out onto the stage
+// structs, and resolve_plan() is the single place the kAuto thresholds can be
+// inspected against a built state space.
+//
+// Wire names (CLI flags, serve request fields) are unchanged: this is an
+// internal API consolidation, not a protocol change.
+#pragma once
+
+#include "linalg/gauss_seidel.hpp"
+#include "linalg/reorder.hpp"
+#include "linalg/sell_matrix.hpp"
+#include "symbolic/explorer.hpp"
+#include "symbolic/state_store.hpp"
+
+namespace autosec::csl {
+
+struct EngineOptions;
+
+struct SolverPlan {
+  /// State-store backend of exploration (classic | compact | auto).
+  symbolic::ExplorationEngine engine = symbolic::ExplorationEngine::kAuto;
+  /// On-the-fly symmetry reduction policy (ctmc models only).
+  symbolic::SymmetryReduction reduction = symbolic::SymmetryReduction::kAuto;
+  /// Storage layout of the uniformized matrix (CSR vs blocked SELL-C-σ).
+  linalg::MatrixLayout layout = linalg::MatrixLayout::kAuto;
+  /// Bandwidth-reducing state reordering at uniformize time.
+  linalg::StateReorder reorder = linalg::StateReorder::kAuto;
+  /// Sweep schedule of the Gauss-Seidel rungs.
+  linalg::GsOrdering gs_ordering = linalg::GsOrdering::kAuto;
+  /// Fixpoint method (BiCGSTAB ladder vs pinned Gauss-Seidel/Krylov).
+  linalg::FixpointMethod method = linalg::FixpointMethod::kAuto;
+  /// Transient steady-state detection (truncate converged horizons).
+  bool steady_state_detection = true;
+
+  friend bool operator==(const SolverPlan&, const SolverPlan&) = default;
+};
+
+/// Fan the plan out onto the stage option structs it subsumes. The plan is
+/// authoritative: EngineSession applies it on construction, so callers set
+/// options.plan.* instead of poking transient/steady_state/explore fields.
+void apply_plan(const SolverPlan& plan, EngineOptions& options);
+
+/// Resolve the plan's kAuto knobs against a built state space, using the
+/// same per-size resolvers the stages call internally — the one place the
+/// auto-threshold logic can be asked "what will actually run". `layout` and
+/// `method` stay as requested when kAuto: layout resolves per matrix at
+/// uniformize time and method resolves per solve via the fallback ladder,
+/// both potentially against systems smaller than the full space.
+SolverPlan resolve_plan(SolverPlan plan, const symbolic::StateSpace& space);
+
+}  // namespace autosec::csl

@@ -1,0 +1,194 @@
+#include "csl/strategy_export.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "csl/property.hpp"
+
+namespace autosec::csl {
+
+namespace {
+
+using util::JsonValue;
+
+/// Chosen row of `state` after `elapsed` steps, or -1 when the scheduler is
+/// indifferent (frozen zero/one states, exhausted horizon).
+int32_t chosen_row(const StrategyExport& strategy, size_t state, size_t elapsed) {
+  if (strategy.bounded) {
+    if (elapsed >= strategy.schedule.size()) return -1;
+    return strategy.schedule[elapsed][state];
+  }
+  return strategy.rows[state];
+}
+
+/// Follow the scheduler from the initial state, always stepping to the most
+/// probable *advancing* successor (ties to the lowest state index) — failed
+/// attempts leave the state unchanged and would dominate by raw probability,
+/// but the counterexample trace a security review reads is the sequence of
+/// successful exploits: which interface the worst-case attacker hits, in
+/// which order. Stops at a target state, at an indifferent state, when no
+/// successor advances, on a revisit (unbounded cycle), or after a hard cap.
+JsonValue attack_path(const StrategyExport& strategy,
+                      const symbolic::StateSpace& space, const mdp::Mdp& query,
+                      const std::vector<bool>& target) {
+  JsonValue path = JsonValue::array();
+  const size_t states = query.state_count();
+  std::vector<bool> visited(states, false);
+  size_t state = space.initial_state();
+  constexpr size_t kMaxTrace = 10'000;
+  for (size_t elapsed = 0; elapsed < kMaxTrace; ++elapsed) {
+    JsonValue entry = JsonValue::object();
+    entry["state"] = JsonValue::number(static_cast<uint64_t>(state));
+    entry["values"] = JsonValue::string(space.state_to_string(state));
+    if (state < target.size() && target[state]) {
+      entry["target"] = JsonValue::boolean(true);
+      path.push_back(std::move(entry));
+      break;
+    }
+    const int32_t row = chosen_row(strategy, state, elapsed);
+    if (row < 0 || (!strategy.bounded && visited[state])) {
+      path.push_back(std::move(entry));
+      break;
+    }
+    visited[state] = true;
+    const auto r = static_cast<size_t>(row);
+    entry["action"] = JsonValue::string(query.action_labels[r]);
+    // Most probable successor of the chosen row that actually advances.
+    size_t best = state;
+    double best_probability = -1.0;
+    const auto cols = query.transitions.row_columns(r);
+    const auto vals = query.transitions.row_values(r);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      const double p = vals[k];
+      const size_t to = cols[k];
+      if (to == state) continue;
+      if (p > best_probability || (p == best_probability && to < best)) {
+        best_probability = p;
+        best = to;
+      }
+    }
+    if (best_probability < 0.0) {
+      path.push_back(std::move(entry));
+      break;  // every branch self-loops: the trace cannot advance
+    }
+    entry["probability"] = JsonValue::number(best_probability);
+    path.push_back(std::move(entry));
+    state = best;
+  }
+  return path;
+}
+
+JsonValue rows_array(const std::vector<int32_t>& rows) {
+  JsonValue out = JsonValue::array();
+  for (const int32_t row : rows) out.push_back(JsonValue::number(static_cast<int64_t>(row)));
+  return out;
+}
+
+std::vector<int32_t> parse_rows(const JsonValue& value, const char* what) {
+  if (!value.is_array()) {
+    throw PropertyError(std::string("strategy document: ") + what +
+                        " must be an array of row indices");
+  }
+  std::vector<int32_t> rows;
+  rows.reserve(value.size());
+  for (size_t i = 0; i < value.size(); ++i) {
+    const JsonValue& entry = value.at(i);
+    if (!entry.is_integer()) {
+      throw PropertyError(std::string("strategy document: ") + what +
+                          " entries must be integers");
+    }
+    const int64_t row = entry.as_integer();
+    if (row < -1 || row > std::numeric_limits<int32_t>::max()) {
+      throw PropertyError(std::string("strategy document: ") + what +
+                          " entry out of range");
+    }
+    rows.push_back(static_cast<int32_t>(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+JsonValue strategy_json_value(const StrategyExport& strategy,
+                              const symbolic::StateSpace& space,
+                              const mdp::Mdp& query_mdp,
+                              const std::vector<bool>& target) {
+  JsonValue doc = JsonValue::object();
+  doc["version"] = JsonValue::number(int64_t{1});
+  doc["model_type"] = JsonValue::string("mdp");
+  doc["property"] = JsonValue::string(strategy.property);
+  doc["direction"] = JsonValue::string(strategy.direction);
+  doc["bounded"] = JsonValue::boolean(strategy.bounded);
+  doc["value"] = JsonValue::number(strategy.value);
+  doc["induced_value"] = JsonValue::number(strategy.induced_value);
+  doc["states"] = JsonValue::number(static_cast<uint64_t>(query_mdp.state_count()));
+  if (strategy.bounded) {
+    doc["steps"] = JsonValue::number(static_cast<uint64_t>(strategy.schedule.size()));
+    JsonValue schedule = JsonValue::array();
+    for (const auto& step_rows : strategy.schedule) schedule.push_back(rows_array(step_rows));
+    doc["schedule"] = std::move(schedule);
+  } else {
+    doc["rows"] = rows_array(strategy.rows);
+  }
+  // Per-row action labels, so a human can read the rows/schedule without the
+  // model in hand. Indexed by flattened row, like the rows themselves.
+  JsonValue actions = JsonValue::array();
+  for (const std::string& label : query_mdp.action_labels) {
+    actions.push_back(JsonValue::string(label));
+  }
+  doc["actions"] = std::move(actions);
+  doc["attack_path"] = attack_path(strategy, space, query_mdp, target);
+  return doc;
+}
+
+std::string write_strategy_json(const StrategyExport& strategy,
+                                const symbolic::StateSpace& space,
+                                const mdp::Mdp& query_mdp,
+                                const std::vector<bool>& target) {
+  return strategy_json_value(strategy, space, query_mdp, target).dump(2) + "\n";
+}
+
+StrategyExport parse_strategy_json(std::string_view text) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(text);
+  } catch (const util::JsonError& e) {
+    throw PropertyError(std::string("strategy document: ") + e.what());
+  }
+  if (!doc.is_object()) throw PropertyError("strategy document: expected a JSON object");
+  if (doc.int_or("version", 0) != 1) {
+    throw PropertyError("strategy document: unsupported version (want 1)");
+  }
+  StrategyExport strategy;
+  strategy.bounded = doc.bool_or("bounded", false);
+  strategy.value = doc.number_or("value", 0.0);
+  strategy.induced_value = doc.number_or("induced_value", 0.0);
+  strategy.property = doc.string_or("property", "");
+  strategy.direction = doc.string_or("direction", "");
+  if (strategy.direction != "max" && strategy.direction != "min") {
+    throw PropertyError("strategy document: direction must be \"max\" or \"min\"");
+  }
+  if (strategy.bounded) {
+    const JsonValue* schedule = doc.find("schedule");
+    if (schedule == nullptr || !schedule->is_array()) {
+      throw PropertyError("strategy document: bounded strategy requires a schedule array");
+    }
+    strategy.schedule.reserve(schedule->size());
+    for (size_t i = 0; i < schedule->size(); ++i) {
+      strategy.schedule.push_back(parse_rows(schedule->at(i), "schedule step"));
+      if (!strategy.schedule.empty() &&
+          strategy.schedule.back().size() != strategy.schedule.front().size()) {
+        throw PropertyError("strategy document: ragged schedule (steps differ in state count)");
+      }
+    }
+  } else {
+    const JsonValue* rows = doc.find("rows");
+    if (rows == nullptr) {
+      throw PropertyError("strategy document: memoryless strategy requires a rows array");
+    }
+    strategy.rows = parse_rows(*rows, "rows");
+  }
+  return strategy;
+}
+
+}  // namespace autosec::csl

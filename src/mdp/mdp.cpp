@@ -1,0 +1,100 @@
+#include "mdp/mdp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autosec::mdp {
+
+void Mdp::validate() const {
+  const size_t rows = transitions.rows();
+  const size_t states = state_count();
+  if (transitions.cols() != states) {
+    throw std::invalid_argument("mdp: column count does not match state count");
+  }
+  if (state_of_row.size() != rows || action_labels.size() != rows) {
+    throw std::invalid_argument("mdp: per-row array size mismatch");
+  }
+  if (!state_offsets.empty() && state_offsets.front() != 0) {
+    throw std::invalid_argument("mdp: state_offsets must start at 0");
+  }
+  if (states > 0 && state_offsets.back() != rows) {
+    throw std::invalid_argument("mdp: state_offsets must end at the row count");
+  }
+  for (size_t s = 0; s < states; ++s) {
+    if (state_offsets[s + 1] <= state_offsets[s]) {
+      throw std::invalid_argument("mdp: every state needs at least one action");
+    }
+    for (uint32_t r = state_offsets[s]; r < state_offsets[s + 1]; ++r) {
+      if (state_of_row[r] != s) {
+        throw std::invalid_argument("mdp: state_of_row disagrees with state_offsets");
+      }
+    }
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (double v : transitions.row_values(r)) {
+      if (!(v > 0.0) || !std::isfinite(v)) {
+        throw std::invalid_argument("mdp: transition probabilities must be positive and finite");
+      }
+      sum += v;
+    }
+    if (std::abs(sum - 1.0) > 1e-6) {
+      throw std::invalid_argument("mdp: row distribution does not sum to 1");
+    }
+  }
+}
+
+Mdp Mdp::with_absorbing(const std::vector<bool>& absorbing) const {
+  const size_t states = state_count();
+  Mdp out;
+  out.state_offsets.reserve(states + 1);
+  out.state_offsets.push_back(0);
+  // First pass: count surviving rows so the builder gets exact dimensions.
+  size_t rows = 0;
+  for (size_t s = 0; s < states; ++s) {
+    rows += absorbing[s] ? 1 : (state_offsets[s + 1] - state_offsets[s]);
+  }
+  linalg::CsrBuilder builder(rows, states);
+  out.state_of_row.reserve(rows);
+  out.action_labels.reserve(rows);
+  size_t next = 0;
+  for (size_t s = 0; s < states; ++s) {
+    if (absorbing[s]) {
+      builder.add(next, s, 1.0);
+      out.state_of_row.push_back(static_cast<uint32_t>(s));
+      out.action_labels.push_back("(absorbing)");
+      ++next;
+    } else {
+      for (uint32_t r = state_offsets[s]; r < state_offsets[s + 1]; ++r) {
+        const auto columns = transitions.row_columns(r);
+        const auto values = transitions.row_values(r);
+        for (size_t i = 0; i < columns.size(); ++i) {
+          builder.add(next, columns[i], values[i]);
+        }
+        out.state_of_row.push_back(static_cast<uint32_t>(s));
+        out.action_labels.push_back(action_labels[r]);
+        ++next;
+      }
+    }
+    out.state_offsets.push_back(static_cast<uint32_t>(next));
+  }
+  out.transitions = std::move(builder).build();
+  return out;
+}
+
+linalg::CsrMatrix Mdp::union_adjacency() const {
+  const size_t states = state_count();
+  linalg::CsrBuilder builder(states, states);
+  for (size_t s = 0; s < states; ++s) {
+    for (uint32_t r = state_offsets[s]; r < state_offsets[s + 1]; ++r) {
+      // Duplicate (s, t) entries are summed by the builder; only positivity
+      // matters for the graph passes consuming this matrix.
+      for (uint32_t column : transitions.row_columns(r)) {
+        builder.add(s, column, 1.0);
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace autosec::mdp

@@ -1,0 +1,55 @@
+// Explicit-state MDP in flattened row form. Every (state, action) pair owns
+// one CSR row holding its probability distribution over successor states; the
+// rows of a state are contiguous, so a Bellman sweep is a single row-parallel
+// right_multiply followed by a per-state min/max reduce over the row range.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace autosec::mdp {
+
+/// Flattened MDP: `transitions` has one row per enabled (state, action) pair
+/// and one column per state. Rows belonging to state s occupy the half-open
+/// range [state_offsets[s], state_offsets[s+1]); every state has at least one
+/// row (deadlock states get an implicit self-loop action at exploration).
+struct Mdp {
+  linalg::CsrMatrix transitions;
+  /// Owning state of each row; size transitions.rows().
+  std::vector<uint32_t> state_of_row;
+  /// First row of each state; size state_count()+1, last entry = row count.
+  std::vector<uint32_t> state_offsets;
+  /// Human-readable action label of each row (for strategy export).
+  std::vector<std::string> action_labels;
+
+  size_t state_count() const {
+    return state_offsets.empty() ? 0 : state_offsets.size() - 1;
+  }
+  size_t row_count() const { return transitions.rows(); }
+
+  /// Row range [first, last) of state s.
+  std::pair<uint32_t, uint32_t> actions_of(uint32_t state) const {
+    return {state_offsets[state], state_offsets[state + 1]};
+  }
+
+  /// Validates the internal invariants (sizes, contiguity, stochastic rows);
+  /// throws std::invalid_argument on violation. Called by the explorer after
+  /// construction and by tests building MDPs by hand.
+  void validate() const;
+
+  /// Copy where every state with `absorbing[s]` set keeps a single
+  /// self-looping row (probability 1, label "(absorbing)") and loses its other
+  /// actions. Used to freeze target states before graph analyses.
+  Mdp with_absorbing(const std::vector<bool>& absorbing) const;
+
+  /// State-to-state adjacency: entry (s, t) = 1 when some action of s reaches
+  /// t with positive probability. Feeds the CTMC SCC/reachability passes.
+  linalg::CsrMatrix union_adjacency() const;
+};
+
+}  // namespace autosec::mdp

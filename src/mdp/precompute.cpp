@@ -1,0 +1,189 @@
+#include "mdp/precompute.hpp"
+
+#include <deque>
+
+#include "ctmc/scc.hpp"
+
+namespace autosec::mdp {
+
+namespace {
+
+/// Predecessor lists of the union graph: preds[t] = states with some action
+/// reaching t. Shared by the backward closures below.
+std::vector<std::vector<uint32_t>> predecessor_lists(const Mdp& mdp) {
+  const size_t states = mdp.state_count();
+  std::vector<std::vector<uint32_t>> preds(states);
+  for (uint32_t s = 0; s < states; ++s) {
+    const auto [first, last] = mdp.actions_of(s);
+    for (uint32_t r = first; r < last; ++r) {
+      for (uint32_t t : mdp.transitions.row_columns(r)) {
+        preds[t].push_back(s);
+      }
+    }
+  }
+  return preds;
+}
+
+std::vector<bool> backward_closure(const std::vector<std::vector<uint32_t>>& preds,
+                                   const std::vector<bool>& seed) {
+  std::vector<bool> reached = seed;
+  std::deque<uint32_t> frontier;
+  for (uint32_t s = 0; s < seed.size(); ++s) {
+    if (seed[s]) frontier.push_back(s);
+  }
+  while (!frontier.empty()) {
+    const uint32_t t = frontier.front();
+    frontier.pop_front();
+    for (uint32_t s : preds[t]) {
+      if (!reached[s]) {
+        reached[s] = true;
+        frontier.push_back(s);
+      }
+    }
+  }
+  return reached;
+}
+
+}  // namespace
+
+std::vector<bool> reach_exists(const Mdp& mdp, const std::vector<bool>& target) {
+  return backward_closure(predecessor_lists(mdp), target);
+}
+
+std::vector<bool> prob1_exists(const Mdp& mdp, const std::vector<bool>& target) {
+  const size_t states = mdp.state_count();
+  // Greatest fixpoint over Z with a nested least fixpoint over Y: a state
+  // enters Y when some action keeps all mass inside Z while touching Y with
+  // positive probability. On convergence Z = Y = the Pmax-1 set.
+  std::vector<bool> z(states, true);
+  while (true) {
+    std::vector<bool> y = target;
+    bool inner_changed = true;
+    while (inner_changed) {
+      inner_changed = false;
+      for (uint32_t s = 0; s < states; ++s) {
+        if (y[s]) continue;
+        const auto [first, last] = mdp.actions_of(s);
+        for (uint32_t r = first; r < last; ++r) {
+          bool stays_in_z = true;
+          bool touches_y = false;
+          for (uint32_t t : mdp.transitions.row_columns(r)) {
+            if (!z[t]) { stays_in_z = false; break; }
+            if (y[t]) touches_y = true;
+          }
+          if (stays_in_z && touches_y) {
+            y[s] = true;
+            inner_changed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (y == z) return z;
+    z = std::move(y);
+  }
+}
+
+std::vector<bool> prob0_exists(const Mdp& mdp, const std::vector<bool>& target) {
+  const size_t states = mdp.state_count();
+  // Greatest fixpoint: the largest target-free set whose members each have an
+  // action confined to the set. Iteratively evict states with no such action.
+  std::vector<bool> u(states);
+  for (uint32_t s = 0; s < states; ++s) u[s] = !target[s];
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t s = 0; s < states; ++s) {
+      if (!u[s]) continue;
+      const auto [first, last] = mdp.actions_of(s);
+      bool has_staying_action = false;
+      for (uint32_t r = first; r < last && !has_staying_action; ++r) {
+        bool stays = true;
+        for (uint32_t t : mdp.transitions.row_columns(r)) {
+          if (!u[t]) { stays = false; break; }
+        }
+        has_staying_action = stays;
+      }
+      if (!has_staying_action) {
+        u[s] = false;
+        changed = true;
+      }
+    }
+  }
+  return u;
+}
+
+std::vector<bool> prob1_all(const Mdp& mdp, const std::vector<bool>& target) {
+  // A scheduler refutes almost-sure reachability exactly when it reaches the
+  // Prob0E set with positive probability before the target; absorb the target
+  // first so paths through it do not count.
+  const std::vector<bool> prob0 = prob0_exists(mdp, target);
+  const Mdp absorbed = mdp.with_absorbing(target);
+  const std::vector<bool> can_reach_prob0 = reach_exists(absorbed, prob0);
+  std::vector<bool> out(mdp.state_count());
+  for (uint32_t s = 0; s < out.size(); ++s) out[s] = !can_reach_prob0[s];
+  return out;
+}
+
+MecDecomposition maximal_end_components(const Mdp& mdp,
+                                        const std::vector<bool>& alive) {
+  const size_t states = mdp.state_count();
+  std::vector<bool> live = alive;
+
+  // A row is admissible while all its successors stay live; a state stays
+  // live while some admissible row keeps all mass inside the state's own SCC
+  // of the admissible-row graph. Iterate SCC + prune until stable.
+  ctmc::SccDecomposition scc;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    linalg::CsrBuilder builder(states, states);
+    for (uint32_t s = 0; s < states; ++s) {
+      if (!live[s]) continue;
+      const auto [first, last] = mdp.actions_of(s);
+      for (uint32_t r = first; r < last; ++r) {
+        bool admissible = true;
+        for (uint32_t t : mdp.transitions.row_columns(r)) {
+          if (!live[t]) { admissible = false; break; }
+        }
+        if (!admissible) continue;
+        for (uint32_t t : mdp.transitions.row_columns(r)) builder.add(s, t, 1.0);
+      }
+    }
+    scc = ctmc::strongly_connected_components(std::move(builder).build());
+    for (uint32_t s = 0; s < states; ++s) {
+      if (!live[s]) continue;
+      const uint32_t component = scc.component_of[s];
+      const auto [first, last] = mdp.actions_of(s);
+      bool internal = false;
+      for (uint32_t r = first; r < last && !internal; ++r) {
+        bool confined = true;
+        for (uint32_t t : mdp.transitions.row_columns(r)) {
+          if (!live[t] || scc.component_of[t] != component) { confined = false; break; }
+        }
+        internal = confined;
+      }
+      if (!internal) {
+        live[s] = false;
+        changed = true;
+      }
+    }
+  }
+
+  MecDecomposition out;
+  out.mec_of.assign(states, MecDecomposition::kNoMec);
+  std::vector<uint32_t> mec_of_component(scc.component_count, MecDecomposition::kNoMec);
+  for (uint32_t s = 0; s < states; ++s) {
+    if (!live[s]) continue;
+    uint32_t& mec = mec_of_component[scc.component_of[s]];
+    if (mec == MecDecomposition::kNoMec) {
+      mec = static_cast<uint32_t>(out.members.size());
+      out.members.emplace_back();
+    }
+    out.mec_of[s] = mec;
+    out.members[mec].push_back(s);
+  }
+  return out;
+}
+
+}  // namespace autosec::mdp

@@ -1,0 +1,48 @@
+// Qualitative precomputation for MDP reachability: the graph-only analyses
+// that decide where Pmax/Pmin are exactly 0 or 1 before any numerics run.
+// Freezing these sets is what makes plain value iteration converge to the
+// right fixpoint (Pmin is unique only after the Prob0E states are removed)
+// and what interval iteration needs to seed sound bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mdp/mdp.hpp"
+
+namespace autosec::mdp {
+
+/// States with Pmax[F target] > 0: some scheduler reaches the target, i.e.
+/// the target is reachable in the union graph. Complement = Pmax-zero set.
+std::vector<bool> reach_exists(const Mdp& mdp, const std::vector<bool>& target);
+
+/// Prob1E: states where SOME scheduler reaches the target with probability 1
+/// (the Pmax = 1 set). Nested greatest/least fixpoint over (state, action)
+/// pairs — de Alfaro's algorithm as implemented in PRISM.
+std::vector<bool> prob1_exists(const Mdp& mdp, const std::vector<bool>& target);
+
+/// Prob0E: states where SOME scheduler avoids the target forever (the
+/// Pmin = 0 set). Greatest fixpoint: the largest U disjoint from the target
+/// where every member has an action staying inside U.
+std::vector<bool> prob0_exists(const Mdp& mdp, const std::vector<bool>& target);
+
+/// Prob1A: states where EVERY scheduler reaches the target with probability 1
+/// (the Pmin = 1 set). Complement of the states that can reach Prob0E in the
+/// target-absorbed MDP.
+std::vector<bool> prob1_all(const Mdp& mdp, const std::vector<bool>& target);
+
+/// Maximal end components of the sub-MDP over `alive` states: the largest
+/// state sets a scheduler can confine the process to forever. Needed to
+/// deflate upper bounds in interval iteration (Pmax) and to collapse
+/// zero-reward cycles in expected-reward value iteration (Rmin).
+struct MecDecomposition {
+  static constexpr uint32_t kNoMec = UINT32_MAX;
+  /// Component index per state; kNoMec for states in no end component.
+  std::vector<uint32_t> mec_of;
+  /// States of each maximal end component.
+  std::vector<std::vector<uint32_t>> members;
+};
+MecDecomposition maximal_end_components(const Mdp& mdp,
+                                        const std::vector<bool>& alive);
+
+}  // namespace autosec::mdp

@@ -1,0 +1,338 @@
+#include "mdp/value_iteration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mdp/precompute.hpp"
+
+namespace autosec::mdp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Best row of state s given precomputed per-row values; rows masked out by
+/// `allowed` (when non-null) are skipped. Returns {value, row}; row = -1 when
+/// no row is allowed (callers guarantee this cannot happen for live states).
+std::pair<double, int32_t> opt_reduce(const Mdp& mdp,
+                                      const std::vector<double>& row_values,
+                                      uint32_t state, bool maximize,
+                                      const std::vector<bool>* allowed) {
+  const auto [first, last] = mdp.actions_of(state);
+  double best = maximize ? -kInf : kInf;
+  int32_t best_row = -1;
+  for (uint32_t r = first; r < last; ++r) {
+    if (allowed != nullptr && !(*allowed)[r]) continue;
+    const double v = row_values[r];
+    if (best_row == -1 || (maximize ? v > best : v < best)) {
+      best = v;
+      best_row = static_cast<int32_t>(r);
+    }
+  }
+  return {best_row == -1 ? 0.0 : best, best_row};
+}
+
+/// Exit rows of each end component: rows of member states with some successor
+/// outside the component. Internal rows cannot carry value out, so deflation
+/// (and zero-reward collapse) optimize over exits only.
+std::vector<std::vector<uint32_t>> exit_rows_of(const Mdp& mdp,
+                                                const MecDecomposition& mecs) {
+  std::vector<std::vector<uint32_t>> exits(mecs.members.size());
+  for (size_t m = 0; m < mecs.members.size(); ++m) {
+    for (uint32_t s : mecs.members[m]) {
+      const auto [first, last] = mdp.actions_of(s);
+      for (uint32_t r = first; r < last; ++r) {
+        bool leaves = false;
+        for (uint32_t t : mdp.transitions.row_columns(r)) {
+          if (mecs.mec_of[t] != m) { leaves = true; break; }
+        }
+        if (leaves) exits[m].push_back(r);
+      }
+    }
+  }
+  return exits;
+}
+
+}  // namespace
+
+ViResult reachability(const Mdp& mdp, const std::vector<bool>& target,
+                      bool maximize, const ViOptions& options) {
+  const size_t states = mdp.state_count();
+  ViResult result;
+  if (maximize) {
+    const std::vector<bool> possible = reach_exists(mdp, target);
+    result.zero.assign(states, false);
+    for (uint32_t s = 0; s < states; ++s) result.zero[s] = !possible[s];
+    result.one = prob1_exists(mdp, target);
+  } else {
+    result.zero = prob0_exists(mdp, target);
+    result.one = prob1_all(mdp, target);
+  }
+
+  std::vector<uint32_t> maybe;
+  for (uint32_t s = 0; s < states; ++s) {
+    if (!result.zero[s] && !result.one[s]) maybe.push_back(s);
+  }
+
+  auto frozen_vector = [&](double maybe_init) {
+    std::vector<double> values(states, 0.0);
+    for (uint32_t s = 0; s < states; ++s) {
+      values[s] = result.one[s] ? 1.0 : (result.zero[s] ? 0.0 : maybe_init);
+    }
+    return values;
+  };
+
+  if (maybe.empty()) {
+    result.values = frozen_vector(0.0);
+    if (options.interval) {
+      result.lower = result.values;
+      result.upper = result.values;
+    }
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> row_values(mdp.row_count(), 0.0);
+
+  if (!options.interval) {
+    std::vector<double> values = frozen_vector(0.0);
+    for (size_t it = 1; it <= options.max_iterations; ++it) {
+      if (options.cancelled && options.cancelled()) {
+        result.cancelled = true;
+        break;
+      }
+      mdp.transitions.right_multiply(values, row_values);
+      double residual = 0.0;
+      for (uint32_t s : maybe) {
+        const auto [v, row] = opt_reduce(mdp, row_values, s, maximize, nullptr);
+        residual = std::max(residual, std::abs(v - values[s]));
+        values[s] = v;
+      }
+      result.iterations = it;
+      result.residual = residual;
+      if (residual <= options.epsilon) {
+        result.converged = true;
+        break;
+      }
+    }
+    result.values = std::move(values);
+    return result;
+  }
+
+  // Interval iteration: lower from 0 climbs to the least fixpoint (the true
+  // value for both directions once the qualitative sets are frozen); upper
+  // from 1 descends, but for Pmax it can stall on a spurious fixpoint where
+  // an end component promises itself value 1 — deflation caps every
+  // component by its best exit row each sweep, which restores convergence
+  // without building the quotient MDP.
+  std::vector<double> lower = frozen_vector(0.0);
+  std::vector<double> upper = frozen_vector(1.0);
+  std::vector<std::vector<uint32_t>> mec_members;
+  std::vector<std::vector<uint32_t>> mec_exits;
+  if (maximize) {
+    std::vector<bool> maybe_mask(states, false);
+    for (uint32_t s : maybe) maybe_mask[s] = true;
+    const MecDecomposition mecs = maximal_end_components(mdp, maybe_mask);
+    mec_members = mecs.members;
+    mec_exits = exit_rows_of(mdp, mecs);
+  }
+  for (size_t it = 1; it <= options.max_iterations; ++it) {
+    if (options.cancelled && options.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
+    mdp.transitions.right_multiply(lower, row_values);
+    for (uint32_t s : maybe) {
+      const auto [v, row] = opt_reduce(mdp, row_values, s, maximize, nullptr);
+      lower[s] = std::max(lower[s], v);  // clamp: monotone even in float
+    }
+    mdp.transitions.right_multiply(upper, row_values);
+    for (uint32_t s : maybe) {
+      const auto [v, row] = opt_reduce(mdp, row_values, s, maximize, nullptr);
+      upper[s] = std::min(upper[s], v);
+    }
+    for (size_t m = 0; m < mec_members.size(); ++m) {
+      if (mec_exits[m].empty()) continue;
+      double best_exit = 0.0;
+      for (uint32_t r : mec_exits[m]) best_exit = std::max(best_exit, row_values[r]);
+      for (uint32_t s : mec_members[m]) upper[s] = std::min(upper[s], best_exit);
+    }
+    double gap = 0.0;
+    for (uint32_t s : maybe) gap = std::max(gap, upper[s] - lower[s]);
+    result.iterations = it;
+    result.residual = std::max(gap, 0.0);
+    if (gap <= options.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.values.assign(states, 0.0);
+  for (uint32_t s = 0; s < states; ++s) {
+    result.values[s] = 0.5 * (lower[s] + upper[s]);
+  }
+  result.lower = std::move(lower);
+  result.upper = std::move(upper);
+  return result;
+}
+
+BoundedViResult bounded_reachability(const Mdp& mdp, const std::vector<bool>& target,
+                                     size_t steps, bool maximize,
+                                     const ViOptions& options) {
+  (void)options;
+  const size_t states = mdp.state_count();
+  BoundedViResult result;
+  result.steps = steps;
+  result.schedule.assign(steps, std::vector<int32_t>(states, -1));
+  std::vector<double> values(states, 0.0);
+  for (uint32_t s = 0; s < states; ++s) values[s] = target[s] ? 1.0 : 0.0;
+  std::vector<double> row_values(mdp.row_count(), 0.0);
+  for (size_t i = 1; i <= steps; ++i) {
+    mdp.transitions.right_multiply(values, row_values);
+    // Iteration i computes the value with i steps remaining, so its argopt
+    // is the decision taken after (steps - i) elapsed steps.
+    std::vector<int32_t>& slot = result.schedule[steps - i];
+    for (uint32_t s = 0; s < states; ++s) {
+      if (target[s]) continue;  // already there; value stays 1... (= frozen)
+      const auto [v, row] = opt_reduce(mdp, row_values, s, maximize, nullptr);
+      values[s] = v;
+      slot[s] = row;
+    }
+  }
+  result.values = std::move(values);
+  return result;
+}
+
+ViResult reachability_reward(const Mdp& mdp, const std::vector<bool>& target,
+                             const std::vector<double>& state_rewards,
+                             bool maximize, const ViOptions& options) {
+  const size_t states = mdp.state_count();
+  ViResult result;
+  // Rmax diverges when SOME scheduler misses the target; Rmin when EVERY
+  // scheduler does. So finite states are Prob1A resp. Prob1E.
+  const std::vector<bool> finite =
+      maximize ? prob1_all(mdp, target) : prob1_exists(mdp, target);
+  result.infinite.assign(states, false);
+  for (uint32_t s = 0; s < states; ++s) result.infinite[s] = !finite[s];
+
+  // Minimizing: only rows confined to the finite set are admissible (the
+  // Prob1E fixpoint guarantees every finite state keeps one). Maximizing:
+  // Prob1A is closed under every action, so all rows are admissible.
+  std::vector<bool> allowed(mdp.row_count(), true);
+  const std::vector<bool>* allowed_ptr = nullptr;
+  if (!maximize) {
+    for (uint32_t s = 0; s < states; ++s) {
+      const auto [first, last] = mdp.actions_of(s);
+      for (uint32_t r = first; r < last; ++r) {
+        for (uint32_t t : mdp.transitions.row_columns(r)) {
+          if (!finite[t]) { allowed[r] = false; break; }
+        }
+      }
+    }
+    allowed_ptr = &allowed;
+  }
+
+  std::vector<uint32_t> live;
+  for (uint32_t s = 0; s < states; ++s) {
+    if (finite[s] && !target[s]) live.push_back(s);
+  }
+
+  // Minimizing only: a zero-reward end component inside the live region lets
+  // the iterate linger at a spurious low fixpoint (loop forever for free).
+  // Collapse each such component to its cheapest exit row after every sweep —
+  // the virtual quotient converges to the true minimum.
+  std::vector<std::vector<uint32_t>> mec_members;
+  std::vector<std::vector<uint32_t>> mec_exits;
+  if (!maximize) {
+    std::vector<bool> zero_reward_live(states, false);
+    for (uint32_t s : live) zero_reward_live[s] = state_rewards[s] == 0.0;
+    const MecDecomposition mecs = maximal_end_components(mdp, zero_reward_live);
+    mec_members = mecs.members;
+    mec_exits = exit_rows_of(mdp, mecs);
+  }
+
+  std::vector<double> values(states, 0.0);
+  std::vector<double> row_values(mdp.row_count(), 0.0);
+  for (size_t it = 1; it <= options.max_iterations; ++it) {
+    if (options.cancelled && options.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
+    mdp.transitions.right_multiply(values, row_values);
+    double residual = 0.0;
+    for (uint32_t s : live) {
+      const auto [v, row] = opt_reduce(mdp, row_values, s, maximize, allowed_ptr);
+      const double next = state_rewards[s] + v;
+      residual = std::max(residual, std::abs(next - values[s]));
+      values[s] = next;
+    }
+    for (size_t m = 0; m < mec_members.size(); ++m) {
+      if (mec_exits[m].empty()) continue;
+      double cheapest = kInf;
+      for (uint32_t r : mec_exits[m]) {
+        if (allowed_ptr != nullptr && !allowed[r]) continue;
+        // Members have zero reward, so the exit cost is the row value alone.
+        cheapest = std::min(cheapest, row_values[r]);
+      }
+      if (cheapest == kInf) continue;
+      for (uint32_t s : mec_members[m]) values[s] = std::max(values[s], cheapest);
+    }
+    result.iterations = it;
+    result.residual = residual;
+    if (residual <= options.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  for (uint32_t s = 0; s < states; ++s) {
+    if (result.infinite[s]) values[s] = kInf;
+  }
+  result.values = std::move(values);
+  return result;
+}
+
+namespace {
+
+/// Shared finite-horizon sweep: values <- per-state reward + opt over rows of
+/// P * values, recording the per-step argopt schedule in elapsed-step order.
+BoundedViResult horizon_sweeps(const Mdp& mdp, std::vector<double> values,
+                               const std::vector<double>* step_reward,
+                               size_t steps, bool maximize) {
+  const size_t states = mdp.state_count();
+  BoundedViResult result;
+  result.steps = steps;
+  result.schedule.assign(steps, std::vector<int32_t>(states, -1));
+  std::vector<double> row_values(mdp.row_count(), 0.0);
+  for (size_t i = 1; i <= steps; ++i) {
+    mdp.transitions.right_multiply(values, row_values);
+    std::vector<int32_t>& slot = result.schedule[steps - i];
+    for (uint32_t s = 0; s < states; ++s) {
+      const auto [v, row] = opt_reduce(mdp, row_values, s, maximize, nullptr);
+      values[s] = (step_reward != nullptr ? (*step_reward)[s] : 0.0) + v;
+      slot[s] = row;
+    }
+  }
+  result.values = std::move(values);
+  return result;
+}
+
+}  // namespace
+
+BoundedViResult bounded_cumulative_reward(const Mdp& mdp,
+                                          const std::vector<double>& state_rewards,
+                                          size_t steps, bool maximize,
+                                          const ViOptions& options) {
+  (void)options;
+  return horizon_sweeps(mdp, std::vector<double>(mdp.state_count(), 0.0),
+                        &state_rewards, steps, maximize);
+}
+
+BoundedViResult instantaneous_reward(const Mdp& mdp,
+                                     const std::vector<double>& state_rewards,
+                                     size_t steps, bool maximize,
+                                     const ViOptions& options) {
+  (void)options;
+  return horizon_sweeps(mdp, state_rewards, nullptr, steps, maximize);
+}
+
+}  // namespace autosec::mdp

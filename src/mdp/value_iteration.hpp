@@ -1,0 +1,90 @@
+// Value iteration for MDP reachability probabilities and expected rewards.
+// Each Bellman sweep is one row-parallel CsrMatrix::right_multiply over the
+// flattened (state, action) rows followed by a per-state min/max reduce, so
+// the numeric inner loop is the same bit-identical kernel the CTMC engine
+// uses. Qualitative sets from mdp/precompute.hpp are frozen before iteration
+// starts; interval iteration (lower from 0, upper from 1, with end-component
+// deflation on the Pmax upper bound) gives sound two-sided brackets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mdp/mdp.hpp"
+
+namespace autosec::mdp {
+
+struct ViOptions {
+  /// Convergence threshold: sup-norm step for plain iteration, bracket width
+  /// for interval iteration.
+  double epsilon = 1e-9;
+  size_t max_iterations = 1'000'000;
+  /// Interval iteration: iterate a lower bound from 0 and an upper bound
+  /// from 1 and stop when they meet; the reported value is the midpoint and
+  /// lower/upper are sound brackets. Probability queries only.
+  bool interval = false;
+  /// Cooperative cancellation hook, polled between sweeps.
+  std::function<bool()> cancelled;
+};
+
+struct ViResult {
+  std::vector<double> values;
+  /// Interval mode: sound per-state brackets (empty otherwise).
+  std::vector<double> lower;
+  std::vector<double> upper;
+  /// Qualitative sets the iteration froze (probability queries).
+  std::vector<bool> zero;
+  std::vector<bool> one;
+  /// Reward queries: states whose expected reward diverges (value = inf).
+  std::vector<bool> infinite;
+  size_t iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+  bool cancelled = false;
+};
+
+/// Unbounded reachability probability: Pmax (maximize) or Pmin over all
+/// memoryless schedulers (memoryless suffices for this objective).
+ViResult reachability(const Mdp& mdp, const std::vector<bool>& target,
+                      bool maximize, const ViOptions& options = {});
+
+/// Step-bounded results carry the time-dependent optimal strategy: the best
+/// action depends on how many steps remain, so the export is a per-step
+/// schedule rather than a single memoryless map.
+struct BoundedViResult {
+  std::vector<double> values;
+  /// schedule[t][s]: optimal row of state s after t elapsed steps; -1 for
+  /// states where the choice is irrelevant (target reached / frozen).
+  std::vector<std::vector<int32_t>> schedule;
+  size_t steps = 0;
+};
+
+/// Reachability within `steps` discrete steps: opt Pr[F<=steps target].
+BoundedViResult bounded_reachability(const Mdp& mdp, const std::vector<bool>& target,
+                                     size_t steps, bool maximize,
+                                     const ViOptions& options = {});
+
+/// Expected total state reward accumulated until the target is first reached
+/// (the target state's own reward is not counted). Infinite — by the usual
+/// convention that paths missing the target accumulate infinite reward —
+/// outside Prob1A (maximize) resp. Prob1E (minimize); those states come back
+/// flagged in ViResult::infinite with value +inf.
+ViResult reachability_reward(const Mdp& mdp, const std::vector<bool>& target,
+                             const std::vector<double>& state_rewards,
+                             bool maximize, const ViOptions& options = {});
+
+/// Expected state reward summed over the first `steps` steps.
+BoundedViResult bounded_cumulative_reward(const Mdp& mdp,
+                                          const std::vector<double>& state_rewards,
+                                          size_t steps, bool maximize,
+                                          const ViOptions& options = {});
+
+/// Expected state reward of the state occupied after exactly `steps` steps.
+BoundedViResult instantaneous_reward(const Mdp& mdp,
+                                     const std::vector<double>& state_rewards,
+                                     size_t steps, bool maximize,
+                                     const ViOptions& options = {});
+
+}  // namespace autosec::mdp

@@ -240,6 +240,18 @@ ParseResult parse_request(std::string_view line) {
           throw BadRequest("field 'steady_state_detection' must be a boolean");
         }
         request.steady_state_detection = value.as_bool();
+      } else if (key == "model_type") {
+        const std::string model_type = expect_string(value, key);
+        const auto parsed = symbolic::parse_model_type_token(model_type);
+        if (!parsed) {
+          throw BadRequest("unknown model_type '" + model_type + "' (ctmc|mdp)");
+        }
+        request.model_type = *parsed;
+      } else if (key == "strategy") {
+        if (!value.is_bool()) {
+          throw BadRequest("field 'strategy' must be a boolean");
+        }
+        request.strategy = value.as_bool();
       } else {
         throw BadRequest("unknown field '" + key + "'");
       }
@@ -259,6 +271,23 @@ ParseResult parse_request(std::string_view line) {
     }
     if (request.op == Op::kCheck && request.properties.empty()) {
       throw BadRequest("op 'check' requires a non-empty 'properties' array");
+    }
+    if (request.strategy) {
+      if (request.op != Op::kCheck) {
+        throw BadRequest("field 'strategy' is only valid on op 'check'");
+      }
+      if (request.model_type != symbolic::ModelType::kMdp) {
+        throw BadRequest(
+            "field 'strategy' requires model_type 'mdp' (a ctmc has no "
+            "scheduler to export)");
+      }
+    }
+    if (request.model_type == symbolic::ModelType::kMdp &&
+        request.op != Op::kCheck && request.op != Op::kStatus) {
+      throw BadRequest(
+          "op '" + std::string(op_name(request.op)) +
+          "' supports model_type 'ctmc' only; use op 'check' with "
+          "Pmax/Pmin properties for mdp models");
     }
     if (request.op == Op::kSweep) {
       if (request.constant.empty()) {

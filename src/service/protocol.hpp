@@ -123,6 +123,14 @@ struct Request {
   linalg::GsOrdering gs_ordering = linalg::GsOrdering::kAuto;
   linalg::StateReorder reorder = linalg::StateReorder::kAuto;
   bool steady_state_detection = true;
+  /// Model family of the generated model ("ctmc" | "mdp"): ctmc is the
+  /// paper's exploit-vs-patch race, mdp the nondeterministic worst-case
+  /// attacker. Part of request identity — session and disk cache keys fold
+  /// it in, so a cached ctmc answer can never serve an mdp query.
+  symbolic::ModelType model_type = symbolic::ModelType::kCtmc;
+  /// check on an mdp model: also export the optimizing scheduler (the attack
+  /// path) per property; the response's result rows gain a "strategy" object.
+  bool strategy = false;
 };
 
 /// Outcome of parsing one request line: either a request or a bad_request

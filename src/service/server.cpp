@@ -22,6 +22,7 @@
 #include "automotive/archfile.hpp"
 #include "automotive/diagnostics.hpp"
 #include "automotive/transform.hpp"
+#include "csl/property_parser.hpp"
 #include "csl/session.hpp"
 #include "service/shard.hpp"
 #include "service/transport.hpp"
@@ -117,6 +118,10 @@ std::string make_key(const char* kind, uint64_t digest, const Request& request) 
   key += ";reorder=";
   key += linalg::reorder_token(request.reorder);
   if (!request.steady_state_detection) key += ";ssd=off";
+  // The model family changes the transformed model entirely — a cached ctmc
+  // session must never answer an mdp request. Suffix only when non-default so
+  // every pre-existing ctmc key is unchanged.
+  if (request.model_type == symbolic::ModelType::kMdp) key += ";mt=mdp";
   if (request.op == Op::kAnalyze) {
     key += ";msgs=";
     for (const std::string& message : request.messages) {
@@ -174,12 +179,13 @@ automotive::AnalysisOptions engine_options(
   options.nmax = request.nmax;
   options.horizon_years = request.horizon_years;
   options.constant_overrides = request.overrides;
-  if (request.solver) options.steady_state.solver.method = *request.solver;
-  options.steady_state.solver.ordering = request.gs_ordering;
-  options.transient.layout = request.layout;
-  options.transient.reorder = request.reorder;
-  options.transient.steady_state_detection = request.steady_state_detection;
-  options.explore.engine = request.engine;
+  options.model_type = request.model_type;
+  if (request.solver) options.plan.method = *request.solver;
+  options.plan.gs_ordering = request.gs_ordering;
+  options.plan.layout = request.layout;
+  options.plan.reorder = request.reorder;
+  options.plan.steady_state_detection = request.steady_state_detection;
+  options.plan.engine = request.engine;
   options.cancel = std::move(token);
   options.budget = std::move(budget);
   return options;
@@ -271,6 +277,10 @@ std::string make_disk_key(const Request& request, uint64_t digest) {
       key += property;
       key += '\x1f';
     }
+    // A strategy-bearing response carries more than the plain one; the two
+    // must not share a disk entry. (The session key is unaffected — the same
+    // session answers both.)
+    if (request.strategy) key += ";strat=1";
   } else if (request.op == Op::kSweep) {
     key += ";const=";
     key += request.constant;
@@ -359,6 +369,7 @@ util::JsonValue Server::run_check(const Request& request, RequestMetrics& metric
         transform_options.message = request.message;
         transform_options.category = request.category;
         transform_options.nmax = request.nmax;
+        transform_options.model_type = request.model_type;
         automotive::BatchSession batch;
         batch.architecture_name = arch.name;
         batch.messages = {request.message};
@@ -391,7 +402,24 @@ util::JsonValue Server::run_check(const Request& request, RequestMetrics& metric
   session.set_resource_budget(metrics.budget);
   const csl::SessionStats before = session.stats();
 
-  const std::vector<double> values = session.check_all(request.properties);
+  std::vector<double> values;
+  std::vector<JsonValue> strategies;
+  if (request.strategy) {
+    // Strategy export solves per property (the scheduler is per-objective);
+    // properties that cannot carry one (rewards, steady state) fail the
+    // whole request with the engine's typed error.
+    values.reserve(request.properties.size());
+    strategies.reserve(request.properties.size());
+    for (const std::string& text : request.properties) {
+      const csl::Property property = csl::parse_property(text);
+      const csl::StrategyCheck checked = session.check_with_strategy(property);
+      values.push_back(checked.value);
+      strategies.push_back(
+          session.strategy_document(property, checked.strategy));
+    }
+  } else {
+    values = session.check_all(request.properties);
+  }
 
   metrics.explores = session.stats().explore_count - before.explore_count;
   metrics.solver_fallbacks =
@@ -409,6 +437,7 @@ util::JsonValue Server::run_check(const Request& request, RequestMetrics& metric
     JsonValue row = JsonValue::object();
     row["property"] = JsonValue::string(request.properties[i]);
     row["value"] = JsonValue::number(values[i]);
+    if (i < strategies.size()) row["strategy"] = std::move(strategies[i]);
     rows.push_back(std::move(row));
   }
   result["properties"] = std::move(rows);
@@ -430,6 +459,7 @@ util::JsonValue Server::run_sweep(const Request& request, RequestMetrics& metric
         transform_options.message = request.message;
         transform_options.category = request.category;
         transform_options.nmax = request.nmax;
+        transform_options.model_type = request.model_type;
         automotive::BatchSession batch;
         batch.architecture_name = arch.name;
         batch.messages = {request.message};
@@ -566,6 +596,21 @@ util::JsonValue Server::run_diagnose(const Request& request,
 util::JsonValue Server::run_status(const Request&, RequestMetrics&) {
   const SessionCache::Stats stats = cache_.stats();
   JsonValue result = JsonValue::object();
+  // What this build of the service can do, for clients negotiating features
+  // (the machine-readable request schema is tools/serve_schema.json).
+  JsonValue capabilities = JsonValue::object();
+  capabilities["schema_version"] = JsonValue::string(std::string(kSchemaVersion));
+  JsonValue ops = JsonValue::array();
+  for (const char* op : {"analyze", "check", "sweep", "diagnose", "status"}) {
+    ops.push_back(JsonValue::string(op));
+  }
+  capabilities["ops"] = std::move(ops);
+  JsonValue model_types = JsonValue::array();
+  model_types.push_back(JsonValue::string("ctmc"));
+  model_types.push_back(JsonValue::string("mdp"));
+  capabilities["model_types"] = std::move(model_types);
+  capabilities["strategy_export"] = JsonValue::boolean(true);
+  result["capabilities"] = std::move(capabilities);
   JsonValue cache = JsonValue::object();
   cache["entries"] = JsonValue::number(stats.entries);
   cache["capacity"] = JsonValue::number(stats.capacity);

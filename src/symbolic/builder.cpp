@@ -27,6 +27,21 @@ ModuleBuilder& ModuleBuilder::command(const std::string& action, Expr guard, Exp
   return *this;
 }
 
+ModuleBuilder& ModuleBuilder::choice(const std::string& action, Expr guard,
+                                     std::vector<CommandBranch> branches) {
+  Command command;
+  command.action = action;
+  command.guard = std::move(guard);
+  command.branches = std::move(branches);
+  module_.commands.push_back(std::move(command));
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::type(ModelType type) {
+  model_.type = type;
+  return *this;
+}
+
 ModelBuilder& ModelBuilder::constant_bool(const std::string& name, bool value) {
   model_.constants.push_back({name, ConstantDecl::Type::kBool, Expr::literal(value)});
   return *this;

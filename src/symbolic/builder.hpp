@@ -35,6 +35,10 @@ class ModuleBuilder {
   /// Labeled command `[action] guard -> rate : assignments`.
   ModuleBuilder& command(const std::string& action, Expr guard, Expr rate,
                          std::vector<Assignment> assignments);
+  /// Nondeterministic (mdp) command `[action] guard -> p1:u1 + p2:u2 + ..`:
+  /// one action whose outcome is the distribution over `branches`.
+  ModuleBuilder& choice(const std::string& action, Expr guard,
+                        std::vector<CommandBranch> branches);
 
   const Module& module() const { return module_; }
   Module take() && { return std::move(module_); }
@@ -45,6 +49,10 @@ class ModuleBuilder {
 
 class ModelBuilder {
  public:
+  /// Sets the model type (default ctmc). MDP modules use
+  /// ModuleBuilder::choice instead of command.
+  ModelBuilder& type(ModelType type);
+
   ModelBuilder& constant_bool(const std::string& name, bool value);
   ModelBuilder& constant_int(const std::string& name, int64_t value);
   ModelBuilder& constant_double(const std::string& name, double value);

@@ -1,5 +1,6 @@
 // Explicit state-space exploration: breadth-first enumeration of the
-// reachable states of a CompiledModel, producing the CTMC rate matrix plus
+// reachable states of a CompiledModel, producing the CTMC rate matrix (ctmc
+// models) or the flattened per-action probability matrix (mdp models), plus
 // evaluated label masks and reward vectors. This is the step PRISM performs
 // when "building the model"; the paper's Section 4 reports its state counts
 // (4·10^5 – 1.2·10^6) and notes that runtime tracks the state count.
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
+#include "mdp/mdp.hpp"
 #include "symbolic/model.hpp"
 #include "symbolic/state_store.hpp"
 #include "symbolic/symmetry.hpp"
@@ -82,10 +84,18 @@ class StateSpace {
              std::shared_ptr<const StateStore> store, size_t initial_state,
              linalg::CsrMatrix rates, size_t transition_count,
              SymmetryGroup symmetry = {});
+  /// MDP state space: holds the flattened per-action matrix instead of rates.
+  StateSpace(std::shared_ptr<const CompiledModel> model,
+             std::shared_ptr<const StateStore> store, size_t initial_state,
+             std::shared_ptr<const mdp::Mdp> mdp, size_t transition_count);
 
   size_t state_count() const { return store_->size(); }
   size_t transition_count() const { return transition_count_; }
   size_t initial_state() const { return initial_state_; }
+
+  /// Model type this space was explored from.
+  ModelType type() const { return model_->type; }
+  bool is_mdp() const { return mdp_ != nullptr; }
 
   /// Valuation of one state (unpacked from the store).
   std::vector<int32_t> state_values(size_t index) const;
@@ -93,9 +103,14 @@ class StateSpace {
   /// Human-readable "(x=1,y=0)" rendering of a state.
   std::string state_to_string(size_t index) const;
 
-  /// Off-diagonal rate matrix; feed to ctmc::Ctmc.
-  const linalg::CsrMatrix& rates() const { return rates_; }
-  ctmc::Ctmc to_ctmc() const { return ctmc::Ctmc(rates_); }
+  /// Off-diagonal rate matrix; feed to ctmc::Ctmc. Throws ModelError on an
+  /// mdp space (there is no rate matrix to hand out).
+  const linalg::CsrMatrix& rates() const;
+  ctmc::Ctmc to_ctmc() const;
+
+  /// Flattened per-action MDP; throws ModelError on a ctmc space.
+  const mdp::Mdp& mdp() const;
+  std::shared_ptr<const mdp::Mdp> mdp_ptr() const { return mdp_; }
 
   /// Point distribution on the initial state.
   std::vector<double> initial_distribution() const;
@@ -126,7 +141,8 @@ class StateSpace {
   std::shared_ptr<const CompiledModel> model_;  // owned (shared with callers)
   std::shared_ptr<const StateStore> store_;
   size_t initial_state_;
-  linalg::CsrMatrix rates_;
+  linalg::CsrMatrix rates_;                 // ctmc only
+  std::shared_ptr<const mdp::Mdp> mdp_;     // mdp only
   size_t transition_count_;
   SymmetryGroup symmetry_;
 };

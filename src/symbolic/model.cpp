@@ -7,6 +7,20 @@
 
 namespace autosec::symbolic {
 
+std::string_view model_type_token(ModelType type) {
+  switch (type) {
+    case ModelType::kCtmc: return "ctmc";
+    case ModelType::kMdp: return "mdp";
+  }
+  return "?";
+}
+
+std::optional<ModelType> parse_model_type_token(std::string_view text) {
+  if (text == "ctmc") return ModelType::kCtmc;
+  if (text == "mdp") return ModelType::kMdp;
+  return std::nullopt;
+}
+
 const Module* Model::find_module(const std::string& name) const {
   for (const Module& m : modules) {
     if (m.name == name) return &m;
@@ -70,6 +84,7 @@ Value coerce_constant(const Value& v, ConstantDecl::Type type, const std::string
 CompiledModel compile(const Model& model,
                       const std::vector<std::pair<std::string, Value>>& constant_overrides) {
   CompiledModel out;
+  out.type = model.type;
 
   // --- constants: resolve in declaration order; overrides win.
   std::vector<std::pair<std::string, Value>> constants;
@@ -188,18 +203,42 @@ CompiledModel compile(const Model& model,
       cc.action = command.action;
       cc.module = module.name;
       cc.guard = command.guard.resolve(full_scope);
-      cc.rate = command.rate.resolve(full_scope);
-      std::set<uint32_t> assigned;
-      for (const Assignment& a : command.assignments) {
-        const uint32_t index = variable_index(a.variable);
-        if (module_of_variable[a.variable] != module.name) {
-          throw ModelError("module '" + module.name + "' assigns to variable '" +
-                           a.variable + "' of module '" + module_of_variable[a.variable] + "'");
+      // Resolve one update list, with the per-command duplicate and
+      // cross-module checks shared by both model types.
+      auto resolve_assignments = [&](const std::vector<Assignment>& assignments) {
+        std::vector<std::pair<uint32_t, Expr>> resolved;
+        std::set<uint32_t> assigned;
+        for (const Assignment& a : assignments) {
+          const uint32_t index = variable_index(a.variable);
+          if (module_of_variable[a.variable] != module.name) {
+            throw ModelError("module '" + module.name + "' assigns to variable '" +
+                             a.variable + "' of module '" + module_of_variable[a.variable] + "'");
+          }
+          if (!assigned.insert(index).second) {
+            throw ModelError("command assigns variable '" + a.variable + "' twice");
+          }
+          resolved.emplace_back(index, a.value.resolve(full_scope));
         }
-        if (!assigned.insert(index).second) {
-          throw ModelError("command assigns variable '" + a.variable + "' twice");
+        return resolved;
+      };
+      if (model.type == ModelType::kMdp) {
+        if (command.branches.empty()) {
+          throw ModelError("module '" + module.name +
+                           "': mdp command has no probabilistic branches");
         }
-        cc.assignments.emplace_back(index, a.value.resolve(full_scope));
+        for (const CommandBranch& branch : command.branches) {
+          CompiledBranch cb;
+          cb.probability = branch.probability.resolve(full_scope);
+          cb.assignments = resolve_assignments(branch.assignments);
+          cc.branches.push_back(std::move(cb));
+        }
+      } else {
+        if (!command.branches.empty()) {
+          throw ModelError("module '" + module.name +
+                           "': probabilistic branches require an mdp model");
+        }
+        cc.rate = command.rate.resolve(full_scope);
+        cc.assignments = resolve_assignments(command.assignments);
       }
       out.commands.push_back(std::move(cc));
     }

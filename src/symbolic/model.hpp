@@ -9,7 +9,7 @@
 // reachable state space of a CompiledModel.
 //
 // Supported subset (documented deviations from full PRISM):
-//  * model type: ctmc only;
+//  * model type: ctmc (rate commands) or mdp (probabilistic branch commands);
 //  * variables: bounded int (bool is sugar for [0..1] in the parser);
 //  * commands: unsynchronized only — an action label may appear in commands
 //    of at most one module (compose-by-synchronization is not implemented);
@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "symbolic/expr.hpp"
@@ -30,6 +31,15 @@ class ModelError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// The semantics a model's commands carry: exponential rates (ctmc) or
+/// nondeterministically chosen probability distributions (mdp). The engine
+/// pipeline (explorer, EngineSession, serve) dispatches on this axis.
+enum class ModelType { kCtmc, kMdp };
+
+/// The wire/CLI token of a model type ("ctmc" | "mdp").
+std::string_view model_type_token(ModelType type);
+std::optional<ModelType> parse_model_type_token(std::string_view text);
 
 /// `const <type> name [= expr];` — expr may be omitted (an "undefined
 /// constant") and supplied at compile time.
@@ -61,15 +71,29 @@ struct Assignment {
   Expr value;
 };
 
-/// `[action] guard -> rate : (x'=..) & (y'=..);`
+/// One probabilistic alternative `probability : (x'=..) & ..` of an MDP
+/// command. Branch probabilities of a command must sum to 1 in every state
+/// where the guard holds (validated during exploration).
+struct CommandBranch {
+  Expr probability;
+  std::vector<Assignment> assignments;
+};
+
+/// CTMC: `[action] guard -> rate : (x'=..) & (y'=..);`
 /// A command with several rate-update alternatives
 /// `guard -> r1:u1 + r2:u2;` is represented as separate Command objects by
 /// the parser (legal for CTMCs, where rates of alternatives are independent).
+///
+/// MDP: `[action] guard -> p1 : u1 + p2 : u2;` is ONE command — one
+/// nondeterministic action whose outcome is the probability distribution over
+/// the branches. `rate`/`assignments` are unused; `branches` holds the
+/// alternatives instead.
 struct Command {
   std::string action;  ///< empty for unlabeled commands
   Expr guard;
   Expr rate;
   std::vector<Assignment> assignments;
+  std::vector<CommandBranch> branches;  ///< mdp only
 };
 
 struct Module {
@@ -96,6 +120,7 @@ struct RewardStructDecl {
 };
 
 struct Model {
+  ModelType type = ModelType::kCtmc;
   std::vector<ConstantDecl> constants;
   std::vector<FormulaDecl> formulas;
   std::vector<Module> modules;
@@ -119,12 +144,19 @@ struct CompiledVariable {
   int32_t init = 0;
 };
 
+/// Resolved probabilistic alternative of a compiled MDP command.
+struct CompiledBranch {
+  Expr probability;  ///< resolved
+  std::vector<std::pair<uint32_t, Expr>> assignments;
+};
+
 struct CompiledCommand {
   Expr guard;  ///< resolved
-  Expr rate;   ///< resolved
+  Expr rate;   ///< resolved (ctmc only)
   /// (variable index, resolved value expression) pairs; at most one per
-  /// variable, validated at compile time.
+  /// variable, validated at compile time. (ctmc only)
   std::vector<std::pair<uint32_t, Expr>> assignments;
+  std::vector<CompiledBranch> branches;  ///< mdp only
   std::string action;
   std::string module;
 };
@@ -140,6 +172,7 @@ struct CompiledRewardStruct {
 };
 
 struct CompiledModel {
+  ModelType type = ModelType::kCtmc;
   std::vector<CompiledVariable> variables;
   std::vector<CompiledCommand> commands;
   std::vector<CompiledLabel> labels;

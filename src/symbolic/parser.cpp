@@ -332,9 +332,11 @@ bool at_update_list(TokenStream& s) {
          s.peek(2).is_symbol("'");
 }
 
-/// Parse one command into possibly several Command entries (one per
-/// `rate:update` alternative — independent racing transitions in a CTMC).
-void parse_command(TokenStream& s, Module& module) {
+/// Parse one command. For a CTMC the `+` alternatives are independent racing
+/// transitions and become separate Command entries (one per `rate:update`
+/// alternative). For an MDP the whole command is ONE nondeterministic action
+/// and the alternatives are the branches of its probability distribution.
+void parse_command(TokenStream& s, Module& module, ModelType type) {
   std::string action;
   if (!s.accept_symbol("]")) {
     action = s.expect_name();
@@ -342,6 +344,27 @@ void parse_command(TokenStream& s, Module& module) {
   }
   Expr guard = parse_expression(s);
   s.expect_symbol("->");
+  if (type == ModelType::kMdp) {
+    Command command;
+    command.action = std::move(action);
+    command.guard = std::move(guard);
+    while (true) {
+      CommandBranch branch;
+      if (at_update_list(s)) {
+        branch.probability = Expr::literal(1.0);
+        branch.assignments = parse_updates(s);
+      } else {
+        branch.probability = parse_expression(s);
+        s.expect_symbol(":");
+        branch.assignments = parse_updates(s);
+      }
+      command.branches.push_back(std::move(branch));
+      if (!s.accept_symbol("+")) break;
+    }
+    module.commands.push_back(std::move(command));
+    s.expect_symbol(";");
+    return;
+  }
   while (true) {
     Command command;
     command.action = action;
@@ -360,12 +383,12 @@ void parse_command(TokenStream& s, Module& module) {
   s.expect_symbol(";");
 }
 
-Module parse_module(TokenStream& s) {
+Module parse_module(TokenStream& s, ModelType type) {
   Module module;
   module.name = s.expect_name();
   while (!s.accept_identifier("endmodule")) {
     if (s.accept_symbol("[")) {
-      parse_command(s, module);
+      parse_command(s, module, type);
     } else {
       std::string name = s.expect_name();
       s.expect_symbol(":");
@@ -407,12 +430,15 @@ Model parse_model(std::string_view source) {
   TokenStream s(tokenize(source));
   Model model;
 
-  if (!s.accept_identifier("ctmc")) {
-    if (s.peek().is_identifier("dtmc") || s.peek().is_identifier("mdp") ||
-        s.peek().is_identifier("pta")) {
-      s.fail("only ctmc models are supported");
+  if (s.accept_identifier("ctmc")) {
+    model.type = ModelType::kCtmc;
+  } else if (s.accept_identifier("mdp") || s.accept_identifier("nondeterministic")) {
+    model.type = ModelType::kMdp;
+  } else {
+    if (s.peek().is_identifier("dtmc") || s.peek().is_identifier("pta")) {
+      s.fail("only ctmc and mdp models are supported");
     }
-    s.fail("model must start with 'ctmc'");
+    s.fail("model must start with 'ctmc' or 'mdp'");
   }
 
   while (!s.at_end()) {
@@ -421,7 +447,7 @@ Model parse_model(std::string_view source) {
     } else if (s.accept_identifier("formula")) {
       model.formulas.push_back(parse_formula(s));
     } else if (s.accept_identifier("module")) {
-      model.modules.push_back(parse_module(s));
+      model.modules.push_back(parse_module(s, model.type));
     } else if (s.accept_identifier("label")) {
       model.labels.push_back(parse_label(s));
     } else if (s.accept_identifier("rewards")) {

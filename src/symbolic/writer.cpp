@@ -15,11 +15,23 @@ const char* constant_type_name(ConstantDecl::Type type) {
   return "?";
 }
 
+void write_updates(std::ostringstream& os, const std::vector<Assignment>& assignments) {
+  if (assignments.empty()) {
+    os << "true";
+    return;
+  }
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i > 0) os << " & ";
+    os << "(" << assignments[i].variable << "'="
+       << assignments[i].value.simplified().to_string() << ")";
+  }
+}
+
 }  // namespace
 
 std::string write_model(const Model& model) {
   std::ostringstream os;
-  os << "ctmc\n\n";
+  os << model_type_token(model.type) << "\n\n";
 
   for (const ConstantDecl& c : model.constants) {
     os << "const " << constant_type_name(c.type) << " " << c.name;
@@ -40,16 +52,16 @@ std::string write_model(const Model& model) {
          << "] init " << v.init.to_string() << ";\n";
     }
     for (const Command& c : m.commands) {
-      os << "  [" << c.action << "] " << c.guard.simplified().to_string() << " -> "
-         << c.rate.simplified().to_string() << " : ";
-      if (c.assignments.empty()) {
-        os << "true";
-      } else {
-        for (size_t i = 0; i < c.assignments.size(); ++i) {
-          if (i > 0) os << " & ";
-          os << "(" << c.assignments[i].variable << "'="
-             << c.assignments[i].value.simplified().to_string() << ")";
+      os << "  [" << c.action << "] " << c.guard.simplified().to_string() << " -> ";
+      if (model.type == ModelType::kMdp) {
+        for (size_t b = 0; b < c.branches.size(); ++b) {
+          if (b > 0) os << " + ";
+          os << c.branches[b].probability.simplified().to_string() << " : ";
+          write_updates(os, c.branches[b].assignments);
         }
+      } else {
+        os << c.rate.simplified().to_string() << " : ";
+        write_updates(os, c.assignments);
       }
       os << ";\n";
     }

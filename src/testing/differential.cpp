@@ -16,6 +16,7 @@
 #include "linalg/gauss_seidel.hpp"
 #include "linalg/reorder.hpp"
 #include "linalg/sell_matrix.hpp"
+#include "mdp/value_iteration.hpp"
 #include "symbolic/parser.hpp"
 #include "symbolic/writer.hpp"
 #include "testing/oracle.hpp"
@@ -310,9 +311,9 @@ void check_model(Harness& harness, uint64_t seed, const std::string& origin,
   // --- (b) Krylov-first vs pure Gauss-Seidel on the unbounded properties.
   if (options.check_solvers) {
     csl::CheckerOptions krylov;
-    krylov.steady_state.solver.method = linalg::FixpointMethod::kAuto;
+    krylov.plan.method = linalg::FixpointMethod::kAuto;
     csl::CheckerOptions gauss_seidel;
-    gauss_seidel.steady_state.solver.method = linalg::FixpointMethod::kGaussSeidel;
+    gauss_seidel.plan.method = linalg::FixpointMethod::kGaussSeidel;
     const csl::Checker krylov_checker(space, krylov);
     const csl::Checker gs_checker(space, gauss_seidel);
     for (const std::string& text : properties.unbounded) {
@@ -341,9 +342,9 @@ void check_model(Harness& harness, uint64_t seed, const std::string& origin,
   //                       in a different order (roundoff-scale drift only).
   if (options.check_kernels) {
     csl::CheckerOptions blocked_options;
-    blocked_options.transient.layout = linalg::MatrixLayout::kBlocked;
+    blocked_options.plan.layout = linalg::MatrixLayout::kBlocked;
     csl::CheckerOptions csr_options;
-    csr_options.transient.layout = linalg::MatrixLayout::kCsr;
+    csr_options.plan.layout = linalg::MatrixLayout::kCsr;
     const csl::Checker blocked_checker(space, blocked_options);
     const csl::Checker csr_checker(space, csr_options);
     for (const std::string& text : properties.bounded) {
@@ -352,11 +353,11 @@ void check_model(Harness& harness, uint64_t seed, const std::string& origin,
     }
 
     csl::CheckerOptions colored_options;
-    colored_options.steady_state.solver.method = linalg::FixpointMethod::kGaussSeidel;
-    colored_options.steady_state.solver.ordering = linalg::GsOrdering::kColored;
+    colored_options.plan.method = linalg::FixpointMethod::kGaussSeidel;
+    colored_options.plan.gs_ordering = linalg::GsOrdering::kColored;
     csl::CheckerOptions direct_options;
-    direct_options.steady_state.solver.method = linalg::FixpointMethod::kGaussSeidel;
-    direct_options.steady_state.solver.ordering = linalg::GsOrdering::kDirect;
+    direct_options.plan.method = linalg::FixpointMethod::kGaussSeidel;
+    direct_options.plan.gs_ordering = linalg::GsOrdering::kDirect;
     const csl::Checker colored_checker(space, colored_options);
     const csl::Checker direct_checker(space, direct_options);
     for (const std::string& text : properties.unbounded) {
@@ -373,9 +374,9 @@ void check_model(Harness& harness, uint64_t seed, const std::string& origin,
     }
 
     csl::CheckerOptions rcm_options;
-    rcm_options.transient.reorder = linalg::StateReorder::kRcm;
+    rcm_options.plan.reorder = linalg::StateReorder::kRcm;
     csl::CheckerOptions natural_options;
-    natural_options.transient.reorder = linalg::StateReorder::kOff;
+    natural_options.plan.reorder = linalg::StateReorder::kOff;
     const csl::Checker rcm_checker(space, rcm_options);
     const csl::Checker natural_checker(space, natural_options);
     for (const std::string& text : properties.bounded) {
@@ -546,6 +547,51 @@ void check_architecture(Harness& harness, uint64_t seed, const Architecture& arc
               automotive::transform(arch, transform_options));
 }
 
+/// MDP family: plain value iteration vs the exhaustive strategy-enumeration
+/// oracle ("mdp.vi_vs_lp_small"), and interval iteration's sound brackets vs
+/// the plain fixpoint ("mdp.interval_vs_plain"). Both directions, whole
+/// value vector.
+void check_mdp_model(Harness& harness, uint64_t seed, const RandomMdp& random) {
+  if (!harness.options_.check_mdp) return;
+  const mdp::Mdp& model = random.model;
+  for (const bool maximize : {true, false}) {
+    const std::string direction = maximize ? "Pmax" : "Pmin";
+
+    mdp::ViOptions plain_options;
+    plain_options.epsilon = 1e-12;
+    const mdp::ViResult plain =
+        mdp::reachability(model, random.target, maximize, plain_options);
+    if (!plain.converged) {
+      harness.record_skip("mdp.vi_vs_lp_small");
+      harness.record_skip("mdp.interval_vs_plain");
+      continue;
+    }
+
+    const std::vector<double> oracle =
+        oracle_mdp_reachability(model, random.target, maximize);
+    harness.record("mdp.vi_vs_lp_small", seed,
+                   direction + " value iteration vs scheduler enumeration",
+                   infinity_norm_difference(plain.values, oracle));
+
+    mdp::ViOptions interval_options = plain_options;
+    interval_options.interval = true;
+    const mdp::ViResult interval =
+        mdp::reachability(model, random.target, maximize, interval_options);
+    if (!interval.converged) {
+      harness.record_skip("mdp.interval_vs_plain");
+      continue;
+    }
+    double violation = 0.0;
+    for (size_t s = 0; s < plain.values.size(); ++s) {
+      violation = std::max(violation, interval.lower[s] - plain.values[s]);
+      violation = std::max(violation, plain.values[s] - interval.upper[s]);
+    }
+    harness.record("mdp.interval_vs_plain", seed,
+                   direction + " plain fixpoint escapes the interval brackets",
+                   violation, 1e-9);
+  }
+}
+
 }  // namespace
 
 std::string DifferentialReport::summary() const {
@@ -584,6 +630,7 @@ DifferentialReport run_differential(const DifferentialOptions& options) {
       check_model(harness, seed, "model", random_model(seed, options.model));
       check_architecture(harness, seed,
                          random_architecture(seed, options.architecture));
+      check_mdp_model(harness, seed, random_mdp(seed, options.mdp));
     } catch (const std::exception& error) {
       CheckOutcome& outcome = report.checks["exception"];
       ++outcome.runs;

@@ -22,7 +22,13 @@
 //               classic vector store, required to produce the identical
 //               state enumeration, rate matrix, masks, rewards and property
 //               values bit-for-bit; plus the symmetry-reduced quotient vs
-//               the full space on every group-invariant property.
+//               the full space on every group-invariant property;
+//   mdp         value iteration on a tiny random MDP vs the exhaustive
+//               strategy-enumeration oracle (every memoryless scheduler's
+//               induced DTMC solved densely), for Pmax and Pmin
+//               ("mdp.vi_vs_lp_small"), and interval iteration's sound
+//               brackets required to contain the plain value-iteration
+//               fixpoint ("mdp.interval_vs_plain").
 //
 // A failure records the iteration's seed; `autosec-verify --seed S
 // --iterations 1` reproduces it exactly.
@@ -62,9 +68,11 @@ struct DifferentialOptions {
   bool check_parallel = true;
   bool check_roundtrip = true;
   bool check_engine = true;
+  bool check_mdp = true;
 
   RandomModelOptions model;
   RandomArchitectureOptions architecture;
+  RandomMdpOptions mdp;
 };
 
 /// Aggregate outcome of one check family.

@@ -1,7 +1,9 @@
 #include "testing/oracle.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "ctmc/transient.hpp"
 #include "linalg/dense.hpp"
@@ -162,6 +164,113 @@ double oracle_steady_reward(const ctmc::Ctmc& chain, const std::vector<double>& 
                             const std::vector<double>& state_rewards,
                             const OracleOptions& options) {
   return dot(oracle_steady_state(chain, initial, options), state_rewards);
+}
+
+std::vector<double> oracle_mdp_reachability(const mdp::Mdp& mdp,
+                                            const std::vector<bool>& target,
+                                            bool maximize,
+                                            const OracleOptions& options) {
+  mdp.validate();
+  const size_t n = mdp.state_count();
+  if (n > options.max_states) {
+    throw std::invalid_argument("oracle_mdp_reachability: MDP exceeds the state limit");
+  }
+  if (target.size() != n) {
+    throw std::invalid_argument("oracle_mdp_reachability: target size mismatch");
+  }
+
+  // Count the memoryless schedulers (product of per-state action counts) and
+  // refuse un-enumerable spaces up front.
+  constexpr size_t kMaxSchedulers = size_t{1} << 17;
+  size_t scheduler_count = 1;
+  for (size_t s = 0; s < n; ++s) {
+    const auto [first, last] = mdp.actions_of(static_cast<uint32_t>(s));
+    const size_t actions = last - first;
+    if (actions == 0 || scheduler_count > kMaxSchedulers / actions) {
+      throw std::invalid_argument(
+          "oracle_mdp_reachability: scheduler space too large to enumerate");
+    }
+    scheduler_count *= actions;
+  }
+
+  std::vector<double> best(n, maximize ? 0.0 : 1.0);
+  std::vector<size_t> choice(n, 0);  // per-state action index (odometer)
+  for (size_t scheduler = 0; scheduler < scheduler_count; ++scheduler) {
+    // BFS backward from the target over the induced DTMC's edges: `reach[s]`
+    // iff s can reach a target state at all under this scheduler.
+    std::vector<std::vector<size_t>> predecessors(n);
+    for (size_t s = 0; s < n; ++s) {
+      if (target[s]) continue;  // target states are absorbing for F target
+      const size_t row = mdp.state_offsets[s] + choice[s];
+      for (const size_t to : mdp.transitions.row_columns(row)) {
+        predecessors[to].push_back(s);
+      }
+    }
+    std::vector<bool> reach = target;
+    std::vector<size_t> frontier;
+    for (size_t s = 0; s < n; ++s) {
+      if (target[s]) frontier.push_back(s);
+    }
+    while (!frontier.empty()) {
+      const size_t s = frontier.back();
+      frontier.pop_back();
+      for (const size_t from : predecessors[s]) {
+        if (!reach[from]) {
+          reach[from] = true;
+          frontier.push_back(from);
+        }
+      }
+    }
+
+    // Unknown states U = reach \ target. With the target absorbing, every
+    // state of U is transient, so (I − P_UU) is nonsingular and
+    // x = (I − P_UU)⁻¹ · P_U→target · 1 is the reachability probability.
+    std::vector<size_t> unknown;
+    std::vector<size_t> index_of(n, n);
+    for (size_t s = 0; s < n; ++s) {
+      if (reach[s] && !target[s]) {
+        index_of[s] = unknown.size();
+        unknown.push_back(s);
+      }
+    }
+    std::vector<double> values(n, 0.0);
+    for (size_t s = 0; s < n; ++s) {
+      if (target[s]) values[s] = 1.0;
+    }
+    if (!unknown.empty()) {
+      const size_t u = unknown.size();
+      DenseMatrix system(u, u);
+      std::vector<double> rhs(u, 0.0);
+      for (size_t i = 0; i < u; ++i) {
+        system.at(i, i) = 1.0;
+        const size_t row = mdp.state_offsets[unknown[i]] + choice[unknown[i]];
+        const auto cols = mdp.transitions.row_columns(row);
+        const auto vals = mdp.transitions.row_values(row);
+        for (size_t k = 0; k < cols.size(); ++k) {
+          const size_t to = cols[k];
+          if (target[to]) {
+            rhs[i] += vals[k];
+          } else if (index_of[to] < n) {
+            system.at(i, index_of[to]) -= vals[k];
+          }  // else: `to` cannot reach the target, contributes 0
+        }
+      }
+      const std::vector<double> solved = linalg::dense_solve(std::move(system), rhs);
+      for (size_t i = 0; i < u; ++i) values[unknown[i]] = solved[i];
+    }
+
+    for (size_t s = 0; s < n; ++s) {
+      best[s] = maximize ? std::max(best[s], values[s]) : std::min(best[s], values[s]);
+    }
+
+    // Advance the odometer to the next scheduler.
+    for (size_t s = 0; s < n; ++s) {
+      const auto [first, last] = mdp.actions_of(static_cast<uint32_t>(s));
+      if (++choice[s] < static_cast<size_t>(last - first)) break;
+      choice[s] = 0;
+    }
+  }
+  return best;
 }
 
 }  // namespace autosec::testing

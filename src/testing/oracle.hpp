@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ctmc/ctmc.hpp"
+#include "mdp/mdp.hpp"
 
 namespace autosec::testing {
 
@@ -78,5 +79,19 @@ double oracle_instantaneous_reward(const ctmc::Ctmc& chain,
 double oracle_steady_reward(const ctmc::Ctmc& chain, const std::vector<double>& initial,
                             const std::vector<double>& state_rewards,
                             const OracleOptions& options = {});
+
+/// Per-state optimal unbounded reachability probabilities of an MDP, computed
+/// the slowest honest way: enumerate every memoryless scheduler (a uniformly
+/// optimal one exists for this objective), solve each induced DTMC's
+/// reachability system with dense Gaussian elimination, and take the
+/// elementwise max (maximize) or min. The scheduler count — the product of
+/// per-state action counts — must stay at or below 1<<17, or the oracle
+/// refuses by throwing std::invalid_argument. Cross-checks value iteration
+/// through a route that shares neither the fixpoint iteration nor the
+/// qualitative precomputation.
+std::vector<double> oracle_mdp_reachability(const mdp::Mdp& mdp,
+                                            const std::vector<bool>& target,
+                                            bool maximize,
+                                            const OracleOptions& options = {});
 
 }  // namespace autosec::testing

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <random>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "util/numeric.hpp"
@@ -345,6 +346,59 @@ Architecture random_architecture(uint64_t seed,
 
   arch.validate();
   return arch;
+}
+
+RandomMdp random_mdp(uint64_t seed, const RandomMdpOptions& options) {
+  // Scramble with a distinct stream tag so an iteration's MDP is unrelated to
+  // its symbolic model and architecture (all three share the iteration seed).
+  Rng rng(seed ^ 0x6d64705f72616e64ULL);  // "mdp_rand"
+  const size_t states = 2 + rng.index(std::max<size_t>(1, options.max_states - 1));
+
+  RandomMdp out;
+  mdp::Mdp& model = out.model;
+  model.state_offsets.push_back(0);
+  std::vector<std::tuple<size_t, size_t, double>> entries;  // (row, column, p)
+  for (size_t s = 0; s < states; ++s) {
+    const size_t action_count = 1 + rng.index(options.max_actions);
+    for (size_t a = 0; a < action_count; ++a) {
+      const size_t row = model.state_of_row.size();
+      model.state_of_row.push_back(static_cast<uint32_t>(s));
+      model.action_labels.push_back("a" + std::to_string(a));
+      // Integer weights over a random successor multiset; CsrBuilder sums
+      // duplicate targets, and w/W ratios keep each row sum exact.
+      const size_t branches = 1 + rng.index(options.max_branches);
+      std::vector<size_t> targets(branches);
+      std::vector<int32_t> weights(branches);
+      int32_t total = 0;
+      for (size_t b = 0; b < branches; ++b) {
+        targets[b] = rng.index(states);
+        weights[b] = rng.int_in(1, 9);
+        total += weights[b];
+      }
+      for (size_t b = 0; b < branches; ++b) {
+        entries.emplace_back(row, targets[b],
+                             static_cast<double>(weights[b]) / total);
+      }
+    }
+    model.state_offsets.push_back(static_cast<uint32_t>(model.state_of_row.size()));
+  }
+  linalg::CsrBuilder builder(model.state_of_row.size(), states);
+  for (const auto& [row, column, probability] : entries) {
+    builder.add(row, column, probability);
+  }
+  model.transitions = std::move(builder).build();
+  model.validate();
+
+  out.target.assign(states, false);
+  for (size_t s = 1; s < states; ++s) {
+    if (rng.chance(options.target_chance)) out.target[s] = true;
+  }
+  // Always at least one target, never the initial state (so reachability is
+  // a non-trivial question from state 0).
+  if (std::find(out.target.begin(), out.target.end(), true) == out.target.end()) {
+    out.target[1 + rng.index(states - 1)] = true;
+  }
+  return out;
 }
 
 }  // namespace autosec::testing

@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "automotive/architecture.hpp"
+#include "mdp/mdp.hpp"
 #include "symbolic/model.hpp"
 
 namespace autosec::testing {
@@ -52,5 +54,27 @@ struct RandomArchitectureOptions {
 /// write_architecture/parse_architecture round-trips are exact.
 automotive::Architecture random_architecture(
     uint64_t seed, const RandomArchitectureOptions& options = {});
+
+/// Sizes are kept tiny on purpose: the differential oracle enumerates every
+/// memoryless scheduler, so the strategy count (product of per-state action
+/// counts) must stay enumerable.
+struct RandomMdpOptions {
+  size_t max_states = 8;    ///< at least 2 are generated
+  size_t max_actions = 3;   ///< rows per state, at least 1
+  size_t max_branches = 3;  ///< successors per row, at least 1
+  /// Probability of marking each non-initial state as a target (at least one
+  /// state is always a target).
+  double target_chance = 0.25;
+};
+
+struct RandomMdp {
+  mdp::Mdp model;
+  std::vector<bool> target;
+};
+
+/// Generate a validate()-clean flattened MDP plus a nonempty target set.
+/// Branch probabilities are small integer ratios w/W, so row sums are exact
+/// to well within the Mdp::validate() tolerance.
+RandomMdp random_mdp(uint64_t seed, const RandomMdpOptions& options = {});
 
 }  // namespace autosec::testing

@@ -1,0 +1,114 @@
+// The mdp (nondeterministic attacker) branch of the automotive transform:
+// one attack action per surface, success probability eta/(eta+phi) per
+// attempt, no patch commands, no reliability modules.
+#include "automotive/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "csl/session.hpp"
+#include "symbolic/explorer.hpp"
+#include "symbolic/writer.hpp"
+
+namespace autosec::automotive {
+namespace {
+
+Architecture internet_pair() {
+  Architecture arch;
+  arch.name = "pair";
+  arch.buses.push_back({"NET", BusKind::kInternet, std::nullopt, std::nullopt});
+  arch.ecus.push_back(
+      {"A", 52.0, std::nullopt, {{"NET", 2.0, std::nullopt}}, std::nullopt});
+  arch.ecus.push_back(
+      {"B", 4.0, std::nullopt, {{"NET", 1.0, std::nullopt}}, std::nullopt});
+  Message m;
+  m.name = "m";
+  m.sender = "A";
+  m.receivers = {"B"};
+  m.buses = {"NET"};
+  // CMAC plus a patch rate keep the per-attempt message success probability
+  // p_msg = eta/(eta+phi) strictly below 1; an unencrypted, unpatched message
+  // on an internet bus is violated immediately.
+  m.protection = Protection::kCmac128;
+  m.patch_rate = 26.0;
+  arch.messages = {m};
+  return arch;
+}
+
+TransformOptions mdp_options(const char* message, SecurityCategory category) {
+  TransformOptions options;
+  options.message = message;
+  options.category = category;
+  options.nmax = 1;
+  options.model_type = symbolic::ModelType::kMdp;
+  return options;
+}
+
+TEST(AdversaryTransform, EmitsAnMdpModel) {
+  const symbolic::Model model =
+      transform(internet_pair(), mdp_options("m", SecurityCategory::kIntegrity));
+  EXPECT_EQ(model.type, symbolic::ModelType::kMdp);
+  const std::string text = symbolic::write_model(model);
+  EXPECT_NE(text.find("mdp"), std::string::npos);
+  // Attack actions and derived success-probability constants are present.
+  EXPECT_NE(text.find(interface_action_name("A", "NET")), std::string::npos);
+  EXPECT_NE(text.find(interface_probability_constant("A", "NET")),
+            std::string::npos);
+}
+
+TEST(AdversaryTransform, GeneratedNamesAreStable) {
+  EXPECT_EQ(interface_probability_constant("A", "NET"), "p_a_net");
+  EXPECT_EQ(guardian_probability_constant("FR"), "p_bg_fr");
+  EXPECT_EQ(switch_probability_constant("ETH"), "p_sw_eth");
+  EXPECT_EQ(interface_action_name("A", "NET"), "atk_a_net");
+  EXPECT_EQ(guardian_action_name("FR"), "atk_bg_fr");
+  EXPECT_EQ(switch_action_name("ETH"), "atk_sw_eth");
+}
+
+TEST(AdversaryTransform, SkipsReliabilityModules) {
+  // Racing exponential failure clocks have no meaning in the turn-based
+  // adversary model, so failure specs are ignored on the mdp axis.
+  Architecture arch = internet_pair();
+  arch.ecus[0].failure = FailureSpec{0.5, 52.0};
+  const symbolic::Model model =
+      transform(arch, mdp_options("m", SecurityCategory::kAvailability));
+  const std::string text = symbolic::write_model(model);
+  // No failure/repair clock variables or rate constants anywhere.
+  EXPECT_EQ(text.find("f_a"), std::string::npos);
+  EXPECT_EQ(text.find("fail_a"), std::string::npos);
+  EXPECT_EQ(text.find("repair"), std::string::npos);
+}
+
+TEST(AdversaryTransform, WorstCaseAttackerBreachesMonotonically) {
+  const symbolic::Model model =
+      transform(internet_pair(), mdp_options("m", SecurityCategory::kIntegrity));
+  csl::EngineSession session(model);
+  // Exploit counters only grow and the guards never close, so the unbounded
+  // worst case is certain breach, and more attempts can only help.
+  EXPECT_DOUBLE_EQ(session.check("Pmax=? [ F \"violated\" ]"), 1.0);
+  const double two = session.check("Pmax=? [ F<=2 \"violated\" ]");
+  const double five = session.check("Pmax=? [ F<=5 \"violated\" ]");
+  EXPECT_GT(two, 0.0);
+  EXPECT_LT(two, 1.0);
+  EXPECT_GT(five, two);
+  // The best attacker does no worse than any fixed attacker: Pmin <= Pmax.
+  EXPECT_LE(session.check("Pmin=? [ F<=5 \"violated\" ]"), five);
+}
+
+TEST(AdversaryTransform, CtmcEmissionIsUntouchedByTheMdpBranch) {
+  // The default options still emit the stochastic race: same model text as an
+  // explicit ctmc request.
+  TransformOptions ctmc = mdp_options("m", SecurityCategory::kIntegrity);
+  ctmc.model_type = symbolic::ModelType::kCtmc;
+  const symbolic::Model a = transform(internet_pair(), ctmc);
+  TransformOptions defaults;
+  defaults.message = "m";
+  defaults.category = SecurityCategory::kIntegrity;
+  const symbolic::Model b = transform(internet_pair(), defaults);
+  EXPECT_EQ(symbolic::write_model(a), symbolic::write_model(b));
+  EXPECT_EQ(a.type, symbolic::ModelType::kCtmc);
+}
+
+}  // namespace
+}  // namespace autosec::automotive

@@ -339,5 +339,38 @@ TEST_F(CliFixture, MetricsJsonFlagNeedsValue) {
   EXPECT_NE(result.err.find("--metrics-json"), std::string::npos);
 }
 
+TEST_F(CliFixture, CheckMdpStrategyJsonRoundTrips) {
+  const std::string strategy_path = temp_path("cli_strategy.json");
+  const Result result =
+      run({"check", *path_, "--message", "m", "--category", "integrity",
+           "--model-type", "mdp", "--property", "Pmax=? [ F<=5 \"violated\" ]",
+           "--strategy-json", strategy_path});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  // The command re-parses its own file and re-checks the induced chain; both
+  // values print and must agree.
+  EXPECT_NE(result.out.find("value:"), std::string::npos);
+  EXPECT_NE(result.out.find("induced:"), std::string::npos);
+  EXPECT_NE(result.out.find("strategy roundtrip ok"), std::string::npos);
+  const std::string json = slurp(strategy_path);
+  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"model_type\": \"mdp\""), std::string::npos);
+  EXPECT_NE(json.find("\"attack_path\""), std::string::npos);
+}
+
+TEST_F(CliFixture, StrategyJsonRequiresASingleProperty) {
+  const Result result =
+      run({"check", *path_, "--message", "m", "--category", "integrity",
+           "--model-type", "mdp", "--strategy-json", temp_path("unused.json")});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--property"), std::string::npos);
+}
+
+TEST_F(CliFixture, ModelTypeFlagRejectsUnknownTokens) {
+  const Result result = run({"check", *path_, "--message", "m", "--category",
+                             "integrity", "--model-type", "dtmc"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("ctmc|mdp"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace autosec::cli

@@ -2,11 +2,15 @@
 // programmatic case study — they are the CLI's user-facing entry point.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 
 #include "automotive/analyzer.hpp"
 #include "automotive/archfile.hpp"
 #include "automotive/casestudy.hpp"
+#include "csl/property_parser.hpp"
+#include "csl/session.hpp"
+#include "csl/strategy_export.hpp"
 
 namespace autosec::automotive {
 namespace {
@@ -85,6 +89,36 @@ TEST(DataFiles, IntervalPropertiesOnCaseStudy) {
     EXPECT_GE(value, previous - 1e-12) << property;
     previous = value;
   }
+}
+
+TEST(DataFiles, TelematicsAdversaryExampleAnswersPmaxWithAStrategy) {
+  // The committed adversarial example: a worst-case attacker targeting the
+  // brake command. The exported strategy must be self-consistent — replaying
+  // it through an induced chain reproduces the optimal value.
+  const Architecture arch = load_architecture_file(
+      std::string(AUTOSEC_SOURCE_DIR) + "/examples/telematics_adversary.arch");
+  AnalysisOptions options;
+  options.nmax = 1;
+  options.model_type = symbolic::ModelType::kMdp;
+  const SecurityAnalysis analysis(arch, "brake_cmd", SecurityCategory::kIntegrity,
+                                  options);
+  csl::EngineSession& session = *analysis.session();
+  ASSERT_EQ(session.model_type(), symbolic::ModelType::kMdp);
+
+  const csl::StrategyCheck checked =
+      session.check_with_strategy("Pmax=? [ F<=10 \"violated\" ]");
+  EXPECT_GT(checked.value, 0.0);
+  EXPECT_LT(checked.value, 1.0);
+  EXPECT_NEAR(checked.strategy.induced_value, checked.value, 1e-8);
+
+  // And the value survives a serialize/parse/replay round trip.
+  const csl::Property property =
+      csl::parse_property("Pmax=? [ F<=10 \"violated\" ]");
+  const std::string json =
+      session.strategy_document(property, checked.strategy).dump();
+  const csl::StrategyExport parsed = csl::parse_strategy_json(json);
+  const double replayed = session.induced_value(property, parsed);
+  EXPECT_NEAR(replayed, checked.value, 1e-8);
 }
 
 }  // namespace

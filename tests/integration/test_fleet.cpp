@@ -25,7 +25,7 @@ AnalysisOptions fleet_options(symbolic::ExplorationEngine engine,
                               size_t max_states) {
   AnalysisOptions options;
   options.nmax = 1;
-  options.explore.engine = engine;
+  options.plan.engine = engine;
   options.explore.max_states = max_states;
   return options;
 }

@@ -1,0 +1,93 @@
+#include "mdp/mdp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace autosec::mdp {
+namespace {
+
+/// 3-state MDP: state 0 has a safe self-loop and a risky coin flip, state 1
+/// moves to 2 deterministically, state 2 absorbs. Used across the mdp suite.
+Mdp coin_mdp() {
+  Mdp m;
+  linalg::CsrBuilder builder(4, 3);
+  builder.add(0, 0, 1.0);  // row 0: s0 [safe] -> s0
+  builder.add(1, 1, 0.5);  // row 1: s0 [risky] -> 0.5:s1 + 0.5:s2
+  builder.add(1, 2, 0.5);
+  builder.add(2, 2, 1.0);  // row 2: s1 [go] -> s2
+  builder.add(3, 2, 1.0);  // row 3: s2 [loop] -> s2
+  m.transitions = std::move(builder).build();
+  m.state_of_row = {0, 0, 1, 2};
+  m.state_offsets = {0, 2, 3, 4};
+  m.action_labels = {"safe", "risky", "go", "loop"};
+  return m;
+}
+
+TEST(Mdp, ValidateAcceptsWellFormed) {
+  const Mdp m = coin_mdp();
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_EQ(m.state_count(), 3u);
+  EXPECT_EQ(m.row_count(), 4u);
+  const auto [first, last] = m.actions_of(0);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(last, 2u);
+}
+
+TEST(Mdp, ValidateRejectsSubstochasticRow) {
+  Mdp m = coin_mdp();
+  linalg::CsrBuilder builder(4, 3);
+  builder.add(0, 0, 0.9);  // row sum 0.9: not a distribution
+  builder.add(1, 1, 0.5);
+  builder.add(1, 2, 0.5);
+  builder.add(2, 2, 1.0);
+  builder.add(3, 2, 1.0);
+  m.transitions = std::move(builder).build();
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Mdp, ValidateRejectsRowStateDisagreement) {
+  Mdp m = coin_mdp();
+  m.state_of_row = {0, 1, 1, 2};  // row 1 belongs to state 0 per the offsets
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Mdp, ValidateRejectsActionlessState) {
+  Mdp m = coin_mdp();
+  m.state_offsets = {0, 2, 2, 4};  // state 1 owns no rows
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Mdp, WithAbsorbingCollapsesToSelfLoop) {
+  const Mdp m = coin_mdp();
+  const Mdp frozen = m.with_absorbing({true, false, false});
+  frozen.validate();
+  EXPECT_EQ(frozen.state_count(), 3u);
+  EXPECT_EQ(frozen.row_count(), 3u);  // state 0 lost one of its two rows
+  const auto [first, last] = frozen.actions_of(0);
+  ASSERT_EQ(last - first, 1u);
+  EXPECT_EQ(frozen.action_labels[first], "(absorbing)");
+  const auto cols = frozen.transitions.row_columns(first);
+  const auto vals = frozen.transitions.row_values(first);
+  ASSERT_EQ(cols.size(), 1u);
+  EXPECT_EQ(cols[0], 0u);
+  EXPECT_DOUBLE_EQ(vals[0], 1.0);
+  // Untouched states keep their rows verbatim.
+  EXPECT_EQ(frozen.action_labels[frozen.state_offsets[1]], "go");
+}
+
+TEST(Mdp, UnionAdjacencyCollectsAllActions) {
+  const linalg::CsrMatrix adjacency = coin_mdp().union_adjacency();
+  EXPECT_EQ(adjacency.rows(), 3u);
+  // State 0 reaches {0, 1, 2} through the union of both its actions.
+  const auto cols = adjacency.row_columns(0);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 0u);
+  EXPECT_EQ(cols[1], 1u);
+  EXPECT_EQ(cols[2], 2u);
+  EXPECT_EQ(adjacency.row_columns(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace autosec::mdp

@@ -1,0 +1,77 @@
+#include "mdp/precompute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mdp/mdp.hpp"
+
+namespace autosec::mdp {
+namespace {
+
+/// 4-state gadget exercising every qualitative set:
+///   s0: [stay] self-loop | [advance] -> 0.5:s1 + 0.5:s3
+///   s1: [go] -> s2
+///   s2: target, self-loop
+///   s3: sink, self-loop
+/// Pmax-wise s0 can reach the target but not almost surely; s1 reaches it
+/// surely; s3 never does. Pmin-wise s0 can avoid it forever (stay).
+Mdp gadget() {
+  Mdp m;
+  linalg::CsrBuilder builder(5, 4);
+  builder.add(0, 0, 1.0);  // row 0: s0 [stay]
+  builder.add(1, 1, 0.5);  // row 1: s0 [advance]
+  builder.add(1, 3, 0.5);
+  builder.add(2, 2, 1.0);  // row 2: s1 [go]
+  builder.add(3, 2, 1.0);  // row 3: s2 [loop]
+  builder.add(4, 3, 1.0);  // row 4: s3 [loop]
+  m.transitions = std::move(builder).build();
+  m.state_of_row = {0, 0, 1, 2, 3};
+  m.state_offsets = {0, 2, 3, 4, 5};
+  m.action_labels = {"stay", "advance", "go", "loop", "loop"};
+  m.validate();
+  return m;
+}
+
+const std::vector<bool> kTarget = {false, false, true, false};
+
+TEST(Precompute, ReachExists) {
+  const std::vector<bool> reach = reach_exists(gadget(), kTarget);
+  EXPECT_EQ(reach, (std::vector<bool>{true, true, true, false}));
+}
+
+TEST(Precompute, Prob1Exists) {
+  // Pmax = 1 exactly at {s1, s2}: the advance action leaks into the sink, so
+  // s0 cannot reach the target almost surely under any scheduler.
+  const std::vector<bool> one = prob1_exists(gadget(), kTarget);
+  EXPECT_EQ(one, (std::vector<bool>{false, true, true, false}));
+}
+
+TEST(Precompute, Prob0Exists) {
+  // Pmin = 0 wherever some scheduler avoids the target forever: s0 stays,
+  // s3 is stuck; s1 and s2 cannot avoid it.
+  const std::vector<bool> zero = prob0_exists(gadget(), kTarget);
+  EXPECT_EQ(zero, (std::vector<bool>{true, false, false, true}));
+}
+
+TEST(Precompute, Prob1All) {
+  // Pmin = 1 only where EVERY scheduler reaches the target: s1 and the
+  // target itself.
+  const std::vector<bool> one = prob1_all(gadget(), kTarget);
+  EXPECT_EQ(one, (std::vector<bool>{false, true, true, false}));
+}
+
+TEST(Precompute, MaximalEndComponents) {
+  const Mdp m = gadget();
+  const MecDecomposition mecs =
+      maximal_end_components(m, std::vector<bool>(4, true));
+  // Three singleton MECs: {s0} (stay), {s2}, {s3}. s1 leaves unconditionally.
+  EXPECT_EQ(mecs.members.size(), 3u);
+  EXPECT_EQ(mecs.mec_of[1], MecDecomposition::kNoMec);
+  EXPECT_NE(mecs.mec_of[0], MecDecomposition::kNoMec);
+  EXPECT_NE(mecs.mec_of[2], MecDecomposition::kNoMec);
+  EXPECT_NE(mecs.mec_of[3], MecDecomposition::kNoMec);
+}
+
+}  // namespace
+}  // namespace autosec::mdp

@@ -1,0 +1,116 @@
+#include "mdp/value_iteration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mdp/mdp.hpp"
+
+namespace autosec::mdp {
+namespace {
+
+/// The precompute gadget again (see test_precompute.cpp): from s0, the
+/// advance action reaches the target with probability 1/2 per attempt and
+/// loses the other half to the sink, so Pmax[F target] = 1/2 from s0.
+Mdp gadget() {
+  Mdp m;
+  linalg::CsrBuilder builder(5, 4);
+  builder.add(0, 0, 1.0);
+  builder.add(1, 1, 0.5);
+  builder.add(1, 3, 0.5);
+  builder.add(2, 2, 1.0);
+  builder.add(3, 2, 1.0);
+  builder.add(4, 3, 1.0);
+  m.transitions = std::move(builder).build();
+  m.state_of_row = {0, 0, 1, 2, 3};
+  m.state_offsets = {0, 2, 3, 4, 5};
+  m.action_labels = {"stay", "advance", "go", "loop", "loop"};
+  m.validate();
+  return m;
+}
+
+const std::vector<bool> kTarget = {false, false, true, false};
+
+TEST(ValueIteration, UnboundedReachabilityMax) {
+  const ViResult result = reachability(gadget(), kTarget, /*maximize=*/true);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.values[0], 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(result.values[1], 1.0);  // Prob1E: exact, not iterated
+  EXPECT_DOUBLE_EQ(result.values[2], 1.0);
+  EXPECT_DOUBLE_EQ(result.values[3], 0.0);  // unreachable: exact zero
+}
+
+TEST(ValueIteration, UnboundedReachabilityMin) {
+  const ViResult result = reachability(gadget(), kTarget, /*maximize=*/false);
+  ASSERT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.values[0], 0.0);  // stay forever
+  EXPECT_DOUBLE_EQ(result.values[1], 1.0);  // no way to avoid the target
+  EXPECT_DOUBLE_EQ(result.values[2], 1.0);
+  EXPECT_DOUBLE_EQ(result.values[3], 0.0);
+}
+
+TEST(ValueIteration, IntervalIterationBracketsThePlainFixpoint) {
+  ViOptions options;
+  options.interval = true;
+  for (const bool maximize : {true, false}) {
+    const ViResult plain = reachability(gadget(), kTarget, maximize);
+    const ViResult interval = reachability(gadget(), kTarget, maximize, options);
+    ASSERT_TRUE(interval.converged);
+    ASSERT_EQ(interval.lower.size(), plain.values.size());
+    for (size_t s = 0; s < plain.values.size(); ++s) {
+      EXPECT_LE(interval.lower[s], plain.values[s] + 1e-12);
+      EXPECT_GE(interval.upper[s], plain.values[s] - 1e-12);
+      EXPECT_LE(interval.upper[s] - interval.lower[s], 2e-9);
+    }
+  }
+}
+
+TEST(ValueIteration, BoundedReachabilityCountsSteps) {
+  // One step from s0: advance hits the target directly with probability 0 —
+  // advance goes to s1 or s3, never s2 — so Pmax[F<=1] = 0; two steps allow
+  // advance-then-go: 0.5.
+  const BoundedViResult one = bounded_reachability(gadget(), kTarget, 1, true);
+  EXPECT_DOUBLE_EQ(one.values[0], 0.0);
+  const BoundedViResult two = bounded_reachability(gadget(), kTarget, 2, true);
+  EXPECT_NEAR(two.values[0], 0.5, 1e-12);
+  EXPECT_EQ(two.schedule.size(), 2u);
+  // With two steps remaining the optimal first move from s0 is its advance
+  // row (flattened row 1).
+  EXPECT_EQ(two.schedule[0][0], 1);
+}
+
+TEST(ValueIteration, ReachabilityRewardFlagsDivergentStates) {
+  // Expected steps to the target: s1 needs exactly 1. From s0 the minimizing
+  // scheduler can stay forever (never reaches the target -> infinite), and
+  // the maximizing one is infinite too. The sink diverges always.
+  const std::vector<double> step_reward = {1.0, 1.0, 0.0, 1.0};
+  const ViResult min_result =
+      reachability_reward(gadget(), kTarget, step_reward, /*maximize=*/false);
+  ASSERT_TRUE(min_result.converged);
+  EXPECT_DOUBLE_EQ(min_result.values[1], 1.0);
+  EXPECT_DOUBLE_EQ(min_result.values[2], 0.0);
+  EXPECT_TRUE(min_result.infinite[3]);
+  EXPECT_TRUE(std::isinf(min_result.values[3]));
+  // No scheduler reaches the target almost surely from s0 (advance leaks
+  // half into the sink), so s0 lies outside Prob1E and Rmin diverges there.
+  EXPECT_TRUE(std::isinf(min_result.values[0]));
+}
+
+TEST(ValueIteration, BoundedCumulativeAndInstantaneousRewards) {
+  const std::vector<double> reward = {1.0, 2.0, 0.0, 0.0};
+  // Max cumulative over 2 steps from s0: advance (collect 1), land in s1
+  // half the time (collect 2) or s3 (collect 0): 1 + 0.5*2 = 2. Staying
+  // collects 1 + 1 = 2 as well — both schedulers tie at 2.
+  const BoundedViResult cumulative =
+      bounded_cumulative_reward(gadget(), reward, 2, /*maximize=*/true);
+  EXPECT_NEAR(cumulative.values[0], 2.0, 1e-12);
+  // Max instantaneous reward after exactly 1 step from s0: advance reaches
+  // s1 (reward 2) with probability 0.5: expectation 1. Staying keeps 1.
+  const BoundedViResult instant =
+      instantaneous_reward(gadget(), reward, 1, /*maximize=*/true);
+  EXPECT_NEAR(instant.values[0], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace autosec::mdp

@@ -19,7 +19,11 @@ namespace fs = std::filesystem;
 class DiskCacheTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::path(::testing::TempDir()) / "autosec_disk_cache_unit";
+    // Per-test directory: ctest runs discovered tests in parallel processes,
+    // so a shared path would race on SetUp/TearDown removal.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("autosec_disk_cache_") + info->name());
     fs::remove_all(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

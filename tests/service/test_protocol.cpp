@@ -156,6 +156,54 @@ TEST(Protocol, EnforcesPerOpRequiredFields) {
                    .request.has_value());
 }
 
+TEST(Protocol, ParsesModelTypeAndStrategyFields) {
+  const ParseResult mdp = parse_request(
+      R"({"op": "check", "architecture": "a.arch", "message": "m",
+          "model_type": "mdp", "strategy": true,
+          "properties": ["Pmax=? [ F<=10 \"violated\" ]"]})");
+  ASSERT_TRUE(mdp.request.has_value());
+  EXPECT_EQ(mdp.request->model_type, symbolic::ModelType::kMdp);
+  EXPECT_TRUE(mdp.request->strategy);
+  // Omitted -> ctmc, no strategy (the wire default).
+  const ParseResult implicit = parse_request(
+      R"({"op": "check", "architecture": "a", "message": "m",
+          "properties": ["P=? [ F<=1 \"violated\" ]"]})");
+  ASSERT_TRUE(implicit.request.has_value());
+  EXPECT_EQ(implicit.request->model_type, symbolic::ModelType::kCtmc);
+  EXPECT_FALSE(implicit.request->strategy);
+  // Unknown tokens and wrong types fail loudly.
+  EXPECT_FALSE(parse_request(R"({"op": "check", "architecture": "a",
+                                 "message": "m", "properties": ["x"],
+                                 "model_type": "dtmc"})")
+                   .request.has_value());
+  EXPECT_FALSE(parse_request(R"({"op": "check", "architecture": "a",
+                                 "message": "m", "properties": ["x"],
+                                 "strategy": 1})")
+                   .request.has_value());
+}
+
+TEST(Protocol, EnforcesModelTypeStrategyCombinations) {
+  // strategy is check-only and mdp-only.
+  const ParseResult on_analyze = parse_request(
+      R"({"op": "analyze", "architecture": "a", "strategy": true,
+          "model_type": "mdp"})");
+  EXPECT_FALSE(on_analyze.request.has_value());
+  const ParseResult on_ctmc = parse_request(
+      R"({"op": "check", "architecture": "a", "message": "m",
+          "properties": ["x"], "strategy": true})");
+  EXPECT_FALSE(on_ctmc.request.has_value());
+  EXPECT_NE(on_ctmc.error.message.find("model_type 'mdp'"), std::string::npos);
+  // mdp is valid on check, rejected on the ctmc-only ops.
+  for (const char* op : {"analyze", "sweep", "diagnose"}) {
+    const ParseResult parsed = parse_request(
+        std::string(R"({"op": ")") + op +
+        R"(", "architecture": "a", "message": "m", "constant": "c",
+            "values": [1], "model_type": "mdp"})");
+    EXPECT_FALSE(parsed.request.has_value()) << op;
+    EXPECT_EQ(parsed.error.code, "bad_request") << op;
+  }
+}
+
 TEST(Protocol, RequestIsRejectedUnlessObject) {
   EXPECT_FALSE(parse_request("[1, 2]").request.has_value());
   EXPECT_FALSE(parse_request("\"analyze\"").request.has_value());

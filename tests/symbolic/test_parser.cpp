@@ -123,10 +123,12 @@ TEST(ModelParser, ParsedModelExploresCorrectly) {
   EXPECT_DOUBLE_EQ(space.rates().at(1, 0), 3.0);
 }
 
-TEST(ModelParser, RequiresCtmcHeader) {
+TEST(ModelParser, RequiresModelTypeHeader) {
   EXPECT_THROW(parse_model("module m x : [0..1] init 0; endmodule"), ParseError);
   EXPECT_THROW(parse_model("dtmc"), ParseError);
-  EXPECT_THROW(parse_model("mdp"), ParseError);
+  // ctmc and mdp are the two accepted headers.
+  EXPECT_EQ(parse_model("ctmc").type, ModelType::kCtmc);
+  EXPECT_EQ(parse_model("mdp").type, ModelType::kMdp);
 }
 
 TEST(ModelParser, ConstantWithoutTypeDefaultsToInt) {

@@ -24,7 +24,8 @@ void print_usage(std::ostream& os) {
         "  --max-states N     dense-oracle state limit (default 200)\n"
         "  --threads N        thread count of the parallel leg (default 4)\n"
         "  --skip FAMILY      disable a family: oracle, solvers, kernels,\n"
-        "                     lumping, parallel, roundtrip, engine (repeatable)\n"
+        "                     lumping, parallel, roundtrip, engine, mdp\n"
+        "                     (repeatable)\n"
         "  --faults           run the fault-injection checks instead: arm every\n"
         "                     known fault site and prove each yields a structured\n"
         "                     error (and serve keeps serving)\n"
@@ -85,6 +86,8 @@ int main(int argc, char** argv) {
         options.check_roundtrip = false;
       } else if (family == "engine") {
         options.check_engine = false;
+      } else if (family == "mdp") {
+        options.check_mdp = false;
       } else {
         fail_usage("unknown family '" + family + "'");
       }
@@ -100,7 +103,10 @@ int main(int argc, char** argv) {
                    "parallel   1-thread vs N-thread batch solves (bit-exact)\n"
                    "roundtrip  writer -> parser identity for models and .arch files\n"
                    "engine     compact vs classic state store (bit-exact) and the\n"
-                   "           symmetry-reduced quotient vs the full space\n";
+                   "           symmetry-reduced quotient vs the full space\n"
+                   "mdp        MDP value iteration vs the exhaustive scheduler-\n"
+                   "           enumeration oracle, and interval-iteration brackets\n"
+                   "           vs the plain fixpoint\n";
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);
