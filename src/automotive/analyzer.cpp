@@ -260,6 +260,7 @@ ArchitectureReport analyze_batch_session(BatchSession& batch,
   }
   session.set_cancel_token(options.cancel);
   session.set_resource_budget(options.budget);
+  session.set_checkpoint(options.checkpoint);
   const csl::SessionStats before = session.stats();
 
   const double horizon = options.horizon_years;

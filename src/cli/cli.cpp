@@ -14,6 +14,7 @@
 #include "automotive/archfile.hpp"
 #include "automotive/diagnostics.hpp"
 #include "automotive/transform.hpp"
+#include "csl/checkpoint.hpp"
 #include "csl/property_parser.hpp"
 #include "ctmc/poisson.hpp"
 #include "ctmc/simulation.hpp"
@@ -25,6 +26,7 @@
 #include "symbolic/writer.hpp"
 #include "util/budget.hpp"
 #include "util/failure.hpp"
+#include "util/json.hpp"
 #include "util/metrics.hpp"
 #include "util/numeric.hpp"
 #include "util/parallel.hpp"
@@ -124,7 +126,64 @@ struct ModelOptions {
   // here, then parse it back and re-check the induced chain (exit 3 when the
   // round-trip disagrees with value iteration beyond 1e-8).
   std::string strategy_json;
+  // crash durability: snapshot finished solves under this directory; a rerun
+  // with the same file and options resumes bit-identically. Completed runs
+  // always flush (the ledger destructor persists), so the interval only
+  // bounds what a hard kill can lose; 0 persists on every record.
+  std::string checkpoint_dir;
+  uint64_t checkpoint_interval_ms = 250;
 };
+
+/// Arm options.analysis.checkpoint with a loaded ledger (csl/checkpoint.hpp).
+/// The job identity digests the architecture file CONTENT plus every
+/// result-affecting option, so an edited model or a different flag set
+/// resumes cold instead of replaying stale values; the per-record keys
+/// (override set, state counts, property source) close the loop below that.
+void attach_checkpoint(ModelOptions& options) {
+  if (options.checkpoint_dir.empty()) return;
+  std::ifstream in(options.file, std::ios::binary);
+  std::ostringstream content;
+  content << in.rdbuf();
+
+  std::string identity = "cli\x1f";
+  identity += content.str();
+  identity += '\x1f';
+  identity += "nmax=" + std::to_string(options.analysis.nmax);
+  identity += ";h=" + util::json_number(options.analysis.horizon_years);
+  identity += ";ov=" + csl::override_cache_key(options.analysis.constant_overrides);
+  if (options.analysis.model_type == symbolic::ModelType::kMdp) identity += ";mt=mdp";
+  if (options.analysis.literal_patch_guard) identity += ";lpg=1";
+  if (!options.analysis.include_reliability) identity += ";norel=1";
+  identity += ";msg=" + options.message;
+  identity += ";cats=";
+  for (const SecurityCategory category : options.categories) {
+    identity += automotive::category_key(category);
+    identity += ',';
+  }
+  identity += ";prop=" + options.property;
+  identity += ";props=" + options.props_file;
+  identity += ";const=" + options.constant;
+  identity += ";from=" + util::json_number(options.from);
+  identity += ";to=" + util::json_number(options.to);
+  identity += ";points=" + std::to_string(options.points);
+  if (!options.logarithmic) identity += ";linear=1";
+  // Solver-plan knobs change floating-point evaluation order, so two runs
+  // only promise bit-identical values when the plan matches too.
+  identity += ";plan=" + std::to_string(static_cast<int>(options.analysis.plan.engine)) +
+              ',' + std::to_string(static_cast<int>(options.analysis.plan.reduction)) +
+              ',' + std::to_string(static_cast<int>(options.analysis.plan.layout)) +
+              ',' + std::to_string(static_cast<int>(options.analysis.plan.reorder)) +
+              ',' + std::to_string(static_cast<int>(options.analysis.plan.gs_ordering)) +
+              ',' + (options.analysis.plan.steady_state_detection ? '1' : '0');
+
+  csl::CheckpointOptions checkpoint_options;
+  checkpoint_options.dir = options.checkpoint_dir;
+  checkpoint_options.identity = identity;
+  checkpoint_options.interval_ms = options.checkpoint_interval_ms;
+  auto ledger = std::make_shared<csl::CheckpointLedger>(checkpoint_options);
+  ledger->load();
+  options.analysis.checkpoint = std::move(ledger);
+}
 
 ModelOptions parse_model_options(Args& args) {
   ModelOptions options;
@@ -244,6 +303,13 @@ ModelOptions parse_model_options(Args& args) {
       options.analysis.model_type = *parsed;
     } else if (*flag == "--strategy-json") {
       options.strategy_json = args.next("--strategy-json value");
+    } else if (*flag == "--checkpoint") {
+      options.checkpoint_dir = args.next("--checkpoint value");
+    } else if (*flag == "--checkpoint-interval-ms") {
+      const int value = parse_int(args.next("--checkpoint-interval-ms value"),
+                                  "--checkpoint-interval-ms");
+      if (value < 0) throw UsageError("--checkpoint-interval-ms must be >= 0");
+      options.checkpoint_interval_ms = static_cast<uint64_t>(value);
     } else {
       throw UsageError("unknown option '" + *flag + "'");
     }
@@ -252,6 +318,7 @@ ModelOptions parse_model_options(Args& args) {
     options.analysis.budget = std::make_shared<util::ResourceBudget>(
         options.max_states, options.max_memory_mb * 1024 * 1024);
   }
+  attach_checkpoint(options);
   return options;
 }
 
@@ -650,12 +717,16 @@ void print_help(std::ostream& out) {
          "  assess cvss <AV:x/AC:y/Au:z>   |   assess asil <QM|A|B|C|D>\n"
          "  serve [--input FILE | --socket PATH | --tcp [HOST:]PORT]\n"
          "        [--workers N] [--max-connections N] [--max-inflight N]\n"
-         "        [--max-load-mb N] [--disk-cache DIR] [--cache-capacity N]\n"
-         "        [--default-timeout-ms N] [--max-batch N] [--threads N]\n"
+         "        [--max-load-mb N] [--disk-cache DIR] [--disk-cache-mb N]\n"
+         "        [--cache-capacity N] [--default-timeout-ms N] [--max-batch N]\n"
+         "        [--checkpoint DIR] [--checkpoint-interval-ms N]\n"
+         "        [--watchdog-ms N] [--config FILE] [--threads N]\n"
          "        [--deterministic]   (NDJSON batch service, docs/serving.md;\n"
          "        --workers pre-forks digest-sharded engine workers,\n"
          "        --max-inflight/--max-load-mb shed with a structured\n"
-         "        overloaded error, --disk-cache makes restarts start warm)\n"
+         "        overloaded error, --disk-cache makes restarts start warm,\n"
+         "        --watchdog-ms respawns hung workers, --config hot-reloads\n"
+         "        limits on SIGHUP)\n"
          "  help\n"
          "\n"
          "--threads N sets the engine's worker-thread count for every command\n"
@@ -665,6 +736,14 @@ void print_help(std::ostream& out) {
          "--max-states N / --max-memory-mb N bound a model-building command's\n"
          "state count and tracked engine allocations; exceeding a ceiling exits\n"
          "1 with a typed error and the partial progress made (docs/robustness.md).\n"
+         "\n"
+         "--checkpoint DIR snapshots every finished per-property solve under\n"
+         "DIR at engine safepoints (atomic temp+rename writes); a rerun of the\n"
+         "same command on the same file resumes from the snapshot and produces\n"
+         "bit-identical results (docs/robustness.md). --checkpoint-interval-ms\n"
+         "N rate-limits persists (default 250; 0 = persist on every record;\n"
+         "completed runs always flush). Works with analyze, check, sweep,\n"
+         "and compare.\n"
          "\n"
          "--engine auto|classic|compact picks the exploration state store\n"
          "(docs/engine.md): classic keeps one valuation vector per state;\n"

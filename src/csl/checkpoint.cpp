@@ -1,0 +1,195 @@
+#include "csl/checkpoint.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace autosec::csl {
+
+namespace {
+
+constexpr const char* kHeader = "autosec-checkpoint-v1";
+
+/// Local FNV-1a: the ledger must not depend on the serving layer (which has
+/// its own copy for cache filenames); 64 bits of identity is plenty for a
+/// per-job snapshot name — the identity line inside the file closes the
+/// collision loophole exactly like the disk cache's stored key does.
+uint64_t fnv1a64(std::string_view text) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string hex64(uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buffer);
+}
+
+uint64_t steady_ms() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
+CheckpointLedger::CheckpointLedger(CheckpointOptions options)
+    : options_(std::move(options)) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec || !std::filesystem::is_directory(options_.dir)) {
+    throw std::runtime_error("checkpoint: cannot create directory '" +
+                             options_.dir + "'" + (ec ? ": " + ec.message() : ""));
+  }
+  path_ = options_.dir + "/" + hex64(fnv1a64(options_.identity)) + ".ckpt";
+}
+
+CheckpointLedger::~CheckpointLedger() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor persistence is best-effort; the next run recomputes.
+  }
+}
+
+size_t CheckpointLedger::load() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return 0;
+  std::string header;
+  std::string identity_line;
+  std::string payload_line;
+  std::string payload;
+  const bool shape_ok = static_cast<bool>(std::getline(in, header)) &&
+                        static_cast<bool>(std::getline(in, identity_line)) &&
+                        static_cast<bool>(std::getline(in, payload_line)) &&
+                        static_cast<bool>(std::getline(in, payload));
+  in.close();
+  bool valid = shape_ok && header == kHeader &&
+               identity_line == "identity " + hex64(fnv1a64(options_.identity)) &&
+               payload_line == "payload " + hex64(fnv1a64(payload));
+  if (valid) {
+    try {
+      const util::JsonValue doc = util::JsonValue::parse(payload);
+      const util::JsonValue* records = doc.find("records");
+      if (records == nullptr || !records->is_object()) throw util::JsonError("no records", 0);
+      std::map<std::string, uint64_t> loaded;
+      for (const auto& [key, bits] : records->members()) {
+        if (!bits.is_string() || bits.as_string().size() != 16) {
+          throw util::JsonError("bad record bits", 0);
+        }
+        loaded.emplace(key, std::stoull(bits.as_string(), nullptr, 16));
+      }
+      records_ = std::move(loaded);
+      loaded_records_ = records_.size();
+      dirty_ = false;
+      util::metrics::registry().add("checkpoint.loads");
+      return records_.size();
+    } catch (const std::exception&) {
+      valid = false;
+    }
+  }
+  // Truncated write, foreign file, or a stale identity: drop the snapshot
+  // and resume cold — recomputation, never a wrong answer.
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+  util::metrics::registry().add("checkpoint.corrupt");
+  return 0;
+}
+
+bool CheckpointLedger::lookup(const std::string& key, double* value) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(key);
+  if (it == records_.end()) return false;
+  if (value != nullptr) *value = std::bit_cast<double>(it->second);
+  ++resumed_hits_;
+  return true;
+}
+
+void CheckpointLedger::record(const std::string& key, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t bits = std::bit_cast<uint64_t>(value);
+  const auto [it, inserted] = records_.emplace(key, bits);
+  if (!inserted && it->second == bits) return;  // nothing new to persist
+  it->second = bits;
+  dirty_ = true;
+  const uint64_t now = steady_ms();
+  if (options_.interval_ms == 0 || last_persist_ms_ == 0 ||
+      now - last_persist_ms_ >= options_.interval_ms) {
+    persist_locked();
+  }
+}
+
+void CheckpointLedger::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (dirty_) persist_locked();
+}
+
+void CheckpointLedger::persist_locked() {
+  util::JsonWriter writer(0);
+  writer.begin_object();
+  writer.key("records");
+  writer.begin_object();
+  for (const auto& [key, bits] : records_) {
+    writer.key(key).value(hex64(bits));
+  }
+  writer.end_object();
+  writer.end_object();
+  const std::string payload = writer.take();
+
+  const std::string temp = path_ + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // unwritable dir: stay dirty, retry on the next record
+    out << kHeader << "\n"
+        << "identity " << hex64(fnv1a64(options_.identity)) << "\n"
+        << "payload " << hex64(fnv1a64(payload)) << "\n"
+        << payload << "\n";
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(temp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path_, ec);
+  if (ec) {
+    std::filesystem::remove(temp, ec);
+    return;
+  }
+  dirty_ = false;
+  ++persists_;
+  last_persist_ms_ = steady_ms();
+  util::metrics::registry().add("checkpoint.persists");
+}
+
+size_t CheckpointLedger::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+uint64_t CheckpointLedger::persists() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return persists_;
+}
+
+uint64_t CheckpointLedger::resumed_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resumed_hits_;
+}
+
+}  // namespace autosec::csl

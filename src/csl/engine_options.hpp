@@ -32,6 +32,8 @@
 
 namespace autosec::csl {
 
+class CheckpointLedger;
+
 struct EngineOptions {
   /// Model type the request is about: ctmc (the default, the paper's
   /// exploit-vs-patch race) or mdp (nondeterministic attacker). The session
@@ -71,6 +73,11 @@ struct EngineOptions {
   /// unwinds as a typed util::EngineFailure carrying partial progress. Shared
   /// for the same reason as `cancel`; nullptr means unlimited.
   std::shared_ptr<util::ResourceBudget> budget;
+  /// Crash durability (csl/checkpoint.hpp): when set, every finished solve is
+  /// recorded in the ledger and already-recorded solves replay bit-exactly —
+  /// how an interrupted run resumes with bounded recomputation. Shared like
+  /// `cancel`/`budget`; nullptr means no checkpointing.
+  std::shared_ptr<CheckpointLedger> checkpoint;
 };
 
 }  // namespace autosec::csl

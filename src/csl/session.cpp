@@ -6,6 +6,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include <thread>
+
+#include "csl/checkpoint.hpp"
 #include "csl/property_parser.hpp"
 #include "ctmc/rewards.hpp"
 #include "ctmc/scc.hpp"
@@ -404,14 +407,49 @@ std::vector<double> EngineSession::check_all(
   return check_all(std::span<const Property>(properties));
 }
 
+std::string EngineSession::checkpoint_key(const Stages& stages,
+                                          const Property& property) const {
+  // Stage identity folded into the key: if anything about exploration changed
+  // between the interrupted run and the resume (model edit, engine fix), the
+  // counts diverge, the key misses, and the value is recomputed — a stale
+  // snapshot can degrade to recomputation but never replay a wrong answer.
+  std::string key = active_key_;
+  key += '\x1f';
+  key += std::to_string(stages.space->state_count());
+  key += ',';
+  key += std::to_string(stages.space->transition_count());
+  key += '\x1f';
+  key += property.source;
+  return key;
+}
+
 double EngineSession::evaluate(Stages& stages, const Property& property) {
   check_cancel("solve");
   if (util::fault::triggered("solve.cancel")) throw util::Cancelled("solve");
+  if (util::fault::triggered("solve.hang")) {
+    // Deterministic hang: spin without crossing another safepoint, so the
+    // watchdog sees a stalled progress epoch. Only a SIGKILL ends it — the
+    // injection site the serve watchdog leg is built on.
+    for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
   util::metrics::registry().add("session.properties");
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.check_count += 1;
   }
+  CheckpointLedger* const ledger = options_.checkpoint.get();
+  if (ledger == nullptr) return evaluate_fresh(stages, property);
+  const std::string key = checkpoint_key(stages, property);
+  if (double recorded = 0.0; ledger->lookup(key, &recorded)) {
+    util::metrics::registry().add("session.checkpoint_hits");
+    return recorded;  // bit-exact replay of the interrupted run's solve
+  }
+  const double value = evaluate_fresh(stages, property);
+  ledger->record(key, value);
+  return value;
+}
+
+double EngineSession::evaluate_fresh(Stages& stages, const Property& property) {
   if (stages.space->is_mdp()) return evaluate_mdp(stages, property, nullptr);
   if (property.direction != OptDirection::kNone) {
     throw PropertyError(

@@ -131,6 +131,13 @@ class EngineSession {
     options_.budget = std::move(budget);
   }
 
+  /// Swap the checkpoint ledger (see EngineOptions::checkpoint). Finished
+  /// solves are recorded; solves the ledger already holds replay bit-exactly
+  /// without touching the solver. Pass nullptr to disarm.
+  void set_checkpoint(std::shared_ptr<CheckpointLedger> checkpoint) {
+    options_.checkpoint = std::move(checkpoint);
+  }
+
   // --- property evaluation.
   double check(const Property& property);
   double check(std::string_view property_text);
@@ -191,6 +198,11 @@ class EngineSession {
   double time_bound_in(const Stages& stages, const Property& property) const;
 
   double evaluate(Stages& stages, const Property& property);
+  /// The solve dispatch below the checkpoint safepoint: always computes.
+  double evaluate_fresh(Stages& stages, const Property& property);
+  /// Ledger key of one solve: override key + explored stage identity +
+  /// property text — everything that determines the value.
+  std::string checkpoint_key(const Stages& stages, const Property& property) const;
   /// MDP dispatch: directional probability/reward properties over the
   /// flattened per-action matrix. `strategy_out`, when non-null, receives the
   /// optimizing scheduler (kProbUntil only).

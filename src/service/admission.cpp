@@ -83,6 +83,15 @@ std::optional<Ticket> AdmissionController::try_admit(int64_t* retry_after_ms) {
   return Ticket(this, reserved);
 }
 
+void AdmissionController::set_limits(size_t max_inflight, size_t max_load_mb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.max_inflight = max_inflight;
+  options_.max_load_mb = max_load_mb;
+  // Reserved bytes stay charged; only the ceiling moves. Shrinking below the
+  // current reservation just sheds new work until admitted requests drain.
+  load_.set_ceilings(0, max_load_mb * kMiB);
+}
+
 void AdmissionController::finish(size_t reserved) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (reserved != 0) load_.release_bytes(reserved);

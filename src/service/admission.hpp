@@ -71,6 +71,11 @@ class AdmissionController {
   /// `*retry_after_ms` with the suggested client backoff.
   std::optional<Ticket> try_admit(int64_t* retry_after_ms);
 
+  /// Hot config reload: swap the admission ceilings on a live controller.
+  /// Requests already admitted keep their slots and reservations (never abort
+  /// mid-flight); the new limits gate every admission from now on.
+  void set_limits(size_t max_inflight, size_t max_load_mb);
+
   struct Stats {
     uint64_t admitted = 0;
     uint64_t shed = 0;

@@ -1,0 +1,114 @@
+#include "service/config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace autosec::service {
+
+namespace {
+
+size_t require_size(const util::JsonValue& value, const char* field) {
+  if (!value.is_integer() || value.as_integer() < 0) {
+    throw std::runtime_error(std::string("config: '") + field +
+                             "' must be a non-negative integer");
+  }
+  return static_cast<size_t>(value.as_integer());
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::parse(const std::string& json) {
+  util::JsonValue doc;
+  try {
+    doc = util::JsonValue::parse(json);
+  } catch (const std::exception& error) {
+    throw std::runtime_error(std::string("config: malformed JSON: ") +
+                             error.what());
+  }
+  if (!doc.is_object()) throw std::runtime_error("config: not a JSON object");
+
+  ServeConfig config;
+  for (const auto& [field, value] : doc.members()) {
+    if (field == "max_inflight") {
+      config.max_inflight = require_size(value, "max_inflight");
+    } else if (field == "max_load_mb") {
+      config.max_load_mb = require_size(value, "max_load_mb");
+    } else if (field == "max_connections") {
+      config.max_connections = require_size(value, "max_connections");
+    } else if (field == "cache_capacity") {
+      config.cache_capacity = require_size(value, "cache_capacity");
+    } else if (field == "disk_cache_mb") {
+      config.disk_cache_mb = require_size(value, "disk_cache_mb");
+    } else if (field == "checkpoint_interval_ms") {
+      config.checkpoint_interval_ms =
+          require_size(value, "checkpoint_interval_ms");
+    } else if (field == "default_timeout_ms") {
+      if (!value.is_integer() || value.as_integer() < -1) {
+        throw std::runtime_error(
+            "config: 'default_timeout_ms' must be an integer >= -1");
+      }
+      config.default_timeout_ms = value.as_integer();
+    } else if (field == "max_batch") {
+      const size_t batch = require_size(value, "max_batch");
+      if (batch == 0) throw std::runtime_error("config: 'max_batch' must be >= 1");
+      config.max_batch = batch;
+    } else if (field == "watchdog_ms") {
+      config.watchdog_ms = require_size(value, "watchdog_ms");
+    } else if (field == "log_level") {
+      if (!value.is_string()) {
+        throw std::runtime_error("config: 'log_level' must be a string");
+      }
+      const std::string& name = value.as_string();
+      // parse_log_level maps unknown names to kWarn; validate explicitly so a
+      // typo ("inof") fails the reload instead of silently dimming the logs.
+      const bool known = name == "trace" || name == "debug" || name == "info" ||
+                         name == "warn" || name == "error" || name == "off";
+      if (!known) {
+        throw std::runtime_error("config: unknown log_level '" + name + "'");
+      }
+      config.log_level = name;
+    } else {
+      throw std::runtime_error("config: unknown field '" + field + "'");
+    }
+  }
+  return config;
+}
+
+ServeConfig ServeConfig::from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("config: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::string ServeConfig::canonical() const {
+  util::JsonValue doc = util::JsonValue::object();
+  if (max_inflight) doc["max_inflight"] = util::JsonValue::number(uint64_t{*max_inflight});
+  if (max_load_mb) doc["max_load_mb"] = util::JsonValue::number(uint64_t{*max_load_mb});
+  if (max_connections) {
+    doc["max_connections"] = util::JsonValue::number(uint64_t{*max_connections});
+  }
+  if (cache_capacity) {
+    doc["cache_capacity"] = util::JsonValue::number(uint64_t{*cache_capacity});
+  }
+  if (disk_cache_mb) doc["disk_cache_mb"] = util::JsonValue::number(uint64_t{*disk_cache_mb});
+  if (checkpoint_interval_ms) {
+    doc["checkpoint_interval_ms"] = util::JsonValue::number(*checkpoint_interval_ms);
+  }
+  if (default_timeout_ms) {
+    doc["default_timeout_ms"] = util::JsonValue::number(*default_timeout_ms);
+  }
+  if (max_batch) doc["max_batch"] = util::JsonValue::number(uint64_t{*max_batch});
+  if (watchdog_ms) doc["watchdog_ms"] = util::JsonValue::number(*watchdog_ms);
+  if (log_level) doc["log_level"] = util::JsonValue::string(*log_level);
+  return doc.dump();
+}
+
+}  // namespace autosec::service

@@ -1,0 +1,57 @@
+// Hot-reloadable serve configuration. `autosec serve --config FILE` reads a
+// JSON object of operational knobs at startup and re-reads it on SIGHUP
+// (util::install_reload_signal); the new limits apply to a live server
+// without dropping a connection or invalidating a cache entry. Every field
+// is optional — an absent field keeps the value the command-line flags
+// established, so the file only has to name what it wants to change:
+//
+//   {"max_inflight": 8, "max_load_mb": 2048, "log_level": "info"}
+//
+// Recognized fields (see docs/serving.md for the full reference):
+//   max_inflight, max_load_mb      admission limits
+//   max_connections                accept-loop cap
+//   cache_capacity                 session-cache entries
+//   disk_cache_mb                  disk-cache size quota (0 = unbounded)
+//   checkpoint_interval_ms         min ms between checkpoint persists
+//   default_timeout_ms             request timeout fallback (-1 = none)
+//   max_batch                      request lines per parallel batch
+//   watchdog_ms                    worker heartbeat deadline (sharded mode)
+//   log_level                      trace|debug|info|warn|error|off
+//
+// A malformed file fails startup loudly; on a reload it is logged and the
+// previous configuration stays in force — an operator typo must never take
+// the fleet down. The sharded parent forwards the canonical form of the file
+// to every worker (and to respawned workers) as a "!cfg" control frame.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace autosec::service {
+
+struct ServeConfig {
+  std::optional<size_t> max_inflight;
+  std::optional<size_t> max_load_mb;
+  std::optional<size_t> max_connections;
+  std::optional<size_t> cache_capacity;
+  std::optional<size_t> disk_cache_mb;
+  std::optional<uint64_t> checkpoint_interval_ms;
+  std::optional<int64_t> default_timeout_ms;  ///< -1 clears the fallback
+  std::optional<size_t> max_batch;
+  std::optional<uint64_t> watchdog_ms;
+  std::optional<std::string> log_level;
+
+  /// Parse a config document. Throws std::runtime_error on malformed JSON,
+  /// unknown fields, or out-of-range values — silence would mask typos.
+  static ServeConfig parse(const std::string& json);
+
+  /// Read and parse `path`. Throws std::runtime_error (file or parse).
+  static ServeConfig from_file(const std::string& path);
+
+  /// Canonical single-line JSON of the set fields: the "!cfg" frame payload
+  /// and the `status` surface of the active configuration.
+  std::string canonical() const;
+};
+
+}  // namespace autosec::service

@@ -1,11 +1,13 @@
 #include "service/disk_cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "service/session_cache.hpp"
 
@@ -22,15 +24,70 @@ std::string hex64(uint64_t value) {
   return std::string(buffer);
 }
 
+bool ends_with(const std::string& text, const char* suffix) {
+  const size_t n = std::string(suffix).size();
+  return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+/// Shape validation shared by fsck and lookup: header line, a key line, a
+/// non-empty payload line. fsck cannot check the key (it does not know it),
+/// but lookup re-checks it on every hit.
+bool entry_shape_valid(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string header;
+  std::string stored_key;
+  std::string payload;
+  return static_cast<bool>(std::getline(in, header)) &&
+         static_cast<bool>(std::getline(in, stored_key)) &&
+         static_cast<bool>(std::getline(in, payload)) && header == kHeader &&
+         !payload.empty();
+}
+
+int64_t file_size_or_zero(const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<int64_t>(size);
+}
+
 }  // namespace
 
-DiskCache::DiskCache(std::string dir) : dir_(std::move(dir)) {
+DiskCache::DiskCache(std::string dir, size_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec || !std::filesystem::is_directory(dir_)) {
     throw std::runtime_error("disk cache: cannot create directory '" + dir_ +
                              "'" + (ec ? ": " + ec.message() : ""));
   }
+  fsck();
+  enforce_quota();
+}
+
+void DiskCache::fsck() {
+  std::lock_guard<std::mutex> lock(evict_mutex_);
+  int64_t live_bytes = 0;
+  std::error_code ec;
+  for (const auto& item : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!item.is_regular_file()) continue;
+    const std::string name = item.path().filename().string();
+    if (ends_with(name, ".tmp")) {
+      // A crash mid-store: the rename never happened, the temp is garbage.
+      std::error_code remove_ec;
+      std::filesystem::remove(item.path(), remove_ec);
+      fsck_removed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!ends_with(name, ".entry")) continue;  // foreign file: leave it alone
+    if (!entry_shape_valid(item.path())) {
+      std::error_code remove_ec;
+      std::filesystem::remove(item.path(), remove_ec);
+      fsck_removed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    live_bytes += file_size_or_zero(item.path());
+  }
+  size_bytes_.store(live_bytes, std::memory_order_relaxed);
 }
 
 std::string DiskCache::entry_path(const std::string& key) const {
@@ -40,6 +97,11 @@ std::string DiskCache::entry_path(const std::string& key) const {
   const uint64_t primary = fnv1a64(key);
   const uint64_t secondary = fnv1a64(key + "\x1e""autosec-disk-cache-salt");
   return dir_ + "/" + hex64(primary) + hex64(secondary) + ".entry";
+}
+
+void DiskCache::add_size(int64_t delta) {
+  const int64_t now = size_bytes_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (now < 0) size_bytes_.store(0, std::memory_order_relaxed);
 }
 
 std::optional<std::string> DiskCache::lookup(const std::string& key) {
@@ -65,8 +127,9 @@ std::optional<std::string> DiskCache::lookup(const std::string& key) {
     // Truncated write, foreign file, or a (vanishingly unlikely) hash
     // collision: drop the entry and answer cold.
     in.close();
+    const int64_t dropped = file_size_or_zero(path);
     std::error_code ec;
-    std::filesystem::remove(path, ec);
+    if (std::filesystem::remove(path, ec)) add_size(-dropped);
     corrupt_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
@@ -91,13 +154,70 @@ void DiskCache::store(const std::string& key, const std::string& payload) {
       return;
     }
   }
+  const int64_t replaced = file_size_or_zero(path);  // 0 if fresh entry
   std::error_code ec;
   std::filesystem::rename(temp, path, ec);
   if (ec) {
     std::filesystem::remove(temp, ec);
     return;
   }
+  add_size(file_size_or_zero(path) - replaced);
   stores_.fetch_add(1, std::memory_order_relaxed);
+  enforce_quota();
+}
+
+void DiskCache::set_quota(size_t max_bytes) {
+  max_bytes_.store(max_bytes, std::memory_order_relaxed);
+  enforce_quota();
+}
+
+void DiskCache::enforce_quota() {
+  const size_t quota = max_bytes_.load(std::memory_order_relaxed);
+  if (quota == 0) return;
+  if (size_bytes_.load(std::memory_order_relaxed) <=
+      static_cast<int64_t>(quota)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(evict_mutex_);
+  // Re-check under the lock: a concurrent sweep may already have trimmed.
+  if (size_bytes_.load(std::memory_order_relaxed) <=
+      static_cast<int64_t>(quota)) {
+    return;
+  }
+  struct Candidate {
+    std::filesystem::file_time_type mtime;
+    std::string path;
+    int64_t size = 0;
+  };
+  std::vector<Candidate> candidates;
+  std::error_code ec;
+  for (const auto& item : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!item.is_regular_file()) continue;
+    const std::string name = item.path().filename().string();
+    if (!ends_with(name, ".entry")) continue;
+    std::error_code time_ec;
+    const auto mtime = std::filesystem::last_write_time(item.path(), time_ec);
+    if (time_ec) continue;
+    candidates.push_back(
+        {mtime, item.path().string(), file_size_or_zero(item.path())});
+  }
+  // Oldest first; ties broken by path so eviction order is deterministic.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.path < b.path;
+            });
+  for (const auto& victim : candidates) {
+    if (size_bytes_.load(std::memory_order_relaxed) <=
+        static_cast<int64_t>(quota)) {
+      break;
+    }
+    std::error_code remove_ec;
+    if (std::filesystem::remove(victim.path, remove_ec)) {
+      add_size(-victim.size);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 DiskCache::Stats DiskCache::stats() const {
@@ -106,6 +226,11 @@ DiskCache::Stats DiskCache::stats() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.stores = stores_.load(std::memory_order_relaxed);
   stats.corrupt = corrupt_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.fsck_removed = fsck_removed_.load(std::memory_order_relaxed);
+  const int64_t size = size_bytes_.load(std::memory_order_relaxed);
+  stats.size_bytes = size < 0 ? 0 : static_cast<size_t>(size);
+  stats.quota_bytes = max_bytes_.load(std::memory_order_relaxed);
   return stats;
 }
 

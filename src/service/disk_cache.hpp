@@ -16,10 +16,19 @@
 // Any read that fails validation (bad header, key mismatch, missing payload)
 // unlinks the file and reports a miss: corruption degrades to a cold entry,
 // never to a wrong answer.
+//
+// Opening the cache runs a startup fsck over the directory: stray ".tmp"
+// files (a crash mid-store) and entries that fail shape validation are
+// unlinked, and the byte size of the surviving entries seeds the quota
+// accounting. With a nonzero quota (`max_bytes`), each store that pushes the
+// cache over the limit evicts whole entries oldest-first (by mtime) until it
+// fits — the persistent analogue of the session cache's LRU trim.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -27,9 +36,10 @@ namespace autosec::service {
 
 class DiskCache {
  public:
-  /// Opens (creating if needed) the cache directory. Throws std::runtime_error
-  /// when the directory cannot be created.
-  explicit DiskCache(std::string dir);
+  /// Opens (creating if needed) the cache directory and fscks it. Throws
+  /// std::runtime_error when the directory cannot be created. `max_bytes`
+  /// of 0 means no size quota.
+  explicit DiskCache(std::string dir, size_t max_bytes = 0);
 
   DiskCache(const DiskCache&) = delete;
   DiskCache& operator=(const DiskCache&) = delete;
@@ -39,14 +49,23 @@ class DiskCache {
   std::optional<std::string> lookup(const std::string& key);
 
   /// Persist `payload` under `key` (atomic replace; best-effort — a failed
-  /// store leaves the cache cold for that key, it does not throw).
+  /// store leaves the cache cold for that key, it does not throw). With a
+  /// quota set, evicts oldest entries afterwards until the cache fits.
   void store(const std::string& key, const std::string& payload);
+
+  /// Hot config reload: change the size quota (0 = unbounded). Shrinking
+  /// evicts oldest-first immediately.
+  void set_quota(size_t max_bytes);
 
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
     size_t stores = 0;
-    size_t corrupt = 0;  ///< entries discarded by validation
+    size_t corrupt = 0;       ///< entries discarded by validation
+    size_t evictions = 0;     ///< entries removed by the size quota
+    size_t fsck_removed = 0;  ///< strays/invalid entries removed at startup
+    size_t size_bytes = 0;    ///< bytes currently held by valid entries
+    size_t quota_bytes = 0;   ///< active quota (0 = unbounded)
   };
   Stats stats() const;
 
@@ -54,12 +73,21 @@ class DiskCache {
 
  private:
   std::string entry_path(const std::string& key) const;
+  void fsck();
+  /// Evict oldest-first until size_bytes_ <= quota (no-op when quota is 0).
+  void enforce_quota();
+  void add_size(int64_t delta);
 
   std::string dir_;
+  std::atomic<size_t> max_bytes_{0};
+  std::atomic<int64_t> size_bytes_{0};
+  std::mutex evict_mutex_;  ///< one eviction/fsck sweep at a time
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};
   std::atomic<size_t> stores_{0};
   std::atomic<size_t> corrupt_{0};
+  std::atomic<size_t> evictions_{0};
+  std::atomic<size_t> fsck_removed_{0};
 };
 
 }  // namespace autosec::service

@@ -10,18 +10,21 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <new>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "automotive/analyzer.hpp"
 #include "automotive/archfile.hpp"
 #include "automotive/diagnostics.hpp"
 #include "automotive/transform.hpp"
+#include "csl/checkpoint.hpp"
 #include "csl/property_parser.hpp"
 #include "csl/session.hpp"
 #include "service/shard.hpp"
@@ -31,6 +34,7 @@
 #include "util/drain.hpp"
 #include "util/failure.hpp"
 #include "util/fault.hpp"
+#include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
@@ -293,24 +297,198 @@ std::string make_disk_key(const Request& request, uint64_t digest) {
   return key;
 }
 
+/// Startup merge of --config over the command-line flags, so
+/// constructor-time sizing (cache capacity, admission, disk-cache quota)
+/// already reflects the file. A bad file throws: startup fails loudly,
+/// unlike a reload (where the previous config stays in force).
+ServerOptions with_startup_config(ServerOptions options) {
+  if (options.config_path.empty()) return options;
+  const ServeConfig config = ServeConfig::from_file(options.config_path);
+  if (config.max_inflight) options.max_inflight = *config.max_inflight;
+  if (config.max_load_mb) options.max_load_mb = *config.max_load_mb;
+  if (config.max_connections) options.max_connections = *config.max_connections;
+  if (config.cache_capacity) options.cache_capacity = *config.cache_capacity;
+  if (config.disk_cache_mb) options.disk_cache_mb = *config.disk_cache_mb;
+  if (config.checkpoint_interval_ms) {
+    options.checkpoint_interval_ms = *config.checkpoint_interval_ms;
+  }
+  if (config.default_timeout_ms) {
+    if (*config.default_timeout_ms < 0) {
+      options.default_timeout_ms = std::nullopt;
+    } else {
+      options.default_timeout_ms = *config.default_timeout_ms;
+    }
+  }
+  if (config.max_batch) options.max_batch = *config.max_batch;
+  if (config.watchdog_ms) options.watchdog_ms = *config.watchdog_ms;
+  if (config.log_level) {
+    util::set_log_level(util::parse_log_level(*config.log_level));
+  }
+  return options;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)),
+    : options_(with_startup_config(std::move(options))),
       cache_(options_.cache_capacity),
       admission_(AdmissionOptions{options_.max_inflight, options_.max_load_mb,
                                   options_.deterministic}) {
   if (!options_.disk_cache_dir.empty()) {
-    disk_cache_ = std::make_unique<DiskCache>(options_.disk_cache_dir);
+    disk_cache_ = std::make_unique<DiskCache>(
+        options_.disk_cache_dir, options_.disk_cache_mb * (size_t{1} << 20));
+  }
+  if (!options_.checkpoint_dir.empty()) {
+    // Fail fast: an unusable checkpoint directory discovered on the first
+    // request would silently disable the crash-durability the operator asked
+    // for.
+    std::error_code ec;
+    std::filesystem::create_directories(options_.checkpoint_dir, ec);
+    if (ec || !std::filesystem::is_directory(options_.checkpoint_dir)) {
+      throw std::runtime_error("serve: cannot create checkpoint directory '" +
+                               options_.checkpoint_dir + "'" +
+                               (ec ? ": " + ec.message() : ""));
+    }
+  }
+  default_timeout_ms_.store(options_.default_timeout_ms.value_or(-1),
+                            std::memory_order_relaxed);
+  max_batch_.store(options_.max_batch, std::memory_order_relaxed);
+  checkpoint_interval_ms_.store(options_.checkpoint_interval_ms,
+                                std::memory_order_relaxed);
+  watchdog_ms_.store(options_.watchdog_ms, std::memory_order_relaxed);
+  max_connections_ =
+      std::make_shared<std::atomic<size_t>>(options_.max_connections);
+  if (!options_.config_path.empty()) {
+    // Re-derive the canonical form for status; with_startup_config already
+    // validated the file, so a racing edit here at worst blanks the surface.
+    try {
+      active_config_ = ServeConfig::from_file(options_.config_path).canonical();
+    } catch (const std::exception&) {
+      active_config_.clear();
+    }
+  }
+}
+
+std::optional<int64_t> Server::effective_timeout() const {
+  const int64_t ms = default_timeout_ms_.load(std::memory_order_relaxed);
+  if (ms < 0) return std::nullopt;
+  return ms;
+}
+
+std::shared_ptr<csl::CheckpointLedger> Server::make_ledger(
+    const Request& request, uint64_t digest, RequestMetrics& metrics) {
+  if (options_.checkpoint_dir.empty()) return nullptr;
+  csl::CheckpointOptions checkpoint_options;
+  checkpoint_options.dir = options_.checkpoint_dir;
+  // The full request identity (op + content digest + every knob): a model
+  // edit or a different question hashes to a different ledger file and can
+  // never replay a stale value.
+  checkpoint_options.identity = make_disk_key(request, digest);
+  checkpoint_options.interval_ms =
+      checkpoint_interval_ms_.load(std::memory_order_relaxed);
+  try {
+    auto ledger = std::make_shared<csl::CheckpointLedger>(checkpoint_options);
+    metrics.checkpoint_records = ledger->load();
+    return ledger;
+  } catch (const std::exception& error) {
+    AUTOSEC_LOG_WARN("serve")
+        << "checkpoint disabled for request: " << error.what();
+    return nullptr;
+  }
+}
+
+void Server::apply_config(const ServeConfig& config) {
+  const AdmissionController::Stats admission_stats = admission_.stats();
+  admission_.set_limits(
+      config.max_inflight.value_or(admission_stats.max_inflight),
+      config.max_load_mb.value_or(admission_stats.max_load_mb));
+  if (config.max_connections) {
+    max_connections_->store(*config.max_connections,
+                            std::memory_order_relaxed);
+  }
+  if (config.cache_capacity) cache_.set_capacity(*config.cache_capacity);
+  if (config.disk_cache_mb && disk_cache_) {
+    disk_cache_->set_quota(*config.disk_cache_mb * (size_t{1} << 20));
+  }
+  if (config.checkpoint_interval_ms) {
+    checkpoint_interval_ms_.store(*config.checkpoint_interval_ms,
+                                  std::memory_order_relaxed);
+  }
+  if (config.default_timeout_ms) {
+    default_timeout_ms_.store(*config.default_timeout_ms < 0
+                                  ? int64_t{-1}
+                                  : *config.default_timeout_ms,
+                              std::memory_order_relaxed);
+  }
+  if (config.max_batch) {
+    max_batch_.store(*config.max_batch, std::memory_order_relaxed);
+  }
+  if (config.watchdog_ms) {
+    watchdog_ms_.store(*config.watchdog_ms, std::memory_order_relaxed);
+  }
+  if (config.log_level) {
+    util::set_log_level(util::parse_log_level(*config.log_level));
+  }
+  {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    active_config_ = config.canonical();
+  }
+  config_reloads_.fetch_add(1, std::memory_order_relaxed);
+  util::metrics::registry().add("serve.config_reloads");
+}
+
+bool Server::apply_config_text(const std::string& text) {
+  try {
+    apply_config(ServeConfig::parse(text));
+    return true;
+  } catch (const std::exception& error) {
+    AUTOSEC_LOG_WARN("serve")
+        << "config reload rejected (previous configuration stays in "
+           "force): "
+        << error.what();
+    return false;
+  }
+}
+
+bool Server::reload_config_file() {
+  if (options_.config_path.empty()) return false;
+  try {
+    apply_config(ServeConfig::from_file(options_.config_path));
+    AUTOSEC_LOG_INFO("serve")
+        << "config reloaded from '" << options_.config_path << "'";
+    return true;
+  } catch (const std::exception& error) {
+    AUTOSEC_LOG_WARN("serve")
+        << "config reload rejected (previous configuration stays in "
+           "force): "
+        << error.what();
+    return false;
+  }
+}
+
+std::string Server::active_config() const {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  return active_config_.empty() ? "{}" : active_config_;
+}
+
+void Server::reload_watch_loop() {
+  // A short poll (rather than blocking forever) lets run() stop this thread
+  // on paths that finish without a drain signal (stdin EOF).
+  while (!reload_stop_.load(std::memory_order_relaxed)) {
+    pollfd fds[1] = {{util::reload_fd(), POLLIN, 0}};
+    ::poll(fds, 1, 200);
+    if (util::consume_reload()) reload_config_file();
   }
 }
 
 util::JsonValue Server::run_analyze(const Request& request,
                                     RequestMetrics& metrics) {
   const std::string content = read_file(request.architecture);
-  const std::string key = make_key("batch", fnv1a64(content), request);
-  const auto token = make_token(request, options_.default_timeout_ms);
+  const uint64_t digest = fnv1a64(content);
+  const std::string key = make_key("batch", digest, request);
+  const auto token = make_token(request, effective_timeout());
   metrics.budget = make_budget(request);
+  const auto ledger = make_ledger(request, digest, metrics);
   const std::vector<SecurityCategory> categories = grid_categories(request);
 
   bool hit = false;
@@ -328,8 +506,16 @@ util::JsonValue Server::run_analyze(const Request& request,
   std::lock_guard<std::mutex> lock(entry->mutex);
   metrics.session_cache = hit ? "hit" : "miss";
   metrics.cache_key = key;
-  const automotive::ArchitectureReport report = automotive::analyze_batch_session(
-      entry->batch, engine_options(request, token, metrics.budget));
+  automotive::AnalysisOptions analysis_options =
+      engine_options(request, token, metrics.budget);
+  analysis_options.checkpoint = ledger;
+  const automotive::ArchitectureReport report =
+      automotive::analyze_batch_session(entry->batch, analysis_options);
+  if (ledger) {
+    ledger->flush();
+    metrics.checkpoint_hits = ledger->resumed_hits();
+    metrics.checkpoint_records = ledger->size();
+  }
 
   metrics.explores = report.stats.explore_count;
   metrics.solver_fallbacks = report.stats.solver_fallbacks;
@@ -349,8 +535,9 @@ util::JsonValue Server::run_analyze(const Request& request,
 
 util::JsonValue Server::run_check(const Request& request, RequestMetrics& metrics) {
   const std::string content = read_file(request.architecture);
-  const std::string key = make_key("single", fnv1a64(content), request);
-  const auto token = make_token(request, options_.default_timeout_ms);
+  const uint64_t digest = fnv1a64(content);
+  const std::string key = make_key("single", digest, request);
+  const auto token = make_token(request, effective_timeout());
 
   bool hit = false;
   const auto entry = cache_.acquire(
@@ -400,6 +587,10 @@ util::JsonValue Server::run_check(const Request& request, RequestMetrics& metric
   }
   session.set_cancel_token(token);
   session.set_resource_budget(metrics.budget);
+  // Attach (or detach) this request's ledger: the session outlives requests
+  // in the cache, so a stale ledger must never linger on it.
+  const auto ledger = make_ledger(request, digest, metrics);
+  session.set_checkpoint(ledger);
   const csl::SessionStats before = session.stats();
 
   std::vector<double> values;
@@ -419,6 +610,12 @@ util::JsonValue Server::run_check(const Request& request, RequestMetrics& metric
     }
   } else {
     values = session.check_all(request.properties);
+  }
+  session.set_checkpoint(nullptr);
+  if (ledger) {
+    ledger->flush();
+    metrics.checkpoint_hits = ledger->resumed_hits();
+    metrics.checkpoint_records = ledger->size();
   }
 
   metrics.explores = session.stats().explore_count - before.explore_count;
@@ -446,8 +643,9 @@ util::JsonValue Server::run_check(const Request& request, RequestMetrics& metric
 
 util::JsonValue Server::run_sweep(const Request& request, RequestMetrics& metrics) {
   const std::string content = read_file(request.architecture);
-  const std::string key = make_key("single", fnv1a64(content), request);
-  const auto token = make_token(request, options_.default_timeout_ms);
+  const uint64_t digest = fnv1a64(content);
+  const std::string key = make_key("single", digest, request);
+  const auto token = make_token(request, effective_timeout());
 
   bool hit = false;
   const auto entry = cache_.acquire(
@@ -486,6 +684,8 @@ util::JsonValue Server::run_sweep(const Request& request, RequestMetrics& metric
   csl::EngineSession& session = *entry->batch.session;
   session.set_cancel_token(token);
   session.set_resource_budget(metrics.budget);
+  const auto ledger = make_ledger(request, digest, metrics);
+  session.set_checkpoint(ledger);
   const csl::SessionStats before = session.stats();
 
   const double horizon = request.horizon_years;
@@ -508,6 +708,12 @@ util::JsonValue Server::run_sweep(const Request& request, RequestMetrics& metric
     point["exploitable_fraction"] =
         JsonValue::number(session.check(property) / horizon);
     points.push_back(std::move(point));
+  }
+  session.set_checkpoint(nullptr);
+  if (ledger) {
+    ledger->flush();
+    metrics.checkpoint_hits = ledger->resumed_hits();
+    metrics.checkpoint_records = ledger->size();
   }
 
   metrics.explores = session.stats().explore_count - before.explore_count;
@@ -534,7 +740,7 @@ util::JsonValue Server::run_diagnose(const Request& request,
   const std::string content = read_file(request.architecture);
   const automotive::Architecture arch =
       parse_architecture_checked(content, request.architecture);
-  const auto token = make_token(request, options_.default_timeout_ms);
+  const auto token = make_token(request, effective_timeout());
   metrics.budget = make_budget(request);
   const automotive::AnalysisOptions analysis_options =
       engine_options(request, token, metrics.budget);
@@ -633,10 +839,44 @@ util::JsonValue Server::run_status(const Request&, RequestMetrics&) {
     disk["misses"] = JsonValue::number(disk_stats.misses);
     disk["stores"] = JsonValue::number(disk_stats.stores);
     disk["corrupt"] = JsonValue::number(disk_stats.corrupt);
+    disk["evictions"] = JsonValue::number(disk_stats.evictions);
+    disk["fsck_removed"] = JsonValue::number(disk_stats.fsck_removed);
+    disk["size_bytes"] = JsonValue::number(disk_stats.size_bytes);
+    disk["quota_bytes"] = JsonValue::number(disk_stats.quota_bytes);
     result["disk_cache"] = std::move(disk);
   } else {
     result["disk_cache"] = JsonValue::null();
   }
+  if (!options_.checkpoint_dir.empty()) {
+    JsonValue checkpoint = JsonValue::object();
+    checkpoint["dir"] = JsonValue::string(options_.checkpoint_dir);
+    checkpoint["interval_ms"] = JsonValue::number(
+        checkpoint_interval_ms_.load(std::memory_order_relaxed));
+    result["checkpoint"] = std::move(checkpoint);
+  } else {
+    result["checkpoint"] = JsonValue::null();
+  }
+  // The operational knobs as they stand right now — how an operator verifies
+  // a SIGHUP reload actually landed.
+  JsonValue config = JsonValue::object();
+  config["path"] = options_.config_path.empty()
+                       ? JsonValue::null()
+                       : JsonValue::string(options_.config_path);
+  config["reloads"] =
+      JsonValue::number(config_reloads_.load(std::memory_order_relaxed));
+  config["active"] = JsonValue::parse(active_config());
+  config["max_connections"] = JsonValue::number(
+      max_connections_->load(std::memory_order_relaxed));
+  config["max_batch"] =
+      JsonValue::number(max_batch_.load(std::memory_order_relaxed));
+  const int64_t timeout_ms =
+      default_timeout_ms_.load(std::memory_order_relaxed);
+  config["default_timeout_ms"] = timeout_ms < 0
+                                     ? JsonValue::null()
+                                     : JsonValue::number(timeout_ms);
+  config["watchdog_ms"] =
+      JsonValue::number(watchdog_ms_.load(std::memory_order_relaxed));
+  result["config"] = std::move(config);
   result["requests"] = JsonValue::number(requests_.load(std::memory_order_relaxed));
   result["errors"] = JsonValue::number(errors_.load(std::memory_order_relaxed));
   result["draining"] = JsonValue::boolean(draining());
@@ -802,6 +1042,15 @@ std::string Server::handle_line(const std::string& line) {
   writer.key("states").value(metrics.states);
   writer.key("solver_fallbacks").value(metrics.solver_fallbacks);
   writer.key("engine").value(metrics.engine);
+  // Only when checkpointing is armed — the v1 envelope without --checkpoint
+  // is golden-tested and must stay byte-stable.
+  if (!options_.checkpoint_dir.empty()) {
+    writer.key("checkpoint");
+    writer.begin_object();
+    writer.key("hits").value(metrics.checkpoint_hits);
+    writer.key("records").value(metrics.checkpoint_records);
+    writer.end_object();
+  }
   writer.end_object();
   writer.end_object();
   return writer.take();
@@ -811,7 +1060,7 @@ std::vector<std::string> Server::handle_batch(const std::vector<std::string>& li
   std::vector<std::string> responses(lines.size());
   size_t index = 0;
   while (index < lines.size()) {
-    const size_t batch = std::min(options_.max_batch, lines.size() - index);
+    const size_t batch = std::min(effective_max_batch(), lines.size() - index);
     if (batch == 1) {
       responses[index] = handle_line(lines[index]);
     } else {
@@ -922,6 +1171,7 @@ class DirectConnection : public ConnectionHandler {
 int Server::serve_listener(int listen_fd, std::ostream& err) {
   AcceptLoopOptions accept_options;
   accept_options.max_connections = options_.max_connections;
+  accept_options.dynamic_max_connections = max_connections_;
   accept_options.overflow_line = [this] { return overflow_response(); };
   const int rc = serve_connections(
       listen_fd, accept_options,
@@ -957,6 +1207,19 @@ int Server::run(std::ostream& out, std::ostream& err) {
     return serve_stream(in, out);
   }
   util::install_drain_signals();
+  // SIGHUP config reload for the in-process serve paths; the sharded parent
+  // runs its own watcher (it also has to push "!cfg" frames to workers).
+  std::thread reload_thread;
+  if (!options_.config_path.empty() && options_.workers == 0) {
+    util::install_reload_signal();
+    reload_thread = std::thread([this] { reload_watch_loop(); });
+  }
+  const auto stop_reload_thread = [&] {
+    if (reload_thread.joinable()) {
+      reload_stop_.store(true, std::memory_order_relaxed);
+      reload_thread.join();
+    }
+  };
   if (has_listener) {
     std::string listen_error;
     int listen_fd = -1;
@@ -981,15 +1244,19 @@ int Server::run(std::ostream& out, std::ostream& err) {
     }
     if (listen_fd < 0) {
       err << "serve: " << listen_error << "\n";
+      stop_reload_thread();
       return 2;
     }
     const int rc = options_.workers > 0 ? run_sharded(listen_fd, options_, err)
                                         : serve_listener(listen_fd, err);
     ::close(listen_fd);
     if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+    stop_reload_thread();
     return rc;
   }
-  return serve_fd(STDIN_FILENO, out);
+  const int rc = serve_fd(STDIN_FILENO, out);
+  stop_reload_thread();
+  return rc;
 }
 
 int run_serve(const std::vector<std::string>& args, std::ostream& out,
@@ -1020,6 +1287,17 @@ int run_serve(const std::vector<std::string>& args, std::ostream& out,
         options.max_load_mb = static_cast<size_t>(std::stoul(next_value()));
       } else if (flag == "--disk-cache") {
         options.disk_cache_dir = next_value();
+      } else if (flag == "--disk-cache-mb") {
+        options.disk_cache_mb = static_cast<size_t>(std::stoul(next_value()));
+      } else if (flag == "--checkpoint") {
+        options.checkpoint_dir = next_value();
+      } else if (flag == "--checkpoint-interval-ms") {
+        options.checkpoint_interval_ms =
+            static_cast<uint64_t>(std::stoull(next_value()));
+      } else if (flag == "--watchdog-ms") {
+        options.watchdog_ms = static_cast<uint64_t>(std::stoull(next_value()));
+      } else if (flag == "--config") {
+        options.config_path = next_value();
       } else if (flag == "--cache-capacity") {
         options.cache_capacity = static_cast<size_t>(std::stoul(next_value()));
       } else if (flag == "--default-timeout-ms") {

@@ -40,11 +40,16 @@
 #include <vector>
 
 #include "service/admission.hpp"
+#include "service/config.hpp"
 #include "service/disk_cache.hpp"
 #include "service/protocol.hpp"
 #include "service/session_cache.hpp"
 #include "util/budget.hpp"
 #include "util/json.hpp"
+
+namespace autosec::csl {
+class CheckpointLedger;
+}  // namespace autosec::csl
 
 namespace autosec::service {
 
@@ -73,6 +78,24 @@ struct ServerOptions {
   /// Persist results under this directory (created if needed) so restarts
   /// answer repeated requests without engine work. Empty = no disk cache.
   std::string disk_cache_dir;
+  /// Disk-cache size quota in MiB; stores beyond it evict entries
+  /// oldest-first (0 = unbounded).
+  size_t disk_cache_mb = 0;
+  /// Snapshot per-property solved values under this directory (created if
+  /// needed) at engine safepoints, so a killed run — or a respawned shard
+  /// worker — resumes instead of recomputing. Empty = no checkpointing.
+  std::string checkpoint_dir;
+  /// Minimum milliseconds between checkpoint persists (0 = every record).
+  /// Completed requests always flush, so the interval only bounds what a
+  /// mid-request crash can lose; 250 ms keeps persist cost well under the
+  /// 2% overhead budget the Fig. 5 bench gates.
+  uint64_t checkpoint_interval_ms = 250;
+  /// Sharded mode: SIGKILL + respawn a worker whose progress epoch has not
+  /// advanced for this long while it holds dispatched requests (0 = off).
+  uint64_t watchdog_ms = 0;
+  /// Hot-reloadable config file (service/config.hpp): read at startup (its
+  /// fields override the flags) and re-read on SIGHUP.
+  std::string config_path;
   size_t cache_capacity = 8;
   /// Applied to requests that carry no timeout_ms of their own.
   std::optional<int64_t> default_timeout_ms;
@@ -120,6 +143,30 @@ class Server {
   uint64_t requests_handled() const {
     return requests_.load(std::memory_order_relaxed);
   }
+
+  /// Apply a hot config reload to the live server: admission limits,
+  /// connection cap, cache capacities, checkpoint interval, timeout fallback,
+  /// batch size, watchdog deadline, log level. Never drops a connection or
+  /// invalidates a cache entry.
+  void apply_config(const ServeConfig& config);
+  /// Parse + apply; on a malformed document logs a warning and keeps the
+  /// previous configuration (an operator typo must not take the server down).
+  /// Returns whether the config was applied.
+  bool apply_config_text(const std::string& text);
+  /// Re-read options().config_path and apply it (the SIGHUP path).
+  bool reload_config_file();
+  /// Canonical JSON of the last applied config document ("{}" when no
+  /// --config file is in play).
+  std::string active_config() const;
+  uint64_t config_reloads() const {
+    return config_reloads_.load(std::memory_order_relaxed);
+  }
+  size_t effective_max_batch() const {
+    return max_batch_.load(std::memory_order_relaxed);
+  }
+  uint64_t effective_watchdog_ms() const {
+    return watchdog_ms_.load(std::memory_order_relaxed);
+  }
   /// Admission gate — exposed so tests can saturate it deterministically.
   AdmissionController& admission() { return admission_; }
   DiskCache* disk_cache() { return disk_cache_.get(); }
@@ -148,6 +195,10 @@ class Server {
     /// The request's resource meter (always armed, ceilings optional); its
     /// peak feeds the admission controller's working-set estimate.
     std::shared_ptr<util::ResourceBudget> budget;
+    /// Per-property values replayed from the checkpoint ledger instead of
+    /// recomputed (only reported when checkpointing is enabled).
+    size_t checkpoint_hits = 0;
+    size_t checkpoint_records = 0;
   };
 
   /// Engine work of one parsed request; returns the "result" payload.
@@ -165,6 +216,17 @@ class Server {
   /// partial line in place), writing responses in input order.
   void process_buffered(std::string& buffer, std::ostream& out);
 
+  /// The request's effective timeout fallback (reloadable at runtime).
+  std::optional<int64_t> effective_timeout() const;
+  /// Open (and load) the checkpoint ledger of one request identity; nullptr
+  /// when checkpointing is disabled or the ledger directory is unusable.
+  std::shared_ptr<csl::CheckpointLedger> make_ledger(const Request& request,
+                                                     uint64_t digest,
+                                                     RequestMetrics& metrics);
+  /// Background thread body: wait for SIGHUP ticks and re-apply the config
+  /// file until reload_stop_ is set.
+  void reload_watch_loop();
+
   ServerOptions options_;
   SessionCache cache_;
   AdmissionController admission_;
@@ -172,6 +234,18 @@ class Server {
   std::atomic<bool> draining_{false};
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> errors_{0};
+
+  // Hot-reloadable knobs (see apply_config). default_timeout_ms_ uses -1 for
+  // "no fallback" so one atomic carries both states.
+  std::atomic<int64_t> default_timeout_ms_{-1};
+  std::atomic<size_t> max_batch_{16};
+  std::atomic<uint64_t> checkpoint_interval_ms_{250};
+  std::atomic<uint64_t> watchdog_ms_{0};
+  std::shared_ptr<std::atomic<size_t>> max_connections_;
+  std::atomic<uint64_t> config_reloads_{0};
+  std::atomic<bool> reload_stop_{false};
+  mutable std::mutex config_mutex_;
+  std::string active_config_;  ///< canonical JSON of the last applied config
 };
 
 /// CLI entry point: parse `serve` flags, construct the server, run it.

@@ -55,6 +55,15 @@ std::shared_ptr<SessionCache::Entry> SessionCache::acquire(
   return entry;
 }
 
+void SessionCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (entries_.size() > capacity_) {
+    entries_.pop_back();
+    evictions_ += 1;
+  }
+}
+
 void SessionCache::evict(const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {

@@ -62,6 +62,11 @@ class SessionCache {
   /// shared_ptr finishes safely.
   void evict(const std::string& key);
 
+  /// Hot config reload: resize the cache. Shrinking trims least-recently-used
+  /// entries immediately (requests holding the shared_ptr finish safely);
+  /// growing just raises the ceiling. Capacity 0 is clamped to 1.
+  void set_capacity(size_t capacity);
+
   Stats stats() const;
 
  private:

@@ -2,12 +2,14 @@
 
 #include <dirent.h>
 #include <errno.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
@@ -21,9 +23,12 @@
 #include <utility>
 #include <vector>
 
+#include "service/config.hpp"
 #include "service/transport.hpp"
+#include "util/drain.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
+#include "util/progress.hpp"
 
 namespace autosec::service {
 
@@ -31,6 +36,17 @@ namespace {
 
 constexpr int kMaxResends = 2;        ///< per request, before internal_error
 constexpr uint64_t kMaxRespawns = 16; ///< per shard, before it is left dead
+/// Worker heartbeat period. The watchdog deadline (--watchdog-ms) should be
+/// several multiples of this; the supervisor only counts a heartbeat as
+/// progress when its progress epoch advanced.
+constexpr int kHeartbeatMs = 250;
+
+uint64_t steady_ms() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Close every inherited descriptor except stdio and `keep`. Called in a
 /// freshly forked worker: the child must not hold the listener, the client
@@ -54,18 +70,41 @@ void close_inherited_fds(int keep) {
 
 /// Worker child main loop: read "<seq> <request>" frames, answer with
 /// "<seq> <response>" frames, exit 0 on EOF (the parent closing the pipe is
-/// the drain protocol). Never returns.
+/// the drain protocol). Control frames ride the same pipe with a "!" token
+/// where the sequence number goes: the worker emits "!hb <epoch>" heartbeats
+/// (its util::progress epoch — advancing only while the engine crosses
+/// safepoints) and accepts "!cfg <json>" pushes, applying the parent's
+/// hot-reloaded configuration without restarting. Never returns.
 [[noreturn]] void run_worker(int fd, const ServerOptions& options) {
   try {
     // The parent's drain handling does not apply here: a worker exits on
     // EOF, and an operator's stray signal just makes the parent respawn it.
+    // SIGHUP targets the parent's config reload; a worker that shares the
+    // process group must not die from it (it gets "!cfg" frames instead).
     ::signal(SIGTERM, SIG_DFL);
     ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGHUP, SIG_IGN);
+    ignore_sigpipe();
     // The inherited pool object's threads do not exist in this process.
     util::abandon_pool_after_fork();
     close_inherited_fds(fd);
 
     Server server(options);
+    // Responses and heartbeats interleave on one pipe; the mutex keeps every
+    // frame intact.
+    auto write_mutex = std::make_shared<std::mutex>();
+    std::thread heartbeat([fd, write_mutex] {
+      while (true) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(kHeartbeatMs));
+        std::string frame = "!hb ";
+        frame += std::to_string(util::progress::epoch());
+        frame += '\n';
+        std::lock_guard<std::mutex> lock(*write_mutex);
+        if (!write_fd_all(fd, frame)) return;  // parent gone; main loop exits
+      }
+    });
+    heartbeat.detach();  // _exit tears the process down, thread included
+
     std::string buffer;
     char chunk[65536];
     while (true) {
@@ -87,7 +126,15 @@ void close_inherited_fds(int keep) {
         pos = newline + 1;
         const size_t space = frame.find(' ');
         if (space == std::string_view::npos) continue;  // malformed frame
-        seqs.emplace_back(frame.substr(0, space));
+        const std::string_view token = frame.substr(0, space);
+        if (!token.empty() && token.front() == '!') {
+          // Control frame: consumed here, never answered.
+          if (token == "!cfg") {
+            server.apply_config_text(std::string(frame.substr(space + 1)));
+          }
+          continue;
+        }
+        seqs.emplace_back(token);
         lines.emplace_back(frame.substr(space + 1));
       }
       buffer.erase(0, pos);
@@ -101,6 +148,7 @@ void close_inherited_fds(int keep) {
         out += responses[i];
         out += '\n';
       }
+      std::lock_guard<std::mutex> lock(*write_mutex);
       if (!write_fd_all(fd, out)) ::_exit(1);
     }
   } catch (...) {
@@ -124,6 +172,13 @@ struct Worker {
   uint64_t generation = 0;
   uint64_t respawns = 0;
   std::thread reader;
+  /// Liveness for the watchdog: steady_ms of the last observed progress —
+  /// a response frame, a heartbeat whose epoch advanced, a dispatch, or a
+  /// respawn. A worker holding pending requests whose progress stalls past
+  /// the watchdog deadline is presumed hung and SIGKILLed.
+  std::atomic<uint64_t> last_progress_ms{0};
+  std::atomic<uint64_t> last_epoch{0};
+  std::atomic<uint64_t> watchdog_kills{0};
 };
 
 class ShardSupervisor;
@@ -179,6 +234,14 @@ class ShardSupervisor {
     worker_options_.tcp_address.clear();
     worker_options_.socket_path.clear();
     worker_options_.input_path.clear();
+    // Workers never read the config file themselves: the parent validates it
+    // once and pushes the canonical document as a "!cfg" frame (including to
+    // respawned workers). A file that goes bad between reloads can therefore
+    // never crash-loop a respawn.
+    worker_options_.config_path.clear();
+    watchdog_ms_.store(options.watchdog_ms, std::memory_order_relaxed);
+    max_connections_ =
+        std::make_shared<std::atomic<size_t>>(options.max_connections);
     for (int i = 0; i < options.workers; ++i) {
       workers_.push_back(std::make_unique<Worker>());
     }
@@ -195,6 +258,19 @@ class ShardSupervisor {
         return 2;
       }
     }
+    // The startup config travels to every worker (including respawned ones)
+    // as a "!cfg" frame; a bad file fails startup loudly, like the Server.
+    if (!options_.config_path.empty()) {
+      try {
+        const ServeConfig config = ServeConfig::from_file(options_.config_path);
+        apply_config_locally(config);
+        std::lock_guard<std::mutex> lock(config_mutex_);
+        current_config_ = config.canonical();
+      } catch (const std::exception& error) {
+        log(std::string("serve: ") + error.what());
+        return 2;
+      }
+    }
     for (size_t i = 0; i < workers_.size(); ++i) {
       try {
         spawn_worker(i);
@@ -205,10 +281,16 @@ class ShardSupervisor {
       }
     }
     reaper_ = std::thread([this] { reaper_loop(); });
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+    if (!options_.config_path.empty()) {
+      util::install_reload_signal();
+      reloader_ = std::thread([this] { reload_loop(); });
+    }
     log("serve: " + std::to_string(workers_.size()) + " workers ready");
 
     AcceptLoopOptions accept_options;
     accept_options.max_connections = options_.max_connections;
+    accept_options.dynamic_max_connections = max_connections_;
     accept_options.overflow_line = [this] {
       ErrorInfo error{"overloaded",
                       "connection limit reached; retry after retry_after_ms",
@@ -228,6 +310,8 @@ class ShardSupervisor {
     // in-flight respawn finish before the pipes are torn down.
     shutting_down_.store(true, std::memory_order_relaxed);
     { std::lock_guard<std::mutex> guard(respawn_mutex_); }
+    if (watchdog_.joinable()) watchdog_.join();
+    if (reloader_.joinable()) reloader_.join();
     shutdown_workers();
     if (reaper_.joinable()) reaper_.join();
     log("serve: drained, shutting down");
@@ -262,6 +346,9 @@ class ShardSupervisor {
     frame += ' ';
     frame += line;
     frame += '\n';
+    // Dispatch counts as progress: the watchdog clock starts at the hand-off,
+    // not at some stale mark from the previous request.
+    worker.last_progress_ms.store(steady_ms(), std::memory_order_relaxed);
     // A failed write means the worker just died: the pending entry stays and
     // the reaper resends it to the respawned worker.
     write_fd_all(worker.fd, frame);
@@ -330,6 +417,18 @@ class ShardSupervisor {
       worker.pid = pid;
       worker.fd = fds[0];
       ++worker.generation;
+      worker.last_progress_ms.store(steady_ms(), std::memory_order_relaxed);
+      worker.last_epoch.store(0, std::memory_order_relaxed);
+      // A worker spawned after a reload must run the reloaded config, not
+      // the flags it inherited through fork.
+      std::string config;
+      {
+        std::lock_guard<std::mutex> config_lock(config_mutex_);
+        config = current_config_;
+      }
+      if (!config.empty()) {
+        write_fd_all(worker.fd, "!cfg " + config + "\n");
+      }
     }
     worker.reader = std::thread([this, index, fd = fds[0]] {
       reader_loop(index, fd);
@@ -337,7 +436,6 @@ class ShardSupervisor {
   }
 
   void reader_loop(size_t index, int fd) {
-    (void)index;
     std::string buffer;
     char chunk[65536];
     while (true) {
@@ -355,19 +453,36 @@ class ShardSupervisor {
       while (true) {
         const size_t newline = buffer.find('\n', pos);
         if (newline == std::string::npos) break;
-        handle_frame(buffer.substr(pos, newline - pos));
+        handle_frame(index, buffer.substr(pos, newline - pos));
         pos = newline + 1;
       }
       buffer.erase(0, pos);
     }
   }
 
-  void handle_frame(const std::string& frame) {
+  void handle_frame(size_t index, const std::string& frame) {
     const size_t space = frame.find(' ');
     if (space == std::string::npos) return;
+    Worker& worker = *workers_[index];
+    if (frame.front() == '!') {
+      // "!hb <epoch>": a heartbeat only counts as progress when the worker's
+      // engine crossed a safepoint since the last one — a wedged solve keeps
+      // the heartbeat thread alive but freezes the epoch, which is exactly
+      // what the watchdog must catch.
+      if (frame.compare(0, space, "!hb") == 0) {
+        char* end = nullptr;
+        const uint64_t epoch = std::strtoull(frame.c_str() + space + 1, &end, 10);
+        if (end == frame.c_str() + space + 1) return;
+        if (epoch != worker.last_epoch.exchange(epoch, std::memory_order_relaxed)) {
+          worker.last_progress_ms.store(steady_ms(), std::memory_order_relaxed);
+        }
+      }
+      return;
+    }
     char* end = nullptr;
     const uint64_t seq = std::strtoull(frame.c_str(), &end, 10);
     if (end != frame.c_str() + space) return;
+    worker.last_progress_ms.store(steady_ms(), std::memory_order_relaxed);
     Pending pending;
     {
       std::lock_guard<std::mutex> lock(pending_mutex_);
@@ -424,6 +539,12 @@ class ShardSupervisor {
 
     bool revived = false;
     if (++worker.respawns <= kMaxRespawns) {
+      // Fault-injection env specs (AUTOSEC_FAULT) must not survive into the
+      // replacement: a respawned worker re-arming the same hang or crash
+      // site would die again immediately, burning the respawn budget on one
+      // injected fault. The first spawn inherits the env untouched — that is
+      // how the chaos harness arms its faults in the first place.
+      ::unsetenv("AUTOSEC_FAULT");
       try {
         spawn_worker(index);
         revived = true;
@@ -480,6 +601,102 @@ class ShardSupervisor {
     }
   }
 
+  /// Does the shard hold requests the client is still waiting on? Only then
+  /// may the watchdog presume a stalled epoch means a hang — an idle worker
+  /// legitimately reports no progress.
+  bool has_pending(size_t index) {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    for (const auto& [seq, pending] : pending_) {
+      if (pending.worker == index) return true;
+    }
+    return false;
+  }
+
+  /// Hung-worker detection: a worker with dispatched requests whose progress
+  /// epoch has not advanced within the deadline is SIGKILLed; the reaper then
+  /// respawns it and resends its pending requests — the same exactly-once
+  /// path a crash takes. Heartbeats keep arriving from a worker wedged in a
+  /// solve (the heartbeat thread is separate), but their epoch is frozen, so
+  /// they do not reset the clock.
+  void watchdog_loop() {
+    while (!shutting_down_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kHeartbeatMs / 2));
+      const uint64_t deadline = watchdog_ms_.load(std::memory_order_relaxed);
+      if (deadline == 0) continue;
+      const uint64_t now = steady_ms();
+      for (size_t i = 0; i < workers_.size(); ++i) {
+        Worker& worker = *workers_[i];
+        pid_t pid = -1;
+        {
+          std::lock_guard<std::mutex> lock(worker.write_mutex);
+          pid = worker.pid;
+        }
+        if (pid < 0) continue;
+        const uint64_t last =
+            worker.last_progress_ms.load(std::memory_order_relaxed);
+        if (now - last < deadline) continue;
+        if (!has_pending(i)) continue;
+        // Reset the clock under the lock, re-checking the pid: the reaper may
+        // already have respawned this shard while we looked.
+        std::lock_guard<std::mutex> lock(worker.write_mutex);
+        if (worker.pid != pid) continue;
+        worker.last_progress_ms.store(now, std::memory_order_relaxed);
+        worker.watchdog_kills.fetch_add(1, std::memory_order_relaxed);
+        log("serve: watchdog: worker " + std::to_string(pid) + " (shard " +
+            std::to_string(i) + ") made no progress in " +
+            std::to_string(now - last) + "ms; killing it");
+        ::kill(pid, SIGKILL);  // the reaper respawns and resends
+      }
+    }
+  }
+
+  /// Parent-side knobs a config document can retune: the accept-loop cap and
+  /// the watchdog deadline. Everything else is worker business, forwarded as
+  /// a "!cfg" frame.
+  void apply_config_locally(const ServeConfig& config) {
+    if (config.max_connections) {
+      max_connections_->store(*config.max_connections,
+                              std::memory_order_relaxed);
+    }
+    if (config.watchdog_ms) {
+      watchdog_ms_.store(*config.watchdog_ms, std::memory_order_relaxed);
+    }
+  }
+
+  /// SIGHUP watcher: re-read the config file, apply the parent-side knobs,
+  /// and push the canonical document to every live worker. A malformed file
+  /// is logged and the previous configuration stays in force everywhere.
+  void reload_loop() {
+    while (!shutting_down_.load(std::memory_order_relaxed)) {
+      pollfd fds[1] = {{util::reload_fd(), POLLIN, 0}};
+      ::poll(fds, 1, 200);
+      if (!util::consume_reload()) continue;
+      ServeConfig config;
+      try {
+        config = ServeConfig::from_file(options_.config_path);
+      } catch (const std::exception& error) {
+        log(std::string("serve: config reload rejected (previous "
+                        "configuration stays in force): ") +
+            error.what());
+        continue;
+      }
+      apply_config_locally(config);
+      const std::string canonical = config.canonical();
+      {
+        std::lock_guard<std::mutex> lock(config_mutex_);
+        current_config_ = canonical;
+      }
+      for (const std::unique_ptr<Worker>& worker : workers_) {
+        std::lock_guard<std::mutex> lock(worker->write_mutex);
+        if (worker->fd >= 0) {
+          write_fd_all(worker->fd, "!cfg " + canonical + "\n");
+        }
+      }
+      log("serve: config reloaded from '" + options_.config_path +
+          "' and pushed to workers");
+    }
+  }
+
   void shutdown_workers() {
     for (const std::unique_ptr<Worker>& worker : workers_) {
       std::lock_guard<std::mutex> lock(worker->write_mutex);
@@ -502,9 +719,15 @@ class ShardSupervisor {
   std::mutex err_mutex_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread reaper_;
+  std::thread watchdog_;
+  std::thread reloader_;
   std::atomic<uint64_t> next_seq_{1};
   std::atomic<size_t> round_robin_{0};
   std::atomic<bool> shutting_down_{false};
+  std::atomic<uint64_t> watchdog_ms_{0};
+  std::shared_ptr<std::atomic<size_t>> max_connections_;
+  std::mutex config_mutex_;
+  std::string current_config_;  ///< canonical "!cfg" payload for new workers
   std::mutex respawn_mutex_;
   std::mutex pending_mutex_;
   std::map<uint64_t, Pending> pending_;

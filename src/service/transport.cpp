@@ -20,11 +20,9 @@
 
 namespace autosec::service {
 
-namespace {
-
-/// Writers must see EPIPE as a return value, not a process-killing signal —
-/// clients vanish mid-response all the time on a fleet.
 void ignore_sigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+namespace {
 
 int checked_listen(int fd, std::string_view what, std::string& error) {
   if (::listen(fd, SOMAXCONN) < 0) {
@@ -204,9 +202,20 @@ struct ConnectionThread {
 
 int serve_connections(int listen_fd, const AcceptLoopOptions& options,
                       const HandlerFactory& factory, std::ostream& err) {
+  ignore_sigpipe();
   std::vector<ConnectionThread> connections;
   std::atomic<size_t> active{0};
-  const size_t cap = options.max_connections == 0 ? 1 : options.max_connections;
+  const auto current_cap = [&options]() -> size_t {
+    size_t cap = options.max_connections;
+    if (options.dynamic_max_connections) {
+      if (const size_t dynamic = options.dynamic_max_connections->load(
+              std::memory_order_relaxed);
+          dynamic != 0) {
+        cap = dynamic;
+      }
+    }
+    return cap == 0 ? 1 : cap;
+  };
 
   while (!util::drain_requested()) {
     pollfd fds[2] = {{listen_fd, POLLIN, 0}, {util::drain_fd(), POLLIN, 0}};
@@ -232,7 +241,7 @@ int serve_connections(int listen_fd, const AcceptLoopOptions& options,
       }
     }
 
-    if (active.load(std::memory_order_relaxed) >= cap) {
+    if (active.load(std::memory_order_relaxed) >= current_cap()) {
       if (options.overflow_line) {
         write_fd_all(conn, options.overflow_line() + "\n");
       }

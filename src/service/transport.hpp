@@ -36,10 +36,17 @@ int listen_tcp(const std::string& address, int* bound_port, std::string& error);
 /// replaced). Returns the listening fd, or -1 with `error` filled.
 int listen_unix(const std::string& path, std::string& error);
 
-/// write(2) the whole buffer; false when the peer went away (EPIPE &c. — the
-/// caller drops the rest of that connection's output). SIGPIPE is ignored
-/// process-wide by the listen_* helpers.
+/// write(2) the whole buffer, riding out EINTR and partial writes; false when
+/// the peer went away (EPIPE &c. — the caller drops the rest of that
+/// connection's output).
 bool write_fd_all(int fd, std::string_view data);
+
+/// Ignore SIGPIPE process-wide so writers see EPIPE as a return value, not a
+/// process-killing signal — clients vanish mid-response all the time on a
+/// fleet. Called by the listen_* helpers and serve_connections; exposed for
+/// callers that write to sockets they did not obtain through them (shard
+/// workers inherit their fds from the parent).
+void ignore_sigpipe();
 
 /// Thread-safe line writer bound to one client connection. The sink does not
 /// own the fd (the connection thread closes it after the handler finished).
@@ -84,6 +91,10 @@ struct AcceptLoopOptions {
   /// Concurrent connections served; one beyond the cap gets the overflow
   /// line (if any) and an immediate close.
   size_t max_connections = 64;
+  /// When set, re-read before every accept decision instead of
+  /// max_connections — hot config reload retunes the cap on a live loop
+  /// (0 there falls back to max_connections).
+  std::shared_ptr<const std::atomic<size_t>> dynamic_max_connections;
   /// Response line for connections shed at the accept gate (no trailing
   /// newline; empty = close silently).
   std::function<std::string()> overflow_line;

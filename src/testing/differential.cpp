@@ -1,6 +1,9 @@
 #include "testing/differential.hpp"
 
+#include <unistd.h>
+
 #include <cmath>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <utility>
@@ -8,6 +11,7 @@
 #include "automotive/archfile.hpp"
 #include "automotive/transform.hpp"
 #include "csl/checker.hpp"
+#include "csl/checkpoint.hpp"
 #include "csl/lumped.hpp"
 #include "csl/session.hpp"
 #include "ctmc/rewards.hpp"
@@ -416,6 +420,55 @@ void check_model(Harness& harness, uint64_t seed, const std::string& origin,
       harness.compare_exact("parallel.determinism", seed, tag + all[i], serial[i],
                             parallel[i]);
     }
+  }
+
+  // --- (g) checkpoint resume vs fresh (csl/checkpoint.hpp). A run that
+  // records every solve into a ledger, then a second run resuming from the
+  // persisted snapshot, must replay every property bit-for-bit without
+  // recomputing — the crash-durability contract behind `--checkpoint` and
+  // serve worker respawns. The per-process temp dir keeps concurrent test
+  // runs from sharing snapshot files.
+  if (options.check_checkpoint) {
+    std::vector<std::string> all = properties.bounded;
+    for (const std::string& text : properties.unbounded) all.push_back(text);
+
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("autosec-differential-ckpt-" + std::to_string(static_cast<long>(::getpid())));
+    csl::CheckpointOptions checkpoint_options;
+    checkpoint_options.dir = dir.string();
+    checkpoint_options.identity = "diff\x1f" + tag + '\x1f' + std::to_string(seed);
+    checkpoint_options.interval_ms = 0;  // strongest durability: every record
+
+    std::vector<double> fresh;
+    {
+      auto recording = std::make_shared<csl::CheckpointLedger>(checkpoint_options);
+      recording->load();
+      csl::EngineSession session(space);
+      session.set_checkpoint(recording);
+      fresh = session.check_all(all);
+      recording->flush();
+    }
+
+    auto resumed = std::make_shared<csl::CheckpointLedger>(checkpoint_options);
+    harness.record_pass_fail("checkpoint.resume_vs_fresh", seed,
+                             tag + "snapshot recovers the recorded solves",
+                             resumed->load() > 0);
+    csl::EngineSession resumed_session(space);
+    resumed_session.set_checkpoint(resumed);
+    const std::vector<double> replayed = resumed_session.check_all(all);
+    for (size_t i = 0; i < all.size(); ++i) {
+      harness.compare_exact("checkpoint.resume_vs_fresh", seed, tag + all[i],
+                            replayed[i], fresh[i]);
+    }
+    // Replay, not recompute: every evaluate must have been answered from the
+    // loaded snapshot.
+    harness.record_pass_fail("checkpoint.resume_vs_fresh", seed,
+                             tag + "resumed run replayed every solve",
+                             resumed->resumed_hits() >= all.size());
+    std::error_code cleanup_error;
+    fs::remove(resumed->path(), cleanup_error);
   }
 
   // --- (f) compact vs classic state store. Both stores are fed the same

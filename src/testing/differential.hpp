@@ -28,7 +28,12 @@
 //               induced DTMC solved densely), for Pmax and Pmin
 //               ("mdp.vi_vs_lp_small"), and interval iteration's sound
 //               brackets required to contain the plain value-iteration
-//               fixpoint ("mdp.interval_vs_plain").
+//               fixpoint ("mdp.interval_vs_plain");
+//   checkpoint  a run recording into a checkpoint ledger, then a second run
+//               resuming from the persisted snapshot, required to replay
+//               every property value bit-for-bit without recomputing
+//               ("checkpoint.resume_vs_fresh") — the crash-durability
+//               contract behind --checkpoint and serve worker respawns.
 //
 // A failure records the iteration's seed; `autosec-verify --seed S
 // --iterations 1` reproduces it exactly.
@@ -69,6 +74,7 @@ struct DifferentialOptions {
   bool check_roundtrip = true;
   bool check_engine = true;
   bool check_mdp = true;
+  bool check_checkpoint = true;
 
   RandomModelOptions model;
   RandomArchitectureOptions architecture;

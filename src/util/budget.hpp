@@ -26,14 +26,24 @@ class ResourceBudget {
   explicit ResourceBudget(size_t max_states = 0, size_t max_bytes = 0)
       : max_states_(max_states), max_bytes_(max_bytes) {}
 
-  size_t max_states() const { return max_states_; }
-  size_t max_bytes() const { return max_bytes_; }
+  size_t max_states() const { return max_states_.load(std::memory_order_relaxed); }
+  size_t max_bytes() const { return max_bytes_.load(std::memory_order_relaxed); }
+
+  /// Swap the ceilings of a live budget — how a hot config reload retunes a
+  /// long-lived admission gate without dropping the bytes already reserved.
+  /// Work admitted under the old ceilings keeps its reservations; the new
+  /// ceilings apply to every charge from now on.
+  void set_ceilings(size_t max_states, size_t max_bytes) {
+    max_states_.store(max_states, std::memory_order_relaxed);
+    max_bytes_.store(max_bytes, std::memory_order_relaxed);
+  }
 
   /// True when a state-count ceiling is armed and `count` exceeds it. The
   /// explorer composes its own EngineFailure (with frontier size and last
   /// command) instead of calling a throwing helper.
   bool states_exceeded(size_t count) const {
-    return max_states_ != 0 && count > max_states_;
+    const size_t ceiling = max_states();
+    return ceiling != 0 && count > ceiling;
   }
 
   /// Record `bytes` of engine allocations attributed to `stage`; throws
@@ -49,15 +59,16 @@ class ResourceBudget {
     while (total > peak &&
            !peak_.compare_exchange_weak(peak, total, std::memory_order_relaxed)) {
     }
-    if (max_bytes_ != 0 && total > max_bytes_) {
+    const size_t ceiling = max_bytes();
+    if (ceiling != 0 && total > ceiling) {
       FailureProgress progress;
-      progress.limit = max_bytes_;
+      progress.limit = ceiling;
       progress.charged_bytes = total;
       throw EngineFailure(
           FailureCode::kMemoryBudgetExceeded, stage,
           std::string(stage) + ": engine memory budget exceeded (" +
               std::to_string(total) + " bytes charged, ceiling " +
-              std::to_string(max_bytes_) + ")",
+              std::to_string(ceiling) + ")",
           progress);
     }
   }
@@ -70,7 +81,8 @@ class ResourceBudget {
   bool try_charge_bytes(size_t bytes) {
     const size_t total =
         charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-    if (max_bytes_ != 0 && total > max_bytes_) {
+    const size_t ceiling = max_bytes();
+    if (ceiling != 0 && total > ceiling) {
       charged_.fetch_sub(bytes, std::memory_order_relaxed);
       return false;
     }
@@ -90,8 +102,9 @@ class ResourceBudget {
   size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
 
  private:
-  size_t max_states_;
-  size_t max_bytes_;
+  // Atomic so a hot config reload can retune ceilings while requests charge.
+  std::atomic<size_t> max_states_;
+  std::atomic<size_t> max_bytes_;
   std::atomic<size_t> charged_{0};
   std::atomic<size_t> peak_{0};
 };

@@ -15,21 +15,34 @@ std::atomic<bool> g_drain{false};
 int g_pipe[2] = {-1, -1};
 std::once_flag g_pipe_once;
 
+std::atomic<unsigned> g_reloads{0};
+std::atomic<unsigned> g_reloads_consumed{0};
+int g_reload_pipe[2] = {-1, -1};
+std::once_flag g_reload_pipe_once;
+
+void open_nonblocking_pipe(int fds[2]) {
+  if (::pipe(fds) != 0) {
+    fds[0] = fds[1] = -1;
+    return;
+  }
+  for (int i = 0; i < 2; ++i) {
+    const int flags = ::fcntl(fds[i], F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fds[i], F_SETFL, flags | O_NONBLOCK);
+    ::fcntl(fds[i], F_SETFD, FD_CLOEXEC);
+  }
+}
+
 void ensure_pipe() {
-  std::call_once(g_pipe_once, [] {
-    if (::pipe(g_pipe) != 0) {
-      g_pipe[0] = g_pipe[1] = -1;
-      return;
-    }
-    for (const int fd : g_pipe) {
-      const int flags = ::fcntl(fd, F_GETFL, 0);
-      if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
-    }
-  });
+  std::call_once(g_pipe_once, [] { open_nonblocking_pipe(g_pipe); });
+}
+
+void ensure_reload_pipe() {
+  std::call_once(g_reload_pipe_once, [] { open_nonblocking_pipe(g_reload_pipe); });
 }
 
 void drain_signal_handler(int /*signal*/) { request_drain(); }
+
+void reload_signal_handler(int /*signal*/) { request_reload(); }
 
 }  // namespace
 
@@ -71,6 +84,45 @@ void reset_drain() noexcept {
 int drain_fd() noexcept {
   ensure_pipe();
   return g_pipe[0];
+}
+
+void install_reload_signal() {
+  ensure_reload_pipe();
+  struct sigaction action = {};
+  action.sa_handler = reload_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  // SA_RESTART: unlike drain, a reload must not abort in-flight reads — the
+  // watcher thread polls the self-pipe, nothing else needs the EINTR.
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGHUP, &action, nullptr);
+}
+
+void request_reload() noexcept {
+  g_reloads.fetch_add(1, std::memory_order_relaxed);
+  if (g_reload_pipe[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(g_reload_pipe[1], &byte, 1);
+  }
+}
+
+unsigned reload_count() noexcept {
+  return g_reloads.load(std::memory_order_relaxed);
+}
+
+int reload_fd() noexcept {
+  ensure_reload_pipe();
+  return g_reload_pipe[0];
+}
+
+bool consume_reload() noexcept {
+  if (g_reload_pipe[0] >= 0) {
+    char buffer[16];
+    while (::read(g_reload_pipe[0], buffer, sizeof(buffer)) > 0) {
+    }
+  }
+  const unsigned seen = g_reloads.load(std::memory_order_relaxed);
+  const unsigned consumed = g_reloads_consumed.exchange(seen, std::memory_order_relaxed);
+  return seen != consumed;
 }
 
 }  // namespace autosec::util

@@ -25,4 +25,28 @@ void reset_drain() noexcept;
 /// Poll it alongside input fds; never read it directly (reset_drain does).
 int drain_fd() noexcept;
 
+// --- hot-reload signal (SIGHUP), same self-pipe pattern as drain. A reload
+// is a counter, not a flag: the config watcher consumes requests one batch at
+// a time, and coalesced SIGHUPs (several before the watcher wakes) apply the
+// file once — re-reading it twice would be idempotent anyway.
+
+/// Install the SIGHUP handler that calls request_reload(). Idempotent; only
+/// serve entry points with a --config file call this.
+void install_reload_signal();
+
+/// Flag a reload request (signal handlers and tests alike).
+void request_reload() noexcept;
+
+/// Number of reload requests so far; a watcher remembers the last count it
+/// acted on and applies the config when the count advanced.
+unsigned reload_count() noexcept;
+
+/// Read end of the reload self-pipe: becomes readable when a reload is
+/// requested. Poll it with a timeout; consume_reload() drains it.
+int reload_fd() noexcept;
+
+/// Drain the reload pipe and return true when any reload was pending since
+/// the previous consume (the watcher's "apply now?" question).
+bool consume_reload() noexcept;
+
 }  // namespace autosec::util

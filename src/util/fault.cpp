@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/numeric.hpp"
+#include "util/progress.hpp"
 
 namespace autosec::util::fault {
 
@@ -103,6 +104,9 @@ Registry& registry() {
 }  // namespace
 
 bool triggered(const char* site) {
+  // Every fault poll is an engine safepoint: bump the process-wide progress
+  // epoch so the serving watchdog can distinguish hung from slow.
+  progress::bump();
   Registry& reg = registry();
   const uint8_t flags = reg.flags.load(std::memory_order_relaxed);
   if (flags & kAccounting) reg.polls.fetch_add(1, std::memory_order_relaxed);
@@ -148,6 +152,7 @@ const std::vector<std::string>& known_sites() {
       "explore.alloc",       // explorer: allocation failure mid-BFS
       "uniformize.alloc",    // uniformization: transposed-matrix allocation
       "solve.cancel",        // session: cancellation at the solve boundary
+      "solve.hang",          // session: hang (no safepoint crossed) at solve
       "krylov.breakdown",    // BiCGSTAB reports breakdown (forces rung 2)
       "gauss_seidel.diverge",  // Gauss-Seidel reports divergence (forces rung 3)
       "power.diverge",       // power rung reports divergence (whole ladder fails)

@@ -1,0 +1,15 @@
+#include "util/progress.hpp"
+
+#include <atomic>
+
+namespace autosec::util::progress {
+
+namespace {
+std::atomic<uint64_t> g_epoch{0};
+}  // namespace
+
+void bump() noexcept { g_epoch.fetch_add(1, std::memory_order_relaxed); }
+
+uint64_t epoch() noexcept { return g_epoch.load(std::memory_order_relaxed); }
+
+}  // namespace autosec::util::progress

@@ -1,0 +1,29 @@
+// Process-wide safepoint epoch: a relaxed counter bumped every time the
+// engine crosses a fault-injection safepoint (util/fault.hpp polls one at
+// every stage boundary, exploration chunk, and solver sweep). The counter is
+// the liveness signal of the serving layer's watchdog: a shard worker
+// piggybacks its epoch on heartbeat frames, and a supervisor that sees the
+// epoch stall while requests are pending knows the worker is hung — stuck in
+// a loop that crosses no safepoint — rather than merely slow.
+//
+// The epoch is deliberately process-global, not per-request: it answers "is
+// this process still making engine progress at all?", which is exactly the
+// question a SIGKILL-and-respawn watchdog needs answered. A hung request on
+// a worker that is otherwise advancing other requests is indistinguishable
+// from a slow one here; the per-request timeout (util::CancelToken) covers
+// that case.
+#pragma once
+
+#include <cstdint>
+
+namespace autosec::util::progress {
+
+/// Advance the epoch by one. Called from every fault-site poll; one relaxed
+/// fetch_add, cheap enough for the hot path (the bench overhead gate covers
+/// it together with the fault polls).
+void bump() noexcept;
+
+/// Current epoch. Starts at 0; only ever grows.
+uint64_t epoch() noexcept;
+
+}  // namespace autosec::util::progress

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -147,6 +149,102 @@ TEST_F(DiskCacheTest, TwoCachesOnOneDirectoryShareEntries) {
 
 TEST_F(DiskCacheTest, UnusableDirectoryThrows) {
   EXPECT_THROW(DiskCache("/proc/definitely/not/writable"), std::runtime_error);
+}
+
+TEST_F(DiskCacheTest, SizeAccountingTracksStoresAndReplacements) {
+  DiskCache cache(dir_.string());
+  EXPECT_EQ(cache.stats().size_bytes, 0u);
+  cache.store("k", std::string(100, 'x'));
+  const size_t after_first = cache.stats().size_bytes;
+  EXPECT_GT(after_first, 100u);  // payload plus header and key lines
+  // Replacing an entry accounts the delta, not the sum.
+  cache.store("k", std::string(50, 'y'));
+  EXPECT_EQ(cache.stats().size_bytes, after_first - 50u);
+}
+
+TEST_F(DiskCacheTest, ShrinkingTheQuotaEvictsOldestFirst) {
+  DiskCache cache(dir_.string());
+  std::vector<fs::path> files;
+  for (const char* key : {"a", "b", "c"}) {
+    cache.store(key, std::string(100, key[0]));
+    for (const fs::path& path : entry_files()) {
+      if (std::find(files.begin(), files.end(), path) == files.end()) {
+        files.push_back(path);  // files[i] belongs to the i-th key
+      }
+    }
+  }
+  ASSERT_EQ(files.size(), 3u);
+  // Pin the age order explicitly — a fast test can create all three entries
+  // within the filesystem's timestamp granularity.
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(files[0], now - std::chrono::hours(3));
+  fs::last_write_time(files[1], now - std::chrono::hours(2));
+  fs::last_write_time(files[2], now - std::chrono::hours(1));
+
+  const size_t total = cache.stats().size_bytes;
+  cache.set_quota(total - 1);  // one entry has to go — the oldest
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(fs::exists(files[0])) << "oldest entry must be evicted first";
+  EXPECT_EQ(cache.lookup("b").value_or(""), std::string(100, 'b'));
+  EXPECT_EQ(cache.lookup("c").value_or(""), std::string(100, 'c'));
+  EXPECT_LE(cache.stats().size_bytes, cache.stats().quota_bytes);
+}
+
+TEST_F(DiskCacheTest, StoreBeyondQuotaEvictsUntilTheNewEntryFits) {
+  DiskCache sizer(dir_.string());
+  sizer.store("probe", std::string(100, 'p'));
+  const size_t entry_bytes = sizer.stats().size_bytes;
+  fs::remove_all(dir_);
+
+  // Room for two entries, not three.
+  DiskCache cache(dir_.string(), 2 * entry_bytes + entry_bytes / 2);
+  cache.store("a", std::string(100, 'a'));
+  cache.store("b", std::string(100, 'b'));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // Make "a" unambiguously the oldest, then overflow.
+  const auto now = fs::file_time_type::clock::now();
+  for (const fs::path& path : entry_files()) {
+    fs::last_write_time(path, now - std::chrono::hours(1));
+  }
+  cache.store("c", std::string(100, 'c'));
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().size_bytes, cache.stats().quota_bytes);
+  EXPECT_EQ(cache.lookup("c").value_or(""), std::string(100, 'c'))
+      << "the entry just stored must survive its own eviction sweep";
+}
+
+TEST_F(DiskCacheTest, FsckRemovesStraysAndSeedsTheSizeAccounting) {
+  size_t valid_bytes = 0;
+  {
+    DiskCache cache(dir_.string());
+    cache.store("survivor", "payload");
+    valid_bytes = cache.stats().size_bytes;
+  }
+  // A crash mid-store leaves a temp file; corruption leaves an invalid
+  // entry; and foreign files (operator notes) are none of our business.
+  std::ofstream(dir_ / "0123456789abcdef0123456789abcdef.tmp") << "torn";
+  std::ofstream(dir_ / "ffffffffffffffffffffffffffffffff.entry") << "garbage";
+  std::ofstream(dir_ / "README") << "operator notes";
+
+  DiskCache reopened(dir_.string());
+  const DiskCache::Stats stats = reopened.stats();
+  EXPECT_EQ(stats.fsck_removed, 2u);
+  EXPECT_EQ(stats.size_bytes, valid_bytes)
+      << "only surviving entries count against the quota";
+  EXPECT_FALSE(fs::exists(dir_ / "0123456789abcdef0123456789abcdef.tmp"));
+  EXPECT_FALSE(
+      fs::exists(dir_ / "ffffffffffffffffffffffffffffffff.entry"));
+  EXPECT_TRUE(fs::exists(dir_ / "README")) << "foreign files are left alone";
+  EXPECT_EQ(reopened.lookup("survivor").value_or(""), "payload");
+}
+
+TEST_F(DiskCacheTest, QuotaZeroMeansUnbounded) {
+  DiskCache cache(dir_.string(), 0);
+  for (int i = 0; i < 20; ++i) {
+    cache.store("k" + std::to_string(i), std::string(500, 'x'));
+  }
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(entry_files().size(), 20u);
 }
 
 }  // namespace

@@ -548,6 +548,187 @@ TEST(ServerTest, HandleBatchKeepsInputOrderAcrossThePool) {
             "bad_request");
 }
 
+TEST(ServerTest, CheckpointMetricsAppearOnlyWhenCheckpointingIsOn) {
+  // Golden-file safety: without --checkpoint the envelope must not change.
+  Server plain(deterministic_options());
+  const JsonValue off = handle(plain, analyze_line("c0"));
+  EXPECT_EQ(off.find("metrics")->find("checkpoint"), nullptr);
+
+  const std::string dir = ::testing::TempDir() + "autosec_ckpt_metrics";
+  std::filesystem::remove_all(dir);
+  ServerOptions options = deterministic_options();
+  options.checkpoint_dir = dir;
+  Server server(options);
+  const JsonValue on = handle(server, analyze_line("c1"));
+  ASSERT_TRUE(on.bool_or("ok", false)) << on.dump();
+  const JsonValue* checkpoint = on.find("metrics")->find("checkpoint");
+  ASSERT_NE(checkpoint, nullptr);
+  EXPECT_EQ(checkpoint->int_or("hits", -1), 0);  // first run records, no replay
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerTest, RestartedServerReplaysFromCheckpointBitIdentically) {
+  const std::string dir = ::testing::TempDir() + "autosec_ckpt_restart";
+  std::filesystem::remove_all(dir);
+  ServerOptions options = deterministic_options();
+  options.checkpoint_dir = dir;
+
+  std::string fresh_result;
+  {
+    Server first(options);
+    const JsonValue fresh = handle(first, analyze_line("r1"));
+    ASSERT_TRUE(fresh.bool_or("ok", false)) << fresh.dump();
+    fresh_result = fresh.find("result")->dump();
+  }  // a killed worker: only the checkpoint directory survives
+
+  Server second(options);
+  const JsonValue resumed = handle(second, analyze_line("r2"));
+  ASSERT_TRUE(resumed.bool_or("ok", false)) << resumed.dump();
+  // Payload bit-identical, and the metrics prove it was replayed rather
+  // than recomputed.
+  EXPECT_EQ(resumed.find("result")->dump(), fresh_result);
+  const JsonValue* checkpoint = resumed.find("metrics")->find("checkpoint");
+  ASSERT_NE(checkpoint, nullptr);
+  EXPECT_GT(checkpoint->int_or("hits", -1), 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerTest, StatusSurfacesCheckpointAndConfig) {
+  const std::string dir = ::testing::TempDir() + "autosec_ckpt_status";
+  std::filesystem::remove_all(dir);
+  ServerOptions options = deterministic_options();
+  options.checkpoint_dir = dir;
+  options.checkpoint_interval_ms = 250;
+  Server server(options);
+  const JsonValue status = handle(server, R"({"op": "status"})");
+  const JsonValue* checkpoint = status.find("result")->find("checkpoint");
+  ASSERT_NE(checkpoint, nullptr);
+  EXPECT_EQ(checkpoint->string_or("dir", ""), dir);
+  EXPECT_EQ(checkpoint->int_or("interval_ms", -1), 250);
+  const JsonValue* config = status.find("result")->find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->int_or("reloads", -1), 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerTest, ApplyConfigRetunesALiveServerWithoutDroppingState) {
+  ServerOptions options = deterministic_options();
+  options.max_inflight = 1;
+  Server server(options);
+  // Populate the session cache, then reload: the entry must survive.
+  ASSERT_TRUE(handle(server, analyze_line("h1")).bool_or("ok", false));
+
+  ASSERT_TRUE(server.apply_config_text(
+      R"({"max_inflight": 3, "max_batch": 4, "default_timeout_ms": 9000})"));
+  EXPECT_EQ(server.config_reloads(), 1u);
+  EXPECT_EQ(server.effective_max_batch(), 4u);
+
+  // The admission gate now admits three concurrent tickets.
+  int64_t retry = 0;
+  std::optional<Ticket> a = server.admission().try_admit(&retry);
+  std::optional<Ticket> b = server.admission().try_admit(&retry);
+  std::optional<Ticket> c = server.admission().try_admit(&retry);
+  EXPECT_TRUE(a.has_value());
+  EXPECT_TRUE(b.has_value());
+  EXPECT_TRUE(c.has_value());
+  EXPECT_FALSE(server.admission().try_admit(&retry).has_value());
+  a.reset();
+  b.reset();
+  c.reset();
+
+  // No cache invalidation: the pre-reload entry still hits.
+  const JsonValue warm = handle(server, analyze_line("h2"));
+  EXPECT_EQ(warm.find("metrics")->string_or("session_cache", ""), "hit");
+
+  // The status surface reports the active document.
+  const JsonValue status = handle(server, R"({"op": "status"})");
+  const JsonValue* config = status.find("result")->find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->int_or("reloads", -1), 1);
+  EXPECT_EQ(config->int_or("max_batch", -1), 4);
+  const JsonValue* active = config->find("active");
+  ASSERT_NE(active, nullptr);
+  EXPECT_EQ(active->int_or("max_inflight", -1), 3);
+}
+
+TEST(ServerTest, MalformedConfigReloadIsRejectedAndKeepsTheOldLimits) {
+  Server server(deterministic_options());
+  ASSERT_TRUE(server.apply_config_text(R"({"max_inflight": 2})"));
+  // Malformed JSON, unknown fields, and bad enum values are all rejected.
+  EXPECT_FALSE(server.apply_config_text("{not json"));
+  EXPECT_FALSE(server.apply_config_text(R"({"max_inflght": 5})"));
+  EXPECT_FALSE(server.apply_config_text(R"({"log_level": "shouting"})"));
+  EXPECT_EQ(server.config_reloads(), 1u) << "rejected reloads must not count";
+
+  // The previous configuration stays in force.
+  int64_t retry = 0;
+  std::optional<Ticket> a = server.admission().try_admit(&retry);
+  std::optional<Ticket> b = server.admission().try_admit(&retry);
+  EXPECT_TRUE(a.has_value());
+  EXPECT_TRUE(b.has_value());
+  EXPECT_FALSE(server.admission().try_admit(&retry).has_value());
+}
+
+TEST(ServerTest, StartupConfigFileOverridesFlags) {
+  const std::string path = ::testing::TempDir() + "autosec_startup_config.json";
+  {
+    std::ofstream file(path);
+    file << R"({"max_inflight": 2, "max_batch": 3})" << "\n";
+  }
+  ServerOptions options = deterministic_options();
+  options.max_inflight = 64;  // the file must win
+  options.config_path = path;
+  Server server(options);
+  EXPECT_EQ(server.effective_max_batch(), 3u);
+  int64_t retry = 0;
+  std::optional<Ticket> a = server.admission().try_admit(&retry);
+  std::optional<Ticket> b = server.admission().try_admit(&retry);
+  EXPECT_TRUE(a.has_value());
+  EXPECT_TRUE(b.has_value());
+  EXPECT_FALSE(server.admission().try_admit(&retry).has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(ServerTest, UnreadableStartupConfigFailsLoudly) {
+  ServerOptions options = deterministic_options();
+  options.config_path = "/definitely/no/such/config.json";
+  EXPECT_THROW(Server{options}, std::runtime_error);
+}
+
+TEST(ServeConfigTest, ParseRejectsUnknownFieldsAndBadValues) {
+  EXPECT_NO_THROW(ServeConfig::parse("{}"));
+  const ServeConfig config = ServeConfig::parse(
+      R"({"max_inflight": 8, "default_timeout_ms": -1, "log_level": "info"})");
+  EXPECT_EQ(config.max_inflight.value_or(0), 8u);
+  EXPECT_EQ(config.default_timeout_ms.value_or(0), -1);
+  EXPECT_EQ(config.log_level.value_or(""), "info");
+  EXPECT_THROW(ServeConfig::parse("[]"), std::runtime_error);
+  EXPECT_THROW(ServeConfig::parse(R"({"surprise": 1})"), std::runtime_error);
+  EXPECT_THROW(ServeConfig::parse(R"({"max_inflight": -4})"),
+               std::runtime_error);
+  EXPECT_THROW(ServeConfig::parse(R"({"log_level": "loud"})"),
+               std::runtime_error);
+  // canonical() round-trips through parse().
+  const ServeConfig again = ServeConfig::parse(config.canonical());
+  EXPECT_EQ(again.canonical(), config.canonical());
+}
+
+TEST(SessionCacheTest, SetCapacityTrimsTheTail) {
+  SessionCache cache(4);
+  const auto build = [] { return automotive::BatchSession{}; };
+  bool hit = false;
+  cache.acquire("a", build, &hit);
+  cache.acquire("b", build, &hit);
+  cache.acquire("c", build, &hit);
+  cache.acquire("b", build, &hit);  // bump b → a is now LRU-most
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  cache.acquire("b", build, &hit);
+  EXPECT_TRUE(hit) << "recently used entries survive the shrink";
+  cache.acquire("a", build, &hit);
+  EXPECT_FALSE(hit) << "the LRU tail was trimmed";
+}
+
 TEST(SessionCacheTest, EvictByKeyDropsOnlyThatEntry) {
   SessionCache cache(4);
   const auto build = [] { return automotive::BatchSession{}; };

@@ -263,6 +263,116 @@ TEST_F(TransportTest, ConnectionsBeyondTheCapGetTheOverflowLine) {
   ::close(listen_fd);
 }
 
+TEST_F(TransportTest, WriteToAVanishedPeerBreaksTheSinkNotTheProcess) {
+  // The regression this guards: without SIGPIPE ignored, the first write to
+  // a client that disconnected mid-response kills the whole server.
+  ignore_sigpipe();
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  ::close(pair[1]);  // the client vanishes before its response is written
+
+  ConnectionSink sink(pair[0]);
+  EXPECT_FALSE(sink.broken());
+  // The first write may land in a kernel buffer; a write after the RST is
+  // reflected back must fail and latch the sink broken.
+  sink.write_line("response-1");
+  sink.write_line("response-2");
+  EXPECT_TRUE(sink.broken());
+  sink.write_line("response-3");  // silently dropped, still no signal death
+  EXPECT_TRUE(sink.broken());
+  ::close(pair[0]);
+}
+
+TEST_F(TransportTest, KilledClientDoesNotDisturbOtherConnections) {
+  std::string error;
+  int port = 0;
+  const int listen_fd = listen_tcp("127.0.0.1:0", &port, error);
+  ASSERT_GE(listen_fd, 0) << error;
+
+  std::ostringstream err;
+  std::thread serve([&] {
+    EXPECT_EQ(serve_connections(listen_fd, {}, echo_factory(), err), 0);
+  });
+
+  const int survivor = connect_tcp(port);
+  ASSERT_GE(survivor, 0);
+  LineReader survivor_reader(survivor);
+  ASSERT_TRUE(write_fd_all(survivor, "before\n"));
+  EXPECT_EQ(survivor_reader.next(), "echo:before");
+
+  // A client that sends a burst of requests and dies without reading any
+  // response: the server's writes hit a closed peer mid-burst.
+  const int victim = connect_tcp(port);
+  ASSERT_GE(victim, 0);
+  std::string burst;
+  for (int i = 0; i < 64; ++i) burst += "line-" + std::to_string(i) + "\n";
+  ASSERT_TRUE(write_fd_all(victim, burst));
+  struct linger hard_close{1, 0};  // RST on close — a killed process, not FIN
+  ::setsockopt(victim, SOL_SOCKET, SO_LINGER, &hard_close, sizeof(hard_close));
+  ::close(victim);
+
+  // The surviving connection keeps being served after the victim's writes
+  // failed (would be process death by SIGPIPE without the transport's
+  // ignore_sigpipe, or a wedged loop if EPIPE were retried).
+  for (int i = 0; i < 5; ++i) {
+    const std::string line = "after-" + std::to_string(i);
+    ASSERT_TRUE(write_fd_all(survivor, line + "\n"));
+    EXPECT_EQ(survivor_reader.next(), "echo:" + line);
+  }
+  ::close(survivor);
+
+  util::request_drain();
+  serve.join();
+  ::close(listen_fd);
+}
+
+TEST_F(TransportTest, DynamicConnectionCapIsReReadPerAccept) {
+  std::string error;
+  int port = 0;
+  const int listen_fd = listen_tcp("127.0.0.1:0", &port, error);
+  ASSERT_GE(listen_fd, 0) << error;
+
+  auto cap = std::make_shared<std::atomic<size_t>>(1);
+  AcceptLoopOptions options;
+  options.max_connections = 64;  // the dynamic cap must win over this
+  options.dynamic_max_connections = cap;
+  options.overflow_line = [] { return std::string("OVERLOADED"); };
+  std::ostringstream err;
+  std::thread serve([&] {
+    EXPECT_EQ(serve_connections(listen_fd, options, echo_factory(), err), 0);
+  });
+
+  const int first = connect_tcp(port);
+  ASSERT_GE(first, 0);
+  LineReader first_reader(first);
+  ASSERT_TRUE(write_fd_all(first, "held\n"));
+  EXPECT_EQ(first_reader.next(), "echo:held");
+
+  const int shed = connect_tcp(port);
+  ASSERT_GE(shed, 0);
+  LineReader shed_reader(shed);
+  EXPECT_EQ(shed_reader.next(), "OVERLOADED");
+  ::close(shed);
+
+  // Hot reload raises the cap; the very next accept honors it — no listener
+  // restart, the held connection untouched.
+  cap->store(2);
+  const int admitted = connect_tcp(port);
+  ASSERT_GE(admitted, 0);
+  LineReader admitted_reader(admitted);
+  ASSERT_TRUE(write_fd_all(admitted, "now-admitted\n"));
+  EXPECT_EQ(admitted_reader.next(), "echo:now-admitted");
+  ::close(admitted);
+
+  ASSERT_TRUE(write_fd_all(first, "still-alive\n"));
+  EXPECT_EQ(first_reader.next(), "echo:still-alive");
+  ::close(first);
+
+  util::request_drain();
+  serve.join();
+  ::close(listen_fd);
+}
+
 TEST_F(TransportTest, TcpResponsesAreBitIdenticalToDirectHandleLine) {
   std::string error;
   int port = 0;

@@ -60,6 +60,7 @@ TEST(Differential, FamiliesCanBeDisabled) {
   options.check_parallel = false;
   options.check_engine = false;
   options.check_mdp = false;
+  options.check_checkpoint = false;
   const DifferentialReport report = run_differential(options);
   EXPECT_TRUE(report.ok()) << report.summary();
   for (const auto& [name, outcome] : report.checks) {

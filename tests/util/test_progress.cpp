@@ -1,0 +1,77 @@
+// The watchdog's liveness plumbing: the process-wide safepoint epoch
+// (util/progress.hpp) advances on every fault-site poll, and the SIGHUP
+// reload self-pipe (util/drain.hpp) delivers coalesced reload requests
+// exactly once per consume.
+#include "util/progress.hpp"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <signal.h>
+
+#include "util/drain.hpp"
+#include "util/fault.hpp"
+
+namespace autosec::util {
+namespace {
+
+TEST(Progress, EpochOnlyGrows) {
+  const uint64_t before = progress::epoch();
+  progress::bump();
+  progress::bump();
+  EXPECT_GE(progress::epoch(), before + 2);
+}
+
+TEST(Progress, EveryFaultSitePollAdvancesTheEpoch) {
+  fault::disarm_all();
+  const uint64_t before = progress::epoch();
+  // A disarmed poll still counts as crossing a safepoint — liveness is about
+  // reaching the safepoint, not about what happens there.
+  fault::triggered("explore.alloc");
+  EXPECT_GT(progress::epoch(), before);
+  const uint64_t mid = progress::epoch();
+  fault::triggered("solve.cancel");
+  EXPECT_GT(progress::epoch(), mid);
+}
+
+TEST(Reload, CoalescedRequestsConsumeOnce) {
+  install_reload_signal();
+  // Drain anything a previous test left pending.
+  consume_reload();
+  EXPECT_FALSE(consume_reload());
+
+  const unsigned before = reload_count();
+  request_reload();
+  request_reload();
+  request_reload();
+  EXPECT_EQ(reload_count(), before + 3);
+
+  // Coalesced: three requests, one pending consume.
+  EXPECT_TRUE(consume_reload());
+  EXPECT_FALSE(consume_reload());
+}
+
+TEST(Reload, PipeBecomesReadableOnRequest) {
+  install_reload_signal();
+  consume_reload();
+
+  pollfd fds[1] = {{reload_fd(), POLLIN, 0}};
+  EXPECT_EQ(::poll(fds, 1, 0), 0) << "idle pipe must not be readable";
+
+  request_reload();
+  fds[0].revents = 0;
+  EXPECT_EQ(::poll(fds, 1, 1000), 1);
+  EXPECT_NE(fds[0].revents & POLLIN, 0);
+  EXPECT_TRUE(consume_reload());
+}
+
+TEST(Reload, SignalHandlerDeliversThroughTheSamePipe) {
+  install_reload_signal();
+  consume_reload();
+  ASSERT_EQ(::raise(SIGHUP), 0);
+  pollfd fds[1] = {{reload_fd(), POLLIN, 0}};
+  EXPECT_EQ(::poll(fds, 1, 1000), 1);
+  EXPECT_TRUE(consume_reload());
+}
+
+}  // namespace
+}  // namespace autosec::util

@@ -24,8 +24,8 @@ void print_usage(std::ostream& os) {
         "  --max-states N     dense-oracle state limit (default 200)\n"
         "  --threads N        thread count of the parallel leg (default 4)\n"
         "  --skip FAMILY      disable a family: oracle, solvers, kernels,\n"
-        "                     lumping, parallel, roundtrip, engine, mdp\n"
-        "                     (repeatable)\n"
+        "                     lumping, parallel, roundtrip, engine, mdp,\n"
+        "                     checkpoint (repeatable)\n"
         "  --faults           run the fault-injection checks instead: arm every\n"
         "                     known fault site and prove each yields a structured\n"
         "                     error (and serve keeps serving)\n"
@@ -88,6 +88,8 @@ int main(int argc, char** argv) {
         options.check_engine = false;
       } else if (family == "mdp") {
         options.check_mdp = false;
+      } else if (family == "checkpoint") {
+        options.check_checkpoint = false;
       } else {
         fail_usage("unknown family '" + family + "'");
       }
@@ -106,7 +108,10 @@ int main(int argc, char** argv) {
                    "           symmetry-reduced quotient vs the full space\n"
                    "mdp        MDP value iteration vs the exhaustive scheduler-\n"
                    "           enumeration oracle, and interval-iteration brackets\n"
-                   "           vs the plain fixpoint\n";
+                   "           vs the plain fixpoint\n"
+                   "checkpoint a run recording into a checkpoint ledger vs a second\n"
+                   "           run resuming from the persisted snapshot (bit-exact\n"
+                   "           replay, no recomputation)\n";
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);

@@ -12,6 +12,10 @@ committed baselines in bench/baselines/:
   * the ``bench.fault_overhead_fraction`` gauge, when a bench records one —
     the estimated cost of disarmed fault-injection hooks as a fraction of
     engine wall time — must stay below --fault-overhead-limit (default 0.02);
+  * the ``bench.checkpoint_overhead_fraction`` gauge, when a bench records
+    one — snapshot persists x micro-measured per-persist cost as a fraction
+    of the checkpointed pass's wall time — must stay below
+    --checkpoint-overhead-limit (default 0.02);
   * peak resident memory (gauge ``bench.peak_rss_mb``) must not grow by more
     than --max-rss-growth (default 1.5, i.e. +50%) over the baseline;
   * per-state storage (gauge ``explore.bytes_per_state``, recorded by the
@@ -40,6 +44,7 @@ import sys
 WALL_GAUGE = "bench.wall_seconds"
 AGREEMENT_PREFIX = "bench.agreement_"
 FAULT_OVERHEAD_GAUGE = "bench.fault_overhead_fraction"
+CHECKPOINT_OVERHEAD_GAUGE = "bench.checkpoint_overhead_fraction"
 RSS_GAUGE = "bench.peak_rss_mb"
 BYTES_PER_STATE_GAUGE = "explore.bytes_per_state"
 THROUGHPUT_GAUGE = "solve.mat_vec_per_sec"
@@ -104,6 +109,9 @@ def main():
                         help="bound on every bench.agreement_* gauge")
     parser.add_argument("--fault-overhead-limit", type=float, default=0.02,
                         help="bound on bench.fault_overhead_fraction when present")
+    parser.add_argument("--checkpoint-overhead-limit", type=float, default=0.02,
+                        help="bound on bench.checkpoint_overhead_fraction "
+                             "when present")
     parser.add_argument("--max-rss-growth", type=float, default=1.5,
                         help="allowed peak-RSS ratio current/baseline")
     parser.add_argument("--max-bytes-per-state-growth", type=float, default=1.1,
@@ -174,6 +182,18 @@ def main():
                     f"{baseline_path.name}: {FAULT_OVERHEAD_GAUGE} = "
                     f"{fault_overhead:.3g} exceeds disarmed-hook budget "
                     f"{args.fault_overhead_limit:.3g}")
+
+        checkpoint_overhead = current.get(CHECKPOINT_OVERHEAD_GAUGE)
+        if checkpoint_overhead is not None:
+            status = ("ok" if checkpoint_overhead <= args.checkpoint_overhead_limit
+                      else "OVERHEAD")
+            print(f"{baseline_path.name}: {CHECKPOINT_OVERHEAD_GAUGE} = "
+                  f"{checkpoint_overhead:.3g} {status}")
+            if checkpoint_overhead > args.checkpoint_overhead_limit:
+                failures.append(
+                    f"{baseline_path.name}: {CHECKPOINT_OVERHEAD_GAUGE} = "
+                    f"{checkpoint_overhead:.3g} exceeds checkpoint budget "
+                    f"{args.checkpoint_overhead_limit:.3g}")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)
